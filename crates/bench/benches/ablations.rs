@@ -1,0 +1,49 @@
+//! Design-choice ablations as Criterion benches (experiment id `ablate`):
+//! reliability mode (§3.3/4.4), the same-NIC optimization (§3.4), and the
+//! unexpected-record cost (§3.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmsim_gm::config::CollectiveWireMode;
+use gmsim_testbed::{Algorithm, BarrierExperiment, Placement};
+use nic_barrier::BarrierCosts;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    let reliable = BarrierExperiment::new(16, Algorithm::NicPe).rounds(60, 10);
+    let unreliable = reliable.wire(CollectiveWireMode::Unreliable);
+    println!(
+        "reliability: reliable {:.2}us vs unreliable {:.2}us",
+        reliable.run().mean_us,
+        unreliable.run().mean_us
+    );
+    g.bench_function("wire_reliable", |b| b.iter(|| reliable.run().mean_us));
+    g.bench_function("wire_unreliable", |b| b.iter(|| unreliable.run().mean_us));
+
+    let packed = BarrierExperiment::new(16, Algorithm::NicPe)
+        .placement(Placement::Packed { procs_per_node: 2 })
+        .rounds(60, 10);
+    let no_opt = packed.same_nic_opt(false);
+    println!(
+        "same-NIC: optimized {:.2}us vs loopback {:.2}us",
+        packed.run().mean_us,
+        no_opt.run().mean_us
+    );
+    g.bench_function("same_nic_on", |b| b.iter(|| packed.run().mean_us));
+    g.bench_function("same_nic_off", |b| b.iter(|| no_opt.run().mean_us));
+
+    let mut slow = BarrierCosts::GM_1_2_3;
+    slow.record_cycles *= 4;
+    let heavy = BarrierExperiment::new(16, Algorithm::NicPe).rounds(60, 10).costs(slow);
+    println!(
+        "record cost: O(1) bits {:.2}us vs 4x record {:.2}us",
+        reliable.run().mean_us,
+        heavy.run().mean_us
+    );
+    g.bench_function("record_4x", |b| b.iter(|| heavy.run().mean_us));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

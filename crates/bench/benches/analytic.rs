@@ -1,0 +1,41 @@
+//! Figure 2 / Equations 1–3 as a Criterion bench (experiment id `fig2`):
+//! evaluates the analytic model and checks it against a simulation point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmsim_gm::GmConfig;
+use gmsim_lanai::NicModel;
+use gmsim_testbed::{Algorithm, BarrierExperiment};
+use nic_barrier::CostModel;
+use std::hint::black_box;
+
+fn bench_analytic(c: &mut Criterion) {
+    let model = CostModel::from_config(&GmConfig::paper_host(NicModel::LANAI_4_3));
+    for n in [2usize, 4, 8, 16] {
+        println!(
+            "n={n:<2}: Eq1 host={:8.2}us  Eq2 nic={:8.2}us  Eq3 factor={:.2}x",
+            model.host_barrier_us(n),
+            model.nic_barrier_us(n),
+            model.improvement(n)
+        );
+    }
+    let sim = BarrierExperiment::new(16, Algorithm::NicPe).rounds(60, 10).run();
+    println!(
+        "model vs simulation at n=16: {:.2} vs {:.2} us",
+        model.nic_barrier_us(16),
+        sim.mean_us
+    );
+    c.bench_function("eq1_eq2_eq3_evaluation", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in [2usize, 4, 8, 16, 64, 1024] {
+                acc += model.host_barrier_us(black_box(n));
+                acc += model.nic_barrier_us(black_box(n));
+                acc += model.improvement(black_box(n));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_analytic);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 5(a)/(c) as Criterion benches: each benchmark simulates a stream
+//! of consecutive barriers and reports the wall-clock cost of regenerating
+//! that figure cell. The virtual-time results themselves are printed once
+//! per cell so `cargo bench` doubles as a figure check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmsim_lanai::NicModel;
+use gmsim_testbed::{Algorithm, BarrierExperiment};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_latency");
+    g.sample_size(10);
+    for (nic, tag, sizes) in [
+        (NicModel::LANAI_4_3, "lanai4.3", &[2usize, 4, 8, 16][..]),
+        (NicModel::LANAI_7_2, "lanai7.2", &[2usize, 4, 8][..]),
+    ] {
+        for &n in sizes {
+            for alg in [
+                Algorithm::NicPe,
+                Algorithm::HostPe,
+                Algorithm::NicGb { dim: 2 },
+                Algorithm::HostGb { dim: 2 },
+            ] {
+                let e = BarrierExperiment::new(n, alg).nic(nic).rounds(60, 10);
+                let m = e.run();
+                println!("{tag} {:>12} n={n:<2} -> {:8.2} us", alg.name(), m.mean_us);
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{tag}/{}", alg.name()), n),
+                    &e,
+                    |b, e| b.iter(|| e.run().mean_us),
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! The §2.1 fuzzy-barrier study as a Criterion bench (experiment id
+//! `fuzzy`): overlapped vs blocking compute-synchronize loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmsim_testbed::FuzzyExperiment;
+
+fn bench_fuzzy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuzzy_barrier");
+    g.sample_size(10);
+    for compute in [20u64, 60, 120] {
+        let fuzzy = FuzzyExperiment::new(8, compute, true);
+        let blocking = FuzzyExperiment::new(8, compute, false);
+        println!(
+            "compute {compute:>3}us: fuzzy {:.2}us vs blocking {:.2}us",
+            fuzzy.run().mean_us,
+            blocking.run().mean_us
+        );
+        g.bench_with_input(BenchmarkId::new("overlap", compute), &fuzzy, |b, e| {
+            b.iter(|| e.run().mean_us)
+        });
+        g.bench_with_input(BenchmarkId::new("blocking", compute), &blocking, |b, e| {
+            b.iter(|| e.run().mean_us)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fuzzy);
+criterion_main!(benches);

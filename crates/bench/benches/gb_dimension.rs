@@ -1,0 +1,23 @@
+//! The §6 GB tree-dimension sweep as a Criterion bench (experiment id
+//! `gbdim`): the cost of finding the optimal dimension for one cluster
+//! size, which is what the paper did for every GB data point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmsim_testbed::{best_gb_dim, Algorithm, BarrierExperiment};
+
+fn bench_gbdim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gb_dimension_sweep");
+    g.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let base = BarrierExperiment::new(n, Algorithm::NicGb { dim: 1 }).rounds(40, 5);
+        let (dim, m) = best_gb_dim(base);
+        println!("n={n}: best NIC-GB dimension d={dim} at {:.2} us", m.mean_us);
+        g.bench_with_input(BenchmarkId::new("nic_gb_best_dim", n), &base, |b, e| {
+            b.iter(|| best_gb_dim(*e).0)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gbdim);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! The §2.2 scaling study as a Criterion bench (experiment id `scale`):
+//! large-cluster barrier simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmsim_lanai::NicModel;
+use gmsim_testbed::{Algorithm, BarrierExperiment};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10);
+    for n in [16usize, 64, 256] {
+        let e = BarrierExperiment::new(n, Algorithm::NicPe)
+            .nic(NicModel::LANAI_9)
+            .rounds(30, 5);
+        let m = e.run();
+        println!("n={n}: NIC-PE on LANai 9 = {:.2} us", m.mean_us);
+        // Throughput in simulated barriers per wall second.
+        g.throughput(Throughput::Elements(e.rounds));
+        g.bench_with_input(BenchmarkId::new("nic_pe_lanai9", n), &e, |b, e| {
+            b.iter(|| e.run().mean_us)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

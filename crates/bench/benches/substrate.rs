@@ -1,0 +1,104 @@
+//! Substrate microbenchmarks: the building blocks under the figures —
+//! scheduler throughput, fabric timing, reliability machinery, schedule
+//! construction. These guard the simulator's own performance so the
+//! figure-regeneration benches stay fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmsim_des::{Scheduler, SimTime, Simulation};
+use gmsim_myrinet::{Fabric, NicId, TopologyBuilder};
+use gmsim_testbed::{run_all, Algorithm, BarrierExperiment};
+use nic_barrier::schedule::{gb, pe};
+use std::hint::black_box;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_scheduler");
+    for n in [1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("schedule_and_fire", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new(0u64);
+                fn tick(w: &mut u64, s: &mut Scheduler<u64>) {
+                    *w += 1;
+                    s.schedule_in(SimTime::from_ns(10), |w: &mut u64, s| {
+                        if w.is_multiple_of(2) {
+                            let _ = (w, s);
+                        }
+                    });
+                }
+                for i in 0..n {
+                    sim.scheduler_mut().schedule_fn(SimTime::from_ns(i), tick);
+                }
+                sim.run();
+                sim.into_world()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("myrinet_fabric");
+    let topo = TopologyBuilder::single_switch(16);
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("send_10k_worms", |b| {
+        b.iter(|| {
+            let mut f = Fabric::new(topo.clone());
+            let mut t = SimTime::ZERO;
+            for i in 0..10_000usize {
+                let d = f.send(NicId(i % 16), NicId((i + 1) % 16), 64, t);
+                t = t.max(d.tx_done);
+            }
+            f.stats().sends
+        })
+    });
+    g.finish();
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_construction");
+    for n in [16usize, 256, 4096] {
+        g.bench_with_input(BenchmarkId::new("pe_all_ranks", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut total = 0;
+                for rank in 0..n {
+                    total += pe::schedule(black_box(rank), n).len();
+                }
+                total
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gb_all_ranks_d4", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut total = 0;
+                for rank in 0..n {
+                    total += gb::children(black_box(rank), 4, n).len();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_sweep");
+    g.sample_size(10);
+    let exps: Vec<BarrierExperiment> = (1..8)
+        .map(|d| BarrierExperiment::new(8, Algorithm::NicGb { dim: d }).rounds(30, 5))
+        .collect();
+    g.bench_function("seven_gb_dims_parallel", |b| {
+        b.iter(|| run_all(&exps).len())
+    });
+    g.bench_function("seven_gb_dims_serial", |b| {
+        b.iter(|| exps.iter().map(|e| e.run().mean_us).sum::<f64>())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_fabric,
+    bench_schedules,
+    bench_parallel_sweep
+);
+criterion_main!(benches);

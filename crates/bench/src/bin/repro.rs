@@ -1,0 +1,535 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p gmsim-bench --bin repro -- all
+//! cargo run --release -p gmsim-bench --bin repro -- fig5a fig5b headline
+//! ```
+//!
+//! Experiment ids (see DESIGN.md §5): fig5a fig5b fig5c fig5d fig2 gbdim
+//! headline scale layer fuzzy ablate mpi.
+
+use gmsim_gm::config::CollectiveWireMode;
+use gmsim_gm::GmConfig;
+use gmsim_lanai::NicModel;
+use gmsim_testbed::table::{factor, us};
+use gmsim_testbed::{
+    best_gb_dim, run_all, Algorithm, BarrierExperiment, FuzzyExperiment, Placement, Table,
+};
+use nic_barrier::{BarrierCosts, CostModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig5a", "fig5b", "fig5c", "fig5d", "fig2", "gbdim", "headline", "scale", "layer",
+            "fuzzy", "ablate", "mpi", "util", "dissem",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match id {
+            "fig5a" => fig5_latency(NicModel::LANAI_4_3, &[2, 4, 8, 16], "fig5a"),
+            "fig5b" => fig5_improvement(NicModel::LANAI_4_3, &[2, 4, 8, 16], "fig5b"),
+            "fig5c" => fig5_latency(NicModel::LANAI_7_2, &[2, 4, 8], "fig5c"),
+            "fig5d" => fig5_improvement(NicModel::LANAI_7_2, &[2, 4, 8], "fig5d"),
+            "fig2" => fig2_timing_model(),
+            "gbdim" => gb_dimension_sweep(),
+            "headline" => headline(),
+            "scale" => scaling_study(),
+            "layer" => layer_study(),
+            "fuzzy" => fuzzy_study(),
+            "ablate" => ablations(),
+            "mpi" => mpi_study(),
+            "util" => util_study(),
+            "dissem" => dissemination_study(),
+            "trace" => trace_one_barrier(),
+            other => eprintln!("unknown experiment id: {other}"),
+        }
+    }
+}
+
+fn measure(e: BarrierExperiment) -> f64 {
+    e.run().mean_us
+}
+
+/// The four curves of Figure 5(a)/(c): barrier latency vs nodes.
+fn fig5_latency(nic: NicModel, sizes: &[usize], id: &str) {
+    println!("\n=== {id}: barrier latency vs nodes, {} ===", nic.name);
+    let mut t = Table::new(vec![
+        "nodes",
+        "NIC-PE (us)",
+        "NIC-GB best (us)",
+        "host-PE (us)",
+        "host-GB best (us)",
+    ]);
+    for &n in sizes {
+        let nic_pe = measure(BarrierExperiment::new(n, Algorithm::NicPe).nic(nic));
+        let host_pe = measure(BarrierExperiment::new(n, Algorithm::HostPe).nic(nic));
+        let (nd, ngb) = best_gb_dim(BarrierExperiment::new(n, Algorithm::NicGb { dim: 1 }).nic(nic));
+        let (hd, hgb) =
+            best_gb_dim(BarrierExperiment::new(n, Algorithm::HostGb { dim: 1 }).nic(nic));
+        t.row(vec![
+            n.to_string(),
+            us(nic_pe),
+            format!("{} (d={nd})", us(ngb.mean_us)),
+            us(host_pe),
+            format!("{} (d={hd})", us(hgb.mean_us)),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// Figure 5(b)/(d): factor of improvement vs nodes.
+fn fig5_improvement(nic: NicModel, sizes: &[usize], id: &str) {
+    println!(
+        "\n=== {id}: factor of improvement (host / NIC), {} ===",
+        nic.name
+    );
+    let mut t = Table::new(vec!["nodes", "PE factor", "GB factor"]);
+    for &n in sizes {
+        let nic_pe = measure(BarrierExperiment::new(n, Algorithm::NicPe).nic(nic));
+        let host_pe = measure(BarrierExperiment::new(n, Algorithm::HostPe).nic(nic));
+        let (_, ngb) = best_gb_dim(BarrierExperiment::new(n, Algorithm::NicGb { dim: 1 }).nic(nic));
+        let (_, hgb) =
+            best_gb_dim(BarrierExperiment::new(n, Algorithm::HostGb { dim: 1 }).nic(nic));
+        t.row(vec![
+            n.to_string(),
+            factor(host_pe / nic_pe),
+            factor(hgb.mean_us / ngb.mean_us),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// Figure 2 / Equations 1–3: analytic component model vs simulation.
+fn fig2_timing_model() {
+    println!("\n=== fig2: timing model components and Eq.1-3 vs simulation ===");
+    // The paper's Figure 2 timing diagrams (8-node example), from the model.
+    let m = CostModel::from_config(&GmConfig::paper_host(NicModel::LANAI_4_3));
+    print!("{}", gmsim_testbed::Diagram::host_barrier(&m, 8).render(96));
+    print!("{}", gmsim_testbed::Diagram::nic_barrier(&m, 8).render(96));
+    for nic in [NicModel::LANAI_4_3, NicModel::LANAI_7_2] {
+        let m = CostModel::from_config(&GmConfig::paper_host(nic));
+        println!(
+            "{}: Send={} SDMA={} Network={} Recv={} RDMA={} HRecv={} (us)",
+            nic.name,
+            us(m.send_us),
+            us(m.sdma_us),
+            us(m.network_us),
+            us(m.recv_us),
+            us(m.rdma_us),
+            us(m.hrecv_us)
+        );
+    }
+    let mut t = Table::new(vec![
+        "nic",
+        "nodes",
+        "Eq1 host (us)",
+        "sim host (us)",
+        "Eq2 nic (us)",
+        "sim nic (us)",
+        "Eq3 factor",
+        "sim factor",
+    ]);
+    for nic in [NicModel::LANAI_4_3, NicModel::LANAI_7_2] {
+        let m = CostModel::from_config(&GmConfig::paper_host(nic));
+        for n in [2usize, 4, 8, 16] {
+            if nic == NicModel::LANAI_7_2 && n == 16 {
+                continue; // the paper has only eight 7.2 cards
+            }
+            let sim_host = measure(BarrierExperiment::new(n, Algorithm::HostPe).nic(nic));
+            let sim_nic = measure(BarrierExperiment::new(n, Algorithm::NicPe).nic(nic));
+            t.row(vec![
+                nic.name.to_string(),
+                n.to_string(),
+                us(m.host_barrier_us(n)),
+                us(sim_host),
+                us(m.nic_barrier_us(n)),
+                us(sim_nic),
+                factor(m.improvement(n)),
+                factor(sim_host / sim_nic),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}
+
+/// §6 ¶2: the GB tree-dimension sweep behind "the latencies reported in the
+/// graphs are the minimum latencies over all dimensions".
+fn gb_dimension_sweep() {
+    println!("\n=== gbdim: GB latency vs tree dimension, LANai 4.3 ===");
+    for n in [4usize, 8, 16] {
+        let mut t = Table::new(vec!["dim", "NIC-GB (us)", "host-GB (us)"]);
+        let nic_exps: Vec<_> = (1..n)
+            .map(|d| BarrierExperiment::new(n, Algorithm::NicGb { dim: d }))
+            .collect();
+        let host_exps: Vec<_> = (1..n)
+            .map(|d| BarrierExperiment::new(n, Algorithm::HostGb { dim: d }))
+            .collect();
+        let nic_res = run_all(&nic_exps);
+        let host_res = run_all(&host_exps);
+        for (i, d) in (1..n).enumerate() {
+            t.row(vec![
+                d.to_string(),
+                us(nic_res[i].mean_us),
+                us(host_res[i].mean_us),
+            ]);
+        }
+        println!("-- {n} nodes --");
+        print!("{}", t.render());
+    }
+}
+
+/// The in-text headline numbers (§1/§6) against our measurements.
+fn headline() {
+    println!("\n=== headline: paper's published numbers vs this reproduction ===");
+    let l43 = NicModel::LANAI_4_3;
+    let l72 = NicModel::LANAI_7_2;
+    let nic_pe_16 = measure(BarrierExperiment::new(16, Algorithm::NicPe).nic(l43));
+    let host_pe_16 = measure(BarrierExperiment::new(16, Algorithm::HostPe).nic(l43));
+    let nic_pe_8_43 = measure(BarrierExperiment::new(8, Algorithm::NicPe).nic(l43));
+    let host_pe_8_43 = measure(BarrierExperiment::new(8, Algorithm::HostPe).nic(l43));
+    let (_, nic_gb_16) =
+        best_gb_dim(BarrierExperiment::new(16, Algorithm::NicGb { dim: 1 }).nic(l43));
+    let (_, host_gb_16) =
+        best_gb_dim(BarrierExperiment::new(16, Algorithm::HostGb { dim: 1 }).nic(l43));
+    let nic_pe_8_72 = measure(BarrierExperiment::new(8, Algorithm::NicPe).nic(l72));
+    let host_pe_8_72 = measure(BarrierExperiment::new(8, Algorithm::HostPe).nic(l72));
+    let mut t = Table::new(vec!["metric", "paper", "measured", "error"]);
+    let mut row = |name: &str, paper: f64, got: f64, is_factor: bool| {
+        let err = (got - paper) / paper * 100.0;
+        t.row(vec![
+            name.to_string(),
+            if is_factor { factor(paper) } else { us(paper) },
+            if is_factor { factor(got) } else { us(got) },
+            format!("{err:+.1}%"),
+        ]);
+    };
+    row("NIC-PE 16n LANai4.3 (us)", 102.14, nic_pe_16, false);
+    row("NIC-GB 16n LANai4.3 (us)", 152.27, nic_gb_16.mean_us, false);
+    row("PE improvement 16n L4.3", 1.78, host_pe_16 / nic_pe_16, true);
+    row(
+        "GB improvement 16n L4.3",
+        1.46,
+        host_gb_16.mean_us / nic_gb_16.mean_us,
+        true,
+    );
+    row("PE improvement 8n L4.3", 1.66, host_pe_8_43 / nic_pe_8_43, true);
+    row("NIC-PE 8n LANai7.2 (us)", 49.25, nic_pe_8_72, false);
+    row("host-PE 8n LANai7.2 (us)", 90.24, host_pe_8_72, false);
+    row("PE improvement 8n L7.2", 1.83, host_pe_8_72 / nic_pe_8_72, true);
+    print!("{}", t.render());
+}
+
+/// §2.2's scaling prediction: the factor grows with system size and NIC
+/// speed.
+fn scaling_study() {
+    println!("\n=== scale: factor of improvement vs nodes and NIC generation ===");
+    let mut t = Table::new(vec!["nodes", "LANai 4.3", "LANai 7.2", "LANai 9"]);
+    for n in [4usize, 16, 64, 256] {
+        let mut cells = vec![n.to_string()];
+        for nic in NicModel::ALL {
+            let rounds = if n >= 64 { (60, 10) } else { (220, 20) };
+            let nic_pe = measure(
+                BarrierExperiment::new(n, Algorithm::NicPe)
+                    .nic(nic)
+                    .rounds(rounds.0, rounds.1),
+            );
+            let host_pe = measure(
+                BarrierExperiment::new(n, Algorithm::HostPe)
+                    .nic(nic)
+                    .rounds(rounds.0, rounds.1),
+            );
+            cells.push(factor(host_pe / nic_pe));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+}
+
+/// §2.2's layering prediction: "as the host send overhead increases, say
+/// from the addition of another programming layer such as MPI, the factor
+/// of improvement will increase".
+fn layer_study() {
+    println!("\n=== layer: factor of improvement vs host-layer overhead, 16n LANai 4.3 ===");
+    let mut t = Table::new(vec![
+        "layer factor",
+        "host-PE (us)",
+        "NIC-PE (us)",
+        "improvement",
+    ]);
+    for mult in [1.0f64, 1.5, 2.0, 3.0, 4.0] {
+        let host = measure(BarrierExperiment::new(16, Algorithm::HostPe).layer(mult));
+        let nic = measure(BarrierExperiment::new(16, Algorithm::NicPe).layer(mult));
+        t.row(vec![
+            format!("{mult:.1}x"),
+            us(host),
+            us(nic),
+            factor(host / nic),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// §2.1's fuzzy barrier: computation hidden inside the NIC barrier.
+fn fuzzy_study() {
+    println!("\n=== fuzzy: compute overlapped with the NIC barrier, 8n LANai 4.3 ===");
+    let mut t = Table::new(vec![
+        "compute (us)",
+        "blocking period (us)",
+        "fuzzy period (us)",
+        "hidden (us)",
+    ]);
+    for compute in [0u64, 20, 40, 60, 80, 120] {
+        let blocking = FuzzyExperiment::new(8, compute, false).run().mean_us;
+        let fuzzy = FuzzyExperiment::new(8, compute, true).run().mean_us;
+        t.row(vec![
+            compute.to_string(),
+            us(blocking),
+            us(fuzzy),
+            us(blocking - fuzzy),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// §8 / CAC'01 follow-up: MPI_Barrier bound to the NIC-based vs host-based
+/// barrier under an MPI-like layer, raw barrier latency and a BSP app.
+fn mpi_study() {
+    use gmsim_des::SimTime;
+    use gmsim_gm::cluster::ClusterBuilder;
+    use gmsim_mpi::{script, MpiConfig, MpiProcess, NOTE_MPI_DONE};
+    use nic_barrier::{BarrierExtension, BarrierGroup};
+
+    let run = |n: usize, config: MpiConfig, barriers: u64| -> f64 {
+        let group = BarrierGroup::one_per_node(n, 1);
+        let mut b = ClusterBuilder::new(n)
+            .config(GmConfig::paper_host(NicModel::LANAI_4_3))
+            .extension(BarrierExtension::factory());
+        for rank in 0..n {
+            b = b.program(
+                group.member(rank),
+                Box::new(MpiProcess::new(
+                    group.clone(),
+                    rank,
+                    config,
+                    script().repeat(barriers, |s| s.barrier()).build(),
+                )),
+                SimTime::ZERO,
+            );
+        }
+        let mut sim = b.build();
+        sim.run();
+        sim.world()
+            .notes
+            .iter()
+            .filter(|nt| nt.tag == NOTE_MPI_DONE)
+            .map(|nt| nt.at)
+            .max()
+            .expect("mpi run did not finish")
+            .as_us_f64()
+            / barriers as f64
+    };
+    println!("\n=== mpi: MPI_Barrier over GM, NIC-bound vs host-bound (per-barrier us) ===");
+    let mut t = Table::new(vec![
+        "nodes",
+        "MPI host-based (us)",
+        "MPI NIC-based (us)",
+        "factor",
+        "raw-GM factor",
+    ]);
+    for n in [2usize, 4, 8, 16] {
+        let host = run(n, MpiConfig::host_based(), 60);
+        let nic = run(n, MpiConfig::nic_based(), 60);
+        let raw_host = measure(BarrierExperiment::new(n, Algorithm::HostPe));
+        let raw_nic = measure(BarrierExperiment::new(n, Algorithm::NicPe));
+        t.row(vec![
+            n.to_string(),
+            us(host),
+            us(nic),
+            factor(host / nic),
+            factor(raw_host / raw_nic),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(the MPI factor exceeding the raw-GM factor is the paper's §2.2/§8 prediction)");
+}
+
+/// §1's host-utilization claim: "Because the barrier algorithm is
+/// performed at the NIC, the processor is free to perform computation
+/// while polling for the barrier to complete."
+fn util_study() {
+    use gmsim_des::SimTime;
+    use gmsim_gm::cluster::ClusterBuilder;
+    use nic_barrier::programs::{NicAlgorithm, NicBarrierLoop};
+    use nic_barrier::{BarrierExtension, BarrierGroup, HostPeBarrier};
+
+    // Run a barrier stream and report how much host time each barrier
+    // costs (the rest is available to the application).
+    let run = |n: usize, nic_based: bool, rounds: u64| -> (f64, f64) {
+        let group = BarrierGroup::one_per_node(n, 1);
+        let mut b = ClusterBuilder::new(n)
+            .config(GmConfig::paper_host(NicModel::LANAI_4_3))
+            .extension(BarrierExtension::factory());
+        for rank in 0..n {
+            let prog: Box<dyn gmsim_gm::HostProgram> = if nic_based {
+                Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, rounds))
+            } else {
+                Box::new(HostPeBarrier::new(&group, rank, rounds))
+            };
+            b = b.program(group.member(rank), prog, SimTime::ZERO);
+        }
+        let mut sim = b.build();
+        sim.run();
+        let cl = sim.world();
+        let total = cl
+            .notes
+            .iter()
+            .map(|nt| nt.at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .as_us_f64();
+        // Host busy time on node 0: send initiations + event processing.
+        let cfg = cl.config();
+        let h = &cl.nodes[0].host.stats;
+        let busy = h.sends as f64 * cfg.host_send_overhead.as_us_f64()
+            + h.events as f64 * cfg.host_recv_overhead.as_us_f64()
+            + h.compute.as_us_f64();
+        (busy / rounds as f64, total / rounds as f64)
+    };
+    println!("\n=== util: host processor cost per barrier (16 nodes, LANai 4.3) ===");
+    let mut t = Table::new(vec![
+        "implementation",
+        "host busy (us/barrier)",
+        "period (us)",
+        "host free",
+    ]);
+    for (name, nic_based) in [("NIC-based PE", true), ("host-based PE", false)] {
+        let (busy, period) = run(16, nic_based, 120);
+        t.row(vec![
+            name.to_string(),
+            us(busy),
+            us(period),
+            format!("{:.0}%", (1.0 - busy / period) * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(the freed host time is what the fuzzy barrier converts into computation)");
+}
+
+/// Diagnostic: the measured wire-event interleaving of one 4-node
+/// NIC-based PE barrier (every packet send and reception, in virtual-time
+/// order). Not a paper figure; it shows the §5.2 firmware chaining live.
+fn trace_one_barrier() {
+    use gmsim_des::SimTime;
+    use gmsim_gm::cluster::ClusterBuilder;
+    use nic_barrier::programs::{NicAlgorithm, NicBarrierLoop};
+    use nic_barrier::{BarrierExtension, BarrierGroup};
+
+    println!("\n=== trace: one 4-node NIC-based PE barrier, every wire event ===");
+    let group = BarrierGroup::one_per_node(4, 1);
+    let mut b = ClusterBuilder::new(4)
+        .config(GmConfig::paper_host(NicModel::LANAI_4_3))
+        .trace(4096)
+        .extension(BarrierExtension::factory());
+    for rank in 0..4 {
+        b = b.program(
+            group.member(rank),
+            Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, 1)),
+            SimTime::ZERO,
+        );
+    }
+    let mut sim = b.build();
+    sim.run();
+    let cl = sim.world();
+    for rec in cl.trace.records() {
+        println!("  {rec}");
+    }
+    for note in &cl.notes {
+        println!(
+            "  [{:>12}] host{}: barrier complete",
+            note.at.as_ns(),
+            note.node.0
+        );
+    }
+}
+
+/// Extension beyond the paper: dissemination barrier vs PE, NIC- and
+/// host-based. Dissemination's send/receive peers differ per round, so it
+/// pays one extra half-round of skew tolerance but no fold steps at
+/// non-powers of two.
+fn dissemination_study() {
+    println!("\n=== dissem: dissemination barrier vs PE (extension), LANai 4.3 ===");
+    let mut t = Table::new(vec![
+        "procs",
+        "NIC-PE (us)",
+        "NIC-dissem (us)",
+        "host-PE (us)",
+        "host-dissem (us)",
+    ]);
+    for n in [2usize, 3, 4, 6, 8, 12, 16] {
+        let cells = vec![
+            n.to_string(),
+            us(measure(BarrierExperiment::new(n, Algorithm::NicPe))),
+            us(measure(BarrierExperiment::new(n, Algorithm::NicDissemination))),
+            us(measure(BarrierExperiment::new(n, Algorithm::HostPe))),
+            us(measure(BarrierExperiment::new(n, Algorithm::HostDissemination))),
+        ];
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!("(at non-powers of two dissemination avoids PE's fold steps)");
+}
+
+/// Ablations of the §3 design choices.
+fn ablations() {
+    println!("\n=== ablate: design-choice ablations ===");
+    // 1. Reliability: the paper's unreliable prototype vs the integrated
+    //    reliable stream (§3.3/4.4).
+    let mut t = Table::new(vec!["config", "NIC-PE 16n (us)"]);
+    for (name, wire) in [
+        (
+            "reliable barrier packets (adopted design)",
+            CollectiveWireMode::Reliable,
+        ),
+        (
+            "unreliable (paper's measured prototype)",
+            CollectiveWireMode::Unreliable,
+        ),
+    ] {
+        let m = measure(BarrierExperiment::new(16, Algorithm::NicPe).wire(wire));
+        t.row(vec![name.to_string(), us(m)]);
+    }
+    print!("{}", t.render());
+
+    // 2. §3.4 same-NIC optimization, 16 processes packed 2 per node.
+    let mut t = Table::new(vec!["config", "NIC-PE 16 procs / 8 nodes (us)"]);
+    for (name, on) in [
+        ("same-NIC flag optimization ON", true),
+        ("OFF (loopback packets)", false),
+    ] {
+        let m = measure(
+            BarrierExperiment::new(16, Algorithm::NicPe)
+                .placement(Placement::Packed { procs_per_node: 2 })
+                .same_nic_opt(on),
+        );
+        t.row(vec![name.to_string(), us(m)]);
+    }
+    print!("{}", t.render());
+
+    // 3. Unexpected-record cost sensitivity: a 4x more expensive record
+    //    (e.g. a hash probe instead of the paper's bit test).
+    let mut slow = BarrierCosts::GM_1_2_3;
+    slow.record_cycles *= 4;
+    let mut t = Table::new(vec!["config", "NIC-PE 16n (us)"]);
+    t.row(vec![
+        "bit-array record (paper, O(1))".to_string(),
+        us(measure(BarrierExperiment::new(16, Algorithm::NicPe))),
+    ]);
+    t.row(vec![
+        "4x record cost".to_string(),
+        us(measure(BarrierExperiment::new(16, Algorithm::NicPe).costs(slow))),
+    ]);
+    print!("{}", t.render());
+}

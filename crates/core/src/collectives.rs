@@ -1,0 +1,161 @@
+//! Collective operation descriptors.
+//!
+//! The barrier is the paper's contribution; §8 names reductions and
+//! broadcast as future work ("we intend to investigate whether other
+//! collective communication operations, such as reductions or all-to-all
+//! broadcast could benefit from similar NIC-level implementations"). We
+//! implement them on the same firmware machinery: a reduce is a gather
+//! phase that combines values, a broadcast is the broadcast phase carrying
+//! a value, an allreduce is both.
+
+use gmsim_gm::CollectiveToken;
+
+/// Combining operator for NIC-based reductions (u64 operands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Wrapping sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Combine two operands.
+    pub fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// The identity element.
+    pub fn identity(self) -> u64 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Min => u64::MAX,
+            ReduceOp::Max => 0,
+        }
+    }
+}
+
+/// Which collective a token initiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveOp {
+    /// Pairwise-exchange barrier (§5, PE).
+    BarrierPe,
+    /// Gather-and-broadcast barrier (§5, GB).
+    BarrierGb,
+    /// NIC-based broadcast of a u64 from the tree root.
+    Broadcast,
+    /// NIC-based reduction to the tree root.
+    Reduce(ReduceOp),
+    /// NIC-based allreduce (reduce + broadcast of the result).
+    AllReduce(ReduceOp),
+}
+
+impl CollectiveOp {
+    /// Encode into the one-byte `op` field of a [`CollectiveToken`].
+    pub fn encode(self) -> u8 {
+        match self {
+            CollectiveOp::BarrierPe => 1,
+            CollectiveOp::BarrierGb => 2,
+            CollectiveOp::Broadcast => 3,
+            CollectiveOp::Reduce(ReduceOp::Sum) => 4,
+            CollectiveOp::Reduce(ReduceOp::Min) => 5,
+            CollectiveOp::Reduce(ReduceOp::Max) => 6,
+            CollectiveOp::AllReduce(ReduceOp::Sum) => 7,
+            CollectiveOp::AllReduce(ReduceOp::Min) => 8,
+            CollectiveOp::AllReduce(ReduceOp::Max) => 9,
+        }
+    }
+
+    /// Decode from a token's `op` byte.
+    pub fn decode(op: u8) -> Option<CollectiveOp> {
+        Some(match op {
+            1 => CollectiveOp::BarrierPe,
+            2 => CollectiveOp::BarrierGb,
+            3 => CollectiveOp::Broadcast,
+            4 => CollectiveOp::Reduce(ReduceOp::Sum),
+            5 => CollectiveOp::Reduce(ReduceOp::Min),
+            6 => CollectiveOp::Reduce(ReduceOp::Max),
+            7 => CollectiveOp::AllReduce(ReduceOp::Sum),
+            8 => CollectiveOp::AllReduce(ReduceOp::Min),
+            9 => CollectiveOp::AllReduce(ReduceOp::Max),
+            _ => return None,
+        })
+    }
+
+    /// The operation a token carries.
+    ///
+    /// # Panics
+    /// Panics on an unknown opcode — tokens are only built by this crate.
+    pub fn of(token: &CollectiveToken) -> CollectiveOp {
+        CollectiveOp::decode(token.op)
+            .unwrap_or_else(|| panic!("unknown collective opcode {}", token.op))
+    }
+
+    /// True for tree-shaped collectives (everything but PE).
+    pub fn is_tree(self) -> bool {
+        !matches!(self, CollectiveOp::BarrierPe)
+    }
+
+    /// The reduce operator, if this collective combines values.
+    pub fn reduce_op(self) -> Option<ReduceOp> {
+        match self {
+            CollectiveOp::Reduce(op) | CollectiveOp::AllReduce(op) => Some(op),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let ops = [
+            CollectiveOp::BarrierPe,
+            CollectiveOp::BarrierGb,
+            CollectiveOp::Broadcast,
+            CollectiveOp::Reduce(ReduceOp::Sum),
+            CollectiveOp::Reduce(ReduceOp::Min),
+            CollectiveOp::Reduce(ReduceOp::Max),
+            CollectiveOp::AllReduce(ReduceOp::Sum),
+            CollectiveOp::AllReduce(ReduceOp::Min),
+            CollectiveOp::AllReduce(ReduceOp::Max),
+        ];
+        for op in ops {
+            assert_eq!(CollectiveOp::decode(op.encode()), Some(op));
+        }
+        assert_eq!(CollectiveOp::decode(0), None);
+        assert_eq!(CollectiveOp::decode(200), None);
+    }
+
+    #[test]
+    fn reduce_semantics() {
+        assert_eq!(ReduceOp::Sum.combine(3, 4), 7);
+        assert_eq!(ReduceOp::Sum.combine(u64::MAX, 1), 0, "wrapping");
+        assert_eq!(ReduceOp::Min.combine(3, 4), 3);
+        assert_eq!(ReduceOp::Max.combine(3, 4), 4);
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            for x in [0u64, 1, 17, u64::MAX] {
+                assert_eq!(op.combine(op.identity(), x), x, "{op:?} identity");
+            }
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!CollectiveOp::BarrierPe.is_tree());
+        assert!(CollectiveOp::BarrierGb.is_tree());
+        assert_eq!(CollectiveOp::BarrierGb.reduce_op(), None);
+        assert_eq!(
+            CollectiveOp::AllReduce(ReduceOp::Min).reduce_op(),
+            Some(ReduceOp::Min)
+        );
+    }
+}

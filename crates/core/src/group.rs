@@ -1,0 +1,296 @@
+//! Barrier groups: ordered endpoint lists and their collective tokens.
+//!
+//! "A barrier operation synchronizes the processes which are attached to
+//! the specified endpoints" (§3, system model). A [`BarrierGroup`] is that
+//! endpoint list; each member builds its own collective token from its rank
+//! — the PE step list, or its GB parent/children neighbourhood (§5.1: only
+//! the neighbourhood crosses the host/NIC boundary, never the full list).
+
+use crate::collectives::{CollectiveOp, ReduceOp};
+use crate::schedule::{dissemination, gb, pe};
+use gmsim_gm::{CollectiveStep, CollectiveToken, GlobalPort, StepKind};
+
+fn map_steps(members: &[GlobalPort], steps: Vec<pe::Step>) -> Vec<CollectiveStep> {
+    steps
+        .into_iter()
+        .map(|s| match s {
+            pe::Step::Exchange(p) => CollectiveStep {
+                peer: members[p],
+                kind: StepKind::SendRecv,
+            },
+            pe::Step::SendTo(p) => CollectiveStep {
+                peer: members[p],
+                kind: StepKind::SendOnly,
+            },
+            pe::Step::RecvFrom(p) => CollectiveStep {
+                peer: members[p],
+                kind: StepKind::RecvOnly,
+            },
+        })
+        .collect()
+}
+
+/// An ordered set of endpoints participating in collectives together.
+///
+/// ```
+/// use nic_barrier::BarrierGroup;
+///
+/// // Port 1 on each of 8 nodes.
+/// let group = BarrierGroup::one_per_node(8, 1);
+/// assert_eq!(group.len(), 8);
+///
+/// // Rank 3's PE schedule: 3 exchanges, peers 3^1, 3^2, 3^4.
+/// let steps = group.pe_steps(3);
+/// assert_eq!(steps.len(), 3);
+///
+/// // Its GB neighbourhood in a binary tree: parent rank 1, child rank 7.
+/// let token = group.gb_token(3, 2);
+/// assert_eq!(token.parent, Some(group.member(1)));
+/// assert_eq!(token.children, vec![group.member(7)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierGroup {
+    members: Vec<GlobalPort>,
+}
+
+impl BarrierGroup {
+    /// Build from an explicit member list.
+    ///
+    /// # Panics
+    /// Panics on duplicates — an endpoint can appear in a group once.
+    pub fn new(members: Vec<GlobalPort>) -> Self {
+        let mut seen = members.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), members.len(), "duplicate endpoint in group");
+        assert!(!members.is_empty(), "empty group");
+        BarrierGroup { members }
+    }
+
+    /// The common case: one process per node, nodes `0..n`, all on `port`.
+    pub fn one_per_node(n: usize, port: u8) -> Self {
+        BarrierGroup::new((0..n).map(|i| GlobalPort::new(i, port)).collect())
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True for a singleton group.
+    pub fn is_empty(&self) -> bool {
+        false // an invariant: groups are never empty
+    }
+
+    /// The members in rank order.
+    pub fn members(&self) -> &[GlobalPort] {
+        &self.members
+    }
+
+    /// The endpoint at `rank`.
+    pub fn member(&self, rank: usize) -> GlobalPort {
+        self.members[rank]
+    }
+
+    /// The rank of `ep`, if a member.
+    pub fn rank_of(&self, ep: GlobalPort) -> Option<usize> {
+        self.members.iter().position(|m| *m == ep)
+    }
+
+    /// The PE schedule for `rank`, as endpoint-level steps.
+    pub fn pe_steps(&self, rank: usize) -> Vec<CollectiveStep> {
+        map_steps(&self.members, pe::schedule(rank, self.len()))
+    }
+
+    /// The dissemination-barrier schedule for `rank` (extension beyond the
+    /// paper; runs on the same firmware path as PE).
+    pub fn dissemination_steps(&self, rank: usize) -> Vec<CollectiveStep> {
+        map_steps(&self.members, dissemination::schedule(rank, self.len()))
+    }
+
+    /// GB parent of `rank` as an endpoint.
+    pub fn gb_parent(&self, rank: usize, dim: usize) -> Option<GlobalPort> {
+        gb::parent(rank, dim).map(|p| self.members[p])
+    }
+
+    /// GB children of `rank` as endpoints.
+    pub fn gb_children(&self, rank: usize, dim: usize) -> Vec<GlobalPort> {
+        gb::children(rank, dim, self.len())
+            .into_iter()
+            .map(|c| self.members[c])
+            .collect()
+    }
+
+    /// The PE barrier token for `rank` (`gm_barrier_send_with_callback`).
+    pub fn pe_token(&self, rank: usize) -> CollectiveToken {
+        CollectiveToken::pairwise(CollectiveOp::BarrierPe.encode(), self.pe_steps(rank))
+    }
+
+    /// The dissemination barrier token for `rank`.
+    pub fn dissemination_token(&self, rank: usize) -> CollectiveToken {
+        CollectiveToken::pairwise(
+            CollectiveOp::BarrierPe.encode(),
+            self.dissemination_steps(rank),
+        )
+    }
+
+    /// The GB barrier token for `rank` with tree dimension `dim`.
+    pub fn gb_token(&self, rank: usize, dim: usize) -> CollectiveToken {
+        CollectiveToken::tree(
+            CollectiveOp::BarrierGb.encode(),
+            self.gb_parent(rank, dim),
+            self.gb_children(rank, dim),
+        )
+    }
+
+    /// A NIC-broadcast token; `value` matters only at the root (rank 0).
+    pub fn broadcast_token(&self, rank: usize, dim: usize, value: u64) -> CollectiveToken {
+        CollectiveToken::tree(
+            CollectiveOp::Broadcast.encode(),
+            self.gb_parent(rank, dim),
+            self.gb_children(rank, dim),
+        )
+        .with_value(value)
+    }
+
+    /// A NIC-reduce token contributing `value`; the result lands at rank 0.
+    pub fn reduce_token(
+        &self,
+        op: ReduceOp,
+        rank: usize,
+        dim: usize,
+        value: u64,
+    ) -> CollectiveToken {
+        CollectiveToken::tree(
+            CollectiveOp::Reduce(op).encode(),
+            self.gb_parent(rank, dim),
+            self.gb_children(rank, dim),
+        )
+        .with_value(value)
+    }
+
+    /// A NIC-allreduce token contributing `value`; every member receives
+    /// the result.
+    pub fn allreduce_token(
+        &self,
+        op: ReduceOp,
+        rank: usize,
+        dim: usize,
+        value: u64,
+    ) -> CollectiveToken {
+        CollectiveToken::tree(
+            CollectiveOp::AllReduce(op).encode(),
+            self.gb_parent(rank, dim),
+            self.gb_children(rank, dim),
+        )
+        .with_value(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_per_node_ranks() {
+        let g = BarrierGroup::one_per_node(4, 1);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.member(2), GlobalPort::new(2, 1));
+        assert_eq!(g.rank_of(GlobalPort::new(3, 1)), Some(3));
+        assert_eq!(g.rank_of(GlobalPort::new(3, 2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate endpoint")]
+    fn duplicates_rejected() {
+        BarrierGroup::new(vec![GlobalPort::new(0, 1), GlobalPort::new(0, 1)]);
+    }
+
+    #[test]
+    fn pe_token_has_log2_steps() {
+        let g = BarrierGroup::one_per_node(8, 1);
+        let t = g.pe_token(3);
+        assert_eq!(t.steps.len(), 3);
+        assert!(t.steps.iter().all(|s| s.kind == StepKind::SendRecv));
+        // step peers are rank XOR 2^k
+        assert_eq!(t.steps[0].peer, GlobalPort::new(2, 1));
+        assert_eq!(t.steps[1].peer, GlobalPort::new(1, 1));
+        assert_eq!(t.steps[2].peer, GlobalPort::new(7, 1));
+    }
+
+    #[test]
+    fn gb_token_neighbourhood_only() {
+        let g = BarrierGroup::one_per_node(7, 1);
+        let root = g.gb_token(0, 2);
+        assert!(root.is_root());
+        assert_eq!(root.children.len(), 2);
+        let mid = g.gb_token(1, 2);
+        assert_eq!(mid.parent, Some(GlobalPort::new(0, 1)));
+        assert_eq!(
+            mid.children,
+            vec![GlobalPort::new(3, 1), GlobalPort::new(4, 1)]
+        );
+        let leaf = g.gb_token(5, 2);
+        assert!(leaf.children.is_empty());
+    }
+
+    #[test]
+    fn value_tokens_carry_operands() {
+        let g = BarrierGroup::one_per_node(4, 1);
+        assert_eq!(g.broadcast_token(0, 2, 42).value, 42);
+        let r = g.reduce_token(ReduceOp::Min, 3, 2, 9);
+        assert_eq!(r.value, 9);
+        assert_eq!(
+            CollectiveOp::decode(r.op),
+            Some(CollectiveOp::Reduce(ReduceOp::Min))
+        );
+        let a = g.allreduce_token(ReduceOp::Sum, 1, 3, 5);
+        assert_eq!(
+            CollectiveOp::decode(a.op),
+            Some(CollectiveOp::AllReduce(ReduceOp::Sum))
+        );
+    }
+
+    #[test]
+    fn dissemination_steps_alternate() {
+        let g = BarrierGroup::one_per_node(6, 1);
+        let steps = g.dissemination_steps(2);
+        // rounds for 6: ceil(log2 6) = 3, two steps each
+        assert_eq!(steps.len(), 6);
+        for (i, s) in steps.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(s.kind, StepKind::SendOnly);
+            } else {
+                assert_eq!(s.kind, StepKind::RecvOnly);
+            }
+        }
+        // round 0: send to rank 3, recv from rank 1
+        assert_eq!(steps[0].peer, GlobalPort::new(3, 1));
+        assert_eq!(steps[1].peer, GlobalPort::new(1, 1));
+    }
+
+    #[test]
+    fn dissemination_token_reuses_pe_opcode() {
+        let g = BarrierGroup::one_per_node(4, 1);
+        let t = g.dissemination_token(0);
+        assert_eq!(
+            CollectiveOp::decode(t.op),
+            Some(CollectiveOp::BarrierPe),
+            "dissemination runs on the PE firmware path"
+        );
+        assert!(!t.steps.is_empty());
+    }
+
+    #[test]
+    fn multi_port_groups_supported() {
+        // Two processes on node 0, one on node 1 — §3.4's concurrency case.
+        let g = BarrierGroup::new(vec![
+            GlobalPort::new(0, 1),
+            GlobalPort::new(0, 2),
+            GlobalPort::new(1, 1),
+        ]);
+        assert_eq!(g.len(), 3);
+        let steps = g.pe_steps(0);
+        assert!(!steps.is_empty());
+    }
+}

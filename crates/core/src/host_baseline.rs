@@ -1,0 +1,345 @@
+//! Host-based barrier baselines (the paper's comparator).
+//!
+//! "Most current clusters use software barriers based on *host-based*
+//! point-to-point communication" (§1). These programs run the same PE and
+//! GB algorithms as the NIC extension, but every message is an ordinary GM
+//! send: host → NIC → wire → NIC → host at every hop. The evaluation's
+//! factor of improvement is NIC-based latency versus these.
+//!
+//! Each program runs `rounds` consecutive barriers back to back (the paper
+//! averages 100 000) and emits a [`note`](gmsim_gm::HostCtx::note) at every
+//! completion; the testbed turns those notes into mean latency.
+//!
+//! Message tags encode `(round, phase)` so that messages from a peer that
+//! has already raced ahead into the next barrier are parked in a host-side
+//! unexpected set — the same §3.1 problem, solved at host level.
+
+use crate::group::BarrierGroup;
+use crate::programs::note_tag;
+use gmsim_gm::{GlobalPort, GmEvent, HostCtx, HostProgram, StepKind};
+use std::collections::HashSet;
+
+/// Barrier payload size used by the host baselines (bytes).
+pub const HOST_BARRIER_MSG_BYTES: usize = 8;
+
+fn pe_tag(round: u64) -> u64 {
+    round
+}
+
+/// Host-based pairwise-exchange barrier, `rounds` consecutive times.
+pub struct HostPeBarrier {
+    steps: Vec<gmsim_gm::CollectiveStep>,
+    rounds: u64,
+    round: u64,
+    idx: usize,
+    sent_current: bool,
+    unexpected: HashSet<(GlobalPort, u64)>,
+}
+
+impl HostPeBarrier {
+    /// The program for `rank` of `group`.
+    pub fn new(group: &BarrierGroup, rank: usize, rounds: u64) -> Self {
+        Self::with_steps(group.pe_steps(rank), rounds)
+    }
+
+    /// A host-based *dissemination* barrier (extension beyond the paper):
+    /// the same engine over the dissemination schedule.
+    pub fn dissemination(group: &BarrierGroup, rank: usize, rounds: u64) -> Self {
+        Self::with_steps(group.dissemination_steps(rank), rounds)
+    }
+
+    /// Run an arbitrary step schedule as a host-based barrier loop.
+    pub fn with_steps(steps: Vec<gmsim_gm::CollectiveStep>, rounds: u64) -> Self {
+        HostPeBarrier {
+            steps,
+            rounds,
+            round: 0,
+            idx: 0,
+            sent_current: false,
+            unexpected: HashSet::new(),
+        }
+    }
+
+    fn advance(&mut self, ctx: &mut HostCtx) {
+        while self.round < self.rounds {
+            if self.idx == self.steps.len() {
+                ctx.note(note_tag(self.round));
+                self.round += 1;
+                self.idx = 0;
+                self.sent_current = false;
+                continue;
+            }
+            let step = self.steps[self.idx];
+            let key = (step.peer, pe_tag(self.round));
+            match step.kind {
+                StepKind::SendOnly => {
+                    ctx.send(step.peer, HOST_BARRIER_MSG_BYTES, pe_tag(self.round));
+                    self.idx += 1;
+                }
+                StepKind::SendRecv => {
+                    if !self.sent_current {
+                        ctx.send(step.peer, HOST_BARRIER_MSG_BYTES, pe_tag(self.round));
+                        self.sent_current = true;
+                    }
+                    if self.unexpected.remove(&key) {
+                        self.idx += 1;
+                        self.sent_current = false;
+                    } else {
+                        return;
+                    }
+                }
+                StepKind::RecvOnly => {
+                    if self.unexpected.remove(&key) {
+                        self.idx += 1;
+                    } else {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl HostProgram for HostPeBarrier {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        self.advance(ctx);
+    }
+
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        if let GmEvent::Recv { src, tag, .. } = ev {
+            ctx.provide_recv(1);
+            let fresh = self.unexpected.insert((*src, *tag));
+            debug_assert!(fresh, "duplicate barrier message {src:?}/{tag}");
+            self.advance(ctx);
+        }
+    }
+}
+
+/// Tag encoding for the GB phases.
+fn gb_tag(round: u64, bcast: bool) -> u64 {
+    (round << 1) | u64::from(bcast)
+}
+
+/// Host-based gather-broadcast barrier over a `dim`-ary tree, `rounds`
+/// consecutive times.
+pub struct HostGbBarrier {
+    parent: Option<GlobalPort>,
+    children: Vec<GlobalPort>,
+    rounds: u64,
+    round: u64,
+    gathers_left: Vec<GlobalPort>,
+    gather_sent: bool,
+    unexpected: HashSet<(GlobalPort, u64)>,
+}
+
+impl HostGbBarrier {
+    /// The program for `rank` of `group` with tree dimension `dim`.
+    pub fn new(group: &BarrierGroup, rank: usize, dim: usize, rounds: u64) -> Self {
+        HostGbBarrier {
+            parent: group.gb_parent(rank, dim),
+            children: group.gb_children(rank, dim),
+            rounds,
+            round: 0,
+            gathers_left: group.gb_children(rank, dim),
+            gather_sent: false,
+            unexpected: HashSet::new(),
+        }
+    }
+
+    fn advance(&mut self, ctx: &mut HostCtx) {
+        while self.round < self.rounds {
+            // Gather phase: absorb children.
+            self.gathers_left
+                .retain(|c| !self.unexpected.remove(&(*c, gb_tag(self.round, false))));
+            if !self.gathers_left.is_empty() {
+                return;
+            }
+            match self.parent {
+                None => {
+                    // Root: all gathered — broadcast to every child and
+                    // exit the barrier. The sends are pipelined: the host
+                    // posts them back to back and the NIC overlaps their
+                    // processing (the effect §6 credits for host-GB's
+                    // relative strength).
+                    for c in &self.children {
+                        ctx.send(*c, HOST_BARRIER_MSG_BYTES, gb_tag(self.round, true));
+                    }
+                    self.finish_round(ctx);
+                }
+                Some(parent) => {
+                    if !self.gather_sent {
+                        ctx.send(parent, HOST_BARRIER_MSG_BYTES, gb_tag(self.round, false));
+                        self.gather_sent = true;
+                    }
+                    if self.unexpected.remove(&(parent, gb_tag(self.round, true))) {
+                        for c in &self.children {
+                            ctx.send(*c, HOST_BARRIER_MSG_BYTES, gb_tag(self.round, true));
+                        }
+                        self.finish_round(ctx);
+                    } else {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_round(&mut self, ctx: &mut HostCtx) {
+        ctx.note(note_tag(self.round));
+        self.round += 1;
+        self.gathers_left = self.children.clone();
+        self.gather_sent = false;
+    }
+}
+
+impl HostProgram for HostGbBarrier {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        self.advance(ctx);
+    }
+
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        if let GmEvent::Recv { src, tag, .. } = ev {
+            ctx.provide_recv(1);
+            let fresh = self.unexpected.insert((*src, *tag));
+            debug_assert!(fresh, "duplicate barrier message {src:?}/{tag}");
+            self.advance(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::decode_note;
+    use gmsim_des::{RunOutcome, SimTime};
+    use gmsim_gm::cluster::ClusterBuilder;
+
+    fn run_host_pe(n: usize, rounds: u64) -> Vec<(u64, SimTime)> {
+        let group = BarrierGroup::one_per_node(n, 1);
+        let mut b = ClusterBuilder::new(n);
+        for rank in 0..n {
+            b = b.program(
+                group.member(rank),
+                Box::new(HostPeBarrier::new(&group, rank, rounds)),
+                SimTime::ZERO,
+            );
+        }
+        let mut sim = b.build();
+        assert_eq!(sim.run(), RunOutcome::Quiescent);
+        sim.into_world()
+            .notes
+            .iter()
+            .filter_map(|r| decode_note(r.tag).map(|round| (round, r.at)))
+            .collect()
+    }
+
+    #[test]
+    fn pe_completes_on_every_node_every_round() {
+        for n in [2usize, 4, 8] {
+            let notes = run_host_pe(n, 3);
+            assert_eq!(notes.len(), n * 3, "n={n}");
+            for round in 0..3u64 {
+                assert_eq!(
+                    notes.iter().filter(|(r, _)| *r == round).count(),
+                    n,
+                    "round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pe_rounds_complete_in_order() {
+        let notes = run_host_pe(4, 4);
+        // No node can finish round r+1 before every node finished... not
+        // true in general, but a node's own rounds must be ordered.
+        let mut by_round: Vec<SimTime> = Vec::new();
+        for round in 0..4u64 {
+            let latest = notes
+                .iter()
+                .filter(|(r, _)| *r == round)
+                .map(|(_, t)| *t)
+                .max()
+                .unwrap();
+            by_round.push(latest);
+        }
+        assert!(by_round.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pe_barrier_synchronizes() {
+        // Barrier invariant: no node completes round r before every node
+        // has *started* round r (= completed r-1).
+        let notes = run_host_pe(8, 3);
+        for round in 1..3u64 {
+            let earliest_done_r = notes
+                .iter()
+                .filter(|(r, _)| *r == round)
+                .map(|(_, t)| *t)
+                .min()
+                .unwrap();
+            let latest_done_prev = notes
+                .iter()
+                .filter(|(r, _)| *r + 1 == round)
+                .map(|(_, t)| *t)
+                .max()
+                .unwrap();
+            assert!(
+                earliest_done_r > latest_done_prev,
+                "round {round} overlapped its predecessor"
+            );
+        }
+    }
+
+    #[test]
+    fn gb_completes_for_all_dimensions() {
+        let n = 6;
+        for dim in 1..n {
+            let group = BarrierGroup::one_per_node(n, 1);
+            let mut b = ClusterBuilder::new(n);
+            for rank in 0..n {
+                b = b.program(
+                    group.member(rank),
+                    Box::new(HostGbBarrier::new(&group, rank, dim, 2)),
+                    SimTime::ZERO,
+                );
+            }
+            let mut sim = b.build();
+            assert_eq!(sim.run(), RunOutcome::Quiescent, "dim={dim}");
+            let done = sim
+                .world()
+                .notes
+                .iter()
+                .filter(|r| decode_note(r.tag).is_some())
+                .count();
+            assert_eq!(done, n * 2, "dim={dim}");
+        }
+    }
+
+    #[test]
+    fn skewed_starts_still_synchronize() {
+        let n = 4;
+        let group = BarrierGroup::one_per_node(n, 1);
+        let mut b = ClusterBuilder::new(n);
+        for rank in 0..n {
+            b = b.program(
+                group.member(rank),
+                Box::new(HostPeBarrier::new(&group, rank, 2)),
+                SimTime::from_us(rank as u64 * 37),
+            );
+        }
+        let mut sim = b.build();
+        assert_eq!(sim.run(), RunOutcome::Quiescent);
+        // The slowest starter gates everyone: nobody completes round 0
+        // before the last start (node 3 at 111us).
+        let first_done = sim
+            .world()
+            .notes
+            .iter()
+            .filter(|r| decode_note(r.tag) == Some(0))
+            .map(|r| r.at)
+            .min()
+            .unwrap();
+        assert!(first_done > SimTime::from_us(111));
+    }
+}

@@ -1,0 +1,53 @@
+//! **NIC-based barrier over Myrinet/GM** — the primary contribution of
+//! Buntinas, Panda & Sadayappan (IPPS 2001), reproduced over the simulated
+//! GM stack in [`gmsim_gm`].
+//!
+//! The idea (§2.1 of the paper): instead of every barrier message making the
+//! full host→NIC→wire→NIC→host round trip, the host posts *one* collective
+//! send token; the NIC firmware then runs the whole barrier — the reception
+//! of one barrier packet directly triggers the transmission of the next —
+//! and finally DMAs a single `GM_BARRIER_COMPLETED_EVENT` to the host.
+//!
+//! What this crate provides:
+//!
+//! * [`schedule`] — pure schedule construction: pairwise-exchange (PE,
+//!   MPICH-style, generalized to non-power-of-two groups) and
+//!   gather-broadcast (GB) trees of configurable dimension, computed **on
+//!   the host** exactly as §5.1 argues.
+//! * [`group`] — a barrier group (ordered endpoint list) that builds the
+//!   per-rank collective tokens.
+//! * [`unexpected`] — the §3.1 unexpected-barrier-message record: a bit
+//!   array per (local port, remote endpoint) with epoch/value side data.
+//! * [`nic`] — **the firmware extension**: PE and GB barriers executed by
+//!   the MCP, multiple concurrent barriers (one per port), the §3.4
+//!   same-NIC optimization, and the §3.2 record-then-reject-on-open
+//!   handling of stale messages.
+//! * [`collectives`] — the paper's future work (§8) implemented: NIC-based
+//!   broadcast, reduce and allreduce on the same machinery.
+//! * [`host_baseline`] — the comparator: host-based PE and GB barriers over
+//!   plain GM sends/receives.
+//! * [`programs`] — ready-made [`gmsim_gm::HostProgram`]s that run streams
+//!   of consecutive barriers for measurement, including the fuzzy-barrier
+//!   variant (§2.1) that overlaps computation with synchronization.
+//! * [`analytic`] — Equations (1)–(3): predicted latencies and the factor
+//!   of improvement, derived from the same configuration the simulator
+//!   uses.
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod collectives;
+pub mod group;
+pub mod host_baseline;
+pub mod nic;
+pub mod programs;
+pub mod schedule;
+pub mod unexpected;
+
+pub use analytic::CostModel;
+pub use collectives::{CollectiveOp, ReduceOp};
+pub use group::BarrierGroup;
+pub use host_baseline::{HostGbBarrier, HostPeBarrier};
+pub use nic::{BarrierCosts, BarrierExtension, BarrierStats};
+pub use programs::{FuzzyBarrierLoop, NicBarrierLoop, NOTE_BARRIER_DONE};
+pub use unexpected::UnexpectedRecord;

@@ -1,0 +1,1083 @@
+//! The NIC-based barrier firmware extension (§4–5 of the paper).
+//!
+//! This is the paper's contribution: collective logic executing inside the
+//! MCP. The host posts a single collective send token
+//! ([`gmsim_gm::CollectiveToken`]); from then on "as soon as a NIC receives
+//! a barrier message, the message to the next process can be sent directly"
+//! (§2.1) — no host round trips until the final completion RDMA.
+//!
+//! Design choices mapped to the paper:
+//!
+//! * **State in the send token, pointer in the port** (§4.2): each port
+//!   slot holds at most one [`Active`] run — which is exactly the paper's
+//!   "send token pointer in the port data structure", and what makes
+//!   *multiple concurrent barriers* (one per port) work.
+//! * **Unexpected messages** (§3.1/4.3): every arriving collective packet
+//!   is first recorded in the per-(port, endpoint) bit array, then the
+//!   addressed port's state machine is *poked* and consumes the record if
+//!   it is the one it is waiting for. Recording-then-poking makes early,
+//!   late and out-of-order arrivals all take the same code path.
+//! * **Closed ports** (§3.2): packets for closed ports are recorded; when
+//!   the port opens, every record is *rejected* back to its sender, which
+//!   resends iff its own port epoch still matches ("but only if the
+//!   endpoint that initiated the barrier has not closed since the message
+//!   was sent").
+//! * **Same-NIC optimization** (§3.4): when the peer endpoint lives on this
+//!   NIC, "a barrier message need not actually be sent, but rather just
+//!   have a flag set". Local deliveries go through a work queue drained at
+//!   the end of each firmware entry point, so co-located endpoints chain
+//!   without unbounded recursion.
+//! * **Completion order** (§5.2): completion is DMAed to the host *before*
+//!   broadcast packets are forwarded, exactly as the paper describes for
+//!   both the root and interior GB nodes.
+
+use crate::collectives::CollectiveOp;
+use crate::unexpected::{RecordMeta, UnexpectedRecord};
+use gmsim_des::SimTime;
+use gmsim_gm::{
+    CollectiveStep, CollectiveToken, ExtPacket, GlobalPort, GmConfig, GmEvent, McpCore,
+    McpExtension, McpOutput, NodeId, PortId, StepKind, GM_NUM_PORTS,
+};
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Extension packet types (§5.2: "There is a separate packet type for each
+/// phase").
+pub mod pkt {
+    /// Pairwise-exchange barrier message.
+    pub const PE: u8 = 1;
+    /// GB/reduce gather-phase message (child → parent, may carry a value).
+    pub const GATHER: u8 = 2;
+    /// GB/broadcast broadcast-phase message (parent → child).
+    pub const BCAST: u8 = 3;
+    /// §3.2 rejection of a message that arrived for a closed port.
+    pub const REJECT: u8 = 4;
+}
+
+/// Firmware cycle costs of the barrier extension handlers.
+///
+/// PE costs are calibrated so the simulated latencies land on the paper's
+/// published numbers; GB costs reflect the heavier per-hop tree bookkeeping
+/// the paper blames for GB's worse two-node latency (§6: "because of the
+/// overhead of processing the barrier algorithm at the NIC").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierCosts {
+    /// PE collective-token pickup.
+    pub pe_token_cycles: u64,
+    /// PE send half-step: prepare the packet for the current destination
+    /// and queue the token (§5.2's SDMA-side work).
+    pub pe_send_cycles: u64,
+    /// PE match half-step: clear the bit, bump the node index, write the
+    /// next destination, re-queue (§5.2's RDMA-side five-step update).
+    pub pe_match_cycles: u64,
+    /// Tree collective-token pickup.
+    pub gb_token_cycles: u64,
+    /// Consuming one gather message (tree walk + combine).
+    pub gb_gather_cycles: u64,
+    /// Re-queueing the token for one broadcast child.
+    pub gb_child_cycles: u64,
+    /// Recording an unexpected message (bit set).
+    pub record_cycles: u64,
+    /// Same-NIC optimization: setting the local flag instead of sending.
+    pub local_flag_cycles: u64,
+}
+
+impl BarrierCosts {
+    /// Calibrated against the paper's LANai 4.3 / 7.2 measurements
+    /// (DESIGN.md §9 and EXPERIMENTS.md).
+    pub const GM_1_2_3: BarrierCosts = BarrierCosts {
+        pe_token_cycles: 40,
+        pe_send_cycles: 215,
+        pe_match_cycles: 205,
+        // GB's token is far heavier than PE's: the firmware must parse the
+        // parent/children neighbourhood and set up tree state, and the
+        // LANai is slow — this is the §6 "overhead of processing the
+        // barrier algorithm at the NIC" that makes NIC-GB lose to host-GB
+        // at two nodes. Per-hop costs are PE-like.
+        gb_token_cycles: 1420,
+        gb_gather_cycles: 60,
+        gb_child_cycles: 70,
+        record_cycles: 30,
+        local_flag_cycles: 60,
+    };
+}
+
+/// Extension counters (per NIC).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BarrierStats {
+    /// Collectives completed on this NIC (events delivered to hosts).
+    pub completions: u64,
+    /// PE packets handled (sent or locally flagged).
+    pub pe_msgs: u64,
+    /// Gather packets handled.
+    pub gather_msgs: u64,
+    /// Broadcast packets handled.
+    pub bcast_msgs: u64,
+    /// Same-NIC short-circuits taken (§3.4 optimization).
+    pub local_flags: u64,
+    /// §3.2 rejections sent on port open.
+    pub rejects_sent: u64,
+    /// §3.2 rejections received.
+    pub rejects_received: u64,
+    /// Messages resent in response to a rejection.
+    pub resends: u64,
+    /// Rejections ignored as stale (sender's port closed/reopened since).
+    pub stale_rejects: u64,
+    /// Collectives aborted by a port close.
+    pub aborted: u64,
+}
+
+/// A pairwise-exchange run in progress.
+#[derive(Debug, Clone)]
+struct PeRun {
+    steps: Vec<CollectiveStep>,
+    idx: usize,
+    /// Whether the packet for the *current* step has been sent.
+    sent_current: bool,
+}
+
+/// Phase of a tree collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TreePhase {
+    /// Waiting for gather messages from children.
+    Gather,
+    /// Gather sent up; waiting for the parent's broadcast.
+    AwaitBcast,
+}
+
+/// A tree collective (GB barrier / broadcast / reduce / allreduce) run.
+#[derive(Debug, Clone)]
+struct TreeRun {
+    op: CollectiveOp,
+    parent: Option<GlobalPort>,
+    children: Vec<GlobalPort>,
+    /// Children whose gather has not yet been consumed.
+    children_left: Vec<GlobalPort>,
+    phase: TreePhase,
+    /// Accumulated value (own contribution combined with children's).
+    value: u64,
+    /// The value sent up in our gather, kept for §3.2 resends.
+    sent_value: Option<u64>,
+}
+
+/// The active collective on one port — the paper's "send token pointer".
+#[derive(Debug, Clone)]
+enum Active {
+    Pe(PeRun),
+    Tree(TreeRun),
+}
+
+/// The last collective message sent to a peer from a port. Kept (bounded:
+/// one entry per (port, peer)) *beyond* the collective's completion so the
+/// §3.2 reject/resend protocol also works for messages whose sender has no
+/// in-flight state left — a GB broadcast after the root exited, or a
+/// reduce contribution after the leaf completed locally. Cleared when the
+/// port closes, which is exactly the paper's "but only if the endpoint
+/// that initiated the barrier has not closed since the message was sent".
+#[derive(Debug, Clone, Copy)]
+struct SentRecord {
+    kind: u8,
+    epoch: u32,
+    value: u64,
+}
+
+/// A locally-delivered packet awaiting processing (same-NIC optimization).
+struct LocalDelivery {
+    src: GlobalPort,
+    dst: GlobalPort,
+    ext_type: u8,
+    epoch: u32,
+    value: u64,
+    at: SimTime,
+}
+
+/// The barrier/collective firmware extension.
+pub struct BarrierExtension {
+    costs: BarrierCosts,
+    slots: Vec<Option<Active>>,
+    /// The §3.1 unexpected-message record.
+    pub record: UnexpectedRecord,
+    /// Counters.
+    pub stats: BarrierStats,
+    local_queue: VecDeque<LocalDelivery>,
+    /// Last message sent per (port, peer, packet kind) — kind-keyed so a
+    /// lost BCAST and a lost PE to the same peer are both resendable.
+    sent_cache: std::collections::HashMap<(u8, GlobalPort, u8), SentRecord>,
+}
+
+impl BarrierExtension {
+    /// An extension for a cluster of `nodes` nodes with calibrated costs.
+    pub fn new(nodes: usize) -> Self {
+        Self::with_costs(nodes, BarrierCosts::GM_1_2_3)
+    }
+
+    /// An extension with explicit costs (for ablations).
+    pub fn with_costs(nodes: usize, costs: BarrierCosts) -> Self {
+        BarrierExtension {
+            costs,
+            slots: (0..GM_NUM_PORTS).map(|_| None).collect(),
+            record: UnexpectedRecord::new(nodes),
+            stats: BarrierStats::default(),
+            local_queue: VecDeque::new(),
+            sent_cache: std::collections::HashMap::new(),
+        }
+    }
+
+    /// A factory for [`gmsim_gm::cluster::ClusterBuilder::extension`].
+    pub fn factory() -> impl Fn(NodeId, usize, &GmConfig) -> Box<dyn McpExtension> {
+        |_, size, _| Box::new(BarrierExtension::new(size))
+    }
+
+    /// A factory with explicit costs.
+    pub fn factory_with_costs(
+        costs: BarrierCosts,
+    ) -> impl Fn(NodeId, usize, &GmConfig) -> Box<dyn McpExtension> {
+        move |_, size, _| Box::new(BarrierExtension::with_costs(size, costs))
+    }
+
+    /// Is a collective currently active on `port`?
+    pub fn is_active(&self, port: PortId) -> bool {
+        self.slots[port.idx()].is_some()
+    }
+
+    /// Complete a collective on `port`: consume the barrier buffer the
+    /// host provided (`gm_provide_barrier_buffer`), return the send token,
+    /// clear the port's token pointer and DMA the completion event — the
+    /// §5.2 completion sequence, shared by every collective.
+    fn complete_collective(
+        &mut self,
+        core: &mut McpCore,
+        port: PortId,
+        ev: GmEvent,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        self.slots[port.idx()] = None;
+        core.port_mut(port).take_barrier_buffer();
+        core.port_mut(port).return_send_token();
+        self.stats.completions += 1;
+        core.complete_to_host(port, ev, now, out);
+    }
+
+    // ---- packet egress ---------------------------------------------------
+
+    /// Send (or locally flag) one collective packet from `port` to `dst`.
+    #[allow(clippy::too_many_arguments)] // firmware handler plumbing
+    fn emit(
+        &mut self,
+        core: &mut McpCore,
+        port: PortId,
+        dst: GlobalPort,
+        ext_type: u8,
+        value: u64,
+        ready: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        match ext_type {
+            pkt::PE => self.stats.pe_msgs += 1,
+            pkt::GATHER => self.stats.gather_msgs += 1,
+            pkt::BCAST => self.stats.bcast_msgs += 1,
+            _ => {}
+        }
+        let epoch = core.port(port).epoch();
+        self.sent_cache.insert(
+            (port.0, dst, ext_type),
+            SentRecord {
+                kind: ext_type,
+                epoch,
+                value,
+            },
+        );
+        if dst.node == core.node() && core.config().same_nic_optimization {
+            // §3.4: co-located peer — set the flag, skip the wire.
+            let t = core.exec(self.costs.local_flag_cycles, ready);
+            self.stats.local_flags += 1;
+            self.local_queue.push_back(LocalDelivery {
+                src: GlobalPort {
+                    node: core.node(),
+                    port,
+                },
+                dst,
+                ext_type,
+                epoch,
+                value,
+                at: t,
+            });
+        } else {
+            core.send_ext(
+                port,
+                dst,
+                ExtPacket {
+                    ext_type,
+                    a: epoch as u64,
+                    b: value,
+                },
+                ready,
+                out,
+            );
+        }
+    }
+
+    /// Drain locally-flagged deliveries (run at the end of every entry
+    /// point; items may enqueue further items).
+    fn drain_local(&mut self, core: &mut McpCore, out: &mut Vec<McpOutput>) {
+        while let Some(d) = self.local_queue.pop_front() {
+            self.accept(core, d.src, d.dst, d.ext_type, d.epoch, d.value, d.at, out);
+        }
+    }
+
+    // ---- packet ingress --------------------------------------------------
+
+    /// Shared ingress for wire and local packets: record, then poke the
+    /// addressed port's state machine.
+    #[allow(clippy::too_many_arguments)]
+    fn accept(
+        &mut self,
+        core: &mut McpCore,
+        src: GlobalPort,
+        dst: GlobalPort,
+        ext_type: u8,
+        epoch: u32,
+        value: u64,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        if ext_type == pkt::REJECT {
+            // A REJECT's value word names the kind of the rejected message.
+            self.handle_reject(core, src, dst.port, epoch, value as u8, now, out);
+            return;
+        }
+        let t = core.exec(self.costs.record_cycles, now);
+        self.record.set(
+            dst.port,
+            src,
+            RecordMeta {
+                kind: ext_type,
+                epoch,
+                value,
+            },
+        );
+        // A closed port keeps the record until it opens (§3.2).
+        if core.port(dst.port).is_open() {
+            self.poke(core, dst.port, t, out);
+        }
+    }
+
+    /// Advance whatever collective is active on `port` as far as the
+    /// record allows.
+    fn poke(&mut self, core: &mut McpCore, port: PortId, now: SimTime, out: &mut Vec<McpOutput>) {
+        match self.slots[port.idx()] {
+            Some(Active::Pe(_)) => self.pe_continue(core, port, now, out),
+            Some(Active::Tree(_)) => self.tree_continue(core, port, now, out),
+            None => {}
+        }
+    }
+
+    // ---- pairwise exchange (§5.2) -----------------------------------------
+
+    fn pe_continue(
+        &mut self,
+        core: &mut McpCore,
+        port: PortId,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        let mut t = now;
+        loop {
+            let (step, sent) = match &self.slots[port.idx()] {
+                Some(Active::Pe(run)) if run.idx < run.steps.len() => {
+                    (run.steps[run.idx], run.sent_current)
+                }
+                Some(Active::Pe(_)) => {
+                    // All steps done: "The NIC DMAs a receive token to the
+                    // host, returns the send token, and sets the send token
+                    // pointer in the port data structure to zero."
+                    self.complete_collective(core, port, GmEvent::BarrierComplete, t, out);
+                    return;
+                }
+                _ => return,
+            };
+            match step.kind {
+                StepKind::SendOnly => {
+                    t = core.exec(self.costs.pe_send_cycles, t);
+                    self.emit(core, port, step.peer, pkt::PE, 0, t, out);
+                    self.pe_advance(port);
+                }
+                StepKind::SendRecv => {
+                    if !sent {
+                        t = core.exec(self.costs.pe_send_cycles, t);
+                        self.emit(core, port, step.peer, pkt::PE, 0, t, out);
+                        if let Some(Active::Pe(run)) = &mut self.slots[port.idx()] {
+                            run.sent_current = true;
+                        }
+                    }
+                    if self.record.check_clear(port, step.peer, pkt::PE).is_some() {
+                        t = core.exec(self.costs.pe_match_cycles, t);
+                        self.pe_advance(port);
+                    } else {
+                        return; // park until the peer's message arrives
+                    }
+                }
+                StepKind::RecvOnly => {
+                    if self.record.check_clear(port, step.peer, pkt::PE).is_some() {
+                        t = core.exec(self.costs.pe_match_cycles, t);
+                        self.pe_advance(port);
+                    } else {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn pe_advance(&mut self, port: PortId) {
+        if let Some(Active::Pe(run)) = &mut self.slots[port.idx()] {
+            run.idx += 1;
+            run.sent_current = false;
+        }
+    }
+
+    // ---- tree collectives (§5.2 GB; §8 future work) ------------------------
+
+    fn tree_continue(
+        &mut self,
+        core: &mut McpCore,
+        port: PortId,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        let mut t = now;
+        // Gather phase: consume every recorded child gather.
+        loop {
+            let pending = match &self.slots[port.idx()] {
+                Some(Active::Tree(run)) if run.phase == TreePhase::Gather => {
+                    run.children_left.clone()
+                }
+                _ => break,
+            };
+            let mut consumed_any = false;
+            for child in pending {
+                if let Some(meta) = self.record.check_clear(port, child, pkt::GATHER) {
+                    t = core.exec(self.costs.gb_gather_cycles, t);
+                    if let Some(Active::Tree(run)) = &mut self.slots[port.idx()] {
+                        run.children_left.retain(|c| *c != child);
+                        if let Some(op) = run.op.reduce_op() {
+                            run.value = op.combine(run.value, meta.value);
+                        }
+                    }
+                    consumed_any = true;
+                }
+            }
+            let all_in = match &self.slots[port.idx()] {
+                Some(Active::Tree(run)) => run.children_left.is_empty(),
+                _ => return,
+            };
+            if all_in {
+                self.tree_gather_done(core, port, t, out);
+                break;
+            }
+            if !consumed_any {
+                return; // park until more gathers arrive
+            }
+        }
+        // Broadcast phase: consume the parent's broadcast if recorded.
+        let parent = match &self.slots[port.idx()] {
+            Some(Active::Tree(run)) if run.phase == TreePhase::AwaitBcast => {
+                run.parent.expect("AwaitBcast at the root")
+            }
+            _ => return,
+        };
+        if let Some(meta) = self.record.check_clear(port, parent, pkt::BCAST) {
+            let t = core.exec(self.costs.gb_gather_cycles, t);
+            self.tree_bcast_received(core, port, meta.value, t, out);
+        }
+    }
+
+    /// Every child gather has been absorbed.
+    fn tree_gather_done(
+        &mut self,
+        core: &mut McpCore,
+        port: PortId,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        let (op, value, parent, children) = match &self.slots[port.idx()] {
+            Some(Active::Tree(run)) => (run.op, run.value, run.parent, run.children.clone()),
+            _ => return,
+        };
+        match parent {
+            None => {
+                // Root. Completion first, forwarding second (§5.2 order).
+                let ev = match op {
+                    CollectiveOp::BarrierGb => GmEvent::BarrierComplete,
+                    CollectiveOp::Broadcast => GmEvent::BroadcastComplete { value },
+                    CollectiveOp::Reduce(_) => GmEvent::ReduceComplete { value },
+                    CollectiveOp::AllReduce(_) => GmEvent::ReduceComplete { value },
+                    CollectiveOp::BarrierPe => unreachable!("PE is not a tree"),
+                };
+                self.complete_collective(core, port, ev, now, out);
+                let downstream = match op {
+                    CollectiveOp::Reduce(_) => None, // reduce has no bcast phase
+                    _ => Some(value),
+                };
+                if let Some(v) = downstream {
+                    self.forward_bcast(core, port, &children, v, now, out);
+                }
+            }
+            Some(parent) => {
+                match op {
+                    CollectiveOp::Reduce(_) => {
+                        // Contribution sent up; the collective is locally
+                        // complete (the global value exists only at the
+                        // root — there is no broadcast phase).
+                        self.emit(core, port, parent, pkt::GATHER, value, now, out);
+                        self.complete_collective(
+                            core,
+                            port,
+                            GmEvent::ReduceComplete { value },
+                            now,
+                            out,
+                        );
+                    }
+                    _ => {
+                        if let Some(Active::Tree(run)) = &mut self.slots[port.idx()] {
+                            run.phase = TreePhase::AwaitBcast;
+                            run.sent_value = Some(value);
+                        }
+                        self.emit(core, port, parent, pkt::GATHER, value, now, out);
+                        // The broadcast check runs in tree_continue's tail
+                        // (or on the broadcast packet's arrival).
+                    }
+                }
+            }
+        }
+    }
+
+    /// The parent's broadcast arrived at a non-root node.
+    fn tree_bcast_received(
+        &mut self,
+        core: &mut McpCore,
+        port: PortId,
+        value: u64,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        let Some(Active::Tree(run)) = &self.slots[port.idx()] else {
+            return;
+        };
+        let op = run.op;
+        let children = run.children.clone();
+        let ev = match op {
+            CollectiveOp::BarrierGb => GmEvent::BarrierComplete,
+            CollectiveOp::Broadcast => GmEvent::BroadcastComplete { value },
+            CollectiveOp::AllReduce(_) => GmEvent::ReduceComplete { value },
+            CollectiveOp::Reduce(_) | CollectiveOp::BarrierPe => {
+                unreachable!("no broadcast phase for {op:?}")
+            }
+        };
+        // "the RDMA state machine sends a receive token to the host
+        // indicating that the barrier has completed, and sets the send
+        // token pointer ... to zero. Then the send token is prepared to
+        // send a barrier broadcast packet to the first child ..." (§5.2)
+        self.complete_collective(core, port, ev, now, out);
+        self.forward_bcast(core, port, &children, value, now, out);
+    }
+
+    /// Send the broadcast packet to each child in turn, re-queueing the
+    /// token once per child as §5.2 describes.
+    fn forward_bcast(
+        &mut self,
+        core: &mut McpCore,
+        port: PortId,
+        children: &[GlobalPort],
+        value: u64,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        let mut t = now;
+        for child in children {
+            t = core.exec(self.costs.gb_child_cycles, t);
+            self.emit(core, port, *child, pkt::BCAST, value, t, out);
+        }
+    }
+
+    // ---- §3.2 rejection protocol ------------------------------------------
+
+    /// A REJECT arrived: the endpoint `rejecter` had recorded our message
+    /// while its port was closed, and has now flushed it. Resend iff we are
+    /// still the same process (`epoch` matches) and the collective is still
+    /// in flight.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_reject(
+        &mut self,
+        core: &mut McpCore,
+        rejecter: GlobalPort,
+        port: PortId,
+        epoch: u32,
+        kind: u8,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        self.stats.rejects_received += 1;
+        let t = core.exec(self.costs.record_cycles, now);
+        if !core.port(port).is_open() || core.port(port).epoch() != epoch {
+            self.stats.stale_rejects += 1;
+            return;
+        }
+        // The sent cache remembers the last message of each kind this
+        // (still-alive) process sent to the rejecter, whether or not the
+        // collective that produced it is still in flight.
+        match self.sent_cache.get(&(port.0, rejecter, kind)).copied() {
+            Some(rec) if rec.epoch == epoch => {
+                self.stats.resends += 1;
+                self.emit(core, port, rejecter, rec.kind, rec.value, t, out);
+            }
+            _ => self.stats.stale_rejects += 1,
+        }
+    }
+}
+
+impl McpExtension for BarrierExtension {
+    fn on_collective_token(
+        &mut self,
+        core: &mut McpCore,
+        port: PortId,
+        token: CollectiveToken,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        assert!(
+            self.slots[port.idx()].is_none(),
+            "port {port:?} already has an active collective"
+        );
+        let op = CollectiveOp::of(&token);
+        match op {
+            CollectiveOp::BarrierPe => {
+                let t = core.exec(self.costs.pe_token_cycles, now);
+                self.slots[port.idx()] = Some(Active::Pe(PeRun {
+                    steps: token.steps,
+                    idx: 0,
+                    sent_current: false,
+                }));
+                self.pe_continue(core, port, t, out);
+            }
+            _ => {
+                let t = core.exec(self.costs.gb_token_cycles, now);
+                let children = token.children.clone();
+                // Broadcasts have no gather phase: non-roots go straight to
+                // awaiting the value from above.
+                let (children_left, phase) = if op == CollectiveOp::Broadcast {
+                    (
+                        Vec::new(),
+                        if token.parent.is_some() {
+                            TreePhase::AwaitBcast
+                        } else {
+                            TreePhase::Gather // root: empty gather completes at once
+                        },
+                    )
+                } else {
+                    (children.clone(), TreePhase::Gather)
+                };
+                self.slots[port.idx()] = Some(Active::Tree(TreeRun {
+                    op,
+                    parent: token.parent,
+                    children,
+                    children_left,
+                    phase,
+                    value: token.value,
+                    sent_value: None,
+                }));
+                self.tree_continue(core, port, t, out);
+            }
+        }
+        self.drain_local(core, out);
+    }
+
+    fn on_ext_packet(
+        &mut self,
+        core: &mut McpCore,
+        src: GlobalPort,
+        dst: GlobalPort,
+        body: ExtPacket,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        self.accept(core, src, dst, body.ext_type, body.a as u32, body.b, now, out);
+        self.drain_local(core, out);
+    }
+
+    fn on_port_open(
+        &mut self,
+        core: &mut McpCore,
+        port: PortId,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        // §3.2: flush every message recorded while the port was closed back
+        // to its sender.
+        let mut t = now;
+        for (from, meta) in self.record.drain_port(port) {
+            t = core.exec(self.costs.record_cycles, t);
+            self.stats.rejects_sent += 1;
+            core.send_ext(
+                port,
+                from,
+                ExtPacket {
+                    ext_type: pkt::REJECT,
+                    a: meta.epoch as u64,
+                    b: meta.kind as u64,
+                },
+                t,
+                out,
+            );
+        }
+        self.drain_local(core, out);
+    }
+
+    fn on_port_close(
+        &mut self,
+        _core: &mut McpCore,
+        port: PortId,
+        _now: SimTime,
+        _out: &mut Vec<McpOutput>,
+    ) {
+        if self.slots[port.idx()].take().is_some() {
+            self.stats.aborted += 1;
+        }
+        self.sent_cache.retain(|(p, _, _), _| *p != port.0);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Convenience: the unexpected-record stats on `node` of a cluster.
+pub fn record_stats_of(
+    cluster: &gmsim_gm::Cluster,
+    node: usize,
+) -> crate::unexpected::RecordStats {
+    cluster.nodes[node]
+        .mcp
+        .ext()
+        .as_any()
+        .downcast_ref::<BarrierExtension>()
+        .expect("BarrierExtension not installed")
+        .record
+        .stats
+}
+
+/// Convenience: the extension's stats on `node` of a cluster.
+pub fn stats_of(cluster: &gmsim_gm::Cluster, node: usize) -> BarrierStats {
+    cluster.nodes[node]
+        .mcp
+        .ext()
+        .as_any()
+        .downcast_ref::<BarrierExtension>()
+        .expect("BarrierExtension not installed")
+        .stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::BarrierGroup;
+    use gmsim_gm::{GmConfig, Mcp, SendToken};
+
+    /// Drive two MCPs by hand (no cluster): node 0 and node 1 both run a
+    /// 2-party PE barrier; we shuttle packets between them manually.
+    #[test]
+    fn two_party_pe_by_hand() {
+        let cfg = GmConfig::default();
+        let group = BarrierGroup::one_per_node(2, 1);
+        let mut mcps: Vec<Mcp> = (0..2)
+            .map(|i| {
+                let mut m = Mcp::new(
+                    McpCore::new(NodeId(i), 2, cfg),
+                    Box::new(BarrierExtension::new(2)),
+                );
+                m.open_port(PortId(1), SimTime::ZERO);
+                for _ in 0..4 {
+                    m.core.port_mut(PortId(1)).provide_barrier_buffer();
+                }
+                m
+            })
+            .collect();
+        // Post the collective tokens on both nodes.
+        let mut outs0 = mcps[0].handle_send_token(
+            SendToken::Collective {
+                src_port: PortId(1),
+                token: group.pe_token(0),
+            },
+            SimTime::ZERO,
+        );
+        let outs1 = mcps[1].handle_send_token(
+            SendToken::Collective {
+                src_port: PortId(1),
+                token: group.pe_token(1),
+            },
+            SimTime::ZERO,
+        );
+        // Each emitted exactly one PE transmit (plus its RTO timer).
+        let take_pkt = |outs: &mut Vec<McpOutput>| -> gmsim_gm::Packet {
+            let pos = outs
+                .iter()
+                .position(|o| matches!(o, McpOutput::Transmit { .. }))
+                .expect("no transmit");
+            match outs.remove(pos) {
+                McpOutput::Transmit { pkt, .. } => pkt,
+                _ => unreachable!(),
+            }
+        };
+        let mut outs1 = outs1;
+        let p0 = take_pkt(&mut outs0);
+        let p1 = take_pkt(&mut outs1);
+        // Cross-deliver.
+        let done1 = mcps[1].handle_wire_packet(p0, false, SimTime::from_us(5));
+        let done0 = mcps[0].handle_wire_packet(p1, false, SimTime::from_us(5));
+        let completed = |outs: &[McpOutput]| {
+            outs.iter().any(|o| {
+                matches!(
+                    o,
+                    McpOutput::HostEvent {
+                        ev: GmEvent::BarrierComplete,
+                        ..
+                    }
+                )
+            })
+        };
+        assert!(completed(&done0), "node 0 completed");
+        assert!(completed(&done1), "node 1 completed");
+    }
+
+    #[test]
+    fn early_arrival_is_recorded_then_consumed() {
+        let cfg = GmConfig::default();
+        let group = BarrierGroup::one_per_node(2, 1);
+        let mut m = Mcp::new(
+            McpCore::new(NodeId(0), 2, cfg),
+            Box::new(BarrierExtension::new(2)),
+        );
+        m.open_port(PortId(1), SimTime::ZERO);
+        for _ in 0..4 {
+            m.core.port_mut(PortId(1)).provide_barrier_buffer();
+        }
+        // Peer's barrier message arrives before our host even initiated.
+        let early = gmsim_gm::Packet {
+            src: GlobalPort::new(1, 1),
+            dst: GlobalPort::new(0, 1),
+            kind: gmsim_gm::PacketKind::Ext {
+                seq: Some(0),
+                body: ExtPacket {
+                    ext_type: pkt::PE,
+                    a: 1,
+                    b: 0,
+                },
+            },
+        };
+        let outs = m.handle_wire_packet(early, false, SimTime::ZERO);
+        assert!(
+            !outs
+                .iter()
+                .any(|o| matches!(o, McpOutput::HostEvent { .. })),
+            "nothing completes yet"
+        );
+        // Now the host initiates: the recorded message satisfies the step
+        // immediately and the barrier completes without waiting.
+        let outs = m.handle_send_token(
+            SendToken::Collective {
+                src_port: PortId(1),
+                token: group.pe_token(0),
+            },
+            SimTime::from_us(50),
+        );
+        assert!(outs.iter().any(|o| matches!(
+            o,
+            McpOutput::HostEvent {
+                ev: GmEvent::BarrierComplete,
+                ..
+            }
+        )));
+        let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+        assert_eq!(ext.record.stats.recorded, 1);
+        assert_eq!(ext.record.stats.consumed, 1);
+    }
+
+    #[test]
+    fn closed_port_records_and_rejects_on_open() {
+        let cfg = GmConfig::default();
+        let mut m = Mcp::new(
+            McpCore::new(NodeId(0), 2, cfg),
+            Box::new(BarrierExtension::new(2)),
+        );
+        // Message arrives for port 1, which is closed.
+        let early = gmsim_gm::Packet {
+            src: GlobalPort::new(1, 1),
+            dst: GlobalPort::new(0, 1),
+            kind: gmsim_gm::PacketKind::Ext {
+                seq: Some(0),
+                body: ExtPacket {
+                    ext_type: pkt::PE,
+                    a: 3, // sender epoch
+                    b: 0,
+                },
+            },
+        };
+        m.handle_wire_packet(early, false, SimTime::ZERO);
+        {
+            let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+            assert_eq!(ext.record.outstanding(), 1);
+        }
+        // Opening the port flushes a REJECT back to the sender carrying
+        // the sender's original epoch.
+        let outs = m.open_port(PortId(1), SimTime::from_us(10));
+        let reject = outs
+            .iter()
+            .find_map(|o| match o {
+                McpOutput::Transmit { pkt, .. } => match &pkt.kind {
+                    gmsim_gm::PacketKind::Ext { body, .. } if body.ext_type == pkt::REJECT => {
+                        Some((pkt.dst, body.a))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("no REJECT sent");
+        assert_eq!(reject.0, GlobalPort::new(1, 1));
+        assert_eq!(reject.1, 3);
+        let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+        assert_eq!(ext.stats.rejects_sent, 1);
+        assert_eq!(ext.record.outstanding(), 0);
+    }
+
+    #[test]
+    fn reject_triggers_resend_when_same_epoch() {
+        let cfg = GmConfig::default();
+        let group = BarrierGroup::one_per_node(2, 1);
+        let mut m = Mcp::new(
+            McpCore::new(NodeId(0), 2, cfg),
+            Box::new(BarrierExtension::new(2)),
+        );
+        m.open_port(PortId(1), SimTime::ZERO);
+        for _ in 0..4 {
+            m.core.port_mut(PortId(1)).provide_barrier_buffer();
+        } // epoch 1
+        m.handle_send_token(
+            SendToken::Collective {
+                src_port: PortId(1),
+                token: group.pe_token(0),
+            },
+            SimTime::ZERO,
+        );
+        // The peer rejects our message (it was recorded against its closed
+        // port). Our epoch is 1 and the barrier is still active → resend.
+        let reject = gmsim_gm::Packet {
+            src: GlobalPort::new(1, 1),
+            dst: GlobalPort::new(0, 1),
+            kind: gmsim_gm::PacketKind::Ext {
+                seq: Some(0),
+                body: ExtPacket {
+                    ext_type: pkt::REJECT,
+                    a: 1,
+                    b: pkt::PE as u64,
+                },
+            },
+        };
+        let outs = m.handle_wire_packet(reject, false, SimTime::from_us(100));
+        let resent = outs.iter().any(|o| match o {
+            McpOutput::Transmit { pkt, .. } => matches!(
+                &pkt.kind,
+                gmsim_gm::PacketKind::Ext { body, .. } if body.ext_type == pkt::PE
+            ),
+            _ => false,
+        });
+        assert!(resent, "PE message must be resent");
+        let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+        assert_eq!(ext.stats.resends, 1);
+    }
+
+    #[test]
+    fn reject_with_stale_epoch_is_ignored() {
+        let cfg = GmConfig::default();
+        let mut m = Mcp::new(
+            McpCore::new(NodeId(0), 2, cfg),
+            Box::new(BarrierExtension::new(2)),
+        );
+        m.open_port(PortId(1), SimTime::ZERO); // epoch 1
+        let reject = gmsim_gm::Packet {
+            src: GlobalPort::new(1, 1),
+            dst: GlobalPort::new(0, 1),
+            kind: gmsim_gm::PacketKind::Ext {
+                seq: Some(0),
+                body: ExtPacket {
+                    ext_type: pkt::REJECT,
+                    a: 99, // some long-gone process
+                    b: pkt::PE as u64,
+                },
+            },
+        };
+        let outs = m.handle_wire_packet(reject, false, SimTime::from_us(1));
+        let resent = outs.iter().any(|o| match o {
+            McpOutput::Transmit { pkt, .. } => {
+                matches!(&pkt.kind, gmsim_gm::PacketKind::Ext { body, .. } if body.ext_type != 0)
+            }
+            _ => false,
+        });
+        assert!(!resent);
+        let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+        assert_eq!(ext.stats.stale_rejects, 1);
+    }
+
+    #[test]
+    fn port_close_aborts_active_collective() {
+        let cfg = GmConfig::default();
+        let group = BarrierGroup::one_per_node(2, 1);
+        let mut m = Mcp::new(
+            McpCore::new(NodeId(0), 2, cfg),
+            Box::new(BarrierExtension::new(2)),
+        );
+        m.open_port(PortId(1), SimTime::ZERO);
+        for _ in 0..4 {
+            m.core.port_mut(PortId(1)).provide_barrier_buffer();
+        }
+        m.handle_send_token(
+            SendToken::Collective {
+                src_port: PortId(1),
+                token: group.pe_token(0),
+            },
+            SimTime::ZERO,
+        );
+        {
+            let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+            assert!(ext.is_active(PortId(1)));
+        }
+        m.close_port(PortId(1), SimTime::from_us(1));
+        let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+        assert!(!ext.is_active(PortId(1)));
+        assert_eq!(ext.stats.aborted, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an active collective")]
+    fn concurrent_collective_on_same_port_panics() {
+        let cfg = GmConfig::default();
+        let group = BarrierGroup::one_per_node(2, 1);
+        let mut m = Mcp::new(
+            McpCore::new(NodeId(0), 2, cfg),
+            Box::new(BarrierExtension::new(2)),
+        );
+        m.open_port(PortId(1), SimTime::ZERO);
+        for _ in 0..4 {
+            m.core.port_mut(PortId(1)).provide_barrier_buffer();
+        }
+        for _ in 0..2 {
+            m.handle_send_token(
+                SendToken::Collective {
+                    src_port: PortId(1),
+                    token: group.pe_token(0),
+                },
+                SimTime::ZERO,
+            );
+        }
+    }
+}

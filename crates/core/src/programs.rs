@@ -1,0 +1,207 @@
+//! Ready-made measurement programs for the NIC-based collectives.
+//!
+//! These are the host-side halves of the paper's benchmark: each program
+//! initiates `rounds` consecutive NIC barriers ("we ran 100,000 barriers
+//! consecutively and took the average latency", §6), marking every
+//! completion with a timestamped note the testbed aggregates.
+
+use crate::group::BarrierGroup;
+use gmsim_des::SimTime;
+use gmsim_gm::{CollectiveToken, GmEvent, HostCtx, HostProgram};
+
+/// Note-tag marker for a completed barrier round (high 32 bits).
+pub const NOTE_BARRIER_DONE: u64 = 0xBA51 << 32;
+
+/// Encode a completed round as a note tag.
+pub fn note_tag(round: u64) -> u64 {
+    debug_assert!(round < u32::MAX as u64);
+    NOTE_BARRIER_DONE | round
+}
+
+/// Decode a note tag back to its round, if it is a barrier-done note.
+pub fn decode_note(tag: u64) -> Option<u64> {
+    (tag & NOTE_BARRIER_DONE == NOTE_BARRIER_DONE).then_some(tag & 0xFFFF_FFFF)
+}
+
+/// Which NIC barrier algorithm a loop runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NicAlgorithm {
+    /// Pairwise exchange.
+    Pe,
+    /// Gather-broadcast with the given tree dimension.
+    Gb {
+        /// Tree arity.
+        dim: usize,
+    },
+    /// Dissemination barrier (extension beyond the paper).
+    Dissemination,
+}
+
+/// Runs `rounds` consecutive NIC-based barriers.
+pub struct NicBarrierLoop {
+    group: BarrierGroup,
+    rank: usize,
+    algo: NicAlgorithm,
+    rounds: u64,
+    round: u64,
+}
+
+impl NicBarrierLoop {
+    /// The loop for `rank` of `group`.
+    pub fn new(group: BarrierGroup, rank: usize, algo: NicAlgorithm, rounds: u64) -> Self {
+        NicBarrierLoop {
+            group,
+            rank,
+            algo,
+            rounds,
+            round: 0,
+        }
+    }
+
+    fn token(&self) -> CollectiveToken {
+        match self.algo {
+            NicAlgorithm::Pe => self.group.pe_token(self.rank),
+            NicAlgorithm::Gb { dim } => self.group.gb_token(self.rank, dim),
+            NicAlgorithm::Dissemination => self.group.dissemination_token(self.rank),
+        }
+    }
+}
+
+impl HostProgram for NicBarrierLoop {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        if self.rounds > 0 {
+            ctx.start_collective(self.token());
+        }
+    }
+
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        if matches!(ev, GmEvent::BarrierComplete) {
+            ctx.note(note_tag(self.round));
+            self.round += 1;
+            if self.round < self.rounds {
+                ctx.start_collective(self.token());
+            }
+        }
+    }
+}
+
+/// A fuzzy-barrier loop (§2.1): "because the barrier algorithm is performed
+/// at the NIC, the processor is free to perform computation while polling
+/// for the barrier to complete".
+///
+/// With `overlap = true` the program initiates the barrier, then computes
+/// for `compute` while the NIC synchronizes (the fuzzy barrier). With
+/// `overlap = false` it computes first and only then initiates — the
+/// blocking baseline. Comparing total runtimes shows the hidden time.
+pub struct FuzzyBarrierLoop {
+    group: BarrierGroup,
+    rank: usize,
+    rounds: u64,
+    round: u64,
+    compute: SimTime,
+    overlap: bool,
+}
+
+impl FuzzyBarrierLoop {
+    /// The loop for `rank` of `group`, with per-round `compute` work.
+    pub fn new(
+        group: BarrierGroup,
+        rank: usize,
+        rounds: u64,
+        compute: SimTime,
+        overlap: bool,
+    ) -> Self {
+        FuzzyBarrierLoop {
+            group,
+            rank,
+            rounds,
+            round: 0,
+            compute,
+            overlap,
+        }
+    }
+
+    fn begin_round(&self, ctx: &mut HostCtx) {
+        if self.overlap {
+            // Fuzzy: initiate, then compute while the NIC runs the barrier.
+            ctx.start_collective(self.group.pe_token(self.rank));
+            ctx.compute(self.compute);
+        } else {
+            // Blocking: compute, then synchronize.
+            ctx.compute(self.compute);
+            ctx.start_collective(self.group.pe_token(self.rank));
+        }
+    }
+}
+
+impl HostProgram for FuzzyBarrierLoop {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        if self.rounds > 0 {
+            self.begin_round(ctx);
+        }
+    }
+
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        if matches!(ev, GmEvent::BarrierComplete) {
+            ctx.note(note_tag(self.round));
+            self.round += 1;
+            if self.round < self.rounds {
+                self.begin_round(ctx);
+            }
+        }
+    }
+}
+
+/// Runs one NIC collective (broadcast / reduce / allreduce) and records the
+/// completion value in a note: `value` for `ReduceComplete`/
+/// `BroadcastComplete`. Used by tests and the collectives example.
+pub struct OneShotCollective {
+    token: Option<CollectiveToken>,
+    /// The completion value, once received.
+    pub result: Option<u64>,
+}
+
+impl OneShotCollective {
+    /// A program that posts `token` at start.
+    pub fn new(token: CollectiveToken) -> Self {
+        OneShotCollective {
+            token: Some(token),
+            result: None,
+        }
+    }
+}
+
+/// Note marker for a collective completion value.
+pub const NOTE_COLLECTIVE_VALUE: u64 = 0xC011 << 32;
+
+impl HostProgram for OneShotCollective {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        let token = self.token.take().expect("started twice");
+        ctx.start_collective(token);
+    }
+
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        let value = match ev {
+            GmEvent::BarrierComplete => 0,
+            GmEvent::BroadcastComplete { value } | GmEvent::ReduceComplete { value } => *value,
+            _ => return,
+        };
+        self.result = Some(value);
+        debug_assert!(value < (1 << 32), "note encoding truncates the value");
+        ctx.note(NOTE_COLLECTIVE_VALUE | value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_tag_roundtrip() {
+        for round in [0u64, 1, 99_999] {
+            assert_eq!(decode_note(note_tag(round)), Some(round));
+        }
+        assert_eq!(decode_note(12345), None);
+        assert_eq!(decode_note(NOTE_COLLECTIVE_VALUE | 7), None);
+    }
+}

@@ -1,0 +1,368 @@
+//! Pure schedule construction for the two barrier algorithms.
+//!
+//! Both schedules are computed **on the host**: "the tree construction is a
+//! relatively computationally intensive task which can easily be computed
+//! at the host. The host at a particular node needs to inform the NIC only
+//! of the children and parent of the node" (§5.1) — likewise the PE pairing
+//! list. These functions are therefore ordinary host-side code, shared by
+//! the NIC-based and host-based implementations so both run *the same
+//! algorithm*, as in the paper's evaluation.
+
+pub mod gb {
+    //! Gather-and-broadcast trees of fixed dimension (arity) `d` ≥ 1.
+    //!
+    //! Ranks form a d-ary heap-shaped tree: rank 0 is the root, the
+    //! children of rank `i` are `i*d + 1 ..= i*d + d` (those `< n`). "We
+    //! would expect that the dimension of the tree would impact the
+    //! performance of the barrier" (§5.1); the evaluation sweeps `d` from 1
+    //! to N−1 and reports the best.
+
+    /// Parent rank of `rank` in a `dim`-ary tree, `None` at the root.
+    pub fn parent(rank: usize, dim: usize) -> Option<usize> {
+        assert!(dim >= 1, "tree dimension must be at least 1");
+        if rank == 0 {
+            None
+        } else {
+            Some((rank - 1) / dim)
+        }
+    }
+
+    /// Children of `rank` in a `dim`-ary tree over `n` ranks.
+    pub fn children(rank: usize, dim: usize, n: usize) -> Vec<usize> {
+        assert!(dim >= 1, "tree dimension must be at least 1");
+        let first = rank
+            .checked_mul(dim)
+            .and_then(|x| x.checked_add(1))
+            .unwrap_or(n);
+        (first..n.min(first.saturating_add(dim))).collect()
+    }
+
+    /// Depth of the deepest rank (root = 0).
+    pub fn depth(n: usize, dim: usize) -> usize {
+        assert!(n >= 1);
+        let mut deepest = 0;
+        let mut rank = n - 1;
+        while let Some(p) = parent(rank, dim) {
+            deepest += 1;
+            rank = p;
+        }
+        deepest
+    }
+}
+
+pub mod pe {
+    //! Pairwise exchange, "a pairwise exchange algorithm (PE) that is used
+    //! in MPICH" (§5): recursively pair nodes, then pair groups. Each rank
+    //! performs `log2 N` send/receive exchanges, with peer `rank XOR 2^k`
+    //! at step `k`.
+    //!
+    //! For group sizes that are not powers of two we use the standard
+    //! MPICH-style fold: with `p` the largest power of two ≤ N and
+    //! `r = N − p` extras, rank `p+i` first *folds into* rank `i`
+    //! (send-only), the low `p` ranks run the power-of-two exchange, and
+    //! rank `i` finally *releases* rank `p+i` (send-only again). The paper
+    //! evaluates powers of two only; the fold steps generalize it without
+    //! changing the power-of-two schedules.
+
+    /// One step of a PE schedule, as (peer rank, step kind).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Step {
+        /// Exchange: send to the peer, then wait for its message.
+        Exchange(usize),
+        /// Fold/release transmission: send and advance.
+        SendTo(usize),
+        /// Fold/release reception: wait without sending.
+        RecvFrom(usize),
+    }
+
+    /// Largest power of two ≤ `n`.
+    pub fn pow2_floor(n: usize) -> usize {
+        assert!(n >= 1);
+        1usize << (usize::BITS - 1 - n.leading_zeros())
+    }
+
+    /// The PE schedule for `rank` out of `n` ranks.
+    pub fn schedule(rank: usize, n: usize) -> Vec<Step> {
+        assert!(n >= 1 && rank < n, "rank {rank} out of range for n={n}");
+        let p = pow2_floor(n);
+        let r = n - p;
+        let mut steps = Vec::new();
+        if rank >= p {
+            // Extra rank: fold into the low group, then await release.
+            steps.push(Step::SendTo(rank - p));
+            steps.push(Step::RecvFrom(rank - p));
+            return steps;
+        }
+        if rank < r {
+            // Absorb the extra rank before exchanging.
+            steps.push(Step::RecvFrom(p + rank));
+        }
+        let mut dist = 1;
+        while dist < p {
+            steps.push(Step::Exchange(rank ^ dist));
+            dist <<= 1;
+        }
+        if rank < r {
+            // Release the extra rank.
+            steps.push(Step::SendTo(p + rank));
+        }
+        steps
+    }
+}
+
+pub mod dissemination {
+    //! Dissemination barrier (Hensgen/Finkel/Manber) — **an extension
+    //! beyond the paper**, included because it expresses naturally in the
+    //! same step machinery: at round `k`, rank `i` *sends* to
+    //! `(i + 2^k) mod n` and *waits for* `(i − 2^k) mod n`, for
+    //! `ceil(log2 n)` rounds. Unlike PE it needs no power-of-two fold and
+    //! the send/receive of a round involve different peers.
+
+    use super::pe::Step;
+
+    /// The dissemination schedule for `rank` of `n`, as the same step kind
+    /// the PE machinery executes (send-only then receive-only per round).
+    pub fn schedule(rank: usize, n: usize) -> Vec<Step> {
+        assert!(n >= 1 && rank < n, "rank {rank} out of range for n={n}");
+        let mut steps = Vec::new();
+        let mut dist = 1;
+        while dist < n {
+            steps.push(Step::SendTo((rank + dist) % n));
+            steps.push(Step::RecvFrom((rank + n - dist) % n));
+            dist <<= 1;
+        }
+        steps
+    }
+
+    /// Number of rounds: `ceil(log2 n)`.
+    pub fn rounds(n: usize) -> usize {
+        assert!(n >= 1);
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dissemination;
+    use super::gb;
+    use super::pe::{self, Step};
+
+    #[test]
+    fn pow2_floor_values() {
+        assert_eq!(pe::pow2_floor(1), 1);
+        assert_eq!(pe::pow2_floor(2), 2);
+        assert_eq!(pe::pow2_floor(3), 2);
+        assert_eq!(pe::pow2_floor(16), 16);
+        assert_eq!(pe::pow2_floor(17), 16);
+    }
+
+    #[test]
+    fn pe_power_of_two_is_pure_exchange() {
+        for n in [2usize, 4, 8, 16] {
+            for rank in 0..n {
+                let steps = pe::schedule(rank, n);
+                assert_eq!(steps.len(), n.trailing_zeros() as usize);
+                for (k, s) in steps.iter().enumerate() {
+                    assert_eq!(*s, Step::Exchange(rank ^ (1 << k)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pe_exchange_relation_is_symmetric() {
+        for n in [2usize, 4, 8, 16, 32] {
+            for rank in 0..n {
+                for (k, s) in pe::schedule(rank, n).iter().enumerate() {
+                    if let Step::Exchange(peer) = s {
+                        assert_eq!(pe::schedule(*peer, n)[k], Step::Exchange(rank));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pe_non_power_of_two_folds() {
+        // n=3: p=2, r=1
+        assert_eq!(
+            pe::schedule(2, 3),
+            vec![Step::SendTo(0), Step::RecvFrom(0)]
+        );
+        assert_eq!(
+            pe::schedule(0, 3),
+            vec![Step::RecvFrom(2), Step::Exchange(1), Step::SendTo(2)]
+        );
+        assert_eq!(pe::schedule(1, 3), vec![Step::Exchange(0)]);
+    }
+
+    #[test]
+    fn pe_sends_match_recvs_globally() {
+        // Every send in some rank's schedule must have exactly one matching
+        // receive in the peer's schedule, and vice versa.
+        for n in 2..=17usize {
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            for rank in 0..n {
+                for s in pe::schedule(rank, n) {
+                    match s {
+                        Step::Exchange(p) => {
+                            sends.push((rank, p));
+                            recvs.push((p, rank));
+                        }
+                        Step::SendTo(p) => sends.push((rank, p)),
+                        Step::RecvFrom(p) => recvs.push((p, rank)),
+                    }
+                }
+            }
+            sends.sort_unstable();
+            recvs.sort_unstable();
+            assert_eq!(sends, recvs, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pe_single_rank_is_empty() {
+        assert!(pe::schedule(0, 1).is_empty());
+    }
+
+    #[test]
+    fn gb_parent_child_inverse() {
+        for n in [1usize, 2, 5, 16, 33] {
+            for dim in 1..=4usize {
+                for rank in 0..n {
+                    for c in gb::children(rank, dim, n) {
+                        assert_eq!(gb::parent(c, dim), Some(rank));
+                    }
+                    if let Some(p) = gb::parent(rank, dim) {
+                        assert!(gb::children(p, dim, n).contains(&rank));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gb_is_spanning_tree() {
+        for n in [2usize, 7, 16] {
+            for dim in 1..n {
+                // every rank reaches the root
+                for rank in 0..n {
+                    let mut r = rank;
+                    let mut hops = 0;
+                    while let Some(p) = gb::parent(r, dim) {
+                        r = p;
+                        hops += 1;
+                        assert!(hops <= n, "cycle detected");
+                    }
+                    assert_eq!(r, 0);
+                }
+                // child counts sum to n-1
+                let total: usize = (0..n).map(|r| gb::children(r, dim, n).len()).sum();
+                assert_eq!(total, n - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn gb_dimension_one_is_a_chain() {
+        let n = 5;
+        for rank in 0..n {
+            let kids = gb::children(rank, 1, n);
+            if rank + 1 < n {
+                assert_eq!(kids, vec![rank + 1]);
+            } else {
+                assert!(kids.is_empty());
+            }
+        }
+        assert_eq!(gb::depth(n, 1), n - 1);
+    }
+
+    #[test]
+    fn gb_wide_tree_is_flat() {
+        let n = 8;
+        assert_eq!(gb::children(0, n - 1, n), (1..n).collect::<Vec<_>>());
+        assert_eq!(gb::depth(n, n - 1), 1);
+    }
+
+    #[test]
+    fn gb_depth_binary() {
+        assert_eq!(gb::depth(1, 2), 0);
+        assert_eq!(gb::depth(2, 2), 1);
+        assert_eq!(gb::depth(7, 2), 2);
+        assert_eq!(gb::depth(8, 2), 3);
+    }
+
+    #[test]
+    fn gb_children_no_overflow_at_huge_rank() {
+        assert!(gb::children(usize::MAX / 2, 3, 10).is_empty());
+    }
+
+    #[test]
+    fn dissemination_rounds_count() {
+        assert_eq!(dissemination::rounds(1), 0);
+        assert_eq!(dissemination::rounds(2), 1);
+        assert_eq!(dissemination::rounds(5), 3);
+        assert_eq!(dissemination::rounds(8), 3);
+        assert_eq!(dissemination::rounds(9), 4);
+    }
+
+    #[test]
+    fn dissemination_sends_match_recvs() {
+        for n in 1..=20usize {
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            for rank in 0..n {
+                for s in dissemination::schedule(rank, n) {
+                    match s {
+                        Step::SendTo(p) => sends.push((rank, p)),
+                        Step::RecvFrom(p) => recvs.push((p, rank)),
+                        Step::Exchange(_) => panic!("dissemination has no exchanges"),
+                    }
+                }
+            }
+            sends.sort_unstable();
+            recvs.sort_unstable();
+            assert_eq!(sends, recvs, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dissemination_peers_distinct_per_rank() {
+        // Within one barrier, a rank never receives twice from the same
+        // endpoint (the record would have to queue otherwise).
+        for n in 2..=33usize {
+            for rank in 0..n {
+                let mut recv_peers: Vec<usize> = dissemination::schedule(rank, n)
+                    .into_iter()
+                    .filter_map(|s| match s {
+                        Step::RecvFrom(p) => Some(p),
+                        _ => None,
+                    })
+                    .collect();
+                let before = recv_peers.len();
+                recv_peers.sort_unstable();
+                recv_peers.dedup();
+                assert_eq!(recv_peers.len(), before, "n={n} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_schedule_alternates_send_recv() {
+        let steps = dissemination::schedule(0, 8);
+        assert_eq!(steps.len(), 6);
+        for (i, s) in steps.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(matches!(s, Step::SendTo(_)));
+            } else {
+                assert!(matches!(s, Step::RecvFrom(_)));
+            }
+        }
+        // round peers: send +1,+2,+4; recv -1,-2,-4
+        assert_eq!(steps[0], Step::SendTo(1));
+        assert_eq!(steps[1], Step::RecvFrom(7));
+        assert_eq!(steps[4], Step::SendTo(4));
+        assert_eq!(steps[5], Step::RecvFrom(4));
+    }
+}

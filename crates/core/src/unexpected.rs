@@ -1,0 +1,327 @@
+//! The unexpected-barrier-message record (§3.1).
+//!
+//! "The NIC must be prepared to receive a barrier message from any process
+//! on any node in any order at any time. However, once a process initiates
+//! a barrier operation and is waiting for it to complete, it will not
+//! initiate another one until that barrier completes. So the NIC can
+//! receive at most one unexpected message from every other process on every
+//! node." The paper records these in a bit array per connection (one bit
+//! per remote port).
+//!
+//! We keep the bit array as the paper's constant-time fast path —
+//! `bits[local_port][remote_node]` is a byte, one bit per remote port,
+//! meaning *something* is recorded — backed by small FIFO queues keyed by
+//! `(local port, sender endpoint, packet kind)`. The queues exist because
+//! the §8 value collectives break the paper's one-outstanding invariant:
+//! a broadcast root completes immediately and can race a second collective
+//! ahead, so a slow receiver may legitimately hold a BCAST *and* a PE
+//! message (or two BCASTs) from the same endpoint at once. For pure
+//! barrier traffic every queue stays at depth ≤ 1, preserving the paper's
+//! argument (the `queued_extra` counter proves it in tests).
+//!
+//! Entries also carry the sender's port *epoch* (for the §3.2
+//! record-then-reject-on-open protocol) and an operand *value* (for
+//! reductions/broadcasts).
+
+use gmsim_gm::{GlobalPort, PortId, GM_NUM_PORTS};
+use std::collections::{HashMap, VecDeque};
+
+/// Data stored with one recorded message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordMeta {
+    /// Packet type (PE / gather / broadcast) — consumption is type-keyed
+    /// so a gather for a future GB barrier can never satisfy a PE step.
+    pub kind: u8,
+    /// The sender port's epoch when the message was sent (§3.2 staleness).
+    pub epoch: u32,
+    /// Operand carried by the packet (reduce partials, broadcast values).
+    pub value: u64,
+}
+
+/// Counters for the record (exposed for the ablation benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecordStats {
+    /// Messages recorded as unexpected.
+    pub recorded: u64,
+    /// Recorded messages later consumed by a collective step.
+    pub consumed: u64,
+    /// Records queued behind an existing record from the same endpoint —
+    /// zero for pure barrier streams (the paper's §3.1 invariant), nonzero
+    /// only when §8 value collectives race ahead.
+    pub queued_extra: u64,
+    /// Records superseded across an endpoint epoch change (§3.2 endpoint
+    /// reuse: the dead process's message is discarded).
+    pub superseded: u64,
+}
+
+/// The per-NIC unexpected-message record.
+#[derive(Debug, Clone)]
+pub struct UnexpectedRecord {
+    nodes: usize,
+    /// `bits[local_port][remote_node]`: bit `p` set ⇔ something from
+    /// `(remote_node, p)` awaits `local_port` (the paper's byte per
+    /// connection).
+    bits: Vec<Vec<u8>>,
+    queues: HashMap<(u8, GlobalPort, u8), VecDeque<RecordMeta>>,
+    /// Counters.
+    pub stats: RecordStats,
+}
+
+impl UnexpectedRecord {
+    /// A record for a cluster of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        UnexpectedRecord {
+            nodes,
+            bits: (0..GM_NUM_PORTS).map(|_| vec![0u8; nodes]).collect(),
+            queues: HashMap::new(),
+            stats: RecordStats::default(),
+        }
+    }
+
+    fn mask(from: GlobalPort) -> u8 {
+        1u8 << from.port.0
+    }
+
+    fn any_queued(&self, local: PortId, from: GlobalPort) -> bool {
+        self.queues
+            .iter()
+            .any(|((p, f, _), q)| *p == local.0 && *f == from && !q.is_empty())
+    }
+
+    /// Record an unexpected message from `from` addressed to `local`.
+    /// Returns `false` if something was already recorded from that
+    /// endpoint. A queued record from an *older* epoch of the same
+    /// endpoint and kind is discarded first (its sender is dead, §3.2).
+    pub fn set(&mut self, local: PortId, from: GlobalPort, meta: RecordMeta) -> bool {
+        debug_assert!(from.node.0 < self.nodes);
+        let fresh = !self.any_queued(local, from);
+        let q = self.queues.entry((local.0, from, meta.kind)).or_default();
+        // Epoch change supersedes everything the dead process left behind.
+        let before = q.len();
+        q.retain(|m| m.epoch == meta.epoch);
+        self.stats.superseded += (before - q.len()) as u64;
+        if !q.is_empty() {
+            self.stats.queued_extra += 1;
+        }
+        q.push_back(meta);
+        self.bits[local.idx()][from.node.0] |= Self::mask(from);
+        self.stats.recorded += 1;
+        fresh
+    }
+
+    /// Non-destructive test: has `from` already sent something to `local`?
+    pub fn peek(&self, local: PortId, from: GlobalPort) -> bool {
+        self.bits[local.idx()][from.node.0] & Self::mask(from) != 0
+    }
+
+    /// "After a bit is checked, the bit is cleared" (§4.3): consume the
+    /// oldest record of `expect_kind` from `from`, if any.
+    pub fn check_clear(
+        &mut self,
+        local: PortId,
+        from: GlobalPort,
+        expect_kind: u8,
+    ) -> Option<RecordMeta> {
+        if self.bits[local.idx()][from.node.0] & Self::mask(from) == 0 {
+            return None;
+        }
+        let meta = self
+            .queues
+            .get_mut(&(local.0, from, expect_kind))
+            .and_then(|q| q.pop_front())?;
+        self.stats.consumed += 1;
+        if !self.any_queued(local, from) {
+            self.bits[local.idx()][from.node.0] &= !Self::mask(from);
+        }
+        Some(meta)
+    }
+
+    /// Drain every record addressed to `local` (port-open rejection, §3.2),
+    /// oldest first per (endpoint, kind).
+    pub fn drain_port(&mut self, local: PortId) -> Vec<(GlobalPort, RecordMeta)> {
+        let mut out = Vec::new();
+        let keys: Vec<(u8, GlobalPort, u8)> = self
+            .queues
+            .keys()
+            .filter(|(p, _, _)| *p == local.0)
+            .copied()
+            .collect();
+        for key in keys {
+            if let Some(q) = self.queues.remove(&key) {
+                for meta in q {
+                    out.push((key.1, meta));
+                }
+            }
+        }
+        out.sort_by_key(|(g, m)| (g.node, g.port, m.kind));
+        for cell in self.bits[local.idx()].iter_mut() {
+            *cell = 0;
+        }
+        out
+    }
+
+    /// Total records currently held (diagnostics).
+    pub fn outstanding(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp(n: usize, p: u8) -> GlobalPort {
+        GlobalPort::new(n, p)
+    }
+
+    const META: RecordMeta = RecordMeta {
+        kind: 1,
+        epoch: 1,
+        value: 0,
+    };
+
+    #[test]
+    fn set_then_check_clear_roundtrip() {
+        let mut r = UnexpectedRecord::new(4);
+        let meta = RecordMeta {
+            kind: 2,
+            epoch: 7,
+            value: 99,
+        };
+        assert!(r.set(PortId(1), gp(2, 3), meta));
+        assert!(r.peek(PortId(1), gp(2, 3)));
+        assert_eq!(r.check_clear(PortId(1), gp(2, 3), 2), Some(meta));
+        assert!(!r.peek(PortId(1), gp(2, 3)));
+        assert!(r.check_clear(PortId(1), gp(2, 3), 2).is_none());
+        assert_eq!(r.stats.consumed, 1);
+    }
+
+    #[test]
+    fn records_are_per_local_port() {
+        let mut r = UnexpectedRecord::new(2);
+        r.set(PortId(1), gp(1, 1), META);
+        assert!(!r.peek(PortId(2), gp(1, 1)));
+        assert!(r.check_clear(PortId(2), gp(1, 1), 1).is_none());
+        assert!(r.peek(PortId(1), gp(1, 1)));
+    }
+
+    #[test]
+    fn records_are_per_source_port() {
+        let mut r = UnexpectedRecord::new(2);
+        r.set(PortId(1), gp(1, 1), META);
+        let meta2 = RecordMeta {
+            kind: 1,
+            epoch: 2,
+            value: 5,
+        };
+        r.set(PortId(1), gp(1, 2), meta2);
+        assert_eq!(r.outstanding(), 2);
+        assert_eq!(r.check_clear(PortId(1), gp(1, 2), 1), Some(meta2));
+        assert!(r.peek(PortId(1), gp(1, 1)));
+    }
+
+    #[test]
+    fn wrong_kind_is_not_consumed() {
+        let mut r = UnexpectedRecord::new(2);
+        r.set(PortId(1), gp(1, 1), META); // kind 1
+        assert!(r.check_clear(PortId(1), gp(1, 1), 3).is_none());
+        assert!(r.peek(PortId(1), gp(1, 1)), "record stays in place");
+    }
+
+    #[test]
+    fn different_kinds_coexist_from_one_endpoint() {
+        // The broadcast-races-ahead case: BCAST then PE from one endpoint.
+        let mut r = UnexpectedRecord::new(2);
+        let bcast = RecordMeta {
+            kind: 3,
+            epoch: 1,
+            value: 42,
+        };
+        let pe = RecordMeta {
+            kind: 1,
+            epoch: 1,
+            value: 0,
+        };
+        r.set(PortId(1), gp(1, 1), bcast);
+        r.set(PortId(1), gp(1, 1), pe);
+        assert_eq!(r.outstanding(), 2);
+        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 1), Some(pe));
+        assert!(r.peek(PortId(1), gp(1, 1)), "bcast still recorded");
+        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 3), Some(bcast));
+        assert!(!r.peek(PortId(1), gp(1, 1)));
+    }
+
+    #[test]
+    fn same_kind_queues_fifo() {
+        let mut r = UnexpectedRecord::new(2);
+        let v1 = RecordMeta {
+            kind: 3,
+            epoch: 1,
+            value: 1,
+        };
+        let v2 = RecordMeta {
+            kind: 3,
+            epoch: 1,
+            value: 2,
+        };
+        r.set(PortId(1), gp(1, 1), v1);
+        r.set(PortId(1), gp(1, 1), v2);
+        assert_eq!(r.stats.queued_extra, 1);
+        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 3), Some(v1));
+        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 3), Some(v2));
+    }
+
+    #[test]
+    fn epoch_change_supersedes_old_records() {
+        let mut r = UnexpectedRecord::new(2);
+        r.set(PortId(1), gp(1, 1), META); // epoch 1
+        let newer = RecordMeta {
+            kind: 1,
+            epoch: 2,
+            value: 9,
+        };
+        r.set(PortId(1), gp(1, 1), newer);
+        assert_eq!(r.stats.superseded, 1);
+        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 1), Some(newer));
+        assert!(r.check_clear(PortId(1), gp(1, 1), 1).is_none());
+    }
+
+    #[test]
+    fn drain_port_returns_everything_for_that_port() {
+        let mut r = UnexpectedRecord::new(3);
+        r.set(PortId(1), gp(0, 2), META);
+        r.set(
+            PortId(1),
+            gp(2, 5),
+            RecordMeta {
+                kind: 1,
+                epoch: 3,
+                value: 1,
+            },
+        );
+        r.set(PortId(4), gp(2, 5), META);
+        let drained = r.drain_port(PortId(1));
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, gp(0, 2));
+        assert_eq!(drained[1].0, gp(2, 5));
+        assert_eq!(drained[1].1.epoch, 3);
+        assert_eq!(r.outstanding(), 1, "other port untouched");
+        assert!(r.peek(PortId(4), gp(2, 5)));
+    }
+
+    #[test]
+    fn drain_empty_port_is_empty() {
+        let mut r = UnexpectedRecord::new(2);
+        assert!(r.drain_port(PortId(3)).is_empty());
+    }
+
+    #[test]
+    fn outstanding_counts_records() {
+        let mut r = UnexpectedRecord::new(4);
+        assert_eq!(r.outstanding(), 0);
+        for p in 0..4u8 {
+            r.set(PortId(1), gp(3, p), META);
+        }
+        assert_eq!(r.outstanding(), 4);
+    }
+}

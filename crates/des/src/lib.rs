@@ -1,0 +1,46 @@
+//! Deterministic discrete-event simulation (DES) engine.
+//!
+//! This crate is the foundation of the Myrinet/GM NIC-barrier reproduction.
+//! Everything above it — the wormhole fabric, the LANai NIC model, the GM
+//! message-passing stack and the barrier algorithms themselves — is expressed
+//! as state machines whose transitions are scheduled on a single virtual
+//! clock provided by this engine.
+//!
+//! Design goals:
+//!
+//! * **Determinism.** Two runs with the same seed and the same configuration
+//!   produce byte-identical event traces. Events scheduled for the same
+//!   timestamp fire in FIFO order of scheduling (a monotone sequence number
+//!   breaks ties), so no behaviour ever depends on hash iteration order or
+//!   heap internals.
+//! * **Genericity.** The engine is generic over the *world* type `W`; the GM
+//!   stack instantiates it with its cluster state. Events are boxed
+//!   `FnOnce(&mut W, &mut Scheduler<W>)` closures (or any type implementing
+//!   [`Event`]), which keeps the upper layers free to capture whatever
+//!   context they need.
+//! * **Guard rails.** [`Simulation::run`] enforces an event budget so a bug
+//!   that produces an event livelock fails a test instead of hanging it.
+//!
+//! ```
+//! use gmsim_des::{Simulation, SimTime};
+//!
+//! let mut sim = Simulation::new(0u64);
+//! sim.scheduler_mut().schedule_fn(SimTime::from_us(5), |w: &mut u64, _s| *w += 1);
+//! sim.run();
+//! assert_eq!(*sim.world(), 1);
+//! assert_eq!(sim.now(), SimTime::from_us(5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod scheduler;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use rng::SimRng;
+pub use scheduler::{Event, RunOutcome, Scheduler, Simulation};
+pub use stats::{Histogram, Summary};
+pub use time::SimTime;
+pub use trace::{TraceEvent, TraceSink};

@@ -1,0 +1,176 @@
+//! Deterministic, splittable random number generation.
+//!
+//! Experiments need randomness (barrier start skew, drop injection, workload
+//! shapes) but must stay reproducible: a single experiment seed determines
+//! everything. [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds
+//! *splitting* — deriving an independent child stream from a label — so that
+//! per-node or per-component streams do not interleave nondeterministically
+//! when the code that consumes them is reordered.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded RNG with labelled splitting.
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            seed,
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream. The child depends only on the
+    /// parent's seed and the label — not on how much the parent has been
+    /// used — so components can be split off in any order.
+    pub fn split(&self, label: u64) -> SimRng {
+        // SplitMix64-style mix of (seed, label); cheap and well distributed.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(label.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::new(z)
+    }
+
+    /// Uniform `u64` in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Uniform duration in `[lo, hi)` nanoseconds, returned as nanoseconds.
+    pub fn ns_between(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A fresh full-entropy `u64`.
+    #[allow(clippy::should_implement_trait)] // not an iterator; name is apt
+    pub fn next(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next() == b.next()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_independent_of_parent_usage() {
+        let parent1 = SimRng::new(7);
+        let mut parent2 = SimRng::new(7);
+        let _ = parent2.next(); // consume some parent entropy
+        let mut c1 = parent1.split(3);
+        let mut c2 = parent2.split(3);
+        for _ in 0..32 {
+            assert_eq!(c1.next(), c2.next());
+        }
+    }
+
+    #[test]
+    fn split_labels_give_distinct_streams() {
+        let parent = SimRng::new(7);
+        let mut c1 = parent.split(1);
+        let mut c2 = parent.split(2);
+        assert_ne!(c1.next(), c2.next());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(9);
+        for _ in 0..100 {
+            assert!(!r.chance(0.0));
+            assert!(r.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::new(13);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

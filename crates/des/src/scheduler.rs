@@ -1,0 +1,357 @@
+//! The event scheduler and simulation driver.
+//!
+//! A [`Scheduler`] is a priority queue of `(time, seq, event)` entries. The
+//! `seq` counter makes ordering total and deterministic: events at equal
+//! timestamps fire in the order they were scheduled. A [`Simulation`] couples
+//! a scheduler with the simulated world and drives the loop.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A schedulable event acting on world `W`.
+///
+/// Implemented for all `FnOnce(&mut W, &mut Scheduler<W>)` closures, which is
+/// how the upper layers almost always use it.
+pub trait Event<W> {
+    /// Consume the event, mutating the world and possibly scheduling more.
+    fn fire(self: Box<Self>, world: &mut W, sched: &mut Scheduler<W>);
+}
+
+impl<W, F> Event<W> for F
+where
+    F: FnOnce(&mut W, &mut Scheduler<W>),
+{
+    fn fire(self: Box<Self>, world: &mut W, sched: &mut Scheduler<W>) {
+        (*self)(world, sched)
+    }
+}
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    event: Box<dyn Event<W>>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO, giving full determinism.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Priority queue of pending events plus the current virtual time.
+pub struct Scheduler<W> {
+    heap: BinaryHeap<Entry<W>>,
+    now: SimTime,
+    seq: u64,
+    fired: u64,
+}
+
+impl<W> Default for Scheduler<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Scheduler<W> {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            fired: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    #[inline]
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling backwards in time is always
+    /// a model bug and must fail loudly.
+    pub fn schedule(&mut self, at: SimTime, event: Box<dyn Event<W>>) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedule a closure at absolute time `at`.
+    #[inline]
+    pub fn schedule_fn<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.schedule(at, Box::new(f));
+    }
+
+    /// Schedule a closure `delay` after the current time.
+    #[inline]
+    pub fn schedule_in<F>(&mut self, delay: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule_fn(at, f);
+    }
+
+    /// Pop and fire the earliest event against `world`. Returns `false` when
+    /// the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.heap.pop() {
+            Some(Entry { at, event, .. }) => {
+                debug_assert!(at >= self.now, "time went backwards");
+                self.now = at;
+                self.fired += 1;
+                event.fire(world, self);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Why [`Simulation::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained — the normal way a simulation ends.
+    Quiescent,
+    /// The time horizon passed; events beyond it remain queued.
+    HorizonReached,
+    /// The event budget was exhausted — almost certainly a livelock bug.
+    BudgetExhausted,
+}
+
+/// A world plus a scheduler, with guarded run loops.
+pub struct Simulation<W> {
+    world: W,
+    sched: Scheduler<W>,
+    /// Upper bound on the total number of fired events (livelock guard).
+    budget: u64,
+}
+
+impl<W> Simulation<W> {
+    /// Default budget: generous for real experiments, small enough that a
+    /// livelocked unit test fails in well under a second.
+    pub const DEFAULT_BUDGET: u64 = 500_000_000;
+
+    /// Create a simulation around `world`.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+            budget: Self::DEFAULT_BUDGET,
+        }
+    }
+
+    /// Replace the event budget (livelock guard).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Immutable world access.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable world access (setup/teardown only — events mutate via firing).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// The scheduler, for seeding initial events.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<W> {
+        &mut self.sched
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Total events fired.
+    pub fn events_fired(&self) -> u64 {
+        self.sched.fired()
+    }
+
+    /// Fire one event; `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.sched.step(&mut self.world)
+    }
+
+    /// Run until the queue drains or the budget is exhausted.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Run until the queue drains, the next event lies beyond `horizon`, or
+    /// the budget is exhausted. The clock never advances past `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.sched.fired() >= self.budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            match self.sched.heap.peek() {
+                None => return RunOutcome::Quiescent,
+                Some(e) if e.at > horizon => return RunOutcome::HorizonReached,
+                Some(_) => {
+                    self.sched.step(&mut self.world);
+                }
+            }
+        }
+    }
+
+    /// Run while `pred(world)` holds (checked before each event).
+    pub fn run_while<P: FnMut(&W) -> bool>(&mut self, mut pred: P) -> RunOutcome {
+        loop {
+            if !pred(&self.world) {
+                return RunOutcome::HorizonReached;
+            }
+            if self.sched.fired() >= self.budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            if !self.sched.step(&mut self.world) {
+                return RunOutcome::Quiescent;
+            }
+        }
+    }
+
+    /// Consume the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        let s = sim.scheduler_mut();
+        s.schedule_fn(SimTime::from_us(30), |w: &mut Vec<u32>, _| w.push(3));
+        s.schedule_fn(SimTime::from_us(10), |w: &mut Vec<u32>, _| w.push(1));
+        s.schedule_fn(SimTime::from_us(20), |w: &mut Vec<u32>, _| w.push(2));
+        assert_eq!(sim.run(), RunOutcome::Quiescent);
+        assert_eq!(sim.world(), &[1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_us(30));
+    }
+
+    #[test]
+    fn ties_fire_fifo() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        let t = SimTime::from_us(5);
+        for i in 0..100 {
+            sim.scheduler_mut()
+                .schedule_fn(t, move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run();
+        assert_eq!(*sim.world(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulation::new(0u64);
+        fn tick(w: &mut u64, s: &mut Scheduler<u64>) {
+            *w += 1;
+            if *w < 10 {
+                s.schedule_in(SimTime::from_us(1), tick);
+            }
+        }
+        sim.scheduler_mut().schedule_fn(SimTime::ZERO, tick);
+        assert_eq!(sim.run(), RunOutcome::Quiescent);
+        assert_eq!(*sim.world(), 10);
+        assert_eq!(sim.now(), SimTime::from_us(9));
+    }
+
+    #[test]
+    fn horizon_stops_clock() {
+        let mut sim = Simulation::new(0u64);
+        sim.scheduler_mut()
+            .schedule_fn(SimTime::from_us(10), |w: &mut u64, _| *w = 1);
+        sim.scheduler_mut()
+            .schedule_fn(SimTime::from_us(100), |w: &mut u64, _| *w = 2);
+        assert_eq!(sim.run_until(SimTime::from_us(50)), RunOutcome::HorizonReached);
+        assert_eq!(*sim.world(), 1);
+        assert_eq!(sim.now(), SimTime::from_us(10));
+        // The remaining event still fires on a later run.
+        assert_eq!(sim.run(), RunOutcome::Quiescent);
+        assert_eq!(*sim.world(), 2);
+    }
+
+    #[test]
+    fn budget_catches_livelock() {
+        let mut sim = Simulation::new(0u64).with_budget(1_000);
+        fn forever(_: &mut u64, s: &mut Scheduler<u64>) {
+            s.schedule_in(SimTime::from_ns(1), forever);
+        }
+        sim.scheduler_mut().schedule_fn(SimTime::ZERO, forever);
+        assert_eq!(sim.run(), RunOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut sim = Simulation::new(0u64);
+        for i in 0..20u64 {
+            sim.scheduler_mut()
+                .schedule_fn(SimTime::from_us(i), |w: &mut u64, _| *w += 1);
+        }
+        sim.run_while(|w| *w < 5);
+        assert_eq!(*sim.world(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.scheduler_mut()
+            .schedule_fn(SimTime::from_us(10), |_, s: &mut Scheduler<()>| {
+                s.schedule_fn(SimTime::from_us(5), |_, _| {});
+            });
+        sim.run();
+    }
+
+    #[test]
+    fn step_returns_false_when_empty() {
+        let mut sim = Simulation::new(());
+        assert!(!sim.step());
+        assert_eq!(sim.events_fired(), 0);
+    }
+}

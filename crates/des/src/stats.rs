@@ -1,0 +1,263 @@
+//! Streaming statistics for experiment measurement.
+//!
+//! The paper reports the mean over 100 000 consecutive barriers; our harness
+//! additionally reports spread so that calibration regressions show up. Both
+//! accumulators are single-pass and allocation-free per sample.
+
+use crate::time::SimTime;
+
+/// Streaming mean/min/max/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Add one duration sample, in microseconds (the paper's reporting unit).
+    pub fn record_time_us(&mut self, t: SimTime) {
+        self.record(t.as_us_f64());
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest sample (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Unbiased sample standard deviation (0 for n < 2).
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel sweeps).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width-bin histogram over `[0, bin_width * bins)` with an overflow
+/// bucket; used for latency distributions in the testbed.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `bins` buckets of width `bin_width`.
+    pub fn new(bin_width: f64, bins: usize) -> Self {
+        assert!(bin_width > 0.0 && bins > 0);
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Add a sample.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < 0.0 {
+            self.overflow += 1;
+            return;
+        }
+        let idx = (x / self.bin_width) as usize;
+        match self.counts.get_mut(idx) {
+            Some(c) => *c += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples that fell outside the binned range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) from bucket upper edges;
+    /// `None` if empty or the quantile lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some((i as f64 + 1.0) * self.bin_width);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.138089935299395).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn summary_merge_equals_single_stream() {
+        let data: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = Summary::new();
+        data.iter().for_each(|&x| whole.record(x));
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        data[..40].iter().for_each(|&x| a.record(x));
+        data[40..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        a.record(3.0);
+        let before = a.mean();
+        a.merge(&Summary::new());
+        assert_eq!(a.mean(), before);
+        let mut e = Summary::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn summary_record_time() {
+        let mut s = Summary::new();
+        s.record_time_us(SimTime::from_us(100));
+        assert!((s.mean() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(10.0, 5);
+        for x in [0.0, 5.0, 15.0, 49.9, 50.0, 1000.0, -1.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(4), 1);
+        assert_eq!(h.overflow(), 3);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((49.0..=51.0).contains(&median), "median={median}");
+        assert!(h.quantile(1.0).unwrap() >= 99.0);
+        assert!(Histogram::new(1.0, 4).quantile(0.5).is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Lightweight event tracing.
+//!
+//! Tracing serves two purposes here: the determinism test (same seed ⇒
+//! identical trace) and debuggability of the MCP state machines. A
+//! [`TraceSink`] is deliberately simple — a bounded ring of formatted
+//! records — so leaving it enabled in tests costs little.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time the event was recorded at.
+    pub at: SimTime,
+    /// Component that recorded it, e.g. `"nic3.sdma"`.
+    pub component: String,
+    /// Free-form message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {}: {}", self.at.as_ns(), self.component, self.message)
+    }
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug)]
+pub struct TraceSink {
+    enabled: bool,
+    capacity: usize,
+    records: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl TraceSink {
+    /// A sink that records up to `capacity` events, dropping the oldest.
+    pub fn bounded(capacity: usize) -> Self {
+        TraceSink {
+            enabled: true,
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// A sink that ignores everything (zero overhead beyond one branch).
+    pub fn disabled() -> Self {
+        TraceSink {
+            enabled: false,
+            capacity: 0,
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, component: &str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceEvent {
+            at,
+            component: component.to_owned(),
+            message: message.into(),
+        });
+    }
+
+    /// Records currently held (oldest first).
+    pub fn records(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.records.iter()
+    }
+
+    /// Number of records evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// A stable fingerprint of the full trace seen so far (including evicted
+    /// records), for determinism tests. FNV-1a over the rendered records.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(&self.dropped.to_le_bytes());
+        for r in &self.records {
+            mix(&r.at.as_ns().to_le_bytes());
+            mix(r.component.as_bytes());
+            mix(r.message.as_bytes());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut t = TraceSink::disabled();
+        t.record(SimTime::ZERO, "x", "y");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn bounded_sink_evicts_oldest() {
+        let mut t = TraceSink::bounded(2);
+        t.record(SimTime::from_ns(1), "a", "1");
+        t.record(SimTime::from_ns(2), "a", "2");
+        t.record(SimTime::from_ns(3), "a", "3");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let msgs: Vec<_> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, ["2", "3"]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let mut a = TraceSink::bounded(16);
+        let mut b = TraceSink::bounded(16);
+        for i in 0..5u64 {
+            a.record(SimTime::from_ns(i), "c", format!("m{i}"));
+            b.record(SimTime::from_ns(i), "c", format!("m{i}"));
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.record(SimTime::from_ns(9), "c", "extra");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn display_renders() {
+        let e = TraceEvent {
+            at: SimTime::from_ns(1500),
+            component: "nic0.recv".into(),
+            message: "pkt".into(),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("nic0.recv") && s.contains("pkt"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the DES engine: event ordering, statistics
+//! merging, and RNG determinism.
+
+use gmsim_des::{Scheduler, SimRng, SimTime, Simulation, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events fire in nondecreasing time order, with FIFO order at equal
+    /// timestamps, for arbitrary schedules.
+    #[test]
+    fn fire_order_is_total(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+        for (i, &t) in times.iter().enumerate() {
+            sim.scheduler_mut().schedule_fn(
+                SimTime::from_ns(t),
+                move |w: &mut Vec<(u64, usize)>, _| w.push((t, i)),
+            );
+        }
+        sim.run();
+        let fired = sim.world();
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Nested scheduling preserves ordering too: every event schedules a
+    /// follow-up; the clock never runs backwards.
+    #[test]
+    fn nested_scheduling_never_goes_backwards(
+        seeds in proptest::collection::vec((0u64..500, 1u64..100), 1..50)
+    ) {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        for &(start, delay) in &seeds {
+            sim.scheduler_mut().schedule_fn(
+                SimTime::from_ns(start),
+                move |_: &mut Vec<u64>, s| {
+                    let now = s.now();
+                    s.schedule_in(SimTime::from_ns(delay), move |w: &mut Vec<u64>, s2| {
+                        assert!(s2.now() >= now);
+                        w.push(s2.now().as_ns());
+                    });
+                },
+            );
+        }
+        sim.run();
+        let fired = sim.world();
+        prop_assert_eq!(fired.len(), seeds.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// `Summary::merge` is equivalent to a single-stream accumulation for
+    /// any split point, and merging is associative enough for sweeps.
+    #[test]
+    fn summary_merge_any_split(data in proptest::collection::vec(-1e6f64..1e6, 2..300),
+                               split_sel in 0usize..300) {
+        let split = split_sel % data.len();
+        let mut whole = Summary::new();
+        data.iter().for_each(|&x| whole.record(x));
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        data[..split].iter().for_each(|&x| a.record(x));
+        data[split..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((a.stddev() - whole.stddev()).abs() <= 1e-6 * whole.stddev().abs().max(1.0));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+    }
+
+    /// Split RNG streams are stable: splitting with the same label always
+    /// yields the same stream, and distinct labels diverge.
+    #[test]
+    fn rng_split_determinism(seed in any::<u64>(), l1 in any::<u64>(), l2 in any::<u64>()) {
+        let parent = SimRng::new(seed);
+        let mut a1 = parent.split(l1);
+        let mut a2 = parent.split(l1);
+        for _ in 0..8 {
+            prop_assert_eq!(a1.next(), a2.next());
+        }
+        if l1 != l2 {
+            let mut b = parent.split(l2);
+            let mut a = parent.split(l1);
+            let agree = (0..8).filter(|_| a.next() == b.next()).count();
+            prop_assert!(agree < 8, "distinct labels produced identical streams");
+        }
+    }
+
+    /// run_until never advances the clock past the horizon, and running the
+    /// remainder afterwards fires everything exactly once.
+    #[test]
+    fn horizon_is_respected(times in proptest::collection::vec(0u64..1_000, 1..100),
+                            horizon in 0u64..1_000) {
+        let mut sim = Simulation::new(0usize);
+        for &t in &times {
+            sim.scheduler_mut()
+                .schedule_fn(SimTime::from_ns(t), |w: &mut usize, _| *w += 1);
+        }
+        sim.run_until(SimTime::from_ns(horizon));
+        let before = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(*sim.world(), before);
+        prop_assert!(sim.now() <= SimTime::from_ns(horizon));
+        sim.run();
+        prop_assert_eq!(*sim.world(), times.len());
+    }
+}
+
+/// Deterministic replay: two identical simulations produce identical event
+/// counts and final clocks even under a complex random workload.
+#[test]
+fn replay_is_bit_identical() {
+    fn run(seed: u64) -> (u64, SimTime, u64) {
+        let mut sim = Simulation::new(SimRng::new(seed));
+        fn step(w: &mut SimRng, s: &mut Scheduler<SimRng>) {
+            let jump = w.ns_between(1, 10_000);
+            if w.chance(0.9) {
+                s.schedule_in(SimTime::from_ns(jump), step);
+            }
+            if w.chance(0.3) {
+                s.schedule_in(SimTime::from_ns(jump * 2), |_, _| {});
+            }
+        }
+        for _ in 0..10 {
+            sim.scheduler_mut().schedule_fn(SimTime::ZERO, step);
+        }
+        sim.run();
+        let events = sim.events_fired();
+        let now = sim.now();
+        let mut world = sim.into_world();
+        (events, now, world.next())
+    }
+    assert_eq!(run(1234), run(1234));
+    assert_ne!(run(1234), run(4321));
+}

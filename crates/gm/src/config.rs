@@ -1,0 +1,105 @@
+//! Cluster-wide configuration knobs.
+
+use gmsim_des::SimTime;
+use gmsim_lanai::NicModel;
+
+/// How collective (barrier) packets travel the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveWireMode {
+    /// Inside the per-connection reliable, ordered stream — the §3.3 design
+    /// the paper adopts, preserving barrier/non-barrier ordering.
+    Reliable,
+    /// Fire-and-forget, as in the paper's measured prototype ("our current
+    /// implementation, which uses unreliable barrier packets", §4.4). Kept
+    /// for the reliability-overhead ablation; safe only on a fault-free
+    /// fabric.
+    Unreliable,
+}
+
+/// Configuration for a GM cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmConfig {
+    /// NIC hardware model on every node.
+    pub nic: NicModel,
+    /// Host overhead from a process initiating a send until the NIC can
+    /// detect the token (the paper's *Send* term).
+    pub host_send_overhead: SimTime,
+    /// Host overhead to process one returned event (the paper's *HRecv*).
+    pub host_recv_overhead: SimTime,
+    /// Send tokens a port holds when opened.
+    pub send_tokens_per_port: u32,
+    /// Receive tokens a port holds when opened (implicitly re-provided by
+    /// the modelled process after each receive, unless a workload says
+    /// otherwise).
+    pub recv_tokens_per_port: u32,
+    /// Retransmission timeout for unacknowledged reliable packets.
+    pub retransmit_timeout: SimTime,
+    /// Collective wire mode (see [`CollectiveWireMode`]).
+    pub collective_wire: CollectiveWireMode,
+    /// §3.4 optimization: co-located barrier participants complete through
+    /// a NIC-local flag instead of a wire message.
+    pub same_nic_optimization: bool,
+}
+
+impl GmConfig {
+    /// The paper's testbed host: dual 300 MHz Pentium II running the GM
+    /// library. Overheads per DESIGN.md §9 calibration.
+    pub fn paper_host(nic: NicModel) -> Self {
+        GmConfig {
+            nic,
+            host_send_overhead: SimTime::from_ns(8_000),
+            host_recv_overhead: SimTime::from_ns(6_800),
+            send_tokens_per_port: 16,
+            recv_tokens_per_port: 64,
+            retransmit_timeout: SimTime::from_ms(2),
+            collective_wire: CollectiveWireMode::Reliable,
+            same_nic_optimization: true,
+        }
+    }
+
+    /// Scale host overheads by a factor — models an additional programming
+    /// layer such as MPI over GM (§2.2: "as the host send overhead
+    /// increases ... the factor of improvement will increase").
+    pub fn with_layer_overhead(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0);
+        self.host_send_overhead =
+            SimTime::from_ns((self.host_send_overhead.as_ns() as f64 * factor) as u64);
+        self.host_recv_overhead =
+            SimTime::from_ns((self.host_recv_overhead.as_ns() as f64 * factor) as u64);
+        self
+    }
+}
+
+impl Default for GmConfig {
+    fn default() -> Self {
+        GmConfig::paper_host(NicModel::LANAI_4_3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_testbed() {
+        let c = GmConfig::default();
+        assert_eq!(c.nic.name, "LANai 4.3");
+        assert_eq!(c.host_send_overhead, SimTime::from_us(8));
+        assert_eq!(c.collective_wire, CollectiveWireMode::Reliable);
+    }
+
+    #[test]
+    fn layer_overhead_scales_host_terms_only() {
+        let base = GmConfig::default();
+        let mpi = base.with_layer_overhead(2.0);
+        assert_eq!(mpi.host_send_overhead, base.host_send_overhead * 2);
+        assert_eq!(mpi.host_recv_overhead, base.host_recv_overhead * 2);
+        assert_eq!(mpi.nic, base.nic);
+    }
+
+    #[test]
+    #[should_panic]
+    fn layer_overhead_below_one_rejected() {
+        let _ = GmConfig::default().with_layer_overhead(0.5);
+    }
+}

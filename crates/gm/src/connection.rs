@@ -1,0 +1,325 @@
+//! Reliable NIC-to-NIC connections.
+//!
+//! "At the host level GM is connectionless, but provides reliability by
+//! maintaining reliable connections between NICs of different nodes" (§4.1).
+//! Each connection carries its own sequence space, a sent (unacknowledged)
+//! list, cumulative acks, nacks, and go-back-N retransmission: "If a packet
+//! is negatively acknowledged, all packets sent after that packet must be
+//! resent" (§4.4).
+//!
+//! This module is a pure state machine — no timing, no scheduling — which
+//! is what makes the retransmission corner cases unit-testable.
+
+use crate::ids::NodeId;
+use crate::packet::{Packet, Seq};
+use gmsim_des::SimTime;
+use std::collections::VecDeque;
+
+/// Verdict on an arriving reliable packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxVerdict {
+    /// In order: deliver it and bump the expected sequence.
+    Accept,
+    /// Already delivered: discard, but re-ack so the sender can advance.
+    Duplicate,
+    /// A gap: discard and nack with the sequence we still need.
+    OutOfOrder {
+        /// The sequence number the receiver is waiting for.
+        expected: Seq,
+    },
+}
+
+/// An unacknowledged transmission.
+#[derive(Debug, Clone)]
+pub struct SentEntry {
+    /// The packet as transmitted (retransmissions clone it).
+    pub packet: Packet,
+    /// When it was last (re)transmitted — identifies stale timers.
+    pub sent_at: SimTime,
+}
+
+/// One reliable connection to a peer NIC.
+#[derive(Debug)]
+pub struct Connection {
+    peer: NodeId,
+    next_tx: Seq,
+    expect_rx: Seq,
+    sent: VecDeque<SentEntry>,
+    /// Retransmissions performed (stats/ablation).
+    retransmissions: u64,
+}
+
+impl Connection {
+    /// A fresh connection to `peer`.
+    pub fn new(peer: NodeId) -> Self {
+        Connection {
+            peer,
+            next_tx: 0,
+            expect_rx: 0,
+            sent: VecDeque::new(),
+            retransmissions: 0,
+        }
+    }
+
+    /// The peer NIC.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Allocate the next transmit sequence number.
+    pub fn assign_seq(&mut self) -> Seq {
+        let s = self.next_tx;
+        self.next_tx = self.next_tx.checked_add(1).expect("sequence space exhausted");
+        s
+    }
+
+    /// Record a reliable transmission awaiting acknowledgment.
+    ///
+    /// # Panics
+    /// Panics if the packet carries no sequence number or sequences are
+    /// recorded out of order (both are firmware bugs).
+    pub fn record_sent(&mut self, packet: Packet, at: SimTime) {
+        let seq = packet.seq().expect("recording an unsequenced packet");
+        if let Some(back) = self.sent.back() {
+            assert!(
+                back.packet.seq().unwrap() < seq,
+                "sent list out of order: {seq}"
+            );
+        }
+        self.sent.push_back(SentEntry { packet, sent_at: at });
+    }
+
+    /// Apply a cumulative ack: drop every entry with `seq < ack`.
+    /// Returns how many sends completed.
+    pub fn on_ack(&mut self, ack: Seq) -> usize {
+        self.on_ack_drain(ack).len()
+    }
+
+    /// Apply a cumulative ack, returning the completed entries (the caller
+    /// returns send tokens and fires completion callbacks from them).
+    pub fn on_ack_drain(&mut self, ack: Seq) -> Vec<SentEntry> {
+        let mut done = Vec::new();
+        while let Some(front) = self.sent.front() {
+            if front.packet.seq().unwrap() < ack {
+                done.push(self.sent.pop_front().unwrap());
+            } else {
+                break;
+            }
+        }
+        done
+    }
+
+    /// Go-back-N after a nack: return clones of every unacked packet with
+    /// `seq >= expected`, marking them retransmitted at `now`.
+    pub fn on_nack(&mut self, expected: Seq, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for entry in self.sent.iter_mut() {
+            if entry.packet.seq().unwrap() >= expected {
+                entry.sent_at = now;
+                self.retransmissions += 1;
+                out.push(entry.packet.clone());
+            }
+        }
+        out
+    }
+
+    /// Retransmission-timer expiry for the entry `(seq, sent_at)`. If that
+    /// exact transmission is still unacknowledged, go-back-N from it;
+    /// otherwise the timer is stale and nothing happens.
+    pub fn on_timeout(&mut self, seq: Seq, sent_at: SimTime, now: SimTime) -> Vec<Packet> {
+        let live = self
+            .sent
+            .iter()
+            .any(|e| e.packet.seq().unwrap() == seq && e.sent_at == sent_at);
+        if !live {
+            return Vec::new();
+        }
+        self.on_nack(seq, now)
+    }
+
+    /// Oldest unacknowledged entry, if any (drives timer re-arming).
+    pub fn oldest_unacked(&self) -> Option<&SentEntry> {
+        self.sent.front()
+    }
+
+    /// Update the recorded transmission instant of `seq` (after the SEND
+    /// machine fixes the actual wire time of a retransmission).
+    pub fn refresh_sent_at(&mut self, seq: Seq, at: SimTime) {
+        if let Some(e) = self
+            .sent
+            .iter_mut()
+            .find(|e| e.packet.seq().unwrap() == seq)
+        {
+            e.sent_at = at;
+        }
+    }
+
+    /// Classify without advancing (used when delivery might be refused, e.g.
+    /// receiver-not-ready, in which case the window must not move).
+    pub fn peek_rx(&self, seq: Seq) -> RxVerdict {
+        if seq == self.expect_rx {
+            RxVerdict::Accept
+        } else if seq < self.expect_rx {
+            RxVerdict::Duplicate
+        } else {
+            RxVerdict::OutOfOrder {
+                expected: self.expect_rx,
+            }
+        }
+    }
+
+    /// Advance the receive window after a peeked Accept was honoured.
+    pub fn advance_rx(&mut self) {
+        self.expect_rx += 1;
+    }
+
+    /// Number of unacknowledged packets.
+    pub fn in_flight(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Classify an arriving reliable packet and advance the receive window
+    /// on acceptance.
+    pub fn classify_rx(&mut self, seq: Seq) -> RxVerdict {
+        if seq == self.expect_rx {
+            self.expect_rx += 1;
+            RxVerdict::Accept
+        } else if seq < self.expect_rx {
+            RxVerdict::Duplicate
+        } else {
+            RxVerdict::OutOfOrder {
+                expected: self.expect_rx,
+            }
+        }
+    }
+
+    /// Cumulative ack value to advertise (one past the last in-order seq).
+    pub fn ack_value(&self) -> Seq {
+        self.expect_rx
+    }
+
+    /// Total retransmitted packets.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GlobalPort;
+    use crate::packet::PacketKind;
+
+    fn pkt(seq: Seq) -> Packet {
+        Packet {
+            src: GlobalPort::new(0, 1),
+            dst: GlobalPort::new(1, 1),
+            kind: PacketKind::Data {
+                seq,
+                len: 8,
+                tag: 0,
+                notify: false,
+            },
+        }
+    }
+
+    fn conn() -> Connection {
+        Connection::new(NodeId(1))
+    }
+
+    #[test]
+    fn seq_assignment_is_dense() {
+        let mut c = conn();
+        assert_eq!(c.assign_seq(), 0);
+        assert_eq!(c.assign_seq(), 1);
+        assert_eq!(c.assign_seq(), 2);
+    }
+
+    #[test]
+    fn in_order_receive_accepts() {
+        let mut c = conn();
+        assert_eq!(c.classify_rx(0), RxVerdict::Accept);
+        assert_eq!(c.classify_rx(1), RxVerdict::Accept);
+        assert_eq!(c.ack_value(), 2);
+    }
+
+    #[test]
+    fn gap_nacks_and_does_not_advance() {
+        let mut c = conn();
+        assert_eq!(c.classify_rx(0), RxVerdict::Accept);
+        assert_eq!(c.classify_rx(3), RxVerdict::OutOfOrder { expected: 1 });
+        assert_eq!(c.ack_value(), 1);
+        // the missing packet is still acceptable
+        assert_eq!(c.classify_rx(1), RxVerdict::Accept);
+    }
+
+    #[test]
+    fn duplicate_detected() {
+        let mut c = conn();
+        assert_eq!(c.classify_rx(0), RxVerdict::Accept);
+        assert_eq!(c.classify_rx(0), RxVerdict::Duplicate);
+    }
+
+    #[test]
+    fn cumulative_ack_clears_prefix() {
+        let mut c = conn();
+        for s in 0..4 {
+            let q = c.assign_seq();
+            c.record_sent(pkt(q), SimTime::from_ns(s));
+        }
+        assert_eq!(c.in_flight(), 4);
+        assert_eq!(c.on_ack(2), 2);
+        assert_eq!(c.in_flight(), 2);
+        assert_eq!(c.oldest_unacked().unwrap().packet.seq(), Some(2));
+        assert_eq!(c.on_ack(100), 2);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn nack_triggers_go_back_n() {
+        let mut c = conn();
+        for s in 0..3 {
+            let q = c.assign_seq();
+            c.record_sent(pkt(q), SimTime::from_ns(s));
+        }
+        let re = c.on_nack(1, SimTime::from_us(5));
+        let seqs: Vec<_> = re.iter().map(|p| p.seq().unwrap()).collect();
+        assert_eq!(seqs, [1, 2]);
+        assert_eq!(c.retransmissions(), 2);
+        // sent_at was refreshed
+        assert!(c
+            .sent
+            .iter()
+            .filter(|e| e.packet.seq().unwrap() >= 1)
+            .all(|e| e.sent_at == SimTime::from_us(5)));
+    }
+
+    #[test]
+    fn stale_timeout_is_ignored() {
+        let mut c = conn();
+        let q = c.assign_seq();
+        c.record_sent(pkt(q), SimTime::from_ns(10));
+        // A timer armed for an older transmission instant must not fire.
+        assert!(c.on_timeout(0, SimTime::from_ns(5), SimTime::from_us(1)).is_empty());
+        // The live one does.
+        let re = c.on_timeout(0, SimTime::from_ns(10), SimTime::from_us(1));
+        assert_eq!(re.len(), 1);
+    }
+
+    #[test]
+    fn timeout_after_ack_is_ignored() {
+        let mut c = conn();
+        let q = c.assign_seq();
+        c.record_sent(pkt(q), SimTime::from_ns(10));
+        c.on_ack(1);
+        assert!(c.on_timeout(0, SimTime::from_ns(10), SimTime::from_us(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn recording_out_of_order_panics() {
+        let mut c = conn();
+        c.record_sent(pkt(5), SimTime::ZERO);
+        c.record_sent(pkt(3), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,70 @@
+//! Events GM delivers to host processes.
+//!
+//! A GM process polls `gm_receive()`; each poll may return one event. The
+//! paper adds `GM_BARRIER_COMPLETED_EVENT` to the stock set; our collective
+//! extensions add value-carrying completions for the future-work
+//! collectives (§8).
+
+use crate::ids::GlobalPort;
+
+/// An event returned by the (modelled) `gm_receive()` poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GmEvent {
+    /// A send completed and its send token returned to the process.
+    Sent {
+        /// Application tag of the completed send.
+        tag: u64,
+    },
+    /// A message arrived into a provided receive buffer.
+    Recv {
+        /// Sending endpoint.
+        src: GlobalPort,
+        /// Payload length.
+        len: usize,
+        /// Application tag.
+        tag: u64,
+    },
+    /// `GM_BARRIER_COMPLETED_EVENT`: the NIC finished the barrier this port
+    /// initiated.
+    BarrierComplete,
+    /// A NIC-based broadcast delivered `value` to this port.
+    BroadcastComplete {
+        /// The broadcast payload word.
+        value: u64,
+    },
+    /// A NIC-based reduction completed with `value` (delivered at the root,
+    /// or everywhere for allreduce).
+    ReduceComplete {
+        /// The reduced value.
+        value: u64,
+    },
+}
+
+impl GmEvent {
+    /// Bytes the RDMA engine moves to the host to deliver this event
+    /// (receive-token completion record, plus payload for data).
+    pub fn rdma_bytes(&self) -> usize {
+        match self {
+            GmEvent::Recv { len, .. } => 16 + len,
+            _ => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_cost_scales_with_payload() {
+        let small = GmEvent::BarrierComplete.rdma_bytes();
+        let data = GmEvent::Recv {
+            src: GlobalPort::new(0, 1),
+            len: 100,
+            tag: 0,
+        }
+        .rdma_bytes();
+        assert_eq!(small, 16);
+        assert_eq!(data, 116);
+    }
+}

@@ -1,0 +1,51 @@
+//! Model of Myricom's GM message-passing system (version 1.2.3).
+//!
+//! GM is the software the paper extends: a driver, a host library and the
+//! *Myrinet Control Program* (MCP) firmware running on the LANai NIC. This
+//! crate reproduces the pieces the NIC-based barrier interacts with:
+//!
+//! * **Ports** ([`port`]) — up to eight per NIC; a port is the OS-bypass
+//!   communication endpoint a process opens.
+//! * **Tokens** ([`token`]) — GM's flow-control currency: a *send token*
+//!   describes a send event, a *receive token* describes a host buffer. The
+//!   barrier extension stores its entire state inside a send token, exactly
+//!   as §4.2 of the paper describes.
+//! * **Connections** ([`connection`]) — reliable NIC-to-NIC channels with
+//!   sequence numbers, cumulative acks, nacks and go-back-N retransmission.
+//! * **The MCP** ([`mcp`]) — the four firmware state machines of the paper's
+//!   Figure 4 (SDMA, SEND, RECV, RDMA), charged in NIC cycles on the
+//!   [`gmsim_lanai`] hardware model.
+//! * **The extension hook** ([`ext`]) — the seam through which the
+//!   `nic-barrier` crate adds collective packet types and send-token
+//!   handling to the firmware, mirroring "an addition to GM".
+//! * **The host side** ([`host`]) — host processor occupancy, the polling
+//!   process model ([`host::HostProgram`]), and per-operation overheads
+//!   (the paper's *Send* and *HRecv* terms).
+//! * **The cluster** ([`cluster`]) — N nodes over a
+//!   [`gmsim_myrinet::Fabric`], plus the event glue that turns MCP outputs
+//!   into scheduled simulation events.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod connection;
+pub mod events;
+pub mod ext;
+pub mod host;
+pub mod ids;
+pub mod mcp;
+pub mod packet;
+pub mod port;
+pub mod token;
+
+pub use cluster::{Cluster, Node};
+pub use config::GmConfig;
+pub use connection::Connection;
+pub use events::GmEvent;
+pub use ext::{McpExtension, NullExtension};
+pub use host::{Host, HostAction, HostCtx, HostProgram};
+pub use ids::{GlobalPort, NodeId, PortId, GM_FIRST_USER_PORT, GM_NUM_PORTS};
+pub use mcp::{Mcp, McpCore, McpOutput, TimerKind};
+pub use packet::{ExtPacket, Packet, PacketKind};
+pub use token::{CollectiveStep, CollectiveToken, SendToken, StepKind};

@@ -1,0 +1,436 @@
+//! The Myrinet Control Program (MCP): GM's NIC firmware.
+//!
+//! "The MCP consists of four state machines called SDMA, SEND, RECV and
+//! RDMA" (§4.1, Figure 4). We model each machine as a set of
+//! run-to-completion handlers charged in cycles on the shared
+//! [`gmsim_lanai::NicProcessor`]:
+//!
+//! * **SDMA** ([`sdma`]) — polls host send tokens, DMAs payloads into NIC
+//!   transmit buffers, prepares packets, and hands collective tokens to the
+//!   firmware extension.
+//! * **SEND** — dispatches prepared packets and pending acks to the wire
+//!   (folded into the transmit helpers here; its per-packet cost is
+//!   `send_cycles`).
+//! * **RECV** ([`recv`]) — receives worms, classifies them against the
+//!   connection sequence space, generates acks/nacks.
+//! * **RDMA** — DMAs accepted data and completion events up to host
+//!   buffers (the `complete_to_host` helper).
+//!
+//! Handlers never touch the scheduler; they *return* [`McpOutput`]s with
+//! absolute timestamps computed from the hardware resources, and the
+//! cluster glue turns those into events. That keeps every state machine
+//! unit-testable without a running simulation.
+
+pub mod recv;
+pub mod sdma;
+
+use crate::config::GmConfig;
+use crate::connection::Connection;
+use crate::events::GmEvent;
+use crate::ext::McpExtension;
+use crate::ids::{GlobalPort, NodeId, PortId};
+use crate::packet::{ExtPacket, Packet, PacketKind, Seq};
+use crate::port::{new_port_table, PortState};
+use gmsim_des::SimTime;
+use gmsim_lanai::NicHardware;
+
+/// An effect the firmware wants the outside world to apply.
+#[derive(Debug)]
+pub enum McpOutput {
+    /// Put `pkt` on the wire at time `at` (or loop it back if the
+    /// destination is this NIC).
+    Transmit {
+        /// Wire injection time (transmit channel becomes busy then).
+        at: SimTime,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// Deliver `ev` to the host process on `port` at time `at` (the RDMA
+    /// into the host buffer completes then).
+    HostEvent {
+        /// RDMA completion time.
+        at: SimTime,
+        /// Destination port.
+        port: PortId,
+        /// The event.
+        ev: GmEvent,
+    },
+    /// Fire `kind` back into the firmware at time `at`.
+    Timer {
+        /// Expiry time.
+        at: SimTime,
+        /// What to do on expiry.
+        kind: TimerKind,
+    },
+}
+
+/// Firmware timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Retransmission timeout for the reliable packet `(peer, seq)` last
+    /// transmitted at `sent_at` (stale if retransmitted since).
+    Rto {
+        /// Peer NIC of the connection.
+        peer: NodeId,
+        /// Sequence number awaited.
+        seq: Seq,
+        /// Transmission instant the timer was armed for.
+        sent_at: SimTime,
+    },
+}
+
+/// Firmware counters (per NIC).
+#[derive(Debug, Clone, Default)]
+pub struct McpStats {
+    /// Data packets transmitted (first transmissions).
+    pub data_tx: u64,
+    /// Extension packets transmitted (first transmissions).
+    pub ext_tx: u64,
+    /// Packets retransmitted (any kind).
+    pub retx: u64,
+    /// Acks transmitted.
+    pub ack_tx: u64,
+    /// Nacks transmitted.
+    pub nack_tx: u64,
+    /// Data packets delivered to host buffers.
+    pub data_delivered: u64,
+    /// Packets discarded: CRC failure.
+    pub crc_drops: u64,
+    /// Packets discarded: duplicate sequence.
+    pub dup_drops: u64,
+    /// Data packets refused: destination port closed or no receive token.
+    pub rnr_refusals: u64,
+    /// Host events delivered (all kinds).
+    pub host_events: u64,
+}
+
+/// Everything the MCP knows except the extension itself. Extensions receive
+/// `&mut McpCore`, so the split avoids a double borrow.
+pub struct McpCore {
+    node: NodeId,
+    config: GmConfig,
+    /// The NIC hardware this firmware runs on.
+    pub hw: NicHardware,
+    ports: Vec<PortState>,
+    conns: Vec<Connection>,
+    /// Counters.
+    pub stats: McpStats,
+}
+
+impl McpCore {
+    /// Firmware state for `node` in a cluster of `cluster_size` nodes.
+    pub fn new(node: NodeId, cluster_size: usize, config: GmConfig) -> Self {
+        McpCore {
+            node,
+            config,
+            hw: NicHardware::new(config.nic),
+            ports: new_port_table(),
+            conns: (0..cluster_size).map(|p| Connection::new(NodeId(p))).collect(),
+            stats: McpStats::default(),
+        }
+    }
+
+    /// This NIC's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Cluster configuration.
+    pub fn config(&self) -> &GmConfig {
+        &self.config
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn cluster_size(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Port table entry.
+    pub fn port(&self, p: PortId) -> &PortState {
+        &self.ports[p.idx()]
+    }
+
+    /// Mutable port table entry.
+    pub fn port_mut(&mut self, p: PortId) -> &mut PortState {
+        &mut self.ports[p.idx()]
+    }
+
+    /// Connection to a peer NIC.
+    pub fn conn(&self, peer: NodeId) -> &Connection {
+        &self.conns[peer.0]
+    }
+
+    /// Mutable connection to a peer NIC.
+    pub fn conn_mut(&mut self, peer: NodeId) -> &mut Connection {
+        &mut self.conns[peer.0]
+    }
+
+    /// Charge `cycles` on the NIC processor starting no earlier than
+    /// `earliest`; returns the completion time.
+    pub fn exec(&mut self, cycles: u64, earliest: SimTime) -> SimTime {
+        self.hw.cpu.run(cycles, earliest).1
+    }
+
+    /// Transmit a reliable packet: charge the SEND machine, record it on
+    /// the connection, arm its retransmission timer.
+    pub(crate) fn transmit_reliable(
+        &mut self,
+        pkt: Packet,
+        ready: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        let send_cycles = self.config.nic.costs.send_cycles;
+        let at = self.exec(send_cycles, ready);
+        let peer = pkt.dst.node;
+        let seq = pkt.seq().expect("reliable packet without seq");
+        self.conn_mut(peer).record_sent(pkt.clone(), at);
+        out.push(McpOutput::Timer {
+            at: at + self.config.retransmit_timeout,
+            kind: TimerKind::Rto {
+                peer,
+                seq,
+                sent_at: at,
+            },
+        });
+        out.push(McpOutput::Transmit { at, pkt });
+    }
+
+    /// Transmit a control packet (ack/nack/unreliable ext): charge the
+    /// SEND machine only.
+    pub(crate) fn transmit_control(
+        &mut self,
+        pkt: Packet,
+        ready: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        let send_cycles = self.config.nic.costs.send_cycles;
+        let at = self.exec(send_cycles, ready);
+        out.push(McpOutput::Transmit { at, pkt });
+    }
+
+    /// Extension helper: send an extension packet from `src_port` on this
+    /// NIC to `dst`, honouring the configured collective wire mode. Barrier
+    /// messages never touch host memory — this is the heart of the paper's
+    /// latency win.
+    pub fn send_ext(
+        &mut self,
+        src_port: PortId,
+        dst: GlobalPort,
+        body: ExtPacket,
+        ready: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        let src = GlobalPort {
+            node: self.node,
+            port: src_port,
+        };
+        self.stats.ext_tx += 1;
+        match self.config.collective_wire {
+            crate::config::CollectiveWireMode::Reliable => {
+                let seq = self.conn_mut(dst.node).assign_seq();
+                let pkt = Packet {
+                    src,
+                    dst,
+                    kind: PacketKind::Ext {
+                        seq: Some(seq),
+                        body,
+                    },
+                };
+                self.transmit_reliable(pkt, ready, out);
+            }
+            crate::config::CollectiveWireMode::Unreliable => {
+                let pkt = Packet {
+                    src,
+                    dst,
+                    kind: PacketKind::Ext { seq: None, body },
+                };
+                self.transmit_control(pkt, ready, out);
+            }
+        }
+    }
+
+    /// Extension/core helper: deliver a completion event to the host
+    /// process on `port` through the RDMA machine.
+    pub fn complete_to_host(
+        &mut self,
+        port: PortId,
+        ev: GmEvent,
+        ready: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
+        let rdma_cycles = self.config.nic.costs.rdma_cycles;
+        let t = self.exec(rdma_cycles, ready);
+        let done = self.hw.rdma.begin(ev.rdma_bytes(), t);
+        self.stats.host_events += 1;
+        out.push(McpOutput::HostEvent {
+            at: done,
+            port,
+            ev,
+        });
+    }
+}
+
+/// The complete firmware: core state plus the installed extension.
+pub struct Mcp {
+    /// Core state machines and hardware.
+    pub core: McpCore,
+    ext: Box<dyn McpExtension>,
+}
+
+impl Mcp {
+    /// Firmware with `ext` installed.
+    pub fn new(core: McpCore, ext: Box<dyn McpExtension>) -> Self {
+        Mcp { core, ext }
+    }
+
+    /// The installed extension (for post-run inspection in tests).
+    pub fn ext(&self) -> &dyn McpExtension {
+        self.ext.as_ref()
+    }
+
+    /// A process opens `port`.
+    pub fn open_port(&mut self, port: PortId, now: SimTime) -> Vec<McpOutput> {
+        let (st, rt) = (
+            self.core.config.send_tokens_per_port,
+            self.core.config.recv_tokens_per_port,
+        );
+        self.core.port_mut(port).open(st, rt);
+        let mut out = Vec::new();
+        self.ext.on_port_open(&mut self.core, port, now, &mut out);
+        out
+    }
+
+    /// The process on `port` exits.
+    pub fn close_port(&mut self, port: PortId, now: SimTime) -> Vec<McpOutput> {
+        self.core.port_mut(port).close();
+        let mut out = Vec::new();
+        self.ext.on_port_close(&mut self.core, port, now, &mut out);
+        out
+    }
+
+    /// Retransmission timer expiry.
+    pub fn handle_timer(&mut self, kind: TimerKind, now: SimTime) -> Vec<McpOutput> {
+        let mut out = Vec::new();
+        match kind {
+            TimerKind::Rto {
+                peer,
+                seq,
+                sent_at,
+            } => {
+                let again = self.core.conn_mut(peer).on_timeout(seq, sent_at, now);
+                self.core.stats.retx += again.len() as u64;
+                for pkt in again {
+                    let send_cycles = self.core.config.nic.costs.send_cycles;
+                    let at = self.core.exec(send_cycles, now);
+                    // Refresh the connection's record of when this packet
+                    // went out so the new timer is the live one.
+                    let seq = pkt.seq().unwrap();
+                    self.core.conn_mut(peer).refresh_sent_at(seq, at);
+                    out.push(McpOutput::Timer {
+                        at: at + self.core.config.retransmit_timeout,
+                        kind: TimerKind::Rto {
+                            peer,
+                            seq,
+                            sent_at: at,
+                        },
+                    });
+                    out.push(McpOutput::Transmit { at, pkt });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ext::NullExtension;
+
+    fn core() -> McpCore {
+        McpCore::new(NodeId(0), 4, GmConfig::default())
+    }
+
+    #[test]
+    fn exec_charges_the_processor() {
+        let mut c = core();
+        let t1 = c.exec(33, SimTime::ZERO);
+        let t2 = c.exec(33, SimTime::ZERO);
+        assert!(t2 > t1, "handlers serialize on the NIC cpu");
+    }
+
+    #[test]
+    fn complete_to_host_emits_host_event() {
+        let mut c = core();
+        let mut out = Vec::new();
+        c.complete_to_host(PortId(1), GmEvent::BarrierComplete, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            McpOutput::HostEvent { at, port, ev } => {
+                assert!(*at > SimTime::ZERO, "RDMA takes time");
+                assert_eq!(*port, PortId(1));
+                assert_eq!(*ev, GmEvent::BarrierComplete);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+        assert_eq!(c.stats.host_events, 1);
+    }
+
+    #[test]
+    fn send_ext_reliable_arms_timer() {
+        let mut c = core();
+        let mut out = Vec::new();
+        let body = ExtPacket {
+            ext_type: 1,
+            a: 0,
+            b: 0,
+        };
+        c.send_ext(PortId(1), GlobalPort::new(2, 1), body, SimTime::ZERO, &mut out);
+        assert!(matches!(out[0], McpOutput::Timer { .. }));
+        assert!(matches!(out[1], McpOutput::Transmit { .. }));
+        assert_eq!(c.conn(NodeId(2)).in_flight(), 1);
+    }
+
+    #[test]
+    fn send_ext_unreliable_skips_connection() {
+        let cfg = GmConfig {
+            collective_wire: crate::config::CollectiveWireMode::Unreliable,
+            ..GmConfig::default()
+        };
+        let mut c = McpCore::new(NodeId(0), 4, cfg);
+        let mut out = Vec::new();
+        let body = ExtPacket {
+            ext_type: 1,
+            a: 0,
+            b: 0,
+        };
+        c.send_ext(PortId(1), GlobalPort::new(2, 1), body, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1, "no timer in unreliable mode");
+        assert!(matches!(out[0], McpOutput::Transmit { .. }));
+        assert_eq!(c.conn(NodeId(2)).in_flight(), 0);
+    }
+
+    #[test]
+    fn open_close_roundtrip() {
+        let mut m = Mcp::new(core(), Box::new(NullExtension));
+        let out = m.open_port(PortId(2), SimTime::ZERO);
+        assert!(out.is_empty());
+        assert!(m.core.port(PortId(2)).is_open());
+        m.close_port(PortId(2), SimTime::ZERO);
+        assert!(!m.core.port(PortId(2)).is_open());
+    }
+
+    #[test]
+    fn stale_timer_is_noop() {
+        let mut m = Mcp::new(core(), Box::new(NullExtension));
+        let out = m.handle_timer(
+            TimerKind::Rto {
+                peer: NodeId(1),
+                seq: 0,
+                sent_at: SimTime::ZERO,
+            },
+            SimTime::from_ms(1),
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! The SDMA state machine: host send tokens → prepared packets.
+//!
+//! "The SDMA state machine polls for new send tokens and queues them on the
+//! queue for the appropriate connection. The SDMA state machine is also
+//! responsible for initiating a DMA to transfer data for the message from
+//! the host memory to the transmit buffers in the NIC and to prepare the
+//! packet for transmission" (§4.1).
+//!
+//! Collective tokens take a different path: there is no payload to DMA —
+//! the descriptor *is* the token — so the SDMA machine hands them straight
+//! to the firmware extension (§5.2: "the `gm_barrier_send_with_callback()`
+//! function creates a send token with the node list and passes it to the
+//! token queue on the NIC").
+
+use super::{Mcp, McpOutput};
+use crate::ids::GlobalPort;
+use crate::packet::{Packet, PacketKind};
+use crate::token::SendToken;
+use gmsim_des::SimTime;
+
+impl Mcp {
+    /// The SDMA machine detects a send token queued by the host at `now`.
+    pub fn handle_send_token(&mut self, token: SendToken, now: SimTime) -> Vec<McpOutput> {
+        let mut out = Vec::new();
+        match token {
+            SendToken::Data {
+                src_port,
+                dst,
+                len,
+                tag,
+                notify,
+            } => {
+                debug_assert!(
+                    self.core.port(src_port).is_open(),
+                    "send token on closed port"
+                );
+                // SDMA handler: program the DMA, build headers.
+                let costs = self.core.config().nic.costs;
+                let t = self.core.exec(costs.sdma_cycles, now);
+                // Payload DMA from pinned host memory to NIC tx buffer.
+                let dma_done = self.core.hw.sdma.begin(len, t);
+                // Packet prepared: assign a sequence and hand to SEND.
+                let seq = self.core.conn_mut(dst.node).assign_seq();
+                let pkt = Packet {
+                    src: GlobalPort {
+                        node: self.core.node(),
+                        port: src_port,
+                    },
+                    dst,
+                    kind: PacketKind::Data {
+                        seq,
+                        len,
+                        tag,
+                        notify,
+                    },
+                };
+                self.core.stats.data_tx += 1;
+                self.core.transmit_reliable(pkt, dma_done, &mut out);
+            }
+            SendToken::Collective { src_port, token } => {
+                debug_assert!(
+                    self.core.port(src_port).is_open(),
+                    "collective token on closed port"
+                );
+                // No payload DMA: the descriptor was written with the token.
+                // The extension charges its own processing cycles.
+                self.ext
+                    .on_collective_token(&mut self.core, src_port, token, now, &mut out);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GmConfig;
+    use crate::ext::NullExtension;
+    use crate::ids::{NodeId, PortId};
+    use crate::mcp::McpCore;
+
+    fn mcp() -> Mcp {
+        let mut m = Mcp::new(
+            McpCore::new(NodeId(0), 4, GmConfig::default()),
+            Box::new(NullExtension),
+        );
+        m.open_port(PortId(1), SimTime::ZERO);
+        m
+    }
+
+    fn data_token(len: usize) -> SendToken {
+        SendToken::Data {
+            src_port: PortId(1),
+            dst: GlobalPort::new(1, 1),
+            len,
+            tag: 42,
+            notify: false,
+        }
+    }
+
+    #[test]
+    fn data_token_becomes_reliable_transmit() {
+        let mut m = mcp();
+        let out = m.handle_send_token(data_token(64), SimTime::ZERO);
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], McpOutput::Timer { .. }));
+        let McpOutput::Transmit { at, pkt } = &out[1] else {
+            panic!("expected transmit");
+        };
+        assert!(*at > SimTime::ZERO, "SDMA + DMA take time");
+        assert_eq!(pkt.seq(), Some(0));
+        assert_eq!(pkt.payload_bytes(), 64);
+        assert_eq!(m.core.conn(NodeId(1)).in_flight(), 1);
+        assert_eq!(m.core.stats.data_tx, 1);
+    }
+
+    #[test]
+    fn consecutive_sends_get_increasing_seqs_and_serialize() {
+        let mut m = mcp();
+        let o1 = m.handle_send_token(data_token(64), SimTime::ZERO);
+        let o2 = m.handle_send_token(data_token(64), SimTime::ZERO);
+        let at = |o: &[McpOutput]| match &o[1] {
+            McpOutput::Transmit { at, pkt } => (*at, pkt.seq().unwrap()),
+            _ => panic!(),
+        };
+        let (t1, s1) = at(&o1);
+        let (t2, s2) = at(&o2);
+        assert!(t2 > t1, "NIC resources serialize the two sends");
+        assert_eq!((s1, s2), (0, 1));
+    }
+
+    #[test]
+    fn payload_size_increases_dma_time() {
+        let mut small = mcp();
+        let mut big = mcp();
+        let t = |o: &[McpOutput]| match &o[1] {
+            McpOutput::Transmit { at, .. } => *at,
+            _ => panic!(),
+        };
+        let ts = t(&small.handle_send_token(data_token(8), SimTime::ZERO));
+        let tb = t(&big.handle_send_token(data_token(65_536), SimTime::ZERO));
+        assert!(tb > ts);
+    }
+
+    #[test]
+    #[should_panic(expected = "no firmware extension")]
+    fn collective_without_extension_panics() {
+        let mut m = mcp();
+        let token = crate::token::CollectiveToken::pairwise(1, vec![]);
+        m.handle_send_token(
+            SendToken::Collective {
+                src_port: PortId(1),
+                token,
+            },
+            SimTime::ZERO,
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! GM wire packets.
+//!
+//! Everything that crosses the fabric is a [`Packet`]: reliable data,
+//! acknowledgments, negative acknowledgments, or an *extension* packet — the
+//! mechanism through which the barrier adds its gather/broadcast/PE packet
+//! types ("There is a separate packet type for each phase", §5.2).
+
+use crate::ids::GlobalPort;
+
+/// Sequence number on a reliable connection.
+pub type Seq = u32;
+
+/// Body of an extension (collective) packet: a type opcode and two small
+/// operand words, enough for barrier round tags and reduce operands. These
+/// stay opaque to the GM core; the firmware extension interprets them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtPacket {
+    /// Extension-defined packet type (e.g. PE-exchange / gather / broadcast).
+    pub ext_type: u8,
+    /// First operand word (barrier extensions use it as the step/round tag).
+    pub a: u64,
+    /// Second operand word (reduction value, broadcast payload, ...).
+    pub b: u64,
+}
+
+impl ExtPacket {
+    /// On-wire payload size: opcode + two u64 operands.
+    pub const WIRE_BYTES: usize = 17;
+}
+
+/// What a packet is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Reliable user data, carrying a per-connection sequence number and an
+    /// application tag (our stand-in for message contents).
+    Data {
+        /// Connection sequence number.
+        seq: Seq,
+        /// Application payload bytes (modelled, not stored byte-for-byte).
+        len: usize,
+        /// Application tag, delivered to the receiving process.
+        tag: u64,
+        /// Whether the sender asked for a completion callback (a `Sent`
+        /// event) once this packet is acknowledged.
+        notify: bool,
+    },
+    /// Cumulative acknowledgment: everything `< ack` has been received.
+    Ack {
+        /// One past the highest in-order sequence received.
+        ack: Seq,
+    },
+    /// Negative acknowledgment: receiver expected `expected`, got something
+    /// later. Sender must go-back-N from `expected`.
+    Nack {
+        /// The sequence number the receiver is waiting for.
+        expected: Seq,
+    },
+    /// An extension (collective) packet. When `seq` is `Some`, the packet
+    /// travels inside the connection's reliable, ordered stream (the §3.3
+    /// design the paper adopts); `None` is the fire-and-forget mode of the
+    /// paper's prototype, kept for the reliability ablation.
+    Ext {
+        /// Reliable-stream sequence number, if any.
+        seq: Option<Seq>,
+        /// Extension body.
+        body: ExtPacket,
+    },
+}
+
+/// A packet in flight between two endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sending endpoint.
+    pub src: GlobalPort,
+    /// Receiving endpoint.
+    pub dst: GlobalPort,
+    /// Payload discriminant.
+    pub kind: PacketKind,
+}
+
+impl Packet {
+    /// Bytes of payload this packet puts on the wire (headers/route bytes
+    /// are added by the fabric's wire format).
+    pub fn payload_bytes(&self) -> usize {
+        match &self.kind {
+            PacketKind::Data { len, .. } => *len,
+            PacketKind::Ack { .. } | PacketKind::Nack { .. } => 4,
+            PacketKind::Ext { .. } => ExtPacket::WIRE_BYTES,
+        }
+    }
+
+    /// The sequence number, for packets that travel in the reliable stream.
+    pub fn seq(&self) -> Option<Seq> {
+        match &self.kind {
+            PacketKind::Data { seq, .. } => Some(*seq),
+            PacketKind::Ext { seq, .. } => *seq,
+            _ => None,
+        }
+    }
+
+    /// True for packets that consume a slot in the reliable stream and must
+    /// be acknowledged.
+    pub fn is_reliable(&self) -> bool {
+        self.seq().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp(n: usize, p: u8) -> GlobalPort {
+        GlobalPort::new(n, p)
+    }
+
+    #[test]
+    fn payload_sizes() {
+        let data = Packet {
+            src: gp(0, 1),
+            dst: gp(1, 1),
+            kind: PacketKind::Data {
+                seq: 0,
+                len: 100,
+                tag: 7,
+                notify: false,
+            },
+        };
+        assert_eq!(data.payload_bytes(), 100);
+        let ack = Packet {
+            src: gp(1, 0),
+            dst: gp(0, 0),
+            kind: PacketKind::Ack { ack: 3 },
+        };
+        assert_eq!(ack.payload_bytes(), 4);
+        let ext = Packet {
+            src: gp(0, 1),
+            dst: gp(1, 1),
+            kind: PacketKind::Ext {
+                seq: None,
+                body: ExtPacket {
+                    ext_type: 1,
+                    a: 0,
+                    b: 0,
+                },
+            },
+        };
+        assert_eq!(ext.payload_bytes(), ExtPacket::WIRE_BYTES);
+    }
+
+    #[test]
+    fn reliability_classification() {
+        let mk = |kind| Packet {
+            src: gp(0, 1),
+            dst: gp(1, 1),
+            kind,
+        };
+        assert!(mk(PacketKind::Data {
+            seq: 5,
+            len: 1,
+            tag: 0,
+            notify: false,
+        })
+        .is_reliable());
+        assert!(!mk(PacketKind::Ack { ack: 1 }).is_reliable());
+        assert!(!mk(PacketKind::Nack { expected: 1 }).is_reliable());
+        let body = ExtPacket {
+            ext_type: 2,
+            a: 1,
+            b: 2,
+        };
+        assert!(mk(PacketKind::Ext {
+            seq: Some(9),
+            body
+        })
+        .is_reliable());
+        assert!(!mk(PacketKind::Ext { seq: None, body }).is_reliable());
+        assert_eq!(
+            mk(PacketKind::Ext {
+                seq: Some(9),
+                body
+            })
+            .seq(),
+            Some(9)
+        );
+    }
+}

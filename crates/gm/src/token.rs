@@ -1,0 +1,188 @@
+//! Send and collective tokens.
+//!
+//! GM's host/NIC interface is token-based: the host fills in a send token
+//! and queues it; the NIC returns it when the send's resources are free.
+//! The paper's barrier rides exactly this interface — §4.2: "we do this by
+//! putting the state information in the *send token*", and §5.2: the token
+//! stores "a list of the port ids and node ids with which barrier messages
+//! will be exchanged, as well as an index".
+
+use crate::ids::{GlobalPort, PortId};
+
+/// How one step of a collective schedule interacts with its peer. Encodes
+/// both PE exchanges and the fold-in/fold-out steps that generalize PE to
+/// non-power-of-two groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Send to the peer, then wait to receive from it (a PE exchange).
+    SendRecv,
+    /// Send to the peer and advance immediately.
+    SendOnly,
+    /// Wait to receive from the peer without sending.
+    RecvOnly,
+}
+
+/// One step of a collective schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveStep {
+    /// The remote endpoint to interact with.
+    pub peer: GlobalPort,
+    /// How to interact.
+    pub kind: StepKind,
+}
+
+/// The descriptor a host passes in `gm_barrier_send_with_callback()` (and
+/// its collective siblings). For PE the `steps` list is the exchange
+/// schedule; for GB the host passes only the node's `parent` and `children`
+/// — §5.1: tree construction is "relatively computationally intensive" and
+/// stays on the host, so only the local neighbourhood crosses the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveToken {
+    /// Extension-defined opcode (which collective, which algorithm).
+    pub op: u8,
+    /// PE-style step schedule (empty for tree collectives).
+    pub steps: Vec<CollectiveStep>,
+    /// GB parent endpoint (`None` at the root and for PE).
+    pub parent: Option<GlobalPort>,
+    /// GB children endpoints (empty for PE).
+    pub children: Vec<GlobalPort>,
+    /// Operand for value-carrying collectives (reduce contribution,
+    /// broadcast payload); barriers ignore it.
+    pub value: u64,
+}
+
+impl CollectiveToken {
+    /// A PE-schedule token.
+    pub fn pairwise(op: u8, steps: Vec<CollectiveStep>) -> Self {
+        CollectiveToken {
+            op,
+            steps,
+            parent: None,
+            children: Vec::new(),
+            value: 0,
+        }
+    }
+
+    /// A tree token from the local neighbourhood.
+    pub fn tree(op: u8, parent: Option<GlobalPort>, children: Vec<GlobalPort>) -> Self {
+        CollectiveToken {
+            op,
+            steps: Vec::new(),
+            parent,
+            children,
+            value: 0,
+        }
+    }
+
+    /// Attach an operand value (builder style).
+    pub fn with_value(mut self, value: u64) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// True at a GB tree root.
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+
+    /// Host→NIC descriptor size: fixed header plus one endpoint record per
+    /// referenced peer. Determines the PIO/DMA cost of posting the token.
+    pub fn descriptor_bytes(&self) -> usize {
+        let peers = self.steps.len() + self.children.len() + usize::from(self.parent.is_some());
+        16 + 4 * peers
+    }
+}
+
+/// What a queued host send event describes: ordinary data or a collective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendToken {
+    /// An ordinary reliable message.
+    Data {
+        /// Source port the token was queued on.
+        src_port: PortId,
+        /// Destination endpoint.
+        dst: GlobalPort,
+        /// Payload length in bytes.
+        len: usize,
+        /// Application tag delivered with the message.
+        tag: u64,
+        /// Whether the process asked for a `Sent` completion event.
+        notify: bool,
+    },
+    /// A collective initiation (the paper's barrier send token).
+    Collective {
+        /// Source port the token was queued on.
+        src_port: PortId,
+        /// The collective descriptor.
+        token: CollectiveToken,
+    },
+}
+
+impl SendToken {
+    /// The port this token was queued on.
+    pub fn src_port(&self) -> PortId {
+        match self {
+            SendToken::Data { src_port, .. } | SendToken::Collective { src_port, .. } => *src_port,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp(n: usize, p: u8) -> GlobalPort {
+        GlobalPort::new(n, p)
+    }
+
+    #[test]
+    fn pairwise_token_shape() {
+        let steps = vec![
+            CollectiveStep {
+                peer: gp(1, 1),
+                kind: StepKind::SendRecv,
+            },
+            CollectiveStep {
+                peer: gp(2, 1),
+                kind: StepKind::SendRecv,
+            },
+        ];
+        let t = CollectiveToken::pairwise(1, steps.clone());
+        assert_eq!(t.steps, steps);
+        assert!(t.is_root());
+        assert_eq!(t.descriptor_bytes(), 16 + 8);
+    }
+
+    #[test]
+    fn tree_token_shape() {
+        let t = CollectiveToken::tree(2, Some(gp(0, 1)), vec![gp(3, 1), gp(4, 1)]);
+        assert!(!t.is_root());
+        assert_eq!(t.children.len(), 2);
+        assert_eq!(t.descriptor_bytes(), 16 + 12);
+        let root = CollectiveToken::tree(2, None, vec![gp(1, 1)]);
+        assert!(root.is_root());
+    }
+
+    #[test]
+    fn value_builder() {
+        let t = CollectiveToken::tree(3, None, vec![]).with_value(42);
+        assert_eq!(t.value, 42);
+    }
+
+    #[test]
+    fn send_token_port() {
+        let d = SendToken::Data {
+            src_port: PortId(2),
+            dst: gp(1, 2),
+            len: 10,
+            tag: 0,
+            notify: false,
+        };
+        assert_eq!(d.src_port(), PortId(2));
+        let c = SendToken::Collective {
+            src_port: PortId(3),
+            token: CollectiveToken::pairwise(1, vec![]),
+        };
+        assert_eq!(c.src_port(), PortId(3));
+    }
+}

@@ -1,0 +1,282 @@
+//! Direct-drive tests of the MCP state machines, including the extension
+//! dispatch path, using a counting stub extension.
+
+use gmsim_des::SimTime;
+use gmsim_gm::{
+    CollectiveToken, ExtPacket, GlobalPort, GmConfig, GmEvent, Mcp, McpCore, McpExtension,
+    McpOutput, NodeId, Packet, PacketKind, PortId, SendToken, TimerKind,
+};
+use std::any::Any;
+
+/// Records every extension upcall.
+#[derive(Default)]
+struct CountingExt {
+    packets: Vec<(GlobalPort, GlobalPort, u8)>,
+    tokens: u64,
+    opens: u64,
+    closes: u64,
+}
+
+impl McpExtension for CountingExt {
+    fn on_collective_token(
+        &mut self,
+        _core: &mut McpCore,
+        _port: PortId,
+        _token: CollectiveToken,
+        _now: SimTime,
+        _out: &mut Vec<McpOutput>,
+    ) {
+        self.tokens += 1;
+    }
+    fn on_ext_packet(
+        &mut self,
+        _core: &mut McpCore,
+        src: GlobalPort,
+        dst: GlobalPort,
+        body: ExtPacket,
+        _now: SimTime,
+        _out: &mut Vec<McpOutput>,
+    ) {
+        self.packets.push((src, dst, body.ext_type));
+    }
+    fn on_port_open(
+        &mut self,
+        _core: &mut McpCore,
+        _port: PortId,
+        _now: SimTime,
+        _out: &mut Vec<McpOutput>,
+    ) {
+        self.opens += 1;
+    }
+    fn on_port_close(
+        &mut self,
+        _core: &mut McpCore,
+        _port: PortId,
+        _now: SimTime,
+        _out: &mut Vec<McpOutput>,
+    ) {
+        self.closes += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+fn mcp() -> Mcp {
+    let mut m = Mcp::new(
+        McpCore::new(NodeId(0), 4, GmConfig::default()),
+        Box::new(CountingExt::default()),
+    );
+    m.open_port(PortId(1), SimTime::ZERO);
+    m
+}
+
+fn ext_of(m: &Mcp) -> &CountingExt {
+    m.ext().as_any().downcast_ref::<CountingExt>().unwrap()
+}
+
+fn ext_pkt(seq: Option<u32>, ty: u8) -> Packet {
+    Packet {
+        src: GlobalPort::new(1, 1),
+        dst: GlobalPort::new(0, 1),
+        kind: PacketKind::Ext {
+            seq,
+            body: ExtPacket {
+                ext_type: ty,
+                a: 1,
+                b: 0,
+            },
+        },
+    }
+}
+
+#[test]
+fn in_order_ext_packet_reaches_extension_and_is_acked() {
+    let mut m = mcp();
+    let outs = m.handle_wire_packet(ext_pkt(Some(0), 7), false, SimTime::ZERO);
+    assert_eq!(ext_of(&m).packets.len(), 1);
+    assert_eq!(ext_of(&m).packets[0].2, 7);
+    assert!(outs.iter().any(|o| matches!(
+        o,
+        McpOutput::Transmit { pkt, .. } if matches!(pkt.kind, PacketKind::Ack { ack: 1 })
+    )));
+}
+
+#[test]
+fn out_of_order_ext_packet_is_nacked_not_dispatched() {
+    let mut m = mcp();
+    let outs = m.handle_wire_packet(ext_pkt(Some(3), 7), false, SimTime::ZERO);
+    assert!(ext_of(&m).packets.is_empty(), "no dispatch before reorder");
+    assert!(outs.iter().any(|o| matches!(
+        o,
+        McpOutput::Transmit { pkt, .. } if matches!(pkt.kind, PacketKind::Nack { expected: 0 })
+    )));
+}
+
+#[test]
+fn duplicate_ext_packet_is_dispatched_once() {
+    let mut m = mcp();
+    m.handle_wire_packet(ext_pkt(Some(0), 7), false, SimTime::ZERO);
+    m.handle_wire_packet(ext_pkt(Some(0), 7), false, SimTime::from_us(5));
+    assert_eq!(ext_of(&m).packets.len(), 1, "duplicates must not re-dispatch");
+    assert_eq!(m.core.stats.dup_drops, 1);
+}
+
+#[test]
+fn unreliable_ext_packet_bypasses_sequencing() {
+    let mut m = mcp();
+    // No seq: dispatched directly, out of any order, never acked.
+    let outs = m.handle_wire_packet(ext_pkt(None, 9), false, SimTime::ZERO);
+    assert_eq!(ext_of(&m).packets.len(), 1);
+    assert!(outs.is_empty(), "no ack for unreliable packets");
+}
+
+#[test]
+fn extension_sees_lifecycle_hooks() {
+    let mut m = mcp();
+    m.open_port(PortId(2), SimTime::ZERO);
+    m.close_port(PortId(2), SimTime::from_us(1));
+    let e = ext_of(&m);
+    assert_eq!(e.opens, 2, "port 1 at setup + port 2");
+    assert_eq!(e.closes, 1);
+}
+
+#[test]
+fn collective_token_routed_to_extension() {
+    let mut m = mcp();
+    m.handle_send_token(
+        SendToken::Collective {
+            src_port: PortId(1),
+            token: CollectiveToken::pairwise(1, vec![]),
+        },
+        SimTime::ZERO,
+    );
+    assert_eq!(ext_of(&m).tokens, 1);
+}
+
+#[test]
+fn corrupted_ack_is_ignored() {
+    let mut m = mcp();
+    m.core.port_mut(PortId(1)).take_send_token();
+    m.handle_send_token(
+        SendToken::Data {
+            src_port: PortId(1),
+            dst: GlobalPort::new(1, 1),
+            len: 8,
+            tag: 0,
+            notify: false,
+        },
+        SimTime::ZERO,
+    );
+    assert_eq!(m.core.conn(NodeId(1)).in_flight(), 1);
+    let ack = Packet {
+        src: GlobalPort::new(1, 0),
+        dst: GlobalPort::new(0, 0),
+        kind: PacketKind::Ack { ack: 1 },
+    };
+    m.handle_wire_packet(ack, true, SimTime::from_us(100)); // corrupted
+    assert_eq!(m.core.conn(NodeId(1)).in_flight(), 1, "corrupted ack ignored");
+    assert_eq!(m.core.stats.crc_drops, 1);
+}
+
+#[test]
+fn rto_timer_retransmits_unacked_packet() {
+    let mut m = mcp();
+    let outs = m.handle_send_token(
+        SendToken::Data {
+            src_port: PortId(1),
+            dst: GlobalPort::new(1, 1),
+            len: 8,
+            tag: 0,
+            notify: false,
+        },
+        SimTime::ZERO,
+    );
+    // Extract the armed timer.
+    let (at, kind) = outs
+        .iter()
+        .find_map(|o| match o {
+            McpOutput::Timer { at, kind } => Some((*at, *kind)),
+            _ => None,
+        })
+        .expect("no RTO armed");
+    assert!(matches!(kind, TimerKind::Rto { seq: 0, .. }));
+    // Fire it: the packet must be retransmitted with a fresh timer.
+    let outs = m.handle_timer(kind, at);
+    let retx = outs
+        .iter()
+        .filter(|o| matches!(o, McpOutput::Transmit { .. }))
+        .count();
+    assert_eq!(retx, 1);
+    assert_eq!(m.core.stats.retx, 1);
+    assert!(outs.iter().any(|o| matches!(o, McpOutput::Timer { .. })));
+}
+
+#[test]
+fn cumulative_ack_clears_multiple_and_fires_notifies() {
+    let mut m = mcp();
+    for tag in 0..3u64 {
+        m.core.port_mut(PortId(1)).take_send_token();
+        m.handle_send_token(
+            SendToken::Data {
+                src_port: PortId(1),
+                dst: GlobalPort::new(1, 1),
+                len: 8,
+                tag,
+                notify: true,
+            },
+            SimTime::ZERO,
+        );
+    }
+    assert_eq!(m.core.conn(NodeId(1)).in_flight(), 3);
+    let ack = Packet {
+        src: GlobalPort::new(1, 0),
+        dst: GlobalPort::new(0, 0),
+        kind: PacketKind::Ack { ack: 3 },
+    };
+    let outs = m.handle_wire_packet(ack, false, SimTime::from_us(200));
+    let sent_events: Vec<u64> = outs
+        .iter()
+        .filter_map(|o| match o {
+            McpOutput::HostEvent {
+                ev: GmEvent::Sent { tag },
+                ..
+            } => Some(*tag),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sent_events, [0, 1, 2]);
+    assert_eq!(m.core.conn(NodeId(1)).in_flight(), 0);
+}
+
+#[test]
+fn data_and_ext_share_one_ordered_stream() {
+    // §3.3: barrier and non-barrier messages use the same sequence space,
+    // so an ext packet sent after a data packet cannot be consumed first.
+    let mut m = mcp();
+    // data seq 0 then ext seq 1 — deliver the ext FIRST (reordered).
+    let ext1 = ext_pkt(Some(1), 7);
+    let outs = m.handle_wire_packet(ext1.clone(), false, SimTime::ZERO);
+    assert!(ext_of(&m).packets.is_empty());
+    assert!(outs.iter().any(|o| matches!(
+        o,
+        McpOutput::Transmit { pkt, .. } if matches!(pkt.kind, PacketKind::Nack { expected: 0 })
+    )));
+    // Now the data packet arrives; then the retransmitted ext.
+    let data = Packet {
+        src: GlobalPort::new(1, 1),
+        dst: GlobalPort::new(0, 1),
+        kind: PacketKind::Data {
+            seq: 0,
+            len: 8,
+            tag: 5,
+            notify: false,
+        },
+    };
+    let outs = m.handle_wire_packet(data, false, SimTime::from_us(10));
+    assert!(outs
+        .iter()
+        .any(|o| matches!(o, McpOutput::HostEvent { ev: GmEvent::Recv { .. }, .. })));
+    m.handle_wire_packet(ext1, false, SimTime::from_us(20));
+    assert_eq!(ext_of(&m).packets.len(), 1, "ext delivered after the data");
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the go-back-N reliability machinery: for any
+//! interleaving of transmissions, drops, acks, nacks and timeouts, the
+//! receiver delivers every sequence number exactly once, in order.
+
+use gmsim_des::SimTime;
+use gmsim_gm::connection::RxVerdict;
+use gmsim_gm::{Connection, GlobalPort, NodeId, Packet, PacketKind};
+use proptest::prelude::*;
+
+fn data(seq: u32) -> Packet {
+    Packet {
+        src: GlobalPort::new(0, 1),
+        dst: GlobalPort::new(1, 1),
+        kind: PacketKind::Data {
+            seq,
+            len: 8,
+            tag: seq as u64,
+            notify: false,
+        },
+    }
+}
+
+proptest! {
+    /// Sender-side: any ack/nack interleaving keeps the sent list a sorted
+    /// window and never resurrects acknowledged packets.
+    #[test]
+    fn sender_window_invariants(ops in proptest::collection::vec((0u8..3, 0u32..40), 1..200)) {
+        let mut c = Connection::new(NodeId(1));
+        let mut highest_acked = 0u32;
+        let mut sent_count = 0u32;
+        let mut now = SimTime::ZERO;
+        for (op, arg) in ops {
+            now += SimTime::from_ns(10);
+            match op {
+                0 => {
+                    // transmit the next packet
+                    let seq = c.assign_seq();
+                    c.record_sent(data(seq), now);
+                    sent_count += 1;
+                }
+                1 => {
+                    // cumulative ack; a real receiver can only ack what was
+                    // actually sent, so clamp to the sent window
+                    let ack = arg.min(sent_count);
+                    if ack > highest_acked {
+                        highest_acked = ack;
+                    }
+                    c.on_ack(ack);
+                }
+                _ => {
+                    // nack: retransmit from arg
+                    let re = c.on_nack(arg, now);
+                    for p in &re {
+                        prop_assert!(p.seq().unwrap() >= arg);
+                        prop_assert!(
+                            p.seq().unwrap() >= highest_acked,
+                            "retransmitted an acked packet"
+                        );
+                    }
+                }
+            }
+            // invariant: the sent window is sorted and above all acks seen
+            let mut prev = None;
+            if let Some(front) = c.oldest_unacked() {
+                prop_assert!(front.packet.seq().unwrap() >= highest_acked);
+                prev = front.packet.seq();
+            }
+            let _ = prev;
+        }
+    }
+
+    /// Receiver-side: present a random arrival order (with duplicates) of
+    /// sequences 0..n; the accept set is exactly 0..n, each exactly once,
+    /// accepted in increasing order.
+    #[test]
+    fn receiver_accepts_each_seq_once_in_order(
+        n in 1u32..30,
+        extra in proptest::collection::vec(0u32..30, 0..60),
+        seed in any::<u64>(),
+    ) {
+        // Build an arrival multiset: every seq at least once plus noise.
+        let mut arrivals: Vec<u32> = (0..n).collect();
+        arrivals.extend(extra.into_iter().filter(|s| *s < n));
+        // Deterministic shuffle.
+        let mut rng = gmsim_des::SimRng::new(seed);
+        rng.shuffle(&mut arrivals);
+
+        let mut c = Connection::new(NodeId(0));
+        let mut accepted = Vec::new();
+        // Loop until everything is delivered: out-of-order packets are
+        // dropped (the real system nacks and the sender retransmits, which
+        // we emulate by replaying the arrival list).
+        let mut guard = 0;
+        while accepted.len() < n as usize {
+            guard += 1;
+            prop_assert!(guard < 1000, "no progress");
+            for &seq in &arrivals {
+                match c.classify_rx(seq) {
+                    RxVerdict::Accept => accepted.push(seq),
+                    RxVerdict::Duplicate | RxVerdict::OutOfOrder { .. } => {}
+                }
+            }
+        }
+        prop_assert_eq!(accepted.clone(), (0..n).collect::<Vec<_>>());
+        // Everything further is a duplicate.
+        for seq in 0..n {
+            prop_assert_eq!(c.classify_rx(seq), RxVerdict::Duplicate);
+        }
+        prop_assert_eq!(c.ack_value(), n);
+    }
+
+    /// peek_rx never mutates: peeking any sequence any number of times
+    /// leaves the ack value unchanged.
+    #[test]
+    fn peek_is_pure(accepts in 0u32..20, probes in proptest::collection::vec(0u32..40, 0..40)) {
+        let mut c = Connection::new(NodeId(0));
+        for s in 0..accepts {
+            prop_assert_eq!(c.classify_rx(s), RxVerdict::Accept);
+        }
+        let ack = c.ack_value();
+        for p in probes {
+            let _ = c.peek_rx(p);
+            prop_assert_eq!(c.ack_value(), ack);
+        }
+    }
+
+    /// Timeout semantics: a timeout for a (seq, sent_at) pair fires iff
+    /// that exact transmission is still outstanding.
+    #[test]
+    fn timeouts_fire_iff_live(ack_to in 0u32..10) {
+        let mut c = Connection::new(NodeId(1));
+        let mut sent_ats = Vec::new();
+        for i in 0..10u32 {
+            let seq = c.assign_seq();
+            let at = SimTime::from_ns(100 * (i as u64 + 1));
+            c.record_sent(data(seq), at);
+            sent_ats.push(at);
+        }
+        c.on_ack(ack_to);
+        for (seq, &at) in (0u32..10).zip(&sent_ats) {
+            let re = c.on_timeout(seq, at, SimTime::from_ms(1));
+            if seq < ack_to {
+                prop_assert!(re.is_empty(), "acked seq {seq} retransmitted");
+            } else {
+                prop_assert!(!re.is_empty(), "live seq {seq} ignored");
+                // go-back-N: the retransmission covers the tail
+                prop_assert_eq!(re[0].seq().unwrap(), seq);
+                break; // sent_at values were refreshed; later probes stale by design
+            }
+        }
+    }
+}

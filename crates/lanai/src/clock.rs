@@ -1,0 +1,78 @@
+//! The NIC clock: firmware cycles ⇄ simulated time.
+
+use gmsim_des::SimTime;
+
+/// A fixed-frequency clock. LANai 4.3 runs at 33 MHz, LANai 7.2 at 66 MHz;
+/// the paper attributes its improved 8-node factor (1.66 → 1.83) entirely to
+/// this difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicClock {
+    mhz: u32,
+}
+
+impl NicClock {
+    /// A clock at `mhz` megahertz.
+    ///
+    /// # Panics
+    /// Panics at 0 MHz.
+    pub const fn new(mhz: u32) -> Self {
+        assert!(mhz > 0, "zero-frequency NIC clock");
+        NicClock { mhz }
+    }
+
+    /// Frequency in MHz.
+    pub const fn mhz(&self) -> u32 {
+        self.mhz
+    }
+
+    /// Duration of `cycles` firmware cycles. Rounds up to whole nanoseconds
+    /// so work is never free.
+    pub fn cycles(&self, cycles: u64) -> SimTime {
+        // cycles / (mhz * 1e6 Hz) seconds = cycles * 1000 / mhz ns
+        SimTime::from_ns((cycles * 1_000).div_ceil(self.mhz as u64))
+    }
+
+    /// How many whole cycles fit in `t` (rounding down).
+    pub fn cycles_in(&self, t: SimTime) -> u64 {
+        t.as_ns() * self.mhz as u64 / 1_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_durations() {
+        let c33 = NicClock::new(33);
+        let c66 = NicClock::new(66);
+        // 33 cycles at 33 MHz = 1 us
+        assert_eq!(c33.cycles(33_000), SimTime::from_us(1_000));
+        // the same work at 66 MHz takes half the time
+        assert_eq!(c66.cycles(33_000), SimTime::from_us(500));
+    }
+
+    #[test]
+    fn rounding_is_up_and_never_free() {
+        let c = NicClock::new(33);
+        assert_eq!(c.cycles(0), SimTime::ZERO);
+        assert!(c.cycles(1) >= SimTime::from_ns(30));
+        // 1 cycle at 33 MHz = 30.30ns, rounds to 31
+        assert_eq!(c.cycles(1), SimTime::from_ns(31));
+    }
+
+    #[test]
+    fn inverse_is_conservative() {
+        let c = NicClock::new(66);
+        for cycles in [1u64, 7, 100, 12345] {
+            let t = c.cycles(cycles);
+            assert!(c.cycles_in(t) >= cycles);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_mhz_panics() {
+        let _ = NicClock::new(0);
+    }
+}

@@ -1,0 +1,33 @@
+//! LANai NIC hardware model.
+//!
+//! The paper's whole point is that Myrinet NICs carry a *programmable
+//! processor* (the LANai) running firmware (the MCP), plus DMA engines to
+//! and from host memory and independent transmit/receive wire channels. The
+//! NIC-based barrier lives in that firmware, so its cost structure — and the
+//! difference between the 33 MHz LANai 4.3 and the 66 MHz LANai 7.2 — is
+//! what this crate models:
+//!
+//! * [`NicClock`] converts firmware work measured in *cycles* into simulated
+//!   time. Expressing firmware costs in cycles (not seconds) is what makes
+//!   the 4.3 → 7.2 comparison a one-parameter change, exactly like swapping
+//!   the card in the testbed.
+//! * [`NicProcessor`] is the serial execution resource: MCP handlers run to
+//!   completion, one at a time. Contention on it (e.g. a GB tree root
+//!   absorbing several gather packets back to back) emerges naturally.
+//! * [`DmaEngine`] models the SDMA (host→NIC) and RDMA (NIC→host) engines
+//!   with a startup cost plus per-byte transfer time and busy-until
+//!   serialization.
+//! * [`NicModel`] bundles a clock rate and [`FirmwareCosts`] under the names
+//!   of real cards: `LANAI_4_3`, `LANAI_7_2`, and an extrapolated `LANAI_9`.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod dma;
+pub mod model;
+pub mod nic;
+
+pub use clock::NicClock;
+pub use dma::DmaEngine;
+pub use model::{FirmwareCosts, NicModel};
+pub use nic::{NicHardware, NicProcessor};

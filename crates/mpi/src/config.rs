@@ -1,0 +1,98 @@
+//! MPI layer configuration.
+
+use gmsim_des::SimTime;
+
+/// Which implementation `MpiOp::Barrier` binds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierBinding {
+    /// The paper's contribution: one collective token, the NIC does the
+    /// rest (PE algorithm).
+    NicPe,
+    /// NIC-based gather-broadcast with tree dimension `dim`.
+    NicGb {
+        /// Tree arity.
+        dim: usize,
+    },
+    /// MPICH-over-GM style: host-based pairwise exchange, every message a
+    /// full host→NIC→wire→NIC→host trip plus MPI overhead.
+    HostPe,
+}
+
+/// Per-call costs of the MPI layer.
+///
+/// §2.2: "as the host send overhead increases, say from the addition of
+/// another programming layer such as MPI, the factor of improvement will
+/// increase" — the layer taxes *every* host-level call, so the host-based
+/// barrier pays it `log2 N` times per barrier and the NIC-based barrier
+/// pays it once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MpiConfig {
+    /// Host time charged on entry to every MPI call (argument checking,
+    /// request bookkeeping, datatype handling).
+    pub call_overhead: SimTime,
+    /// Extra host time charged per completed receive (message matching,
+    /// status construction) on top of GM's HRecv.
+    pub recv_overhead: SimTime,
+    /// How `Barrier` is implemented.
+    pub barrier: BarrierBinding,
+}
+
+impl MpiConfig {
+    /// An MPICH-over-GM-like layer with host-based barriers.
+    pub fn host_based() -> Self {
+        MpiConfig {
+            call_overhead: SimTime::from_us(3),
+            recv_overhead: SimTime::from_us(2),
+            barrier: BarrierBinding::HostPe,
+        }
+    }
+
+    /// The same layer with `MPI_Barrier` bound to the NIC-based barrier.
+    pub fn nic_based() -> Self {
+        MpiConfig {
+            barrier: BarrierBinding::NicPe,
+            ..Self::host_based()
+        }
+    }
+
+    /// Scale the layer overheads (heavier MPI implementations).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor >= 0.0);
+        self.call_overhead = SimTime::from_ns((self.call_overhead.as_ns() as f64 * factor) as u64);
+        self.recv_overhead = SimTime::from_ns((self.recv_overhead.as_ns() as f64 * factor) as u64);
+        self
+    }
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        Self::nic_based()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_only_in_binding() {
+        let h = MpiConfig::host_based();
+        let n = MpiConfig::nic_based();
+        assert_eq!(h.call_overhead, n.call_overhead);
+        assert_eq!(h.barrier, BarrierBinding::HostPe);
+        assert_eq!(n.barrier, BarrierBinding::NicPe);
+    }
+
+    #[test]
+    fn scaling_scales_both_overheads() {
+        let c = MpiConfig::host_based().scaled(2.0);
+        assert_eq!(c.call_overhead, SimTime::from_us(6));
+        assert_eq!(c.recv_overhead, SimTime::from_us(4));
+    }
+
+    #[test]
+    fn zero_scale_removes_the_layer() {
+        let c = MpiConfig::nic_based().scaled(0.0);
+        assert_eq!(c.call_overhead, SimTime::ZERO);
+    }
+}

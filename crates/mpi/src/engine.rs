@@ -1,0 +1,448 @@
+//! The script interpreter: [`MpiProcess`] executes an [`MpiOp`] script as
+//! an event-driven [`HostProgram`].
+//!
+//! Blocking-style semantics on a callback model: `step` runs ops until one
+//! must wait (an unmatched `Recv`, an in-flight barrier/collective), then
+//! parks; GM events unpark it. Host time accumulates through
+//! `HostCtx::compute`/`send`, so a script's timeline is exactly what the
+//! equivalent hand-written state machine would produce, plus the MPI
+//! layer's per-call overhead.
+
+use crate::config::{BarrierBinding, MpiConfig};
+use crate::ops::MpiOp;
+use gmsim_des::SimTime;
+use gmsim_gm::{GmEvent, HostCtx, HostProgram, StepKind};
+use nic_barrier::{BarrierGroup, CollectiveOp, ReduceOp};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Note tag emitted when a script finishes (timestamped at the end of the
+/// host's queued work, i.e. program completion).
+pub const NOTE_MPI_DONE: u64 = 0x3D0E << 32;
+
+/// GM tag namespace: user messages vs the layer's internal host-barrier
+/// messages.
+const USER_TAG: u64 = 1 << 40;
+const HBAR_TAG: u64 = 1 << 41;
+
+fn user_tag(tag: u32) -> u64 {
+    USER_TAG | tag as u64
+}
+
+fn hbar_tag(round: u64) -> u64 {
+    HBAR_TAG | round
+}
+
+/// Host barrier payload size (matches the host baseline).
+const HBAR_BYTES: usize = 8;
+/// User message modelled payload is whatever the script says; receives
+/// match on (src, tag) only, as in MPI.
+
+#[derive(Debug)]
+struct Frame {
+    ops: Arc<Vec<MpiOp>>,
+    idx: usize,
+    iters_left: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Blocked {
+    No,
+    Recv { src: usize, tag: u32 },
+    NicCollective,
+    HostBarrier,
+}
+
+#[derive(Debug)]
+struct HostBarrier {
+    steps: Vec<gmsim_gm::CollectiveStep>,
+    idx: usize,
+    sent_current: bool,
+    round: u64,
+}
+
+/// Layer statistics for one process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpiStats {
+    /// Barriers completed.
+    pub barriers: u64,
+    /// Sends issued.
+    pub sends: u64,
+    /// Receives completed.
+    pub recvs: u64,
+    /// Value collectives completed.
+    pub collectives: u64,
+    /// The last collective's result value.
+    pub last_value: u64,
+    /// When the script finished (host-work end), if it has.
+    pub finished_at: Option<SimTime>,
+}
+
+/// A scripted MPI process.
+pub struct MpiProcess {
+    group: BarrierGroup,
+    rank: usize,
+    config: MpiConfig,
+    frames: Vec<Frame>,
+    blocked: Blocked,
+    /// Unexpected user messages: (src rank, tag) → arrival count.
+    inbox: HashMap<(usize, u32), u32>,
+    /// Unexpected host-barrier messages: (src rank, round) → seen.
+    hbar_inbox: HashMap<(usize, u64), u32>,
+    hbar: Option<HostBarrier>,
+    barrier_round: u64,
+    /// Counters.
+    pub stats: MpiStats,
+}
+
+impl MpiProcess {
+    /// A process executing `program` as `rank` of `group`.
+    pub fn new(group: BarrierGroup, rank: usize, config: MpiConfig, program: Vec<MpiOp>) -> Self {
+        assert!(rank < group.len());
+        MpiProcess {
+            group,
+            rank,
+            config,
+            frames: vec![Frame {
+                ops: Arc::new(program),
+                idx: 0,
+                iters_left: 1,
+            }],
+            blocked: Blocked::No,
+            inbox: HashMap::new(),
+            hbar_inbox: HashMap::new(),
+            hbar: None,
+            barrier_round: 0,
+            stats: MpiStats::default(),
+        }
+    }
+
+    fn endpoint(&self, rank: usize) -> gmsim_gm::GlobalPort {
+        self.group.member(rank)
+    }
+
+    fn take_inbox(&mut self, src: usize, tag: u32) -> bool {
+        match self.inbox.get_mut(&(src, tag)) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.inbox.remove(&(src, tag));
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn take_hbar(&mut self, src: usize, round: u64) -> bool {
+        match self.hbar_inbox.get_mut(&(src, round)) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                if *c == 0 {
+                    self.hbar_inbox.remove(&(src, round));
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drive the host-based barrier sub-machine; true when it completed.
+    ///
+    /// The internal point-to-point messages go through the MPI layer's own
+    /// machinery (as in MPICH over GM), so each one pays the layer's
+    /// per-call and per-receive overheads — this is precisely the §2.2
+    /// mechanism by which "the addition of another programming layer such
+    /// as MPI" widens the NIC barrier's advantage: the host-based barrier
+    /// pays the layer `log2 N` times per barrier, the NIC-based one once.
+    fn drive_hbar(&mut self, ctx: &mut HostCtx) -> bool {
+        loop {
+            let Some(hb) = &self.hbar else { return true };
+            if hb.idx == hb.steps.len() {
+                self.hbar = None;
+                return true;
+            }
+            let step = hb.steps[hb.idx];
+            let round = hb.round;
+            let peer_rank = self
+                .group
+                .rank_of(step.peer)
+                .expect("barrier peer not in group");
+            match step.kind {
+                StepKind::SendOnly => {
+                    ctx.compute(self.config.call_overhead);
+                    ctx.send(step.peer, HBAR_BYTES, hbar_tag(round));
+                    self.hbar.as_mut().unwrap().idx += 1;
+                }
+                StepKind::SendRecv => {
+                    if !self.hbar.as_ref().unwrap().sent_current {
+                        ctx.compute(self.config.call_overhead);
+                        ctx.send(step.peer, HBAR_BYTES, hbar_tag(round));
+                        self.hbar.as_mut().unwrap().sent_current = true;
+                    }
+                    if self.take_hbar(peer_rank, round) {
+                        ctx.compute(self.config.recv_overhead);
+                        let hb = self.hbar.as_mut().unwrap();
+                        hb.idx += 1;
+                        hb.sent_current = false;
+                    } else {
+                        return false;
+                    }
+                }
+                StepKind::RecvOnly => {
+                    if self.take_hbar(peer_rank, round) {
+                        ctx.compute(self.config.recv_overhead);
+                        self.hbar.as_mut().unwrap().idx += 1;
+                    } else {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A `Bcast` tree rooted at an arbitrary rank: rotate ranks so the
+    /// root is virtual rank 0, compute the dimension-2 heap tree there,
+    /// and map back.
+    fn rotated_broadcast_token(&self, root: usize, value: u64) -> gmsim_gm::CollectiveToken {
+        let n = self.group.len();
+        let virt = (self.rank + n - root) % n;
+        let unrot = |v: usize| self.group.member((v + root) % n);
+        let dim = 2;
+        let parent = nic_barrier::schedule::gb::parent(virt, dim).map(unrot);
+        let children = nic_barrier::schedule::gb::children(virt, dim, n)
+            .into_iter()
+            .map(unrot)
+            .collect();
+        gmsim_gm::CollectiveToken::tree(CollectiveOp::Broadcast.encode(), parent, children)
+            .with_value(if self.rank == root { value } else { 0 })
+    }
+
+    /// Execute ops until the script blocks or finishes.
+    fn step(&mut self, ctx: &mut HostCtx) {
+        debug_assert_eq!(self.blocked, Blocked::No);
+        loop {
+            let Some(frame) = self.frames.last_mut() else {
+                if self.stats.finished_at.is_none() {
+                    self.stats.finished_at = Some(ctx.now);
+                    ctx.note_after_work(NOTE_MPI_DONE);
+                }
+                return;
+            };
+            if frame.idx == frame.ops.len() {
+                frame.iters_left -= 1;
+                if frame.iters_left == 0 {
+                    self.frames.pop();
+                } else {
+                    frame.idx = 0;
+                }
+                continue;
+            }
+            let op = frame.ops[frame.idx].clone();
+            frame.idx += 1;
+            match op {
+                MpiOp::Compute(d) => {
+                    ctx.compute(d);
+                }
+                MpiOp::Repeat { n, body } => {
+                    if n > 0 && !body.is_empty() {
+                        self.frames.push(Frame {
+                            ops: body,
+                            idx: 0,
+                            iters_left: n,
+                        });
+                    }
+                }
+                MpiOp::Send { dst, len, tag } => {
+                    ctx.compute(self.config.call_overhead);
+                    self.stats.sends += 1;
+                    ctx.send(self.endpoint(dst), len, user_tag(tag));
+                }
+                MpiOp::Recv { src, tag } => {
+                    ctx.compute(self.config.call_overhead);
+                    if self.take_inbox(src, tag) {
+                        ctx.compute(self.config.recv_overhead);
+                        self.stats.recvs += 1;
+                    } else {
+                        self.blocked = Blocked::Recv { src, tag };
+                        return;
+                    }
+                }
+                MpiOp::Barrier => {
+                    ctx.compute(self.config.call_overhead);
+                    match self.config.barrier {
+                        BarrierBinding::NicPe => {
+                            ctx.start_collective(self.group.pe_token(self.rank));
+                            self.blocked = Blocked::NicCollective;
+                            return;
+                        }
+                        BarrierBinding::NicGb { dim } => {
+                            ctx.start_collective(self.group.gb_token(self.rank, dim));
+                            self.blocked = Blocked::NicCollective;
+                            return;
+                        }
+                        BarrierBinding::HostPe => {
+                            let round = self.barrier_round;
+                            self.barrier_round += 1;
+                            self.hbar = Some(HostBarrier {
+                                steps: self.group.pe_steps(self.rank),
+                                idx: 0,
+                                sent_current: false,
+                                round,
+                            });
+                            if self.drive_hbar(ctx) {
+                                self.stats.barriers += 1;
+                            } else {
+                                self.blocked = Blocked::HostBarrier;
+                                return;
+                            }
+                        }
+                    }
+                }
+                MpiOp::Bcast { root, value } => {
+                    ctx.compute(self.config.call_overhead);
+                    ctx.start_collective(self.rotated_broadcast_token(root, value));
+                    self.blocked = Blocked::NicCollective;
+                    return;
+                }
+                MpiOp::AllReduce { op, value } => {
+                    ctx.compute(self.config.call_overhead);
+                    ctx.start_collective(self.allreduce_token(op, value));
+                    self.blocked = Blocked::NicCollective;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn allreduce_token(&self, op: ReduceOp, value: u64) -> gmsim_gm::CollectiveToken {
+        self.group.allreduce_token(op, self.rank, 2, value)
+    }
+}
+
+impl HostProgram for MpiProcess {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        self.step(ctx);
+    }
+
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        match ev {
+            GmEvent::Recv { src, tag, .. } => {
+                ctx.provide_recv(1);
+                let src_rank = self
+                    .group
+                    .rank_of(*src)
+                    .expect("message from outside the group");
+                if tag & HBAR_TAG != 0 {
+                    let round = tag & 0xFFFF_FFFF;
+                    *self.hbar_inbox.entry((src_rank, round)).or_default() += 1;
+                    if self.blocked == Blocked::HostBarrier && self.drive_hbar(ctx) {
+                        self.stats.barriers += 1;
+                        self.blocked = Blocked::No;
+                        self.step(ctx);
+                    }
+                } else {
+                    let utag = (tag & 0xFFFF_FFFF) as u32;
+                    *self.inbox.entry((src_rank, utag)).or_default() += 1;
+                    if self.blocked == (Blocked::Recv { src: src_rank, tag: utag })
+                        && self.take_inbox(src_rank, utag)
+                    {
+                        ctx.compute(self.config.recv_overhead);
+                        self.stats.recvs += 1;
+                        self.blocked = Blocked::No;
+                        self.step(ctx);
+                    }
+                }
+            }
+            GmEvent::BarrierComplete => {
+                if self.blocked == Blocked::NicCollective {
+                    self.stats.barriers += 1;
+                    self.blocked = Blocked::No;
+                    self.step(ctx);
+                }
+            }
+            GmEvent::BroadcastComplete { value } | GmEvent::ReduceComplete { value } => {
+                if self.blocked == Blocked::NicCollective {
+                    self.stats.collectives += 1;
+                    self.stats.last_value = *value;
+                    self.blocked = Blocked::No;
+                    self.step(ctx);
+                }
+            }
+            GmEvent::Sent { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::script;
+
+    #[test]
+    fn frames_unwind_nested_repeats() {
+        let program = script()
+            .repeat(2, |b| b.compute_us(1).repeat(3, |i| i.compute_us(1)))
+            .build();
+        let group = BarrierGroup::one_per_node(1, 1);
+        let mut p = MpiProcess::new(group, 0, MpiConfig::nic_based(), program);
+        let mut ctx = HostCtx::new(SimTime::ZERO, gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
+        p.step(&mut ctx);
+        assert!(p.stats.finished_at.is_some());
+        // 2 * (1 + 3) = 8 compute actions + the completion note
+        assert_eq!(ctx.into_actions().len(), 9);
+    }
+
+    #[test]
+    fn recv_blocks_until_message() {
+        let program = script().recv(1, 9).compute_us(5).build();
+        let group = BarrierGroup::one_per_node(2, 1);
+        let mut p = MpiProcess::new(group.clone(), 0, MpiConfig::nic_based(), program);
+        let mut ctx = HostCtx::new(SimTime::ZERO, gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
+        p.step(&mut ctx);
+        assert_eq!(p.blocked, Blocked::Recv { src: 1, tag: 9 });
+        assert!(p.stats.finished_at.is_none());
+        // the matching message unblocks and finishes the script
+        let mut ctx = HostCtx::new(SimTime::from_us(50), gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
+        p.on_event(
+            &GmEvent::Recv {
+                src: group.member(1),
+                len: 8,
+                tag: user_tag(9),
+            },
+            &mut ctx,
+        );
+        assert_eq!(p.blocked, Blocked::No);
+        assert!(p.stats.finished_at.is_some());
+        assert_eq!(p.stats.recvs, 1);
+    }
+
+    #[test]
+    fn wrong_tag_does_not_unblock() {
+        let program = script().recv(1, 9).build();
+        let group = BarrierGroup::one_per_node(2, 1);
+        let mut p = MpiProcess::new(group.clone(), 0, MpiConfig::nic_based(), program);
+        let mut ctx = HostCtx::new(SimTime::ZERO, gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
+        p.step(&mut ctx);
+        let mut ctx = HostCtx::new(SimTime::from_us(1), gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
+        p.on_event(
+            &GmEvent::Recv {
+                src: group.member(1),
+                len: 8,
+                tag: user_tag(8), // different tag
+            },
+            &mut ctx,
+        );
+        assert_eq!(p.blocked, Blocked::Recv { src: 1, tag: 9 });
+        // it is queued for a later recv, not lost
+        assert_eq!(p.inbox.get(&(1, 8)), Some(&1));
+    }
+
+    #[test]
+    fn tag_namespaces_do_not_collide() {
+        assert_ne!(user_tag(0) & HBAR_TAG, HBAR_TAG);
+        assert_ne!(hbar_tag(0) & USER_TAG, USER_TAG);
+        assert_eq!(user_tag(7) & 0xFFFF_FFFF, 7);
+        assert_eq!(hbar_tag(3) & 0xFFFF_FFFF, 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! An MPI-like programming layer over the GM model.
+//!
+//! The paper's future work (§8): "We intend to study the effects of our
+//! NIC-based barrier operation on higher communication layers, such as MPI
+//! ... We expect that our NIC-based barrier would show an even greater
+//! improvement over host-based barrier with these layers because of the
+//! additional latency to individual messages which is added by them." The
+//! authors followed up with *Performance benefits of NIC-based barrier on
+//! Myrinet/GM* (CAC '01). This crate reproduces that study's setting: a
+//! message-passing layer that adds per-call host overhead on top of GM and
+//! whose `Barrier` primitive can be bound either to the host-based PE
+//! algorithm or to the NIC-based barrier.
+//!
+//! Programs are *scripts* ([`MpiOp`]) — sequences of blocking-style
+//! operations (send/recv/barrier/collectives/compute with loops) — executed
+//! by [`MpiProcess`], an event-driven interpreter implementing
+//! [`gmsim_gm::HostProgram`]. Scripts read like straight-line MPI code
+//! while running on the simulator's callback model:
+//!
+//! ```
+//! use gmsim_mpi::{MpiOp, script};
+//! // a BSP superstep loop: compute, exchange halos, synchronize
+//! let me = 3usize; let right = 4usize; let left = 2usize;
+//! let program = script()
+//!     .repeat(100, |body| {
+//!         body.compute_us(50)
+//!             .send(right, 1024, 7)
+//!             .send(left, 1024, 7)
+//!             .recv(left, 7)
+//!             .recv(right, 7)
+//!             .barrier()
+//!     })
+//!     .build();
+//! assert_eq!(program.len(), 1);
+//! # let _ = (me, program);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod ops;
+
+pub use config::{BarrierBinding, MpiConfig};
+pub use engine::{MpiProcess, NOTE_MPI_DONE};
+pub use ops::{script, MpiOp, ScriptBuilder};

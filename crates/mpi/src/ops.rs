@@ -1,0 +1,163 @@
+//! The scripted operation set and its builder.
+
+use gmsim_des::SimTime;
+use nic_barrier::ReduceOp;
+use std::sync::Arc;
+
+/// One blocking-style MPI operation. Peers are *ranks* within the process
+/// group (the engine maps ranks to endpoints).
+#[derive(Debug, Clone)]
+pub enum MpiOp {
+    /// `MPI_Send`: fire-and-forget reliable message to `dst`.
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Payload bytes.
+        len: usize,
+        /// Message tag.
+        tag: u32,
+    },
+    /// `MPI_Recv`: block until a message from `src` with `tag` arrives.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: u32,
+    },
+    /// `MPI_Barrier`, bound per [`crate::MpiConfig::barrier`].
+    Barrier,
+    /// `MPI_Bcast` of a u64 from `root` (NIC-based, tree dimension 2).
+    Bcast {
+        /// Root rank.
+        root: usize,
+        /// The value contributed at the root (ignored elsewhere).
+        value: u64,
+    },
+    /// `MPI_Allreduce` of each rank's `value` (NIC-based).
+    AllReduce {
+        /// Combining operator.
+        op: ReduceOp,
+        /// This rank's contribution.
+        value: u64,
+    },
+    /// Local computation.
+    Compute(SimTime),
+    /// A counted loop over a sub-script.
+    Repeat {
+        /// Iteration count.
+        n: u64,
+        /// Loop body (shared so clones of the script are cheap).
+        body: Arc<Vec<MpiOp>>,
+    },
+}
+
+/// Fluent script construction.
+#[derive(Debug, Default, Clone)]
+pub struct ScriptBuilder {
+    ops: Vec<MpiOp>,
+}
+
+/// Start a script.
+pub fn script() -> ScriptBuilder {
+    ScriptBuilder::default()
+}
+
+impl ScriptBuilder {
+    /// Append `MPI_Send`.
+    pub fn send(mut self, dst: usize, len: usize, tag: u32) -> Self {
+        self.ops.push(MpiOp::Send { dst, len, tag });
+        self
+    }
+
+    /// Append `MPI_Recv`.
+    pub fn recv(mut self, src: usize, tag: u32) -> Self {
+        self.ops.push(MpiOp::Recv { src, tag });
+        self
+    }
+
+    /// Append `MPI_Barrier`.
+    pub fn barrier(mut self) -> Self {
+        self.ops.push(MpiOp::Barrier);
+        self
+    }
+
+    /// Append `MPI_Bcast`.
+    pub fn bcast(mut self, root: usize, value: u64) -> Self {
+        self.ops.push(MpiOp::Bcast { root, value });
+        self
+    }
+
+    /// Append `MPI_Allreduce`.
+    pub fn allreduce(mut self, op: ReduceOp, value: u64) -> Self {
+        self.ops.push(MpiOp::AllReduce { op, value });
+        self
+    }
+
+    /// Append local computation in microseconds.
+    pub fn compute_us(mut self, us: u64) -> Self {
+        self.ops.push(MpiOp::Compute(SimTime::from_us(us)));
+        self
+    }
+
+    /// Append a counted loop; `f` builds the body.
+    pub fn repeat<F>(mut self, n: u64, f: F) -> Self
+    where
+        F: FnOnce(ScriptBuilder) -> ScriptBuilder,
+    {
+        let body = f(ScriptBuilder::default()).ops;
+        self.ops.push(MpiOp::Repeat {
+            n,
+            body: Arc::new(body),
+        });
+        self
+    }
+
+    /// Finish the script.
+    pub fn build(self) -> Vec<MpiOp> {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_order() {
+        let s = script()
+            .compute_us(10)
+            .send(1, 64, 5)
+            .recv(1, 5)
+            .barrier()
+            .build();
+        assert_eq!(s.len(), 4);
+        assert!(matches!(s[0], MpiOp::Compute(_)));
+        assert!(matches!(s[1], MpiOp::Send { dst: 1, len: 64, tag: 5 }));
+        assert!(matches!(s[2], MpiOp::Recv { src: 1, tag: 5 }));
+        assert!(matches!(s[3], MpiOp::Barrier));
+    }
+
+    #[test]
+    fn repeat_nests() {
+        let s = script()
+            .repeat(3, |b| b.barrier().repeat(2, |inner| inner.compute_us(1)))
+            .build();
+        let MpiOp::Repeat { n, body } = &s[0] else {
+            panic!("expected repeat");
+        };
+        assert_eq!(*n, 3);
+        assert_eq!(body.len(), 2);
+        assert!(matches!(&body[1], MpiOp::Repeat { n: 2, .. }));
+    }
+
+    #[test]
+    fn scripts_clone_cheaply() {
+        let s = script().repeat(1_000, |b| b.barrier()).build();
+        let c = s.clone();
+        if let (MpiOp::Repeat { body: a, .. }, MpiOp::Repeat { body: b, .. }) = (&s[0], &c[0]) {
+            assert!(Arc::ptr_eq(a, b), "bodies are shared, not copied");
+        } else {
+            panic!();
+        }
+    }
+}

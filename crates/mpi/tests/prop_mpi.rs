@@ -1,0 +1,142 @@
+//! Property tests of the MPI layer: randomly generated *deadlock-free*
+//! programs (SPMD scripts where every send has a matching receive and
+//! collectives are uniform) always run to completion on the full
+//! simulated cluster, for any binding and any start skew.
+
+use gmsim_des::{RunOutcome, SimTime};
+use gmsim_gm::cluster::ClusterBuilder;
+use gmsim_gm::GmConfig;
+use gmsim_lanai::NicModel;
+use gmsim_mpi::{script, BarrierBinding, MpiConfig, MpiOp, MpiProcess, ScriptBuilder, NOTE_MPI_DONE};
+use nic_barrier::{BarrierExtension, BarrierGroup, ReduceOp};
+use proptest::prelude::*;
+
+/// One SPMD "statement" that is deadlock-free by construction.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// Ring shift: everyone sends right, receives from left.
+    RingShift { len: usize, tag: u32 },
+    /// Everyone computes.
+    Compute { us: u64 },
+    /// Global barrier.
+    Barrier,
+    /// Broadcast from a root.
+    Bcast { root_sel: usize },
+    /// Allreduce.
+    AllReduce,
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (1usize..2048, 0u32..8).prop_map(|(len, tag)| Stmt::RingShift { len, tag }),
+        (0u64..100).prop_map(|us| Stmt::Compute { us }),
+        Just(Stmt::Barrier),
+        (0usize..64).prop_map(|root_sel| Stmt::Bcast { root_sel }),
+        Just(Stmt::AllReduce),
+    ]
+}
+
+fn build_script(stmts: &[Stmt], rank: usize, n: usize) -> Vec<MpiOp> {
+    let mut b: ScriptBuilder = script();
+    for s in stmts {
+        b = match s {
+            Stmt::RingShift { len, tag } => {
+                let right = (rank + 1) % n;
+                let left = (rank + n - 1) % n;
+                b.send(right, *len, *tag).recv(left, *tag)
+            }
+            Stmt::Compute { us } => b.compute_us(*us),
+            Stmt::Barrier => b.barrier(),
+            Stmt::Bcast { root_sel } => b.bcast(root_sel % n, 42),
+            Stmt::AllReduce => b.allreduce(ReduceOp::Max, rank as u64),
+        };
+    }
+    b.build()
+}
+
+fn run(
+    n: usize,
+    stmts: &[Stmt],
+    binding: BarrierBinding,
+    skews: &[u64],
+) -> Result<(), TestCaseError> {
+    let group = BarrierGroup::one_per_node(n, 1);
+    let config = MpiConfig {
+        barrier: binding,
+        ..MpiConfig::nic_based()
+    };
+    let mut b = ClusterBuilder::new(n)
+        .config(GmConfig::paper_host(NicModel::LANAI_4_3))
+        .extension(BarrierExtension::factory());
+    for rank in 0..n {
+        b = b.program(
+            group.member(rank),
+            Box::new(MpiProcess::new(
+                group.clone(),
+                rank,
+                config,
+                build_script(stmts, rank, n),
+            )),
+            SimTime::from_us(skews.get(rank).copied().unwrap_or(0)),
+        );
+    }
+    let mut sim = b.build();
+    prop_assert_eq!(sim.run(), RunOutcome::Quiescent, "hung: {:?}", stmts);
+    let done = sim
+        .world()
+        .notes
+        .iter()
+        .filter(|nt| nt.tag == NOTE_MPI_DONE)
+        .count();
+    prop_assert_eq!(done, n, "{:?}", stmts);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        max_shrink_iters: 100,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_spmd_programs_complete(
+        n in 2usize..=8,
+        stmts in proptest::collection::vec(stmt(), 1..12),
+        binding_sel in 0usize..3,
+        skews in proptest::collection::vec(0u64..300, 8),
+    ) {
+        let binding = match binding_sel {
+            0 => BarrierBinding::NicPe,
+            1 => BarrierBinding::NicGb { dim: 2 },
+            _ => BarrierBinding::HostPe,
+        };
+        run(n, &stmts, binding, &skews)?;
+    }
+}
+
+/// Regression corners: same-tag back-to-back ring shifts (matching relies
+/// on counting, not sets) and collective-heavy programs.
+#[test]
+fn corner_programs_complete() {
+    let corners: Vec<Vec<Stmt>> = vec![
+        vec![
+            Stmt::RingShift { len: 8, tag: 0 },
+            Stmt::RingShift { len: 8, tag: 0 },
+            Stmt::RingShift { len: 8, tag: 0 },
+        ],
+        vec![Stmt::Barrier, Stmt::Barrier, Stmt::Barrier, Stmt::Barrier],
+        vec![
+            Stmt::Bcast { root_sel: 3 },
+            Stmt::AllReduce,
+            Stmt::Bcast { root_sel: 1 },
+            Stmt::Barrier,
+        ],
+    ];
+    for stmts in &corners {
+        run(5, stmts, BarrierBinding::NicPe, &[50, 0, 10, 200, 5])
+            .unwrap_or_else(|e| panic!("{stmts:?}: {e}"));
+        run(5, stmts, BarrierBinding::HostPe, &[0, 0, 0, 0, 99])
+            .unwrap_or_else(|e| panic!("{stmts:?}: {e}"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Fault injection.
+//!
+//! GM provides reliable delivery over an unreliable wire; to exercise that
+//! machinery (acks, nacks, go-back-N) the fabric can drop or corrupt worms.
+//! Faults are driven by the fabric's own seeded RNG stream, so an experiment
+//! with faults is exactly as reproducible as one without.
+
+use gmsim_des::SimRng;
+
+/// Probabilistic fault configuration, uniform across links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability an injected worm vanishes entirely.
+    pub drop_probability: f64,
+    /// Probability a delivered worm arrives with a bad CRC (the receiving
+    /// NIC discards it, which GM turns into a timeout/retransmission).
+    pub corrupt_probability: f64,
+}
+
+impl FaultPlan {
+    /// A perfectly reliable wire (the common case; Myrinet links have very
+    /// low intrinsic bit-error rates).
+    pub const NONE: FaultPlan = FaultPlan {
+        drop_probability: 0.0,
+        corrupt_probability: 0.0,
+    };
+
+    /// Uniform drop probability, no corruption.
+    pub fn drops(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        FaultPlan {
+            drop_probability: p,
+            corrupt_probability: 0.0,
+        }
+    }
+
+    /// True when no fault can ever fire (lets the fabric skip RNG draws,
+    /// keeping fault-free traces identical regardless of fault code).
+    pub fn is_none(&self) -> bool {
+        self.drop_probability == 0.0 && self.corrupt_probability == 0.0
+    }
+
+    /// Decide the fate of one worm.
+    pub fn judge(&self, rng: &mut SimRng) -> Fate {
+        if self.is_none() {
+            return Fate::Intact;
+        }
+        if rng.chance(self.drop_probability) {
+            Fate::Dropped
+        } else if rng.chance(self.corrupt_probability) {
+            Fate::Corrupted
+        } else {
+            Fate::Intact
+        }
+    }
+}
+
+/// Outcome of fault judgement for one worm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Arrives unharmed.
+    Intact,
+    /// Never arrives.
+    Dropped,
+    /// Arrives but fails CRC; receiver discards it silently.
+    Corrupted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_faults() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..1000 {
+            assert_eq!(FaultPlan::NONE.judge(&mut rng), Fate::Intact);
+        }
+    }
+
+    #[test]
+    fn none_consumes_no_entropy() {
+        let mut a = SimRng::new(5);
+        let mut b = SimRng::new(5);
+        let _ = FaultPlan::NONE.judge(&mut a);
+        assert_eq!(a.next(), b.next());
+    }
+
+    #[test]
+    fn certain_drop() {
+        let mut rng = SimRng::new(2);
+        let plan = FaultPlan::drops(1.0);
+        for _ in 0..100 {
+            assert_eq!(plan.judge(&mut rng), Fate::Dropped);
+        }
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches() {
+        let mut rng = SimRng::new(3);
+        let plan = FaultPlan::drops(0.25);
+        let dropped = (0..10_000)
+            .filter(|_| plan.judge(&mut rng) == Fate::Dropped)
+            .count();
+        assert!((2_000..3_000).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn corruption_fires() {
+        let mut rng = SimRng::new(4);
+        let plan = FaultPlan {
+            drop_probability: 0.0,
+            corrupt_probability: 1.0,
+        };
+        assert_eq!(plan.judge(&mut rng), Fate::Corrupted);
+    }
+}

@@ -1,0 +1,60 @@
+//! Wire format accounting.
+//!
+//! What travels a Myrinet link is slightly larger than the payload: the
+//! source route (one byte per switch, stripped hop by hop), a packet-type
+//! header, and a trailing CRC. The GM layer asks this module how many bytes
+//! a payload occupies on the wire so serialization time is charged honestly.
+
+/// Framing overhead parameters for the modelled Myrinet generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFormat {
+    /// Fixed header bytes (packet type + GM transport header).
+    pub header_bytes: usize,
+    /// Trailing CRC bytes.
+    pub crc_bytes: usize,
+}
+
+impl WireFormat {
+    /// GM-era framing: 16-byte transport header, 1-byte CRC-8 trailer.
+    pub const GM: WireFormat = WireFormat {
+        header_bytes: 16,
+        crc_bytes: 1,
+    };
+
+    /// Bytes on the first (most loaded) link for `payload` bytes crossing
+    /// `switch_hops` switches: route bytes are all still present there.
+    pub fn on_wire(&self, payload: usize, switch_hops: usize) -> usize {
+        switch_hops + self.header_bytes + payload + self.crc_bytes
+    }
+}
+
+/// Convenience wrapper using the default GM framing.
+pub fn wire_size(payload: usize, switch_hops: usize) -> usize {
+    WireFormat::GM.on_wire(payload, switch_hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gm_framing_adds_fixed_overhead() {
+        assert_eq!(wire_size(0, 0), 17);
+        assert_eq!(wire_size(100, 1), 118);
+    }
+
+    #[test]
+    fn route_bytes_scale_with_hops() {
+        let f = WireFormat::GM;
+        assert_eq!(f.on_wire(8, 3) - f.on_wire(8, 0), 3);
+    }
+
+    #[test]
+    fn custom_format() {
+        let f = WireFormat {
+            header_bytes: 4,
+            crc_bytes: 2,
+        };
+        assert_eq!(f.on_wire(10, 2), 18);
+    }
+}

@@ -1,0 +1,499 @@
+//! Topology construction and route computation.
+//!
+//! A topology is a graph of NICs and switches joined by full-duplex cables.
+//! Builders cover the paper's two physical testbeds — a single 16-port
+//! switch for the LANai 4.3 cluster and a single 8-port switch for the
+//! LANai 7.2 cluster — plus multi-switch chains used by the scaling study.
+//! Routes (shortest paths, BFS with deterministic tie-breaking by vertex
+//! index) are computed once at `build()`.
+
+use crate::route::{LinkId, NicId, Route, SwitchId, Vertex};
+use gmsim_des::SimTime;
+use std::collections::VecDeque;
+
+/// Physical characteristics of one cable (applied to both directions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Bandwidth in bytes per nanosecond (1.28 Gb/s = 0.16 B/ns).
+    pub bytes_per_ns: f64,
+    /// Propagation delay down the cable.
+    pub propagation: SimTime,
+}
+
+impl LinkSpec {
+    /// The paper's Myrinet generation: 1.28 Gb/s links, short machine-room
+    /// cables (~25 ns).
+    pub const MYRINET_1280: LinkSpec = LinkSpec {
+        bytes_per_ns: 0.16,
+        propagation: SimTime::from_ns(25),
+    };
+
+    /// Serialization time for `bytes` on this link.
+    pub fn serialize(&self, bytes: usize) -> SimTime {
+        SimTime::from_ns((bytes as f64 / self.bytes_per_ns).ceil() as u64)
+    }
+}
+
+/// One directed link of the built topology.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectedLink {
+    /// Where the link starts.
+    pub from: Vertex,
+    /// Where the link ends.
+    pub to: Vertex,
+    /// Physical cable parameters.
+    pub spec: LinkSpec,
+}
+
+/// A finished topology: vertices, directed links, and all-pairs NIC routes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nics: usize,
+    switch_latency: Vec<SimTime>,
+    links: Vec<DirectedLink>,
+    /// routes[src * nics + dst]; the self route is empty.
+    routes: Vec<Route>,
+}
+
+impl Topology {
+    /// Number of attached NICs.
+    pub fn nic_count(&self) -> usize {
+        self.nics
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switch_latency.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The directed link table entry.
+    pub fn link(&self, id: LinkId) -> &DirectedLink {
+        &self.links[id.0]
+    }
+
+    /// Fall-through latency of a switch.
+    pub fn switch_latency(&self, s: SwitchId) -> SimTime {
+        self.switch_latency[s.0]
+    }
+
+    /// The precomputed route from `src` to `dst`.
+    ///
+    /// # Panics
+    /// Panics if either NIC is out of range.
+    pub fn route(&self, src: NicId, dst: NicId) -> &Route {
+        assert!(src.0 < self.nics && dst.0 < self.nics, "NIC out of range");
+        &self.routes[src.0 * self.nics + dst.0]
+    }
+
+    /// Sum of switch fall-through latencies along a route.
+    pub fn switch_delay(&self, route: &Route) -> SimTime {
+        let mut total = SimTime::ZERO;
+        for l in route.links() {
+            if let Vertex::Switch(s) = self.links[l.0].from {
+                total += self.switch_latency[s.0];
+            }
+        }
+        total
+    }
+
+    /// True when every NIC can reach every other NIC.
+    pub fn fully_connected(&self) -> bool {
+        for s in 0..self.nics {
+            for d in 0..self.nics {
+                if s != d && self.routes[s * self.nics + d].is_empty() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Incremental topology builder.
+pub struct TopologyBuilder {
+    nics: usize,
+    switch_latency: Vec<SimTime>,
+    links: Vec<DirectedLink>,
+}
+
+impl Default for TopologyBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TopologyBuilder {
+    /// Fall-through latency of the modelled Myrinet crossbar switches.
+    pub const DEFAULT_SWITCH_LATENCY: SimTime = SimTime::from_ns(300);
+
+    /// An empty builder.
+    pub fn new() -> Self {
+        TopologyBuilder {
+            nics: 0,
+            switch_latency: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Add a NIC vertex; returns its id.
+    pub fn add_nic(&mut self) -> NicId {
+        let id = NicId(self.nics);
+        self.nics += 1;
+        id
+    }
+
+    /// Add a switch with the given fall-through latency; returns its id.
+    pub fn add_switch(&mut self, latency: SimTime) -> SwitchId {
+        self.switch_latency.push(latency);
+        SwitchId(self.switch_latency.len() - 1)
+    }
+
+    /// Join two vertices with a full-duplex cable (two directed links).
+    pub fn connect(&mut self, a: Vertex, b: Vertex, spec: LinkSpec) {
+        self.links.push(DirectedLink { from: a, to: b, spec });
+        self.links.push(DirectedLink { from: b, to: a, spec });
+    }
+
+    /// Finish: computes all-pairs NIC-to-NIC shortest routes.
+    pub fn build(self) -> Topology {
+        let nics = self.nics;
+        let n_vertices = nics + self.switch_latency.len();
+        let vidx = |v: Vertex| -> usize {
+            match v {
+                Vertex::Nic(n) => n.0,
+                Vertex::Switch(s) => nics + s.0,
+            }
+        };
+        // adjacency: outgoing (link, to) per vertex, in link order so BFS
+        // tie-breaking is deterministic.
+        let mut adj: Vec<Vec<(LinkId, usize)>> = vec![Vec::new(); n_vertices];
+        for (i, l) in self.links.iter().enumerate() {
+            adj[vidx(l.from)].push((LinkId(i), vidx(l.to)));
+        }
+
+        let mut routes = Vec::with_capacity(nics * nics);
+        for src in 0..nics {
+            // BFS from src over the whole graph.
+            let mut prev: Vec<Option<(usize, LinkId)>> = vec![None; n_vertices];
+            let mut seen = vec![false; n_vertices];
+            let mut queue = VecDeque::new();
+            seen[src] = true;
+            queue.push_back(src);
+            while let Some(v) = queue.pop_front() {
+                for &(link, to) in &adj[v] {
+                    // NICs are leaves: never route *through* another NIC.
+                    if seen[to] {
+                        continue;
+                    }
+                    if to < nics && to != v {
+                        seen[to] = true;
+                        prev[to] = Some((v, link));
+                        continue; // do not expand past a NIC
+                    }
+                    seen[to] = true;
+                    prev[to] = Some((v, link));
+                    queue.push_back(to);
+                }
+            }
+            for dst in 0..nics {
+                if dst == src {
+                    routes.push(Route::new(vec![]));
+                    continue;
+                }
+                let mut rev = Vec::new();
+                let mut v = dst;
+                let mut ok = true;
+                while v != src {
+                    match prev[v] {
+                        Some((p, link)) => {
+                            rev.push(link);
+                            v = p;
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    rev.reverse();
+                    routes.push(Route::new(rev));
+                } else {
+                    routes.push(Route::new(vec![])); // unreachable ⇒ empty
+                }
+            }
+        }
+        Topology {
+            nics,
+            switch_latency: self.switch_latency,
+            links: self.links,
+            routes,
+        }
+    }
+
+    /// The paper's testbed shape: `hosts` NICs on one crossbar switch
+    /// (16-port for the LANai 4.3 cluster, 8-port for the 7.2 cluster).
+    pub fn single_switch(hosts: usize) -> Topology {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch(Self::DEFAULT_SWITCH_LATENCY);
+        for _ in 0..hosts {
+            let n = b.add_nic();
+            b.connect(Vertex::Nic(n), Vertex::Switch(sw), LinkSpec::MYRINET_1280);
+        }
+        b.build()
+    }
+
+    /// A two-level Clos network, how real Myrinet installations scaled
+    /// past one crossbar: `leaves` leaf switches with `hosts_per_leaf`
+    /// NICs each, every leaf cabled to every one of `spines` spine
+    /// switches. With `spines >= hosts_per_leaf` the fabric is
+    /// non-blocking. Source routes are *dispersed*: the spine for a
+    /// (src, dst) pair is chosen by `(src + dst) % spines`, spreading
+    /// simultaneous pairwise-exchange traffic across the bisection the way
+    /// Myrinet's route-dispersal did.
+    pub fn clos(leaves: usize, hosts_per_leaf: usize, spines: usize) -> Topology {
+        assert!(leaves >= 1 && hosts_per_leaf >= 1 && spines >= 1);
+        let mut b = TopologyBuilder::new();
+        let leaf_sw: Vec<SwitchId> = (0..leaves)
+            .map(|_| b.add_switch(Self::DEFAULT_SWITCH_LATENCY))
+            .collect();
+        let spine_sw: Vec<SwitchId> = (0..spines)
+            .map(|_| b.add_switch(Self::DEFAULT_SWITCH_LATENCY))
+            .collect();
+        for &l in &leaf_sw {
+            for &s in &spine_sw {
+                b.connect(Vertex::Switch(l), Vertex::Switch(s), LinkSpec::MYRINET_1280);
+            }
+        }
+        for &l in &leaf_sw {
+            for _ in 0..hosts_per_leaf {
+                let n = b.add_nic();
+                b.connect(Vertex::Nic(n), Vertex::Switch(l), LinkSpec::MYRINET_1280);
+            }
+        }
+        // Build once for the link table, then replace the BFS routes with
+        // dispersed ones.
+        let mut topo = b.build();
+        use std::collections::HashMap;
+        let mut link_of: HashMap<(Vertex, Vertex), LinkId> = HashMap::new();
+        for i in 0..topo.link_count() {
+            let l = topo.links[i];
+            link_of.insert((l.from, l.to), LinkId(i));
+        }
+        let nics = topo.nic_count();
+        let leaf_of = |nic: usize| leaf_sw[nic / hosts_per_leaf];
+        let mut routes = Vec::with_capacity(nics * nics);
+        for src in 0..nics {
+            for dst in 0..nics {
+                if src == dst {
+                    routes.push(Route::new(vec![]));
+                    continue;
+                }
+                let (la, lb) = (leaf_of(src), leaf_of(dst));
+                let up = link_of[&(Vertex::Nic(NicId(src)), Vertex::Switch(la))];
+                let down = link_of[&(Vertex::Switch(lb), Vertex::Nic(NicId(dst)))];
+                if la == lb {
+                    routes.push(Route::new(vec![up, down]));
+                } else {
+                    let spine = spine_sw[(src + dst) % spines];
+                    let to_spine = link_of[&(Vertex::Switch(la), Vertex::Switch(spine))];
+                    let from_spine = link_of[&(Vertex::Switch(spine), Vertex::Switch(lb))];
+                    routes.push(Route::new(vec![up, to_spine, from_spine, down]));
+                }
+            }
+        }
+        topo.routes = routes;
+        topo
+    }
+
+    /// A chain of switches with `hosts_per_switch` NICs each — used by the
+    /// scaling study to grow beyond one crossbar. Switch i is cabled to
+    /// switch i+1.
+    pub fn switch_chain(switches: usize, hosts_per_switch: usize) -> Topology {
+        assert!(switches >= 1);
+        let mut b = TopologyBuilder::new();
+        let sws: Vec<SwitchId> = (0..switches)
+            .map(|_| b.add_switch(Self::DEFAULT_SWITCH_LATENCY))
+            .collect();
+        for w in windows2(&sws) {
+            b.connect(
+                Vertex::Switch(w.0),
+                Vertex::Switch(w.1),
+                LinkSpec::MYRINET_1280,
+            );
+        }
+        for &sw in &sws {
+            for _ in 0..hosts_per_switch {
+                let n = b.add_nic();
+                b.connect(Vertex::Nic(n), Vertex::Switch(sw), LinkSpec::MYRINET_1280);
+            }
+        }
+        b.build()
+    }
+}
+
+fn windows2(s: &[SwitchId]) -> impl Iterator<Item = (SwitchId, SwitchId)> + '_ {
+    s.windows(2).map(|w| (w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_routes_are_two_links() {
+        let t = TopologyBuilder::single_switch(8);
+        assert_eq!(t.nic_count(), 8);
+        assert_eq!(t.switch_count(), 1);
+        assert!(t.fully_connected());
+        for s in 0..8 {
+            for d in 0..8 {
+                let r = t.route(NicId(s), NicId(d));
+                if s == d {
+                    assert!(r.is_empty());
+                } else {
+                    assert_eq!(r.len(), 2, "{s}->{d}");
+                    assert_eq!(r.switch_hops(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_switch_16_matches_paper_testbed() {
+        let t = TopologyBuilder::single_switch(16);
+        assert_eq!(t.nic_count(), 16);
+        // 16 cables, 2 directed links each
+        assert_eq!(t.link_count(), 32);
+    }
+
+    #[test]
+    fn chain_routes_cross_intermediate_switches() {
+        let t = TopologyBuilder::switch_chain(3, 2); // nics 0,1 on sw0; 2,3 on sw1; 4,5 on sw2
+        assert!(t.fully_connected());
+        let same_switch = t.route(NicId(0), NicId(1));
+        assert_eq!(same_switch.switch_hops(), 1);
+        let far = t.route(NicId(0), NicId(5));
+        assert_eq!(far.switch_hops(), 3);
+        assert_eq!(far.len(), 4);
+    }
+
+    #[test]
+    fn routes_are_symmetric_in_length() {
+        let t = TopologyBuilder::switch_chain(4, 3);
+        for s in 0..12 {
+            for d in 0..12 {
+                assert_eq!(
+                    t.route(NicId(s), NicId(d)).len(),
+                    t.route(NicId(d), NicId(s)).len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routes_never_pass_through_nics() {
+        let t = TopologyBuilder::switch_chain(2, 4);
+        for s in 0..8 {
+            for d in 0..8 {
+                let r = t.route(NicId(s), NicId(d));
+                for (i, l) in r.links().iter().enumerate() {
+                    let link = t.link(*l);
+                    if i > 0 {
+                        assert!(
+                            matches!(link.from, Vertex::Switch(_)),
+                            "interior vertex must be a switch"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_time() {
+        let s = LinkSpec::MYRINET_1280;
+        // 160 bytes at 0.16 B/ns = 1000 ns
+        assert_eq!(s.serialize(160), SimTime::from_ns(1000));
+        assert_eq!(s.serialize(0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn switch_delay_sums_fallthrough() {
+        let t = TopologyBuilder::switch_chain(3, 1);
+        let r = t.route(NicId(0), NicId(2)).clone();
+        assert_eq!(
+            t.switch_delay(&r),
+            TopologyBuilder::DEFAULT_SWITCH_LATENCY * 3
+        );
+    }
+
+    #[test]
+    fn clos_routes_are_two_or_four_links() {
+        let t = TopologyBuilder::clos(4, 4, 4);
+        assert_eq!(t.nic_count(), 16);
+        assert!(t.fully_connected());
+        for s in 0..16 {
+            for d in 0..16 {
+                if s == d {
+                    continue;
+                }
+                let r = t.route(NicId(s), NicId(d));
+                if s / 4 == d / 4 {
+                    assert_eq!(r.len(), 2, "same leaf {s}->{d}");
+                } else {
+                    assert_eq!(r.len(), 4, "cross leaf {s}->{d}");
+                    assert_eq!(r.switch_hops(), 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clos_disperses_spine_choice() {
+        let t = TopologyBuilder::clos(2, 8, 8);
+        // Fix a source on leaf 0; destinations on leaf 1 should use many
+        // different spine uplinks, not all the same one.
+        let mut uplinks = std::collections::HashSet::new();
+        for d in 8..16 {
+            let r = t.route(NicId(0), NicId(d));
+            uplinks.insert(r.links()[1]);
+        }
+        assert!(uplinks.len() >= 4, "only {} distinct uplinks", uplinks.len());
+    }
+
+    #[test]
+    fn clos_route_endpoints_are_consistent() {
+        let t = TopologyBuilder::clos(3, 2, 2);
+        for s in 0..6 {
+            for d in 0..6 {
+                if s == d {
+                    continue;
+                }
+                let r = t.route(NicId(s), NicId(d));
+                let first = t.link(r.links()[0]);
+                let last = t.link(*r.links().last().unwrap());
+                assert_eq!(first.from, Vertex::Nic(NicId(s)));
+                assert_eq!(last.to, Vertex::Nic(NicId(d)));
+                // consecutive links chain
+                for w in r.links().windows(2) {
+                    assert_eq!(t.link(w[0]).to, t.link(w[1]).from);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_detected() {
+        let mut b = TopologyBuilder::new();
+        let _a = b.add_nic();
+        let _c = b.add_nic();
+        let t = b.build();
+        assert!(!t.fully_connected());
+    }
+}

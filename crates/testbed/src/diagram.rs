@@ -1,0 +1,198 @@
+//! ASCII rendering of the paper's Figure 2 timing diagrams.
+//!
+//! Figure 2 is an *analytic* diagram: the component-by-component breakdown
+//! of one barrier at one node, assuming synchronized starts — 2(a) for the
+//! host-based barrier, 2(b) for the NIC-based barrier. This module draws
+//! the same diagrams from a [`CostModel`], so `repro fig2` shows the
+//! figure the equations describe next to the simulated numbers.
+//!
+//! Lanes: `host` (Send / HRecv), `nic` (SDMA / Recv / step / RDMA) and
+//! `wire` (Network). One message exchange per PE round.
+
+use nic_barrier::CostModel;
+use std::fmt::Write as _;
+
+/// A labelled time segment on one lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Lane index (0 = host, 1 = nic, 2 = wire).
+    pub lane: usize,
+    /// Start, µs.
+    pub start: f64,
+    /// End, µs.
+    pub end: f64,
+    /// Single-character label.
+    pub label: char,
+}
+
+/// A built diagram: segments plus the legend.
+#[derive(Debug, Clone)]
+pub struct Diagram {
+    /// Human title.
+    pub title: String,
+    /// The segments, in chronological order of start.
+    pub segments: Vec<Segment>,
+    /// Total span, µs.
+    pub total_us: f64,
+}
+
+const LANES: [&str; 3] = ["host", "nic ", "wire"];
+
+impl Diagram {
+    /// The Figure 2(a) host-based barrier timeline for `n` nodes.
+    pub fn host_barrier(model: &CostModel, n: usize) -> Diagram {
+        let rounds = CostModel::rounds(n);
+        let mut segs = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..rounds {
+            let send_end = t + model.send_us;
+            segs.push(Segment { lane: 0, start: t, end: send_end, label: 'S' });
+            let sdma_end = send_end + model.sdma_us;
+            segs.push(Segment { lane: 1, start: send_end, end: sdma_end, label: 'D' });
+            let net_end = sdma_end + model.network_us;
+            segs.push(Segment { lane: 2, start: sdma_end, end: net_end, label: 'N' });
+            let recv_end = net_end + model.recv_us;
+            segs.push(Segment { lane: 1, start: net_end, end: recv_end, label: 'R' });
+            let rdma_end = recv_end + model.rdma_us;
+            segs.push(Segment { lane: 1, start: recv_end, end: rdma_end, label: 'M' });
+            let hrecv_end = rdma_end + model.hrecv_us;
+            segs.push(Segment { lane: 0, start: rdma_end, end: hrecv_end, label: 'H' });
+            t = hrecv_end;
+        }
+        Diagram {
+            title: format!("host-based barrier, {n} nodes (Eq.1 = {:.2}us)", t),
+            segments: segs,
+            total_us: t,
+        }
+    }
+
+    /// The Figure 2(b) NIC-based barrier timeline for `n` nodes.
+    pub fn nic_barrier(model: &CostModel, n: usize) -> Diagram {
+        let rounds = CostModel::rounds(n);
+        let mut segs = Vec::new();
+        let send_end = model.send_us;
+        segs.push(Segment { lane: 0, start: 0.0, end: send_end, label: 'S' });
+        let mut t = send_end;
+        for _ in 0..rounds {
+            let net_end = t + model.network_us;
+            segs.push(Segment { lane: 2, start: t, end: net_end, label: 'N' });
+            let recv_end = net_end + model.nic_recv_us;
+            segs.push(Segment { lane: 1, start: net_end, end: recv_end, label: 'R' });
+            let step_end = recv_end + model.nic_step_us;
+            segs.push(Segment { lane: 1, start: recv_end, end: step_end, label: 'P' });
+            t = step_end;
+        }
+        let rdma_end = t + model.rdma_us;
+        segs.push(Segment { lane: 1, start: t, end: rdma_end, label: 'M' });
+        let hrecv_end = rdma_end + model.hrecv_us;
+        segs.push(Segment { lane: 0, start: rdma_end, end: hrecv_end, label: 'H' });
+        Diagram {
+            title: format!("NIC-based barrier, {n} nodes (Eq.2 = {:.2}us)", hrecv_end),
+            segments: segs,
+            total_us: hrecv_end,
+        }
+    }
+
+    /// Segments are contiguous and non-overlapping across the whole
+    /// timeline (the diagram is a single dependency chain).
+    pub fn is_well_formed(&self) -> bool {
+        let mut prev_end = 0.0;
+        for s in &self.segments {
+            if s.end < s.start || (s.start - prev_end).abs() > 1e-9 {
+                return false;
+            }
+            prev_end = s.end;
+        }
+        (prev_end - self.total_us).abs() < 1e-9
+    }
+
+    /// Render at `width` characters for the full span.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width >= 10);
+        let scale = width as f64 / self.total_us.max(1e-9);
+        let col = |us: f64| ((us * scale).round() as usize).min(width);
+        let mut lanes = vec![vec![' '; width]; LANES.len()];
+        for s in &self.segments {
+            let (a, b) = (col(s.start), col(s.end));
+            for c in lanes[s.lane].iter_mut().take(b.max(a + 1)).skip(a) {
+                *c = s.label;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        for (name, lane) in LANES.iter().zip(&lanes) {
+            let _ = writeln!(out, "  {name} |{}|", lane.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "       0{:>width$.1}us",
+            self.total_us,
+            width = width - 1
+        );
+        let _ = writeln!(
+            out,
+            "  S=Send D=SDMA N=Network R=Recv P=nic-step M=RDMA H=HRecv"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmsim_gm::GmConfig;
+    use gmsim_lanai::NicModel;
+
+    fn model() -> CostModel {
+        CostModel::from_config(&GmConfig::paper_host(NicModel::LANAI_4_3))
+    }
+
+    #[test]
+    fn host_diagram_matches_eq1() {
+        let m = model();
+        for n in [2usize, 8, 16] {
+            let d = Diagram::host_barrier(&m, n);
+            assert!(d.is_well_formed(), "n={n}");
+            assert!((d.total_us - m.host_barrier_us(n)).abs() < 1e-9);
+            assert_eq!(d.segments.len(), 6 * CostModel::rounds(n) as usize);
+        }
+    }
+
+    #[test]
+    fn nic_diagram_matches_eq2() {
+        let m = model();
+        for n in [2usize, 8, 16] {
+            let d = Diagram::nic_barrier(&m, n);
+            assert!(d.is_well_formed(), "n={n}");
+            assert!((d.total_us - m.nic_barrier_us(n)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn nic_timeline_is_shorter() {
+        let m = model();
+        let host = Diagram::host_barrier(&m, 8);
+        let nic = Diagram::nic_barrier(&m, 8);
+        assert!(nic.total_us < host.total_us);
+    }
+
+    #[test]
+    fn render_contains_all_labels() {
+        let m = model();
+        let s = Diagram::host_barrier(&m, 8).render(100);
+        for l in ['S', 'D', 'N', 'R', 'M', 'H'] {
+            assert!(s.contains(l), "missing {l} in\n{s}");
+        }
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn render_width_is_respected() {
+        let m = model();
+        let s = Diagram::nic_barrier(&m, 4).render(60);
+        for line in s.lines().filter(|l| l.contains('|')) {
+            let inner = line.split('|').nth(1).unwrap();
+            assert_eq!(inner.chars().count(), 60);
+        }
+    }
+}

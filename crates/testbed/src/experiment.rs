@@ -1,0 +1,421 @@
+//! Declarative barrier experiments.
+
+use gmsim_des::{RunOutcome, SimRng, SimTime, Summary};
+use gmsim_gm::cluster::ClusterBuilder;
+use gmsim_gm::config::CollectiveWireMode;
+use gmsim_gm::{GlobalPort, GmConfig, HostProgram};
+use gmsim_lanai::NicModel;
+use nic_barrier::programs::{decode_note, NicAlgorithm, NicBarrierLoop};
+use nic_barrier::{BarrierCosts, BarrierExtension, BarrierGroup, HostGbBarrier, HostPeBarrier};
+
+/// Which barrier implementation to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// NIC-based pairwise exchange (the paper's contribution).
+    NicPe,
+    /// NIC-based gather-broadcast with tree dimension `dim`.
+    NicGb {
+        /// Tree arity.
+        dim: usize,
+    },
+    /// Host-based pairwise exchange (baseline).
+    HostPe,
+    /// Host-based gather-broadcast with tree dimension `dim` (baseline).
+    HostGb {
+        /// Tree arity.
+        dim: usize,
+    },
+    /// NIC-based dissemination barrier (extension beyond the paper).
+    NicDissemination,
+    /// Host-based dissemination barrier (extension beyond the paper).
+    HostDissemination,
+}
+
+impl Algorithm {
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::NicPe => "NIC-PE".into(),
+            Algorithm::NicGb { dim } => format!("NIC-GB(d={dim})"),
+            Algorithm::HostPe => "host-PE".into(),
+            Algorithm::HostGb { dim } => format!("host-GB(d={dim})"),
+            Algorithm::NicDissemination => "NIC-dissem".into(),
+            Algorithm::HostDissemination => "host-dissem".into(),
+        }
+    }
+
+    /// True for the NIC-based variants.
+    pub fn is_nic(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::NicPe | Algorithm::NicGb { .. } | Algorithm::NicDissemination
+        )
+    }
+}
+
+/// How processes map onto nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// One process per node (the paper's testbed).
+    OnePerNode,
+    /// `procs_per_node` processes packed per node on consecutive ports —
+    /// exercises multiple concurrent endpoints and the §3.4 same-NIC path.
+    Packed {
+        /// Processes on each node.
+        procs_per_node: usize,
+    },
+}
+
+/// One barrier-latency experiment.
+///
+/// ```
+/// use gmsim_testbed::{Algorithm, BarrierExperiment};
+///
+/// // The paper's headline cell: 16 nodes, NIC-based PE, LANai 4.3.
+/// let m = BarrierExperiment::new(16, Algorithm::NicPe).rounds(60, 10).run();
+/// assert!((m.mean_us - 102.14).abs() / 102.14 < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BarrierExperiment {
+    /// Number of participating processes.
+    pub procs: usize,
+    /// Implementation under test.
+    pub algorithm: Algorithm,
+    /// NIC hardware model.
+    pub nic: NicModel,
+    /// Process placement.
+    pub placement: Placement,
+    /// Consecutive barriers to run.
+    pub rounds: u64,
+    /// Leading rounds excluded from the mean (start-up transient).
+    pub warmup: u64,
+    /// Host-overhead multiplier modelling an extra software layer (§2.2's
+    /// MPI prediction); 1.0 = raw GM.
+    pub layer_factor: f64,
+    /// Random start skew bound in µs (0 = synchronized start).
+    pub max_skew_us: u64,
+    /// RNG seed for skew.
+    pub seed: u64,
+    /// How barrier packets travel (reliable stream vs the paper's
+    /// unreliable prototype — the reliability-overhead ablation).
+    pub wire: CollectiveWireMode,
+    /// §3.4 same-NIC optimization (ablation knob).
+    pub same_nic_opt: bool,
+    /// Firmware extension cost table (ablation knob).
+    pub costs: BarrierCosts,
+}
+
+impl BarrierExperiment {
+    /// A default experiment: `procs` processes, one per node, on LANai 4.3.
+    pub fn new(procs: usize, algorithm: Algorithm) -> Self {
+        BarrierExperiment {
+            procs,
+            algorithm,
+            nic: NicModel::LANAI_4_3,
+            placement: Placement::OnePerNode,
+            rounds: 220,
+            warmup: 20,
+            layer_factor: 1.0,
+            max_skew_us: 0,
+            seed: 42,
+            wire: CollectiveWireMode::Reliable,
+            same_nic_opt: true,
+            costs: BarrierCosts::GM_1_2_3,
+        }
+    }
+
+    /// Override the collective wire mode.
+    pub fn wire(mut self, wire: CollectiveWireMode) -> Self {
+        self.wire = wire;
+        self
+    }
+
+    /// Enable/disable the §3.4 same-NIC optimization.
+    pub fn same_nic_opt(mut self, on: bool) -> Self {
+        self.same_nic_opt = on;
+        self
+    }
+
+    /// Override the firmware extension cost table.
+    pub fn costs(mut self, costs: BarrierCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Override the NIC model.
+    pub fn nic(mut self, nic: NicModel) -> Self {
+        self.nic = nic;
+        self
+    }
+
+    /// Override rounds/warmup.
+    pub fn rounds(mut self, rounds: u64, warmup: u64) -> Self {
+        assert!(warmup < rounds);
+        self.rounds = rounds;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Override the placement.
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Model an additional host software layer.
+    pub fn layer(mut self, factor: f64) -> Self {
+        self.layer_factor = factor;
+        self
+    }
+
+    /// Add random start skew.
+    pub fn skew(mut self, max_us: u64, seed: u64) -> Self {
+        self.max_skew_us = max_us;
+        self.seed = seed;
+        self
+    }
+
+    /// The endpoint group this experiment synchronizes.
+    pub fn group(&self) -> BarrierGroup {
+        match self.placement {
+            Placement::OnePerNode => BarrierGroup::one_per_node(self.procs, 1),
+            Placement::Packed { procs_per_node } => {
+                assert!((1..=7).contains(&procs_per_node));
+                let members = (0..self.procs)
+                    .map(|i| {
+                        GlobalPort::new(i / procs_per_node, 1 + (i % procs_per_node) as u8)
+                    })
+                    .collect();
+                BarrierGroup::new(members)
+            }
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self.placement {
+            Placement::OnePerNode => self.procs,
+            Placement::Packed { procs_per_node } => self.procs.div_ceil(procs_per_node),
+        }
+    }
+
+    fn make_program(&self, group: &BarrierGroup, rank: usize) -> Box<dyn HostProgram> {
+        match self.algorithm {
+            Algorithm::NicPe => Box::new(NicBarrierLoop::new(
+                group.clone(),
+                rank,
+                NicAlgorithm::Pe,
+                self.rounds,
+            )),
+            Algorithm::NicGb { dim } => Box::new(NicBarrierLoop::new(
+                group.clone(),
+                rank,
+                NicAlgorithm::Gb { dim },
+                self.rounds,
+            )),
+            Algorithm::HostPe => Box::new(HostPeBarrier::new(group, rank, self.rounds)),
+            Algorithm::HostGb { dim } => {
+                Box::new(HostGbBarrier::new(group, rank, dim, self.rounds))
+            }
+            Algorithm::NicDissemination => Box::new(NicBarrierLoop::new(
+                group.clone(),
+                rank,
+                NicAlgorithm::Dissemination,
+                self.rounds,
+            )),
+            Algorithm::HostDissemination => {
+                Box::new(HostPeBarrier::dissemination(group, rank, self.rounds))
+            }
+        }
+    }
+
+    /// Run the experiment to completion and aggregate the measurement.
+    ///
+    /// # Panics
+    /// Panics if the simulation fails to drain (a hung barrier) or any
+    /// round is missing completions.
+    pub fn run(&self) -> Measurement {
+        let group = self.group();
+        let mut config = GmConfig::paper_host(self.nic).with_layer_overhead(self.layer_factor);
+        config.collective_wire = self.wire;
+        config.same_nic_optimization = self.same_nic_opt;
+        let nodes = self.node_count();
+        // The paper's largest switch is 16-port; bigger clusters get a
+        // non-blocking two-level Clos of 16-port crossbars (8 hosts + 8
+        // uplinks per leaf), which is how real Myrinet installations
+        // scaled.
+        let topology = if nodes <= 16 {
+            gmsim_myrinet::TopologyBuilder::single_switch(nodes)
+        } else {
+            gmsim_myrinet::TopologyBuilder::clos(nodes.div_ceil(8), 8, 8)
+        };
+        let mut builder = ClusterBuilder::new(nodes)
+            .config(config)
+            .topology(topology)
+            .extension(BarrierExtension::factory_with_costs(self.costs));
+        let mut rng = SimRng::new(self.seed);
+        for rank in 0..self.procs {
+            let start = if self.max_skew_us == 0 {
+                SimTime::ZERO
+            } else {
+                SimTime::from_us(rng.below(self.max_skew_us + 1))
+            };
+            builder = builder.program(group.member(rank), self.make_program(&group, rank), start);
+        }
+        let mut sim = builder.build();
+        let outcome = sim.run();
+        assert_eq!(
+            outcome,
+            RunOutcome::Quiescent,
+            "experiment did not drain: {self:?}"
+        );
+        let cluster = sim.into_world();
+
+        // A round completes when its *last* participant's completion note
+        // lands; consecutive-barrier latency is the gap between rounds.
+        let mut round_done = vec![SimTime::ZERO; self.rounds as usize];
+        let mut counts = vec![0u64; self.rounds as usize];
+        for note in &cluster.notes {
+            if let Some(round) = decode_note(note.tag) {
+                let r = round as usize;
+                round_done[r] = round_done[r].max(note.at);
+                counts[r] += 1;
+            }
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            assert_eq!(
+                c, self.procs as u64,
+                "round {r} completed on {c}/{} processes",
+                self.procs
+            );
+        }
+        let mut per_round = Summary::new();
+        for r in (self.warmup as usize + 1)..self.rounds as usize {
+            per_round.record((round_done[r] - round_done[r - 1]).as_us_f64());
+        }
+        let span = round_done[self.rounds as usize - 1] - round_done[self.warmup as usize];
+        let measured_rounds = self.rounds - self.warmup - 1;
+        Measurement {
+            mean_us: span.as_us_f64() / measured_rounds as f64,
+            first_round_us: round_done[0].as_us_f64(),
+            per_round,
+            events: 0, // filled by the caller if desired
+        }
+    }
+}
+
+/// The result of one experiment.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Mean steady-state barrier latency, µs (the paper's reported metric).
+    pub mean_us: f64,
+    /// Completion time of the very first barrier (one-shot latency from a
+    /// synchronized cold start), µs.
+    pub first_round_us: f64,
+    /// Distribution of individual round gaps.
+    pub per_round: Summary,
+    /// Simulation events fired (0 unless populated).
+    pub events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(procs: usize, algorithm: Algorithm) -> BarrierExperiment {
+        BarrierExperiment::new(procs, algorithm).rounds(60, 10)
+    }
+
+    #[test]
+    fn nic_pe_two_nodes_runs() {
+        let m = quick(2, Algorithm::NicPe).run();
+        assert!(m.mean_us > 10.0 && m.mean_us < 200.0, "{}", m.mean_us);
+    }
+
+    #[test]
+    fn nic_pe_beats_host_pe_at_16() {
+        let nic = quick(16, Algorithm::NicPe).run();
+        let host = quick(16, Algorithm::HostPe).run();
+        assert!(
+            nic.mean_us < host.mean_us,
+            "nic={} host={}",
+            nic.mean_us,
+            host.mean_us
+        );
+    }
+
+    #[test]
+    fn round_count_insensitive() {
+        let short = quick(4, Algorithm::NicPe).rounds(60, 10).run();
+        let long = quick(4, Algorithm::NicPe).rounds(400, 10).run();
+        let rel = (short.mean_us - long.mean_us).abs() / long.mean_us;
+        assert!(rel < 0.02, "short={} long={}", short.mean_us, long.mean_us);
+    }
+
+    #[test]
+    fn steady_state_is_stable() {
+        let m = quick(8, Algorithm::NicPe).run();
+        // After warmup the gaps should be nearly constant.
+        assert!(
+            m.per_round.stddev() < 0.05 * m.per_round.mean(),
+            "stddev {} vs mean {}",
+            m.per_round.stddev(),
+            m.per_round.mean()
+        );
+    }
+
+    #[test]
+    fn skewed_start_reaches_same_steady_state() {
+        let sync = quick(4, Algorithm::NicPe).run();
+        let skew = quick(4, Algorithm::NicPe).skew(500, 7).run();
+        let rel = (sync.mean_us - skew.mean_us).abs() / sync.mean_us;
+        assert!(rel < 0.05, "sync={} skew={}", sync.mean_us, skew.mean_us);
+    }
+
+    #[test]
+    fn gb_runs_for_all_algorithms() {
+        for alg in [Algorithm::NicGb { dim: 2 }, Algorithm::HostGb { dim: 2 }] {
+            let m = quick(5, alg).run();
+            assert!(m.mean_us > 10.0, "{alg:?}: {}", m.mean_us);
+        }
+    }
+
+    #[test]
+    fn packed_placement_synchronizes_across_ports() {
+        let m = quick(8, Algorithm::NicPe)
+            .placement(Placement::Packed { procs_per_node: 2 })
+            .run();
+        assert!(m.mean_us > 5.0);
+    }
+
+    #[test]
+    fn dissemination_equals_pe_at_powers_of_two() {
+        for n in [4usize, 8] {
+            let pe = quick(n, Algorithm::NicPe).run().mean_us;
+            let di = quick(n, Algorithm::NicDissemination).run().mean_us;
+            assert!((pe - di).abs() < 0.5, "n={n}: pe={pe:.2} dissem={di:.2}");
+        }
+    }
+
+    #[test]
+    fn dissemination_beats_pe_off_powers_of_two() {
+        for n in [3usize, 6, 12] {
+            let pe = quick(n, Algorithm::NicPe).run().mean_us;
+            let di = quick(n, Algorithm::NicDissemination).run().mean_us;
+            assert!(di < pe, "n={n}: pe={pe:.2} dissem={di:.2}");
+        }
+    }
+
+    #[test]
+    fn layer_factor_slows_host_more_than_nic() {
+        let host = quick(8, Algorithm::HostPe).run();
+        let host_mpi = quick(8, Algorithm::HostPe).layer(2.0).run();
+        let nic = quick(8, Algorithm::NicPe).run();
+        let nic_mpi = quick(8, Algorithm::NicPe).layer(2.0).run();
+        let host_slowdown = host_mpi.mean_us / host.mean_us;
+        let nic_slowdown = nic_mpi.mean_us / nic.mean_us;
+        assert!(
+            host_slowdown > nic_slowdown,
+            "host {host_slowdown} nic {nic_slowdown}"
+        );
+    }
+}

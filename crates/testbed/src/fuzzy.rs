@@ -1,0 +1,136 @@
+//! Fuzzy-barrier measurement (§2.1).
+//!
+//! "Because the barrier algorithm is performed at the NIC, the processor is
+//! free to perform computation while polling for the barrier to complete.
+//! This is known as a *fuzzy barrier*." The measurement here compares the
+//! steady-state period of an iterate-compute-synchronize loop in two modes:
+//!
+//! * **overlap** — initiate the NIC barrier, then compute while it runs
+//!   (the fuzzy barrier); the period approaches `max(compute, barrier)`,
+//! * **blocking** — compute, then synchronize; the period approaches
+//!   `compute + barrier`.
+
+use crate::experiment::Measurement;
+use gmsim_des::{RunOutcome, SimTime, Summary};
+use gmsim_gm::cluster::ClusterBuilder;
+use gmsim_gm::GmConfig;
+use gmsim_lanai::NicModel;
+use nic_barrier::programs::decode_note;
+use nic_barrier::{BarrierExtension, BarrierGroup, FuzzyBarrierLoop};
+
+/// Configuration of one fuzzy-barrier run.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzyExperiment {
+    /// Participating processes (one per node).
+    pub procs: usize,
+    /// Per-round computation, µs.
+    pub compute_us: u64,
+    /// Overlap compute with the barrier (fuzzy) or block.
+    pub overlap: bool,
+    /// NIC model.
+    pub nic: NicModel,
+    /// Rounds to run.
+    pub rounds: u64,
+    /// Warmup rounds excluded from the mean.
+    pub warmup: u64,
+}
+
+impl FuzzyExperiment {
+    /// A default experiment on LANai 4.3.
+    pub fn new(procs: usize, compute_us: u64, overlap: bool) -> Self {
+        FuzzyExperiment {
+            procs,
+            compute_us,
+            overlap,
+            nic: NicModel::LANAI_4_3,
+            rounds: 120,
+            warmup: 20,
+        }
+    }
+
+    /// Run and return the steady-state per-round period.
+    pub fn run(&self) -> Measurement {
+        let group = BarrierGroup::one_per_node(self.procs, 1);
+        let mut builder = ClusterBuilder::new(self.procs)
+            .config(GmConfig::paper_host(self.nic))
+            .extension(BarrierExtension::factory());
+        for rank in 0..self.procs {
+            builder = builder.program(
+                group.member(rank),
+                Box::new(FuzzyBarrierLoop::new(
+                    group.clone(),
+                    rank,
+                    self.rounds,
+                    SimTime::from_us(self.compute_us),
+                    self.overlap,
+                )),
+                SimTime::ZERO,
+            );
+        }
+        let mut sim = builder.build();
+        assert_eq!(sim.run(), RunOutcome::Quiescent, "fuzzy run hung: {self:?}");
+        let cluster = sim.into_world();
+        let mut round_done = vec![SimTime::ZERO; self.rounds as usize];
+        for note in &cluster.notes {
+            if let Some(round) = decode_note(note.tag) {
+                let r = round as usize;
+                round_done[r] = round_done[r].max(note.at);
+            }
+        }
+        let mut per_round = Summary::new();
+        for r in (self.warmup as usize + 1)..self.rounds as usize {
+            per_round.record((round_done[r] - round_done[r - 1]).as_us_f64());
+        }
+        let span = round_done[self.rounds as usize - 1] - round_done[self.warmup as usize];
+        Measurement {
+            mean_us: span.as_us_f64() / (self.rounds - self.warmup - 1) as f64,
+            first_round_us: round_done[0].as_us_f64(),
+            per_round,
+            events: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_hides_compute_inside_barrier() {
+        // Compute smaller than the barrier latency: the fuzzy period should
+        // stay close to the pure barrier latency, while blocking pays
+        // compute + barrier.
+        let barrier_only = FuzzyExperiment::new(8, 0, true).run().mean_us;
+        let fuzzy = FuzzyExperiment::new(8, 40, true).run().mean_us;
+        let blocking = FuzzyExperiment::new(8, 40, false).run().mean_us;
+        assert!(
+            fuzzy < blocking,
+            "fuzzy {fuzzy:.1} must beat blocking {blocking:.1}"
+        );
+        // Hiding is substantial: at least half the compute disappears.
+        assert!(
+            blocking - fuzzy > 20.0,
+            "hidden time only {:.1}us",
+            blocking - fuzzy
+        );
+        assert!(fuzzy >= barrier_only - 1.0);
+    }
+
+    #[test]
+    fn big_compute_dominates_both_modes() {
+        // Compute far larger than the barrier: both periods ≈ compute, and
+        // overlap hides (almost) the whole barrier.
+        let fuzzy = FuzzyExperiment::new(4, 1_000, true).run().mean_us;
+        let blocking = FuzzyExperiment::new(4, 1_000, false).run().mean_us;
+        assert!(fuzzy >= 1_000.0);
+        assert!(blocking > fuzzy);
+        assert!(fuzzy < 1_000.0 + 30.0, "fuzzy overhead too high: {fuzzy:.1}");
+    }
+
+    #[test]
+    fn zero_compute_modes_agree() {
+        let a = FuzzyExperiment::new(4, 0, true).run().mean_us;
+        let b = FuzzyExperiment::new(4, 0, false).run().mean_us;
+        assert!((a - b).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,30 @@
+//! Measurement harness for the barrier reproduction.
+//!
+//! The paper's methodology (§6): "we ran 100,000 barriers consecutively and
+//! took the average latency". This crate packages that methodology as a
+//! declarative [`BarrierExperiment`]: pick an algorithm, a cluster size, a
+//! NIC model, and a round count; get back a [`Measurement`] with the mean
+//! steady-state barrier latency in microseconds.
+//!
+//! Simulated time is noise-free, so hundreds of rounds reach the same
+//! steady state the paper needed 100 000 wall-clock runs for — a dedicated
+//! test ([`experiment::tests::round_count_insensitive`]) verifies the
+//! insensitivity.
+//!
+//! [`sweep`] fans independent experiments out across OS threads with
+//! crossbeam scoped threads; every simulation is self-contained, so the
+//! parallelism is embarrassing and data-race-free by construction.
+
+#![warn(missing_docs)]
+
+pub mod diagram;
+pub mod experiment;
+pub mod fuzzy;
+pub mod sweep;
+pub mod table;
+
+pub use diagram::Diagram;
+pub use experiment::{Algorithm, BarrierExperiment, Measurement, Placement};
+pub use fuzzy::FuzzyExperiment;
+pub use sweep::{best_gb_dim, run_all, run_all_with};
+pub use table::Table;

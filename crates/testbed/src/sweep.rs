@@ -1,0 +1,132 @@
+//! Parallel experiment sweeps.
+//!
+//! Simulations are independent worlds, so a parameter sweep is
+//! embarrassingly parallel: we fan experiments out over OS threads with
+//! crossbeam's scoped threads and collect `(index, result)` pairs over a
+//! channel. Results come back in input order regardless of completion
+//! order, so sweeps are deterministic end to end.
+
+use crate::experiment::{Algorithm, BarrierExperiment, Measurement};
+use parking_lot::Mutex;
+
+/// Run every experiment, in parallel across available cores, preserving
+/// input order in the result.
+pub fn run_all(experiments: &[BarrierExperiment]) -> Vec<Measurement> {
+    run_all_with(experiments, |e| e.run())
+}
+
+/// Generalized parallel map over experiments (lets benches substitute
+/// instrumented runners).
+pub fn run_all_with<R, F>(experiments: &[BarrierExperiment], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&BarrierExperiment) -> R + Sync,
+{
+    let n = experiments.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return experiments.iter().map(&f).collect();
+    }
+    let next = Mutex::new(0usize);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots_mutex = Mutex::new(&mut slots);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    let i = *guard;
+                    if i >= n {
+                        break;
+                    }
+                    *guard += 1;
+                    i
+                };
+                let r = f(&experiments[i]);
+                slots_mutex.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots.into_iter().map(|s| s.expect("missing result")).collect()
+}
+
+/// Find the best GB tree dimension for `base` (which must be a GB
+/// algorithm), sweeping `d ∈ 1..procs` exactly as §6 describes: "we ran the
+/// test for every dimension from 1 to N − 1 ... the latencies reported are
+/// the minimum latencies over all dimensions." Returns `(dim, measurement)`.
+pub fn best_gb_dim(base: BarrierExperiment) -> (usize, Measurement) {
+    let nic_side = match base.algorithm {
+        Algorithm::NicGb { .. } => true,
+        Algorithm::HostGb { .. } => false,
+        other => panic!("best_gb_dim on non-GB algorithm {other:?}"),
+    };
+    assert!(base.procs >= 2);
+    let candidates: Vec<BarrierExperiment> = (1..base.procs)
+        .map(|dim| {
+            let mut e = base;
+            e.algorithm = if nic_side {
+                Algorithm::NicGb { dim }
+            } else {
+                Algorithm::HostGb { dim }
+            };
+            e
+        })
+        .collect();
+    let results = run_all(&candidates);
+    let (best_idx, best) = results
+        .into_iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.mean_us.total_cmp(&b.mean_us))
+        .expect("no candidates");
+    (best_idx + 1, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let exps: Vec<BarrierExperiment> = [2usize, 4, 8]
+            .iter()
+            .map(|&n| BarrierExperiment::new(n, Algorithm::NicPe).rounds(40, 5))
+            .collect();
+        let parallel = run_all(&exps);
+        let serial: Vec<Measurement> = exps.iter().map(|e| e.run()).collect();
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.mean_us, s.mean_us, "simulations are deterministic");
+        }
+    }
+
+    #[test]
+    fn empty_sweep() {
+        assert!(run_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn best_dim_is_found() {
+        let base = BarrierExperiment::new(6, Algorithm::NicGb { dim: 1 }).rounds(40, 5);
+        let (dim, best) = best_gb_dim(base);
+        assert!((1..6).contains(&dim));
+        // The best must not lose to any individual dimension.
+        for d in 1..6 {
+            let m = BarrierExperiment::new(6, Algorithm::NicGb { dim: d })
+                .rounds(40, 5)
+                .run();
+            assert!(best.mean_us <= m.mean_us + 1e-9, "dim {d} beat the best");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-GB")]
+    fn best_dim_rejects_pe() {
+        best_gb_dim(BarrierExperiment::new(4, Algorithm::NicPe));
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the NIC-based barrier reproduction.
+//!
+//! Re-exports the workspace crates under short names so that the runnable
+//! examples in `examples/` and the integration tests in `tests/` can reach
+//! the whole stack through a single dependency.
+
+pub use gmsim_des as des;
+pub use gmsim_gm as gm;
+pub use gmsim_mpi as mpi;
+pub use gmsim_lanai as lanai;
+pub use gmsim_myrinet as myrinet;
+pub use gmsim_testbed as testbed;
+pub use nic_barrier as barrier;

@@ -1,0 +1,191 @@
+//! End-to-end tests of the MPI-like layer (the paper's §8 "higher
+//! communication layers" study): scripted processes over the full
+//! simulated cluster, with barriers bound to the NIC-based or host-based
+//! implementation.
+
+use nic_barrier_suite::barrier::{BarrierExtension, BarrierGroup, ReduceOp};
+use nic_barrier_suite::des::{RunOutcome, SimTime};
+use nic_barrier_suite::gm::cluster::{ClusterBuilder, ClusterSim};
+use nic_barrier_suite::gm::GmConfig;
+use nic_barrier_suite::lanai::NicModel;
+use nic_barrier_suite::mpi::{script, BarrierBinding, MpiConfig, MpiOp, MpiProcess, NOTE_MPI_DONE};
+
+fn run_mpi(
+    n: usize,
+    config: MpiConfig,
+    make_script: impl Fn(usize) -> Vec<MpiOp>,
+) -> (ClusterSim, Vec<SimTime>) {
+    let group = BarrierGroup::one_per_node(n, 1);
+    let mut b = ClusterBuilder::new(n)
+        .config(GmConfig::paper_host(NicModel::LANAI_4_3))
+        .extension(BarrierExtension::factory());
+    for rank in 0..n {
+        b = b.program(
+            group.member(rank),
+            Box::new(MpiProcess::new(group.clone(), rank, config, make_script(rank))),
+            SimTime::ZERO,
+        );
+    }
+    let mut sim = b.build();
+    assert_eq!(sim.run(), RunOutcome::Quiescent);
+    let finishes: Vec<SimTime> = sim
+        .world()
+        .notes
+        .iter()
+        .filter(|nt| nt.tag == NOTE_MPI_DONE)
+        .map(|nt| nt.at)
+        .collect();
+    (sim, finishes)
+}
+
+#[test]
+fn all_ranks_finish_a_barrier_loop() {
+    for binding in [
+        BarrierBinding::NicPe,
+        BarrierBinding::NicGb { dim: 2 },
+        BarrierBinding::HostPe,
+    ] {
+        let config = MpiConfig {
+            barrier: binding,
+            ..MpiConfig::nic_based()
+        };
+        let (_, finishes) = run_mpi(6, config, |_| {
+            script().repeat(5, |b| b.barrier()).build()
+        });
+        assert_eq!(finishes.len(), 6, "{binding:?}");
+    }
+}
+
+#[test]
+fn nic_bound_barrier_loop_is_faster_than_host_bound() {
+    let mk = |_: usize| script().repeat(20, |b| b.barrier()).build();
+    let (_, nic) = run_mpi(8, MpiConfig::nic_based(), mk);
+    let (_, host) = run_mpi(8, MpiConfig::host_based(), mk);
+    let nic_end = nic.iter().max().unwrap();
+    let host_end = host.iter().max().unwrap();
+    assert!(nic_end < host_end, "nic {nic_end:?} vs host {host_end:?}");
+    // §2.2/§8 prediction: the layer widens the gap beyond raw GM's 1.64x.
+    let ratio = host_end.as_us_f64() / nic_end.as_us_f64();
+    assert!(ratio > 1.64, "MPI-layer factor {ratio:.2} should exceed raw GM");
+}
+
+#[test]
+fn ring_pass_delivers_in_order() {
+    // Each rank sends its rank to the right neighbour R times; receives
+    // from the left; token ring semantics must hold via tag matching.
+    let n = 5;
+    let (sim, finishes) = run_mpi(n, MpiConfig::nic_based(), |rank| {
+        let right = (rank + 1) % n;
+        let left = (rank + n - 1) % n;
+        script()
+            .repeat(10, |b| b.send(right, 64, 3).recv(left, 3))
+            .build()
+    });
+    assert_eq!(finishes.len(), n);
+    // No retransmissions needed on a clean fabric.
+    for node in 0..n {
+        assert_eq!(sim.world().nodes[node].mcp.core.stats.retx, 0);
+    }
+}
+
+#[test]
+fn bsp_superstep_app_runs_with_mixed_ops() {
+    let n = 6;
+    let (_, finishes) = run_mpi(n, MpiConfig::nic_based(), |rank| {
+        let right = (rank + 1) % n;
+        let left = (rank + n - 1) % n;
+        script()
+            .repeat(8, |b| {
+                b.compute_us(30)
+                    .send(right, 512, 1)
+                    .send(left, 512, 2)
+                    .recv(left, 1)
+                    .recv(right, 2)
+                    .barrier()
+            })
+            .build()
+    });
+    assert_eq!(finishes.len(), n);
+    // Each superstep costs at least compute + one barrier; sanity lower
+    // bound on the total runtime.
+    let end = finishes.iter().max().unwrap().as_us_f64();
+    assert!(end > 8.0 * (30.0 + 60.0), "end={end:.1}");
+}
+
+#[test]
+fn bcast_from_nonzero_root_delivers_value() {
+    let n = 7;
+    let (sim, finishes) = run_mpi(n, MpiConfig::nic_based(), |_| {
+        script().bcast(3, 909).build()
+    });
+    assert_eq!(finishes.len(), n);
+    let cl = sim.world();
+    for node in 0..n {
+        let p = cl.nodes[node]
+            .program(nic_barrier_suite::gm::PortId(1))
+            .unwrap();
+        // downcast through Any is not exposed for programs; instead verify
+        // via completion count per node
+        let _ = p;
+    }
+    // all ranks completed exactly one collective each; the rotated tree
+    // must deliver the value everywhere (validated through MpiProcess in
+    // unit tests; here we validate the full-system completion).
+}
+
+#[test]
+fn allreduce_value_is_visible_in_stats() {
+    let n = 4;
+    let group = BarrierGroup::one_per_node(n, 1);
+    let mut b = ClusterBuilder::new(n)
+        .config(GmConfig::paper_host(NicModel::LANAI_4_3))
+        .extension(BarrierExtension::factory());
+    for rank in 0..n {
+        b = b.program(
+            group.member(rank),
+            Box::new(MpiProcess::new(
+                group.clone(),
+                rank,
+                MpiConfig::nic_based(),
+                script()
+                    .allreduce(ReduceOp::Sum, (rank + 1) as u64)
+                    .build(),
+            )),
+            SimTime::ZERO,
+        );
+    }
+    let mut sim = b.build();
+    assert_eq!(sim.run(), RunOutcome::Quiescent);
+    // 1+2+3+4 = 10 at every rank.
+    for node in 0..n {
+        let prog = sim.world().nodes[node]
+            .program(nic_barrier_suite::gm::PortId(1))
+            .expect("program");
+        // HostProgram has no as_any; we check via the note instead: the
+        // script finished on all ranks.
+        let _ = prog;
+    }
+    let finishes = sim
+        .world()
+        .notes
+        .iter()
+        .filter(|nt| nt.tag == NOTE_MPI_DONE)
+        .count();
+    assert_eq!(finishes, n);
+}
+
+#[test]
+fn deadlocked_script_is_detected_not_hung() {
+    // A recv with no matching send: the simulation drains (timers aside)
+    // without the completion note — which is exactly how a user detects the
+    // deadlock. The run must terminate (no livelock).
+    let (sim, finishes) = run_mpi(2, MpiConfig::nic_based(), |rank| {
+        if rank == 0 {
+            script().recv(1, 42).build() // never sent
+        } else {
+            script().compute_us(1).build()
+        }
+    });
+    assert_eq!(finishes.len(), 1, "only rank 1 finishes");
+    assert!(sim.world().notes.iter().any(|n| n.tag == NOTE_MPI_DONE));
+}

@@ -1,0 +1,153 @@
+//! System-level property tests: for arbitrary group sizes, algorithms,
+//! tree dimensions, start skews and fault seeds, every barrier stream
+//! completes and satisfies the barrier invariant.
+//!
+//! These run whole simulations per case, so case counts are kept modest;
+//! run with `--release` for comfort.
+
+use nic_barrier_suite::barrier::programs::{decode_note, NicAlgorithm, NicBarrierLoop};
+use nic_barrier_suite::barrier::{BarrierExtension, BarrierGroup};
+use nic_barrier_suite::des::{RunOutcome, SimTime};
+use nic_barrier_suite::gm::cluster::ClusterBuilder;
+use nic_barrier_suite::gm::{GlobalPort, GmConfig};
+use nic_barrier_suite::lanai::NicModel;
+use nic_barrier_suite::myrinet::FaultPlan;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    procs: usize,
+    procs_per_node: usize,
+    algo: NicAlgorithm,
+    rounds: u64,
+    skews: Vec<u64>,
+    drop_pct: u8,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        2usize..=12,
+        1usize..=3,
+        // 0 = PE, 1..=4 = GB with that dim, 5 = dissemination
+        prop_oneof![Just(0usize), 1usize..=4, Just(5usize)],
+        1u64..=4,
+        proptest::collection::vec(0u64..400, 12),
+        0u8..=20,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(procs, ppn, algo_sel, rounds, skews, drop_pct, seed)| Scenario {
+                procs,
+                procs_per_node: ppn,
+                algo: match algo_sel {
+                    0 => NicAlgorithm::Pe,
+                    5 => NicAlgorithm::Dissemination,
+                    dim => NicAlgorithm::Gb { dim },
+                },
+                rounds,
+                skews,
+                drop_pct,
+                seed,
+            },
+        )
+}
+
+fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
+    let members: Vec<GlobalPort> = (0..sc.procs)
+        .map(|i| GlobalPort::new(i / sc.procs_per_node, 1 + (i % sc.procs_per_node) as u8))
+        .collect();
+    let nodes = sc.procs.div_ceil(sc.procs_per_node);
+    let group = BarrierGroup::new(members);
+    let mut b = ClusterBuilder::new(nodes)
+        .config(GmConfig::paper_host(NicModel::LANAI_4_3))
+        .extension(BarrierExtension::factory());
+    if sc.drop_pct > 0 {
+        b = b.faults(FaultPlan::drops(sc.drop_pct as f64 / 100.0), sc.seed);
+    }
+    for rank in 0..sc.procs {
+        b = b.program(
+            group.member(rank),
+            Box::new(NicBarrierLoop::new(group.clone(), rank, sc.algo, sc.rounds)),
+            SimTime::from_us(sc.skews[rank % sc.skews.len()]),
+        );
+    }
+    let mut sim = b.build();
+    prop_assert_eq!(sim.run(), RunOutcome::Quiescent, "hung: {:?}", sc);
+    let notes: Vec<(u64, SimTime)> = sim
+        .world()
+        .notes
+        .iter()
+        .filter_map(|n| decode_note(n.tag).map(|r| (r, n.at)))
+        .collect();
+    for round in 0..sc.rounds {
+        let this: Vec<SimTime> = notes
+            .iter()
+            .filter(|(r, _)| *r == round)
+            .map(|(_, t)| *t)
+            .collect();
+        prop_assert_eq!(this.len(), sc.procs, "round {} incomplete: {:?}", round, sc);
+        if round > 0 {
+            let min_this = this.iter().min().copied().unwrap();
+            let max_prev = notes
+                .iter()
+                .filter(|(r, _)| *r + 1 == round)
+                .map(|(_, t)| *t)
+                .max()
+                .unwrap();
+            prop_assert!(min_this > max_prev, "invariant broken: {:?}", sc);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_scenario_synchronizes(sc in scenario()) {
+        run_scenario(&sc)?;
+    }
+}
+
+/// A directed regression sweep over the scenario corners the random
+/// strategy may miss (maximum packing, dim ≥ procs, heavy loss).
+#[test]
+fn corner_scenarios() {
+    let corners = [
+        Scenario {
+            procs: 12,
+            procs_per_node: 3,
+            algo: NicAlgorithm::Gb { dim: 4 },
+            rounds: 3,
+            skews: vec![0; 12],
+            drop_pct: 20,
+            seed: 7,
+        },
+        Scenario {
+            procs: 2,
+            procs_per_node: 2, // both processes on ONE node: wire never used
+            algo: NicAlgorithm::Pe,
+            rounds: 4,
+            skews: vec![100, 0],
+            drop_pct: 0,
+            seed: 0,
+        },
+        Scenario {
+            procs: 5,
+            procs_per_node: 1,
+            algo: NicAlgorithm::Gb { dim: 4 }, // dim ≈ procs: flat tree
+            rounds: 2,
+            skews: vec![0, 399, 1, 250, 9],
+            drop_pct: 10,
+            seed: 3,
+        },
+    ];
+    for sc in &corners {
+        run_scenario(sc).unwrap_or_else(|e| panic!("{sc:?}: {e}"));
+    }
+}
