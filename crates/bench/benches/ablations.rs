@@ -2,16 +2,17 @@
 //! reliability mode (§3.3/4.4), the same-NIC optimization (§3.4), and the
 //! unexpected-record cost (§3.1).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gmsim_bench::harness::Criterion;
+use gmsim_bench::{criterion_group, criterion_main};
 use gmsim_gm::config::CollectiveWireMode;
-use gmsim_testbed::{Algorithm, BarrierExperiment, Placement};
+use gmsim_testbed::{Algorithm, BarrierExperiment, Descriptor, Placement};
 use nic_barrier::BarrierCosts;
 
 fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
 
-    let reliable = BarrierExperiment::new(16, Algorithm::NicPe).rounds(60, 10);
+    let reliable = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe)).rounds(60, 10);
     let unreliable = reliable.wire(CollectiveWireMode::Unreliable);
     println!(
         "reliability: reliable {:.2}us vs unreliable {:.2}us",
@@ -21,7 +22,7 @@ fn bench_ablations(c: &mut Criterion) {
     g.bench_function("wire_reliable", |b| b.iter(|| reliable.run().mean_us));
     g.bench_function("wire_unreliable", |b| b.iter(|| unreliable.run().mean_us));
 
-    let packed = BarrierExperiment::new(16, Algorithm::NicPe)
+    let packed = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe))
         .placement(Placement::Packed { procs_per_node: 2 })
         .rounds(60, 10);
     let no_opt = packed.same_nic_opt(false);
@@ -35,7 +36,9 @@ fn bench_ablations(c: &mut Criterion) {
 
     let mut slow = BarrierCosts::GM_1_2_3;
     slow.record_cycles *= 4;
-    let heavy = BarrierExperiment::new(16, Algorithm::NicPe).rounds(60, 10).costs(slow);
+    let heavy = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe))
+        .rounds(60, 10)
+        .costs(slow);
     println!(
         "record cost: O(1) bits {:.2}us vs 4x record {:.2}us",
         reliable.run().mean_us,

@@ -1,10 +1,11 @@
 //! Figure 2 / Equations 1–3 as a Criterion bench (experiment id `fig2`):
 //! evaluates the analytic model and checks it against a simulation point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gmsim_bench::harness::Criterion;
+use gmsim_bench::{criterion_group, criterion_main};
 use gmsim_gm::GmConfig;
 use gmsim_lanai::NicModel;
-use gmsim_testbed::{Algorithm, BarrierExperiment};
+use gmsim_testbed::{Algorithm, BarrierExperiment, Descriptor};
 use nic_barrier::CostModel;
 use std::hint::black_box;
 
@@ -18,7 +19,9 @@ fn bench_analytic(c: &mut Criterion) {
             model.improvement(n)
         );
     }
-    let sim = BarrierExperiment::new(16, Algorithm::NicPe).rounds(60, 10).run();
+    let sim = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe))
+        .rounds(60, 10)
+        .run();
     println!(
         "model vs simulation at n=16: {:.2} vs {:.2} us",
         model.nic_barrier_us(16),

@@ -3,9 +3,10 @@
 //! that figure cell. The virtual-time results themselves are printed once
 //! per cell so `cargo bench` doubles as a figure check.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmsim_bench::harness::{BenchmarkId, Criterion};
+use gmsim_bench::{criterion_group, criterion_main};
 use gmsim_lanai::NicModel;
-use gmsim_testbed::{Algorithm, BarrierExperiment};
+use gmsim_testbed::{Algorithm, BarrierExperiment, Descriptor};
 
 fn bench_fig5(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_latency");
@@ -16,10 +17,10 @@ fn bench_fig5(c: &mut Criterion) {
     ] {
         for &n in sizes {
             for alg in [
-                Algorithm::NicPe,
-                Algorithm::HostPe,
-                Algorithm::NicGb { dim: 2 },
-                Algorithm::HostGb { dim: 2 },
+                Algorithm::Nic(Descriptor::Pe),
+                Algorithm::Host(Descriptor::Pe),
+                Algorithm::Nic(Descriptor::Gb { dim: 2 }),
+                Algorithm::Host(Descriptor::Gb { dim: 2 }),
             ] {
                 let e = BarrierExperiment::new(n, alg).nic(nic).rounds(60, 10);
                 let m = e.run();

@@ -1,7 +1,8 @@
 //! The §2.1 fuzzy-barrier study as a Criterion bench (experiment id
 //! `fuzzy`): overlapped vs blocking compute-synchronize loops.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmsim_bench::harness::{BenchmarkId, Criterion};
+use gmsim_bench::{criterion_group, criterion_main};
 use gmsim_testbed::FuzzyExperiment;
 
 fn bench_fuzzy(c: &mut Criterion) {

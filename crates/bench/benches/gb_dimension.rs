@@ -2,16 +2,21 @@
 //! `gbdim`): the cost of finding the optimal dimension for one cluster
 //! size, which is what the paper did for every GB data point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gmsim_testbed::{best_gb_dim, Algorithm, BarrierExperiment};
+use gmsim_bench::harness::{BenchmarkId, Criterion};
+use gmsim_bench::{criterion_group, criterion_main};
+use gmsim_testbed::{best_gb_dim, Algorithm, BarrierExperiment, Descriptor};
 
 fn bench_gbdim(c: &mut Criterion) {
     let mut g = c.benchmark_group("gb_dimension_sweep");
     g.sample_size(10);
     for n in [4usize, 8, 16] {
-        let base = BarrierExperiment::new(n, Algorithm::NicGb { dim: 1 }).rounds(40, 5);
+        let base =
+            BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: 1 })).rounds(40, 5);
         let (dim, m) = best_gb_dim(base);
-        println!("n={n}: best NIC-GB dimension d={dim} at {:.2} us", m.mean_us);
+        println!(
+            "n={n}: best NIC-GB dimension d={dim} at {:.2} us",
+            m.mean_us
+        );
         g.bench_with_input(BenchmarkId::new("nic_gb_best_dim", n), &base, |b, e| {
             b.iter(|| best_gb_dim(*e).0)
         });

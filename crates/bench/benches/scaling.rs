@@ -1,15 +1,16 @@
 //! The §2.2 scaling study as a Criterion bench (experiment id `scale`):
 //! large-cluster barrier simulation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmsim_bench::harness::{BenchmarkId, Criterion, Throughput};
+use gmsim_bench::{criterion_group, criterion_main};
 use gmsim_lanai::NicModel;
-use gmsim_testbed::{Algorithm, BarrierExperiment};
+use gmsim_testbed::{Algorithm, BarrierExperiment, Descriptor};
 
 fn bench_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("scaling");
     g.sample_size(10);
     for n in [16usize, 64, 256] {
-        let e = BarrierExperiment::new(n, Algorithm::NicPe)
+        let e = BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe))
             .nic(NicModel::LANAI_9)
             .rounds(30, 5);
         let m = e.run();

@@ -3,10 +3,11 @@
 //! construction. These guard the simulator's own performance so the
 //! figure-regeneration benches stay fast.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmsim_bench::harness::{BenchmarkId, Criterion, Throughput};
+use gmsim_bench::{criterion_group, criterion_main};
 use gmsim_des::{Scheduler, SimTime, Simulation};
 use gmsim_myrinet::{Fabric, NicId, TopologyBuilder};
-use gmsim_testbed::{run_all, Algorithm, BarrierExperiment};
+use gmsim_testbed::{run_all, Algorithm, BarrierExperiment, Descriptor};
 use nic_barrier::schedule::{gb, pe};
 use std::hint::black_box;
 
@@ -83,7 +84,7 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_sweep");
     g.sample_size(10);
     let exps: Vec<BarrierExperiment> = (1..8)
-        .map(|d| BarrierExperiment::new(8, Algorithm::NicGb { dim: d }).rounds(30, 5))
+        .map(|d| BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Gb { dim: d })).rounds(30, 5))
         .collect();
     g.bench_function("seven_gb_dims_parallel", |b| {
         b.iter(|| run_all(&exps).len())

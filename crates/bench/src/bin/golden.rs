@@ -1,0 +1,38 @@
+//! Regenerates the golden-equivalence fixture consumed by
+//! `tests/golden_equivalence.rs`.
+//!
+//! ```text
+//! cargo run --release -p gmsim-bench --bin golden > tests/data/golden_barriers.txt
+//! ```
+//!
+//! The fixture pins the virtual-time barrier latency of every PE/GB
+//! configuration with N ∈ 2..=32 and tree dimension ∈ 1..=4, on both the
+//! NIC-side and host-side implementations. It was first captured from the
+//! pre-IR (hand-inlined) state machines, so the schedule-IR interpreters
+//! are held to *identical* virtual time, not merely close. Values are
+//! printed with round-trip precision (`{:.17e}`) — the test compares
+//! parsed f64s for exact equality.
+
+use gmsim_testbed::{Algorithm, BarrierExperiment, Descriptor};
+
+fn main() {
+    println!("# family n dim mean_us  (rounds=40 warmup=5, LANai 4.3, no skew)");
+    for n in 2usize..=32 {
+        for (family, alg) in [
+            ("nic-pe", Algorithm::Nic(Descriptor::Pe)),
+            ("host-pe", Algorithm::Host(Descriptor::Pe)),
+        ] {
+            let m = BarrierExperiment::new(n, alg).rounds(40, 5).run();
+            println!("{family} {n} 0 {:.17e}", m.mean_us);
+        }
+        for dim in 1usize..=4 {
+            for (family, alg) in [
+                ("nic-gb", Algorithm::Nic(Descriptor::Gb { dim })),
+                ("host-gb", Algorithm::Host(Descriptor::Gb { dim })),
+            ] {
+                let m = BarrierExperiment::new(n, alg).rounds(40, 5).run();
+                println!("{family} {n} {dim} {:.17e}", m.mean_us);
+            }
+        }
+    }
+}

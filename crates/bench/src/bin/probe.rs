@@ -3,12 +3,14 @@
 //! reproduction (that is `repro`); kept as a diagnostic tool.
 
 use gmsim_lanai::NicModel;
-use gmsim_testbed::{Algorithm, BarrierExperiment};
+use gmsim_testbed::{Algorithm, BarrierExperiment, Descriptor};
 
 fn main() {
     println!("== one-shot vs steady-state, LANai 4.3, NIC-PE ==");
     for n in [2usize, 4, 8, 16] {
-        let m = BarrierExperiment::new(n, Algorithm::NicPe).rounds(120, 20).run();
+        let m = BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe))
+            .rounds(120, 20)
+            .run();
         println!(
             "n={n:2}  first={:8.2}us  steady={:8.2}us  (stddev {:.3})",
             m.first_round_us,
@@ -18,14 +20,19 @@ fn main() {
     }
     println!("== host-PE LANai 4.3 ==");
     for n in [2usize, 4, 8, 16] {
-        let m = BarrierExperiment::new(n, Algorithm::HostPe).rounds(120, 20).run();
+        let m = BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe))
+            .rounds(120, 20)
+            .run();
         println!(
             "n={n:2}  first={:8.2}us  steady={:8.2}us",
             m.first_round_us, m.mean_us
         );
     }
     println!("== LANai 7.2, 8 nodes ==");
-    for alg in [Algorithm::NicPe, Algorithm::HostPe] {
+    for alg in [
+        Algorithm::Nic(Descriptor::Pe),
+        Algorithm::Host(Descriptor::Pe),
+    ] {
         let m = BarrierExperiment::new(8, alg)
             .nic(NicModel::LANAI_7_2)
             .rounds(120, 20)
@@ -39,10 +46,12 @@ fn main() {
     }
     println!("== GB best-dimension, LANai 4.3 ==");
     for n in [2usize, 4, 8, 16] {
-        let (nd, nm) =
-            gmsim_testbed::best_gb_dim(BarrierExperiment::new(n, Algorithm::NicGb { dim: 1 }).rounds(80, 10));
-        let (hd, hm) =
-            gmsim_testbed::best_gb_dim(BarrierExperiment::new(n, Algorithm::HostGb { dim: 1 }).rounds(80, 10));
+        let (nd, nm) = gmsim_testbed::best_gb_dim(
+            BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: 1 })).rounds(80, 10),
+        );
+        let (hd, hm) = gmsim_testbed::best_gb_dim(
+            BarrierExperiment::new(n, Algorithm::Host(Descriptor::Gb { dim: 1 })).rounds(80, 10),
+        );
         println!(
             "n={n:2}  NIC-GB d={nd} {:8.2}us   host-GB d={hd} {:8.2}us   factor {:.2}",
             nm.mean_us,
@@ -50,6 +59,8 @@ fn main() {
             hm.mean_us / nm.mean_us
         );
     }
-    println!("targets: NIC-PE(16)=102.14 host-PE(16)=181.8 | 7.2: NIC-PE(8)=49.25 host-PE(8)=90.24");
+    println!(
+        "targets: NIC-PE(16)=102.14 host-PE(16)=181.8 | 7.2: NIC-PE(8)=49.25 host-PE(8)=90.24"
+    );
     println!("targets: NIC-GB(16)=152.27 factor 1.46; NIC-GB(2) worse than host-GB(2)");
 }

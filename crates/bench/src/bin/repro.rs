@@ -6,14 +6,15 @@
 //! ```
 //!
 //! Experiment ids (see DESIGN.md §5): fig5a fig5b fig5c fig5d fig2 gbdim
-//! headline scale layer fuzzy ablate mpi.
+//! headline scale layer fuzzy ablate mpi util dissem scan.
 
 use gmsim_gm::config::CollectiveWireMode;
 use gmsim_gm::GmConfig;
 use gmsim_lanai::NicModel;
 use gmsim_testbed::table::{factor, us};
 use gmsim_testbed::{
-    best_gb_dim, run_all, Algorithm, BarrierExperiment, FuzzyExperiment, Placement, Table,
+    best_gb_dim, run_all, Algorithm, BarrierExperiment, Descriptor, FuzzyExperiment, Placement,
+    Table,
 };
 use nic_barrier::{BarrierCosts, CostModel};
 
@@ -22,7 +23,7 @@ fn main() {
     let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig5a", "fig5b", "fig5c", "fig5d", "fig2", "gbdim", "headline", "scale", "layer",
-            "fuzzy", "ablate", "mpi", "util", "dissem",
+            "fuzzy", "ablate", "mpi", "util", "dissem", "scan",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -43,6 +44,7 @@ fn main() {
             "mpi" => mpi_study(),
             "util" => util_study(),
             "dissem" => dissemination_study(),
+            "scan" => scan_study(),
             "trace" => trace_one_barrier(),
             other => eprintln!("unknown experiment id: {other}"),
         }
@@ -64,11 +66,14 @@ fn fig5_latency(nic: NicModel, sizes: &[usize], id: &str) {
         "host-GB best (us)",
     ]);
     for &n in sizes {
-        let nic_pe = measure(BarrierExperiment::new(n, Algorithm::NicPe).nic(nic));
-        let host_pe = measure(BarrierExperiment::new(n, Algorithm::HostPe).nic(nic));
-        let (nd, ngb) = best_gb_dim(BarrierExperiment::new(n, Algorithm::NicGb { dim: 1 }).nic(nic));
-        let (hd, hgb) =
-            best_gb_dim(BarrierExperiment::new(n, Algorithm::HostGb { dim: 1 }).nic(nic));
+        let nic_pe = measure(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)).nic(nic));
+        let host_pe = measure(BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe)).nic(nic));
+        let (nd, ngb) = best_gb_dim(
+            BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: 1 })).nic(nic),
+        );
+        let (hd, hgb) = best_gb_dim(
+            BarrierExperiment::new(n, Algorithm::Host(Descriptor::Gb { dim: 1 })).nic(nic),
+        );
         t.row(vec![
             n.to_string(),
             us(nic_pe),
@@ -88,11 +93,14 @@ fn fig5_improvement(nic: NicModel, sizes: &[usize], id: &str) {
     );
     let mut t = Table::new(vec!["nodes", "PE factor", "GB factor"]);
     for &n in sizes {
-        let nic_pe = measure(BarrierExperiment::new(n, Algorithm::NicPe).nic(nic));
-        let host_pe = measure(BarrierExperiment::new(n, Algorithm::HostPe).nic(nic));
-        let (_, ngb) = best_gb_dim(BarrierExperiment::new(n, Algorithm::NicGb { dim: 1 }).nic(nic));
-        let (_, hgb) =
-            best_gb_dim(BarrierExperiment::new(n, Algorithm::HostGb { dim: 1 }).nic(nic));
+        let nic_pe = measure(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)).nic(nic));
+        let host_pe = measure(BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe)).nic(nic));
+        let (_, ngb) = best_gb_dim(
+            BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: 1 })).nic(nic),
+        );
+        let (_, hgb) = best_gb_dim(
+            BarrierExperiment::new(n, Algorithm::Host(Descriptor::Gb { dim: 1 })).nic(nic),
+        );
         t.row(vec![
             n.to_string(),
             factor(host_pe / nic_pe),
@@ -138,8 +146,10 @@ fn fig2_timing_model() {
             if nic == NicModel::LANAI_7_2 && n == 16 {
                 continue; // the paper has only eight 7.2 cards
             }
-            let sim_host = measure(BarrierExperiment::new(n, Algorithm::HostPe).nic(nic));
-            let sim_nic = measure(BarrierExperiment::new(n, Algorithm::NicPe).nic(nic));
+            let sim_host =
+                measure(BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe)).nic(nic));
+            let sim_nic =
+                measure(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)).nic(nic));
             t.row(vec![
                 nic.name.to_string(),
                 n.to_string(),
@@ -162,10 +172,10 @@ fn gb_dimension_sweep() {
     for n in [4usize, 8, 16] {
         let mut t = Table::new(vec!["dim", "NIC-GB (us)", "host-GB (us)"]);
         let nic_exps: Vec<_> = (1..n)
-            .map(|d| BarrierExperiment::new(n, Algorithm::NicGb { dim: d }))
+            .map(|d| BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: d })))
             .collect();
         let host_exps: Vec<_> = (1..n)
-            .map(|d| BarrierExperiment::new(n, Algorithm::HostGb { dim: d }))
+            .map(|d| BarrierExperiment::new(n, Algorithm::Host(Descriptor::Gb { dim: d })))
             .collect();
         let nic_res = run_all(&nic_exps);
         let host_res = run_all(&host_exps);
@@ -186,16 +196,17 @@ fn headline() {
     println!("\n=== headline: paper's published numbers vs this reproduction ===");
     let l43 = NicModel::LANAI_4_3;
     let l72 = NicModel::LANAI_7_2;
-    let nic_pe_16 = measure(BarrierExperiment::new(16, Algorithm::NicPe).nic(l43));
-    let host_pe_16 = measure(BarrierExperiment::new(16, Algorithm::HostPe).nic(l43));
-    let nic_pe_8_43 = measure(BarrierExperiment::new(8, Algorithm::NicPe).nic(l43));
-    let host_pe_8_43 = measure(BarrierExperiment::new(8, Algorithm::HostPe).nic(l43));
+    let nic_pe_16 = measure(BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe)).nic(l43));
+    let host_pe_16 = measure(BarrierExperiment::new(16, Algorithm::Host(Descriptor::Pe)).nic(l43));
+    let nic_pe_8_43 = measure(BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe)).nic(l43));
+    let host_pe_8_43 = measure(BarrierExperiment::new(8, Algorithm::Host(Descriptor::Pe)).nic(l43));
     let (_, nic_gb_16) =
-        best_gb_dim(BarrierExperiment::new(16, Algorithm::NicGb { dim: 1 }).nic(l43));
-    let (_, host_gb_16) =
-        best_gb_dim(BarrierExperiment::new(16, Algorithm::HostGb { dim: 1 }).nic(l43));
-    let nic_pe_8_72 = measure(BarrierExperiment::new(8, Algorithm::NicPe).nic(l72));
-    let host_pe_8_72 = measure(BarrierExperiment::new(8, Algorithm::HostPe).nic(l72));
+        best_gb_dim(BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Gb { dim: 1 })).nic(l43));
+    let (_, host_gb_16) = best_gb_dim(
+        BarrierExperiment::new(16, Algorithm::Host(Descriptor::Gb { dim: 1 })).nic(l43),
+    );
+    let nic_pe_8_72 = measure(BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe)).nic(l72));
+    let host_pe_8_72 = measure(BarrierExperiment::new(8, Algorithm::Host(Descriptor::Pe)).nic(l72));
     let mut t = Table::new(vec!["metric", "paper", "measured", "error"]);
     let mut row = |name: &str, paper: f64, got: f64, is_factor: bool| {
         let err = (got - paper) / paper * 100.0;
@@ -208,17 +219,32 @@ fn headline() {
     };
     row("NIC-PE 16n LANai4.3 (us)", 102.14, nic_pe_16, false);
     row("NIC-GB 16n LANai4.3 (us)", 152.27, nic_gb_16.mean_us, false);
-    row("PE improvement 16n L4.3", 1.78, host_pe_16 / nic_pe_16, true);
+    row(
+        "PE improvement 16n L4.3",
+        1.78,
+        host_pe_16 / nic_pe_16,
+        true,
+    );
     row(
         "GB improvement 16n L4.3",
         1.46,
         host_gb_16.mean_us / nic_gb_16.mean_us,
         true,
     );
-    row("PE improvement 8n L4.3", 1.66, host_pe_8_43 / nic_pe_8_43, true);
+    row(
+        "PE improvement 8n L4.3",
+        1.66,
+        host_pe_8_43 / nic_pe_8_43,
+        true,
+    );
     row("NIC-PE 8n LANai7.2 (us)", 49.25, nic_pe_8_72, false);
     row("host-PE 8n LANai7.2 (us)", 90.24, host_pe_8_72, false);
-    row("PE improvement 8n L7.2", 1.83, host_pe_8_72 / nic_pe_8_72, true);
+    row(
+        "PE improvement 8n L7.2",
+        1.83,
+        host_pe_8_72 / nic_pe_8_72,
+        true,
+    );
     print!("{}", t.render());
 }
 
@@ -232,12 +258,12 @@ fn scaling_study() {
         for nic in NicModel::ALL {
             let rounds = if n >= 64 { (60, 10) } else { (220, 20) };
             let nic_pe = measure(
-                BarrierExperiment::new(n, Algorithm::NicPe)
+                BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe))
                     .nic(nic)
                     .rounds(rounds.0, rounds.1),
             );
             let host_pe = measure(
-                BarrierExperiment::new(n, Algorithm::HostPe)
+                BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe))
                     .nic(nic)
                     .rounds(rounds.0, rounds.1),
             );
@@ -260,8 +286,8 @@ fn layer_study() {
         "improvement",
     ]);
     for mult in [1.0f64, 1.5, 2.0, 3.0, 4.0] {
-        let host = measure(BarrierExperiment::new(16, Algorithm::HostPe).layer(mult));
-        let nic = measure(BarrierExperiment::new(16, Algorithm::NicPe).layer(mult));
+        let host = measure(BarrierExperiment::new(16, Algorithm::Host(Descriptor::Pe)).layer(mult));
+        let nic = measure(BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe)).layer(mult));
         t.row(vec![
             format!("{mult:.1}x"),
             us(host),
@@ -342,8 +368,8 @@ fn mpi_study() {
     for n in [2usize, 4, 8, 16] {
         let host = run(n, MpiConfig::host_based(), 60);
         let nic = run(n, MpiConfig::nic_based(), 60);
-        let raw_host = measure(BarrierExperiment::new(n, Algorithm::HostPe));
-        let raw_nic = measure(BarrierExperiment::new(n, Algorithm::NicPe));
+        let raw_host = measure(BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe)));
+        let raw_nic = measure(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)));
         t.row(vec![
             n.to_string(),
             us(host),
@@ -362,8 +388,8 @@ fn mpi_study() {
 fn util_study() {
     use gmsim_des::SimTime;
     use gmsim_gm::cluster::ClusterBuilder;
-    use nic_barrier::programs::{NicAlgorithm, NicBarrierLoop};
-    use nic_barrier::{BarrierExtension, BarrierGroup, HostPeBarrier};
+    use nic_barrier::programs::NicBarrierLoop;
+    use nic_barrier::{BarrierExtension, BarrierGroup, HostBarrierLoop};
 
     // Run a barrier stream and report how much host time each barrier
     // costs (the rest is available to the application).
@@ -374,9 +400,14 @@ fn util_study() {
             .extension(BarrierExtension::factory());
         for rank in 0..n {
             let prog: Box<dyn gmsim_gm::HostProgram> = if nic_based {
-                Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, rounds))
+                Box::new(NicBarrierLoop::new(
+                    group.clone(),
+                    rank,
+                    Descriptor::Pe,
+                    rounds,
+                ))
             } else {
-                Box::new(HostPeBarrier::new(&group, rank, rounds))
+                Box::new(HostBarrierLoop::new(&group, rank, Descriptor::Pe, rounds))
             };
             b = b.program(group.member(rank), prog, SimTime::ZERO);
         }
@@ -424,7 +455,7 @@ fn util_study() {
 fn trace_one_barrier() {
     use gmsim_des::SimTime;
     use gmsim_gm::cluster::ClusterBuilder;
-    use nic_barrier::programs::{NicAlgorithm, NicBarrierLoop};
+    use nic_barrier::programs::NicBarrierLoop;
     use nic_barrier::{BarrierExtension, BarrierGroup};
 
     println!("\n=== trace: one 4-node NIC-based PE barrier, every wire event ===");
@@ -436,7 +467,7 @@ fn trace_one_barrier() {
     for rank in 0..4 {
         b = b.program(
             group.member(rank),
-            Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, 1)),
+            Box::new(NicBarrierLoop::new(group.clone(), rank, Descriptor::Pe, 1)),
             SimTime::ZERO,
         );
     }
@@ -471,15 +502,64 @@ fn dissemination_study() {
     for n in [2usize, 3, 4, 6, 8, 12, 16] {
         let cells = vec![
             n.to_string(),
-            us(measure(BarrierExperiment::new(n, Algorithm::NicPe))),
-            us(measure(BarrierExperiment::new(n, Algorithm::NicDissemination))),
-            us(measure(BarrierExperiment::new(n, Algorithm::HostPe))),
-            us(measure(BarrierExperiment::new(n, Algorithm::HostDissemination))),
+            us(measure(BarrierExperiment::new(
+                n,
+                Algorithm::Nic(Descriptor::Pe),
+            ))),
+            us(measure(BarrierExperiment::new(
+                n,
+                Algorithm::Nic(Descriptor::Dissemination),
+            ))),
+            us(measure(BarrierExperiment::new(
+                n,
+                Algorithm::Host(Descriptor::Pe),
+            ))),
+            us(measure(BarrierExperiment::new(
+                n,
+                Algorithm::Host(Descriptor::Dissemination),
+            ))),
         ];
         t.row(cells);
     }
     print!("{}", t.render());
     println!("(at non-powers of two dissemination avoids PE's fold steps)");
+}
+
+/// Extension beyond the paper: NIC-offloaded inclusive prefix scan
+/// (Hillis–Steele) through the same compiled-schedule path, vs the
+/// host-based interpretation of the identical IR and the plain barrier.
+fn scan_study() {
+    use nic_barrier::ReduceOp;
+
+    println!("\n=== scan: NIC-offloaded MPI_Scan vs host-based (extension), LANai 4.3 ===");
+    let mut t = Table::new(vec![
+        "procs",
+        "NIC-scan (us)",
+        "host-scan (us)",
+        "factor",
+        "NIC-PE barrier (us)",
+    ]);
+    let op = ReduceOp::Sum;
+    for n in [2usize, 3, 4, 6, 8, 12, 16] {
+        let nic = measure(BarrierExperiment::new(
+            n,
+            Algorithm::Nic(Descriptor::Scan { op }),
+        ));
+        let host = measure(BarrierExperiment::new(
+            n,
+            Algorithm::Host(Descriptor::Scan { op }),
+        ));
+        let pe = measure(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)));
+        t.row(vec![
+            n.to_string(),
+            us(nic),
+            us(host),
+            factor(host / nic),
+            us(pe),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(scan shares PE's exchange structure, so its latency tracks the barrier)");
 }
 
 /// Ablations of the §3 design choices.
@@ -498,7 +578,7 @@ fn ablations() {
             CollectiveWireMode::Unreliable,
         ),
     ] {
-        let m = measure(BarrierExperiment::new(16, Algorithm::NicPe).wire(wire));
+        let m = measure(BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe)).wire(wire));
         t.row(vec![name.to_string(), us(m)]);
     }
     print!("{}", t.render());
@@ -510,7 +590,7 @@ fn ablations() {
         ("OFF (loopback packets)", false),
     ] {
         let m = measure(
-            BarrierExperiment::new(16, Algorithm::NicPe)
+            BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe))
                 .placement(Placement::Packed { procs_per_node: 2 })
                 .same_nic_opt(on),
         );
@@ -525,11 +605,16 @@ fn ablations() {
     let mut t = Table::new(vec!["config", "NIC-PE 16n (us)"]);
     t.row(vec![
         "bit-array record (paper, O(1))".to_string(),
-        us(measure(BarrierExperiment::new(16, Algorithm::NicPe))),
+        us(measure(BarrierExperiment::new(
+            16,
+            Algorithm::Nic(Descriptor::Pe),
+        ))),
     ]);
     t.row(vec![
         "4x record cost".to_string(),
-        us(measure(BarrierExperiment::new(16, Algorithm::NicPe).costs(slow))),
+        us(measure(
+            BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe)).costs(slow),
+        )),
     ]);
     print!("{}", t.render());
 }

@@ -1,0 +1,213 @@
+//! A self-contained micro-benchmark harness exposing the small slice of
+//! the Criterion API the bench targets use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, throughput
+//! annotations and the `criterion_group!`/`criterion_main!` macros).
+//!
+//! The build must resolve offline, so the external framework is replaced
+//! by wall-clock sampling with `std::time::Instant`: every benchmark runs
+//! one warmup iteration plus `sample_size` measured iterations and prints
+//! mean/min wall time (and element throughput when declared). Statistical
+//! machinery (outlier analysis, HTML reports) is intentionally out of
+//! scope — these benches guard against order-of-magnitude regressions and
+//! double as figure checks via their `println!` output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(name, 10, None, f);
+    }
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name` plus a parameter rendered as `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Declared work-per-iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A named group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measured iterations per benchmark (warmup excluded).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(
+            &format!("{}/{}", self.name, id.text),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// End the group (report-flush point in Criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing driver handed to the closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Time `f`, discarding one warmup run and keeping the configured
+    /// number of measured runs. Return values are consumed to keep the
+    /// compiler from eliding the work.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f()); // warmup
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        rounds: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {label:<48} (no samples)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<48} mean {:>10.3?}  min {:>10.3?}{extra}",
+        mean, min
+    );
+}
+
+/// Collect benchmark functions into a runnable suite, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_expected_iterations() {
+        use std::cell::Cell;
+        let calls = Cell::new(0u32);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(4);
+        g.bench_function("count", |b| b.iter(|| calls.set(calls.get() + 1)));
+        g.finish();
+        // 1 warmup + 4 measured
+        assert_eq!(calls.get(), 5);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(7));
+        g.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| b.iter(|| x * x));
+        g.finish();
+    }
+}

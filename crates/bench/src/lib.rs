@@ -1,1 +1,7 @@
-//! Benchmark harness (under construction).
+//! Benchmark support for the reproduction suite: a self-contained
+//! Criterion-style harness (see [`harness`]) used by the `benches/`
+//! targets, which double as figure checks via their printed output.
+
+#![warn(missing_docs)]
+
+pub mod harness;

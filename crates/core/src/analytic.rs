@@ -141,7 +141,11 @@ mod tests {
         let m = model_43();
         assert!((7.5..8.5).contains(&m.send_us), "send={}", m.send_us);
         assert!((10.5..12.5).contains(&m.sdma_us), "sdma={}", m.sdma_us);
-        assert!((0.3..1.0).contains(&m.network_us), "network={}", m.network_us);
+        assert!(
+            (0.3..1.0).contains(&m.network_us),
+            "network={}",
+            m.network_us
+        );
         assert!((10.0..11.5).contains(&m.recv_us), "recv={}", m.recv_us);
         assert!((7.0..8.5).contains(&m.rdma_us), "rdma={}", m.rdma_us);
         assert!((6.5..7.1).contains(&m.hrecv_us), "hrecv={}", m.hrecv_us);

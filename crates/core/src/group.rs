@@ -2,51 +2,36 @@
 //!
 //! "A barrier operation synchronizes the processes which are attached to
 //! the specified endpoints" (§3, system model). A [`BarrierGroup`] is that
-//! endpoint list; each member builds its own collective token from its rank
-//! — the PE step list, or its GB parent/children neighbourhood (§5.1: only
-//! the neighbourhood crosses the host/NIC boundary, never the full list).
+//! endpoint list; each member compiles its own per-rank schedule from an
+//! algorithm [`Descriptor`] — only that rank's program (its PE exchange
+//! list, or its GB parent/children neighbourhood) crosses the host/NIC
+//! boundary, never the full member list (§5.1).
 
-use crate::collectives::{CollectiveOp, ReduceOp};
-use crate::schedule::{dissemination, gb, pe};
-use gmsim_gm::{CollectiveStep, CollectiveToken, GlobalPort, StepKind};
-
-fn map_steps(members: &[GlobalPort], steps: Vec<pe::Step>) -> Vec<CollectiveStep> {
-    steps
-        .into_iter()
-        .map(|s| match s {
-            pe::Step::Exchange(p) => CollectiveStep {
-                peer: members[p],
-                kind: StepKind::SendRecv,
-            },
-            pe::Step::SendTo(p) => CollectiveStep {
-                peer: members[p],
-                kind: StepKind::SendOnly,
-            },
-            pe::Step::RecvFrom(p) => CollectiveStep {
-                peer: members[p],
-                kind: StepKind::RecvOnly,
-            },
-        })
-        .collect()
-}
+use crate::schedule::{self, Descriptor};
+use gmsim_gm::{CollectiveSchedule, CollectiveToken, GlobalPort, ReduceOp};
 
 /// An ordered set of endpoints participating in collectives together.
 ///
 /// ```
-/// use nic_barrier::BarrierGroup;
+/// use nic_barrier::{BarrierGroup, Descriptor};
+/// use gmsim_gm::ScheduleStep;
 ///
 /// // Port 1 on each of 8 nodes.
 /// let group = BarrierGroup::one_per_node(8, 1);
 /// assert_eq!(group.len(), 8);
 ///
-/// // Rank 3's PE schedule: 3 exchanges, peers 3^1, 3^2, 3^4.
-/// let steps = group.pe_steps(3);
-/// assert_eq!(steps.len(), 3);
+/// // Rank 3's PE program: 3 exchanges (send+recv pairs) + completion.
+/// let prog = group.compile(Descriptor::Pe, 3);
+/// assert_eq!(prog.steps.len(), 7);
 ///
-/// // Its GB neighbourhood in a binary tree: parent rank 1, child rank 7.
-/// let token = group.gb_token(3, 2);
-/// assert_eq!(token.parent, Some(group.member(1)));
-/// assert_eq!(token.children, vec![group.member(7)]);
+/// // Its GB program in a binary tree talks to parent rank 1 and child
+/// // rank 7 only.
+/// let gb = group.compile(Descriptor::Gb { dim: 2 }, 3);
+/// let first_gather = gb.steps.iter().find_map(|s| match s {
+///     ScheduleStep::RecvFrom { peers, .. } => Some(peers.clone()),
+///     _ => None,
+/// });
+/// assert_eq!(first_gather, Some(vec![group.member(7)]));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BarrierGroup {
@@ -97,60 +82,36 @@ impl BarrierGroup {
         self.members.iter().position(|m| *m == ep)
     }
 
-    /// The PE schedule for `rank`, as endpoint-level steps.
-    pub fn pe_steps(&self, rank: usize) -> Vec<CollectiveStep> {
-        map_steps(&self.members, pe::schedule(rank, self.len()))
+    /// Compile `desc` into `rank`'s schedule over this group's members.
+    pub fn compile(&self, desc: Descriptor, rank: usize) -> CollectiveSchedule {
+        schedule::compile(desc, rank, &self.members)
     }
 
-    /// The dissemination-barrier schedule for `rank` (extension beyond the
-    /// paper; runs on the same firmware path as PE).
-    pub fn dissemination_steps(&self, rank: usize) -> Vec<CollectiveStep> {
-        map_steps(&self.members, dissemination::schedule(rank, self.len()))
+    /// The collective send token for `rank` running `desc`
+    /// (`gm_barrier_send_with_callback` and its value-carrying cousins).
+    pub fn token(&self, desc: Descriptor, rank: usize) -> CollectiveToken {
+        CollectiveToken::new(self.compile(desc, rank))
     }
 
-    /// GB parent of `rank` as an endpoint.
-    pub fn gb_parent(&self, rank: usize, dim: usize) -> Option<GlobalPort> {
-        gb::parent(rank, dim).map(|p| self.members[p])
-    }
-
-    /// GB children of `rank` as endpoints.
-    pub fn gb_children(&self, rank: usize, dim: usize) -> Vec<GlobalPort> {
-        gb::children(rank, dim, self.len())
-            .into_iter()
-            .map(|c| self.members[c])
-            .collect()
-    }
-
-    /// The PE barrier token for `rank` (`gm_barrier_send_with_callback`).
+    /// The PE barrier token for `rank`.
     pub fn pe_token(&self, rank: usize) -> CollectiveToken {
-        CollectiveToken::pairwise(CollectiveOp::BarrierPe.encode(), self.pe_steps(rank))
+        self.token(Descriptor::Pe, rank)
     }
 
     /// The dissemination barrier token for `rank`.
     pub fn dissemination_token(&self, rank: usize) -> CollectiveToken {
-        CollectiveToken::pairwise(
-            CollectiveOp::BarrierPe.encode(),
-            self.dissemination_steps(rank),
-        )
+        self.token(Descriptor::Dissemination, rank)
     }
 
     /// The GB barrier token for `rank` with tree dimension `dim`.
     pub fn gb_token(&self, rank: usize, dim: usize) -> CollectiveToken {
-        CollectiveToken::tree(
-            CollectiveOp::BarrierGb.encode(),
-            self.gb_parent(rank, dim),
-            self.gb_children(rank, dim),
-        )
+        self.token(Descriptor::Gb { dim }, rank)
     }
 
     /// A NIC-broadcast token; `value` matters only at the root (rank 0).
     pub fn broadcast_token(&self, rank: usize, dim: usize, value: u64) -> CollectiveToken {
-        CollectiveToken::tree(
-            CollectiveOp::Broadcast.encode(),
-            self.gb_parent(rank, dim),
-            self.gb_children(rank, dim),
-        )
-        .with_value(value)
+        self.token(Descriptor::Bcast { dim }, rank)
+            .with_value(value)
     }
 
     /// A NIC-reduce token contributing `value`; the result lands at rank 0.
@@ -161,12 +122,8 @@ impl BarrierGroup {
         dim: usize,
         value: u64,
     ) -> CollectiveToken {
-        CollectiveToken::tree(
-            CollectiveOp::Reduce(op).encode(),
-            self.gb_parent(rank, dim),
-            self.gb_children(rank, dim),
-        )
-        .with_value(value)
+        self.token(Descriptor::Reduce { op, dim }, rank)
+            .with_value(value)
     }
 
     /// A NIC-allreduce token contributing `value`; every member receives
@@ -178,18 +135,21 @@ impl BarrierGroup {
         dim: usize,
         value: u64,
     ) -> CollectiveToken {
-        CollectiveToken::tree(
-            CollectiveOp::AllReduce(op).encode(),
-            self.gb_parent(rank, dim),
-            self.gb_children(rank, dim),
-        )
-        .with_value(value)
+        self.token(Descriptor::Allreduce { op, dim }, rank)
+            .with_value(value)
+    }
+
+    /// A NIC-scan token contributing `value`; each member receives its
+    /// inclusive prefix under `op`.
+    pub fn scan_token(&self, op: ReduceOp, rank: usize, value: u64) -> CollectiveToken {
+        self.token(Descriptor::Scan { op }, rank).with_value(value)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gmsim_gm::{CompletionKind, ScheduleStep, TokenCharge};
 
     #[test]
     fn one_per_node_ranks() {
@@ -207,31 +167,65 @@ mod tests {
     }
 
     #[test]
-    fn pe_token_has_log2_steps() {
+    fn pe_token_has_log2_exchange_pairs() {
         let g = BarrierGroup::one_per_node(8, 1);
         let t = g.pe_token(3);
-        assert_eq!(t.steps.len(), 3);
-        assert!(t.steps.iter().all(|s| s.kind == StepKind::SendRecv));
-        // step peers are rank XOR 2^k
-        assert_eq!(t.steps[0].peer, GlobalPort::new(2, 1));
-        assert_eq!(t.steps[1].peer, GlobalPort::new(1, 1));
-        assert_eq!(t.steps[2].peer, GlobalPort::new(7, 1));
+        assert_eq!(t.schedule.token_charge, TokenCharge::Light);
+        // 3 exchanges, each a SendTo + RecvFrom, plus the completion.
+        assert_eq!(t.schedule.steps.len(), 7);
+        // Exchange peers are rank XOR 2^k.
+        let sends: Vec<GlobalPort> = t
+            .schedule
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                ScheduleStep::SendTo { peers, .. } => Some(peers[0]),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            sends,
+            vec![
+                GlobalPort::new(2, 1),
+                GlobalPort::new(1, 1),
+                GlobalPort::new(7, 1)
+            ]
+        );
     }
 
     #[test]
     fn gb_token_neighbourhood_only() {
         let g = BarrierGroup::one_per_node(7, 1);
+        let peers_of = |t: &CollectiveToken| -> Vec<GlobalPort> {
+            let mut peers = Vec::new();
+            for s in &t.schedule.steps {
+                match s {
+                    ScheduleStep::SendTo { peers: p, .. }
+                    | ScheduleStep::RecvFrom { peers: p, .. } => peers.extend(p.iter().copied()),
+                    ScheduleStep::DeliverCompletion(_) => {}
+                }
+            }
+            peers.sort_unstable();
+            peers.dedup();
+            peers
+        };
         let root = g.gb_token(0, 2);
-        assert!(root.is_root());
-        assert_eq!(root.children.len(), 2);
-        let mid = g.gb_token(1, 2);
-        assert_eq!(mid.parent, Some(GlobalPort::new(0, 1)));
+        assert_eq!(root.schedule.token_charge, TokenCharge::Tree);
         assert_eq!(
-            mid.children,
-            vec![GlobalPort::new(3, 1), GlobalPort::new(4, 1)]
+            peers_of(&root),
+            vec![GlobalPort::new(1, 1), GlobalPort::new(2, 1)]
+        );
+        let mid = g.gb_token(1, 2);
+        assert_eq!(
+            peers_of(&mid),
+            vec![
+                GlobalPort::new(0, 1),
+                GlobalPort::new(3, 1),
+                GlobalPort::new(4, 1)
+            ]
         );
         let leaf = g.gb_token(5, 2);
-        assert!(leaf.children.is_empty());
+        assert_eq!(peers_of(&leaf), vec![GlobalPort::new(2, 1)]);
     }
 
     #[test]
@@ -240,45 +234,43 @@ mod tests {
         assert_eq!(g.broadcast_token(0, 2, 42).value, 42);
         let r = g.reduce_token(ReduceOp::Min, 3, 2, 9);
         assert_eq!(r.value, 9);
-        assert_eq!(
-            CollectiveOp::decode(r.op),
-            Some(CollectiveOp::Reduce(ReduceOp::Min))
-        );
         let a = g.allreduce_token(ReduceOp::Sum, 1, 3, 5);
-        assert_eq!(
-            CollectiveOp::decode(a.op),
-            Some(CollectiveOp::AllReduce(ReduceOp::Sum))
-        );
+        assert_eq!(a.value, 5);
+        let s = g.scan_token(ReduceOp::Sum, 2, 7);
+        assert_eq!(s.value, 7);
+        assert!(s
+            .schedule
+            .steps
+            .iter()
+            .any(|st| matches!(st, ScheduleStep::DeliverCompletion(CompletionKind::Scan))));
     }
 
     #[test]
-    fn dissemination_steps_alternate() {
+    fn dissemination_token_runs_on_the_pe_path() {
         let g = BarrierGroup::one_per_node(6, 1);
-        let steps = g.dissemination_steps(2);
-        // rounds for 6: ceil(log2 6) = 3, two steps each
-        assert_eq!(steps.len(), 6);
-        for (i, s) in steps.iter().enumerate() {
-            if i % 2 == 0 {
-                assert_eq!(s.kind, StepKind::SendOnly);
-            } else {
-                assert_eq!(s.kind, StepKind::RecvOnly);
-            }
-        }
-        // round 0: send to rank 3, recv from rank 1
-        assert_eq!(steps[0].peer, GlobalPort::new(3, 1));
-        assert_eq!(steps[1].peer, GlobalPort::new(1, 1));
-    }
-
-    #[test]
-    fn dissemination_token_reuses_pe_opcode() {
-        let g = BarrierGroup::one_per_node(4, 1);
-        let t = g.dissemination_token(0);
+        let t = g.dissemination_token(2);
         assert_eq!(
-            CollectiveOp::decode(t.op),
-            Some(CollectiveOp::BarrierPe),
+            t.schedule.token_charge,
+            TokenCharge::Light,
             "dissemination runs on the PE firmware path"
         );
-        assert!(!t.steps.is_empty());
+        // ceil(log2 6) = 3 rounds of send+recv, plus the completion.
+        assert_eq!(t.schedule.steps.len(), 7);
+        // Round 0: send to rank+1, recv from rank-1.
+        assert_eq!(
+            t.schedule.steps[0],
+            ScheduleStep::SendTo {
+                peers: vec![GlobalPort::new(3, 1)],
+                kind: crate::schedule::pkt::PE,
+                charge: gmsim_gm::Charge::ExchangeSend,
+            }
+        );
+        match &t.schedule.steps[1] {
+            ScheduleStep::RecvFrom { peers, .. } => {
+                assert_eq!(peers, &vec![GlobalPort::new(1, 1)]);
+            }
+            other => panic!("expected RecvFrom, got {other:?}"),
+        }
     }
 
     #[test]
@@ -290,7 +282,7 @@ mod tests {
             GlobalPort::new(1, 1),
         ]);
         assert_eq!(g.len(), 3);
-        let steps = g.pe_steps(0);
-        assert!(!steps.is_empty());
+        let prog = g.compile(Descriptor::Pe, 0);
+        assert!(!prog.steps.is_empty());
     }
 }

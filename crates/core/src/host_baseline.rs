@@ -1,208 +1,150 @@
 //! Host-based barrier baselines (the paper's comparator).
 //!
 //! "Most current clusters use software barriers based on *host-based*
-//! point-to-point communication" (§1). These programs run the same PE and
-//! GB algorithms as the NIC extension, but every message is an ordinary GM
+//! point-to-point communication" (§1). [`HostBarrierLoop`] interprets the
+//! *same* compiled [`CollectiveSchedule`] programs the NIC extension runs —
+//! one compiler, two interpreters — but every message is an ordinary GM
 //! send: host → NIC → wire → NIC → host at every hop. The evaluation's
-//! factor of improvement is NIC-based latency versus these.
+//! factor of improvement is NIC-based latency versus this.
 //!
-//! Each program runs `rounds` consecutive barriers back to back (the paper
+//! The program runs `rounds` consecutive barriers back to back (the paper
 //! averages 100 000) and emits a [`note`](gmsim_gm::HostCtx::note) at every
-//! completion; the testbed turns those notes into mean latency.
+//! completion step; the testbed turns those notes into mean latency.
 //!
-//! Message tags encode `(round, phase)` so that messages from a peer that
-//! has already raced ahead into the next barrier are parked in a host-side
-//! unexpected set — the same §3.1 problem, solved at host level.
+//! Message tags encode `(round, packet kind)` so that messages from a peer
+//! that has already raced ahead into the next barrier are parked in a
+//! host-side unexpected set — the same §3.1 problem, solved at host level.
 
 use crate::group::BarrierGroup;
 use crate::programs::note_tag;
-use gmsim_gm::{GlobalPort, GmEvent, HostCtx, HostProgram, StepKind};
+use crate::schedule::Descriptor;
+use gmsim_gm::{CollectiveSchedule, GlobalPort, GmEvent, HostCtx, HostProgram, ScheduleStep};
 use std::collections::HashSet;
 
 /// Barrier payload size used by the host baselines (bytes).
 pub const HOST_BARRIER_MSG_BYTES: usize = 8;
 
-fn pe_tag(round: u64) -> u64 {
-    round
+/// The point-to-point tag of a barrier message: round number and the
+/// schedule's packet kind, so cross-round and cross-phase messages never
+/// alias.
+fn step_tag(round: u64, kind: u8) -> u64 {
+    (round << 8) | u64::from(kind)
 }
 
-/// Host-based pairwise-exchange barrier, `rounds` consecutive times.
-pub struct HostPeBarrier {
-    steps: Vec<gmsim_gm::CollectiveStep>,
+/// Host-based barrier loop: interprets a compiled collective schedule with
+/// ordinary sends, `rounds` consecutive times.
+pub struct HostBarrierLoop {
+    schedule: CollectiveSchedule,
     rounds: u64,
     round: u64,
-    idx: usize,
-    sent_current: bool,
+    pc: usize,
+    outstanding: Option<Vec<GlobalPort>>,
     unexpected: HashSet<(GlobalPort, u64)>,
+    /// For recv-free schedules (a scan's rank 0 only ever sends): the pc of
+    /// the last send step, which is issued with a completion notify so the
+    /// next round can wait for it instead of flooding the send-token pool.
+    pace_on_send_pc: Option<usize>,
+    await_sent: bool,
 }
 
-impl HostPeBarrier {
-    /// The program for `rank` of `group`.
-    pub fn new(group: &BarrierGroup, rank: usize, rounds: u64) -> Self {
-        Self::with_steps(group.pe_steps(rank), rounds)
+impl HostBarrierLoop {
+    /// The program for `rank` of `group` running the algorithm `desc`.
+    pub fn new(group: &BarrierGroup, rank: usize, desc: Descriptor, rounds: u64) -> Self {
+        Self::with_schedule(group.compile(desc, rank), rounds)
     }
 
-    /// A host-based *dissemination* barrier (extension beyond the paper):
-    /// the same engine over the dissemination schedule.
-    pub fn dissemination(group: &BarrierGroup, rank: usize, rounds: u64) -> Self {
-        Self::with_steps(group.dissemination_steps(rank), rounds)
-    }
-
-    /// Run an arbitrary step schedule as a host-based barrier loop.
-    pub fn with_steps(steps: Vec<gmsim_gm::CollectiveStep>, rounds: u64) -> Self {
-        HostPeBarrier {
-            steps,
+    /// Run an arbitrary compiled schedule as a host-based barrier loop.
+    pub fn with_schedule(schedule: CollectiveSchedule, rounds: u64) -> Self {
+        let has_recv = schedule
+            .steps
+            .iter()
+            .any(|s| matches!(s, ScheduleStep::RecvFrom { .. }));
+        let pace_on_send_pc = if has_recv {
+            None
+        } else {
+            schedule
+                .steps
+                .iter()
+                .rposition(|s| matches!(s, ScheduleStep::SendTo { .. }))
+        };
+        HostBarrierLoop {
+            schedule,
             rounds,
             round: 0,
-            idx: 0,
-            sent_current: false,
+            pc: 0,
+            outstanding: None,
             unexpected: HashSet::new(),
+            pace_on_send_pc,
+            await_sent: false,
         }
     }
 
     fn advance(&mut self, ctx: &mut HostCtx) {
         while self.round < self.rounds {
-            if self.idx == self.steps.len() {
-                ctx.note(note_tag(self.round));
+            if self.pc == self.schedule.steps.len() {
+                if self.await_sent {
+                    return; // next round starts when the notify lands
+                }
                 self.round += 1;
-                self.idx = 0;
-                self.sent_current = false;
+                self.pc = 0;
                 continue;
             }
-            let step = self.steps[self.idx];
-            let key = (step.peer, pe_tag(self.round));
-            match step.kind {
-                StepKind::SendOnly => {
-                    ctx.send(step.peer, HOST_BARRIER_MSG_BYTES, pe_tag(self.round));
-                    self.idx += 1;
-                }
-                StepKind::SendRecv => {
-                    if !self.sent_current {
-                        ctx.send(step.peer, HOST_BARRIER_MSG_BYTES, pe_tag(self.round));
-                        self.sent_current = true;
-                    }
-                    if self.unexpected.remove(&key) {
-                        self.idx += 1;
-                        self.sent_current = false;
-                    } else {
-                        return;
-                    }
-                }
-                StepKind::RecvOnly => {
-                    if self.unexpected.remove(&key) {
-                        self.idx += 1;
-                    } else {
-                        return;
-                    }
-                }
-            }
-        }
-    }
-}
-
-impl HostProgram for HostPeBarrier {
-    fn on_start(&mut self, ctx: &mut HostCtx) {
-        self.advance(ctx);
-    }
-
-    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
-        if let GmEvent::Recv { src, tag, .. } = ev {
-            ctx.provide_recv(1);
-            let fresh = self.unexpected.insert((*src, *tag));
-            debug_assert!(fresh, "duplicate barrier message {src:?}/{tag}");
-            self.advance(ctx);
-        }
-    }
-}
-
-/// Tag encoding for the GB phases.
-fn gb_tag(round: u64, bcast: bool) -> u64 {
-    (round << 1) | u64::from(bcast)
-}
-
-/// Host-based gather-broadcast barrier over a `dim`-ary tree, `rounds`
-/// consecutive times.
-pub struct HostGbBarrier {
-    parent: Option<GlobalPort>,
-    children: Vec<GlobalPort>,
-    rounds: u64,
-    round: u64,
-    gathers_left: Vec<GlobalPort>,
-    gather_sent: bool,
-    unexpected: HashSet<(GlobalPort, u64)>,
-}
-
-impl HostGbBarrier {
-    /// The program for `rank` of `group` with tree dimension `dim`.
-    pub fn new(group: &BarrierGroup, rank: usize, dim: usize, rounds: u64) -> Self {
-        HostGbBarrier {
-            parent: group.gb_parent(rank, dim),
-            children: group.gb_children(rank, dim),
-            rounds,
-            round: 0,
-            gathers_left: group.gb_children(rank, dim),
-            gather_sent: false,
-            unexpected: HashSet::new(),
-        }
-    }
-
-    fn advance(&mut self, ctx: &mut HostCtx) {
-        while self.round < self.rounds {
-            // Gather phase: absorb children.
-            self.gathers_left
-                .retain(|c| !self.unexpected.remove(&(*c, gb_tag(self.round, false))));
-            if !self.gathers_left.is_empty() {
-                return;
-            }
-            match self.parent {
-                None => {
-                    // Root: all gathered — broadcast to every child and
-                    // exit the barrier. The sends are pipelined: the host
-                    // posts them back to back and the NIC overlaps their
-                    // processing (the effect §6 credits for host-GB's
-                    // relative strength).
-                    for c in &self.children {
-                        ctx.send(*c, HOST_BARRIER_MSG_BYTES, gb_tag(self.round, true));
-                    }
-                    self.finish_round(ctx);
-                }
-                Some(parent) => {
-                    if !self.gather_sent {
-                        ctx.send(parent, HOST_BARRIER_MSG_BYTES, gb_tag(self.round, false));
-                        self.gather_sent = true;
-                    }
-                    if self.unexpected.remove(&(parent, gb_tag(self.round, true))) {
-                        for c in &self.children {
-                            ctx.send(*c, HOST_BARRIER_MSG_BYTES, gb_tag(self.round, true));
+            match &self.schedule.steps[self.pc] {
+                ScheduleStep::SendTo { peers, kind, .. } => {
+                    let tag = step_tag(self.round, *kind);
+                    let notify_last = self.pace_on_send_pc == Some(self.pc);
+                    for (i, peer) in peers.iter().enumerate() {
+                        if notify_last && i + 1 == peers.len() {
+                            ctx.send_notify(*peer, HOST_BARRIER_MSG_BYTES, tag);
+                            self.await_sent = true;
+                        } else {
+                            ctx.send(*peer, HOST_BARRIER_MSG_BYTES, tag);
                         }
-                        self.finish_round(ctx);
+                    }
+                    self.pc += 1;
+                }
+                ScheduleStep::RecvFrom { peers, kind, .. } => {
+                    let tag = step_tag(self.round, *kind);
+                    let mut outstanding = self.outstanding.take().unwrap_or_else(|| peers.clone());
+                    outstanding.retain(|p| !self.unexpected.remove(&(*p, tag)));
+                    if outstanding.is_empty() {
+                        self.pc += 1;
                     } else {
+                        self.outstanding = Some(outstanding);
                         return;
                     }
+                }
+                ScheduleStep::DeliverCompletion(_) => {
+                    // The host-level analogue of the completion event. Any
+                    // trailing forwarding steps (GB broadcast hand-down)
+                    // run after, exactly like the NIC interpreter (§5.2).
+                    ctx.note(note_tag(self.round));
+                    self.pc += 1;
                 }
             }
         }
     }
-
-    fn finish_round(&mut self, ctx: &mut HostCtx) {
-        ctx.note(note_tag(self.round));
-        self.round += 1;
-        self.gathers_left = self.children.clone();
-        self.gather_sent = false;
-    }
 }
 
-impl HostProgram for HostGbBarrier {
+impl HostProgram for HostBarrierLoop {
     fn on_start(&mut self, ctx: &mut HostCtx) {
         self.advance(ctx);
     }
 
     fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
-        if let GmEvent::Recv { src, tag, .. } = ev {
-            ctx.provide_recv(1);
-            let fresh = self.unexpected.insert((*src, *tag));
-            debug_assert!(fresh, "duplicate barrier message {src:?}/{tag}");
-            self.advance(ctx);
+        match ev {
+            GmEvent::Recv { src, tag, .. } => {
+                ctx.provide_recv(1);
+                let fresh = self.unexpected.insert((*src, *tag));
+                debug_assert!(fresh, "duplicate barrier message {src:?}/{tag}");
+                self.advance(ctx);
+            }
+            GmEvent::Sent { .. } => {
+                // Only recv-free schedules ask for send notifies.
+                self.await_sent = false;
+                self.advance(ctx);
+            }
+            _ => {}
         }
     }
 }
@@ -220,7 +162,7 @@ mod tests {
         for rank in 0..n {
             b = b.program(
                 group.member(rank),
-                Box::new(HostPeBarrier::new(&group, rank, rounds)),
+                Box::new(HostBarrierLoop::new(&group, rank, Descriptor::Pe, rounds)),
                 SimTime::ZERO,
             );
         }
@@ -300,7 +242,12 @@ mod tests {
             for rank in 0..n {
                 b = b.program(
                     group.member(rank),
-                    Box::new(HostGbBarrier::new(&group, rank, dim, 2)),
+                    Box::new(HostBarrierLoop::new(
+                        &group,
+                        rank,
+                        Descriptor::Gb { dim },
+                        2,
+                    )),
                     SimTime::ZERO,
                 );
             }
@@ -324,7 +271,7 @@ mod tests {
         for rank in 0..n {
             b = b.program(
                 group.member(rank),
-                Box::new(HostPeBarrier::new(&group, rank, 2)),
+                Box::new(HostBarrierLoop::new(&group, rank, Descriptor::Pe, 2)),
                 SimTime::from_us(rank as u64 * 37),
             );
         }

@@ -10,22 +10,22 @@
 //!
 //! What this crate provides:
 //!
-//! * [`schedule`] — pure schedule construction: pairwise-exchange (PE,
-//!   MPICH-style, generalized to non-power-of-two groups) and
-//!   gather-broadcast (GB) trees of configurable dimension, computed **on
-//!   the host** exactly as §5.1 argues.
-//! * [`group`] — a barrier group (ordered endpoint list) that builds the
+//! * [`schedule`] — **the collective compiler**: algorithm
+//!   [`Descriptor`]s (pairwise-exchange, gather-broadcast trees,
+//!   dissemination, binomial broadcast/reduce/allreduce, prefix scan) are
+//!   lowered to per-rank [`gmsim_gm::CollectiveSchedule`] programs of
+//!   explicit send/receive/complete steps, computed **on the host**
+//!   exactly as §5.1 argues.
+//! * [`group`] — a barrier group (ordered endpoint list) that compiles the
 //!   per-rank collective tokens.
 //! * [`unexpected`] — the §3.1 unexpected-barrier-message record: a bit
 //!   array per (local port, remote endpoint) with epoch/value side data.
-//! * [`nic`] — **the firmware extension**: PE and GB barriers executed by
-//!   the MCP, multiple concurrent barriers (one per port), the §3.4
-//!   same-NIC optimization, and the §3.2 record-then-reject-on-open
-//!   handling of stale messages.
-//! * [`collectives`] — the paper's future work (§8) implemented: NIC-based
-//!   broadcast, reduce and allreduce on the same machinery.
-//! * [`host_baseline`] — the comparator: host-based PE and GB barriers over
-//!   plain GM sends/receives.
+//! * [`nic`] — **the firmware extension**: a NIC-side interpreter of
+//!   compiled schedules, with multiple concurrent collectives (one per
+//!   port), the §3.4 same-NIC optimization, and the §3.2
+//!   record-then-reject-on-open handling of stale messages.
+//! * [`host_baseline`] — the comparator: the *same* compiled schedules
+//!   interpreted at host level over plain GM sends/receives.
 //! * [`programs`] — ready-made [`gmsim_gm::HostProgram`]s that run streams
 //!   of consecutive barriers for measurement, including the fuzzy-barrier
 //!   variant (§2.1) that overlaps computation with synchronization.
@@ -36,7 +36,6 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
-pub mod collectives;
 pub mod group;
 pub mod host_baseline;
 pub mod nic;
@@ -45,9 +44,10 @@ pub mod schedule;
 pub mod unexpected;
 
 pub use analytic::CostModel;
-pub use collectives::{CollectiveOp, ReduceOp};
+pub use gmsim_gm::ReduceOp;
 pub use group::BarrierGroup;
-pub use host_baseline::{HostGbBarrier, HostPeBarrier};
+pub use host_baseline::HostBarrierLoop;
 pub use nic::{BarrierCosts, BarrierExtension, BarrierStats};
 pub use programs::{FuzzyBarrierLoop, NicBarrierLoop, NOTE_BARRIER_DONE};
+pub use schedule::{compile, Descriptor};
 pub use unexpected::UnexpectedRecord;

@@ -2,21 +2,29 @@
 //!
 //! This is the paper's contribution: collective logic executing inside the
 //! MCP. The host posts a single collective send token
-//! ([`gmsim_gm::CollectiveToken`]); from then on "as soon as a NIC receives
-//! a barrier message, the message to the next process can be sent directly"
+//! ([`gmsim_gm::CollectiveToken`]) carrying a compiled
+//! [`CollectiveSchedule`]; from then on "as soon as a NIC receives a
+//! barrier message, the message to the next process can be sent directly"
 //! (§2.1) — no host round trips until the final completion RDMA.
+//!
+//! The extension is a *schedule interpreter*: it walks the token's IR
+//! program — send steps, receive steps, a completion delivery — charging
+//! LANai cycles per step from the calibrated [`BarrierCosts`] table. Which
+//! algorithm the program encodes (PE, GB, dissemination, a reduction, a
+//! scan) is invisible here; the compiler in [`crate::schedule`] decided
+//! that on the host, exactly as §5.1 argues.
 //!
 //! Design choices mapped to the paper:
 //!
 //! * **State in the send token, pointer in the port** (§4.2): each port
-//!   slot holds at most one [`Active`] run — which is exactly the paper's
-//!   "send token pointer in the port data structure", and what makes
-//!   *multiple concurrent barriers* (one per port) work.
+//!   slot holds at most one [`Run`] — the paper's "send token pointer in
+//!   the port data structure", and what makes *multiple concurrent
+//!   collectives* (one per port) work.
 //! * **Unexpected messages** (§3.1/4.3): every arriving collective packet
 //!   is first recorded in the per-(port, endpoint) bit array, then the
-//!   addressed port's state machine is *poked* and consumes the record if
-//!   it is the one it is waiting for. Recording-then-poking makes early,
-//!   late and out-of-order arrivals all take the same code path.
+//!   addressed port's interpreter is *poked* and consumes the record if it
+//!   is one it is waiting for. Recording-then-poking makes early, late and
+//!   out-of-order arrivals all take the same code path.
 //! * **Closed ports** (§3.2): packets for closed ports are recorded; when
 //!   the port opens, every record is *rejected* back to its sender, which
 //!   resends iff its own port epoch still matches ("but only if the
@@ -27,34 +35,25 @@
 //!   have a flag set". Local deliveries go through a work queue drained at
 //!   the end of each firmware entry point, so co-located endpoints chain
 //!   without unbounded recursion.
-//! * **Completion order** (§5.2): completion is DMAed to the host *before*
-//!   broadcast packets are forwarded, exactly as the paper describes for
-//!   both the root and interior GB nodes.
+//! * **Completion order** (§5.2): the compiler places the completion step
+//!   *before* any trailing broadcast forwarding, so the completion is
+//!   DMAed to the host first, exactly as the paper describes for both the
+//!   root and interior GB nodes.
 
-use crate::collectives::CollectiveOp;
 use crate::unexpected::{RecordMeta, UnexpectedRecord};
 use gmsim_des::SimTime;
 use gmsim_gm::{
-    CollectiveStep, CollectiveToken, ExtPacket, GlobalPort, GmConfig, GmEvent, McpCore,
-    McpExtension, McpOutput, NodeId, PortId, StepKind, GM_NUM_PORTS,
+    Charge, CollectiveSchedule, CollectiveToken, CompletionKind, ExtPacket, GlobalPort, GmConfig,
+    GmEvent, McpCore, McpExtension, McpOutput, NodeId, PortId, ScheduleStep, TokenCharge,
+    GM_NUM_PORTS,
 };
 use std::any::Any;
 use std::collections::VecDeque;
 
-/// Extension packet types (§5.2: "There is a separate packet type for each
-/// phase").
-pub mod pkt {
-    /// Pairwise-exchange barrier message.
-    pub const PE: u8 = 1;
-    /// GB/reduce gather-phase message (child → parent, may carry a value).
-    pub const GATHER: u8 = 2;
-    /// GB/broadcast broadcast-phase message (parent → child).
-    pub const BCAST: u8 = 3;
-    /// §3.2 rejection of a message that arrived for a closed port.
-    pub const REJECT: u8 = 4;
-}
+pub use crate::schedule::pkt;
 
-/// Firmware cycle costs of the barrier extension handlers.
+/// Firmware cycle costs of the barrier extension handlers, resolved
+/// against the symbolic [`Charge`] annotations of compiled schedules.
 ///
 /// PE costs are calibrated so the simulated latencies land on the paper's
 /// published numbers; GB costs reflect the heavier per-hop tree bookkeeping
@@ -62,7 +61,7 @@ pub mod pkt {
 /// overhead of processing the barrier algorithm at the NIC").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BarrierCosts {
-    /// PE collective-token pickup.
+    /// PE-style (`TokenCharge::Light`) collective-token pickup.
     pub pe_token_cycles: u64,
     /// PE send half-step: prepare the packet for the current destination
     /// and queue the token (§5.2's SDMA-side work).
@@ -70,7 +69,7 @@ pub struct BarrierCosts {
     /// PE match half-step: clear the bit, bump the node index, write the
     /// next destination, re-queue (§5.2's RDMA-side five-step update).
     pub pe_match_cycles: u64,
-    /// Tree collective-token pickup.
+    /// Tree (`TokenCharge::Tree`) collective-token pickup.
     pub gb_token_cycles: u64,
     /// Consuming one gather message (tree walk + combine).
     pub gb_gather_cycles: u64,
@@ -100,6 +99,25 @@ impl BarrierCosts {
         record_cycles: 30,
         local_flag_cycles: 60,
     };
+
+    /// Cycles charged for a step with the given symbolic cost.
+    pub fn step_cycles(&self, charge: Charge) -> u64 {
+        match charge {
+            Charge::ExchangeSend => self.pe_send_cycles,
+            Charge::ExchangeMatch => self.pe_match_cycles,
+            Charge::Gather => self.gb_gather_cycles,
+            Charge::ChildSend => self.gb_child_cycles,
+            Charge::Free => 0,
+        }
+    }
+
+    /// Cycles charged for picking up a collective token.
+    pub fn token_cycles(&self, charge: TokenCharge) -> u64 {
+        match charge {
+            TokenCharge::Light => self.pe_token_cycles,
+            TokenCharge::Tree => self.gb_token_cycles,
+        }
+    }
 }
 
 /// Extension counters (per NIC).
@@ -113,6 +131,8 @@ pub struct BarrierStats {
     pub gather_msgs: u64,
     /// Broadcast packets handled.
     pub bcast_msgs: u64,
+    /// Scan packets handled.
+    pub scan_msgs: u64,
     /// Same-NIC short-circuits taken (§3.4 optimization).
     pub local_flags: u64,
     /// §3.2 rejections sent on port open.
@@ -127,52 +147,24 @@ pub struct BarrierStats {
     pub aborted: u64,
 }
 
-/// A pairwise-exchange run in progress.
+/// An in-flight interpreted collective on one port — the paper's "send
+/// token pointer". The schedule is the program; `pc` the current step;
+/// `outstanding` the peers of the current receive step still owing a
+/// packet; `acc` the value accumulator (operand in, result out).
 #[derive(Debug, Clone)]
-struct PeRun {
-    steps: Vec<CollectiveStep>,
-    idx: usize,
-    /// Whether the packet for the *current* step has been sent.
-    sent_current: bool,
-}
-
-/// Phase of a tree collective.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TreePhase {
-    /// Waiting for gather messages from children.
-    Gather,
-    /// Gather sent up; waiting for the parent's broadcast.
-    AwaitBcast,
-}
-
-/// A tree collective (GB barrier / broadcast / reduce / allreduce) run.
-#[derive(Debug, Clone)]
-struct TreeRun {
-    op: CollectiveOp,
-    parent: Option<GlobalPort>,
-    children: Vec<GlobalPort>,
-    /// Children whose gather has not yet been consumed.
-    children_left: Vec<GlobalPort>,
-    phase: TreePhase,
-    /// Accumulated value (own contribution combined with children's).
-    value: u64,
-    /// The value sent up in our gather, kept for §3.2 resends.
-    sent_value: Option<u64>,
-}
-
-/// The active collective on one port — the paper's "send token pointer".
-#[derive(Debug, Clone)]
-enum Active {
-    Pe(PeRun),
-    Tree(TreeRun),
+struct Run {
+    schedule: CollectiveSchedule,
+    pc: usize,
+    outstanding: Option<Vec<GlobalPort>>,
+    acc: u64,
 }
 
 /// The last collective message sent to a peer from a port. Kept (bounded:
-/// one entry per (port, peer)) *beyond* the collective's completion so the
-/// §3.2 reject/resend protocol also works for messages whose sender has no
-/// in-flight state left — a GB broadcast after the root exited, or a
-/// reduce contribution after the leaf completed locally. Cleared when the
-/// port closes, which is exactly the paper's "but only if the endpoint
+/// one entry per (port, peer, kind)) *beyond* the collective's completion
+/// so the §3.2 reject/resend protocol also works for messages whose sender
+/// has no in-flight state left — a GB broadcast after the root exited, or
+/// a reduce contribution after the leaf completed locally. Cleared when
+/// the port closes, which is exactly the paper's "but only if the endpoint
 /// that initiated the barrier has not closed since the message was sent".
 #[derive(Debug, Clone, Copy)]
 struct SentRecord {
@@ -191,10 +183,11 @@ struct LocalDelivery {
     at: SimTime,
 }
 
-/// The barrier/collective firmware extension.
+/// The barrier/collective firmware extension: the NIC-side interpreter of
+/// compiled [`CollectiveSchedule`] programs.
 pub struct BarrierExtension {
     costs: BarrierCosts,
-    slots: Vec<Option<Active>>,
+    slots: Vec<Option<Run>>,
     /// The §3.1 unexpected-message record.
     pub record: UnexpectedRecord,
     /// Counters.
@@ -240,25 +233,6 @@ impl BarrierExtension {
         self.slots[port.idx()].is_some()
     }
 
-    /// Complete a collective on `port`: consume the barrier buffer the
-    /// host provided (`gm_provide_barrier_buffer`), return the send token,
-    /// clear the port's token pointer and DMA the completion event — the
-    /// §5.2 completion sequence, shared by every collective.
-    fn complete_collective(
-        &mut self,
-        core: &mut McpCore,
-        port: PortId,
-        ev: GmEvent,
-        now: SimTime,
-        out: &mut Vec<McpOutput>,
-    ) {
-        self.slots[port.idx()] = None;
-        core.port_mut(port).take_barrier_buffer();
-        core.port_mut(port).return_send_token();
-        self.stats.completions += 1;
-        core.complete_to_host(port, ev, now, out);
-    }
-
     // ---- packet egress ---------------------------------------------------
 
     /// Send (or locally flag) one collective packet from `port` to `dst`.
@@ -277,6 +251,7 @@ impl BarrierExtension {
             pkt::PE => self.stats.pe_msgs += 1,
             pkt::GATHER => self.stats.gather_msgs += 1,
             pkt::BCAST => self.stats.bcast_msgs += 1,
+            pkt::SCAN => self.stats.scan_msgs += 1,
             _ => {}
         }
         let epoch = core.port(port).epoch();
@@ -329,7 +304,9 @@ impl BarrierExtension {
     // ---- packet ingress --------------------------------------------------
 
     /// Shared ingress for wire and local packets: record, then poke the
-    /// addressed port's state machine.
+    /// addressed port's interpreter. No collective-specific logic lives
+    /// here — what the packet *means* is decided by the schedule step that
+    /// eventually consumes its record.
     #[allow(clippy::too_many_arguments)]
     fn accept(
         &mut self,
@@ -359,23 +336,16 @@ impl BarrierExtension {
         );
         // A closed port keeps the record until it opens (§3.2).
         if core.port(dst.port).is_open() {
-            self.poke(core, dst.port, t, out);
+            self.interpret(core, dst.port, t, out);
         }
     }
 
-    /// Advance whatever collective is active on `port` as far as the
-    /// record allows.
-    fn poke(&mut self, core: &mut McpCore, port: PortId, now: SimTime, out: &mut Vec<McpOutput>) {
-        match self.slots[port.idx()] {
-            Some(Active::Pe(_)) => self.pe_continue(core, port, now, out),
-            Some(Active::Tree(_)) => self.tree_continue(core, port, now, out),
-            None => {}
-        }
-    }
+    // ---- the schedule interpreter ----------------------------------------
 
-    // ---- pairwise exchange (§5.2) -----------------------------------------
-
-    fn pe_continue(
+    /// Advance the program on `port` as far as the unexpected record
+    /// allows: emit send steps, consume available receive records, deliver
+    /// completions, and park on a receive still owed packets.
+    fn interpret(
         &mut self,
         core: &mut McpCore,
         port: PortId,
@@ -384,220 +354,97 @@ impl BarrierExtension {
     ) {
         let mut t = now;
         loop {
-            let (step, sent) = match &self.slots[port.idx()] {
-                Some(Active::Pe(run)) if run.idx < run.steps.len() => {
-                    (run.steps[run.idx], run.sent_current)
-                }
-                Some(Active::Pe(_)) => {
-                    // All steps done: "The NIC DMAs a receive token to the
-                    // host, returns the send token, and sets the send token
-                    // pointer in the port data structure to zero."
-                    self.complete_collective(core, port, GmEvent::BarrierComplete, t, out);
-                    return;
-                }
-                _ => return,
+            let Some(run) = &self.slots[port.idx()] else {
+                return;
             };
-            match step.kind {
-                StepKind::SendOnly => {
-                    t = core.exec(self.costs.pe_send_cycles, t);
-                    self.emit(core, port, step.peer, pkt::PE, 0, t, out);
-                    self.pe_advance(port);
+            if run.pc == run.schedule.steps.len() {
+                // Program exhausted: drop the token pointer (§4.2 "sets the
+                // send token pointer in the port data structure to zero").
+                self.slots[port.idx()] = None;
+                return;
+            }
+            match run.schedule.steps[run.pc].clone() {
+                ScheduleStep::SendTo {
+                    peers,
+                    kind,
+                    charge,
+                } => {
+                    let value = run.acc;
+                    for peer in peers {
+                        let cycles = self.costs.step_cycles(charge);
+                        if cycles > 0 {
+                            t = core.exec(cycles, t);
+                        }
+                        self.emit(core, port, peer, kind, value, t, out);
+                    }
+                    if let Some(run) = &mut self.slots[port.idx()] {
+                        run.pc += 1;
+                    }
                 }
-                StepKind::SendRecv => {
-                    if !sent {
-                        t = core.exec(self.costs.pe_send_cycles, t);
-                        self.emit(core, port, step.peer, pkt::PE, 0, t, out);
-                        if let Some(Active::Pe(run)) = &mut self.slots[port.idx()] {
-                            run.sent_current = true;
+                ScheduleStep::RecvFrom {
+                    peers,
+                    kind,
+                    combine,
+                    charge,
+                } => {
+                    let run = self.slots[port.idx()].as_mut().unwrap();
+                    let mut outstanding = run.outstanding.take().unwrap_or(peers);
+                    // Consume every peer whose packet is already recorded;
+                    // re-scan until a full pass makes no progress.
+                    loop {
+                        let mut consumed_any = false;
+                        outstanding.retain(|peer| {
+                            match self.record.check_clear(port, *peer, kind) {
+                                Some(meta) => {
+                                    let cycles = self.costs.step_cycles(charge);
+                                    if cycles > 0 {
+                                        t = core.exec(cycles, t);
+                                    }
+                                    let run = self.slots[port.idx()].as_mut().unwrap();
+                                    run.acc = match combine {
+                                        Some(op) => op.combine(run.acc, meta.value),
+                                        None => meta.value,
+                                    };
+                                    consumed_any = true;
+                                    false
+                                }
+                                None => true,
+                            }
+                        });
+                        if outstanding.is_empty() || !consumed_any {
+                            break;
                         }
                     }
-                    if self.record.check_clear(port, step.peer, pkt::PE).is_some() {
-                        t = core.exec(self.costs.pe_match_cycles, t);
-                        self.pe_advance(port);
+                    let run = self.slots[port.idx()].as_mut().unwrap();
+                    if outstanding.is_empty() {
+                        run.pc += 1;
                     } else {
-                        return; // park until the peer's message arrives
-                    }
-                }
-                StepKind::RecvOnly => {
-                    if self.record.check_clear(port, step.peer, pkt::PE).is_some() {
-                        t = core.exec(self.costs.pe_match_cycles, t);
-                        self.pe_advance(port);
-                    } else {
+                        // Park until more packets arrive and poke us.
+                        run.outstanding = Some(outstanding);
                         return;
                     }
                 }
-            }
-        }
-    }
-
-    fn pe_advance(&mut self, port: PortId) {
-        if let Some(Active::Pe(run)) = &mut self.slots[port.idx()] {
-            run.idx += 1;
-            run.sent_current = false;
-        }
-    }
-
-    // ---- tree collectives (§5.2 GB; §8 future work) ------------------------
-
-    fn tree_continue(
-        &mut self,
-        core: &mut McpCore,
-        port: PortId,
-        now: SimTime,
-        out: &mut Vec<McpOutput>,
-    ) {
-        let mut t = now;
-        // Gather phase: consume every recorded child gather.
-        loop {
-            let pending = match &self.slots[port.idx()] {
-                Some(Active::Tree(run)) if run.phase == TreePhase::Gather => {
-                    run.children_left.clone()
-                }
-                _ => break,
-            };
-            let mut consumed_any = false;
-            for child in pending {
-                if let Some(meta) = self.record.check_clear(port, child, pkt::GATHER) {
-                    t = core.exec(self.costs.gb_gather_cycles, t);
-                    if let Some(Active::Tree(run)) = &mut self.slots[port.idx()] {
-                        run.children_left.retain(|c| *c != child);
-                        if let Some(op) = run.op.reduce_op() {
-                            run.value = op.combine(run.value, meta.value);
-                        }
-                    }
-                    consumed_any = true;
-                }
-            }
-            let all_in = match &self.slots[port.idx()] {
-                Some(Active::Tree(run)) => run.children_left.is_empty(),
-                _ => return,
-            };
-            if all_in {
-                self.tree_gather_done(core, port, t, out);
-                break;
-            }
-            if !consumed_any {
-                return; // park until more gathers arrive
-            }
-        }
-        // Broadcast phase: consume the parent's broadcast if recorded.
-        let parent = match &self.slots[port.idx()] {
-            Some(Active::Tree(run)) if run.phase == TreePhase::AwaitBcast => {
-                run.parent.expect("AwaitBcast at the root")
-            }
-            _ => return,
-        };
-        if let Some(meta) = self.record.check_clear(port, parent, pkt::BCAST) {
-            let t = core.exec(self.costs.gb_gather_cycles, t);
-            self.tree_bcast_received(core, port, meta.value, t, out);
-        }
-    }
-
-    /// Every child gather has been absorbed.
-    fn tree_gather_done(
-        &mut self,
-        core: &mut McpCore,
-        port: PortId,
-        now: SimTime,
-        out: &mut Vec<McpOutput>,
-    ) {
-        let (op, value, parent, children) = match &self.slots[port.idx()] {
-            Some(Active::Tree(run)) => (run.op, run.value, run.parent, run.children.clone()),
-            _ => return,
-        };
-        match parent {
-            None => {
-                // Root. Completion first, forwarding second (§5.2 order).
-                let ev = match op {
-                    CollectiveOp::BarrierGb => GmEvent::BarrierComplete,
-                    CollectiveOp::Broadcast => GmEvent::BroadcastComplete { value },
-                    CollectiveOp::Reduce(_) => GmEvent::ReduceComplete { value },
-                    CollectiveOp::AllReduce(_) => GmEvent::ReduceComplete { value },
-                    CollectiveOp::BarrierPe => unreachable!("PE is not a tree"),
-                };
-                self.complete_collective(core, port, ev, now, out);
-                let downstream = match op {
-                    CollectiveOp::Reduce(_) => None, // reduce has no bcast phase
-                    _ => Some(value),
-                };
-                if let Some(v) = downstream {
-                    self.forward_bcast(core, port, &children, v, now, out);
-                }
-            }
-            Some(parent) => {
-                match op {
-                    CollectiveOp::Reduce(_) => {
-                        // Contribution sent up; the collective is locally
-                        // complete (the global value exists only at the
-                        // root — there is no broadcast phase).
-                        self.emit(core, port, parent, pkt::GATHER, value, now, out);
-                        self.complete_collective(
-                            core,
-                            port,
-                            GmEvent::ReduceComplete { value },
-                            now,
-                            out,
-                        );
-                    }
-                    _ => {
-                        if let Some(Active::Tree(run)) = &mut self.slots[port.idx()] {
-                            run.phase = TreePhase::AwaitBcast;
-                            run.sent_value = Some(value);
-                        }
-                        self.emit(core, port, parent, pkt::GATHER, value, now, out);
-                        // The broadcast check runs in tree_continue's tail
-                        // (or on the broadcast packet's arrival).
+                ScheduleStep::DeliverCompletion(kind) => {
+                    let acc = run.acc;
+                    let ev = match kind {
+                        CompletionKind::Barrier => GmEvent::BarrierComplete,
+                        CompletionKind::Broadcast => GmEvent::BroadcastComplete { value: acc },
+                        CompletionKind::Reduce => GmEvent::ReduceComplete { value: acc },
+                        CompletionKind::Scan => GmEvent::ScanComplete { value: acc },
+                    };
+                    // §5.2 completion sequence: consume the barrier buffer
+                    // the host provided (`gm_provide_barrier_buffer`),
+                    // return the send token, DMA the completion event. Any
+                    // trailing forwarding steps run after this.
+                    core.port_mut(port).take_barrier_buffer();
+                    core.port_mut(port).return_send_token();
+                    self.stats.completions += 1;
+                    core.complete_to_host(port, ev, t, out);
+                    if let Some(run) = &mut self.slots[port.idx()] {
+                        run.pc += 1;
                     }
                 }
             }
-        }
-    }
-
-    /// The parent's broadcast arrived at a non-root node.
-    fn tree_bcast_received(
-        &mut self,
-        core: &mut McpCore,
-        port: PortId,
-        value: u64,
-        now: SimTime,
-        out: &mut Vec<McpOutput>,
-    ) {
-        let Some(Active::Tree(run)) = &self.slots[port.idx()] else {
-            return;
-        };
-        let op = run.op;
-        let children = run.children.clone();
-        let ev = match op {
-            CollectiveOp::BarrierGb => GmEvent::BarrierComplete,
-            CollectiveOp::Broadcast => GmEvent::BroadcastComplete { value },
-            CollectiveOp::AllReduce(_) => GmEvent::ReduceComplete { value },
-            CollectiveOp::Reduce(_) | CollectiveOp::BarrierPe => {
-                unreachable!("no broadcast phase for {op:?}")
-            }
-        };
-        // "the RDMA state machine sends a receive token to the host
-        // indicating that the barrier has completed, and sets the send
-        // token pointer ... to zero. Then the send token is prepared to
-        // send a barrier broadcast packet to the first child ..." (§5.2)
-        self.complete_collective(core, port, ev, now, out);
-        self.forward_bcast(core, port, &children, value, now, out);
-    }
-
-    /// Send the broadcast packet to each child in turn, re-queueing the
-    /// token once per child as §5.2 describes.
-    fn forward_bcast(
-        &mut self,
-        core: &mut McpCore,
-        port: PortId,
-        children: &[GlobalPort],
-        value: u64,
-        now: SimTime,
-        out: &mut Vec<McpOutput>,
-    ) {
-        let mut t = now;
-        for child in children {
-            t = core.exec(self.costs.gb_child_cycles, t);
-            self.emit(core, port, *child, pkt::BCAST, value, t, out);
         }
     }
 
@@ -650,46 +497,14 @@ impl McpExtension for BarrierExtension {
             self.slots[port.idx()].is_none(),
             "port {port:?} already has an active collective"
         );
-        let op = CollectiveOp::of(&token);
-        match op {
-            CollectiveOp::BarrierPe => {
-                let t = core.exec(self.costs.pe_token_cycles, now);
-                self.slots[port.idx()] = Some(Active::Pe(PeRun {
-                    steps: token.steps,
-                    idx: 0,
-                    sent_current: false,
-                }));
-                self.pe_continue(core, port, t, out);
-            }
-            _ => {
-                let t = core.exec(self.costs.gb_token_cycles, now);
-                let children = token.children.clone();
-                // Broadcasts have no gather phase: non-roots go straight to
-                // awaiting the value from above.
-                let (children_left, phase) = if op == CollectiveOp::Broadcast {
-                    (
-                        Vec::new(),
-                        if token.parent.is_some() {
-                            TreePhase::AwaitBcast
-                        } else {
-                            TreePhase::Gather // root: empty gather completes at once
-                        },
-                    )
-                } else {
-                    (children.clone(), TreePhase::Gather)
-                };
-                self.slots[port.idx()] = Some(Active::Tree(TreeRun {
-                    op,
-                    parent: token.parent,
-                    children,
-                    children_left,
-                    phase,
-                    value: token.value,
-                    sent_value: None,
-                }));
-                self.tree_continue(core, port, t, out);
-            }
-        }
+        let t = core.exec(self.costs.token_cycles(token.schedule.token_charge), now);
+        self.slots[port.idx()] = Some(Run {
+            schedule: token.schedule,
+            pc: 0,
+            outstanding: None,
+            acc: token.value,
+        });
+        self.interpret(core, port, t, out);
         self.drain_local(core, out);
     }
 
@@ -702,7 +517,16 @@ impl McpExtension for BarrierExtension {
         now: SimTime,
         out: &mut Vec<McpOutput>,
     ) {
-        self.accept(core, src, dst, body.ext_type, body.a as u32, body.b, now, out);
+        self.accept(
+            core,
+            src,
+            dst,
+            body.ext_type,
+            body.a as u32,
+            body.b,
+            now,
+            out,
+        );
         self.drain_local(core, out);
     }
 
@@ -753,10 +577,7 @@ impl McpExtension for BarrierExtension {
 }
 
 /// Convenience: the unexpected-record stats on `node` of a cluster.
-pub fn record_stats_of(
-    cluster: &gmsim_gm::Cluster,
-    node: usize,
-) -> crate::unexpected::RecordStats {
+pub fn record_stats_of(cluster: &gmsim_gm::Cluster, node: usize) -> crate::unexpected::RecordStats {
     cluster.nodes[node]
         .mcp
         .ext()

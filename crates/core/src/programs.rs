@@ -6,6 +6,7 @@
 //! completion with a timestamped note the testbed aggregates.
 
 use crate::group::BarrierGroup;
+use crate::schedule::Descriptor;
 use gmsim_des::SimTime;
 use gmsim_gm::{CollectiveToken, GmEvent, HostCtx, HostProgram};
 
@@ -23,47 +24,29 @@ pub fn decode_note(tag: u64) -> Option<u64> {
     (tag & NOTE_BARRIER_DONE == NOTE_BARRIER_DONE).then_some(tag & 0xFFFF_FFFF)
 }
 
-/// Which NIC barrier algorithm a loop runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NicAlgorithm {
-    /// Pairwise exchange.
-    Pe,
-    /// Gather-broadcast with the given tree dimension.
-    Gb {
-        /// Tree arity.
-        dim: usize,
-    },
-    /// Dissemination barrier (extension beyond the paper).
-    Dissemination,
-}
-
-/// Runs `rounds` consecutive NIC-based barriers.
+/// Runs `rounds` consecutive NIC-based collectives of any [`Descriptor`].
 pub struct NicBarrierLoop {
     group: BarrierGroup,
     rank: usize,
-    algo: NicAlgorithm,
+    desc: Descriptor,
     rounds: u64,
     round: u64,
 }
 
 impl NicBarrierLoop {
     /// The loop for `rank` of `group`.
-    pub fn new(group: BarrierGroup, rank: usize, algo: NicAlgorithm, rounds: u64) -> Self {
+    pub fn new(group: BarrierGroup, rank: usize, desc: Descriptor, rounds: u64) -> Self {
         NicBarrierLoop {
             group,
             rank,
-            algo,
+            desc,
             rounds,
             round: 0,
         }
     }
 
     fn token(&self) -> CollectiveToken {
-        match self.algo {
-            NicAlgorithm::Pe => self.group.pe_token(self.rank),
-            NicAlgorithm::Gb { dim } => self.group.gb_token(self.rank, dim),
-            NicAlgorithm::Dissemination => self.group.dissemination_token(self.rank),
-        }
+        self.group.token(self.desc, self.rank)
     }
 }
 
@@ -75,7 +58,13 @@ impl HostProgram for NicBarrierLoop {
     }
 
     fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
-        if matches!(ev, GmEvent::BarrierComplete) {
+        if matches!(
+            ev,
+            GmEvent::BarrierComplete
+                | GmEvent::BroadcastComplete { .. }
+                | GmEvent::ReduceComplete { .. }
+                | GmEvent::ScanComplete { .. }
+        ) {
             ctx.note(note_tag(self.round));
             self.round += 1;
             if self.round < self.rounds {
@@ -183,7 +172,9 @@ impl HostProgram for OneShotCollective {
     fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
         let value = match ev {
             GmEvent::BarrierComplete => 0,
-            GmEvent::BroadcastComplete { value } | GmEvent::ReduceComplete { value } => *value,
+            GmEvent::BroadcastComplete { value }
+            | GmEvent::ReduceComplete { value }
+            | GmEvent::ScanComplete { value } => *value,
             _ => return,
         };
         self.result = Some(value);

@@ -1,12 +1,19 @@
-//! Pure schedule construction for the two barrier algorithms.
+//! Schedule construction and the collective compiler.
 //!
-//! Both schedules are computed **on the host**: "the tree construction is a
+//! All schedules are computed **on the host**: "the tree construction is a
 //! relatively computationally intensive task which can easily be computed
 //! at the host. The host at a particular node needs to inform the NIC only
 //! of the children and parent of the node" (§5.1) — likewise the PE pairing
-//! list. These functions are therefore ordinary host-side code, shared by
-//! the NIC-based and host-based implementations so both run *the same
-//! algorithm*, as in the paper's evaluation.
+//! list. The pure rank-level schedules live in the [`pe`], [`gb`],
+//! [`dissemination`] and [`scan`] modules; [`compile`] lowers an algorithm
+//! [`Descriptor`] into the endpoint-level [`CollectiveSchedule`] IR that
+//! both the NIC firmware extension and the host-based baselines interpret,
+//! so the NIC and host runs of an algorithm execute *the same program*, as
+//! in the paper's evaluation.
+
+use gmsim_gm::{
+    Charge, CollectiveSchedule, CompletionKind, GlobalPort, ReduceOp, ScheduleStep, TokenCharge,
+};
 
 pub mod gb {
     //! Gather-and-broadcast trees of fixed dimension (arity) `d` ≥ 1.
@@ -141,11 +148,267 @@ pub mod dissemination {
     }
 }
 
+pub mod scan {
+    //! Inclusive prefix scan (Hillis–Steele) — **an extension beyond the
+    //! paper**, in the spirit of its §8 future work on other collectives.
+    //! At round `k`, rank `i` sends its running prefix to `i + 2^k` (if it
+    //! exists) and folds in the prefix arriving from `i − 2^k` (if it
+    //! exists); after `ceil(log2 n)` rounds rank `i` holds the inclusive
+    //! prefix over ranks `0..=i`. Like dissemination it is asymmetric
+    //! (different send and receive peers per round) and needs no
+    //! power-of-two fold, so it expresses naturally in the same step
+    //! machinery.
+
+    use super::pe::Step;
+
+    /// The scan schedule for `rank` of `n`: per round, a send (if the
+    /// upstream partner exists) then a combining receive (if the
+    /// downstream partner exists).
+    pub fn schedule(rank: usize, n: usize) -> Vec<Step> {
+        assert!(n >= 1 && rank < n, "rank {rank} out of range for n={n}");
+        let mut steps = Vec::new();
+        let mut dist = 1;
+        while dist < n {
+            if rank + dist < n {
+                steps.push(Step::SendTo(rank + dist));
+            }
+            if rank >= dist {
+                steps.push(Step::RecvFrom(rank - dist));
+            }
+            dist <<= 1;
+        }
+        steps
+    }
+}
+
+/// Which collective algorithm a rank participates in. A descriptor plus a
+/// rank and a member list is everything [`compile`] needs to produce the
+/// rank's [`CollectiveSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Descriptor {
+    /// Pairwise-exchange barrier (§5, PE; MPICH-style fold for
+    /// non-power-of-two groups).
+    Pe,
+    /// Gather-and-broadcast barrier over a `dim`-ary tree (§5, GB).
+    Gb {
+        /// Tree arity.
+        dim: usize,
+    },
+    /// Dissemination barrier (extension beyond the paper; runs on the same
+    /// firmware path as PE).
+    Dissemination,
+    /// Binomial-tree broadcast of the root's value (§8 future work).
+    Bcast {
+        /// Tree arity.
+        dim: usize,
+    },
+    /// Reduction to rank 0 (§8 future work); only the root sees the
+    /// global value.
+    Reduce {
+        /// Combining operator.
+        op: ReduceOp,
+        /// Tree arity.
+        dim: usize,
+    },
+    /// Allreduce: reduce up the tree, broadcast the result back down.
+    Allreduce {
+        /// Combining operator.
+        op: ReduceOp,
+        /// Tree arity.
+        dim: usize,
+    },
+    /// Inclusive prefix scan (Hillis–Steele; extension beyond the paper).
+    Scan {
+        /// Combining operator.
+        op: ReduceOp,
+    },
+}
+
+/// Wire packet kinds for the compiled programs (§5.2: "There is a separate
+/// packet type for each phase"). `REJECT` is reserved by the firmware's
+/// §3.2 rejection protocol and never appears in a compiled schedule.
+pub mod pkt {
+    /// Pairwise-exchange-style message (PE, dissemination).
+    pub const PE: u8 = 1;
+    /// Tree gather-phase message (child → parent, may carry a value).
+    pub const GATHER: u8 = 2;
+    /// Tree broadcast-phase message (parent → child).
+    pub const BCAST: u8 = 3;
+    /// §3.2 rejection of a message that arrived for a closed port.
+    pub const REJECT: u8 = 4;
+    /// Prefix-scan message (carries a running prefix).
+    pub const SCAN: u8 = 5;
+}
+
+/// Map a list of rank-level steps onto endpoint-level IR steps for an
+/// exchange-style program (PE / dissemination / scan).
+fn lower_steps(
+    members: &[GlobalPort],
+    steps: Vec<pe::Step>,
+    kind: u8,
+    combine: Option<ReduceOp>,
+) -> Vec<ScheduleStep> {
+    let mut out = Vec::new();
+    for s in steps {
+        match s {
+            pe::Step::Exchange(p) => {
+                out.push(ScheduleStep::SendTo {
+                    peers: vec![members[p]],
+                    kind,
+                    charge: Charge::ExchangeSend,
+                });
+                out.push(ScheduleStep::RecvFrom {
+                    peers: vec![members[p]],
+                    kind,
+                    combine,
+                    charge: Charge::ExchangeMatch,
+                });
+            }
+            pe::Step::SendTo(p) => out.push(ScheduleStep::SendTo {
+                peers: vec![members[p]],
+                kind,
+                charge: Charge::ExchangeSend,
+            }),
+            pe::Step::RecvFrom(p) => out.push(ScheduleStep::RecvFrom {
+                peers: vec![members[p]],
+                kind,
+                combine,
+                charge: Charge::ExchangeMatch,
+            }),
+        }
+    }
+    out
+}
+
+/// Compile `desc` for `rank` of `members` into the IR program both
+/// interpreters execute. Steps with no peers are omitted, so leaves carry
+/// no empty receives and the root no empty upward send.
+pub fn compile(desc: Descriptor, rank: usize, members: &[GlobalPort]) -> CollectiveSchedule {
+    let n = members.len();
+    assert!(rank < n, "rank {rank} out of range for n={n}");
+    let tree = |dim: usize| -> (Option<GlobalPort>, Vec<GlobalPort>) {
+        (
+            gb::parent(rank, dim).map(|p| members[p]),
+            gb::children(rank, dim, n)
+                .into_iter()
+                .map(|c| members[c])
+                .collect(),
+        )
+    };
+    let mut steps = Vec::new();
+    let token_charge = match desc {
+        Descriptor::Pe => {
+            steps = lower_steps(members, pe::schedule(rank, n), pkt::PE, None);
+            steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Barrier));
+            TokenCharge::Light
+        }
+        Descriptor::Dissemination => {
+            steps = lower_steps(members, dissemination::schedule(rank, n), pkt::PE, None);
+            steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Barrier));
+            TokenCharge::Light
+        }
+        Descriptor::Scan { op } => {
+            steps = lower_steps(members, scan::schedule(rank, n), pkt::SCAN, Some(op));
+            steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Scan));
+            TokenCharge::Light
+        }
+        Descriptor::Gb { dim } | Descriptor::Allreduce { dim, .. } => {
+            let (combine, completion) = match desc {
+                Descriptor::Allreduce { op, .. } => (Some(op), CompletionKind::Reduce),
+                _ => (None, CompletionKind::Barrier),
+            };
+            let (parent, children) = tree(dim);
+            if !children.is_empty() {
+                steps.push(ScheduleStep::RecvFrom {
+                    peers: children.clone(),
+                    kind: pkt::GATHER,
+                    combine,
+                    charge: Charge::Gather,
+                });
+            }
+            if let Some(parent) = parent {
+                // The gather-up send piggybacks on the state update that
+                // absorbed the last child, hence no separate charge.
+                steps.push(ScheduleStep::SendTo {
+                    peers: vec![parent],
+                    kind: pkt::GATHER,
+                    charge: Charge::Free,
+                });
+                steps.push(ScheduleStep::RecvFrom {
+                    peers: vec![parent],
+                    kind: pkt::BCAST,
+                    combine: None,
+                    charge: Charge::Gather,
+                });
+            }
+            // §5.2 order: completion is DMAed to the host *before* the
+            // broadcast is forwarded, at the root and interior nodes alike.
+            steps.push(ScheduleStep::DeliverCompletion(completion));
+            if !children.is_empty() {
+                steps.push(ScheduleStep::SendTo {
+                    peers: children,
+                    kind: pkt::BCAST,
+                    charge: Charge::ChildSend,
+                });
+            }
+            TokenCharge::Tree
+        }
+        Descriptor::Reduce { op, dim } => {
+            let (parent, children) = tree(dim);
+            if !children.is_empty() {
+                steps.push(ScheduleStep::RecvFrom {
+                    peers: children,
+                    kind: pkt::GATHER,
+                    combine: Some(op),
+                    charge: Charge::Gather,
+                });
+            }
+            if let Some(parent) = parent {
+                steps.push(ScheduleStep::SendTo {
+                    peers: vec![parent],
+                    kind: pkt::GATHER,
+                    charge: Charge::Free,
+                });
+            }
+            // No broadcast phase: the global value exists only at the root;
+            // a non-root's completion carries its subtree value.
+            steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Reduce));
+            TokenCharge::Tree
+        }
+        Descriptor::Bcast { dim } => {
+            let (parent, children) = tree(dim);
+            if let Some(parent) = parent {
+                steps.push(ScheduleStep::RecvFrom {
+                    peers: vec![parent],
+                    kind: pkt::BCAST,
+                    combine: None,
+                    charge: Charge::Gather,
+                });
+            }
+            steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Broadcast));
+            if !children.is_empty() {
+                steps.push(ScheduleStep::SendTo {
+                    peers: children,
+                    kind: pkt::BCAST,
+                    charge: Charge::ChildSend,
+                });
+            }
+            TokenCharge::Tree
+        }
+    };
+    CollectiveSchedule {
+        steps,
+        token_charge,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::dissemination;
     use super::gb;
     use super::pe::{self, Step};
+    use super::{compile, pkt, scan, Descriptor};
+    use gmsim_gm::{Charge, CompletionKind, GlobalPort, ReduceOp, ScheduleStep, TokenCharge};
 
     #[test]
     fn pow2_floor_values() {
@@ -185,10 +448,7 @@ mod tests {
     #[test]
     fn pe_non_power_of_two_folds() {
         // n=3: p=2, r=1
-        assert_eq!(
-            pe::schedule(2, 3),
-            vec![Step::SendTo(0), Step::RecvFrom(0)]
-        );
+        assert_eq!(pe::schedule(2, 3), vec![Step::SendTo(0), Step::RecvFrom(0)]);
         assert_eq!(
             pe::schedule(0, 3),
             vec![Step::RecvFrom(2), Step::Exchange(1), Step::SendTo(2)]
@@ -364,5 +624,252 @@ mod tests {
         assert_eq!(steps[1], Step::RecvFrom(7));
         assert_eq!(steps[4], Step::SendTo(4));
         assert_eq!(steps[5], Step::RecvFrom(4));
+    }
+
+    #[test]
+    fn scan_sends_match_recvs() {
+        for n in 1..=20usize {
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            for rank in 0..n {
+                for s in scan::schedule(rank, n) {
+                    match s {
+                        Step::SendTo(p) => sends.push((rank, p)),
+                        Step::RecvFrom(p) => recvs.push((p, rank)),
+                        Step::Exchange(_) => panic!("scan has no exchanges"),
+                    }
+                }
+            }
+            sends.sort_unstable();
+            recvs.sort_unstable();
+            assert_eq!(sends, recvs, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_recv_peers_distinct_per_rank() {
+        // Within one scan a rank receives from 2^k-shifted peers, all
+        // distinct — required by the FIFO unexpected record.
+        for n in 2..=33usize {
+            for rank in 0..n {
+                let mut peers: Vec<usize> = scan::schedule(rank, n)
+                    .into_iter()
+                    .filter_map(|s| match s {
+                        Step::RecvFrom(p) => Some(p),
+                        _ => None,
+                    })
+                    .collect();
+                let before = peers.len();
+                peers.sort_unstable();
+                peers.dedup();
+                assert_eq!(peers.len(), before, "n={n} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_simulated_computes_prefix_sums() {
+        // Execute the schedules in lock-step rounds against a value array.
+        for n in 1..=17usize {
+            let mut vals: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+            let expect: Vec<u64> = (0..n).map(|i| vals[..=i].iter().sum::<u64>()).collect();
+            let mut dist = 1;
+            while dist < n {
+                let snapshot = vals.clone();
+                for (i, v) in vals.iter_mut().enumerate() {
+                    if i >= dist {
+                        *v += snapshot[i - dist];
+                    }
+                }
+                dist <<= 1;
+            }
+            assert_eq!(vals, expect, "n={n}");
+        }
+    }
+
+    fn gp(ranks: usize) -> Vec<GlobalPort> {
+        (0..ranks).map(|i| GlobalPort::new(i, 1)).collect()
+    }
+
+    #[test]
+    fn compile_pe_is_exchange_pairs_plus_completion() {
+        let m = gp(8);
+        let prog = compile(Descriptor::Pe, 3, &m);
+        assert_eq!(prog.token_charge, TokenCharge::Light);
+        assert_eq!(prog.steps.len(), 7, "3 exchanges = 6 steps + completion");
+        for ex in 0..3 {
+            let peer = m[3 ^ (1 << ex)];
+            assert_eq!(
+                prog.steps[2 * ex],
+                ScheduleStep::SendTo {
+                    peers: vec![peer],
+                    kind: pkt::PE,
+                    charge: Charge::ExchangeSend,
+                }
+            );
+            assert_eq!(
+                prog.steps[2 * ex + 1],
+                ScheduleStep::RecvFrom {
+                    peers: vec![peer],
+                    kind: pkt::PE,
+                    combine: None,
+                    charge: Charge::ExchangeMatch,
+                }
+            );
+        }
+        assert_eq!(
+            prog.steps[6],
+            ScheduleStep::DeliverCompletion(CompletionKind::Barrier)
+        );
+    }
+
+    #[test]
+    fn compile_gb_interior_orders_completion_before_forward() {
+        let m = gp(7);
+        let prog = compile(Descriptor::Gb { dim: 2 }, 1, &m);
+        assert_eq!(prog.token_charge, TokenCharge::Tree);
+        let shape: Vec<&ScheduleStep> = prog.steps.iter().collect();
+        match shape.as_slice() {
+            [ScheduleStep::RecvFrom {
+                peers: kids,
+                kind: pkt::GATHER,
+                combine: None,
+                charge: Charge::Gather,
+            }, ScheduleStep::SendTo {
+                peers: up,
+                kind: pkt::GATHER,
+                charge: Charge::Free,
+            }, ScheduleStep::RecvFrom {
+                peers: down,
+                kind: pkt::BCAST,
+                ..
+            }, ScheduleStep::DeliverCompletion(CompletionKind::Barrier), ScheduleStep::SendTo {
+                kind: pkt::BCAST,
+                charge: Charge::ChildSend,
+                ..
+            }] => {
+                assert_eq!(kids, &vec![m[3], m[4]]);
+                assert_eq!(up, &vec![m[0]]);
+                assert_eq!(down, &vec![m[0]]);
+            }
+            other => panic!("unexpected interior GB shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_gb_root_and_leaf_omit_empty_steps() {
+        let m = gp(7);
+        let root = compile(Descriptor::Gb { dim: 2 }, 0, &m);
+        assert!(matches!(
+            root.steps.as_slice(),
+            [
+                ScheduleStep::RecvFrom { .. },
+                ScheduleStep::DeliverCompletion(CompletionKind::Barrier),
+                ScheduleStep::SendTo { .. },
+            ]
+        ));
+        let leaf = compile(Descriptor::Gb { dim: 2 }, 6, &m);
+        assert!(matches!(
+            leaf.steps.as_slice(),
+            [
+                ScheduleStep::SendTo { .. },
+                ScheduleStep::RecvFrom { .. },
+                ScheduleStep::DeliverCompletion(CompletionKind::Barrier),
+            ]
+        ));
+    }
+
+    #[test]
+    fn compile_reduce_has_no_broadcast_phase() {
+        let m = gp(5);
+        for rank in 0..5 {
+            let prog = compile(
+                Descriptor::Reduce {
+                    op: ReduceOp::Sum,
+                    dim: 2,
+                },
+                rank,
+                &m,
+            );
+            assert!(
+                prog.steps.iter().all(|s| !matches!(
+                    s,
+                    ScheduleStep::RecvFrom {
+                        kind: pkt::BCAST,
+                        ..
+                    }
+                )),
+                "rank {rank} waits for a broadcast"
+            );
+            assert_eq!(
+                prog.steps.last(),
+                Some(&ScheduleStep::DeliverCompletion(CompletionKind::Reduce)),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn compile_allreduce_combines_on_gather_only() {
+        let m = gp(4);
+        let prog = compile(
+            Descriptor::Allreduce {
+                op: ReduceOp::Max,
+                dim: 2,
+            },
+            1,
+            &m,
+        );
+        for s in &prog.steps {
+            if let ScheduleStep::RecvFrom { kind, combine, .. } = s {
+                match *kind {
+                    pkt::GATHER => assert_eq!(*combine, Some(ReduceOp::Max)),
+                    pkt::BCAST => assert_eq!(*combine, None, "hand-down overwrites"),
+                    k => panic!("unexpected kind {k}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compile_scan_rank0_has_no_receives() {
+        let m = gp(8);
+        let prog = compile(Descriptor::Scan { op: ReduceOp::Sum }, 0, &m);
+        assert!(prog
+            .steps
+            .iter()
+            .all(|s| !matches!(s, ScheduleStep::RecvFrom { .. })));
+        assert_eq!(
+            prog.steps.last(),
+            Some(&ScheduleStep::DeliverCompletion(CompletionKind::Scan))
+        );
+    }
+
+    #[test]
+    fn compile_non_power_of_two_pe_folds() {
+        let m = gp(3);
+        // Rank 2 folds into rank 0 and awaits release: send, recv, done.
+        let prog = compile(Descriptor::Pe, 2, &m);
+        assert!(matches!(
+            prog.steps.as_slice(),
+            [
+                ScheduleStep::SendTo { .. },
+                ScheduleStep::RecvFrom { .. },
+                ScheduleStep::DeliverCompletion(CompletionKind::Barrier),
+            ]
+        ));
+        // Rank 0 absorbs, exchanges with rank 1, releases.
+        let prog = compile(Descriptor::Pe, 0, &m);
+        let peers: Vec<&GlobalPort> = prog
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                ScheduleStep::SendTo { peers, .. } | ScheduleStep::RecvFrom { peers, .. } => {
+                    Some(&peers[0])
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(peers, vec![&m[2], &m[1], &m[1], &m[2]]);
     }
 }

@@ -1,0 +1,140 @@
+//! A minimal randomized-property harness over [`SimRng`].
+//!
+//! The repository's property tests used to lean on an external framework;
+//! the build must resolve with no network access, so this module provides
+//! the small slice actually needed: run a closure over many deterministic
+//! random cases, and on failure report the case index and derived seed so
+//! the exact case can be replayed in isolation. There is no shrinking —
+//! cases are generated from documented, bounded distributions, so failures
+//! are already small and always reproducible from the printed seed.
+
+use crate::rng::SimRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-case random input source handed to the property closure.
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// A generator for one case (exposed so a failing case can be replayed
+    /// by seed: `Gen::from_seed(printed_seed)`).
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: SimRng::new(seed),
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive, matching range-style
+    /// strategy bounds used throughout the tests).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi);
+        lo + self.rng.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi]` inclusive.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        if lo == 0 && hi == u64::MAX {
+            return self.rng.next();
+        }
+        lo + self.rng.below(hi - lo + 1)
+    }
+
+    /// Uniform `u32` in `[lo, hi]` inclusive.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `u8` in `[lo, hi]` inclusive.
+    pub fn u8_in(&mut self, lo: u8, hi: u8) -> u8 {
+        self.u64_in(lo as u64, hi as u64) as u8
+    }
+
+    /// Full-entropy `u64`.
+    pub fn any_u64(&mut self) -> u64 {
+        self.rng.next()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.unit() * (hi - lo)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.chance(p)
+    }
+
+    /// A vector of `len ∈ [len_lo, len_hi]` elements drawn by `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(len_lo, len_hi);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Run `prop` over `cases` deterministic random cases derived from `seed`.
+/// A panic inside `prop` is re-raised after printing the case index and the
+/// per-case seed for replay via [`Gen::from_seed`].
+pub fn forall(cases: u32, seed: u64, mut prop: impl FnMut(&mut Gen)) {
+    let root = SimRng::new(seed);
+    for case in 0..cases {
+        let case_seed = root.split(case as u64).seed();
+        let mut g = Gen::from_seed(case_seed);
+        let run = catch_unwind(AssertUnwindSafe(|| prop(&mut g)));
+        if let Err(payload) = run {
+            eprintln!("property failed at case {case}/{cases} (replay seed: {case_seed:#x})");
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forall_runs_every_case() {
+        use std::cell::Cell;
+        let n = Cell::new(0u32);
+        forall(17, 1, |_| n.set(n.get() + 1));
+        assert_eq!(n.get(), 17);
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        forall(5, 9, |g| a.push(g.any_u64()));
+        forall(5, 9, |g| b.push(g.any_u64()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        forall(3, 2, |g| {
+            if g.usize_in(0, 10) <= 10 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn bounds_are_inclusive() {
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        forall(200, 3, |g| {
+            let v = g.usize_in(2, 4);
+            assert!((2..=4).contains(&v));
+            lo_seen |= v == 2;
+            hi_seen |= v == 4;
+        });
+        assert!(lo_seen && hi_seen);
+    }
+}

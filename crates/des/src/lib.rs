@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod rng;
 pub mod scheduler;
 pub mod stats;

@@ -2,27 +2,39 @@
 //!
 //! Experiments need randomness (barrier start skew, drop injection, workload
 //! shapes) but must stay reproducible: a single experiment seed determines
-//! everything. [`SimRng`] wraps a seeded [`rand::rngs::StdRng`] and adds
-//! *splitting* — deriving an independent child stream from a label — so that
-//! per-node or per-component streams do not interleave nondeterministically
-//! when the code that consumes them is reordered.
+//! everything. [`SimRng`] is a self-contained xoshiro256++ generator seeded
+//! through SplitMix64, with *splitting* — deriving an independent child
+//! stream from a label — so that per-node or per-component streams do not
+//! interleave nondeterministically when the code that consumes them is
+//! reordered. No external crates are involved, so the streams are stable
+//! across toolchains and dependency upgrades.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// SplitMix64: the recommended seeder for xoshiro, and our label mixer.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-/// A seeded RNG with labelled splitting.
+/// A seeded RNG with labelled splitting (xoshiro256++ core).
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { seed, state }
     }
 
     /// The seed this stream was created from.
@@ -44,56 +56,59 @@ impl SimRng {
         SimRng::new(z)
     }
 
-    /// Uniform `u64` in `[0, bound)`.
+    /// Uniform `u64` in `[0, bound)` (Lemire's multiply-shift with a
+    /// rejection pass, so the distribution is exactly uniform).
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0)");
-        self.inner.gen_range(0..bound)
+        loop {
+            let x = self.next();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard [0,1) double construction.
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        self.inner.gen::<f64>() < p
+        self.unit() < p
     }
 
     /// Uniform duration in `[lo, hi)` nanoseconds, returned as nanoseconds.
     pub fn ns_between(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range {lo}..{hi}");
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
-    /// A fresh full-entropy `u64`.
+    /// A fresh full-entropy `u64` (xoshiro256++ step).
     #[allow(clippy::should_implement_trait)] // not an iterator; name is apt
     pub fn next(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             slice.swap(i, j);
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -144,6 +159,16 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.below(17) < 17);
         }
+    }
+
+    #[test]
+    fn below_covers_small_ranges() {
+        let mut r = SimRng::new(10);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
     }
 
     #[test]

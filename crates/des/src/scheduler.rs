@@ -308,7 +308,10 @@ mod tests {
             .schedule_fn(SimTime::from_us(10), |w: &mut u64, _| *w = 1);
         sim.scheduler_mut()
             .schedule_fn(SimTime::from_us(100), |w: &mut u64, _| *w = 2);
-        assert_eq!(sim.run_until(SimTime::from_us(50)), RunOutcome::HorizonReached);
+        assert_eq!(
+            sim.run_until(SimTime::from_us(50)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(*sim.world(), 1);
         assert_eq!(sim.now(), SimTime::from_us(10));
         // The remaining event still fires on a later run.

@@ -22,7 +22,13 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {}: {}", self.at.as_ns(), self.component, self.message)
+        write!(
+            f,
+            "[{:>12}] {}: {}",
+            self.at.as_ns(),
+            self.component,
+            self.message
+        )
     }
 }
 

@@ -1,65 +1,67 @@
-//! Property-based tests for the DES engine: event ordering, statistics
+//! Randomized property tests for the DES engine: event ordering, statistics
 //! merging, and RNG determinism.
 
+use gmsim_des::check::forall;
 use gmsim_des::{Scheduler, SimRng, SimTime, Simulation, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events fire in nondecreasing time order, with FIFO order at equal
-    /// timestamps, for arbitrary schedules.
-    #[test]
-    fn fire_order_is_total(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// Events fire in nondecreasing time order, with FIFO order at equal
+/// timestamps, for arbitrary schedules.
+#[test]
+fn fire_order_is_total() {
+    forall(128, 0xDE5_0001, |g| {
+        let times = g.vec_of(1, 200, |g| g.u64_in(0, 999));
         let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
         for (i, &t) in times.iter().enumerate() {
-            sim.scheduler_mut().schedule_fn(
-                SimTime::from_ns(t),
-                move |w: &mut Vec<(u64, usize)>, _| w.push((t, i)),
-            );
+            sim.scheduler_mut()
+                .schedule_fn(SimTime::from_ns(t), move |w: &mut Vec<(u64, usize)>, _| {
+                    w.push((t, i))
+                });
         }
         sim.run();
         let fired = sim.world();
-        prop_assert_eq!(fired.len(), times.len());
+        assert_eq!(fired.len(), times.len());
         for w in fired.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+                assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
             }
         }
-    }
+    });
+}
 
-    /// Nested scheduling preserves ordering too: every event schedules a
-    /// follow-up; the clock never runs backwards.
-    #[test]
-    fn nested_scheduling_never_goes_backwards(
-        seeds in proptest::collection::vec((0u64..500, 1u64..100), 1..50)
-    ) {
+/// Nested scheduling preserves ordering too: every event schedules a
+/// follow-up; the clock never runs backwards.
+#[test]
+fn nested_scheduling_never_goes_backwards() {
+    forall(128, 0xDE5_0002, |g| {
+        let seeds = g.vec_of(1, 50, |g| (g.u64_in(0, 499), g.u64_in(1, 99)));
         let mut sim = Simulation::new(Vec::<u64>::new());
         for &(start, delay) in &seeds {
-            sim.scheduler_mut().schedule_fn(
-                SimTime::from_ns(start),
-                move |_: &mut Vec<u64>, s| {
+            sim.scheduler_mut()
+                .schedule_fn(SimTime::from_ns(start), move |_: &mut Vec<u64>, s| {
                     let now = s.now();
                     s.schedule_in(SimTime::from_ns(delay), move |w: &mut Vec<u64>, s2| {
                         assert!(s2.now() >= now);
                         w.push(s2.now().as_ns());
                     });
-                },
-            );
+                });
         }
         sim.run();
         let fired = sim.world();
-        prop_assert_eq!(fired.len(), seeds.len());
+        assert_eq!(fired.len(), seeds.len());
         for w in fired.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
-    }
+    });
+}
 
-    /// `Summary::merge` is equivalent to a single-stream accumulation for
-    /// any split point, and merging is associative enough for sweeps.
-    #[test]
-    fn summary_merge_any_split(data in proptest::collection::vec(-1e6f64..1e6, 2..300),
-                               split_sel in 0usize..300) {
-        let split = split_sel % data.len();
+/// `Summary::merge` is equivalent to a single-stream accumulation for
+/// any split point, and merging is associative enough for sweeps.
+#[test]
+fn summary_merge_any_split() {
+    forall(128, 0xDE5_0003, |g| {
+        let data = g.vec_of(2, 300, |g| g.f64_in(-1e6, 1e6));
+        let split = g.usize_in(0, 299) % data.len();
         let mut whole = Summary::new();
         data.iter().for_each(|&x| whole.record(x));
         let mut a = Summary::new();
@@ -67,36 +69,44 @@ proptest! {
         data[..split].iter().for_each(|&x| a.record(x));
         data[split..].iter().for_each(|&x| b.record(x));
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
-        prop_assert!((a.stddev() - whole.stddev()).abs() <= 1e-6 * whole.stddev().abs().max(1.0));
-        prop_assert_eq!(a.min(), whole.min());
-        prop_assert_eq!(a.max(), whole.max());
-    }
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        assert!((a.stddev() - whole.stddev()).abs() <= 1e-6 * whole.stddev().abs().max(1.0));
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    });
+}
 
-    /// Split RNG streams are stable: splitting with the same label always
-    /// yields the same stream, and distinct labels diverge.
-    #[test]
-    fn rng_split_determinism(seed in any::<u64>(), l1 in any::<u64>(), l2 in any::<u64>()) {
+/// Split RNG streams are stable: splitting with the same label always
+/// yields the same stream, and distinct labels diverge.
+#[test]
+fn rng_split_determinism() {
+    forall(256, 0xDE5_0004, |g| {
+        let seed = g.any_u64();
+        let l1 = g.any_u64();
+        let l2 = g.any_u64();
         let parent = SimRng::new(seed);
         let mut a1 = parent.split(l1);
         let mut a2 = parent.split(l1);
         for _ in 0..8 {
-            prop_assert_eq!(a1.next(), a2.next());
+            assert_eq!(a1.next(), a2.next());
         }
         if l1 != l2 {
             let mut b = parent.split(l2);
             let mut a = parent.split(l1);
             let agree = (0..8).filter(|_| a.next() == b.next()).count();
-            prop_assert!(agree < 8, "distinct labels produced identical streams");
+            assert!(agree < 8, "distinct labels produced identical streams");
         }
-    }
+    });
+}
 
-    /// run_until never advances the clock past the horizon, and running the
-    /// remainder afterwards fires everything exactly once.
-    #[test]
-    fn horizon_is_respected(times in proptest::collection::vec(0u64..1_000, 1..100),
-                            horizon in 0u64..1_000) {
+/// run_until never advances the clock past the horizon, and running the
+/// remainder afterwards fires everything exactly once.
+#[test]
+fn horizon_is_respected() {
+    forall(128, 0xDE5_0005, |g| {
+        let times = g.vec_of(1, 100, |g| g.u64_in(0, 999));
+        let horizon = g.u64_in(0, 999);
         let mut sim = Simulation::new(0usize);
         for &t in &times {
             sim.scheduler_mut()
@@ -104,11 +114,11 @@ proptest! {
         }
         sim.run_until(SimTime::from_ns(horizon));
         let before = times.iter().filter(|&&t| t <= horizon).count();
-        prop_assert_eq!(*sim.world(), before);
-        prop_assert!(sim.now() <= SimTime::from_ns(horizon));
+        assert_eq!(*sim.world(), before);
+        assert!(sim.now() <= SimTime::from_ns(horizon));
         sim.run();
-        prop_assert_eq!(*sim.world(), times.len());
-    }
+        assert_eq!(*sim.world(), times.len());
+    });
 }
 
 /// Deterministic replay: two identical simulations produce identical event

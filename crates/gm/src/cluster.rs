@@ -243,8 +243,11 @@ fn transmit_now(pkt: Packet, cl: &mut Cluster, s: &mut ClusterSched) {
     let src = pkt.src.node;
     let dst = pkt.dst.node;
     if cl.trace.is_enabled() {
-        cl.trace
-            .record(s.now(), &format!("nic{}.send", src.0), format!("{:?}", pkt.kind));
+        cl.trace.record(
+            s.now(),
+            &format!("nic{}.send", src.0),
+            format!("{:?}", pkt.kind),
+        );
     }
     if src == dst {
         // NIC-internal loopback: the packet never touches the wire.
@@ -267,7 +270,9 @@ fn transmit_now(pkt: Packet, cl: &mut Cluster, s: &mut ClusterSched) {
                         format!("{:?}", pkt.kind),
                     );
                 }
-                let outs = cl.nodes[dst.0].mcp.handle_wire_packet(pkt, corrupted, s.now());
+                let outs = cl.nodes[dst.0]
+                    .mcp
+                    .handle_wire_packet(pkt, corrupted, s.now());
                 pump(dst, outs, cl, s);
             });
         }
@@ -368,7 +373,11 @@ fn apply_actions(
                 let at = cl.nodes[node.0].host.reserve(SimTime::ZERO, s.now());
                 s.schedule_fn(at, move |cl, _| {
                     for _ in 0..n {
-                        cl.nodes[node.0].mcp.core.port_mut(port).provide_recv_token();
+                        cl.nodes[node.0]
+                            .mcp
+                            .core
+                            .port_mut(port)
+                            .provide_recv_token();
                     }
                 });
             }

@@ -69,7 +69,10 @@ impl Connection {
     /// Allocate the next transmit sequence number.
     pub fn assign_seq(&mut self) -> Seq {
         let s = self.next_tx;
-        self.next_tx = self.next_tx.checked_add(1).expect("sequence space exhausted");
+        self.next_tx = self
+            .next_tx
+            .checked_add(1)
+            .expect("sequence space exhausted");
         s
     }
 
@@ -86,7 +89,10 @@ impl Connection {
                 "sent list out of order: {seq}"
             );
         }
-        self.sent.push_back(SentEntry { packet, sent_at: at });
+        self.sent.push_back(SentEntry {
+            packet,
+            sent_at: at,
+        });
     }
 
     /// Apply a cumulative ack: drop every entry with `seq < ack`.
@@ -300,7 +306,9 @@ mod tests {
         let q = c.assign_seq();
         c.record_sent(pkt(q), SimTime::from_ns(10));
         // A timer armed for an older transmission instant must not fire.
-        assert!(c.on_timeout(0, SimTime::from_ns(5), SimTime::from_us(1)).is_empty());
+        assert!(c
+            .on_timeout(0, SimTime::from_ns(5), SimTime::from_us(1))
+            .is_empty());
         // The live one does.
         let re = c.on_timeout(0, SimTime::from_ns(10), SimTime::from_us(1));
         assert_eq!(re.len(), 1);
@@ -312,7 +320,9 @@ mod tests {
         let q = c.assign_seq();
         c.record_sent(pkt(q), SimTime::from_ns(10));
         c.on_ack(1);
-        assert!(c.on_timeout(0, SimTime::from_ns(10), SimTime::from_us(1)).is_empty());
+        assert!(c
+            .on_timeout(0, SimTime::from_ns(10), SimTime::from_us(1))
+            .is_empty());
     }
 
     #[test]

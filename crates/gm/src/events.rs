@@ -38,6 +38,12 @@ pub enum GmEvent {
         /// The reduced value.
         value: u64,
     },
+    /// A NIC-based prefix scan completed; `value` is this rank's inclusive
+    /// prefix.
+    ScanComplete {
+        /// This rank's prefix result.
+        value: u64,
+    },
 }
 
 impl GmEvent {

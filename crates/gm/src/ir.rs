@@ -1,0 +1,191 @@
+//! The collective schedule IR: a compiled, per-rank program of explicit
+//! steps that both the NIC firmware extension and the host-based baselines
+//! interpret.
+//!
+//! §4.2 of the paper puts the barrier's state "in the *send token*"; §5.1
+//! keeps schedule *construction* on the host ("the tree construction is a
+//! relatively computationally intensive task which can easily be computed
+//! at the host"). The IR is the concrete form of that split: a compiler
+//! (`nic_barrier::schedule::compile`) turns an algorithm descriptor into a
+//! [`CollectiveSchedule`] — a flat list of [`ScheduleStep`]s — and the
+//! executors walk the program step by step without knowing which algorithm
+//! produced it. Firmware-side costs are named symbolically by [`Charge`]
+//! so the same program carries its own cost annotations; the host-side
+//! interpreter ignores them and pays ordinary GM send/receive overheads.
+
+use crate::ids::GlobalPort;
+
+/// Combining operator for value-carrying collectives (u64 operands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Wrapping sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Combine two operands.
+    pub fn combine(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// The identity element.
+    pub fn identity(self) -> u64 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Min => u64::MAX,
+            ReduceOp::Max => 0,
+        }
+    }
+}
+
+/// Symbolic firmware cost of executing one step (resolved against the
+/// calibrated `BarrierCosts` table by the NIC interpreter; ignored by the
+/// host interpreter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Charge {
+    /// Preparing and queueing one pairwise-exchange-style packet (§5.2's
+    /// SDMA-side work).
+    ExchangeSend,
+    /// Matching one awaited packet against the record and advancing
+    /// (§5.2's RDMA-side five-step update).
+    ExchangeMatch,
+    /// Consuming one gather message (tree walk + combine).
+    Gather,
+    /// Re-queueing the token for one broadcast child.
+    ChildSend,
+    /// No firmware charge — e.g. the GB gather-up send, which piggybacks
+    /// on the state update that absorbed the last child.
+    Free,
+}
+
+/// Symbolic cost of picking up the collective token itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenCharge {
+    /// A PE-style token: a flat peer list, cheap to parse.
+    Light,
+    /// A tree token: the firmware parses the neighbourhood and sets up
+    /// tree state (§6 blames this overhead for NIC-GB's two-node loss).
+    Tree,
+}
+
+/// Which completion event a [`ScheduleStep::DeliverCompletion`] DMAs to
+/// the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// `GM_BARRIER_COMPLETED_EVENT`.
+    Barrier,
+    /// A broadcast value delivery.
+    Broadcast,
+    /// A reduction result (at the root, or everywhere for allreduce).
+    Reduce,
+    /// A prefix-scan result.
+    Scan,
+}
+
+/// One step of a compiled collective program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleStep {
+    /// Send the accumulator to each peer in order as a packet of `kind`.
+    SendTo {
+        /// Destination endpoints, sent back to back.
+        peers: Vec<GlobalPort>,
+        /// Wire packet kind (`nic_barrier::nic::pkt`).
+        kind: u8,
+        /// Firmware cost per packet.
+        charge: Charge,
+    },
+    /// Wait until a packet of `kind` has arrived from every peer,
+    /// consuming them in any order as they land.
+    RecvFrom {
+        /// Endpoints that must each deliver one packet.
+        peers: Vec<GlobalPort>,
+        /// Wire packet kind expected.
+        kind: u8,
+        /// `Some(op)`: fold each arriving value into the accumulator.
+        /// `None`: overwrite the accumulator with the arriving value
+        /// (a broadcast hand-down; harmless for barriers, whose values
+        /// are all zero).
+        combine: Option<ReduceOp>,
+        /// Firmware cost per consumed packet.
+        charge: Charge,
+    },
+    /// DMA the completion event to the host. Placed *before* any trailing
+    /// [`ScheduleStep::SendTo`] so the §5.2 order — completion first,
+    /// forwarding second — is encoded in the program itself.
+    DeliverCompletion(CompletionKind),
+}
+
+/// A compiled per-rank collective program, carried inside the send token
+/// the host posts (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveSchedule {
+    /// The steps, executed in order (receives may park the program).
+    pub steps: Vec<ScheduleStep>,
+    /// Cost class of picking up this token.
+    pub token_charge: TokenCharge,
+}
+
+impl CollectiveSchedule {
+    /// Number of endpoint references in the program (descriptor-size
+    /// proxy: each peer is one record in the posted token).
+    pub fn peer_refs(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                ScheduleStep::SendTo { peers, .. } | ScheduleStep::RecvFrom { peers, .. } => {
+                    peers.len()
+                }
+                ScheduleStep::DeliverCompletion(_) => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_semantics() {
+        assert_eq!(ReduceOp::Sum.combine(3, 4), 7);
+        assert_eq!(ReduceOp::Sum.combine(u64::MAX, 1), 0, "wrapping");
+        assert_eq!(ReduceOp::Min.combine(3, 4), 3);
+        assert_eq!(ReduceOp::Max.combine(3, 4), 4);
+        for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max] {
+            for x in [0u64, 1, 17, u64::MAX] {
+                assert_eq!(op.combine(op.identity(), x), x, "{op:?} identity");
+            }
+        }
+    }
+
+    #[test]
+    fn peer_refs_counts_every_endpoint() {
+        let gp = |n: usize| GlobalPort::new(n, 1);
+        let s = CollectiveSchedule {
+            steps: vec![
+                ScheduleStep::RecvFrom {
+                    peers: vec![gp(1), gp(2)],
+                    kind: 2,
+                    combine: None,
+                    charge: Charge::Gather,
+                },
+                ScheduleStep::DeliverCompletion(CompletionKind::Barrier),
+                ScheduleStep::SendTo {
+                    peers: vec![gp(1)],
+                    kind: 3,
+                    charge: Charge::ChildSend,
+                },
+            ],
+            token_charge: TokenCharge::Tree,
+        };
+        assert_eq!(s.peer_refs(), 3);
+    }
+}

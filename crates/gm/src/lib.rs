@@ -10,6 +10,10 @@
 //!   describes a send event, a *receive token* describes a host buffer. The
 //!   barrier extension stores its entire state inside a send token, exactly
 //!   as §4.2 of the paper describes.
+//! * **The schedule IR** ([`ir`]) — the compiled per-rank collective
+//!   program a collective send token carries: explicit send/receive/
+//!   complete steps with symbolic firmware charges, interpreted by the
+//!   NIC extension and the host baselines alike.
 //! * **Connections** ([`connection`]) — reliable NIC-to-NIC channels with
 //!   sequence numbers, cumulative acks, nacks and go-back-N retransmission.
 //! * **The MCP** ([`mcp`]) — the four firmware state machines of the paper's
@@ -34,6 +38,7 @@ pub mod events;
 pub mod ext;
 pub mod host;
 pub mod ids;
+pub mod ir;
 pub mod mcp;
 pub mod packet;
 pub mod port;
@@ -46,6 +51,7 @@ pub use events::GmEvent;
 pub use ext::{McpExtension, NullExtension};
 pub use host::{Host, HostAction, HostCtx, HostProgram};
 pub use ids::{GlobalPort, NodeId, PortId, GM_FIRST_USER_PORT, GM_NUM_PORTS};
+pub use ir::{Charge, CollectiveSchedule, CompletionKind, ReduceOp, ScheduleStep, TokenCharge};
 pub use mcp::{Mcp, McpCore, McpOutput, TimerKind};
 pub use packet::{ExtPacket, Packet, PacketKind};
-pub use token::{CollectiveStep, CollectiveToken, SendToken, StepKind};
+pub use token::{CollectiveToken, SendToken};

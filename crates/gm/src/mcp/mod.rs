@@ -125,7 +125,9 @@ impl McpCore {
             config,
             hw: NicHardware::new(config.nic),
             ports: new_port_table(),
-            conns: (0..cluster_size).map(|p| Connection::new(NodeId(p))).collect(),
+            conns: (0..cluster_size)
+                .map(|p| Connection::new(NodeId(p)))
+                .collect(),
             stats: McpStats::default(),
         }
     }
@@ -262,11 +264,7 @@ impl McpCore {
         let t = self.exec(rdma_cycles, ready);
         let done = self.hw.rdma.begin(ev.rdma_bytes(), t);
         self.stats.host_events += 1;
-        out.push(McpOutput::HostEvent {
-            at: done,
-            port,
-            ev,
-        });
+        out.push(McpOutput::HostEvent { at: done, port, ev });
     }
 }
 
@@ -312,11 +310,7 @@ impl Mcp {
     pub fn handle_timer(&mut self, kind: TimerKind, now: SimTime) -> Vec<McpOutput> {
         let mut out = Vec::new();
         match kind {
-            TimerKind::Rto {
-                peer,
-                seq,
-                sent_at,
-            } => {
+            TimerKind::Rto { peer, seq, sent_at } => {
                 let again = self.core.conn_mut(peer).on_timeout(seq, sent_at, now);
                 self.core.stats.retx += again.len() as u64;
                 for pkt in again {
@@ -385,7 +379,13 @@ mod tests {
             a: 0,
             b: 0,
         };
-        c.send_ext(PortId(1), GlobalPort::new(2, 1), body, SimTime::ZERO, &mut out);
+        c.send_ext(
+            PortId(1),
+            GlobalPort::new(2, 1),
+            body,
+            SimTime::ZERO,
+            &mut out,
+        );
         assert!(matches!(out[0], McpOutput::Timer { .. }));
         assert!(matches!(out[1], McpOutput::Transmit { .. }));
         assert_eq!(c.conn(NodeId(2)).in_flight(), 1);
@@ -404,7 +404,13 @@ mod tests {
             a: 0,
             b: 0,
         };
-        c.send_ext(PortId(1), GlobalPort::new(2, 1), body, SimTime::ZERO, &mut out);
+        c.send_ext(
+            PortId(1),
+            GlobalPort::new(2, 1),
+            body,
+            SimTime::ZERO,
+            &mut out,
+        );
         assert_eq!(out.len(), 1, "no timer in unreliable mode");
         assert!(matches!(out[0], McpOutput::Transmit { .. }));
         assert_eq!(c.conn(NodeId(2)).in_flight(), 0);

@@ -34,10 +34,7 @@ impl Mcp {
                 }
                 let acked = self.core.conn_mut(pkt.src.node).on_ack_drain(ack);
                 for entry in acked {
-                    if let PacketKind::Data {
-                        tag, notify, ..
-                    } = entry.packet.kind
-                    {
+                    if let PacketKind::Data { tag, notify, .. } = entry.packet.kind {
                         // The send event's resources are free: the send
                         // token returns to the process.
                         let port = entry.packet.src.port;
@@ -59,9 +56,7 @@ impl Mcp {
                 self.core.stats.retx += again.len() as u64;
                 self.retransmit(pkt.src.node, again, t, &mut out);
             }
-            PacketKind::Data {
-                seq, len, tag, ..
-            } => {
+            PacketKind::Data { seq, len, tag, .. } => {
                 let t = self.core.exec(costs.recv_cycles, now);
                 if corrupted {
                     self.core.stats.crc_drops += 1;
@@ -247,7 +242,15 @@ mod tests {
             .count();
         let deliveries = out
             .iter()
-            .filter(|o| matches!(o, McpOutput::HostEvent { ev: GmEvent::Recv { .. }, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    McpOutput::HostEvent {
+                        ev: GmEvent::Recv { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!((acks, deliveries), (1, 1));
         assert_eq!(m.core.stats.data_delivered, 1);
@@ -261,9 +264,7 @@ mod tests {
             o,
             McpOutput::Transmit { pkt, .. } if matches!(pkt.kind, PacketKind::Nack { expected: 0 })
         )));
-        assert!(!out
-            .iter()
-            .any(|o| matches!(o, McpOutput::HostEvent { .. })));
+        assert!(!out.iter().any(|o| matches!(o, McpOutput::HostEvent { .. })));
     }
 
     #[test]

@@ -168,19 +168,8 @@ mod tests {
             a: 1,
             b: 2,
         };
-        assert!(mk(PacketKind::Ext {
-            seq: Some(9),
-            body
-        })
-        .is_reliable());
+        assert!(mk(PacketKind::Ext { seq: Some(9), body }).is_reliable());
         assert!(!mk(PacketKind::Ext { seq: None, body }).is_reliable());
-        assert_eq!(
-            mk(PacketKind::Ext {
-                seq: Some(9),
-                body
-            })
-            .seq(),
-            Some(9)
-        );
+        assert_eq!(mk(PacketKind::Ext { seq: Some(9), body }).seq(), Some(9));
     }
 }

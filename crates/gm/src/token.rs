@@ -8,70 +8,27 @@
 //! will be exchanged, as well as an index".
 
 use crate::ids::{GlobalPort, PortId};
-
-/// How one step of a collective schedule interacts with its peer. Encodes
-/// both PE exchanges and the fold-in/fold-out steps that generalize PE to
-/// non-power-of-two groups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StepKind {
-    /// Send to the peer, then wait to receive from it (a PE exchange).
-    SendRecv,
-    /// Send to the peer and advance immediately.
-    SendOnly,
-    /// Wait to receive from the peer without sending.
-    RecvOnly,
-}
-
-/// One step of a collective schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CollectiveStep {
-    /// The remote endpoint to interact with.
-    pub peer: GlobalPort,
-    /// How to interact.
-    pub kind: StepKind,
-}
+use crate::ir::CollectiveSchedule;
 
 /// The descriptor a host passes in `gm_barrier_send_with_callback()` (and
-/// its collective siblings). For PE the `steps` list is the exchange
-/// schedule; for GB the host passes only the node's `parent` and `children`
-/// — §5.1: tree construction is "relatively computationally intensive" and
-/// stays on the host, so only the local neighbourhood crosses the bus.
+/// its collective siblings): a compiled [`CollectiveSchedule`] — the IR
+/// program the firmware interprets — plus this rank's operand value. The
+/// program is compiled on the host (§5.1: tree/schedule construction "can
+/// easily be computed at the host") and only the per-rank slice crosses
+/// the bus, never the full member list.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollectiveToken {
-    /// Extension-defined opcode (which collective, which algorithm).
-    pub op: u8,
-    /// PE-style step schedule (empty for tree collectives).
-    pub steps: Vec<CollectiveStep>,
-    /// GB parent endpoint (`None` at the root and for PE).
-    pub parent: Option<GlobalPort>,
-    /// GB children endpoints (empty for PE).
-    pub children: Vec<GlobalPort>,
+    /// The compiled per-rank program.
+    pub schedule: CollectiveSchedule,
     /// Operand for value-carrying collectives (reduce contribution,
-    /// broadcast payload); barriers ignore it.
+    /// broadcast payload, scan contribution); barriers ignore it.
     pub value: u64,
 }
 
 impl CollectiveToken {
-    /// A PE-schedule token.
-    pub fn pairwise(op: u8, steps: Vec<CollectiveStep>) -> Self {
-        CollectiveToken {
-            op,
-            steps,
-            parent: None,
-            children: Vec::new(),
-            value: 0,
-        }
-    }
-
-    /// A tree token from the local neighbourhood.
-    pub fn tree(op: u8, parent: Option<GlobalPort>, children: Vec<GlobalPort>) -> Self {
-        CollectiveToken {
-            op,
-            steps: Vec::new(),
-            parent,
-            children,
-            value: 0,
-        }
+    /// A token carrying `schedule` with a zero operand.
+    pub fn new(schedule: CollectiveSchedule) -> Self {
+        CollectiveToken { schedule, value: 0 }
     }
 
     /// Attach an operand value (builder style).
@@ -80,16 +37,10 @@ impl CollectiveToken {
         self
     }
 
-    /// True at a GB tree root.
-    pub fn is_root(&self) -> bool {
-        self.parent.is_none()
-    }
-
     /// Host→NIC descriptor size: fixed header plus one endpoint record per
     /// referenced peer. Determines the PIO/DMA cost of posting the token.
     pub fn descriptor_bytes(&self) -> usize {
-        let peers = self.steps.len() + self.children.len() + usize::from(self.parent.is_some());
-        16 + 4 * peers
+        16 + 4 * self.schedule.peer_refs()
     }
 }
 
@@ -130,43 +81,48 @@ impl SendToken {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ir::{Charge, CompletionKind, ScheduleStep, TokenCharge};
 
     fn gp(n: usize, p: u8) -> GlobalPort {
         GlobalPort::new(n, p)
     }
 
-    #[test]
-    fn pairwise_token_shape() {
-        let steps = vec![
-            CollectiveStep {
-                peer: gp(1, 1),
-                kind: StepKind::SendRecv,
-            },
-            CollectiveStep {
-                peer: gp(2, 1),
-                kind: StepKind::SendRecv,
-            },
-        ];
-        let t = CollectiveToken::pairwise(1, steps.clone());
-        assert_eq!(t.steps, steps);
-        assert!(t.is_root());
-        assert_eq!(t.descriptor_bytes(), 16 + 8);
+    fn exchange_program(peers: &[GlobalPort]) -> CollectiveSchedule {
+        let mut steps = Vec::new();
+        for p in peers {
+            steps.push(ScheduleStep::SendTo {
+                peers: vec![*p],
+                kind: 1,
+                charge: Charge::ExchangeSend,
+            });
+            steps.push(ScheduleStep::RecvFrom {
+                peers: vec![*p],
+                kind: 1,
+                combine: None,
+                charge: Charge::ExchangeMatch,
+            });
+        }
+        steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Barrier));
+        CollectiveSchedule {
+            steps,
+            token_charge: TokenCharge::Light,
+        }
     }
 
     #[test]
-    fn tree_token_shape() {
-        let t = CollectiveToken::tree(2, Some(gp(0, 1)), vec![gp(3, 1), gp(4, 1)]);
-        assert!(!t.is_root());
-        assert_eq!(t.children.len(), 2);
-        assert_eq!(t.descriptor_bytes(), 16 + 12);
-        let root = CollectiveToken::tree(2, None, vec![gp(1, 1)]);
-        assert!(root.is_root());
+    fn descriptor_bytes_scale_with_peer_refs() {
+        let t = CollectiveToken::new(exchange_program(&[gp(1, 1), gp(2, 1)]));
+        // Two exchanges = 4 endpoint records (send + recv each).
+        assert_eq!(t.descriptor_bytes(), 16 + 16);
+        let empty = CollectiveToken::new(exchange_program(&[]));
+        assert_eq!(empty.descriptor_bytes(), 16);
     }
 
     #[test]
     fn value_builder() {
-        let t = CollectiveToken::tree(3, None, vec![]).with_value(42);
+        let t = CollectiveToken::new(exchange_program(&[])).with_value(42);
         assert_eq!(t.value, 42);
+        assert_eq!(CollectiveToken::new(exchange_program(&[])).value, 0);
     }
 
     #[test]
@@ -181,7 +137,7 @@ mod tests {
         assert_eq!(d.src_port(), PortId(2));
         let c = SendToken::Collective {
             src_port: PortId(3),
-            token: CollectiveToken::pairwise(1, vec![]),
+            token: CollectiveToken::new(exchange_program(&[gp(1, 1)])),
         };
         assert_eq!(c.src_port(), PortId(3));
     }

@@ -118,7 +118,11 @@ fn duplicate_ext_packet_is_dispatched_once() {
     let mut m = mcp();
     m.handle_wire_packet(ext_pkt(Some(0), 7), false, SimTime::ZERO);
     m.handle_wire_packet(ext_pkt(Some(0), 7), false, SimTime::from_us(5));
-    assert_eq!(ext_of(&m).packets.len(), 1, "duplicates must not re-dispatch");
+    assert_eq!(
+        ext_of(&m).packets.len(),
+        1,
+        "duplicates must not re-dispatch"
+    );
     assert_eq!(m.core.stats.dup_drops, 1);
 }
 
@@ -147,7 +151,10 @@ fn collective_token_routed_to_extension() {
     m.handle_send_token(
         SendToken::Collective {
             src_port: PortId(1),
-            token: CollectiveToken::pairwise(1, vec![]),
+            token: CollectiveToken::new(gmsim_gm::CollectiveSchedule {
+                steps: vec![],
+                token_charge: gmsim_gm::TokenCharge::Light,
+            }),
         },
         SimTime::ZERO,
     );
@@ -175,7 +182,11 @@ fn corrupted_ack_is_ignored() {
         kind: PacketKind::Ack { ack: 1 },
     };
     m.handle_wire_packet(ack, true, SimTime::from_us(100)); // corrupted
-    assert_eq!(m.core.conn(NodeId(1)).in_flight(), 1, "corrupted ack ignored");
+    assert_eq!(
+        m.core.conn(NodeId(1)).in_flight(),
+        1,
+        "corrupted ack ignored"
+    );
     assert_eq!(m.core.stats.crc_drops, 1);
 }
 
@@ -274,9 +285,13 @@ fn data_and_ext_share_one_ordered_stream() {
         },
     };
     let outs = m.handle_wire_packet(data, false, SimTime::from_us(10));
-    assert!(outs
-        .iter()
-        .any(|o| matches!(o, McpOutput::HostEvent { ev: GmEvent::Recv { .. }, .. })));
+    assert!(outs.iter().any(|o| matches!(
+        o,
+        McpOutput::HostEvent {
+            ev: GmEvent::Recv { .. },
+            ..
+        }
+    )));
     m.handle_wire_packet(ext1, false, SimTime::from_us(20));
     assert_eq!(ext_of(&m).packets.len(), 1, "ext delivered after the data");
 }

@@ -1,11 +1,11 @@
-//! Property-based tests of the go-back-N reliability machinery: for any
+//! Randomized tests of the go-back-N reliability machinery: for any
 //! interleaving of transmissions, drops, acks, nacks and timeouts, the
 //! receiver delivers every sequence number exactly once, in order.
 
+use gmsim_des::check::forall;
 use gmsim_des::SimTime;
 use gmsim_gm::connection::RxVerdict;
 use gmsim_gm::{Connection, GlobalPort, NodeId, Packet, PacketKind};
-use proptest::prelude::*;
 
 fn data(seq: u32) -> Packet {
     Packet {
@@ -20,11 +20,12 @@ fn data(seq: u32) -> Packet {
     }
 }
 
-proptest! {
-    /// Sender-side: any ack/nack interleaving keeps the sent list a sorted
-    /// window and never resurrects acknowledged packets.
-    #[test]
-    fn sender_window_invariants(ops in proptest::collection::vec((0u8..3, 0u32..40), 1..200)) {
+/// Sender-side: any ack/nack interleaving keeps the sent list a sorted
+/// window and never resurrects acknowledged packets.
+#[test]
+fn sender_window_invariants() {
+    forall(256, 0x6A_0001, |g| {
+        let ops = g.vec_of(1, 200, |g| (g.u8_in(0, 2), g.u32_in(0, 39)));
         let mut c = Connection::new(NodeId(1));
         let mut highest_acked = 0u32;
         let mut sent_count = 0u32;
@@ -51,8 +52,8 @@ proptest! {
                     // nack: retransmit from arg
                     let re = c.on_nack(arg, now);
                     for p in &re {
-                        prop_assert!(p.seq().unwrap() >= arg);
-                        prop_assert!(
+                        assert!(p.seq().unwrap() >= arg);
+                        assert!(
                             p.seq().unwrap() >= highest_acked,
                             "retransmitted an acked packet"
                         );
@@ -62,22 +63,23 @@ proptest! {
             // invariant: the sent window is sorted and above all acks seen
             let mut prev = None;
             if let Some(front) = c.oldest_unacked() {
-                prop_assert!(front.packet.seq().unwrap() >= highest_acked);
+                assert!(front.packet.seq().unwrap() >= highest_acked);
                 prev = front.packet.seq();
             }
             let _ = prev;
         }
-    }
+    });
+}
 
-    /// Receiver-side: present a random arrival order (with duplicates) of
-    /// sequences 0..n; the accept set is exactly 0..n, each exactly once,
-    /// accepted in increasing order.
-    #[test]
-    fn receiver_accepts_each_seq_once_in_order(
-        n in 1u32..30,
-        extra in proptest::collection::vec(0u32..30, 0..60),
-        seed in any::<u64>(),
-    ) {
+/// Receiver-side: present a random arrival order (with duplicates) of
+/// sequences 0..n; the accept set is exactly 0..n, each exactly once,
+/// accepted in increasing order.
+#[test]
+fn receiver_accepts_each_seq_once_in_order() {
+    forall(256, 0x6A_0002, |g| {
+        let n = g.u32_in(1, 29);
+        let extra = g.vec_of(0, 60, |g| g.u32_in(0, 29));
+        let seed = g.any_u64();
         // Build an arrival multiset: every seq at least once plus noise.
         let mut arrivals: Vec<u32> = (0..n).collect();
         arrivals.extend(extra.into_iter().filter(|s| *s < n));
@@ -93,7 +95,7 @@ proptest! {
         let mut guard = 0;
         while accepted.len() < n as usize {
             guard += 1;
-            prop_assert!(guard < 1000, "no progress");
+            assert!(guard < 1000, "no progress");
             for &seq in &arrivals {
                 match c.classify_rx(seq) {
                     RxVerdict::Accept => accepted.push(seq),
@@ -101,33 +103,40 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(accepted.clone(), (0..n).collect::<Vec<_>>());
+        assert_eq!(accepted, (0..n).collect::<Vec<_>>());
         // Everything further is a duplicate.
         for seq in 0..n {
-            prop_assert_eq!(c.classify_rx(seq), RxVerdict::Duplicate);
+            assert_eq!(c.classify_rx(seq), RxVerdict::Duplicate);
         }
-        prop_assert_eq!(c.ack_value(), n);
-    }
+        assert_eq!(c.ack_value(), n);
+    });
+}
 
-    /// peek_rx never mutates: peeking any sequence any number of times
-    /// leaves the ack value unchanged.
-    #[test]
-    fn peek_is_pure(accepts in 0u32..20, probes in proptest::collection::vec(0u32..40, 0..40)) {
+/// peek_rx never mutates: peeking any sequence any number of times
+/// leaves the ack value unchanged.
+#[test]
+fn peek_is_pure() {
+    forall(256, 0x6A_0003, |g| {
+        let accepts = g.u32_in(0, 19);
+        let probes = g.vec_of(0, 40, |g| g.u32_in(0, 39));
         let mut c = Connection::new(NodeId(0));
         for s in 0..accepts {
-            prop_assert_eq!(c.classify_rx(s), RxVerdict::Accept);
+            assert_eq!(c.classify_rx(s), RxVerdict::Accept);
         }
         let ack = c.ack_value();
         for p in probes {
             let _ = c.peek_rx(p);
-            prop_assert_eq!(c.ack_value(), ack);
+            assert_eq!(c.ack_value(), ack);
         }
-    }
+    });
+}
 
-    /// Timeout semantics: a timeout for a (seq, sent_at) pair fires iff
-    /// that exact transmission is still outstanding.
-    #[test]
-    fn timeouts_fire_iff_live(ack_to in 0u32..10) {
+/// Timeout semantics: a timeout for a (seq, sent_at) pair fires iff
+/// that exact transmission is still outstanding.
+#[test]
+fn timeouts_fire_iff_live() {
+    forall(64, 0x6A_0004, |g| {
+        let ack_to = g.u32_in(0, 9);
         let mut c = Connection::new(NodeId(1));
         let mut sent_ats = Vec::new();
         for i in 0..10u32 {
@@ -140,13 +149,13 @@ proptest! {
         for (seq, &at) in (0u32..10).zip(&sent_ats) {
             let re = c.on_timeout(seq, at, SimTime::from_ms(1));
             if seq < ack_to {
-                prop_assert!(re.is_empty(), "acked seq {seq} retransmitted");
+                assert!(re.is_empty(), "acked seq {seq} retransmitted");
             } else {
-                prop_assert!(!re.is_empty(), "live seq {seq} ignored");
+                assert!(!re.is_empty(), "live seq {seq} ignored");
                 // go-back-N: the retransmission covers the tail
-                prop_assert_eq!(re[0].seq().unwrap(), seq);
+                assert_eq!(re[0].seq().unwrap(), seq);
                 break; // sent_at values were refreshed; later probes stale by design
             }
         }
-    }
+    });
 }

@@ -11,8 +11,8 @@
 use crate::config::{BarrierBinding, MpiConfig};
 use crate::ops::MpiOp;
 use gmsim_des::SimTime;
-use gmsim_gm::{GmEvent, HostCtx, HostProgram, StepKind};
-use nic_barrier::{BarrierGroup, CollectiveOp, ReduceOp};
+use gmsim_gm::{CollectiveSchedule, GlobalPort, GmEvent, HostCtx, HostProgram, ScheduleStep};
+use nic_barrier::{BarrierGroup, Descriptor, ReduceOp};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -29,8 +29,11 @@ fn user_tag(tag: u32) -> u64 {
     USER_TAG | tag as u64
 }
 
-fn hbar_tag(round: u64) -> u64 {
-    HBAR_TAG | round
+/// Internal host-barrier tag: round number and the schedule step's packet
+/// kind in the low 32 bits, so cross-round and cross-phase messages never
+/// alias.
+fn hbar_tag(round: u64, kind: u8) -> u64 {
+    HBAR_TAG | (round << 8) | u64::from(kind)
 }
 
 /// Host barrier payload size (matches the host baseline).
@@ -55,9 +58,9 @@ enum Blocked {
 
 #[derive(Debug)]
 struct HostBarrier {
-    steps: Vec<gmsim_gm::CollectiveStep>,
-    idx: usize,
-    sent_current: bool,
+    schedule: CollectiveSchedule,
+    pc: usize,
+    outstanding: Option<Vec<GlobalPort>>,
     round: u64,
 }
 
@@ -134,12 +137,14 @@ impl MpiProcess {
         }
     }
 
-    fn take_hbar(&mut self, src: usize, round: u64) -> bool {
-        match self.hbar_inbox.get_mut(&(src, round)) {
+    /// Consume an unexpected host-barrier message from `src` with the
+    /// given low-32 tag key, if one has arrived.
+    fn take_hbar(&mut self, src: usize, key: u64) -> bool {
+        match self.hbar_inbox.get_mut(&(src, key)) {
             Some(c) if *c > 0 => {
                 *c -= 1;
                 if *c == 0 {
-                    self.hbar_inbox.remove(&(src, round));
+                    self.hbar_inbox.remove(&(src, key));
                 }
                 true
             }
@@ -158,44 +163,48 @@ impl MpiProcess {
     fn drive_hbar(&mut self, ctx: &mut HostCtx) -> bool {
         loop {
             let Some(hb) = &self.hbar else { return true };
-            if hb.idx == hb.steps.len() {
+            if hb.pc == hb.schedule.steps.len() {
                 self.hbar = None;
                 return true;
             }
-            let step = hb.steps[hb.idx];
             let round = hb.round;
-            let peer_rank = self
-                .group
-                .rank_of(step.peer)
-                .expect("barrier peer not in group");
-            match step.kind {
-                StepKind::SendOnly => {
-                    ctx.compute(self.config.call_overhead);
-                    ctx.send(step.peer, HBAR_BYTES, hbar_tag(round));
-                    self.hbar.as_mut().unwrap().idx += 1;
-                }
-                StepKind::SendRecv => {
-                    if !self.hbar.as_ref().unwrap().sent_current {
+            match hb.schedule.steps[hb.pc].clone() {
+                ScheduleStep::SendTo { peers, kind, .. } => {
+                    for peer in peers {
                         ctx.compute(self.config.call_overhead);
-                        ctx.send(step.peer, HBAR_BYTES, hbar_tag(round));
-                        self.hbar.as_mut().unwrap().sent_current = true;
+                        ctx.send(peer, HBAR_BYTES, hbar_tag(round, kind));
                     }
-                    if self.take_hbar(peer_rank, round) {
-                        ctx.compute(self.config.recv_overhead);
-                        let hb = self.hbar.as_mut().unwrap();
-                        hb.idx += 1;
-                        hb.sent_current = false;
+                    self.hbar.as_mut().unwrap().pc += 1;
+                }
+                ScheduleStep::RecvFrom { peers, kind, .. } => {
+                    let key = hbar_tag(round, kind) & 0xFFFF_FFFF;
+                    let pending = self
+                        .hbar
+                        .as_mut()
+                        .unwrap()
+                        .outstanding
+                        .take()
+                        .unwrap_or(peers);
+                    let mut still_waiting = Vec::new();
+                    for peer in pending {
+                        let peer_rank =
+                            self.group.rank_of(peer).expect("barrier peer not in group");
+                        if self.take_hbar(peer_rank, key) {
+                            ctx.compute(self.config.recv_overhead);
+                        } else {
+                            still_waiting.push(peer);
+                        }
+                    }
+                    let hb = self.hbar.as_mut().unwrap();
+                    if still_waiting.is_empty() {
+                        hb.pc += 1;
                     } else {
+                        hb.outstanding = Some(still_waiting);
                         return false;
                     }
                 }
-                StepKind::RecvOnly => {
-                    if self.take_hbar(peer_rank, round) {
-                        ctx.compute(self.config.recv_overhead);
-                        self.hbar.as_mut().unwrap().idx += 1;
-                    } else {
-                        return false;
-                    }
+                ScheduleStep::DeliverCompletion(_) => {
+                    self.hbar.as_mut().unwrap().pc += 1;
                 }
             }
         }
@@ -207,15 +216,13 @@ impl MpiProcess {
     fn rotated_broadcast_token(&self, root: usize, value: u64) -> gmsim_gm::CollectiveToken {
         let n = self.group.len();
         let virt = (self.rank + n - root) % n;
-        let unrot = |v: usize| self.group.member((v + root) % n);
-        let dim = 2;
-        let parent = nic_barrier::schedule::gb::parent(virt, dim).map(unrot);
-        let children = nic_barrier::schedule::gb::children(virt, dim, n)
-            .into_iter()
-            .map(unrot)
-            .collect();
-        gmsim_gm::CollectiveToken::tree(CollectiveOp::Broadcast.encode(), parent, children)
-            .with_value(if self.rank == root { value } else { 0 })
+        let rotated: Vec<GlobalPort> = (0..n).map(|v| self.group.member((v + root) % n)).collect();
+        let schedule = nic_barrier::compile(Descriptor::Bcast { dim: 2 }, virt, &rotated);
+        gmsim_gm::CollectiveToken::new(schedule).with_value(if self.rank == root {
+            value
+        } else {
+            0
+        })
     }
 
     /// Execute ops until the script blocks or finishes.
@@ -285,9 +292,9 @@ impl MpiProcess {
                             let round = self.barrier_round;
                             self.barrier_round += 1;
                             self.hbar = Some(HostBarrier {
-                                steps: self.group.pe_steps(self.rank),
-                                idx: 0,
-                                sent_current: false,
+                                schedule: self.group.compile(Descriptor::Pe, self.rank),
+                                pc: 0,
+                                outstanding: None,
                                 round,
                             });
                             if self.drive_hbar(ctx) {
@@ -308,6 +315,12 @@ impl MpiProcess {
                 MpiOp::AllReduce { op, value } => {
                     ctx.compute(self.config.call_overhead);
                     ctx.start_collective(self.allreduce_token(op, value));
+                    self.blocked = Blocked::NicCollective;
+                    return;
+                }
+                MpiOp::Scan { op, value } => {
+                    ctx.compute(self.config.call_overhead);
+                    ctx.start_collective(self.group.scan_token(op, self.rank, value));
                     self.blocked = Blocked::NicCollective;
                     return;
                 }
@@ -334,8 +347,8 @@ impl HostProgram for MpiProcess {
                     .rank_of(*src)
                     .expect("message from outside the group");
                 if tag & HBAR_TAG != 0 {
-                    let round = tag & 0xFFFF_FFFF;
-                    *self.hbar_inbox.entry((src_rank, round)).or_default() += 1;
+                    let key = tag & 0xFFFF_FFFF;
+                    *self.hbar_inbox.entry((src_rank, key)).or_default() += 1;
                     if self.blocked == Blocked::HostBarrier && self.drive_hbar(ctx) {
                         self.stats.barriers += 1;
                         self.blocked = Blocked::No;
@@ -344,7 +357,11 @@ impl HostProgram for MpiProcess {
                 } else {
                     let utag = (tag & 0xFFFF_FFFF) as u32;
                     *self.inbox.entry((src_rank, utag)).or_default() += 1;
-                    if self.blocked == (Blocked::Recv { src: src_rank, tag: utag })
+                    if self.blocked
+                        == (Blocked::Recv {
+                            src: src_rank,
+                            tag: utag,
+                        })
                         && self.take_inbox(src_rank, utag)
                     {
                         ctx.compute(self.config.recv_overhead);
@@ -361,7 +378,9 @@ impl HostProgram for MpiProcess {
                     self.step(ctx);
                 }
             }
-            GmEvent::BroadcastComplete { value } | GmEvent::ReduceComplete { value } => {
+            GmEvent::BroadcastComplete { value }
+            | GmEvent::ReduceComplete { value }
+            | GmEvent::ScanComplete { value } => {
                 if self.blocked == Blocked::NicCollective {
                     self.stats.collectives += 1;
                     self.stats.last_value = *value;
@@ -403,7 +422,11 @@ mod tests {
         assert_eq!(p.blocked, Blocked::Recv { src: 1, tag: 9 });
         assert!(p.stats.finished_at.is_none());
         // the matching message unblocks and finishes the script
-        let mut ctx = HostCtx::new(SimTime::from_us(50), gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
+        let mut ctx = HostCtx::new(
+            SimTime::from_us(50),
+            gmsim_gm::NodeId(0),
+            gmsim_gm::PortId(1),
+        );
         p.on_event(
             &GmEvent::Recv {
                 src: group.member(1),
@@ -424,7 +447,11 @@ mod tests {
         let mut p = MpiProcess::new(group.clone(), 0, MpiConfig::nic_based(), program);
         let mut ctx = HostCtx::new(SimTime::ZERO, gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
         p.step(&mut ctx);
-        let mut ctx = HostCtx::new(SimTime::from_us(1), gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
+        let mut ctx = HostCtx::new(
+            SimTime::from_us(1),
+            gmsim_gm::NodeId(0),
+            gmsim_gm::PortId(1),
+        );
         p.on_event(
             &GmEvent::Recv {
                 src: group.member(1),
@@ -441,8 +468,9 @@ mod tests {
     #[test]
     fn tag_namespaces_do_not_collide() {
         assert_ne!(user_tag(0) & HBAR_TAG, HBAR_TAG);
-        assert_ne!(hbar_tag(0) & USER_TAG, USER_TAG);
+        assert_ne!(hbar_tag(0, 1) & USER_TAG, USER_TAG);
         assert_eq!(user_tag(7) & 0xFFFF_FFFF, 7);
-        assert_eq!(hbar_tag(3) & 0xFFFF_FFFF, 3);
+        // round 3, packet kind 1 → (3 << 8) | 1
+        assert_eq!(hbar_tag(3, 1) & 0xFFFF_FFFF, 0x301);
     }
 }

@@ -40,6 +40,13 @@ pub enum MpiOp {
         /// This rank's contribution.
         value: u64,
     },
+    /// `MPI_Scan`: inclusive prefix of each rank's `value` (NIC-based).
+    Scan {
+        /// Combining operator (must be commutative).
+        op: ReduceOp,
+        /// This rank's contribution.
+        value: u64,
+    },
     /// Local computation.
     Compute(SimTime),
     /// A counted loop over a sub-script.
@@ -93,6 +100,12 @@ impl ScriptBuilder {
         self
     }
 
+    /// Append `MPI_Scan`.
+    pub fn scan(mut self, op: ReduceOp, value: u64) -> Self {
+        self.ops.push(MpiOp::Scan { op, value });
+        self
+    }
+
     /// Append local computation in microseconds.
     pub fn compute_us(mut self, us: u64) -> Self {
         self.ops.push(MpiOp::Compute(SimTime::from_us(us)));
@@ -132,7 +145,14 @@ mod tests {
             .build();
         assert_eq!(s.len(), 4);
         assert!(matches!(s[0], MpiOp::Compute(_)));
-        assert!(matches!(s[1], MpiOp::Send { dst: 1, len: 64, tag: 5 }));
+        assert!(matches!(
+            s[1],
+            MpiOp::Send {
+                dst: 1,
+                len: 64,
+                tag: 5
+            }
+        ));
         assert!(matches!(s[2], MpiOp::Recv { src: 1, tag: 5 }));
         assert!(matches!(s[3], MpiOp::Barrier));
     }

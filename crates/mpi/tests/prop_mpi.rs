@@ -1,15 +1,17 @@
-//! Property tests of the MPI layer: randomly generated *deadlock-free*
+//! Randomized tests of the MPI layer: randomly generated *deadlock-free*
 //! programs (SPMD scripts where every send has a matching receive and
 //! collectives are uniform) always run to completion on the full
 //! simulated cluster, for any binding and any start skew.
 
+use gmsim_des::check::{forall, Gen};
 use gmsim_des::{RunOutcome, SimTime};
 use gmsim_gm::cluster::ClusterBuilder;
 use gmsim_gm::GmConfig;
 use gmsim_lanai::NicModel;
-use gmsim_mpi::{script, BarrierBinding, MpiConfig, MpiOp, MpiProcess, ScriptBuilder, NOTE_MPI_DONE};
+use gmsim_mpi::{
+    script, BarrierBinding, MpiConfig, MpiOp, MpiProcess, ScriptBuilder, NOTE_MPI_DONE,
+};
 use nic_barrier::{BarrierExtension, BarrierGroup, ReduceOp};
-use proptest::prelude::*;
 
 /// One SPMD "statement" that is deadlock-free by construction.
 #[derive(Debug, Clone)]
@@ -26,14 +28,21 @@ enum Stmt {
     AllReduce,
 }
 
-fn stmt() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (1usize..2048, 0u32..8).prop_map(|(len, tag)| Stmt::RingShift { len, tag }),
-        (0u64..100).prop_map(|us| Stmt::Compute { us }),
-        Just(Stmt::Barrier),
-        (0usize..64).prop_map(|root_sel| Stmt::Bcast { root_sel }),
-        Just(Stmt::AllReduce),
-    ]
+fn stmt(g: &mut Gen) -> Stmt {
+    match g.usize_in(0, 4) {
+        0 => Stmt::RingShift {
+            len: g.usize_in(1, 2047),
+            tag: g.u32_in(0, 7),
+        },
+        1 => Stmt::Compute {
+            us: g.u64_in(0, 99),
+        },
+        2 => Stmt::Barrier,
+        3 => Stmt::Bcast {
+            root_sel: g.usize_in(0, 63),
+        },
+        _ => Stmt::AllReduce,
+    }
 }
 
 fn build_script(stmts: &[Stmt], rank: usize, n: usize) -> Vec<MpiOp> {
@@ -54,12 +63,7 @@ fn build_script(stmts: &[Stmt], rank: usize, n: usize) -> Vec<MpiOp> {
     b.build()
 }
 
-fn run(
-    n: usize,
-    stmts: &[Stmt],
-    binding: BarrierBinding,
-    skews: &[u64],
-) -> Result<(), TestCaseError> {
+fn run(n: usize, stmts: &[Stmt], binding: BarrierBinding, skews: &[u64]) {
     let group = BarrierGroup::one_per_node(n, 1);
     let config = MpiConfig {
         barrier: binding,
@@ -81,38 +85,29 @@ fn run(
         );
     }
     let mut sim = b.build();
-    prop_assert_eq!(sim.run(), RunOutcome::Quiescent, "hung: {:?}", stmts);
+    assert_eq!(sim.run(), RunOutcome::Quiescent, "hung: {stmts:?}");
     let done = sim
         .world()
         .notes
         .iter()
         .filter(|nt| nt.tag == NOTE_MPI_DONE)
         .count();
-    prop_assert_eq!(done, n, "{:?}", stmts);
-    Ok(())
+    assert_eq!(done, n, "{stmts:?}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 32,
-        max_shrink_iters: 100,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_spmd_programs_complete(
-        n in 2usize..=8,
-        stmts in proptest::collection::vec(stmt(), 1..12),
-        binding_sel in 0usize..3,
-        skews in proptest::collection::vec(0u64..300, 8),
-    ) {
-        let binding = match binding_sel {
+#[test]
+fn random_spmd_programs_complete() {
+    forall(32, 0x3321_0001, |g| {
+        let n = g.usize_in(2, 8);
+        let stmts = g.vec_of(1, 11, stmt);
+        let binding = match g.usize_in(0, 2) {
             0 => BarrierBinding::NicPe,
             1 => BarrierBinding::NicGb { dim: 2 },
             _ => BarrierBinding::HostPe,
         };
-        run(n, &stmts, binding, &skews)?;
-    }
+        let skews: Vec<u64> = (0..8).map(|_| g.u64_in(0, 299)).collect();
+        run(n, &stmts, binding, &skews);
+    });
 }
 
 /// Regression corners: same-tag back-to-back ring shifts (matching relies
@@ -134,9 +129,7 @@ fn corner_programs_complete() {
         ],
     ];
     for stmts in &corners {
-        run(5, stmts, BarrierBinding::NicPe, &[50, 0, 10, 200, 5])
-            .unwrap_or_else(|e| panic!("{stmts:?}: {e}"));
-        run(5, stmts, BarrierBinding::HostPe, &[0, 0, 0, 0, 99])
-            .unwrap_or_else(|e| panic!("{stmts:?}: {e}"));
+        run(5, stmts, BarrierBinding::NicPe, &[50, 0, 10, 200, 5]);
+        run(5, stmts, BarrierBinding::HostPe, &[0, 0, 0, 0, 99]);
     }
 }

@@ -150,11 +150,7 @@ impl Fabric {
 
         // Tail: with uniform bandwidth the tail trails the head by one
         // serialization time on every link.
-        let ser = self
-            .topology
-            .link(route.links()[0])
-            .spec
-            .serialize(bytes);
+        let ser = self.topology.link(route.links()[0]).spec.serialize(bytes);
         for &(link_id, entry) in &entered {
             let occupied_until = entry + ser;
             self.busy[link_id.0] = self.busy[link_id.0].max(occupied_until);
@@ -235,7 +231,10 @@ mod tests {
         let mut f = fabric(2);
         let d1 = f.send(NicId(0), NicId(1), 64, SimTime::ZERO);
         let d2 = f.send(NicId(1), NicId(0), 64, SimTime::ZERO);
-        assert_eq!(d1.arrival, d2.arrival, "opposite directions are independent");
+        assert_eq!(
+            d1.arrival, d2.arrival,
+            "opposite directions are independent"
+        );
     }
 
     #[test]
@@ -282,8 +281,12 @@ mod tests {
     fn multihop_adds_switch_latency() {
         let chain = TopologyBuilder::switch_chain(3, 1);
         let mut f = Fabric::new(chain);
-        let near = Fabric::new(TopologyBuilder::switch_chain(1, 3))
-            .send(NicId(0), NicId(1), 8, SimTime::ZERO);
+        let near = Fabric::new(TopologyBuilder::switch_chain(1, 3)).send(
+            NicId(0),
+            NicId(1),
+            8,
+            SimTime::ZERO,
+        );
         let far = f.send(NicId(0), NicId(2), 8, SimTime::ZERO);
         assert!(far.arrival > near.arrival);
     }

@@ -155,8 +155,16 @@ impl TopologyBuilder {
 
     /// Join two vertices with a full-duplex cable (two directed links).
     pub fn connect(&mut self, a: Vertex, b: Vertex, spec: LinkSpec) {
-        self.links.push(DirectedLink { from: a, to: b, spec });
-        self.links.push(DirectedLink { from: b, to: a, spec });
+        self.links.push(DirectedLink {
+            from: a,
+            to: b,
+            spec,
+        });
+        self.links.push(DirectedLink {
+            from: b,
+            to: a,
+            spec,
+        });
     }
 
     /// Finish: computes all-pairs NIC-to-NIC shortest routes.
@@ -464,7 +472,11 @@ mod tests {
             let r = t.route(NicId(0), NicId(d));
             uplinks.insert(r.links()[1]);
         }
-        assert!(uplinks.len() >= 4, "only {} distinct uplinks", uplinks.len());
+        assert!(
+            uplinks.len() >= 4,
+            "only {} distinct uplinks",
+            uplinks.len()
+        );
     }
 
     #[test]

@@ -1,17 +1,23 @@
-//! Property-based tests of the wormhole fabric timing model.
+//! Randomized tests of the wormhole fabric timing model.
 
+use gmsim_des::check::forall;
 use gmsim_des::SimTime;
 use gmsim_myrinet::{Fabric, NicId, TopologyBuilder};
-use proptest::prelude::*;
 
-proptest! {
-    /// Physical sanity for arbitrary traffic on a crossbar: arrivals are
-    /// after injection, tx_done is after injection, and both grow
-    /// monotonically with payload size.
-    #[test]
-    fn deliveries_are_causal(
-        sends in proptest::collection::vec((0usize..8, 0usize..8, 1usize..4096, 0u64..10_000), 1..100)
-    ) {
+/// Physical sanity for arbitrary traffic on a crossbar: arrivals are
+/// after injection, tx_done is after injection, and both grow
+/// monotonically with payload size.
+#[test]
+fn deliveries_are_causal() {
+    forall(256, 0x3AB_0001, |g| {
+        let sends = g.vec_of(1, 100, |g| {
+            (
+                g.usize_in(0, 7),
+                g.usize_in(0, 7),
+                g.usize_in(1, 4095),
+                g.u64_in(0, 9_999),
+            )
+        });
         let mut f = Fabric::new(TopologyBuilder::single_switch(8));
         let mut now = SimTime::ZERO;
         for (src, dst, bytes, gap) in sends {
@@ -20,20 +26,21 @@ proptest! {
             }
             now += SimTime::from_ns(gap);
             let d = f.send(NicId(src), NicId(dst), bytes, now);
-            prop_assert!(d.arrival > now, "arrival not after injection");
-            prop_assert!(d.tx_done > now);
-            prop_assert!(d.arrival >= d.tx_done, "tail arrives after it left");
+            assert!(d.arrival > now, "arrival not after injection");
+            assert!(d.tx_done > now);
+            assert!(d.arrival >= d.tx_done, "tail arrives after it left");
         }
-    }
+    });
+}
 
-    /// Contention can only delay: a packet sent on a quiet fabric is a
-    /// lower bound for the same packet sent behind arbitrary other traffic
-    /// to the same destination.
-    #[test]
-    fn contention_is_monotone(
-        noise in proptest::collection::vec((0usize..7, 1usize..2048), 0..30),
-        probe_bytes in 1usize..2048,
-    ) {
+/// Contention can only delay: a packet sent on a quiet fabric is a
+/// lower bound for the same packet sent behind arbitrary other traffic
+/// to the same destination.
+#[test]
+fn contention_is_monotone() {
+    forall(256, 0x3AB_0002, |g| {
+        let noise = g.vec_of(0, 30, |g| (g.usize_in(0, 6), g.usize_in(1, 2047)));
+        let probe_bytes = g.usize_in(1, 2047);
         let quiet = Fabric::new(TopologyBuilder::single_switch(8))
             .send(NicId(0), NicId(7), probe_bytes, SimTime::ZERO)
             .arrival;
@@ -42,14 +49,20 @@ proptest! {
             // all noise targets NIC 7, sharing the probe's last link
             busy.send(NicId(src), NicId(7), bytes, SimTime::ZERO);
         }
-        let contended = busy.send(NicId(0), NicId(7), probe_bytes, SimTime::ZERO).arrival;
-        prop_assert!(contended >= quiet, "{contended:?} < {quiet:?}");
-    }
+        let contended = busy
+            .send(NicId(0), NicId(7), probe_bytes, SimTime::ZERO)
+            .arrival;
+        assert!(contended >= quiet, "{contended:?} < {quiet:?}");
+    });
+}
 
-    /// Chain topologies: latency grows (weakly) with hop distance for the
-    /// same payload.
-    #[test]
-    fn farther_is_slower(switches in 2usize..6, bytes in 1usize..1024) {
+/// Chain topologies: latency grows (weakly) with hop distance for the
+/// same payload.
+#[test]
+fn farther_is_slower() {
+    forall(128, 0x3AB_0003, |g| {
+        let switches = g.usize_in(2, 5);
+        let bytes = g.usize_in(1, 1023);
         let topo = TopologyBuilder::switch_chain(switches, 1);
         let mut arrivals = Vec::new();
         for dst in 1..switches {
@@ -57,22 +70,30 @@ proptest! {
             arrivals.push(f.send(NicId(0), NicId(dst), bytes, SimTime::ZERO).arrival);
         }
         for w in arrivals.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
-    }
+    });
+}
 
-    /// The stats ledger is conserved: sends == drops + corruptions +
-    /// intact deliveries.
-    #[test]
-    fn stats_conserved(
-        sends in proptest::collection::vec((0usize..4, 0usize..4, 1usize..512), 1..100),
-        drop_p in 0.0f64..1.0,
-        seed in any::<u64>(),
-    ) {
+/// The stats ledger is conserved: sends == drops + corruptions +
+/// intact deliveries.
+#[test]
+fn stats_conserved() {
+    forall(256, 0x3AB_0004, |g| {
         use gmsim_myrinet::fault::Fate;
         use gmsim_myrinet::FaultPlan;
-        let mut f = Fabric::new(TopologyBuilder::single_switch(4))
-            .with_faults(FaultPlan { drop_probability: drop_p, corrupt_probability: 0.1 }, seed);
+        let sends = g.vec_of(1, 100, |g| {
+            (g.usize_in(0, 3), g.usize_in(0, 3), g.usize_in(1, 511))
+        });
+        let drop_p = g.f64_in(0.0, 1.0);
+        let seed = g.any_u64();
+        let mut f = Fabric::new(TopologyBuilder::single_switch(4)).with_faults(
+            FaultPlan {
+                drop_probability: drop_p,
+                corrupt_probability: 0.1,
+            },
+            seed,
+        );
         let mut intact = 0u64;
         let mut attempted = 0u64;
         for (src, dst, bytes) in sends {
@@ -85,7 +106,7 @@ proptest! {
             }
         }
         let s = f.stats();
-        prop_assert_eq!(s.sends, attempted);
-        prop_assert_eq!(s.drops + s.corruptions + intact, attempted);
-    }
+        assert_eq!(s.sends, attempted);
+        assert_eq!(s.drops + s.corruptions + intact, attempted);
+    });
 }

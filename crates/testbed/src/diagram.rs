@@ -46,17 +46,47 @@ impl Diagram {
         let mut t = 0.0;
         for _ in 0..rounds {
             let send_end = t + model.send_us;
-            segs.push(Segment { lane: 0, start: t, end: send_end, label: 'S' });
+            segs.push(Segment {
+                lane: 0,
+                start: t,
+                end: send_end,
+                label: 'S',
+            });
             let sdma_end = send_end + model.sdma_us;
-            segs.push(Segment { lane: 1, start: send_end, end: sdma_end, label: 'D' });
+            segs.push(Segment {
+                lane: 1,
+                start: send_end,
+                end: sdma_end,
+                label: 'D',
+            });
             let net_end = sdma_end + model.network_us;
-            segs.push(Segment { lane: 2, start: sdma_end, end: net_end, label: 'N' });
+            segs.push(Segment {
+                lane: 2,
+                start: sdma_end,
+                end: net_end,
+                label: 'N',
+            });
             let recv_end = net_end + model.recv_us;
-            segs.push(Segment { lane: 1, start: net_end, end: recv_end, label: 'R' });
+            segs.push(Segment {
+                lane: 1,
+                start: net_end,
+                end: recv_end,
+                label: 'R',
+            });
             let rdma_end = recv_end + model.rdma_us;
-            segs.push(Segment { lane: 1, start: recv_end, end: rdma_end, label: 'M' });
+            segs.push(Segment {
+                lane: 1,
+                start: recv_end,
+                end: rdma_end,
+                label: 'M',
+            });
             let hrecv_end = rdma_end + model.hrecv_us;
-            segs.push(Segment { lane: 0, start: rdma_end, end: hrecv_end, label: 'H' });
+            segs.push(Segment {
+                lane: 0,
+                start: rdma_end,
+                end: hrecv_end,
+                label: 'H',
+            });
             t = hrecv_end;
         }
         Diagram {
@@ -71,21 +101,51 @@ impl Diagram {
         let rounds = CostModel::rounds(n);
         let mut segs = Vec::new();
         let send_end = model.send_us;
-        segs.push(Segment { lane: 0, start: 0.0, end: send_end, label: 'S' });
+        segs.push(Segment {
+            lane: 0,
+            start: 0.0,
+            end: send_end,
+            label: 'S',
+        });
         let mut t = send_end;
         for _ in 0..rounds {
             let net_end = t + model.network_us;
-            segs.push(Segment { lane: 2, start: t, end: net_end, label: 'N' });
+            segs.push(Segment {
+                lane: 2,
+                start: t,
+                end: net_end,
+                label: 'N',
+            });
             let recv_end = net_end + model.nic_recv_us;
-            segs.push(Segment { lane: 1, start: net_end, end: recv_end, label: 'R' });
+            segs.push(Segment {
+                lane: 1,
+                start: net_end,
+                end: recv_end,
+                label: 'R',
+            });
             let step_end = recv_end + model.nic_step_us;
-            segs.push(Segment { lane: 1, start: recv_end, end: step_end, label: 'P' });
+            segs.push(Segment {
+                lane: 1,
+                start: recv_end,
+                end: step_end,
+                label: 'P',
+            });
             t = step_end;
         }
         let rdma_end = t + model.rdma_us;
-        segs.push(Segment { lane: 1, start: t, end: rdma_end, label: 'M' });
+        segs.push(Segment {
+            lane: 1,
+            start: t,
+            end: rdma_end,
+            label: 'M',
+        });
         let hrecv_end = rdma_end + model.hrecv_us;
-        segs.push(Segment { lane: 0, start: rdma_end, end: hrecv_end, label: 'H' });
+        segs.push(Segment {
+            lane: 0,
+            start: rdma_end,
+            end: hrecv_end,
+            label: 'H',
+        });
         Diagram {
             title: format!("NIC-based barrier, {n} nodes (Eq.2 = {:.2}us)", hrecv_end),
             segments: segs,

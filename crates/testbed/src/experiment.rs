@@ -5,51 +5,50 @@ use gmsim_gm::cluster::ClusterBuilder;
 use gmsim_gm::config::CollectiveWireMode;
 use gmsim_gm::{GlobalPort, GmConfig, HostProgram};
 use gmsim_lanai::NicModel;
-use nic_barrier::programs::{decode_note, NicAlgorithm, NicBarrierLoop};
-use nic_barrier::{BarrierCosts, BarrierExtension, BarrierGroup, HostGbBarrier, HostPeBarrier};
+use nic_barrier::programs::{decode_note, NicBarrierLoop};
+use nic_barrier::{BarrierCosts, BarrierExtension, BarrierGroup, Descriptor, HostBarrierLoop};
 
-/// Which barrier implementation to measure.
+/// Which barrier implementation to measure: a collective algorithm
+/// [`Descriptor`], interpreted either by the NIC firmware extension (the
+/// paper's contribution) or at host level over plain sends (the baseline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
-    /// NIC-based pairwise exchange (the paper's contribution).
-    NicPe,
-    /// NIC-based gather-broadcast with tree dimension `dim`.
-    NicGb {
-        /// Tree arity.
-        dim: usize,
-    },
-    /// Host-based pairwise exchange (baseline).
-    HostPe,
-    /// Host-based gather-broadcast with tree dimension `dim` (baseline).
-    HostGb {
-        /// Tree arity.
-        dim: usize,
-    },
-    /// NIC-based dissemination barrier (extension beyond the paper).
-    NicDissemination,
-    /// Host-based dissemination barrier (extension beyond the paper).
-    HostDissemination,
+    /// NIC-interpreted: one collective token, the firmware runs the
+    /// compiled schedule.
+    Nic(Descriptor),
+    /// Host-interpreted: the same compiled schedule over ordinary GM
+    /// point-to-point messages.
+    Host(Descriptor),
 }
 
 impl Algorithm {
     /// Short display name.
     pub fn name(&self) -> String {
-        match self {
-            Algorithm::NicPe => "NIC-PE".into(),
-            Algorithm::NicGb { dim } => format!("NIC-GB(d={dim})"),
-            Algorithm::HostPe => "host-PE".into(),
-            Algorithm::HostGb { dim } => format!("host-GB(d={dim})"),
-            Algorithm::NicDissemination => "NIC-dissem".into(),
-            Algorithm::HostDissemination => "host-dissem".into(),
+        let (side, desc) = match self {
+            Algorithm::Nic(d) => ("NIC", d),
+            Algorithm::Host(d) => ("host", d),
+        };
+        match desc {
+            Descriptor::Pe => format!("{side}-PE"),
+            Descriptor::Gb { dim } => format!("{side}-GB(d={dim})"),
+            Descriptor::Dissemination => format!("{side}-dissem"),
+            Descriptor::Bcast { dim } => format!("{side}-bcast(d={dim})"),
+            Descriptor::Reduce { dim, .. } => format!("{side}-reduce(d={dim})"),
+            Descriptor::Allreduce { dim, .. } => format!("{side}-allreduce(d={dim})"),
+            Descriptor::Scan { .. } => format!("{side}-scan"),
         }
     }
 
     /// True for the NIC-based variants.
     pub fn is_nic(&self) -> bool {
-        matches!(
-            self,
-            Algorithm::NicPe | Algorithm::NicGb { .. } | Algorithm::NicDissemination
-        )
+        matches!(self, Algorithm::Nic(_))
+    }
+
+    /// The algorithm descriptor being run.
+    pub fn descriptor(&self) -> Descriptor {
+        match self {
+            Algorithm::Nic(d) | Algorithm::Host(d) => *d,
+        }
     }
 }
 
@@ -69,10 +68,10 @@ pub enum Placement {
 /// One barrier-latency experiment.
 ///
 /// ```
-/// use gmsim_testbed::{Algorithm, BarrierExperiment};
+/// use gmsim_testbed::{Algorithm, BarrierExperiment, Descriptor};
 ///
 /// // The paper's headline cell: 16 nodes, NIC-based PE, LANai 4.3.
-/// let m = BarrierExperiment::new(16, Algorithm::NicPe).rounds(60, 10).run();
+/// let m = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe)).rounds(60, 10).run();
 /// assert!((m.mean_us - 102.14).abs() / 102.14 < 0.05);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,9 +181,7 @@ impl BarrierExperiment {
             Placement::Packed { procs_per_node } => {
                 assert!((1..=7).contains(&procs_per_node));
                 let members = (0..self.procs)
-                    .map(|i| {
-                        GlobalPort::new(i / procs_per_node, 1 + (i % procs_per_node) as u8)
-                    })
+                    .map(|i| GlobalPort::new(i / procs_per_node, 1 + (i % procs_per_node) as u8))
                     .collect();
                 BarrierGroup::new(members)
             }
@@ -200,31 +197,10 @@ impl BarrierExperiment {
 
     fn make_program(&self, group: &BarrierGroup, rank: usize) -> Box<dyn HostProgram> {
         match self.algorithm {
-            Algorithm::NicPe => Box::new(NicBarrierLoop::new(
-                group.clone(),
-                rank,
-                NicAlgorithm::Pe,
-                self.rounds,
-            )),
-            Algorithm::NicGb { dim } => Box::new(NicBarrierLoop::new(
-                group.clone(),
-                rank,
-                NicAlgorithm::Gb { dim },
-                self.rounds,
-            )),
-            Algorithm::HostPe => Box::new(HostPeBarrier::new(group, rank, self.rounds)),
-            Algorithm::HostGb { dim } => {
-                Box::new(HostGbBarrier::new(group, rank, dim, self.rounds))
+            Algorithm::Nic(desc) => {
+                Box::new(NicBarrierLoop::new(group.clone(), rank, desc, self.rounds))
             }
-            Algorithm::NicDissemination => Box::new(NicBarrierLoop::new(
-                group.clone(),
-                rank,
-                NicAlgorithm::Dissemination,
-                self.rounds,
-            )),
-            Algorithm::HostDissemination => {
-                Box::new(HostPeBarrier::dissemination(group, rank, self.rounds))
-            }
+            Algorithm::Host(desc) => Box::new(HostBarrierLoop::new(group, rank, desc, self.rounds)),
         }
     }
 
@@ -327,14 +303,14 @@ mod tests {
 
     #[test]
     fn nic_pe_two_nodes_runs() {
-        let m = quick(2, Algorithm::NicPe).run();
+        let m = quick(2, Algorithm::Nic(Descriptor::Pe)).run();
         assert!(m.mean_us > 10.0 && m.mean_us < 200.0, "{}", m.mean_us);
     }
 
     #[test]
     fn nic_pe_beats_host_pe_at_16() {
-        let nic = quick(16, Algorithm::NicPe).run();
-        let host = quick(16, Algorithm::HostPe).run();
+        let nic = quick(16, Algorithm::Nic(Descriptor::Pe)).run();
+        let host = quick(16, Algorithm::Host(Descriptor::Pe)).run();
         assert!(
             nic.mean_us < host.mean_us,
             "nic={} host={}",
@@ -345,15 +321,19 @@ mod tests {
 
     #[test]
     fn round_count_insensitive() {
-        let short = quick(4, Algorithm::NicPe).rounds(60, 10).run();
-        let long = quick(4, Algorithm::NicPe).rounds(400, 10).run();
+        let short = quick(4, Algorithm::Nic(Descriptor::Pe))
+            .rounds(60, 10)
+            .run();
+        let long = quick(4, Algorithm::Nic(Descriptor::Pe))
+            .rounds(400, 10)
+            .run();
         let rel = (short.mean_us - long.mean_us).abs() / long.mean_us;
         assert!(rel < 0.02, "short={} long={}", short.mean_us, long.mean_us);
     }
 
     #[test]
     fn steady_state_is_stable() {
-        let m = quick(8, Algorithm::NicPe).run();
+        let m = quick(8, Algorithm::Nic(Descriptor::Pe)).run();
         // After warmup the gaps should be nearly constant.
         assert!(
             m.per_round.stddev() < 0.05 * m.per_round.mean(),
@@ -365,15 +345,18 @@ mod tests {
 
     #[test]
     fn skewed_start_reaches_same_steady_state() {
-        let sync = quick(4, Algorithm::NicPe).run();
-        let skew = quick(4, Algorithm::NicPe).skew(500, 7).run();
+        let sync = quick(4, Algorithm::Nic(Descriptor::Pe)).run();
+        let skew = quick(4, Algorithm::Nic(Descriptor::Pe)).skew(500, 7).run();
         let rel = (sync.mean_us - skew.mean_us).abs() / sync.mean_us;
         assert!(rel < 0.05, "sync={} skew={}", sync.mean_us, skew.mean_us);
     }
 
     #[test]
     fn gb_runs_for_all_algorithms() {
-        for alg in [Algorithm::NicGb { dim: 2 }, Algorithm::HostGb { dim: 2 }] {
+        for alg in [
+            Algorithm::Nic(Descriptor::Gb { dim: 2 }),
+            Algorithm::Host(Descriptor::Gb { dim: 2 }),
+        ] {
             let m = quick(5, alg).run();
             assert!(m.mean_us > 10.0, "{alg:?}: {}", m.mean_us);
         }
@@ -381,7 +364,7 @@ mod tests {
 
     #[test]
     fn packed_placement_synchronizes_across_ports() {
-        let m = quick(8, Algorithm::NicPe)
+        let m = quick(8, Algorithm::Nic(Descriptor::Pe))
             .placement(Placement::Packed { procs_per_node: 2 })
             .run();
         assert!(m.mean_us > 5.0);
@@ -390,8 +373,10 @@ mod tests {
     #[test]
     fn dissemination_equals_pe_at_powers_of_two() {
         for n in [4usize, 8] {
-            let pe = quick(n, Algorithm::NicPe).run().mean_us;
-            let di = quick(n, Algorithm::NicDissemination).run().mean_us;
+            let pe = quick(n, Algorithm::Nic(Descriptor::Pe)).run().mean_us;
+            let di = quick(n, Algorithm::Nic(Descriptor::Dissemination))
+                .run()
+                .mean_us;
             assert!((pe - di).abs() < 0.5, "n={n}: pe={pe:.2} dissem={di:.2}");
         }
     }
@@ -399,18 +384,20 @@ mod tests {
     #[test]
     fn dissemination_beats_pe_off_powers_of_two() {
         for n in [3usize, 6, 12] {
-            let pe = quick(n, Algorithm::NicPe).run().mean_us;
-            let di = quick(n, Algorithm::NicDissemination).run().mean_us;
+            let pe = quick(n, Algorithm::Nic(Descriptor::Pe)).run().mean_us;
+            let di = quick(n, Algorithm::Nic(Descriptor::Dissemination))
+                .run()
+                .mean_us;
             assert!(di < pe, "n={n}: pe={pe:.2} dissem={di:.2}");
         }
     }
 
     #[test]
     fn layer_factor_slows_host_more_than_nic() {
-        let host = quick(8, Algorithm::HostPe).run();
-        let host_mpi = quick(8, Algorithm::HostPe).layer(2.0).run();
-        let nic = quick(8, Algorithm::NicPe).run();
-        let nic_mpi = quick(8, Algorithm::NicPe).layer(2.0).run();
+        let host = quick(8, Algorithm::Host(Descriptor::Pe)).run();
+        let host_mpi = quick(8, Algorithm::Host(Descriptor::Pe)).layer(2.0).run();
+        let nic = quick(8, Algorithm::Nic(Descriptor::Pe)).run();
+        let nic_mpi = quick(8, Algorithm::Nic(Descriptor::Pe)).layer(2.0).run();
         let host_slowdown = host_mpi.mean_us / host.mean_us;
         let nic_slowdown = nic_mpi.mean_us / nic.mean_us;
         assert!(

@@ -124,7 +124,10 @@ mod tests {
         let blocking = FuzzyExperiment::new(4, 1_000, false).run().mean_us;
         assert!(fuzzy >= 1_000.0);
         assert!(blocking > fuzzy);
-        assert!(fuzzy < 1_000.0 + 30.0, "fuzzy overhead too high: {fuzzy:.1}");
+        assert!(
+            fuzzy < 1_000.0 + 30.0,
+            "fuzzy overhead too high: {fuzzy:.1}"
+        );
     }
 
     #[test]

@@ -26,5 +26,6 @@ pub mod table;
 pub use diagram::Diagram;
 pub use experiment::{Algorithm, BarrierExperiment, Measurement, Placement};
 pub use fuzzy::FuzzyExperiment;
+pub use nic_barrier::Descriptor;
 pub use sweep::{best_gb_dim, run_all, run_all_with};
 pub use table::Table;

@@ -1,13 +1,14 @@
 //! Parallel experiment sweeps.
 //!
 //! Simulations are independent worlds, so a parameter sweep is
-//! embarrassingly parallel: we fan experiments out over OS threads with
-//! crossbeam's scoped threads and collect `(index, result)` pairs over a
-//! channel. Results come back in input order regardless of completion
-//! order, so sweeps are deterministic end to end.
+//! embarrassingly parallel: we fan experiments out over scoped OS threads
+//! pulling indices from a shared counter. Results land in input-order
+//! slots regardless of completion order, so sweeps are deterministic end
+//! to end.
 
 use crate::experiment::{Algorithm, BarrierExperiment, Measurement};
-use parking_lot::Mutex;
+use nic_barrier::Descriptor;
+use std::sync::Mutex;
 
 /// Run every experiment, in parallel across available cores, preserving
 /// input order in the result.
@@ -36,11 +37,11 @@ where
     let next = Mutex::new(0usize);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let slots_mutex = Mutex::new(&mut slots);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = {
-                    let mut guard = next.lock();
+                    let mut guard = next.lock().expect("sweep counter poisoned");
                     let i = *guard;
                     if i >= n {
                         break;
@@ -49,12 +50,14 @@ where
                     i
                 };
                 let r = f(&experiments[i]);
-                slots_mutex.lock()[i] = Some(r);
+                slots_mutex.lock().expect("sweep slots poisoned")[i] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
-    slots.into_iter().map(|s| s.expect("missing result")).collect()
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("missing result"))
+        .collect()
 }
 
 /// Find the best GB tree dimension for `base` (which must be a GB
@@ -63,8 +66,8 @@ where
 /// the minimum latencies over all dimensions." Returns `(dim, measurement)`.
 pub fn best_gb_dim(base: BarrierExperiment) -> (usize, Measurement) {
     let nic_side = match base.algorithm {
-        Algorithm::NicGb { .. } => true,
-        Algorithm::HostGb { .. } => false,
+        Algorithm::Nic(Descriptor::Gb { .. }) => true,
+        Algorithm::Host(Descriptor::Gb { .. }) => false,
         other => panic!("best_gb_dim on non-GB algorithm {other:?}"),
     };
     assert!(base.procs >= 2);
@@ -72,9 +75,9 @@ pub fn best_gb_dim(base: BarrierExperiment) -> (usize, Measurement) {
         .map(|dim| {
             let mut e = base;
             e.algorithm = if nic_side {
-                Algorithm::NicGb { dim }
+                Algorithm::Nic(Descriptor::Gb { dim })
             } else {
-                Algorithm::HostGb { dim }
+                Algorithm::Host(Descriptor::Gb { dim })
             };
             e
         })
@@ -96,7 +99,7 @@ mod tests {
     fn parallel_results_match_serial() {
         let exps: Vec<BarrierExperiment> = [2usize, 4, 8]
             .iter()
-            .map(|&n| BarrierExperiment::new(n, Algorithm::NicPe).rounds(40, 5))
+            .map(|&n| BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)).rounds(40, 5))
             .collect();
         let parallel = run_all(&exps);
         let serial: Vec<Measurement> = exps.iter().map(|e| e.run()).collect();
@@ -112,12 +115,13 @@ mod tests {
 
     #[test]
     fn best_dim_is_found() {
-        let base = BarrierExperiment::new(6, Algorithm::NicGb { dim: 1 }).rounds(40, 5);
+        let base =
+            BarrierExperiment::new(6, Algorithm::Nic(Descriptor::Gb { dim: 1 })).rounds(40, 5);
         let (dim, best) = best_gb_dim(base);
         assert!((1..6).contains(&dim));
         // The best must not lose to any individual dimension.
         for d in 1..6 {
-            let m = BarrierExperiment::new(6, Algorithm::NicGb { dim: d })
+            let m = BarrierExperiment::new(6, Algorithm::Nic(Descriptor::Gb { dim: d }))
                 .rounds(40, 5)
                 .run();
             assert!(best.mean_us <= m.mean_us + 1e-9, "dim {d} beat the best");
@@ -127,6 +131,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-GB")]
     fn best_dim_rejects_pe() {
-        best_gb_dim(BarrierExperiment::new(4, Algorithm::NicPe));
+        best_gb_dim(BarrierExperiment::new(4, Algorithm::Nic(Descriptor::Pe)));
     }
 }

@@ -83,7 +83,10 @@ fn main() {
         .into_iter()
         .find(|(n, _)| *n == 0)
         .expect("root value");
-    println!("reduce(sum of rank^2) at root: {} (expected {expect})", root.1);
+    println!(
+        "reduce(sum of rank^2) at root: {} (expected {expect})",
+        root.1
+    );
     assert_eq!(root.1, expect);
 
     // --- NIC allreduce: everyone learns the max -------------------------

@@ -13,8 +13,8 @@
 //! cargo run --release --example concurrent_jobs
 //! ```
 
-use nic_barrier_suite::barrier::programs::{decode_note, NicAlgorithm, NicBarrierLoop};
-use nic_barrier_suite::barrier::{nic::stats_of, BarrierExtension, BarrierGroup};
+use nic_barrier_suite::barrier::programs::{decode_note, NicBarrierLoop};
+use nic_barrier_suite::barrier::{nic::stats_of, BarrierExtension, BarrierGroup, Descriptor};
 use nic_barrier_suite::des::SimTime;
 use nic_barrier_suite::gm::cluster::ClusterBuilder;
 use nic_barrier_suite::gm::{GlobalPort, GmConfig};
@@ -40,7 +40,12 @@ fn main() {
     for rank in 0..job_a.len() {
         builder = builder.program(
             job_a.member(rank),
-            Box::new(NicBarrierLoop::new(job_a.clone(), rank, NicAlgorithm::Pe, ROUNDS)),
+            Box::new(NicBarrierLoop::new(
+                job_a.clone(),
+                rank,
+                Descriptor::Pe,
+                ROUNDS,
+            )),
             SimTime::ZERO,
         );
     }
@@ -50,7 +55,7 @@ fn main() {
             Box::new(NicBarrierLoop::new(
                 job_b.clone(),
                 rank,
-                NicAlgorithm::Gb { dim: 2 },
+                Descriptor::Gb { dim: 2 },
                 ROUNDS,
             )),
             // Job B starts later, mid-flight of job A's stream.
@@ -79,8 +84,14 @@ fn main() {
     }
     assert_eq!(a_count, (job_a.len() as u64) * ROUNDS);
     assert_eq!(b_count, (job_b.len() as u64) * ROUNDS);
-    println!("job A: {ROUNDS} barriers x {} procs, finished at {a_last}", job_a.len());
-    println!("job B: {ROUNDS} barriers x {} procs, finished at {b_last}", job_b.len());
+    println!(
+        "job A: {ROUNDS} barriers x {} procs, finished at {a_last}",
+        job_a.len()
+    );
+    println!(
+        "job B: {ROUNDS} barriers x {} procs, finished at {b_last}",
+        job_b.len()
+    );
 
     let mut local_flags = 0;
     let mut wire_msgs = 0;

@@ -6,22 +6,24 @@
 //! ```
 
 use nic_barrier_suite::lanai::NicModel;
-use nic_barrier_suite::testbed::{best_gb_dim, Algorithm, BarrierExperiment, Table};
+use nic_barrier_suite::testbed::{best_gb_dim, Algorithm, BarrierExperiment, Descriptor, Table};
 
 fn main() {
     let l43 = NicModel::LANAI_4_3;
     let l72 = NicModel::LANAI_7_2;
-    let run = |n: usize, a: Algorithm, nic: NicModel| {
-        BarrierExperiment::new(n, a).nic(nic).run().mean_us
-    };
+    let run =
+        |n: usize, a: Algorithm, nic: NicModel| BarrierExperiment::new(n, a).nic(nic).run().mean_us;
 
-    let nic16 = run(16, Algorithm::NicPe, l43);
-    let host16 = run(16, Algorithm::HostPe, l43);
-    let nic8 = run(8, Algorithm::NicPe, l43);
-    let host8 = run(8, Algorithm::HostPe, l43);
-    let (gbd, gb16) = best_gb_dim(BarrierExperiment::new(16, Algorithm::NicGb { dim: 1 }));
-    let nic8f = run(8, Algorithm::NicPe, l72);
-    let host8f = run(8, Algorithm::HostPe, l72);
+    let nic16 = run(16, Algorithm::Nic(Descriptor::Pe), l43);
+    let host16 = run(16, Algorithm::Host(Descriptor::Pe), l43);
+    let nic8 = run(8, Algorithm::Nic(Descriptor::Pe), l43);
+    let host8 = run(8, Algorithm::Host(Descriptor::Pe), l43);
+    let (gbd, gb16) = best_gb_dim(BarrierExperiment::new(
+        16,
+        Algorithm::Nic(Descriptor::Gb { dim: 1 }),
+    ));
+    let nic8f = run(8, Algorithm::Nic(Descriptor::Pe), l72);
+    let host8f = run(8, Algorithm::Host(Descriptor::Pe), l72);
 
     let mut t = Table::new(vec!["paper claim", "paper", "this reproduction"]);
     t.row(vec![

@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use nic_barrier_suite::barrier::programs::{decode_note, NicAlgorithm, NicBarrierLoop};
-use nic_barrier_suite::barrier::{nic::stats_of, BarrierExtension, BarrierGroup};
+use nic_barrier_suite::barrier::programs::{decode_note, NicBarrierLoop};
+use nic_barrier_suite::barrier::{nic::stats_of, BarrierExtension, BarrierGroup, Descriptor};
 use nic_barrier_suite::des::SimTime;
 use nic_barrier_suite::gm::cluster::ClusterBuilder;
 use nic_barrier_suite::gm::GmConfig;
@@ -27,7 +27,7 @@ fn main() {
     for rank in 0..NODES {
         builder = builder.program(
             group.member(rank),
-            Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, 1)),
+            Box::new(NicBarrierLoop::new(group.clone(), rank, Descriptor::Pe, 1)),
             SimTime::ZERO,
         );
     }
@@ -57,8 +57,8 @@ fn main() {
 
     // The same barrier, host-based, for comparison.
     use nic_barrier_suite::testbed::{Algorithm, BarrierExperiment};
-    let nic = BarrierExperiment::new(NODES, Algorithm::NicPe).run();
-    let host = BarrierExperiment::new(NODES, Algorithm::HostPe).run();
+    let nic = BarrierExperiment::new(NODES, Algorithm::Nic(Descriptor::Pe)).run();
+    let host = BarrierExperiment::new(NODES, Algorithm::Host(Descriptor::Pe)).run();
     println!(
         "steady state: NIC-based {:.2}us vs host-based {:.2}us -> {:.2}x improvement",
         nic.mean_us,

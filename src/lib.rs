@@ -6,8 +6,8 @@
 
 pub use gmsim_des as des;
 pub use gmsim_gm as gm;
-pub use gmsim_mpi as mpi;
 pub use gmsim_lanai as lanai;
+pub use gmsim_mpi as mpi;
 pub use gmsim_myrinet as myrinet;
 pub use gmsim_testbed as testbed;
 pub use nic_barrier as barrier;

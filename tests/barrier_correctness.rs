@@ -7,8 +7,8 @@
 //! earliest round-k completion must come strictly after the latest
 //! round-(k−1) completion.
 
-use nic_barrier_suite::barrier::programs::{decode_note, NicAlgorithm, NicBarrierLoop};
-use nic_barrier_suite::barrier::{BarrierExtension, BarrierGroup};
+use nic_barrier_suite::barrier::programs::{decode_note, NicBarrierLoop};
+use nic_barrier_suite::barrier::{BarrierExtension, BarrierGroup, Descriptor, HostBarrierLoop};
 use nic_barrier_suite::des::{RunOutcome, SimTime};
 use nic_barrier_suite::gm::cluster::{ClusterBuilder, ClusterSim};
 use nic_barrier_suite::gm::{GlobalPort, GmConfig, GmEvent, HostCtx, HostProgram};
@@ -54,7 +54,7 @@ fn assert_barrier_invariant(sim: &ClusterSim, procs: usize, rounds: u64) {
 fn build_nic_barrier_sim(
     group: &BarrierGroup,
     nodes: usize,
-    algo: NicAlgorithm,
+    algo: Descriptor,
     rounds: u64,
     skews: &[u64],
 ) -> ClusterSim {
@@ -75,7 +75,7 @@ fn build_nic_barrier_sim(
 fn nic_pe_invariant_all_sizes() {
     for n in [2usize, 3, 5, 8, 13, 16] {
         let group = BarrierGroup::one_per_node(n, 1);
-        let mut sim = build_nic_barrier_sim(&group, n, NicAlgorithm::Pe, 5, &[]);
+        let mut sim = build_nic_barrier_sim(&group, n, Descriptor::Pe, 5, &[]);
         assert_eq!(sim.run(), RunOutcome::Quiescent, "n={n}");
         assert_barrier_invariant(&sim, n, 5);
     }
@@ -86,7 +86,7 @@ fn nic_gb_invariant_all_dims() {
     let n = 9;
     for dim in 1..n {
         let group = BarrierGroup::one_per_node(n, 1);
-        let mut sim = build_nic_barrier_sim(&group, n, NicAlgorithm::Gb { dim }, 4, &[]);
+        let mut sim = build_nic_barrier_sim(&group, n, Descriptor::Gb { dim }, 4, &[]);
         assert_eq!(sim.run(), RunOutcome::Quiescent, "dim={dim}");
         assert_barrier_invariant(&sim, n, 4);
     }
@@ -97,7 +97,7 @@ fn nic_pe_invariant_under_heavy_skew() {
     let n = 8;
     let group = BarrierGroup::one_per_node(n, 1);
     let skews = [0u64, 900, 13, 450, 777, 1, 333, 620];
-    let mut sim = build_nic_barrier_sim(&group, n, NicAlgorithm::Pe, 6, &skews);
+    let mut sim = build_nic_barrier_sim(&group, n, Descriptor::Pe, 6, &skews);
     assert_eq!(sim.run(), RunOutcome::Quiescent);
     assert_barrier_invariant(&sim, n, 6);
     // The slowest starter gates round 0.
@@ -118,7 +118,7 @@ fn packed_processes_share_nics_correctly() {
             .map(|i| GlobalPort::new(i / 3, 1 + (i % 3) as u8))
             .collect(),
     );
-    let mut sim = build_nic_barrier_sim(&group, 4, NicAlgorithm::Pe, 4, &[]);
+    let mut sim = build_nic_barrier_sim(&group, 4, Descriptor::Pe, 4, &[]);
     assert_eq!(sim.run(), RunOutcome::Quiescent);
     assert_barrier_invariant(&sim, 12, 4);
 }
@@ -135,7 +135,7 @@ fn multi_switch_topology_works() {
     for rank in 0..n {
         b = b.program(
             group.member(rank),
-            Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, 3)),
+            Box::new(NicBarrierLoop::new(group.clone(), rank, Descriptor::Pe, 3)),
             SimTime::ZERO,
         );
     }
@@ -146,7 +146,9 @@ fn multi_switch_topology_works() {
 
 #[test]
 fn multi_switch_is_slower_than_single_switch() {
-    let single = BarrierExperiment::new(8, Algorithm::NicPe).rounds(40, 5).run();
+    let single = BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe))
+        .rounds(40, 5)
+        .run();
     let n = 8;
     let group = BarrierGroup::one_per_node(n, 1);
     let mut b = ClusterBuilder::new(n)
@@ -156,17 +158,13 @@ fn multi_switch_is_slower_than_single_switch() {
     for rank in 0..n {
         b = b.program(
             group.member(rank),
-            Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, 40)),
+            Box::new(NicBarrierLoop::new(group.clone(), rank, Descriptor::Pe, 40)),
             SimTime::ZERO,
         );
     }
     let mut sim = b.build();
     sim.run();
-    let last = completions(&sim)
-        .iter()
-        .map(|(_, _, t)| *t)
-        .max()
-        .unwrap();
+    let last = completions(&sim).iter().map(|(_, _, t)| *t).max().unwrap();
     let chain_mean = last.as_us_f64() / 40.0;
     assert!(
         chain_mean > single.mean_us,
@@ -238,7 +236,7 @@ fn mixed_pe_gb_stream_synchronizes() {
 #[test]
 fn deterministic_across_runs() {
     let run = || {
-        BarrierExperiment::new(8, Algorithm::NicPe)
+        BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe))
             .rounds(50, 5)
             .skew(200, 99)
             .run()
@@ -249,10 +247,44 @@ fn deterministic_across_runs() {
     assert_eq!(a, b, "same seed must give bit-identical results");
 }
 
+/// Non-power-of-two groups take the PE *fold* path (extra ranks fold into
+/// the power-of-two core before the exchange and unfold after). Both
+/// interpreters of the compiled schedule — the NIC firmware extension and
+/// the host baseline — must run it end to end and keep the barrier
+/// invariant.
+#[test]
+fn non_power_of_two_pe_fold_both_interpreters() {
+    const ROUNDS: u64 = 4;
+    for n in [3usize, 5, 6, 7, 11, 13] {
+        let group = BarrierGroup::one_per_node(n, 1);
+
+        // NIC interpreter: one collective token per round, the firmware
+        // walks the folded schedule.
+        let mut nic_sim = build_nic_barrier_sim(&group, n, Descriptor::Pe, ROUNDS, &[]);
+        assert_eq!(nic_sim.run(), RunOutcome::Quiescent, "nic n={n}");
+        assert_barrier_invariant(&nic_sim, n, ROUNDS);
+
+        // Host interpreter: the same compiled schedule over plain sends.
+        let mut b = ClusterBuilder::new(n)
+            .config(GmConfig::paper_host(NicModel::LANAI_4_3))
+            .extension(BarrierExtension::factory());
+        for rank in 0..n {
+            b = b.program(
+                group.member(rank),
+                Box::new(HostBarrierLoop::new(&group, rank, Descriptor::Pe, ROUNDS)),
+                SimTime::from_us((rank as u64 * 41) % 113),
+            );
+        }
+        let mut host_sim = b.build();
+        assert_eq!(host_sim.run(), RunOutcome::Quiescent, "host n={n}");
+        assert_barrier_invariant(&host_sim, n, ROUNDS);
+    }
+}
+
 #[test]
 fn single_process_barrier_is_trivial() {
     let group = BarrierGroup::one_per_node(1, 1);
-    let mut sim = build_nic_barrier_sim(&group, 1, NicAlgorithm::Pe, 3, &[]);
+    let mut sim = build_nic_barrier_sim(&group, 1, Descriptor::Pe, 3, &[]);
     assert_eq!(sim.run(), RunOutcome::Quiescent);
     assert_eq!(completions(&sim).len(), 3);
 }

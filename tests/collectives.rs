@@ -109,6 +109,48 @@ fn allreduce_delivers_global_value_to_all() {
 }
 
 #[test]
+fn scan_delivers_inclusive_prefixes() {
+    // Hillis–Steele prefix scan through the same compiled-schedule path:
+    // rank r must end with op(contrib[0], ..., contrib[r]).
+    for n in [2usize, 3, 5, 8, 11] {
+        let contribs: Vec<u64> = (0..n as u64).map(|r| (r * 13 + 7) % 50).collect();
+        for op in [ReduceOp::Sum, ReduceOp::Max] {
+            let group = BarrierGroup::one_per_node(n, 1);
+            let tokens = (0..n)
+                .map(|r| group.scan_token(op, r, contribs[r]))
+                .collect();
+            let sim = run_collective(n, tokens, &[], None);
+            let vals = results(&sim);
+            assert_eq!(vals.len(), n, "n={n} {op:?}");
+            for (node, got) in vals {
+                let expect = contribs[..=node]
+                    .iter()
+                    .copied()
+                    .reduce(|a, b| op.combine(a, b))
+                    .unwrap();
+                assert_eq!(got, expect, "n={n} {op:?} rank={node}");
+            }
+        }
+    }
+}
+
+#[test]
+fn scan_correct_under_skew_and_drops() {
+    let n = 7;
+    let skews = [400u64, 0, 90, 610, 20, 300, 150];
+    let group = BarrierGroup::one_per_node(n, 1);
+    let tokens = (0..n)
+        .map(|r| group.scan_token(ReduceOp::Sum, r, 1 << r))
+        .collect();
+    let sim = run_collective(n, tokens, &skews, Some((0.10, 3)));
+    let vals = results(&sim);
+    assert_eq!(vals.len(), n);
+    for (node, got) in vals {
+        assert_eq!(got, (1u64 << (node + 1)) - 1, "rank {node}");
+    }
+}
+
+#[test]
 fn collectives_correct_under_skew() {
     let n = 6;
     let skews = [500u64, 0, 120, 340, 60, 210];

@@ -65,8 +65,16 @@ fn send_completion_events_are_delivered() {
         .build();
     assert_eq!(sim.run(), RunOutcome::Quiescent);
     let cl = sim.world();
-    let sent_notes = cl.notes.iter().filter(|n| n.tag & 0x5E27_0000 == 0x5E27_0000).count();
-    let recv_notes = cl.notes.iter().filter(|n| n.tag & 0x2EC0_0000 == 0x2EC0_0000).count();
+    let sent_notes = cl
+        .notes
+        .iter()
+        .filter(|n| n.tag & 0x5E27_0000 == 0x5E27_0000)
+        .count();
+    let recv_notes = cl
+        .notes
+        .iter()
+        .filter(|n| n.tag & 0x2EC0_0000 == 0x2EC0_0000)
+        .count();
     assert_eq!(sent_notes, 5, "every notify send must complete");
     assert_eq!(recv_notes, 5);
     // A Sent event only fires after the ack round trip, so it must come
@@ -153,12 +161,21 @@ fn receiver_not_ready_is_survivable() {
         .build();
     assert_eq!(sim.run(), RunOutcome::Quiescent);
     let cl = sim.world();
-    assert_eq!(cl.nodes[1].mcp.core.stats.data_delivered, 2, "both delivered");
-    assert!(cl.nodes[1].mcp.core.stats.rnr_refusals > 0, "RNR path exercised");
+    assert_eq!(
+        cl.nodes[1].mcp.core.stats.data_delivered, 2,
+        "both delivered"
+    );
+    assert!(
+        cl.nodes[1].mcp.core.stats.rnr_refusals > 0,
+        "RNR path exercised"
+    );
     assert!(cl.nodes[0].mcp.core.stats.retx > 0, "sender had to retry");
     // Exactly-once: two Recv notes, not more.
     assert_eq!(
-        cl.notes.iter().filter(|n| n.tag > 0xF10C && n.tag <= 0xF10C + 2).count(),
+        cl.notes
+            .iter()
+            .filter(|n| n.tag > 0xF10C && n.tag <= 0xF10C + 2)
+            .count(),
         2
     );
 }
@@ -187,7 +204,10 @@ fn incast_serializes_on_the_shared_link() {
     let mut sim = b.build();
     assert_eq!(sim.run(), RunOutcome::Quiescent);
     let cl = sim.world();
-    assert_eq!(cl.nodes[0].mcp.core.stats.data_delivered, 2 * (n as u64 - 1));
+    assert_eq!(
+        cl.nodes[0].mcp.core.stats.data_delivered,
+        2 * (n as u64 - 1)
+    );
 }
 
 /// Same-node data messages (two ports on one NIC) never touch the fabric.

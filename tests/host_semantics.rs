@@ -31,14 +31,17 @@ fn compute_delays_subsequent_send() {
         let acts: Vec<fn(&mut HostCtx)> = if precompute_us == 0 {
             vec![|ctx| ctx.send(GlobalPort::new(1, 1), 8, 1)]
         } else {
-            vec![
-                |ctx| ctx.compute(SimTime::from_us(250)),
-                |ctx| ctx.send(GlobalPort::new(1, 1), 8, 1),
-            ]
+            vec![|ctx| ctx.compute(SimTime::from_us(250)), |ctx| {
+                ctx.send(GlobalPort::new(1, 1), 8, 1)
+            }]
         };
         let mut sim = ClusterBuilder::new(2)
             .config(GmConfig::paper_host(NicModel::LANAI_4_3))
-            .program(GlobalPort::new(0, 1), Box::new(Script { acts }), SimTime::ZERO)
+            .program(
+                GlobalPort::new(0, 1),
+                Box::new(Script { acts }),
+                SimTime::ZERO,
+            )
             .program(
                 GlobalPort::new(1, 1),
                 Box::new(Script { acts: vec![] }),
@@ -136,7 +139,11 @@ fn busy_host_drains_event_queue_in_order() {
     let mut sim = ClusterBuilder::new(2)
         .config(GmConfig::paper_host(NicModel::LANAI_4_3))
         .program(GlobalPort::new(0, 1), Box::new(Burst), SimTime::ZERO)
-        .program(GlobalPort::new(1, 1), Box::new(BusySink { order: vec![] }), SimTime::ZERO)
+        .program(
+            GlobalPort::new(1, 1),
+            Box::new(BusySink { order: vec![] }),
+            SimTime::ZERO,
+        )
         .build();
     assert_eq!(sim.run(), RunOutcome::Quiescent);
     let cl = sim.world();

@@ -172,7 +172,10 @@ fn barrier_before_peer_starts_completes_via_resend() {
         .count();
     assert_eq!(done, 2);
     let s1 = stats_of(cl, 1);
-    assert!(s1.rejects_sent >= 1, "late opener rejects the early message");
+    assert!(
+        s1.rejects_sent >= 1,
+        "late opener rejects the early message"
+    );
     let s0 = stats_of(cl, 0);
     assert_eq!(s0.stale_rejects, 0, "sender is alive: reject is not stale");
     assert!(s0.resends >= 1, "sender must resend after the reject");

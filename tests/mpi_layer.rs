@@ -22,7 +22,12 @@ fn run_mpi(
     for rank in 0..n {
         b = b.program(
             group.member(rank),
-            Box::new(MpiProcess::new(group.clone(), rank, config, make_script(rank))),
+            Box::new(MpiProcess::new(
+                group.clone(),
+                rank,
+                config,
+                make_script(rank),
+            )),
             SimTime::ZERO,
         );
     }
@@ -49,9 +54,7 @@ fn all_ranks_finish_a_barrier_loop() {
             barrier: binding,
             ..MpiConfig::nic_based()
         };
-        let (_, finishes) = run_mpi(6, config, |_| {
-            script().repeat(5, |b| b.barrier()).build()
-        });
+        let (_, finishes) = run_mpi(6, config, |_| script().repeat(5, |b| b.barrier()).build());
         assert_eq!(finishes.len(), 6, "{binding:?}");
     }
 }
@@ -66,7 +69,10 @@ fn nic_bound_barrier_loop_is_faster_than_host_bound() {
     assert!(nic_end < host_end, "nic {nic_end:?} vs host {host_end:?}");
     // §2.2/§8 prediction: the layer widens the gap beyond raw GM's 1.64x.
     let ratio = host_end.as_us_f64() / nic_end.as_us_f64();
-    assert!(ratio > 1.64, "MPI-layer factor {ratio:.2} should exceed raw GM");
+    assert!(
+        ratio > 1.64,
+        "MPI-layer factor {ratio:.2} should exceed raw GM"
+    );
 }
 
 #[test]
@@ -147,9 +153,7 @@ fn allreduce_value_is_visible_in_stats() {
                 group.clone(),
                 rank,
                 MpiConfig::nic_based(),
-                script()
-                    .allreduce(ReduceOp::Sum, (rank + 1) as u64)
-                    .build(),
+                script().allreduce(ReduceOp::Sum, (rank + 1) as u64).build(),
             )),
             SimTime::ZERO,
         );
@@ -172,6 +176,33 @@ fn allreduce_value_is_visible_in_stats() {
         .filter(|nt| nt.tag == NOTE_MPI_DONE)
         .count();
     assert_eq!(finishes, n);
+}
+
+#[test]
+fn scan_is_nic_offloaded_and_completes_everywhere() {
+    // MPI_Scan rides the same compiled-schedule path as the barrier: the
+    // host posts one collective token and the firmware runs the
+    // Hillis–Steele program. Works at non-powers of two too.
+    for n in [3usize, 4, 7, 8] {
+        let (sim, finishes) = run_mpi(n, MpiConfig::nic_based(), |rank| {
+            script().scan(ReduceOp::Sum, (rank + 1) as u64).build()
+        });
+        assert_eq!(finishes.len(), n, "n={n}");
+        // Proof of NIC offload: SCAN packets flowed through the firmware
+        // extension (all ranks but the last send at least one).
+        let scan_msgs: u64 = (0..n)
+            .map(|node| nic_barrier_suite::barrier::nic::stats_of(sim.world(), node).scan_msgs)
+            .sum();
+        assert!(scan_msgs > 0, "n={n}: no SCAN packets reached the NIC");
+        // And the host never ran the algorithm: no point-to-point sends.
+        for node in 0..n {
+            assert_eq!(
+                sim.world().nodes[node].mcp.core.stats.data_tx,
+                0,
+                "n={n} node={node}: scan must not fall back to host sends"
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,59 +1,49 @@
-//! System-level property tests: for arbitrary group sizes, algorithms,
+//! System-level randomized tests: for arbitrary group sizes, algorithms,
 //! tree dimensions, start skews and fault seeds, every barrier stream
 //! completes and satisfies the barrier invariant.
 //!
 //! These run whole simulations per case, so case counts are kept modest;
 //! run with `--release` for comfort.
 
-use nic_barrier_suite::barrier::programs::{decode_note, NicAlgorithm, NicBarrierLoop};
-use nic_barrier_suite::barrier::{BarrierExtension, BarrierGroup};
+use nic_barrier_suite::barrier::programs::{decode_note, NicBarrierLoop};
+use nic_barrier_suite::barrier::{BarrierExtension, BarrierGroup, Descriptor};
+use nic_barrier_suite::des::check::{forall, Gen};
 use nic_barrier_suite::des::{RunOutcome, SimTime};
 use nic_barrier_suite::gm::cluster::ClusterBuilder;
 use nic_barrier_suite::gm::{GlobalPort, GmConfig};
 use nic_barrier_suite::lanai::NicModel;
 use nic_barrier_suite::myrinet::FaultPlan;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Scenario {
     procs: usize,
     procs_per_node: usize,
-    algo: NicAlgorithm,
+    algo: Descriptor,
     rounds: u64,
     skews: Vec<u64>,
     drop_pct: u8,
     seed: u64,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (
-        2usize..=12,
-        1usize..=3,
-        // 0 = PE, 1..=4 = GB with that dim, 5 = dissemination
-        prop_oneof![Just(0usize), 1usize..=4, Just(5usize)],
-        1u64..=4,
-        proptest::collection::vec(0u64..400, 12),
-        0u8..=20,
-        any::<u64>(),
-    )
-        .prop_map(
-            |(procs, ppn, algo_sel, rounds, skews, drop_pct, seed)| Scenario {
-                procs,
-                procs_per_node: ppn,
-                algo: match algo_sel {
-                    0 => NicAlgorithm::Pe,
-                    5 => NicAlgorithm::Dissemination,
-                    dim => NicAlgorithm::Gb { dim },
-                },
-                rounds,
-                skews,
-                drop_pct,
-                seed,
-            },
-        )
+fn scenario(g: &mut Gen) -> Scenario {
+    // 0 = PE, 1..=4 = GB with that dim, 5 = dissemination
+    let algo = match g.usize_in(0, 5) {
+        0 => Descriptor::Pe,
+        5 => Descriptor::Dissemination,
+        dim => Descriptor::Gb { dim },
+    };
+    Scenario {
+        procs: g.usize_in(2, 12),
+        procs_per_node: g.usize_in(1, 3),
+        algo,
+        rounds: g.u64_in(1, 4),
+        skews: (0..12).map(|_| g.u64_in(0, 399)).collect(),
+        drop_pct: g.u8_in(0, 20),
+        seed: g.any_u64(),
+    }
 }
 
-fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
+fn run_scenario(sc: &Scenario) {
     let members: Vec<GlobalPort> = (0..sc.procs)
         .map(|i| GlobalPort::new(i / sc.procs_per_node, 1 + (i % sc.procs_per_node) as u8))
         .collect();
@@ -73,7 +63,7 @@ fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
         );
     }
     let mut sim = b.build();
-    prop_assert_eq!(sim.run(), RunOutcome::Quiescent, "hung: {:?}", sc);
+    assert_eq!(sim.run(), RunOutcome::Quiescent, "hung: {sc:?}");
     let notes: Vec<(u64, SimTime)> = sim
         .world()
         .notes
@@ -86,7 +76,7 @@ fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
             .filter(|(r, _)| *r == round)
             .map(|(_, t)| *t)
             .collect();
-        prop_assert_eq!(this.len(), sc.procs, "round {} incomplete: {:?}", round, sc);
+        assert_eq!(this.len(), sc.procs, "round {round} incomplete: {sc:?}");
         if round > 0 {
             let min_this = this.iter().min().copied().unwrap();
             let max_prev = notes
@@ -95,23 +85,17 @@ fn run_scenario(sc: &Scenario) -> Result<(), TestCaseError> {
                 .map(|(_, t)| *t)
                 .max()
                 .unwrap();
-            prop_assert!(min_this > max_prev, "invariant broken: {:?}", sc);
+            assert!(min_this > max_prev, "invariant broken: {sc:?}");
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn any_scenario_synchronizes(sc in scenario()) {
-        run_scenario(&sc)?;
-    }
+#[test]
+fn any_scenario_synchronizes() {
+    forall(48, 0x5757_0001, |g| {
+        let sc = scenario(g);
+        run_scenario(&sc);
+    });
 }
 
 /// A directed regression sweep over the scenario corners the random
@@ -122,7 +106,7 @@ fn corner_scenarios() {
         Scenario {
             procs: 12,
             procs_per_node: 3,
-            algo: NicAlgorithm::Gb { dim: 4 },
+            algo: Descriptor::Gb { dim: 4 },
             rounds: 3,
             skews: vec![0; 12],
             drop_pct: 20,
@@ -131,7 +115,7 @@ fn corner_scenarios() {
         Scenario {
             procs: 2,
             procs_per_node: 2, // both processes on ONE node: wire never used
-            algo: NicAlgorithm::Pe,
+            algo: Descriptor::Pe,
             rounds: 4,
             skews: vec![100, 0],
             drop_pct: 0,
@@ -140,7 +124,7 @@ fn corner_scenarios() {
         Scenario {
             procs: 5,
             procs_per_node: 1,
-            algo: NicAlgorithm::Gb { dim: 4 }, // dim ≈ procs: flat tree
+            algo: Descriptor::Gb { dim: 4 }, // dim ≈ procs: flat tree
             rounds: 2,
             skews: vec![0, 399, 1, 250, 9],
             drop_pct: 10,
@@ -148,6 +132,6 @@ fn corner_scenarios() {
         },
     ];
     for sc in &corners {
-        run_scenario(sc).unwrap_or_else(|e| panic!("{sc:?}: {e}"));
+        run_scenario(sc);
     }
 }

@@ -4,8 +4,8 @@
 //! same ordered stream as data, so messages sent before a barrier are
 //! delivered before it completes at the receiver.
 
-use nic_barrier_suite::barrier::programs::{decode_note, note_tag, NicAlgorithm, NicBarrierLoop};
-use nic_barrier_suite::barrier::{BarrierExtension, BarrierGroup};
+use nic_barrier_suite::barrier::programs::{decode_note, note_tag, NicBarrierLoop};
+use nic_barrier_suite::barrier::{BarrierExtension, BarrierGroup, Descriptor};
 use nic_barrier_suite::des::{RunOutcome, SimTime};
 use nic_barrier_suite::gm::cluster::ClusterBuilder;
 use nic_barrier_suite::gm::{GlobalPort, GmConfig, GmEvent, HostCtx, HostProgram};
@@ -27,7 +27,12 @@ fn lossy_barrier_run(drop_p: f64, corrupt_p: f64, seed: u64, n: usize, rounds: u
     for rank in 0..n {
         b = b.program(
             group.member(rank),
-            Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, rounds)),
+            Box::new(NicBarrierLoop::new(
+                group.clone(),
+                rank,
+                Descriptor::Pe,
+                rounds,
+            )),
             SimTime::ZERO,
         );
     }
@@ -78,7 +83,7 @@ fn gb_barriers_survive_drops_too() {
             Box::new(NicBarrierLoop::new(
                 group.clone(),
                 rank,
-                NicAlgorithm::Gb { dim: 2 },
+                Descriptor::Gb { dim: 2 },
                 6,
             )),
             SimTime::ZERO,
@@ -106,14 +111,17 @@ fn drops_actually_happened_and_were_retransmitted() {
     for rank in 0..n {
         b = b.program(
             group.member(rank),
-            Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, 10)),
+            Box::new(NicBarrierLoop::new(group.clone(), rank, Descriptor::Pe, 10)),
             SimTime::ZERO,
         );
     }
     let mut sim = b.build();
     assert_eq!(sim.run(), RunOutcome::Quiescent);
     let cl = sim.world();
-    assert!(cl.fabric.stats().drops > 0, "the fault plan must have fired");
+    assert!(
+        cl.fabric.stats().drops > 0,
+        "the fault plan must have fired"
+    );
     let retx: u64 = (0..n).map(|i| cl.nodes[i].mcp.core.stats.retx).sum();
     assert!(retx > 0, "recovery must use retransmissions");
 }
@@ -229,7 +237,7 @@ fn fault_free_and_faulty_runs_reach_identical_steady_state_results() {
         for rank in 0..n {
             b = b.program(
                 group.member(rank),
-                Box::new(NicBarrierLoop::new(group.clone(), rank, NicAlgorithm::Pe, 7)),
+                Box::new(NicBarrierLoop::new(group.clone(), rank, Descriptor::Pe, 7)),
                 SimTime::ZERO,
             );
         }
