@@ -1,0 +1,232 @@
+//! DES hot-path throughput gate.
+//!
+//! Reports raw scheduler events/sec (boxed-closure path vs the typed slab
+//! path) plus a `repro scale`-style wall-clock measurement of the N = 32
+//! barrier configuration, and writes the numbers to `BENCH_des.json` at the
+//! workspace root so successive PRs leave a perf trajectory.
+//!
+//! Sample count comes from `GMSIM_BENCH_SAMPLES` (default 10) so CI can run
+//! a cheap 2-sample smoke pass.
+
+use gmsim_bench::harness::sample_size_from_env;
+use gmsim_des::{BoxedFn, Event, Scheduler, SimTime, Simulation};
+use gmsim_testbed::{Algorithm, BarrierExperiment, Descriptor};
+use std::time::Instant;
+
+/// Events fired per scheduler-throughput iteration.
+const EVENTS: u64 = 1_000_000;
+
+/// Seed ("before" this PR) numbers, measured on the boxed-closure-only
+/// scheduler at the same commit the refactor started from (release build,
+/// `GMSIM_BENCH_SAMPLES=3`, this container). Kept here so `BENCH_des.json`
+/// always carries the before/after pair.
+mod baseline {
+    /// Boxed scheduler events/sec on the seed.
+    pub const SCHED_EVENTS_PER_SEC: f64 = 31_977_131.0;
+    /// N=32 NIC-PE wall seconds on the seed.
+    pub const SCALE_N32_NIC_PE_WALL_S: f64 = 0.0461;
+    /// N=32 host-PE wall seconds on the seed.
+    pub const SCALE_N32_HOST_PE_WALL_S: f64 = 0.0473;
+}
+
+/// Min wall time over `samples` runs of `f`.
+fn min_wall(samples: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Boxed-closure scheduler: every event is a fresh `Box<dyn FnOnce>`.
+///
+/// Note a subtlety: a non-capturing fn item is zero-sized, and boxing a ZST
+/// does not allocate — this lane therefore measures pure queue overhead.
+/// The payload lanes below measure what the GM stack actually schedules:
+/// events carrying packet-sized state.
+fn boxed_events_per_sec(samples: usize) -> f64 {
+    fn tick(w: &mut u64, s: &mut Scheduler<u64>) {
+        *w += 1;
+        s.schedule_in(SimTime::from_ns(10), tick);
+    }
+    let wall = min_wall(samples, || {
+        let mut sim = Simulation::new(0u64).with_budget(EVENTS);
+        for lane in 0..64u64 {
+            sim.scheduler_mut()
+                .schedule_fn(SimTime::from_ns(lane), tick);
+        }
+        sim.run();
+        assert_eq!(std::hint::black_box(sim.events_fired()), EVENTS);
+    });
+    EVENTS as f64 / wall
+}
+
+/// Packet-sized event payload: what a `Transmit`/`WireDeliver` event carries
+/// (a [`gmsim_gm::Packet`] is a few scalar words).
+type Payload = [u64; 4];
+
+/// Boxed-closure scheduler with a captured payload: one heap allocation per
+/// event, exactly like the pre-refactor cluster glue that captured a
+/// `Packet` per hop.
+fn boxed_payload_events_per_sec(samples: usize) -> f64 {
+    fn tick(payload: Payload) -> impl FnOnce(&mut u64, &mut Scheduler<u64>) + 'static {
+        move |w, s| {
+            *w += 1;
+            let mut next = std::hint::black_box(payload);
+            next[0] = next[0].wrapping_add(1);
+            s.schedule_in(SimTime::from_ns(10), tick(next));
+        }
+    }
+    let wall = min_wall(samples, || {
+        let mut sim = Simulation::new(0u64).with_budget(EVENTS);
+        for lane in 0..64u64 {
+            sim.scheduler_mut()
+                .schedule_fn(SimTime::from_ns(lane), tick([lane, 2, 3, 4]));
+        }
+        sim.run();
+        assert_eq!(std::hint::black_box(sim.events_fired()), EVENTS);
+    });
+    EVENTS as f64 / wall
+}
+
+/// Typed slab scheduler with the same payload moved through the slab: zero
+/// allocations at steady state.
+fn typed_payload_events_per_sec(samples: usize) -> f64 {
+    enum Tick {
+        Fire(Payload),
+    }
+    impl Event<u64> for Tick {
+        fn fire(self, w: &mut u64, s: &mut Scheduler<u64, Tick>) {
+            let Tick::Fire(payload) = self;
+            *w += 1;
+            let mut next = std::hint::black_box(payload);
+            next[0] = next[0].wrapping_add(1);
+            s.schedule_after(SimTime::from_ns(10), Tick::Fire(next));
+        }
+        fn from_boxed(_: BoxedFn<u64, Tick>) -> Self {
+            unreachable!("throughput loop never schedules closures")
+        }
+    }
+    let wall = min_wall(samples, || {
+        let mut sim: Simulation<u64, Tick> = Simulation::new(0u64).with_budget(EVENTS);
+        for lane in 0..64u64 {
+            sim.scheduler_mut()
+                .schedule(SimTime::from_ns(lane), Tick::Fire([lane, 2, 3, 4]));
+        }
+        sim.run();
+        assert_eq!(std::hint::black_box(sim.events_fired()), EVENTS);
+    });
+    EVENTS as f64 / wall
+}
+
+/// Typed slab scheduler: the same self-rescheduling workload as
+/// [`boxed_events_per_sec`], but each event is an enum variant moved through
+/// the slab — zero allocations at steady state.
+fn typed_events_per_sec(samples: usize) -> f64 {
+    enum Tick {
+        Fire,
+    }
+    impl Event<u64> for Tick {
+        fn fire(self, w: &mut u64, s: &mut Scheduler<u64, Tick>) {
+            *w += 1;
+            s.schedule_after(SimTime::from_ns(10), Tick::Fire);
+        }
+        fn from_boxed(_: BoxedFn<u64, Tick>) -> Self {
+            unreachable!("throughput loop never schedules closures")
+        }
+    }
+    let wall = min_wall(samples, || {
+        let mut sim: Simulation<u64, Tick> = Simulation::new(0u64).with_budget(EVENTS);
+        for lane in 0..64u64 {
+            sim.scheduler_mut()
+                .schedule(SimTime::from_ns(lane), Tick::Fire);
+        }
+        sim.run();
+        assert_eq!(std::hint::black_box(sim.events_fired()), EVENTS);
+    });
+    EVENTS as f64 / wall
+}
+
+/// One `repro scale`-style experiment at N = 32 (not part of the scale
+/// table's node list, so it pins a fresh configuration).
+fn scale_n32(nic_side: bool) -> BarrierExperiment {
+    let alg = if nic_side {
+        Algorithm::Nic(Descriptor::Pe)
+    } else {
+        Algorithm::Host(Descriptor::Pe)
+    };
+    BarrierExperiment::new(32, alg).rounds(220, 20)
+}
+
+fn main() {
+    let samples = sample_size_from_env();
+    let scale_samples = samples.clamp(1, 5);
+
+    let boxed = boxed_events_per_sec(samples);
+    println!("bench des_throughput/scheduler/boxed            {boxed:>14.0} events/s");
+    let typed = typed_events_per_sec(samples);
+    println!(
+        "bench des_throughput/scheduler/typed            {typed:>14.0} events/s  ({:.2}x boxed)",
+        typed / boxed
+    );
+    let boxed_payload = boxed_payload_events_per_sec(samples);
+    println!("bench des_throughput/scheduler/boxed_payload    {boxed_payload:>14.0} events/s");
+    let typed_payload = typed_payload_events_per_sec(samples);
+    println!(
+        "bench des_throughput/scheduler/typed_payload    {typed_payload:>14.0} events/s  ({:.2}x boxed)",
+        typed_payload / boxed_payload
+    );
+
+    let mut sim_events = 0u64;
+    let nic_wall = min_wall(scale_samples, || {
+        sim_events = scale_n32(true).run().events;
+    });
+    let host_wall = min_wall(scale_samples, || {
+        scale_n32(false).run();
+    });
+    println!(
+        "bench des_throughput/scale_n32/nic_pe           wall {nic_wall:>9.3}s  ({:.0} events/s)",
+        sim_events as f64 / nic_wall
+    );
+    println!("bench des_throughput/scale_n32/host_pe          wall {host_wall:>9.3}s");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"gmsim-des-throughput/v1\",\n",
+            "  \"samples\": {samples},\n",
+            "  \"scheduler\": {{\n",
+            "    \"baseline_boxed_events_per_sec\": {base_sched:.0},\n",
+            "    \"boxed_events_per_sec\": {boxed:.0},\n",
+            "    \"typed_events_per_sec\": {typed:.0},\n",
+            "    \"boxed_payload_events_per_sec\": {boxed_payload:.0},\n",
+            "    \"typed_payload_events_per_sec\": {typed_payload:.0}\n",
+            "  }},\n",
+            "  \"scale_n32\": {{\n",
+            "    \"baseline_nic_pe_wall_s\": {base_nic:.4},\n",
+            "    \"baseline_host_pe_wall_s\": {base_host:.4},\n",
+            "    \"nic_pe_wall_s\": {nic:.4},\n",
+            "    \"host_pe_wall_s\": {host:.4},\n",
+            "    \"nic_pe_sim_events\": {ev}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        samples = samples,
+        base_sched = baseline::SCHED_EVENTS_PER_SEC,
+        boxed = boxed,
+        typed = typed,
+        boxed_payload = boxed_payload,
+        typed_payload = typed_payload,
+        base_nic = baseline::SCALE_N32_NIC_PE_WALL_S,
+        base_host = baseline::SCALE_N32_HOST_PE_WALL_S,
+        nic = nic_wall,
+        host = host_wall,
+        ev = sim_events,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_des.json");
+    std::fs::write(out, &json).expect("write BENCH_des.json");
+    print!("{json}");
+}

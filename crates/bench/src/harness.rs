@@ -14,6 +14,20 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+/// Default measured iterations per benchmark when a target does not call
+/// [`BenchmarkGroup::sample_size`]: the `GMSIM_BENCH_SAMPLES` environment
+/// variable if set and parsable, else 10. Lets CI run cheap 2-sample smoke
+/// passes without touching every bench target.
+pub fn sample_size_from_env() -> usize {
+    parse_sample_size(std::env::var("GMSIM_BENCH_SAMPLES").ok().as_deref())
+}
+
+fn parse_sample_size(var: Option<&str>) -> usize {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(10)
+}
+
 /// Top-level harness handle, mirroring `criterion::Criterion`.
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -26,14 +40,14 @@ impl Criterion {
         BenchmarkGroup {
             _c: self,
             name: name.to_string(),
-            sample_size: 10,
+            sample_size: sample_size_from_env(),
             throughput: None,
         }
     }
 
     /// Run a single ungrouped benchmark.
     pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
-        run_one(name, 10, None, f);
+        run_one(name, sample_size_from_env(), None, f);
     }
 }
 
@@ -199,6 +213,15 @@ mod tests {
         g.finish();
         // 1 warmup + 4 measured
         assert_eq!(calls.get(), 5);
+    }
+
+    #[test]
+    fn sample_size_parses_env_shapes() {
+        assert_eq!(parse_sample_size(None), 10);
+        assert_eq!(parse_sample_size(Some("2")), 2);
+        assert_eq!(parse_sample_size(Some(" 7 ")), 7);
+        assert_eq!(parse_sample_size(Some("0")), 1, "clamped to at least one");
+        assert_eq!(parse_sample_size(Some("junk")), 10);
     }
 
     #[test]

@@ -148,14 +148,16 @@ pub struct BarrierStats {
 }
 
 /// An in-flight interpreted collective on one port — the paper's "send
-/// token pointer". The schedule is the program; `pc` the current step;
-/// `outstanding` the peers of the current receive step still owing a
-/// packet; `acc` the value accumulator (operand in, result out).
+/// token pointer". The schedule is the program (shared with the token that
+/// posted it — no copy); `pc` the current step; `outstanding` the peers of
+/// the current receive step still owing a packet (meaningful only while
+/// `parked`); `acc` the value accumulator (operand in, result out).
 #[derive(Debug, Clone)]
 struct Run {
-    schedule: CollectiveSchedule,
+    schedule: std::sync::Arc<CollectiveSchedule>,
     pc: usize,
-    outstanding: Option<Vec<GlobalPort>>,
+    outstanding: Vec<GlobalPort>,
+    parked: bool,
     acc: u64,
 }
 
@@ -196,6 +198,9 @@ pub struct BarrierExtension {
     /// Last message sent per (port, peer, packet kind) — kind-keyed so a
     /// lost BCAST and a lost PE to the same peer are both resendable.
     sent_cache: std::collections::HashMap<(u8, GlobalPort, u8), SentRecord>,
+    /// Retired `Run::outstanding` buffer, recycled into the next collective
+    /// so steady-state rounds never allocate a fresh peer list.
+    spare_outstanding: Vec<GlobalPort>,
 }
 
 impl BarrierExtension {
@@ -213,6 +218,7 @@ impl BarrierExtension {
             stats: BarrierStats::default(),
             local_queue: VecDeque::new(),
             sent_cache: std::collections::HashMap::new(),
+            spare_outstanding: Vec::new(),
         }
     }
 
@@ -345,6 +351,10 @@ impl BarrierExtension {
     /// Advance the program on `port` as far as the unexpected record
     /// allows: emit send steps, consume available receive records, deliver
     /// completions, and park on a receive still owed packets.
+    ///
+    /// The [`Run`] is taken out of the slot for the duration (nothing called
+    /// from here re-reads the slot), so steps are matched by reference —
+    /// no per-step clone of the schedule's peer lists.
     fn interpret(
         &mut self,
         core: &mut McpCore,
@@ -353,33 +363,34 @@ impl BarrierExtension {
         out: &mut Vec<McpOutput>,
     ) {
         let mut t = now;
+        let Some(mut run) = self.slots[port.idx()].take() else {
+            return;
+        };
         loop {
-            let Some(run) = &self.slots[port.idx()] else {
-                return;
-            };
             if run.pc == run.schedule.steps.len() {
                 // Program exhausted: drop the token pointer (§4.2 "sets the
-                // send token pointer in the port data structure to zero").
-                self.slots[port.idx()] = None;
+                // send token pointer in the port data structure to zero"),
+                // keeping its outstanding buffer for the next collective.
+                run.outstanding.clear();
+                self.spare_outstanding = std::mem::take(&mut run.outstanding);
                 return;
             }
-            match run.schedule.steps[run.pc].clone() {
+            match &run.schedule.steps[run.pc] {
                 ScheduleStep::SendTo {
                     peers,
                     kind,
                     charge,
                 } => {
+                    let (kind, charge) = (*kind, *charge);
                     let value = run.acc;
-                    for peer in peers {
+                    for &peer in peers.iter() {
                         let cycles = self.costs.step_cycles(charge);
                         if cycles > 0 {
                             t = core.exec(cycles, t);
                         }
                         self.emit(core, port, peer, kind, value, t, out);
                     }
-                    if let Some(run) = &mut self.slots[port.idx()] {
-                        run.pc += 1;
-                    }
+                    run.pc += 1;
                 }
                 ScheduleStep::RecvFrom {
                     peers,
@@ -387,22 +398,30 @@ impl BarrierExtension {
                     combine,
                     charge,
                 } => {
-                    let run = self.slots[port.idx()].as_mut().unwrap();
-                    let mut outstanding = run.outstanding.take().unwrap_or(peers);
+                    let (kind, combine, charge) = (*kind, *combine, *charge);
+                    // The peer list is copied into the run's reusable
+                    // buffer on the step's first visit; parked state keeps
+                    // whatever is still outstanding in place.
+                    if !run.parked {
+                        run.outstanding.clear();
+                        run.outstanding.extend_from_slice(peers);
+                    }
                     // Consume every peer whose packet is already recorded;
                     // re-scan until a full pass makes no progress.
                     loop {
                         let mut consumed_any = false;
-                        outstanding.retain(|peer| {
-                            match self.record.check_clear(port, *peer, kind) {
+                        let record = &mut self.record;
+                        let costs = &self.costs;
+                        let acc = &mut run.acc;
+                        run.outstanding.retain(|peer| {
+                            match record.check_clear(port, *peer, kind) {
                                 Some(meta) => {
-                                    let cycles = self.costs.step_cycles(charge);
+                                    let cycles = costs.step_cycles(charge);
                                     if cycles > 0 {
                                         t = core.exec(cycles, t);
                                     }
-                                    let run = self.slots[port.idx()].as_mut().unwrap();
-                                    run.acc = match combine {
-                                        Some(op) => op.combine(run.acc, meta.value),
+                                    *acc = match combine {
+                                        Some(op) => op.combine(*acc, meta.value),
                                         None => meta.value,
                                     };
                                     consumed_any = true;
@@ -411,16 +430,17 @@ impl BarrierExtension {
                                 None => true,
                             }
                         });
-                        if outstanding.is_empty() || !consumed_any {
+                        if run.outstanding.is_empty() || !consumed_any {
                             break;
                         }
                     }
-                    let run = self.slots[port.idx()].as_mut().unwrap();
-                    if outstanding.is_empty() {
+                    if run.outstanding.is_empty() {
+                        run.parked = false;
                         run.pc += 1;
                     } else {
                         // Park until more packets arrive and poke us.
-                        run.outstanding = Some(outstanding);
+                        run.parked = true;
+                        self.slots[port.idx()] = Some(run);
                         return;
                     }
                 }
@@ -440,9 +460,7 @@ impl BarrierExtension {
                     core.port_mut(port).return_send_token();
                     self.stats.completions += 1;
                     core.complete_to_host(port, ev, t, out);
-                    if let Some(run) = &mut self.slots[port.idx()] {
-                        run.pc += 1;
-                    }
+                    run.pc += 1;
                 }
             }
         }
@@ -501,7 +519,8 @@ impl McpExtension for BarrierExtension {
         self.slots[port.idx()] = Some(Run {
             schedule: token.schedule,
             pc: 0,
-            outstanding: None,
+            outstanding: std::mem::take(&mut self.spare_outstanding),
+            parked: false,
             acc: token.value,
         });
         self.interpret(core, port, t, out);

@@ -26,9 +26,9 @@ pub fn decode_note(tag: u64) -> Option<u64> {
 
 /// Runs `rounds` consecutive NIC-based collectives of any [`Descriptor`].
 pub struct NicBarrierLoop {
-    group: BarrierGroup,
-    rank: usize,
-    desc: Descriptor,
+    /// The schedule is identical every round, so it is compiled once here
+    /// and the token cloned per round — an `Arc` bump, not a program copy.
+    token: CollectiveToken,
     rounds: u64,
     round: u64,
 }
@@ -37,16 +37,14 @@ impl NicBarrierLoop {
     /// The loop for `rank` of `group`.
     pub fn new(group: BarrierGroup, rank: usize, desc: Descriptor, rounds: u64) -> Self {
         NicBarrierLoop {
-            group,
-            rank,
-            desc,
+            token: group.token(desc, rank),
             rounds,
             round: 0,
         }
     }
 
     fn token(&self) -> CollectiveToken {
-        self.group.token(self.desc, self.rank)
+        self.token.clone()
     }
 }
 
@@ -83,8 +81,8 @@ impl HostProgram for NicBarrierLoop {
 /// `overlap = false` it computes first and only then initiates — the
 /// blocking baseline. Comparing total runtimes shows the hidden time.
 pub struct FuzzyBarrierLoop {
-    group: BarrierGroup,
-    rank: usize,
+    /// Compiled once; cloned (cheaply) per round.
+    token: CollectiveToken,
     rounds: u64,
     round: u64,
     compute: SimTime,
@@ -101,8 +99,7 @@ impl FuzzyBarrierLoop {
         overlap: bool,
     ) -> Self {
         FuzzyBarrierLoop {
-            group,
-            rank,
+            token: group.pe_token(rank),
             rounds,
             round: 0,
             compute,
@@ -113,12 +110,12 @@ impl FuzzyBarrierLoop {
     fn begin_round(&self, ctx: &mut HostCtx) {
         if self.overlap {
             // Fuzzy: initiate, then compute while the NIC runs the barrier.
-            ctx.start_collective(self.group.pe_token(self.rank));
+            ctx.start_collective(self.token.clone());
             ctx.compute(self.compute);
         } else {
             // Blocking: compute, then synchronize.
             ctx.compute(self.compute);
-            ctx.start_collective(self.group.pe_token(self.rank));
+            ctx.start_collective(self.token.clone());
         }
     }
 }

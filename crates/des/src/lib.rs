@@ -13,18 +13,19 @@
 //!   timestamp fire in FIFO order of scheduling (a monotone sequence number
 //!   breaks ties), so no behaviour ever depends on hash iteration order or
 //!   heap internals.
-//! * **Genericity.** The engine is generic over the *world* type `W`; the GM
-//!   stack instantiates it with its cluster state. Events are boxed
-//!   `FnOnce(&mut W, &mut Scheduler<W>)` closures (or any type implementing
-//!   [`Event`]), which keeps the upper layers free to capture whatever
-//!   context they need.
+//! * **Genericity.** The engine is generic over the *world* type `W` and the
+//!   *event* type `E`; the GM stack instantiates it with its cluster state
+//!   and a typed event enum. The default event type [`Boxed`] is a boxed
+//!   `FnOnce(&mut W, &mut Scheduler<W>)` closure, which keeps cold paths and
+//!   tests free to capture whatever context they need; typed events live in
+//!   an allocation-free slab (see [`scheduler`]).
 //! * **Guard rails.** [`Simulation::run`] enforces an event budget so a bug
 //!   that produces an event livelock fails a test instead of hanging it.
 //!
 //! ```
 //! use gmsim_des::{Simulation, SimTime};
 //!
-//! let mut sim = Simulation::new(0u64);
+//! let mut sim: Simulation<u64> = Simulation::new(0);
 //! sim.scheduler_mut().schedule_fn(SimTime::from_us(5), |w: &mut u64, _s| *w += 1);
 //! sim.run();
 //! assert_eq!(*sim.world(), 1);
@@ -41,7 +42,7 @@ pub mod time;
 pub mod trace;
 
 pub use rng::SimRng;
-pub use scheduler::{Event, RunOutcome, Scheduler, Simulation};
+pub use scheduler::{Boxed, BoxedFn, Event, RunOutcome, Scheduler, Simulation};
 pub use stats::{Histogram, Summary};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceSink};

@@ -4,47 +4,77 @@
 //! `seq` counter makes ordering total and deterministic: events at equal
 //! timestamps fire in the order they were scheduled. A [`Simulation`] couples
 //! a scheduler with the simulated world and drives the loop.
+//!
+//! # Hot path
+//!
+//! The scheduler is generic over the event type `E`. With a typed event (an
+//! enum such as the GM stack's `ClusterEvent`), entries live in a slab with
+//! an internal freelist and the binary heap orders plain `(time, seq, slot)`
+//! index records — steady-state scheduling performs **zero heap
+//! allocations** once the slab and heap have grown to the high-water mark.
+//! The default event type [`Boxed`] wraps `Box<dyn FnOnce>` closures, which
+//! keeps `schedule_fn` ergonomics for cold paths and tests (one allocation
+//! per event, as before).
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::marker::PhantomData;
 
 /// A schedulable event acting on world `W`.
 ///
-/// Implemented for all `FnOnce(&mut W, &mut Scheduler<W>)` closures, which is
-/// how the upper layers almost always use it.
-pub trait Event<W> {
+/// `fire` consumes the event by value — typed events are moved out of the
+/// slab, never boxed. `from_boxed` absorbs a closure so that
+/// [`Scheduler::schedule_fn`] works with any event type; typed events keep a
+/// closure variant for cold-path use.
+pub trait Event<W>: Sized {
     /// Consume the event, mutating the world and possibly scheduling more.
-    fn fire(self: Box<Self>, world: &mut W, sched: &mut Scheduler<W>);
+    fn fire(self, world: &mut W, sched: &mut Scheduler<W, Self>);
+
+    /// Wrap a boxed closure as an event (cold path / tests).
+    fn from_boxed(f: BoxedFn<W, Self>) -> Self;
 }
 
-impl<W, F> Event<W> for F
-where
-    F: FnOnce(&mut W, &mut Scheduler<W>),
-{
-    fn fire(self: Box<Self>, world: &mut W, sched: &mut Scheduler<W>) {
-        (*self)(world, sched)
+/// A boxed event closure: what [`Scheduler::schedule_fn`] wraps and
+/// [`Event::from_boxed`] absorbs.
+pub type BoxedFn<W, E> = Box<dyn FnOnce(&mut W, &mut Scheduler<W, E>)>;
+
+/// The default event type: a boxed closure. One heap allocation per event —
+/// fine for tests and setup, replaced by typed enums on hot paths.
+pub struct Boxed<W>(BoxedFn<W, Boxed<W>>);
+
+impl<W> Event<W> for Boxed<W> {
+    fn fire(self, world: &mut W, sched: &mut Scheduler<W>) {
+        (self.0)(world, sched)
+    }
+    fn from_boxed(f: Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>) -> Self {
+        Boxed(f)
     }
 }
 
-struct Entry<W> {
+/// Freelist sentinel: no next slot.
+const NIL: u32 = u32::MAX;
+
+/// What the heap orders: time and tie-break sequence, plus the slab slot
+/// holding the event payload.
+struct HeapEntry {
     at: SimTime,
     seq: u64,
-    event: Box<dyn Event<W>>,
+    slot: u32,
 }
 
-impl<W> PartialEq for Entry<W> {
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Entry<W> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
         // first. seq breaks ties FIFO, giving full determinism.
@@ -52,28 +82,41 @@ impl<W> Ord for Entry<W> {
     }
 }
 
+/// Slab storage for pending events: occupied slots hold the payload, vacant
+/// slots chain the freelist.
+enum Slot<E> {
+    Vacant { next_free: u32 },
+    Occupied(E),
+}
+
 /// Priority queue of pending events plus the current virtual time.
-pub struct Scheduler<W> {
-    heap: BinaryHeap<Entry<W>>,
+pub struct Scheduler<W, E: Event<W> = Boxed<W>> {
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    free_head: u32,
     now: SimTime,
     seq: u64,
     fired: u64,
+    _world: PhantomData<fn(&mut W)>,
 }
 
-impl<W> Default for Scheduler<W> {
+impl<W, E: Event<W>> Default for Scheduler<W, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> Scheduler<W> {
+impl<W, E: Event<W>> Scheduler<W, E> {
     /// An empty scheduler at time zero.
     pub fn new() -> Self {
         Scheduler {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free_head: NIL,
             now: SimTime::ZERO,
             seq: 0,
             fired: 0,
+            _world: PhantomData,
         }
     }
 
@@ -95,12 +138,24 @@ impl<W> Scheduler<W> {
         self.heap.len()
     }
 
+    /// Timestamp of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_next_at(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Slab capacity (high-water mark of simultaneously pending events) —
+    /// instrumentation for allocation tests.
+    pub fn slab_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Schedule `event` at absolute time `at`.
     ///
     /// # Panics
     /// Panics if `at` is in the past — scheduling backwards in time is always
     /// a model bug and must fail loudly.
-    pub fn schedule(&mut self, at: SimTime, event: Box<dyn Event<W>>) {
+    pub fn schedule(&mut self, at: SimTime, event: E) {
         assert!(
             at >= self.now,
             "event scheduled in the past: at={at:?} now={:?}",
@@ -108,36 +163,63 @@ impl<W> Scheduler<W> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        let slot = if self.free_head == NIL {
+            debug_assert!(self.slots.len() < NIL as usize, "slab full");
+            self.slots.push(Slot::Occupied(event));
+            (self.slots.len() - 1) as u32
+        } else {
+            let slot = self.free_head;
+            match std::mem::replace(&mut self.slots[slot as usize], Slot::Occupied(event)) {
+                Slot::Vacant { next_free } => self.free_head = next_free,
+                Slot::Occupied(_) => unreachable!("freelist head was occupied"),
+            }
+            slot
+        };
+        self.heap.push(HeapEntry { at, seq, slot });
     }
 
     /// Schedule a closure at absolute time `at`.
     #[inline]
     pub fn schedule_fn<F>(&mut self, at: SimTime, f: F)
     where
-        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        F: FnOnce(&mut W, &mut Scheduler<W, E>) + 'static,
     {
-        self.schedule(at, Box::new(f));
+        self.schedule(at, E::from_boxed(Box::new(f)));
     }
 
     /// Schedule a closure `delay` after the current time.
     #[inline]
     pub fn schedule_in<F>(&mut self, delay: SimTime, f: F)
     where
-        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        F: FnOnce(&mut W, &mut Scheduler<W, E>) + 'static,
     {
         let at = self.now + delay;
         self.schedule_fn(at, f);
+    }
+
+    /// Schedule a typed event `delay` after the current time.
+    #[inline]
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        let at = self.now + delay;
+        self.schedule(at, event);
     }
 
     /// Pop and fire the earliest event against `world`. Returns `false` when
     /// the queue is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
         match self.heap.pop() {
-            Some(Entry { at, event, .. }) => {
+            Some(HeapEntry { at, slot, .. }) => {
                 debug_assert!(at >= self.now, "time went backwards");
                 self.now = at;
                 self.fired += 1;
+                let freed = Slot::Vacant {
+                    next_free: self.free_head,
+                };
+                let event = match std::mem::replace(&mut self.slots[slot as usize], freed) {
+                    Slot::Occupied(e) => e,
+                    Slot::Vacant { .. } => unreachable!("heap entry pointed at a vacant slot"),
+                };
+                self.free_head = slot;
                 event.fire(world, self);
                 true
             }
@@ -158,14 +240,14 @@ pub enum RunOutcome {
 }
 
 /// A world plus a scheduler, with guarded run loops.
-pub struct Simulation<W> {
+pub struct Simulation<W, E: Event<W> = Boxed<W>> {
     world: W,
-    sched: Scheduler<W>,
+    sched: Scheduler<W, E>,
     /// Upper bound on the total number of fired events (livelock guard).
     budget: u64,
 }
 
-impl<W> Simulation<W> {
+impl<W, E: Event<W>> Simulation<W, E> {
     /// Default budget: generous for real experiments, small enough that a
     /// livelocked unit test fails in well under a second.
     pub const DEFAULT_BUDGET: u64 = 500_000_000;
@@ -196,7 +278,7 @@ impl<W> Simulation<W> {
     }
 
     /// The scheduler, for seeding initial events.
-    pub fn scheduler_mut(&mut self) -> &mut Scheduler<W> {
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<W, E> {
         &mut self.sched
     }
 
@@ -227,9 +309,9 @@ impl<W> Simulation<W> {
             if self.sched.fired() >= self.budget {
                 return RunOutcome::BudgetExhausted;
             }
-            match self.sched.heap.peek() {
+            match self.sched.peek_next_at() {
                 None => return RunOutcome::Quiescent,
-                Some(e) if e.at > horizon => return RunOutcome::HorizonReached,
+                Some(at) if at > horizon => return RunOutcome::HorizonReached,
                 Some(_) => {
                     self.sched.step(&mut self.world);
                 }
@@ -264,7 +346,7 @@ mod tests {
 
     #[test]
     fn events_fire_in_time_order() {
-        let mut sim = Simulation::new(Vec::<u32>::new());
+        let mut sim: Simulation<Vec<u32>> = Simulation::new(Vec::new());
         let s = sim.scheduler_mut();
         s.schedule_fn(SimTime::from_us(30), |w: &mut Vec<u32>, _| w.push(3));
         s.schedule_fn(SimTime::from_us(10), |w: &mut Vec<u32>, _| w.push(1));
@@ -276,7 +358,7 @@ mod tests {
 
     #[test]
     fn ties_fire_fifo() {
-        let mut sim = Simulation::new(Vec::<u32>::new());
+        let mut sim: Simulation<Vec<u32>> = Simulation::new(Vec::new());
         let t = SimTime::from_us(5);
         for i in 0..100 {
             sim.scheduler_mut()
@@ -303,7 +385,7 @@ mod tests {
 
     #[test]
     fn horizon_stops_clock() {
-        let mut sim = Simulation::new(0u64);
+        let mut sim: Simulation<u64> = Simulation::new(0);
         sim.scheduler_mut()
             .schedule_fn(SimTime::from_us(10), |w: &mut u64, _| *w = 1);
         sim.scheduler_mut()
@@ -331,7 +413,7 @@ mod tests {
 
     #[test]
     fn run_while_predicate() {
-        let mut sim = Simulation::new(0u64);
+        let mut sim: Simulation<u64> = Simulation::new(0);
         for i in 0..20u64 {
             sim.scheduler_mut()
                 .schedule_fn(SimTime::from_us(i), |w: &mut u64, _| *w += 1);
@@ -343,7 +425,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "scheduled in the past")]
     fn scheduling_in_the_past_panics() {
-        let mut sim = Simulation::new(());
+        let mut sim: Simulation<()> = Simulation::new(());
         sim.scheduler_mut()
             .schedule_fn(SimTime::from_us(10), |_, s: &mut Scheduler<()>| {
                 s.schedule_fn(SimTime::from_us(5), |_, _| {});
@@ -353,8 +435,61 @@ mod tests {
 
     #[test]
     fn step_returns_false_when_empty() {
-        let mut sim = Simulation::new(());
+        let mut sim: Simulation<()> = Simulation::new(());
         assert!(!sim.step());
         assert_eq!(sim.events_fired(), 0);
+    }
+
+    /// A minimal typed event for exercising the slab path directly.
+    enum Typed {
+        Push(u32),
+        Chain { left: u32 },
+    }
+
+    impl Event<Vec<u32>> for Typed {
+        fn fire(self, world: &mut Vec<u32>, sched: &mut Scheduler<Vec<u32>, Typed>) {
+            match self {
+                Typed::Push(v) => world.push(v),
+                Typed::Chain { left } => {
+                    world.push(left);
+                    if left > 0 {
+                        sched.schedule_after(SimTime::from_ns(5), Typed::Chain { left: left - 1 });
+                    }
+                }
+            }
+        }
+        fn from_boxed(f: Box<dyn FnOnce(&mut Vec<u32>, &mut Scheduler<Vec<u32>, Typed>)>) -> Self {
+            // Tests only need a marker; real typed events keep a closure
+            // variant. Run it immediately-on-fire via Chain-free encoding is
+            // impossible here, so panic loudly if exercised.
+            let _ = f;
+            unreachable!("typed test event does not absorb closures")
+        }
+    }
+
+    #[test]
+    fn typed_events_fire_in_order_and_reuse_slots() {
+        let mut sim: Simulation<Vec<u32>, Typed> = Simulation::new(Vec::new());
+        let s = sim.scheduler_mut();
+        s.schedule(SimTime::from_us(2), Typed::Push(20));
+        s.schedule(SimTime::from_us(1), Typed::Push(10));
+        s.schedule(SimTime::from_us(3), Typed::Chain { left: 3 });
+        assert_eq!(sim.run(), RunOutcome::Quiescent);
+        assert_eq!(*sim.world(), [10, 20, 3, 2, 1, 0]);
+        // The chain reuses freed slots: capacity stays at the high-water
+        // mark of simultaneously pending events, not the event count.
+        assert_eq!(sim.scheduler_mut().slab_capacity(), 3);
+        assert_eq!(sim.events_fired(), 6);
+    }
+
+    #[test]
+    fn typed_ties_fire_fifo_through_slab_reuse() {
+        let mut sim: Simulation<Vec<u32>, Typed> = Simulation::new(Vec::new());
+        let t = SimTime::from_us(5);
+        for i in 0..50 {
+            sim.scheduler_mut().schedule(t, Typed::Push(i));
+        }
+        sim.run();
+        assert_eq!(*sim.world(), (0..50).collect::<Vec<_>>());
     }
 }

@@ -1,8 +1,8 @@
 //! Randomized property tests for the DES engine: event ordering, statistics
-//! merging, and RNG determinism.
+//! merging, RNG determinism, and typed-slab/boxed-closure equivalence.
 
 use gmsim_des::check::forall;
-use gmsim_des::{Scheduler, SimRng, SimTime, Simulation, Summary};
+use gmsim_des::{BoxedFn, Event, Scheduler, SimRng, SimTime, Simulation, Summary};
 
 /// Events fire in nondecreasing time order, with FIFO order at equal
 /// timestamps, for arbitrary schedules.
@@ -10,7 +10,7 @@ use gmsim_des::{Scheduler, SimRng, SimTime, Simulation, Summary};
 fn fire_order_is_total() {
     forall(128, 0xDE5_0001, |g| {
         let times = g.vec_of(1, 200, |g| g.u64_in(0, 999));
-        let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+        let mut sim: Simulation<Vec<(u64, usize)>> = Simulation::new(Vec::new());
         for (i, &t) in times.iter().enumerate() {
             sim.scheduler_mut()
                 .schedule_fn(SimTime::from_ns(t), move |w: &mut Vec<(u64, usize)>, _| {
@@ -35,7 +35,7 @@ fn fire_order_is_total() {
 fn nested_scheduling_never_goes_backwards() {
     forall(128, 0xDE5_0002, |g| {
         let seeds = g.vec_of(1, 50, |g| (g.u64_in(0, 499), g.u64_in(1, 99)));
-        let mut sim = Simulation::new(Vec::<u64>::new());
+        let mut sim: Simulation<Vec<u64>> = Simulation::new(Vec::new());
         for &(start, delay) in &seeds {
             sim.scheduler_mut()
                 .schedule_fn(SimTime::from_ns(start), move |_: &mut Vec<u64>, s| {
@@ -107,7 +107,7 @@ fn horizon_is_respected() {
     forall(128, 0xDE5_0005, |g| {
         let times = g.vec_of(1, 100, |g| g.u64_in(0, 999));
         let horizon = g.u64_in(0, 999);
-        let mut sim = Simulation::new(0usize);
+        let mut sim: Simulation<usize> = Simulation::new(0);
         for &t in &times {
             sim.scheduler_mut()
                 .schedule_fn(SimTime::from_ns(t), |w: &mut usize, _| *w += 1);
@@ -147,4 +147,150 @@ fn replay_is_bit_identical() {
     }
     assert_eq!(run(1234), run(1234));
     assert_ne!(run(1234), run(4321));
+}
+
+/// Trace of fired events: `(fire time in ns, item index)`.
+type Trace = Vec<(u64, usize)>;
+
+/// A typed event mirroring the boxed-closure workload below: note the fire,
+/// optionally chain a follow-up. The `Call` variant absorbs closures so the
+/// typed scheduler still supports `schedule_fn` (mirroring `ClusterEvent`).
+enum TypedEv {
+    Note { idx: usize, followup: Option<u64> },
+    Call(BoxedFn<Trace, TypedEv>),
+}
+
+impl Event<Trace> for TypedEv {
+    fn fire(self, world: &mut Trace, sched: &mut Scheduler<Trace, TypedEv>) {
+        match self {
+            TypedEv::Note { idx, followup } => {
+                world.push((sched.now().as_ns(), idx));
+                if let Some(delay) = followup {
+                    sched.schedule_after(
+                        SimTime::from_ns(delay),
+                        TypedEv::Note {
+                            idx: idx + 1_000_000,
+                            followup: None,
+                        },
+                    );
+                }
+            }
+            TypedEv::Call(f) => f(world, sched),
+        }
+    }
+    fn from_boxed(f: BoxedFn<Trace, TypedEv>) -> Self {
+        TypedEv::Call(f)
+    }
+}
+
+/// The typed slab path and the boxed-closure path produce bit-identical
+/// traces for arbitrary workloads with chained follow-ups, including when
+/// typed and closure events are mixed in one queue. This is the property the
+/// `ClusterEvent` port of the GM stack relies on: retiming nothing, only
+/// changing event representation.
+#[test]
+fn typed_path_matches_boxed_path() {
+    forall(128, 0xDE5_0006, |g| {
+        // Workload: (start time, follow-up delay or 0, schedule via closure?)
+        let items: Vec<(u64, u64, bool)> = g.vec_of(1, 120, |g| {
+            (g.u64_in(0, 99), g.u64_in(0, 19), g.u64_in(0, 3) == 0)
+        });
+
+        // Boxed run: everything through schedule_fn.
+        let mut boxed: Simulation<Trace> = Simulation::new(Vec::new());
+        for (i, &(t, d, _)) in items.iter().enumerate() {
+            boxed
+                .scheduler_mut()
+                .schedule_fn(SimTime::from_ns(t), move |w: &mut Trace, s| {
+                    w.push((s.now().as_ns(), i));
+                    if d > 0 {
+                        s.schedule_in(SimTime::from_ns(d), move |w: &mut Trace, s2| {
+                            w.push((s2.now().as_ns(), i + 1_000_000));
+                        });
+                    }
+                });
+        }
+        boxed.run();
+
+        // Typed run: the same workload as slab events, except items flagged
+        // `via_closure`, which go through the Call/from_boxed seam.
+        let mut typed: Simulation<Trace, TypedEv> = Simulation::new(Vec::new());
+        for (i, &(t, d, via_closure)) in items.iter().enumerate() {
+            let followup = (d > 0).then_some(d);
+            if via_closure {
+                typed
+                    .scheduler_mut()
+                    .schedule_fn(SimTime::from_ns(t), move |w: &mut Trace, s| {
+                        TypedEv::Note { idx: i, followup }.fire(w, s)
+                    });
+            } else {
+                typed
+                    .scheduler_mut()
+                    .schedule(SimTime::from_ns(t), TypedEv::Note { idx: i, followup });
+            }
+        }
+        typed.run();
+
+        assert_eq!(typed.events_fired(), boxed.events_fired());
+        assert_eq!(typed.now(), boxed.now());
+        assert_eq!(typed.world(), boxed.world(), "fire traces diverged");
+    });
+}
+
+/// FIFO tie-break at equal timestamps survives slab slot reuse: events
+/// scheduled after earlier events have fired (and freed slots back onto the
+/// freelist) still fire strictly after same-time events scheduled earlier.
+#[test]
+fn typed_fifo_ties_survive_slot_reuse() {
+    forall(128, 0xDE5_0007, |g| {
+        let wave1: Vec<u64> = g.vec_of(1, 60, |g| g.u64_in(0, 9));
+        let wave2: Vec<u64> = g.vec_of(1, 60, |g| g.u64_in(5, 14));
+        let steps = g.usize_in(1, wave1.len());
+
+        let mut sim: Simulation<Trace, TypedEv> = Simulation::new(Vec::new());
+        for (i, &t) in wave1.iter().enumerate() {
+            sim.scheduler_mut().schedule(
+                SimTime::from_ns(t),
+                TypedEv::Note {
+                    idx: i,
+                    followup: None,
+                },
+            );
+        }
+        // Fire part of wave 1 so its slots return to the freelist, then
+        // schedule wave 2 into the recycled slots (indices continue upward,
+        // matching the global seq order).
+        for _ in 0..steps {
+            assert!(sim.step());
+        }
+        let now = sim.now().as_ns();
+        for (j, &t) in wave2.iter().enumerate() {
+            let at = now.max(t); // never schedule into the past
+            sim.scheduler_mut().schedule(
+                SimTime::from_ns(at),
+                TypedEv::Note {
+                    idx: wave1.len() + j,
+                    followup: None,
+                },
+            );
+        }
+        sim.run();
+
+        let fired = sim.world();
+        assert_eq!(fired.len(), wave1.len() + wave2.len());
+        for w in fired.windows(2) {
+            assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                assert!(
+                    w[0].1 < w[1].1,
+                    "FIFO tie-break violated across slab reuse: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // Reuse actually happened: capacity never exceeds the high-water
+        // mark of simultaneously pending events.
+        assert!(sim.scheduler_mut().slab_capacity() <= wave1.len() + wave2.len());
+    });
 }

@@ -1,0 +1,101 @@
+//! Steady-state allocation gate for the typed slab scheduler.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up phase grows the slab and heap to their high-water mark, firing and
+//! rescheduling typed events must perform **zero** heap allocations. This is
+//! the property the whole hot-path refactor exists to provide, so it is
+//! pinned exactly, not approximately.
+//!
+//! This file deliberately contains a single check and runs with
+//! `harness = false`: global allocator counts are process-wide, and any
+//! concurrent allocation — a sibling test, or the libtest harness's own
+//! bookkeeping threads — would make the exact-zero assertion flaky.
+
+use gmsim_des::{BoxedFn, Event, Scheduler, SimTime, Simulation};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates every operation to `System`; only adds a relaxed counter.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+/// A self-rescheduling tick: the same shape as the benchmark's hot loop and
+/// the GM stack's steady-state event churn.
+enum Tick {
+    Fire { lane: u64 },
+}
+
+impl Event<u64> for Tick {
+    fn fire(self, world: &mut u64, sched: &mut Scheduler<u64, Tick>) {
+        let Tick::Fire { lane } = self;
+        *world += 1;
+        if *world < TOTAL {
+            sched.schedule_after(SimTime::from_ns(10 + lane), Tick::Fire { lane });
+        }
+    }
+    fn from_boxed(_: BoxedFn<u64, Tick>) -> Self {
+        unreachable!("zero-alloc test never schedules closures")
+    }
+}
+
+const LANES: u64 = 64;
+const TOTAL: u64 = 200_000;
+
+fn main() {
+    steady_state_typed_scheduling_allocates_nothing();
+    println!("zero_alloc: ok");
+}
+
+fn steady_state_typed_scheduling_allocates_nothing() {
+    let mut sim: Simulation<u64, Tick> = Simulation::new(0);
+    for lane in 0..LANES {
+        sim.scheduler_mut()
+            .schedule(SimTime::from_ns(lane), Tick::Fire { lane });
+    }
+    // Warm-up: let the slab and binary heap reach their high-water mark.
+    for _ in 0..10_000 {
+        assert!(sim.step());
+    }
+    let slab_before = sim.scheduler_mut().slab_capacity();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    while sim.step() {}
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    // Every lane still in flight when the counter hits TOTAL drains without
+    // rescheduling, so the queue fires LANES - 1 extra events.
+    assert_eq!(sim.events_fired(), TOTAL + LANES - 1);
+    assert_eq!(
+        after - before,
+        0,
+        "typed hot path allocated {} times after warm-up",
+        after - before
+    );
+    assert_eq!(
+        sim.scheduler_mut().slab_capacity(),
+        slab_before,
+        "slab grew past its warm-up high-water mark"
+    );
+}

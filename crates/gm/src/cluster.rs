@@ -11,10 +11,10 @@ use crate::events::GmEvent;
 use crate::ext::{McpExtension, NullExtension};
 use crate::host::{Host, HostAction, HostCtx, HostProgram};
 use crate::ids::{GlobalPort, NodeId, PortId};
-use crate::mcp::{Mcp, McpCore, McpOutput};
+use crate::mcp::{Mcp, McpCore, McpOutput, TimerKind};
 use crate::packet::Packet;
 use crate::token::SendToken;
-use gmsim_des::{Scheduler, SimTime, Simulation, TraceSink};
+use gmsim_des::{BoxedFn, Event, Scheduler, SimTime, Simulation, TraceSink};
 use gmsim_myrinet::fault::Fate;
 use gmsim_myrinet::{Fabric, FaultPlan, Topology, TopologyBuilder};
 
@@ -59,6 +59,13 @@ pub struct Cluster {
     /// Measurement marks recorded by programs.
     pub notes: Vec<NoteRecord>,
     config: GmConfig,
+    /// Reusable [`McpOutput`] buffer for firmware handler calls. Taken at
+    /// the top of each glue function and put back drained, so steady-state
+    /// events allocate nothing. Handlers never re-enter the glue, so one
+    /// buffer suffices.
+    mcp_scratch: Vec<McpOutput>,
+    /// Reusable [`HostAction`] buffer for program callbacks (same scheme).
+    action_scratch: Vec<HostAction>,
 }
 
 impl Cluster {
@@ -76,12 +83,134 @@ impl Cluster {
     pub fn notes_tagged(&self, tag: u64) -> impl Iterator<Item = &NoteRecord> {
         self.notes.iter().filter(move |n| n.tag == tag)
     }
+
+    fn take_outs(&mut self) -> Vec<McpOutput> {
+        std::mem::take(&mut self.mcp_scratch)
+    }
+
+    fn put_outs(&mut self, outs: Vec<McpOutput>) {
+        debug_assert!(outs.is_empty(), "scratch returned undrained");
+        self.mcp_scratch = outs;
+    }
 }
 
 /// Shorthand for a cluster simulation.
-pub type ClusterSim = Simulation<Cluster>;
+pub type ClusterSim = Simulation<Cluster, ClusterEvent>;
 /// Shorthand for the cluster scheduler.
-pub type ClusterSched = Scheduler<Cluster>;
+pub type ClusterSched = Scheduler<Cluster, ClusterEvent>;
+
+/// A typed scheduler event on the cluster — the allocation-free encoding of
+/// everything the steady-state hot path schedules. Each variant corresponds
+/// 1:1 to one of the closures the glue used to box; the [`ClusterEvent::Call`]
+/// variant keeps `schedule_fn` working for cold paths (program installation,
+/// tests).
+pub enum ClusterEvent {
+    /// The SEND machine's wire-injection instant arrived for this packet.
+    Transmit(Packet),
+    /// A worm fully arrived at its destination NIC.
+    WireDeliver {
+        /// The packet.
+        pkt: Packet,
+        /// CRC failure injected by the fabric.
+        corrupted: bool,
+    },
+    /// An RDMA into a host buffer completed: enqueue for the poll loop.
+    HostDeliver {
+        /// Destination node.
+        node: NodeId,
+        /// Destination port.
+        port: PortId,
+        /// The delivered event.
+        ev: GmEvent,
+    },
+    /// The host finished processing one `HRecv`.
+    HostProcess {
+        /// The node whose host poll loop advances.
+        node: NodeId,
+    },
+    /// A firmware timer expired.
+    McpTimer {
+        /// The node whose firmware set the timer.
+        node: NodeId,
+        /// What to do on expiry.
+        kind: TimerKind,
+    },
+    /// The host finished initiating a send: the SDMA machine can detect the
+    /// queued send token.
+    SendTokenReady {
+        /// The sending node.
+        node: NodeId,
+        /// The queued token.
+        token: SendToken,
+    },
+    /// The host finished queueing receive buffers: hand them to the port.
+    ProvideRecv {
+        /// The node providing buffers.
+        node: NodeId,
+        /// The port receiving them.
+        port: PortId,
+        /// How many buffers.
+        n: u32,
+    },
+    /// The host reached the port close in program order.
+    ClosePort {
+        /// The node closing a port.
+        node: NodeId,
+        /// The port being closed.
+        port: PortId,
+    },
+    /// A boxed closure (cold path: program installation, tests).
+    Call(BoxedFn<Cluster, ClusterEvent>),
+}
+
+impl Event<Cluster> for ClusterEvent {
+    fn fire(self, cl: &mut Cluster, s: &mut ClusterSched) {
+        match self {
+            ClusterEvent::Transmit(pkt) => transmit_now(pkt, cl, s),
+            ClusterEvent::WireDeliver { pkt, corrupted } => wire_deliver(pkt, corrupted, cl, s),
+            ClusterEvent::HostDeliver { node, port, ev } => host_deliver(node, port, ev, cl, s),
+            ClusterEvent::HostProcess { node } => host_process(node, cl, s),
+            ClusterEvent::McpTimer { node, kind } => {
+                let mut outs = cl.take_outs();
+                cl.nodes[node.0]
+                    .mcp
+                    .handle_timer_into(kind, s.now(), &mut outs);
+                pump(node, &mut outs, s);
+                cl.put_outs(outs);
+            }
+            ClusterEvent::SendTokenReady { node, token } => {
+                let mut outs = cl.take_outs();
+                cl.nodes[node.0]
+                    .mcp
+                    .handle_send_token_into(token, s.now(), &mut outs);
+                pump(node, &mut outs, s);
+                cl.put_outs(outs);
+            }
+            ClusterEvent::ProvideRecv { node, port, n } => {
+                for _ in 0..n {
+                    cl.nodes[node.0]
+                        .mcp
+                        .core
+                        .port_mut(port)
+                        .provide_recv_token();
+                }
+            }
+            ClusterEvent::ClosePort { node, port } => {
+                let mut outs = cl.take_outs();
+                cl.nodes[node.0]
+                    .mcp
+                    .close_port_into(port, s.now(), &mut outs);
+                pump(node, &mut outs, s);
+                cl.put_outs(outs);
+            }
+            ClusterEvent::Call(f) => f(cl, s),
+        }
+    }
+
+    fn from_boxed(f: BoxedFn<Cluster, ClusterEvent>) -> Self {
+        ClusterEvent::Call(f)
+    }
+}
 
 /// Factory producing the firmware extension for each node; receives the
 /// node id, the cluster size, and the configuration.
@@ -200,8 +329,10 @@ impl ClusterBuilder {
             },
             notes: Vec::new(),
             config: self.config,
+            mcp_scratch: Vec::new(),
+            action_scratch: Vec::new(),
         };
-        let mut sim = Simulation::new(cluster);
+        let mut sim: ClusterSim = Simulation::new(cluster);
         for (at, program, start) in self.programs {
             // The program is installed at its start time, so one endpoint
             // can be owned by successive processes (the §3.2 A/A′ case).
@@ -217,21 +348,19 @@ impl ClusterBuilder {
     }
 }
 
-/// Schedule the effects of MCP outputs produced by `node`'s firmware.
-pub fn pump(node: NodeId, outs: Vec<McpOutput>, _cl: &mut Cluster, s: &mut ClusterSched) {
-    for o in outs {
+/// Schedule the effects of MCP outputs produced by `node`'s firmware,
+/// draining the buffer so it can be reused.
+pub fn pump(node: NodeId, outs: &mut Vec<McpOutput>, s: &mut ClusterSched) {
+    for o in outs.drain(..) {
         match o {
             McpOutput::Transmit { at, pkt } => {
-                s.schedule_fn(at, move |cl, s| transmit_now(pkt, cl, s));
+                s.schedule(at, ClusterEvent::Transmit(pkt));
             }
             McpOutput::HostEvent { at, port, ev } => {
-                s.schedule_fn(at, move |cl, s| host_deliver(node, port, ev, cl, s));
+                s.schedule(at, ClusterEvent::HostDeliver { node, port, ev });
             }
             McpOutput::Timer { at, kind } => {
-                s.schedule_fn(at, move |cl, s| {
-                    let outs = cl.nodes[node.0].mcp.handle_timer(kind, s.now());
-                    pump(node, outs, cl, s);
-                });
+                s.schedule(at, ClusterEvent::McpTimer { node, kind });
             }
         }
     }
@@ -251,8 +380,12 @@ fn transmit_now(pkt: Packet, cl: &mut Cluster, s: &mut ClusterSched) {
     }
     if src == dst {
         // NIC-internal loopback: the packet never touches the wire.
-        let outs = cl.nodes[dst.0].mcp.handle_wire_packet(pkt, false, s.now());
-        pump(dst, outs, cl, s);
+        let mut outs = cl.take_outs();
+        cl.nodes[dst.0]
+            .mcp
+            .handle_wire_packet_into(pkt, false, s.now(), &mut outs);
+        pump(dst, &mut outs, s);
+        cl.put_outs(outs);
         return;
     }
     let delivery = cl
@@ -262,27 +395,36 @@ fn transmit_now(pkt: Packet, cl: &mut Cluster, s: &mut ClusterSched) {
         Fate::Dropped => {}
         fate => {
             let corrupted = fate == Fate::Corrupted;
-            s.schedule_fn(delivery.arrival, move |cl, s| {
-                if cl.trace.is_enabled() {
-                    cl.trace.record(
-                        s.now(),
-                        &format!("nic{}.recv", dst.0),
-                        format!("{:?}", pkt.kind),
-                    );
-                }
-                let outs = cl.nodes[dst.0]
-                    .mcp
-                    .handle_wire_packet(pkt, corrupted, s.now());
-                pump(dst, outs, cl, s);
-            });
+            s.schedule(
+                delivery.arrival,
+                ClusterEvent::WireDeliver { pkt, corrupted },
+            );
         }
     }
+}
+
+/// A worm fully arrived at its destination NIC: run the RECV machine.
+fn wire_deliver(pkt: Packet, corrupted: bool, cl: &mut Cluster, s: &mut ClusterSched) {
+    let dst = pkt.dst.node;
+    if cl.trace.is_enabled() {
+        cl.trace.record(
+            s.now(),
+            &format!("nic{}.recv", dst.0),
+            format!("{:?}", pkt.kind),
+        );
+    }
+    let mut outs = cl.take_outs();
+    cl.nodes[dst.0]
+        .mcp
+        .handle_wire_packet_into(pkt, corrupted, s.now(), &mut outs);
+    pump(dst, &mut outs, s);
+    cl.put_outs(outs);
 }
 
 /// An RDMA to a host buffer completed: enter the host poll loop.
 fn host_deliver(node: NodeId, port: PortId, ev: GmEvent, cl: &mut Cluster, s: &mut ClusterSched) {
     if let Some(at) = cl.nodes[node.0].host.enqueue(port, ev, s.now()) {
-        s.schedule_fn(at, move |cl, s| host_process(node, cl, s));
+        s.schedule(at, ClusterEvent::HostProcess { node });
     }
 }
 
@@ -292,38 +434,49 @@ fn host_process(node: NodeId, cl: &mut Cluster, s: &mut ClusterSched) {
     let mut program = cl.nodes[node.0].programs[port.idx()]
         .take()
         .unwrap_or_else(|| panic!("event {ev:?} for {node:?}{port:?} with no program"));
-    let mut ctx = HostCtx::new(s.now(), node, port);
+    let buf = std::mem::take(&mut cl.action_scratch);
+    let mut ctx = HostCtx::with_buffer(s.now(), node, port, buf);
     program.on_event(&ev, &mut ctx);
     cl.nodes[node.0].programs[port.idx()] = Some(program);
-    apply_actions(node, port, ctx.into_actions(), cl, s);
+    let mut actions = ctx.into_actions();
+    apply_actions(node, port, &mut actions, cl, s);
+    cl.action_scratch = actions;
     if let Some(at) = cl.nodes[node.0].host.next(s.now()) {
-        s.schedule_fn(at, move |cl, s| host_process(node, cl, s));
+        s.schedule(at, ClusterEvent::HostProcess { node });
     }
 }
 
 /// A program's scheduled start time arrived: open its port and run
 /// `on_start`.
 fn start_program(node: NodeId, port: PortId, cl: &mut Cluster, s: &mut ClusterSched) {
-    let outs = cl.nodes[node.0].mcp.open_port(port, s.now());
-    pump(node, outs, cl, s);
+    let mut outs = cl.take_outs();
+    cl.nodes[node.0]
+        .mcp
+        .open_port_into(port, s.now(), &mut outs);
+    pump(node, &mut outs, s);
+    cl.put_outs(outs);
     let mut program = cl.nodes[node.0].programs[port.idx()]
         .take()
         .expect("start for unregistered program");
-    let mut ctx = HostCtx::new(s.now(), node, port);
+    let buf = std::mem::take(&mut cl.action_scratch);
+    let mut ctx = HostCtx::with_buffer(s.now(), node, port, buf);
     program.on_start(&mut ctx);
     cl.nodes[node.0].programs[port.idx()] = Some(program);
-    apply_actions(node, port, ctx.into_actions(), cl, s);
+    let mut actions = ctx.into_actions();
+    apply_actions(node, port, &mut actions, cl, s);
+    cl.action_scratch = actions;
 }
 
-/// Interpret the actions a program emitted during one callback.
+/// Interpret the actions a program emitted during one callback, draining
+/// the buffer so it can be reused.
 fn apply_actions(
     node: NodeId,
     port: PortId,
-    actions: Vec<HostAction>,
+    actions: &mut Vec<HostAction>,
     cl: &mut Cluster,
     s: &mut ClusterSched,
 ) {
-    for action in actions {
+    for action in actions.drain(..) {
         match action {
             HostAction::Send {
                 dst,
@@ -341,10 +494,7 @@ fn apply_actions(
                     tag,
                     notify,
                 };
-                s.schedule_fn(at, move |cl, s| {
-                    let outs = cl.nodes[node.0].mcp.handle_send_token(token, s.now());
-                    pump(node, outs, cl, s);
-                });
+                s.schedule(at, ClusterEvent::SendTokenReady { node, token });
             }
             HostAction::Collective(token) => {
                 // Models the paper's two-call sequence (§5.2): the process
@@ -362,24 +512,13 @@ fn apply_actions(
                     src_port: port,
                     token,
                 };
-                s.schedule_fn(at, move |cl, s| {
-                    let outs = cl.nodes[node.0].mcp.handle_send_token(stok, s.now());
-                    pump(node, outs, cl, s);
-                });
+                s.schedule(at, ClusterEvent::SendTokenReady { node, token: stok });
             }
             HostAction::ProvideRecv(n) => {
                 // Takes effect in program order (after any compute/send the
                 // program queued before it in this callback).
                 let at = cl.nodes[node.0].host.reserve(SimTime::ZERO, s.now());
-                s.schedule_fn(at, move |cl, _| {
-                    for _ in 0..n {
-                        cl.nodes[node.0]
-                            .mcp
-                            .core
-                            .port_mut(port)
-                            .provide_recv_token();
-                    }
-                });
+                s.schedule(at, ClusterEvent::ProvideRecv { node, port, n });
             }
             HostAction::Compute(dur) => {
                 cl.nodes[node.0].host.reserve_compute(dur, s.now());
@@ -404,10 +543,7 @@ fn apply_actions(
                 // Takes effect in program order: after the host work the
                 // program queued before it (sends, compute) has elapsed.
                 let at = cl.nodes[node.0].host.reserve(SimTime::ZERO, s.now());
-                s.schedule_fn(at, move |cl, s| {
-                    let outs = cl.nodes[node.0].mcp.close_port(port, s.now());
-                    pump(node, outs, cl, s);
-                });
+                s.schedule(at, ClusterEvent::ClosePort { node, port });
             }
         }
     }

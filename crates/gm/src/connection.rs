@@ -30,9 +30,9 @@ pub enum RxVerdict {
 }
 
 /// An unacknowledged transmission.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct SentEntry {
-    /// The packet as transmitted (retransmissions clone it).
+    /// The packet as transmitted (retransmissions copy it).
     pub packet: Packet,
     /// When it was last (re)transmitted — identifies stale timers.
     pub sent_at: SimTime,
@@ -105,17 +105,23 @@ impl Connection {
     /// returns send tokens and fires completion callbacks from them).
     pub fn on_ack_drain(&mut self, ack: Seq) -> Vec<SentEntry> {
         let mut done = Vec::new();
+        self.drain_acked_into(ack, &mut done);
+        done
+    }
+
+    /// Like [`Connection::on_ack_drain`], but appending into a caller-owned
+    /// buffer so the ack hot path can reuse one scratch allocation.
+    pub fn drain_acked_into(&mut self, ack: Seq, out: &mut Vec<SentEntry>) {
         while let Some(front) = self.sent.front() {
             if front.packet.seq().unwrap() < ack {
-                done.push(self.sent.pop_front().unwrap());
+                out.push(self.sent.pop_front().unwrap());
             } else {
                 break;
             }
         }
-        done
     }
 
-    /// Go-back-N after a nack: return clones of every unacked packet with
+    /// Go-back-N after a nack: return copies of every unacked packet with
     /// `seq >= expected`, marking them retransmitted at `now`.
     pub fn on_nack(&mut self, expected: Seq, now: SimTime) -> Vec<Packet> {
         let mut out = Vec::new();
@@ -123,7 +129,7 @@ impl Connection {
             if entry.packet.seq().unwrap() >= expected {
                 entry.sent_at = now;
                 self.retransmissions += 1;
-                out.push(entry.packet.clone());
+                out.push(entry.packet);
             }
         }
         out

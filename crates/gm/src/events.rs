@@ -7,8 +7,10 @@
 
 use crate::ids::GlobalPort;
 
-/// An event returned by the (modelled) `gm_receive()` poll.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// An event returned by the (modelled) `gm_receive()` poll. `Copy`: all
+/// variants are scalar words, so events move by value through the host
+/// queue without cloning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GmEvent {
     /// A send completed and its send token returned to the process.
     Sent {

@@ -172,11 +172,18 @@ pub struct HostCtx {
 impl HostCtx {
     /// A fresh context for one callback.
     pub fn new(now: SimTime, node: NodeId, port: PortId) -> Self {
+        HostCtx::with_buffer(now, node, port, Vec::new())
+    }
+
+    /// A context reusing a caller-owned (empty) action buffer, so the
+    /// cluster's host-event hot path allocates no per-callback `Vec`.
+    pub fn with_buffer(now: SimTime, node: NodeId, port: PortId, actions: Vec<HostAction>) -> Self {
+        debug_assert!(actions.is_empty(), "recycled action buffer not drained");
         HostCtx {
             now,
             node,
             port,
-            actions: Vec::new(),
+            actions,
         }
     }
 

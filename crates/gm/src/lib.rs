@@ -44,7 +44,7 @@ pub mod packet;
 pub mod port;
 pub mod token;
 
-pub use cluster::{Cluster, Node};
+pub use cluster::{Cluster, ClusterEvent, ClusterSched, ClusterSim, Node};
 pub use config::GmConfig;
 pub use connection::Connection;
 pub use events::GmEvent;

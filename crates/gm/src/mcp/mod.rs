@@ -25,7 +25,7 @@ pub mod recv;
 pub mod sdma;
 
 use crate::config::GmConfig;
-use crate::connection::Connection;
+use crate::connection::{Connection, SentEntry};
 use crate::events::GmEvent;
 use crate::ext::McpExtension;
 use crate::ids::{GlobalPort, NodeId, PortId};
@@ -115,6 +115,8 @@ pub struct McpCore {
     conns: Vec<Connection>,
     /// Counters.
     pub stats: McpStats,
+    /// Reusable buffer for acked-entry draining (ack hot path).
+    pub(crate) acked_scratch: Vec<SentEntry>,
 }
 
 impl McpCore {
@@ -129,6 +131,7 @@ impl McpCore {
                 .map(|p| Connection::new(NodeId(p)))
                 .collect(),
             stats: McpStats::default(),
+            acked_scratch: Vec::new(),
         }
     }
 
@@ -185,7 +188,7 @@ impl McpCore {
         let at = self.exec(send_cycles, ready);
         let peer = pkt.dst.node;
         let seq = pkt.seq().expect("reliable packet without seq");
-        self.conn_mut(peer).record_sent(pkt.clone(), at);
+        self.conn_mut(peer).record_sent(pkt, at);
         out.push(McpOutput::Timer {
             at: at + self.config.retransmit_timeout,
             kind: TimerKind::Rto {
@@ -288,27 +291,44 @@ impl Mcp {
 
     /// A process opens `port`.
     pub fn open_port(&mut self, port: PortId, now: SimTime) -> Vec<McpOutput> {
+        let mut out = Vec::new();
+        self.open_port_into(port, now, &mut out);
+        out
+    }
+
+    /// [`Mcp::open_port`] appending into a caller-owned buffer (hot path).
+    pub fn open_port_into(&mut self, port: PortId, now: SimTime, out: &mut Vec<McpOutput>) {
         let (st, rt) = (
             self.core.config.send_tokens_per_port,
             self.core.config.recv_tokens_per_port,
         );
         self.core.port_mut(port).open(st, rt);
-        let mut out = Vec::new();
-        self.ext.on_port_open(&mut self.core, port, now, &mut out);
-        out
+        self.ext.on_port_open(&mut self.core, port, now, out);
     }
 
     /// The process on `port` exits.
     pub fn close_port(&mut self, port: PortId, now: SimTime) -> Vec<McpOutput> {
-        self.core.port_mut(port).close();
         let mut out = Vec::new();
-        self.ext.on_port_close(&mut self.core, port, now, &mut out);
+        self.close_port_into(port, now, &mut out);
         out
+    }
+
+    /// [`Mcp::close_port`] appending into a caller-owned buffer (hot path).
+    pub fn close_port_into(&mut self, port: PortId, now: SimTime, out: &mut Vec<McpOutput>) {
+        self.core.port_mut(port).close();
+        self.ext.on_port_close(&mut self.core, port, now, out);
     }
 
     /// Retransmission timer expiry.
     pub fn handle_timer(&mut self, kind: TimerKind, now: SimTime) -> Vec<McpOutput> {
         let mut out = Vec::new();
+        self.handle_timer_into(kind, now, &mut out);
+        out
+    }
+
+    /// [`Mcp::handle_timer`] appending into a caller-owned buffer (hot
+    /// path: stale-timer expiries dominate and produce no outputs at all).
+    pub fn handle_timer_into(&mut self, kind: TimerKind, now: SimTime, out: &mut Vec<McpOutput>) {
         match kind {
             TimerKind::Rto { peer, seq, sent_at } => {
                 let again = self.core.conn_mut(peer).on_timeout(seq, sent_at, now);
@@ -332,7 +352,6 @@ impl Mcp {
                 }
             }
         }
-        out
     }
 }
 

@@ -24,16 +24,32 @@ impl Mcp {
         now: SimTime,
     ) -> Vec<McpOutput> {
         let mut out = Vec::new();
+        self.handle_wire_packet_into(pkt, corrupted, now, &mut out);
+        out
+    }
+
+    /// [`Mcp::handle_wire_packet`] appending into a caller-owned buffer
+    /// (hot path).
+    pub fn handle_wire_packet_into(
+        &mut self,
+        pkt: Packet,
+        corrupted: bool,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
         let costs = self.core.config().nic.costs;
-        match pkt.kind.clone() {
+        match pkt.kind {
             PacketKind::Ack { ack } => {
                 let t = self.core.exec(costs.ack_rx_cycles, now);
                 if corrupted {
                     self.core.stats.crc_drops += 1;
-                    return out;
+                    return;
                 }
-                let acked = self.core.conn_mut(pkt.src.node).on_ack_drain(ack);
-                for entry in acked {
+                let mut acked = std::mem::take(&mut self.core.acked_scratch);
+                self.core
+                    .conn_mut(pkt.src.node)
+                    .drain_acked_into(ack, &mut acked);
+                for entry in acked.drain(..) {
                     if let PacketKind::Data { tag, notify, .. } = entry.packet.kind {
                         // The send event's resources are free: the send
                         // token returns to the process.
@@ -41,34 +57,35 @@ impl Mcp {
                         self.core.port_mut(port).return_send_token();
                         if notify {
                             self.core
-                                .complete_to_host(port, GmEvent::Sent { tag }, t, &mut out);
+                                .complete_to_host(port, GmEvent::Sent { tag }, t, out);
                         }
                     }
                 }
+                self.core.acked_scratch = acked;
             }
             PacketKind::Nack { expected } => {
                 let t = self.core.exec(costs.ack_rx_cycles, now);
                 if corrupted {
                     self.core.stats.crc_drops += 1;
-                    return out;
+                    return;
                 }
                 let again = self.core.conn_mut(pkt.src.node).on_nack(expected, t);
                 self.core.stats.retx += again.len() as u64;
-                self.retransmit(pkt.src.node, again, t, &mut out);
+                self.retransmit(pkt.src.node, again, t, out);
             }
             PacketKind::Data { seq, len, tag, .. } => {
                 let t = self.core.exec(costs.recv_cycles, now);
                 if corrupted {
                     self.core.stats.crc_drops += 1;
-                    return out;
+                    return;
                 }
                 match self.core.conn(pkt.src.node).peek_rx(seq) {
                     RxVerdict::Duplicate => {
                         self.core.stats.dup_drops += 1;
-                        self.send_ack(pkt.src.node, t, &mut out);
+                        self.send_ack(pkt.src.node, t, out);
                     }
                     RxVerdict::OutOfOrder { expected } => {
-                        self.send_nack(pkt.src.node, expected, t, &mut out);
+                        self.send_nack(pkt.src.node, expected, t, out);
                     }
                     RxVerdict::Accept => {
                         let port_ok = self.core.port(pkt.dst.port).is_open();
@@ -78,11 +95,11 @@ impl Mcp {
                             // Receiver not ready: refuse without advancing
                             // the window; the sender will go-back-N.
                             self.core.stats.rnr_refusals += 1;
-                            self.send_nack(pkt.src.node, seq, t, &mut out);
-                            return out;
+                            self.send_nack(pkt.src.node, seq, t, out);
+                            return;
                         }
                         self.core.conn_mut(pkt.src.node).advance_rx();
-                        self.send_ack(pkt.src.node, t, &mut out);
+                        self.send_ack(pkt.src.node, t, out);
                         self.core.stats.data_delivered += 1;
                         self.core.complete_to_host(
                             pkt.dst.port,
@@ -92,7 +109,7 @@ impl Mcp {
                                 tag,
                             },
                             t,
-                            &mut out,
+                            out,
                         );
                     }
                 }
@@ -101,40 +118,33 @@ impl Mcp {
                 let t = self.core.exec(costs.ext_recv_cycles, now);
                 if corrupted {
                     self.core.stats.crc_drops += 1;
-                    return out;
+                    return;
                 }
                 match seq {
                     Some(seq) => match self.core.conn(pkt.src.node).peek_rx(seq) {
                         RxVerdict::Duplicate => {
                             self.core.stats.dup_drops += 1;
-                            self.send_ack(pkt.src.node, t, &mut out);
+                            self.send_ack(pkt.src.node, t, out);
                         }
                         RxVerdict::OutOfOrder { expected } => {
-                            self.send_nack(pkt.src.node, expected, t, &mut out);
+                            self.send_nack(pkt.src.node, expected, t, out);
                         }
                         RxVerdict::Accept => {
                             self.core.conn_mut(pkt.src.node).advance_rx();
-                            self.send_ack(pkt.src.node, t, &mut out);
-                            self.ext.on_ext_packet(
-                                &mut self.core,
-                                pkt.src,
-                                pkt.dst,
-                                body,
-                                t,
-                                &mut out,
-                            );
+                            self.send_ack(pkt.src.node, t, out);
+                            self.ext
+                                .on_ext_packet(&mut self.core, pkt.src, pkt.dst, body, t, out);
                         }
                     },
                     None => {
                         // Unreliable collective packet: straight to the
                         // extension (the paper's prototype path).
                         self.ext
-                            .on_ext_packet(&mut self.core, pkt.src, pkt.dst, body, t, &mut out);
+                            .on_ext_packet(&mut self.core, pkt.src, pkt.dst, body, t, out);
                     }
                 }
             }
         }
-        out
     }
 
     fn retransmit(

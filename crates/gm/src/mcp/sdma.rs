@@ -22,6 +22,18 @@ impl Mcp {
     /// The SDMA machine detects a send token queued by the host at `now`.
     pub fn handle_send_token(&mut self, token: SendToken, now: SimTime) -> Vec<McpOutput> {
         let mut out = Vec::new();
+        self.handle_send_token_into(token, now, &mut out);
+        out
+    }
+
+    /// [`Mcp::handle_send_token`] appending into a caller-owned buffer
+    /// (hot path).
+    pub fn handle_send_token_into(
+        &mut self,
+        token: SendToken,
+        now: SimTime,
+        out: &mut Vec<McpOutput>,
+    ) {
         match token {
             SendToken::Data {
                 src_port,
@@ -55,7 +67,7 @@ impl Mcp {
                     },
                 };
                 self.core.stats.data_tx += 1;
-                self.core.transmit_reliable(pkt, dma_done, &mut out);
+                self.core.transmit_reliable(pkt, dma_done, out);
             }
             SendToken::Collective { src_port, token } => {
                 debug_assert!(
@@ -65,10 +77,9 @@ impl Mcp {
                 // No payload DMA: the descriptor was written with the token.
                 // The extension charges its own processing cycles.
                 self.ext
-                    .on_collective_token(&mut self.core, src_port, token, now, &mut out);
+                    .on_collective_token(&mut self.core, src_port, token, now, out);
             }
         }
-        out
     }
 }
 

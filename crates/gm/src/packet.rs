@@ -29,7 +29,7 @@ impl ExtPacket {
 }
 
 /// What a packet is.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// Reliable user data, carrying a per-connection sequence number and an
     /// application tag (our stand-in for message contents).
@@ -67,8 +67,9 @@ pub enum PacketKind {
     },
 }
 
-/// A packet in flight between two endpoints.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A packet in flight between two endpoints. `Copy`: packets are a few
+/// scalar words, so the hot path moves them by value instead of cloning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
     /// Sending endpoint.
     pub src: GlobalPort,

@@ -9,6 +9,7 @@
 
 use crate::ids::{GlobalPort, PortId};
 use crate::ir::CollectiveSchedule;
+use std::sync::Arc;
 
 /// The descriptor a host passes in `gm_barrier_send_with_callback()` (and
 /// its collective siblings): a compiled [`CollectiveSchedule`] — the IR
@@ -16,10 +17,14 @@ use crate::ir::CollectiveSchedule;
 /// program is compiled on the host (§5.1: tree/schedule construction "can
 /// easily be computed at the host") and only the per-rank slice crosses
 /// the bus, never the full member list.
+///
+/// The schedule is reference-counted: a program that posts the same
+/// collective every round compiles it once and clones the token per round
+/// without copying the step list — cloning a token is allocation-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollectiveToken {
     /// The compiled per-rank program.
-    pub schedule: CollectiveSchedule,
+    pub schedule: Arc<CollectiveSchedule>,
     /// Operand for value-carrying collectives (reduce contribution,
     /// broadcast payload, scan contribution); barriers ignore it.
     pub value: u64,
@@ -28,6 +33,14 @@ pub struct CollectiveToken {
 impl CollectiveToken {
     /// A token carrying `schedule` with a zero operand.
     pub fn new(schedule: CollectiveSchedule) -> Self {
+        CollectiveToken {
+            schedule: Arc::new(schedule),
+            value: 0,
+        }
+    }
+
+    /// A token sharing an already-compiled schedule.
+    pub fn shared(schedule: Arc<CollectiveSchedule>) -> Self {
         CollectiveToken { schedule, value: 0 }
     }
 

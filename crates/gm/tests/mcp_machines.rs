@@ -267,7 +267,7 @@ fn data_and_ext_share_one_ordered_stream() {
     let mut m = mcp();
     // data seq 0 then ext seq 1 — deliver the ext FIRST (reordered).
     let ext1 = ext_pkt(Some(1), 7);
-    let outs = m.handle_wire_packet(ext1.clone(), false, SimTime::ZERO);
+    let outs = m.handle_wire_packet(ext1, false, SimTime::ZERO);
     assert!(ext_of(&m).packets.is_empty());
     assert!(outs.iter().any(|o| matches!(
         o,

@@ -79,6 +79,9 @@ pub struct Fabric {
     faults: FaultPlan,
     rng: SimRng,
     stats: FabricStats,
+    /// Reusable per-send scratch: links the head has entered, with entry
+    /// times (kept across sends so the hot path never allocates).
+    entered: Vec<(LinkId, SimTime)>,
 }
 
 impl Fabric {
@@ -92,6 +95,7 @@ impl Fabric {
             faults: FaultPlan::NONE,
             rng: SimRng::new(0),
             stats: FabricStats::default(),
+            entered: Vec::new(),
         }
     }
 
@@ -119,28 +123,38 @@ impl Fabric {
     /// wire — or an unreachable destination.
     pub fn send(&mut self, src: NicId, dst: NicId, payload: usize, now: SimTime) -> Delivery {
         assert_ne!(src, dst, "self-sends never touch the fabric");
-        let route = self.topology.route(src, dst).clone();
+        // Split borrows: the route stays borrowed from `topology` while the
+        // occupancy/stat fields mutate, so the hot path never clones it.
+        let Fabric {
+            topology,
+            format,
+            busy,
+            stats,
+            entered,
+            ..
+        } = self;
+        let route = topology.route(src, dst);
         assert!(!route.is_empty(), "no route {src:?} -> {dst:?}");
 
-        let bytes = self.format.on_wire(payload, route.switch_hops());
-        self.stats.sends += 1;
-        self.stats.payload_bytes += payload as u64;
+        let bytes = format.on_wire(payload, route.switch_hops());
+        stats.sends += 1;
+        stats.payload_bytes += payload as u64;
 
         // Walk the head along the route.
         let mut head = now;
-        let mut entered: Vec<(LinkId, SimTime)> = Vec::with_capacity(route.len());
+        entered.clear();
         for &link_id in route.links() {
-            let link = *self.topology.link(link_id);
+            let link = *topology.link(link_id);
             // Fall-through delay of the switch the link leaves from.
             if let Vertex::Switch(s) = link.from {
-                head += self.topology.switch_latency(s);
+                head += topology.switch_latency(s);
             }
-            let free = self.busy[link_id.0];
+            let free = busy[link_id.0];
             if free > head {
                 // Head stalls: upstream links stay occupied until we move.
-                self.stats.stall_time += free - head;
-                for &(up, _) in &entered {
-                    self.busy[up.0] = self.busy[up.0].max(free);
+                stats.stall_time += free - head;
+                for &(up, _) in entered.iter() {
+                    busy[up.0] = busy[up.0].max(free);
                 }
                 head = free;
             }
@@ -150,10 +164,10 @@ impl Fabric {
 
         // Tail: with uniform bandwidth the tail trails the head by one
         // serialization time on every link.
-        let ser = self.topology.link(route.links()[0]).spec.serialize(bytes);
-        for &(link_id, entry) in &entered {
+        let ser = topology.link(route.links()[0]).spec.serialize(bytes);
+        for &(link_id, entry) in entered.iter() {
             let occupied_until = entry + ser;
-            self.busy[link_id.0] = self.busy[link_id.0].max(occupied_until);
+            busy[link_id.0] = busy[link_id.0].max(occupied_until);
         }
 
         let first_entry = entered[0].1;

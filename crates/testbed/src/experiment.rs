@@ -244,6 +244,7 @@ impl BarrierExperiment {
             RunOutcome::Quiescent,
             "experiment did not drain: {self:?}"
         );
+        let events = sim.events_fired();
         let cluster = sim.into_world();
 
         // A round completes when its *last* participant's completion note
@@ -274,7 +275,7 @@ impl BarrierExperiment {
             mean_us: span.as_us_f64() / measured_rounds as f64,
             first_round_us: round_done[0].as_us_f64(),
             per_round,
-            events: 0, // filled by the caller if desired
+            events,
         }
     }
 }
@@ -289,7 +290,7 @@ pub struct Measurement {
     pub first_round_us: f64,
     /// Distribution of individual round gaps.
     pub per_round: Summary,
-    /// Simulation events fired (0 unless populated).
+    /// Simulation events fired while the experiment ran.
     pub events: u64,
 }
 

@@ -8,7 +8,8 @@
 
 use crate::experiment::{Algorithm, BarrierExperiment, Measurement};
 use nic_barrier::Descriptor;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Run every experiment, in parallel across available cores, preserving
 /// input order in the result.
@@ -20,7 +21,7 @@ pub fn run_all(experiments: &[BarrierExperiment]) -> Vec<Measurement> {
 /// instrumented runners).
 pub fn run_all_with<R, F>(experiments: &[BarrierExperiment], f: F) -> Vec<R>
 where
-    R: Send,
+    R: Send + Sync,
     F: Fn(&BarrierExperiment) -> R + Sync,
 {
     let n = experiments.len();
@@ -34,29 +35,28 @@ where
     if threads <= 1 {
         return experiments.iter().map(&f).collect();
     }
-    let next = Mutex::new(0usize);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slots_mutex = Mutex::new(&mut slots);
+    // Lock-free work distribution: a fetch-add counter hands out indices
+    // and each worker writes its result into that index's own cell, so
+    // threads never contend on a shared guard around the result vector.
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = {
-                    let mut guard = next.lock().expect("sweep counter poisoned");
-                    let i = *guard;
-                    if i >= n {
-                        break;
-                    }
-                    *guard += 1;
-                    i
-                };
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
                 let r = f(&experiments[i]);
-                slots_mutex.lock().expect("sweep slots poisoned")[i] = Some(r);
+                if slots[i].set(r).is_err() {
+                    unreachable!("index {i} handed out twice");
+                }
             });
         }
     });
     slots
         .into_iter()
-        .map(|s| s.expect("missing result"))
+        .map(|s| s.into_inner().expect("missing result"))
         .collect()
 }
 
