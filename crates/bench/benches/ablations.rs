@@ -16,11 +16,15 @@ fn bench_ablations(c: &mut Criterion) {
     let unreliable = reliable.wire(CollectiveWireMode::Unreliable);
     println!(
         "reliability: reliable {:.2}us vs unreliable {:.2}us",
-        reliable.run().mean_us,
-        unreliable.run().mean_us
+        reliable.run().unwrap().mean_us,
+        unreliable.run().unwrap().mean_us
     );
-    g.bench_function("wire_reliable", |b| b.iter(|| reliable.run().mean_us));
-    g.bench_function("wire_unreliable", |b| b.iter(|| unreliable.run().mean_us));
+    g.bench_function("wire_reliable", |b| {
+        b.iter(|| reliable.run().unwrap().mean_us)
+    });
+    g.bench_function("wire_unreliable", |b| {
+        b.iter(|| unreliable.run().unwrap().mean_us)
+    });
 
     let packed = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe))
         .placement(Placement::Packed { procs_per_node: 2 })
@@ -28,11 +32,11 @@ fn bench_ablations(c: &mut Criterion) {
     let no_opt = packed.same_nic_opt(false);
     println!(
         "same-NIC: optimized {:.2}us vs loopback {:.2}us",
-        packed.run().mean_us,
-        no_opt.run().mean_us
+        packed.run().unwrap().mean_us,
+        no_opt.run().unwrap().mean_us
     );
-    g.bench_function("same_nic_on", |b| b.iter(|| packed.run().mean_us));
-    g.bench_function("same_nic_off", |b| b.iter(|| no_opt.run().mean_us));
+    g.bench_function("same_nic_on", |b| b.iter(|| packed.run().unwrap().mean_us));
+    g.bench_function("same_nic_off", |b| b.iter(|| no_opt.run().unwrap().mean_us));
 
     let mut slow = BarrierCosts::GM_1_2_3;
     slow.record_cycles *= 4;
@@ -41,10 +45,10 @@ fn bench_ablations(c: &mut Criterion) {
         .costs(slow);
     println!(
         "record cost: O(1) bits {:.2}us vs 4x record {:.2}us",
-        reliable.run().mean_us,
-        heavy.run().mean_us
+        reliable.run().unwrap().mean_us,
+        heavy.run().unwrap().mean_us
     );
-    g.bench_function("record_4x", |b| b.iter(|| heavy.run().mean_us));
+    g.bench_function("record_4x", |b| b.iter(|| heavy.run().unwrap().mean_us));
     g.finish();
 }
 

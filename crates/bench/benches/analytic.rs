@@ -21,7 +21,8 @@ fn bench_analytic(c: &mut Criterion) {
     }
     let sim = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe))
         .rounds(60, 10)
-        .run();
+        .run()
+        .unwrap();
     println!(
         "model vs simulation at n=16: {:.2} vs {:.2} us",
         model.nic_barrier_us(16),

@@ -23,12 +23,12 @@ fn bench_fig5(c: &mut Criterion) {
                 Algorithm::Host(Descriptor::Gb { dim: 2 }),
             ] {
                 let e = BarrierExperiment::new(n, alg).nic(nic).rounds(60, 10);
-                let m = e.run();
+                let m = e.run().unwrap();
                 println!("{tag} {:>12} n={n:<2} -> {:8.2} us", alg.name(), m.mean_us);
                 g.bench_with_input(
                     BenchmarkId::new(format!("{tag}/{}", alg.name()), n),
                     &e,
-                    |b, e| b.iter(|| e.run().mean_us),
+                    |b, e| b.iter(|| e.run().unwrap().mean_us),
                 );
             }
         }

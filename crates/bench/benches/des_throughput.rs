@@ -182,10 +182,10 @@ fn main() {
 
     let mut sim_events = 0u64;
     let nic_wall = min_wall(scale_samples, || {
-        sim_events = scale_n32(true).run().events;
+        sim_events = scale_n32(true).run().unwrap().events;
     });
     let host_wall = min_wall(scale_samples, || {
-        scale_n32(false).run();
+        scale_n32(false).run().unwrap();
     });
     println!(
         "bench des_throughput/scale_n32/nic_pe           wall {nic_wall:>9.3}s  ({:.0} events/s)",

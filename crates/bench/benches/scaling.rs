@@ -13,12 +13,12 @@ fn bench_scaling(c: &mut Criterion) {
         let e = BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe))
             .nic(NicModel::LANAI_9)
             .rounds(30, 5);
-        let m = e.run();
+        let m = e.run().unwrap();
         println!("n={n}: NIC-PE on LANai 9 = {:.2} us", m.mean_us);
         // Throughput in simulated barriers per wall second.
         g.throughput(Throughput::Elements(e.rounds));
         g.bench_with_input(BenchmarkId::new("nic_pe_lanai9", n), &e, |b, e| {
-            b.iter(|| e.run().mean_us)
+            b.iter(|| e.run().unwrap().mean_us)
         });
     }
     g.finish();

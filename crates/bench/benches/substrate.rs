@@ -90,7 +90,7 @@ fn bench_parallel_sweep(c: &mut Criterion) {
         b.iter(|| run_all(&exps).len())
     });
     g.bench_function("seven_gb_dims_serial", |b| {
-        b.iter(|| exps.iter().map(|e| e.run().mean_us).sum::<f64>())
+        b.iter(|| exps.iter().map(|e| e.run().unwrap().mean_us).sum::<f64>())
     });
     g.finish();
 }

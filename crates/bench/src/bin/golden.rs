@@ -22,7 +22,7 @@ fn main() {
             ("nic-pe", Algorithm::Nic(Descriptor::Pe)),
             ("host-pe", Algorithm::Host(Descriptor::Pe)),
         ] {
-            let m = BarrierExperiment::new(n, alg).rounds(40, 5).run();
+            let m = BarrierExperiment::new(n, alg).rounds(40, 5).run().unwrap();
             println!("{family} {n} 0 {:.17e}", m.mean_us);
         }
         for dim in 1usize..=4 {
@@ -30,7 +30,7 @@ fn main() {
                 ("nic-gb", Algorithm::Nic(Descriptor::Gb { dim })),
                 ("host-gb", Algorithm::Host(Descriptor::Gb { dim })),
             ] {
-                let m = BarrierExperiment::new(n, alg).rounds(40, 5).run();
+                let m = BarrierExperiment::new(n, alg).rounds(40, 5).run().unwrap();
                 println!("{family} {n} {dim} {:.17e}", m.mean_us);
             }
         }

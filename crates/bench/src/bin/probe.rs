@@ -10,7 +10,8 @@ fn main() {
     for n in [2usize, 4, 8, 16] {
         let m = BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe))
             .rounds(120, 20)
-            .run();
+            .run()
+            .unwrap();
         println!(
             "n={n:2}  first={:8.2}us  steady={:8.2}us  (stddev {:.3})",
             m.first_round_us,
@@ -22,7 +23,8 @@ fn main() {
     for n in [2usize, 4, 8, 16] {
         let m = BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe))
             .rounds(120, 20)
-            .run();
+            .run()
+            .unwrap();
         println!(
             "n={n:2}  first={:8.2}us  steady={:8.2}us",
             m.first_round_us, m.mean_us
@@ -36,7 +38,8 @@ fn main() {
         let m = BarrierExperiment::new(8, alg)
             .nic(NicModel::LANAI_7_2)
             .rounds(120, 20)
-            .run();
+            .run()
+            .unwrap();
         println!(
             "{:8}  first={:8.2}us  steady={:8.2}us",
             alg.name(),

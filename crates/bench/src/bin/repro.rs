@@ -3,10 +3,15 @@
 //! ```text
 //! cargo run --release -p gmsim-bench --bin repro -- all
 //! cargo run --release -p gmsim-bench --bin repro -- fig5a fig5b headline
+//! cargo run --release -p gmsim-bench --bin repro -- breakdown
+//! cargo run --release -p gmsim-bench --bin repro -- --trace trace.json
 //! ```
 //!
 //! Experiment ids (see DESIGN.md §5): fig5a fig5b fig5c fig5d fig2 gbdim
-//! headline scale layer fuzzy ablate mpi util dissem scan.
+//! headline scale layer fuzzy ablate mpi util dissem scan breakdown.
+//!
+//! `--trace <path>` runs a 16-node NIC-based PE barrier with structured
+//! tracing on and writes a chrome://tracing (Perfetto-loadable) JSON file.
 
 use gmsim_gm::config::CollectiveWireMode;
 use gmsim_gm::GmConfig;
@@ -19,15 +24,42 @@ use gmsim_testbed::{
 use nic_barrier::{BarrierCosts, CostModel};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec![
-            "fig5a", "fig5b", "fig5c", "fig5d", "fig2", "gbdim", "headline", "scale", "layer",
-            "fuzzy", "ablate", "mpi", "util", "dissem", "scan",
-        ]
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        if i + 1 >= args.len() {
+            eprintln!("--trace needs an output path");
+            std::process::exit(2);
+        }
+        trace_path = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    if let Some(path) = &trace_path {
+        export_chrome_trace(path);
+    }
+    let ids: Vec<&str> =
+        if args.iter().any(|a| a == "all") || (args.is_empty() && trace_path.is_none()) {
+            vec![
+                "fig5a",
+                "fig5b",
+                "fig5c",
+                "fig5d",
+                "fig2",
+                "gbdim",
+                "headline",
+                "scale",
+                "layer",
+                "fuzzy",
+                "ablate",
+                "mpi",
+                "util",
+                "dissem",
+                "scan",
+                "breakdown",
+            ]
+        } else {
+            args.iter().map(String::as_str).collect()
+        };
     for id in ids {
         match id {
             "fig5a" => fig5_latency(NicModel::LANAI_4_3, &[2, 4, 8, 16], "fig5a"),
@@ -45,6 +77,7 @@ fn main() {
             "util" => util_study(),
             "dissem" => dissemination_study(),
             "scan" => scan_study(),
+            "breakdown" => breakdown(),
             "trace" => trace_one_barrier(),
             other => eprintln!("unknown experiment id: {other}"),
         }
@@ -52,7 +85,7 @@ fn main() {
 }
 
 fn measure(e: BarrierExperiment) -> f64 {
-    e.run().mean_us
+    e.run().unwrap().mean_us
 }
 
 /// The four curves of Figure 5(a)/(c): barrier latency vs nodes.
@@ -474,7 +507,7 @@ fn trace_one_barrier() {
     let mut sim = b.build();
     sim.run();
     let cl = sim.world();
-    for rec in cl.trace.records() {
+    for rec in cl.tracer.snapshot() {
         println!("  {rec}");
     }
     for note in &cl.notes {
@@ -617,4 +650,234 @@ fn ablations() {
         )),
     ]);
     print!("{}", t.render());
+}
+
+/// `--trace <path>`: run a 16-node NIC-based PE barrier stream with
+/// structured tracing enabled and export it as chrome://tracing JSON
+/// (load in Perfetto or chrome://tracing). Every process is a node,
+/// every thread a NIC unit; SDMA transfers become duration spans and a
+/// derived per-node "nic barrier" span runs from the collective token
+/// post to the completion DMA.
+fn export_chrome_trace(path: &str) {
+    use gmsim_des::{TracePayload, TraceRecord, Unit};
+
+    let m = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe))
+        .rounds(12, 2)
+        .trace(1 << 16)
+        .run()
+        .expect("trace run failed");
+    let records = &m.trace;
+
+    let tid = |u: Unit| match u {
+        Unit::Host => 0,
+        Unit::Sdma => 1,
+        Unit::Send => 2,
+        Unit::Recv => 3,
+        Unit::Rdma => 4,
+        Unit::Wire => 5,
+        Unit::Ext => 6,
+    };
+    let ts_us = |r: &TraceRecord| r.at.as_ns() as f64 / 1000.0;
+
+    let mut out = String::with_capacity(records.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&ev);
+    };
+
+    // Process/thread naming metadata.
+    let nodes: std::collections::BTreeSet<u32> = records.iter().map(|r| r.component.node).collect();
+    for &n in &nodes {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{n},\
+                 \"args\":{{\"name\":\"node{n}\"}}}}"
+            ),
+        );
+        for u in [
+            Unit::Host,
+            Unit::Sdma,
+            Unit::Send,
+            Unit::Recv,
+            Unit::Rdma,
+            Unit::Wire,
+            Unit::Ext,
+        ] {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{n},\"tid\":{},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    tid(u),
+                    u.name()
+                ),
+            );
+        }
+    }
+
+    // Derived per-node barrier spans: collective token post → completion
+    // DMA. Ring eviction can orphan a completion; skip those.
+    let mut open: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+    for r in records {
+        match r.payload {
+            TracePayload::SendTokenPost {
+                collective: true, ..
+            } => {
+                open.entry(r.component.node).or_insert_with(|| ts_us(r));
+            }
+            TracePayload::CompletionDma { .. } => {
+                if let Some(start) = open.remove(&r.component.node) {
+                    push(
+                        &mut out,
+                        &mut first,
+                        format!(
+                            "{{\"ph\":\"X\",\"name\":\"nic barrier\",\"cat\":\"barrier\",\
+                             \"pid\":{},\"tid\":{},\"ts\":{start:.3},\"dur\":{:.3}}}",
+                            r.component.node,
+                            tid(Unit::Ext),
+                            ts_us(r) - start,
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // The records themselves: SDMA begin/end pairs as B/E spans,
+    // everything else as instants.
+    for r in records {
+        let (pid, t) = (r.component.node, ts_us(r));
+        let tid = tid(r.component.unit);
+        let ev = match r.payload {
+            TracePayload::SdmaStart { bytes } => format!(
+                "{{\"ph\":\"B\",\"name\":\"sdma\",\"cat\":\"dma\",\"pid\":{pid},\
+                 \"tid\":{tid},\"ts\":{t:.3},\"args\":{{\"bytes\":{bytes}}}}}"
+            ),
+            TracePayload::SdmaFinish { .. } => format!(
+                "{{\"ph\":\"E\",\"name\":\"sdma\",\"cat\":\"dma\",\"pid\":{pid},\
+                 \"tid\":{tid},\"ts\":{t:.3}}}"
+            ),
+            p => format!(
+                "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"event\",\"pid\":{pid},\
+                 \"tid\":{tid},\"ts\":{t:.3},\"s\":\"t\"}}",
+                p.name()
+            ),
+        };
+        push(&mut out, &mut first, ev);
+    }
+    out.push_str("\n]}\n");
+    std::fs::write(path, &out).expect("write trace file");
+    println!(
+        "wrote {} trace events ({} structured records) to {path}",
+        records.len() + open.len(),
+        records.len()
+    );
+}
+
+/// `breakdown`: the paper's host-vs-NIC cost decomposition (§2.2, Figure 2,
+/// Equations 1–2) next to what the simulator measures, for PE and GB at
+/// N ∈ {8, 16}. The per-phase terms show *where* the NIC-based barrier
+/// wins: every intermediate round drops Send/SDMA/RDMA/HostRecv.
+fn breakdown() {
+    use gmsim_des::Counter;
+
+    println!("\n=== breakdown: per-phase host-vs-NIC cost decomposition, LANai 4.3 ===");
+    let cfg = GmConfig::paper_host(NicModel::LANAI_4_3);
+    let m = CostModel::from_config(&cfg);
+    let mut t = Table::new(vec!["phase", "host pays", "NIC pays", "cost (us)"]);
+    for (phase, host, nic, cost) in [
+        ("HostSend (gm_send)", "every round", "once", m.send_us),
+        ("SDMA (token fetch)", "every round", "once", m.sdma_us),
+        ("Wire", "every round", "every round", m.network_us),
+        ("NIC recv", "every round", "every round", m.nic_recv_us),
+        ("NIC fwd step", "-", "every round", m.nic_step_us),
+        ("RDMA (event DMA)", "every round", "once", m.rdma_us),
+        ("HostRecv (poll)", "every round", "once", m.hrecv_us),
+    ] {
+        t.row(vec![
+            phase.to_string(),
+            host.to_string(),
+            nic.to_string(),
+            us(cost),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let mut t = Table::new(vec![
+        "N",
+        "algorithm",
+        "model (us)",
+        "measured (us)",
+        "fw cycles/barrier",
+        "turnaround mean (us)",
+        "turnaround p95 (us)",
+    ]);
+    for n in [8usize, 16] {
+        for (alg, model_us) in [
+            (Algorithm::Host(Descriptor::Pe), m.host_barrier_us(n)),
+            (Algorithm::Nic(Descriptor::Pe), m.nic_barrier_us(n)),
+        ] {
+            let meas = BarrierExperiment::new(n, alg).run().expect("breakdown run");
+            // Firmware cycles per completed barrier, NIC-interpreted runs
+            // only (host runs drive no extension, so the per-barrier share
+            // would be the whole run's GM bookkeeping).
+            let fw = if alg.is_nic() {
+                let barriers = meas.metrics.get(Counter::BarrierCompletions).max(1);
+                format!(
+                    "{:.0}",
+                    meas.metrics.get(Counter::FirmwareCycles) as f64 / barriers as f64
+                )
+            } else {
+                "-".to_string()
+            };
+            t.row(vec![
+                n.to_string(),
+                alg.name(),
+                us(model_us),
+                us(meas.mean_us),
+                fw,
+                meas.nic_turnaround
+                    .mean()
+                    .map_or("-".into(), |v| format!("{v:.2}")),
+                meas.nic_turnaround
+                    .quantile(0.95)
+                    .map_or("-".into(), |v| format!("{v:.2}")),
+            ]);
+        }
+        for nic_side in [false, true] {
+            let alg = if nic_side {
+                Algorithm::Nic(Descriptor::Gb { dim: 1 })
+            } else {
+                Algorithm::Host(Descriptor::Gb { dim: 1 })
+            };
+            let (dim, meas) = best_gb_dim(BarrierExperiment::new(n, alg));
+            t.row(vec![
+                n.to_string(),
+                format!("{}-GB best d={dim}", if nic_side { "NIC" } else { "host" }),
+                "-".to_string(),
+                us(meas.mean_us),
+                "-".to_string(),
+                meas.nic_turnaround
+                    .mean()
+                    .map_or("-".into(), |v| format!("{v:.2}")),
+                meas.nic_turnaround
+                    .quantile(0.95)
+                    .map_or("-".into(), |v| format!("{v:.2}")),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "(Eq.1 charges the host column's phases in all {{2,..}}ceil(log2 N) rounds; \
+         Eq.2 pays host phases once and NIC recv+fwd per round)"
+    );
 }

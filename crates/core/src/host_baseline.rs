@@ -18,6 +18,7 @@
 use crate::group::BarrierGroup;
 use crate::programs::note_tag;
 use crate::schedule::Descriptor;
+use gmsim_des::trace::TracePayload;
 use gmsim_gm::{CollectiveSchedule, GlobalPort, GmEvent, HostCtx, HostProgram, ScheduleStep};
 use std::collections::HashSet;
 
@@ -94,6 +95,11 @@ impl HostBarrierLoop {
                     let tag = step_tag(self.round, *kind);
                     let notify_last = self.pace_on_send_pc == Some(self.pc);
                     for (i, peer) in peers.iter().enumerate() {
+                        ctx.trace(TracePayload::BarrierSend {
+                            peer: peer.node.0 as u32,
+                            kind: *kind,
+                            local: false,
+                        });
                         if notify_last && i + 1 == peers.len() {
                             ctx.send_notify(*peer, HOST_BARRIER_MSG_BYTES, tag);
                             self.await_sent = true;
@@ -135,6 +141,10 @@ impl HostProgram for HostBarrierLoop {
         match ev {
             GmEvent::Recv { src, tag, .. } => {
                 ctx.provide_recv(1);
+                ctx.trace(TracePayload::BarrierRecv {
+                    peer: src.node.0 as u32,
+                    kind: (*tag & 0xff) as u8,
+                });
                 let fresh = self.unexpected.insert((*src, *tag));
                 debug_assert!(fresh, "duplicate barrier message {src:?}/{tag}");
                 self.advance(ctx);

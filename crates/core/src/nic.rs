@@ -17,7 +17,7 @@
 //! Design choices mapped to the paper:
 //!
 //! * **State in the send token, pointer in the port** (§4.2): each port
-//!   slot holds at most one [`Run`] — the paper's "send token pointer in
+//!   slot holds at most one `Run` — the paper's "send token pointer in
 //!   the port data structure", and what makes *multiple concurrent
 //!   collectives* (one per port) work.
 //! * **Unexpected messages** (§3.1/4.3): every arriving collective packet
@@ -41,7 +41,8 @@
 //!   root and interior GB nodes.
 
 use crate::unexpected::{RecordMeta, UnexpectedRecord};
-use gmsim_des::SimTime;
+use gmsim_des::trace::{TracePayload, Unit};
+use gmsim_des::{Histogram, SimTime};
 use gmsim_gm::{
     Charge, CollectiveSchedule, CollectiveToken, CompletionKind, ExtPacket, GlobalPort, GmConfig,
     GmEvent, McpCore, McpExtension, McpOutput, NodeId, PortId, ScheduleStep, TokenCharge,
@@ -119,6 +120,13 @@ impl BarrierCosts {
         }
     }
 }
+
+/// Bin width, in microseconds, of the per-packet NIC turnaround histogram
+/// kept by [`BarrierExtension`]. Shared with the testbed's aggregation so
+/// per-node histograms merge without rebinning.
+pub const TURNAROUND_BIN_US: f64 = 0.25;
+/// Bin count of the per-packet NIC turnaround histogram (covers 0–64 µs).
+pub const TURNAROUND_BINS: usize = 256;
 
 /// Extension counters (per NIC).
 #[derive(Debug, Clone, Copy, Default)]
@@ -201,6 +209,10 @@ pub struct BarrierExtension {
     /// Retired `Run::outstanding` buffer, recycled into the next collective
     /// so steady-state rounds never allocate a fresh peer list.
     spare_outstanding: Vec<GlobalPort>,
+    /// Per-packet NIC turnaround: wire arrival of a collective packet to the
+    /// firmware being done with it (the paper's per-round NIC cost). Fixed
+    /// bins allocated at construction, so recording never allocates.
+    turnaround: Histogram,
 }
 
 impl BarrierExtension {
@@ -219,7 +231,13 @@ impl BarrierExtension {
             local_queue: VecDeque::new(),
             sent_cache: std::collections::HashMap::new(),
             spare_outstanding: Vec::new(),
+            turnaround: Histogram::new(TURNAROUND_BIN_US, TURNAROUND_BINS),
         }
+    }
+
+    /// Per-packet NIC turnaround histogram (µs).
+    pub fn turnaround(&self) -> &Histogram {
+        &self.turnaround
     }
 
     /// A factory for [`gmsim_gm::cluster::ClusterBuilder::extension`].
@@ -273,6 +291,15 @@ impl BarrierExtension {
             // §3.4: co-located peer — set the flag, skip the wire.
             let t = core.exec(self.costs.local_flag_cycles, ready);
             self.stats.local_flags += 1;
+            core.trace(
+                t,
+                Unit::Ext,
+                TracePayload::BarrierSend {
+                    peer: dst.node.0 as u32,
+                    kind: ext_type,
+                    local: true,
+                },
+            );
             self.local_queue.push_back(LocalDelivery {
                 src: GlobalPort {
                     node: core.node(),
@@ -285,6 +312,15 @@ impl BarrierExtension {
                 at: t,
             });
         } else {
+            core.trace(
+                ready,
+                Unit::Ext,
+                TracePayload::BarrierSend {
+                    peer: dst.node.0 as u32,
+                    kind: ext_type,
+                    local: false,
+                },
+            );
             core.send_ext(
                 port,
                 dst,
@@ -331,6 +367,14 @@ impl BarrierExtension {
             return;
         }
         let t = core.exec(self.costs.record_cycles, now);
+        core.trace(
+            t,
+            Unit::Ext,
+            TracePayload::BarrierRecv {
+                peer: src.node.0 as u32,
+                kind: ext_type,
+            },
+        );
         self.record.set(
             dst.port,
             src,
@@ -547,6 +591,11 @@ impl McpExtension for BarrierExtension {
             out,
         );
         self.drain_local(core, out);
+        // Per-round NIC turnaround: packet arrival to the firmware having
+        // finished everything this packet triggered (record, interpreter
+        // steps, forwarded sends). This is the paper's per-round NIC cost.
+        let done = core.hw.cpu.busy_until();
+        self.turnaround.record(done.saturating_sub(now).as_us_f64());
     }
 
     fn on_port_open(

@@ -35,14 +35,16 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod metrics;
 pub mod rng;
 pub mod scheduler;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use metrics::{Counter, MetricSet};
 pub use rng::SimRng;
 pub use scheduler::{Boxed, BoxedFn, Event, RunOutcome, Scheduler, Simulation};
 pub use stats::{Histogram, Summary};
 pub use time::SimTime;
-pub use trace::{TraceEvent, TraceSink};
+pub use trace::{ComponentId, TracePayload, TraceRecord, Tracer, Unit};

@@ -1,0 +1,201 @@
+//! Counter registry for experiment metrics.
+//!
+//! A [`MetricSet`] is a fixed array of `u64` counters indexed by the
+//! [`Counter`] enum — `Copy`, comparable, and mergeable, so a parallel sweep
+//! can aggregate per-node hardware/firmware statistics into one value without
+//! any string keys or hashing. Counters are populated *after* a run by
+//! draining the per-component statistics the simulator already keeps
+//! (firmware stats, fabric stats, DMA engines), so the registry adds zero
+//! cost to the event hot path.
+
+use std::fmt;
+
+/// Identifies one counter in a [`MetricSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Counter {
+    /// Packets handed to the fabric (data, acks, nacks, collective ext).
+    PacketsSent,
+    /// Packets the fabric dropped (fault injection).
+    PacketsDropped,
+    /// Packets the fabric corrupted in flight (fault injection).
+    PacketsCorrupted,
+    /// Reliable packets retransmitted (nack- or timeout-driven).
+    PacketsRetransmitted,
+    /// Acks transmitted by receive firmware.
+    AcksSent,
+    /// Nacks transmitted by receive firmware.
+    NacksSent,
+    /// Packets discarded for CRC failure.
+    CrcDrops,
+    /// Duplicate reliable packets discarded.
+    DupDrops,
+    /// Total LANai processor cycles executed across all NICs.
+    FirmwareCycles,
+    /// Host→NIC DMA bytes moved.
+    SdmaBytes,
+    /// NIC→host DMA bytes moved.
+    RdmaBytes,
+    /// Completion events DMA'd up to hosts.
+    CompletionDmas,
+    /// Send tokens posted by host programs.
+    HostSends,
+    /// Completion events consumed by host programs.
+    HostEvents,
+    /// Barrier messages delivered as same-NIC local flags (no wire traffic).
+    LocalFlags,
+    /// Barrier completions delivered by NIC firmware.
+    BarrierCompletions,
+    /// §3.2 reject messages sent for early-arriving barrier packets.
+    RejectsSent,
+    /// Barrier messages resent after a reject.
+    BarrierResends,
+}
+
+impl Counter {
+    /// Every counter, in index order.
+    pub const ALL: [Counter; 18] = [
+        Counter::PacketsSent,
+        Counter::PacketsDropped,
+        Counter::PacketsCorrupted,
+        Counter::PacketsRetransmitted,
+        Counter::AcksSent,
+        Counter::NacksSent,
+        Counter::CrcDrops,
+        Counter::DupDrops,
+        Counter::FirmwareCycles,
+        Counter::SdmaBytes,
+        Counter::RdmaBytes,
+        Counter::CompletionDmas,
+        Counter::HostSends,
+        Counter::HostEvents,
+        Counter::LocalFlags,
+        Counter::BarrierCompletions,
+        Counter::RejectsSent,
+        Counter::BarrierResends,
+    ];
+
+    /// Number of counters (array size of a [`MetricSet`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name, used by exporters and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::PacketsSent => "packets_sent",
+            Counter::PacketsDropped => "packets_dropped",
+            Counter::PacketsCorrupted => "packets_corrupted",
+            Counter::PacketsRetransmitted => "packets_retransmitted",
+            Counter::AcksSent => "acks_sent",
+            Counter::NacksSent => "nacks_sent",
+            Counter::CrcDrops => "crc_drops",
+            Counter::DupDrops => "dup_drops",
+            Counter::FirmwareCycles => "firmware_cycles",
+            Counter::SdmaBytes => "sdma_bytes",
+            Counter::RdmaBytes => "rdma_bytes",
+            Counter::CompletionDmas => "completion_dmas",
+            Counter::HostSends => "host_sends",
+            Counter::HostEvents => "host_events",
+            Counter::LocalFlags => "local_flags",
+            Counter::BarrierCompletions => "barrier_completions",
+            Counter::RejectsSent => "rejects_sent",
+            Counter::BarrierResends => "barrier_resends",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fixed-size set of named counters. See the module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricSet {
+    counts: [u64; Counter::COUNT],
+}
+
+impl MetricSet {
+    /// All counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to counter `c`.
+    pub fn add(&mut self, c: Counter, v: u64) {
+        self.counts[c as usize] += v;
+    }
+
+    /// Current value of counter `c`.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counts[c as usize]
+    }
+
+    /// Add every counter of `other` into this set.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (into, from) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *into += from;
+        }
+    }
+
+    /// Iterate `(counter, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+}
+
+impl fmt::Debug for MetricSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (c, v) in self.iter() {
+            if v != 0 {
+                m.entry(&c.name(), &v);
+            }
+        }
+        m.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_roundtrip() {
+        let mut m = MetricSet::new();
+        m.add(Counter::PacketsSent, 3);
+        m.add(Counter::PacketsSent, 2);
+        m.add(Counter::FirmwareCycles, 1000);
+        assert_eq!(m.get(Counter::PacketsSent), 5);
+        assert_eq!(m.get(Counter::FirmwareCycles), 1000);
+        assert_eq!(m.get(Counter::CrcDrops), 0);
+    }
+
+    #[test]
+    fn merge_sums_pointwise() {
+        let mut a = MetricSet::new();
+        let mut b = MetricSet::new();
+        a.add(Counter::AcksSent, 1);
+        b.add(Counter::AcksSent, 2);
+        b.add(Counter::DupDrops, 7);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::AcksSent), 3);
+        assert_eq!(a.get(Counter::DupDrops), 7);
+    }
+
+    #[test]
+    fn names_are_unique_and_match_index_order() {
+        let names: std::collections::HashSet<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), Counter::COUNT);
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+    }
+
+    #[test]
+    fn debug_lists_only_nonzero() {
+        let mut m = MetricSet::new();
+        m.add(Counter::RdmaBytes, 64);
+        let s = format!("{m:?}");
+        assert!(s.contains("rdma_bytes") && !s.contains("crc_drops"), "{s}");
+    }
+}

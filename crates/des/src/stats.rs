@@ -156,6 +156,34 @@ impl Histogram {
         self.counts[i]
     }
 
+    /// Merge another histogram into this one (per-node aggregation). Both
+    /// sides must have the same bin width and bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        for (into, from) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *into += from;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Approximate mean from bucket midpoints (`None` if no in-range
+    /// samples). Overflow samples are excluded.
+    pub fn mean(&self) -> Option<f64> {
+        let in_range = self.total - self.overflow;
+        if in_range == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * (i as f64 + 0.5) * self.bin_width)
+            .sum();
+        Some(sum / in_range as f64)
+    }
+
     /// Approximate quantile (`q` in `[0,1]`) from bucket upper edges;
     /// `None` if empty or the quantile lands in the overflow bucket.
     pub fn quantile(&self, q: f64) -> Option<f64> {

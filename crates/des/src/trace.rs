@@ -1,116 +1,360 @@
-//! Lightweight event tracing.
+//! Structured event tracing.
 //!
-//! Tracing serves two purposes here: the determinism test (same seed ⇒
-//! identical trace) and debuggability of the MCP state machines. A
-//! [`TraceSink`] is deliberately simple — a bounded ring of formatted
-//! records — so leaving it enabled in tests costs little.
+//! Tracing serves three purposes here: the determinism tests (same seed ⇒
+//! bit-identical trace), debuggability of the MCP state machines, and the
+//! chrome://tracing / breakdown exporters in the bench crate. A trace is a
+//! bounded ring of typed, `Copy`-able [`TraceRecord`]s — no strings, no
+//! formatting on the hot path — recorded through a [`Tracer`] handle that
+//! costs one branch when disabled.
 
 use crate::time::SimTime;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::rc::Rc;
 
-/// One trace record.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// Virtual time the event was recorded at.
-    pub at: SimTime,
-    /// Component that recorded it, e.g. `"nic3.sdma"`.
-    pub component: String,
-    /// Free-form message.
-    pub message: String,
+/// The functional unit a trace record was emitted by. Mirrors the hardware
+/// decomposition of a GM node: the host CPU, the NIC's three DMA/send/recv
+/// engines plus the firmware extension, and the wire itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Unit {
+    /// Host processor (program callbacks, host-level barrier steps).
+    Host,
+    /// Host→NIC DMA engine.
+    Sdma,
+    /// Packet-interface send side of the NIC.
+    Send,
+    /// Packet-interface receive side of the NIC.
+    Recv,
+    /// NIC→host DMA engine.
+    Rdma,
+    /// The link/fabric between NICs.
+    Wire,
+    /// Firmware extension (NIC-based collective interpreter).
+    Ext,
 }
 
-impl fmt::Display for TraceEvent {
+impl Unit {
+    /// Stable short name, used by exporters as a thread label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Host => "host",
+            Unit::Sdma => "sdma",
+            Unit::Send => "send",
+            Unit::Recv => "recv",
+            Unit::Rdma => "rdma",
+            Unit::Wire => "wire",
+            Unit::Ext => "ext",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Unit::Host => 0,
+            Unit::Sdma => 1,
+            Unit::Send => 2,
+            Unit::Recv => 3,
+            Unit::Rdma => 4,
+            Unit::Wire => 5,
+            Unit::Ext => 6,
+        }
+    }
+}
+
+/// Identifies which component of which node recorded an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId {
+    /// Cluster node index.
+    pub node: u32,
+    /// Functional unit on that node.
+    pub unit: Unit,
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}.{}", self.node, self.unit.name())
+    }
+}
+
+/// What happened. Every variant is plain-old-data so that recording never
+/// allocates; peers and packet kinds are carried as raw indices/codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePayload {
+    /// Host posted a send token to the NIC (`collective` for barrier tokens).
+    SendTokenPost {
+        /// Port the token was posted on.
+        port: u8,
+        /// True when the token starts a NIC-resident collective.
+        collective: bool,
+    },
+    /// Host→NIC DMA of a message payload began.
+    SdmaStart {
+        /// Bytes transferred.
+        bytes: u32,
+    },
+    /// Host→NIC DMA finished; the packet is ready to inject.
+    SdmaFinish {
+        /// Bytes transferred.
+        bytes: u32,
+    },
+    /// A packet left this NIC for the wire.
+    WireInject {
+        /// Destination node.
+        dst: u32,
+        /// Packet-kind code (see the GM layer's `PacketKind`).
+        kind: u8,
+    },
+    /// A packet arrived from the wire at this NIC.
+    WireDeliver {
+        /// Source node.
+        src: u32,
+        /// Packet-kind code.
+        kind: u8,
+        /// True when the fabric corrupted the packet (CRC will fail).
+        corrupted: bool,
+    },
+    /// A barrier-round message was sent (by firmware or by the host loop).
+    BarrierSend {
+        /// Peer node the message targets.
+        peer: u32,
+        /// Collective packet type (PE / GATHER / BCAST / ...).
+        kind: u8,
+        /// True when delivered as a same-NIC local flag, skipping the wire.
+        local: bool,
+    },
+    /// A barrier-round message was received/recorded.
+    BarrierRecv {
+        /// Peer node the message came from.
+        peer: u32,
+        /// Collective packet type.
+        kind: u8,
+    },
+    /// A reliable packet was retransmitted (nack- or timer-driven).
+    Retransmit {
+        /// Peer the connection is with.
+        peer: u32,
+    },
+    /// A retransmission timer fired with unacked packets outstanding.
+    Timeout {
+        /// Peer the connection is with.
+        peer: u32,
+    },
+    /// NIC→host completion DMA (receive landing or notify token).
+    CompletionDma {
+        /// Port the completion targets.
+        port: u8,
+        /// Bytes DMA'd to host memory.
+        bytes: u32,
+    },
+}
+
+impl TracePayload {
+    /// Stable short name, used by exporters as the event label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TracePayload::SendTokenPost { .. } => "send_token_post",
+            TracePayload::SdmaStart { .. } => "sdma_start",
+            TracePayload::SdmaFinish { .. } => "sdma_finish",
+            TracePayload::WireInject { .. } => "wire_inject",
+            TracePayload::WireDeliver { .. } => "wire_deliver",
+            TracePayload::BarrierSend { .. } => "barrier_send",
+            TracePayload::BarrierRecv { .. } => "barrier_recv",
+            TracePayload::Retransmit { .. } => "retransmit",
+            TracePayload::Timeout { .. } => "timeout",
+            TracePayload::CompletionDma { .. } => "completion_dma",
+        }
+    }
+
+    /// Fold the payload into an FNV-1a accumulator via a stable per-variant
+    /// byte encoding (tag byte + little-endian fields).
+    fn mix(&self, mix: &mut impl FnMut(&[u8])) {
+        match *self {
+            TracePayload::SendTokenPost { port, collective } => {
+                mix(&[0, port, collective as u8]);
+            }
+            TracePayload::SdmaStart { bytes } => {
+                mix(&[1]);
+                mix(&bytes.to_le_bytes());
+            }
+            TracePayload::SdmaFinish { bytes } => {
+                mix(&[2]);
+                mix(&bytes.to_le_bytes());
+            }
+            TracePayload::WireInject { dst, kind } => {
+                mix(&[3, kind]);
+                mix(&dst.to_le_bytes());
+            }
+            TracePayload::WireDeliver {
+                src,
+                kind,
+                corrupted,
+            } => {
+                mix(&[4, kind, corrupted as u8]);
+                mix(&src.to_le_bytes());
+            }
+            TracePayload::BarrierSend { peer, kind, local } => {
+                mix(&[5, kind, local as u8]);
+                mix(&peer.to_le_bytes());
+            }
+            TracePayload::BarrierRecv { peer, kind } => {
+                mix(&[6, kind]);
+                mix(&peer.to_le_bytes());
+            }
+            TracePayload::Retransmit { peer } => {
+                mix(&[7]);
+                mix(&peer.to_le_bytes());
+            }
+            TracePayload::Timeout { peer } => {
+                mix(&[8]);
+                mix(&peer.to_le_bytes());
+            }
+            TracePayload::CompletionDma { port, bytes } => {
+                mix(&[9, port]);
+                mix(&bytes.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// One trace record: when, who, what. `Copy`, 32 bytes, no heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual time the event was recorded at.
+    pub at: SimTime,
+    /// Component that recorded it.
+    pub component: ComponentId,
+    /// What happened.
+    pub payload: TracePayload,
+}
+
+impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
             "[{:>12}] {}: {}",
             self.at.as_ns(),
             self.component,
-            self.message
-        )
+            self.payload.name()
+        )?;
+        match self.payload {
+            TracePayload::SendTokenPost { port, collective } => {
+                write!(f, " port={port} collective={collective}")
+            }
+            TracePayload::SdmaStart { bytes } | TracePayload::SdmaFinish { bytes } => {
+                write!(f, " bytes={bytes}")
+            }
+            TracePayload::WireInject { dst, kind } => write!(f, " dst=n{dst} kind={kind}"),
+            TracePayload::WireDeliver {
+                src,
+                kind,
+                corrupted,
+            } => write!(f, " src=n{src} kind={kind} corrupted={corrupted}"),
+            TracePayload::BarrierSend { peer, kind, local } => {
+                write!(f, " peer=n{peer} kind={kind} local={local}")
+            }
+            TracePayload::BarrierRecv { peer, kind } => write!(f, " peer=n{peer} kind={kind}"),
+            TracePayload::Retransmit { peer } | TracePayload::Timeout { peer } => {
+                write!(f, " peer=n{peer}")
+            }
+            TracePayload::CompletionDma { port, bytes } => {
+                write!(f, " port={port} bytes={bytes}")
+            }
+        }
     }
 }
 
-/// A bounded in-memory trace.
 #[derive(Debug)]
-pub struct TraceSink {
-    enabled: bool,
+struct TraceBuffer {
     capacity: usize,
-    records: VecDeque<TraceEvent>,
+    records: VecDeque<TraceRecord>,
     dropped: u64,
 }
 
-impl Default for TraceSink {
-    fn default() -> Self {
-        Self::disabled()
-    }
-}
-
-impl TraceSink {
-    /// A sink that records up to `capacity` events, dropping the oldest.
-    pub fn bounded(capacity: usize) -> Self {
-        TraceSink {
-            enabled: true,
-            capacity,
-            records: VecDeque::with_capacity(capacity.min(4096)),
-            dropped: 0,
-        }
-    }
-
-    /// A sink that ignores everything (zero overhead beyond one branch).
-    pub fn disabled() -> Self {
-        TraceSink {
-            enabled: false,
-            capacity: 0,
-            records: VecDeque::new(),
-            dropped: 0,
-        }
-    }
-
-    /// Whether records are being kept.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Record an event (no-op when disabled).
-    pub fn record(&mut self, at: SimTime, component: &str, message: impl Into<String>) {
-        if !self.enabled {
-            return;
-        }
+impl TraceBuffer {
+    fn push(&mut self, rec: TraceRecord) {
         if self.records.len() == self.capacity {
             self.records.pop_front();
             self.dropped += 1;
         }
-        self.records.push_back(TraceEvent {
-            at,
-            component: component.to_owned(),
-            message: message.into(),
-        });
+        self.records.push_back(rec);
+    }
+}
+
+/// A cheaply clonable handle onto a shared bounded trace buffer.
+///
+/// Every component that can emit trace records holds a clone; all clones made
+/// from one [`Tracer::bounded`] write into the same ring. The disabled handle
+/// ([`Tracer::disabled`], also `Default`) carries no buffer, so recording is
+/// a single `Option` branch — this is what keeps the zero-allocation gates
+/// honest with tracing compiled in.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    buf: Option<Rc<RefCell<TraceBuffer>>>,
+}
+
+impl Tracer {
+    /// A handle that ignores everything (one branch per record call).
+    pub fn disabled() -> Self {
+        Tracer { buf: None }
     }
 
-    /// Records currently held (oldest first).
-    pub fn records(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.records.iter()
+    /// A handle onto a fresh ring of up to `capacity` records; the oldest
+    /// records are evicted (and counted) once the ring is full.
+    pub fn bounded(capacity: usize) -> Self {
+        Tracer {
+            buf: Some(Rc::new(RefCell::new(TraceBuffer {
+                capacity,
+                records: VecDeque::with_capacity(capacity.min(4096)),
+                dropped: 0,
+            }))),
+        }
     }
 
-    /// Number of records evicted due to capacity.
-    pub fn dropped(&self) -> u64 {
-        self.dropped
+    /// Whether records are being kept.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Record an event (no-op when disabled).
+    #[inline]
+    pub fn record(&self, at: SimTime, component: ComponentId, payload: TracePayload) {
+        if let Some(buf) = &self.buf {
+            buf.borrow_mut().push(TraceRecord {
+                at,
+                component,
+                payload,
+            });
+        }
+    }
+
+    /// Copy out the records currently held (oldest first). Empty when
+    /// disabled.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        match &self.buf {
+            Some(buf) => buf.borrow().records.iter().copied().collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Number of records currently held.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.buf.as_ref().map_or(0, |b| b.borrow().records.len())
     }
 
     /// True when no records are held.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.len() == 0
     }
 
-    /// A stable fingerprint of the full trace seen so far (including evicted
-    /// records), for determinism tests. FNV-1a over the rendered records.
+    /// Number of records evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.buf.as_ref().map_or(0, |b| b.borrow().dropped)
+    }
+
+    /// A stable fingerprint of the trace (held records plus eviction count),
+    /// for determinism tests. FNV-1a over a fixed per-variant byte encoding,
+    /// so it is sensitive to any field of any record.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |bytes: &[u8]| {
@@ -119,11 +363,14 @@ impl TraceSink {
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
         };
-        mix(&self.dropped.to_le_bytes());
-        for r in &self.records {
+        let Some(buf) = &self.buf else { return h };
+        let buf = buf.borrow();
+        mix(&buf.dropped.to_le_bytes());
+        for r in &buf.records {
             mix(&r.at.as_ns().to_le_bytes());
-            mix(r.component.as_bytes());
-            mix(r.message.as_bytes());
+            mix(&r.component.node.to_le_bytes());
+            mix(&[r.component.unit.code()]);
+            r.payload.mix(&mut mix);
         }
         h
     }
@@ -133,47 +380,111 @@ impl TraceSink {
 mod tests {
     use super::*;
 
-    #[test]
-    fn disabled_sink_records_nothing() {
-        let mut t = TraceSink::disabled();
-        t.record(SimTime::ZERO, "x", "y");
-        assert!(t.is_empty());
-        assert!(!t.is_enabled());
+    fn comp(node: u32, unit: Unit) -> ComponentId {
+        ComponentId { node, unit }
     }
 
     #[test]
-    fn bounded_sink_evicts_oldest() {
-        let mut t = TraceSink::bounded(2);
-        t.record(SimTime::from_ns(1), "a", "1");
-        t.record(SimTime::from_ns(2), "a", "2");
-        t.record(SimTime::from_ns(3), "a", "3");
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.record(
+            SimTime::ZERO,
+            comp(0, Unit::Host),
+            TracePayload::Timeout { peer: 1 },
+        );
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn bounded_tracer_evicts_oldest() {
+        let t = Tracer::bounded(2);
+        for i in 0..3u32 {
+            t.record(
+                SimTime::from_ns(i as u64),
+                comp(0, Unit::Wire),
+                TracePayload::WireInject { dst: i, kind: 1 },
+            );
+        }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 1);
-        let msgs: Vec<_> = t.records().map(|r| r.message.as_str()).collect();
-        assert_eq!(msgs, ["2", "3"]);
+        let dsts: Vec<u32> = t
+            .snapshot()
+            .iter()
+            .map(|r| match r.payload {
+                TracePayload::WireInject { dst, .. } => dst,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(dsts, [1, 2]);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Tracer::bounded(8);
+        let clone = t.clone();
+        clone.record(
+            SimTime::from_ns(5),
+            comp(3, Unit::Sdma),
+            TracePayload::SdmaStart { bytes: 64 },
+        );
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.fingerprint(), clone.fingerprint());
     }
 
     #[test]
     fn fingerprint_is_stable_and_sensitive() {
-        let mut a = TraceSink::bounded(16);
-        let mut b = TraceSink::bounded(16);
+        let a = Tracer::bounded(16);
+        let b = Tracer::bounded(16);
         for i in 0..5u64 {
-            a.record(SimTime::from_ns(i), "c", format!("m{i}"));
-            b.record(SimTime::from_ns(i), "c", format!("m{i}"));
+            for t in [&a, &b] {
+                t.record(
+                    SimTime::from_ns(i),
+                    comp(1, Unit::Ext),
+                    TracePayload::BarrierSend {
+                        peer: i as u32,
+                        kind: 2,
+                        local: false,
+                    },
+                );
+            }
         }
         assert_eq!(a.fingerprint(), b.fingerprint());
-        b.record(SimTime::from_ns(9), "c", "extra");
+        // Any field difference must change the hash: flip `local` only.
+        b.record(
+            SimTime::from_ns(9),
+            comp(1, Unit::Ext),
+            TracePayload::BarrierSend {
+                peer: 9,
+                kind: 2,
+                local: true,
+            },
+        );
+        a.record(
+            SimTime::from_ns(9),
+            comp(1, Unit::Ext),
+            TracePayload::BarrierSend {
+                peer: 9,
+                kind: 2,
+                local: false,
+            },
+        );
         assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
     fn display_renders() {
-        let e = TraceEvent {
+        let r = TraceRecord {
             at: SimTime::from_ns(1500),
-            component: "nic0.recv".into(),
-            message: "pkt".into(),
+            component: comp(0, Unit::Recv),
+            payload: TracePayload::WireDeliver {
+                src: 4,
+                kind: 3,
+                corrupted: false,
+            },
         };
-        let s = format!("{e}");
-        assert!(s.contains("nic0.recv") && s.contains("pkt"));
+        let s = format!("{r}");
+        assert!(s.contains("n0.recv") && s.contains("wire_deliver"), "{s}");
     }
 }

@@ -14,7 +14,8 @@ use crate::ids::{GlobalPort, NodeId, PortId};
 use crate::mcp::{Mcp, McpCore, McpOutput, TimerKind};
 use crate::packet::Packet;
 use crate::token::SendToken;
-use gmsim_des::{BoxedFn, Event, Scheduler, SimTime, Simulation, TraceSink};
+use gmsim_des::trace::{ComponentId, TracePayload, Tracer, Unit};
+use gmsim_des::{BoxedFn, Event, Scheduler, SimTime, Simulation};
 use gmsim_myrinet::fault::Fate;
 use gmsim_myrinet::{Fabric, FaultPlan, Topology, TopologyBuilder};
 
@@ -54,8 +55,8 @@ pub struct Cluster {
     pub nodes: Vec<Node>,
     /// The Myrinet fabric.
     pub fabric: Fabric,
-    /// Optional event trace.
-    pub trace: TraceSink,
+    /// Structured event trace handle (shared with every NIC's firmware).
+    pub tracer: Tracer,
     /// Measurement marks recorded by programs.
     pub notes: Vec<NoteRecord>,
     config: GmConfig,
@@ -97,7 +98,7 @@ impl Cluster {
 /// Shorthand for a cluster simulation.
 pub type ClusterSim = Simulation<Cluster, ClusterEvent>;
 /// Shorthand for the cluster scheduler.
-pub type ClusterSched = Scheduler<Cluster, ClusterEvent>;
+pub(crate) type ClusterSched = Scheduler<Cluster, ClusterEvent>;
 
 /// A typed scheduler event on the cluster — the allocation-free encoding of
 /// everything the steady-state hot path schedules. Each variant corresponds
@@ -224,7 +225,7 @@ pub struct ClusterBuilder {
     faults: Option<(FaultPlan, u64)>,
     ext_factory: ExtFactory,
     programs: Vec<(GlobalPort, Box<dyn HostProgram>, SimTime)>,
-    trace_capacity: Option<usize>,
+    tracer: Option<Tracer>,
 }
 
 impl ClusterBuilder {
@@ -239,7 +240,7 @@ impl ClusterBuilder {
             faults: None,
             ext_factory: Box::new(|_, _, _| Box::new(NullExtension)),
             programs: Vec::new(),
-            trace_capacity: None,
+            tracer: None,
         }
     }
 
@@ -287,9 +288,16 @@ impl ClusterBuilder {
         self
     }
 
-    /// Keep a bounded event trace.
+    /// Keep a bounded structured event trace of up to `capacity` records.
     pub fn trace(mut self, capacity: usize) -> Self {
-        self.trace_capacity = Some(capacity);
+        self.tracer = Some(Tracer::bounded(capacity));
+        self
+    }
+
+    /// Record into a caller-owned [`Tracer`] handle instead of an internal
+    /// one (lets the caller keep reading after the simulation is dropped).
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -308,10 +316,12 @@ impl ClusterBuilder {
             Some((plan, seed)) => Fabric::new(topology).with_faults(plan, seed),
             None => Fabric::new(topology),
         };
+        let tracer = self.tracer.unwrap_or_default();
         let nodes = (0..self.size)
             .map(|i| {
                 let node = NodeId(i);
-                let core = McpCore::new(node, self.size, self.config);
+                let mut core = McpCore::new(node, self.size, self.config);
+                core.set_tracer(tracer.clone());
                 let ext = (self.ext_factory)(node, self.size, &self.config);
                 Node {
                     host: Host::new(node, &self.config),
@@ -323,10 +333,7 @@ impl ClusterBuilder {
         let cluster = Cluster {
             nodes,
             fabric,
-            trace: match self.trace_capacity {
-                Some(c) => TraceSink::bounded(c),
-                None => TraceSink::disabled(),
-            },
+            tracer,
             notes: Vec::new(),
             config: self.config,
             mcp_scratch: Vec::new(),
@@ -371,13 +378,17 @@ pub fn pump(node: NodeId, outs: &mut Vec<McpOutput>, s: &mut ClusterSched) {
 fn transmit_now(pkt: Packet, cl: &mut Cluster, s: &mut ClusterSched) {
     let src = pkt.src.node;
     let dst = pkt.dst.node;
-    if cl.trace.is_enabled() {
-        cl.trace.record(
-            s.now(),
-            &format!("nic{}.send", src.0),
-            format!("{:?}", pkt.kind),
-        );
-    }
+    cl.tracer.record(
+        s.now(),
+        ComponentId {
+            node: src.0 as u32,
+            unit: Unit::Wire,
+        },
+        TracePayload::WireInject {
+            dst: dst.0 as u32,
+            kind: pkt.trace_code(),
+        },
+    );
     if src == dst {
         // NIC-internal loopback: the packet never touches the wire.
         let mut outs = cl.take_outs();
@@ -406,13 +417,18 @@ fn transmit_now(pkt: Packet, cl: &mut Cluster, s: &mut ClusterSched) {
 /// A worm fully arrived at its destination NIC: run the RECV machine.
 fn wire_deliver(pkt: Packet, corrupted: bool, cl: &mut Cluster, s: &mut ClusterSched) {
     let dst = pkt.dst.node;
-    if cl.trace.is_enabled() {
-        cl.trace.record(
-            s.now(),
-            &format!("nic{}.recv", dst.0),
-            format!("{:?}", pkt.kind),
-        );
-    }
+    cl.tracer.record(
+        s.now(),
+        ComponentId {
+            node: dst.0 as u32,
+            unit: Unit::Wire,
+        },
+        TracePayload::WireDeliver {
+            src: pkt.src.node.0 as u32,
+            kind: pkt.trace_code(),
+            corrupted,
+        },
+    );
     let mut outs = cl.take_outs();
     cl.nodes[dst.0]
         .mcp
@@ -435,7 +451,7 @@ fn host_process(node: NodeId, cl: &mut Cluster, s: &mut ClusterSched) {
         .take()
         .unwrap_or_else(|| panic!("event {ev:?} for {node:?}{port:?} with no program"));
     let buf = std::mem::take(&mut cl.action_scratch);
-    let mut ctx = HostCtx::with_buffer(s.now(), node, port, buf);
+    let mut ctx = HostCtx::with_buffer(s.now(), node, port, buf, cl.tracer.clone());
     program.on_event(&ev, &mut ctx);
     cl.nodes[node.0].programs[port.idx()] = Some(program);
     let mut actions = ctx.into_actions();
@@ -459,7 +475,7 @@ fn start_program(node: NodeId, port: PortId, cl: &mut Cluster, s: &mut ClusterSc
         .take()
         .expect("start for unregistered program");
     let buf = std::mem::take(&mut cl.action_scratch);
-    let mut ctx = HostCtx::with_buffer(s.now(), node, port, buf);
+    let mut ctx = HostCtx::with_buffer(s.now(), node, port, buf, cl.tracer.clone());
     program.on_start(&mut ctx);
     cl.nodes[node.0].programs[port.idx()] = Some(program);
     let mut actions = ctx.into_actions();
@@ -695,15 +711,34 @@ mod tests {
 
     #[test]
     fn same_seed_same_trace() {
-        let fingerprint = |seed: u64| {
-            let mut sim = pingpong_sim();
-            // seed currently unused by pingpong, but keeps the closure shape
-            let _ = seed;
-            sim.world_mut().trace = TraceSink::bounded(4096);
+        let fingerprint = || {
+            let tracer = Tracer::bounded(4096);
+            let mut sim = ClusterBuilder::new(2)
+                .tracer(tracer.clone())
+                .program(
+                    GlobalPort::new(0, 1),
+                    Box::new(PingPong {
+                        peer: GlobalPort::new(1, 1),
+                        initiator: true,
+                        log: vec![],
+                    }),
+                    SimTime::ZERO,
+                )
+                .program(
+                    GlobalPort::new(1, 1),
+                    Box::new(PingPong {
+                        peer: GlobalPort::new(0, 1),
+                        initiator: false,
+                        log: vec![],
+                    }),
+                    SimTime::ZERO,
+                )
+                .build();
             sim.run();
-            sim.world().trace.fingerprint()
+            assert!(!tracer.is_empty(), "structured trace captured nothing");
+            tracer.fingerprint()
         };
-        assert_eq!(fingerprint(1), fingerprint(1));
+        assert_eq!(fingerprint(), fingerprint());
     }
 
     #[test]

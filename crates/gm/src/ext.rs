@@ -8,8 +8,8 @@
 //! barrier semantics.
 //!
 //! Extension handlers run *on the NIC*: they charge cycles on the NIC
-//! processor through [`McpCore`](crate::mcp::McpCore) and emit the same
-//! [`McpOutput`](crate::mcp::McpOutput)s the built-in state machines do.
+//! processor through [`McpCore`] and emit the same
+//! [`McpOutput`]s the built-in state machines do.
 
 use crate::ids::{GlobalPort, PortId};
 use crate::mcp::{McpCore, McpOutput};
@@ -78,7 +78,7 @@ pub trait McpExtension {
 /// Stock GM: no collective support. Receiving a collective token or packet
 /// with this extension installed is a configuration error and panics.
 #[derive(Debug, Default, Clone, Copy)]
-pub struct NullExtension;
+pub(crate) struct NullExtension;
 
 impl McpExtension for NullExtension {
     fn on_collective_token(

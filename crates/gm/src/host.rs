@@ -17,6 +17,7 @@ use crate::config::GmConfig;
 use crate::events::GmEvent;
 use crate::ids::{GlobalPort, NodeId, PortId};
 use crate::token::CollectiveToken;
+use gmsim_des::trace::{ComponentId, TracePayload, Tracer, Unit};
 use gmsim_des::SimTime;
 use std::collections::VecDeque;
 
@@ -167,24 +168,45 @@ pub struct HostCtx {
     /// The port this program owns.
     pub port: PortId,
     actions: Vec<HostAction>,
+    tracer: Tracer,
 }
 
 impl HostCtx {
-    /// A fresh context for one callback.
+    /// A fresh context for one callback (tracing disabled; unit tests).
     pub fn new(now: SimTime, node: NodeId, port: PortId) -> Self {
-        HostCtx::with_buffer(now, node, port, Vec::new())
+        HostCtx::with_buffer(now, node, port, Vec::new(), Tracer::disabled())
     }
 
     /// A context reusing a caller-owned (empty) action buffer, so the
     /// cluster's host-event hot path allocates no per-callback `Vec`.
-    pub fn with_buffer(now: SimTime, node: NodeId, port: PortId, actions: Vec<HostAction>) -> Self {
+    pub fn with_buffer(
+        now: SimTime,
+        node: NodeId,
+        port: PortId,
+        actions: Vec<HostAction>,
+        tracer: Tracer,
+    ) -> Self {
         debug_assert!(actions.is_empty(), "recycled action buffer not drained");
         HostCtx {
             now,
             node,
             port,
             actions,
+            tracer,
         }
+    }
+
+    /// Record a structured trace event attributed to this node's host
+    /// processor (no-op when tracing is disabled).
+    pub fn trace(&self, payload: TracePayload) {
+        self.tracer.record(
+            self.now,
+            ComponentId {
+                node: self.node.0 as u32,
+                unit: Unit::Host,
+            },
+            payload,
+        );
     }
 
     /// The endpoint this program owns.

@@ -44,11 +44,11 @@ pub mod packet;
 pub mod port;
 pub mod token;
 
-pub use cluster::{Cluster, ClusterEvent, ClusterSched, ClusterSim, Node};
+pub use cluster::{Cluster, ClusterEvent, ClusterSim, Node};
 pub use config::GmConfig;
 pub use connection::Connection;
 pub use events::GmEvent;
-pub use ext::{McpExtension, NullExtension};
+pub use ext::McpExtension;
 pub use host::{Host, HostAction, HostCtx, HostProgram};
 pub use ids::{GlobalPort, NodeId, PortId, GM_FIRST_USER_PORT, GM_NUM_PORTS};
 pub use ir::{Charge, CollectiveSchedule, CompletionKind, ReduceOp, ScheduleStep, TokenCharge};

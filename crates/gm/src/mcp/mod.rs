@@ -31,6 +31,7 @@ use crate::ext::McpExtension;
 use crate::ids::{GlobalPort, NodeId, PortId};
 use crate::packet::{ExtPacket, Packet, PacketKind, Seq};
 use crate::port::{new_port_table, PortState};
+use gmsim_des::trace::{ComponentId, TracePayload, Tracer, Unit};
 use gmsim_des::SimTime;
 use gmsim_lanai::NicHardware;
 
@@ -117,6 +118,7 @@ pub struct McpCore {
     pub stats: McpStats,
     /// Reusable buffer for acked-entry draining (ack hot path).
     pub(crate) acked_scratch: Vec<SentEntry>,
+    tracer: Tracer,
 }
 
 impl McpCore {
@@ -132,12 +134,32 @@ impl McpCore {
                 .collect(),
             stats: McpStats::default(),
             acked_scratch: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
     /// This NIC's node id.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Install the cluster's shared trace handle (disabled by default).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Record a structured trace event attributed to `unit` of this NIC
+    /// (no-op when tracing is disabled).
+    #[inline]
+    pub fn trace(&self, at: SimTime, unit: Unit, payload: TracePayload) {
+        self.tracer.record(
+            at,
+            ComponentId {
+                node: self.node.0 as u32,
+                unit,
+            },
+            payload,
+        );
     }
 
     /// Cluster configuration.
@@ -267,6 +289,14 @@ impl McpCore {
         let t = self.exec(rdma_cycles, ready);
         let done = self.hw.rdma.begin(ev.rdma_bytes(), t);
         self.stats.host_events += 1;
+        self.trace(
+            done,
+            Unit::Rdma,
+            TracePayload::CompletionDma {
+                port: port.0,
+                bytes: ev.rdma_bytes() as u32,
+            },
+        );
         out.push(McpOutput::HostEvent { at: done, port, ev });
     }
 }
@@ -333,6 +363,15 @@ impl Mcp {
             TimerKind::Rto { peer, seq, sent_at } => {
                 let again = self.core.conn_mut(peer).on_timeout(seq, sent_at, now);
                 self.core.stats.retx += again.len() as u64;
+                if !again.is_empty() {
+                    self.core.trace(
+                        now,
+                        Unit::Send,
+                        TracePayload::Timeout {
+                            peer: peer.0 as u32,
+                        },
+                    );
+                }
                 for pkt in again {
                     let send_cycles = self.core.config.nic.costs.send_cycles;
                     let at = self.core.exec(send_cycles, now);
@@ -340,6 +379,13 @@ impl Mcp {
                     // went out so the new timer is the live one.
                     let seq = pkt.seq().unwrap();
                     self.core.conn_mut(peer).refresh_sent_at(seq, at);
+                    self.core.trace(
+                        at,
+                        Unit::Send,
+                        TracePayload::Retransmit {
+                            peer: peer.0 as u32,
+                        },
+                    );
                     out.push(McpOutput::Timer {
                         at: at + self.core.config.retransmit_timeout,
                         kind: TimerKind::Rto {

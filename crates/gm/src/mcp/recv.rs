@@ -11,6 +11,7 @@ use crate::connection::RxVerdict;
 use crate::events::GmEvent;
 use crate::ids::{GlobalPort, NodeId, PortId};
 use crate::packet::{Packet, PacketKind};
+use gmsim_des::trace::{TracePayload, Unit};
 use gmsim_des::SimTime;
 
 impl Mcp {
@@ -160,6 +161,13 @@ impl Mcp {
             let at = self.core.exec(costs.send_cycles, ready);
             let seq = pkt.seq().unwrap();
             self.core.conn_mut(peer).refresh_sent_at(seq, at);
+            self.core.trace(
+                at,
+                Unit::Send,
+                TracePayload::Retransmit {
+                    peer: peer.0 as u32,
+                },
+            );
             out.push(McpOutput::Timer {
                 at: at + rto,
                 kind: TimerKind::Rto {

@@ -16,6 +16,7 @@ use super::{Mcp, McpOutput};
 use crate::ids::GlobalPort;
 use crate::packet::{Packet, PacketKind};
 use crate::token::SendToken;
+use gmsim_des::trace::{TracePayload, Unit};
 use gmsim_des::SimTime;
 
 impl Mcp {
@@ -46,11 +47,26 @@ impl Mcp {
                     self.core.port(src_port).is_open(),
                     "send token on closed port"
                 );
+                self.core.trace(
+                    now,
+                    Unit::Sdma,
+                    TracePayload::SendTokenPost {
+                        port: src_port.0,
+                        collective: false,
+                    },
+                );
                 // SDMA handler: program the DMA, build headers.
                 let costs = self.core.config().nic.costs;
                 let t = self.core.exec(costs.sdma_cycles, now);
                 // Payload DMA from pinned host memory to NIC tx buffer.
                 let dma_done = self.core.hw.sdma.begin(len, t);
+                self.core
+                    .trace(t, Unit::Sdma, TracePayload::SdmaStart { bytes: len as u32 });
+                self.core.trace(
+                    dma_done,
+                    Unit::Sdma,
+                    TracePayload::SdmaFinish { bytes: len as u32 },
+                );
                 // Packet prepared: assign a sequence and hand to SEND.
                 let seq = self.core.conn_mut(dst.node).assign_seq();
                 let pkt = Packet {
@@ -73,6 +89,14 @@ impl Mcp {
                 debug_assert!(
                     self.core.port(src_port).is_open(),
                     "collective token on closed port"
+                );
+                self.core.trace(
+                    now,
+                    Unit::Sdma,
+                    TracePayload::SendTokenPost {
+                        port: src_port.0,
+                        collective: true,
+                    },
                 );
                 // No payload DMA: the descriptor was written with the token.
                 // The extension charges its own processing cycles.

@@ -104,6 +104,17 @@ impl Packet {
     pub fn is_reliable(&self) -> bool {
         self.seq().is_some()
     }
+
+    /// Stable one-byte code for trace records: 1 = data, 2 = ack, 3 = nack,
+    /// `0x10 | ext_type` for extension packets.
+    pub fn trace_code(&self) -> u8 {
+        match &self.kind {
+            PacketKind::Data { .. } => 1,
+            PacketKind::Ack { .. } => 2,
+            PacketKind::Nack { .. } => 3,
+            PacketKind::Ext { body, .. } => 0x10 | (body.ext_type & 0x0f),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,12 +1,17 @@
 //! Declarative barrier experiments.
 
-use gmsim_des::{RunOutcome, SimRng, SimTime, Summary};
-use gmsim_gm::cluster::ClusterBuilder;
+use gmsim_des::{Histogram, MetricSet, RunOutcome, SimRng, SimTime, Summary, TraceRecord, Tracer};
+use gmsim_gm::cluster::{Cluster, ClusterBuilder};
 use gmsim_gm::config::CollectiveWireMode;
 use gmsim_gm::{GlobalPort, GmConfig, HostProgram};
 use gmsim_lanai::NicModel;
+use gmsim_myrinet::FaultPlan;
+use nic_barrier::nic::{TURNAROUND_BINS, TURNAROUND_BIN_US};
 use nic_barrier::programs::{decode_note, NicBarrierLoop};
 use nic_barrier::{BarrierCosts, BarrierExtension, BarrierGroup, Descriptor, HostBarrierLoop};
+use std::fmt;
+
+use gmsim_des::Counter;
 
 /// Which barrier implementation to measure: a collective algorithm
 /// [`Descriptor`], interpreted either by the NIC firmware extension (the
@@ -65,13 +70,100 @@ pub enum Placement {
     },
 }
 
+/// Why an experiment could not produce a [`Measurement`].
+///
+/// Configuration errors are caught by validation before the simulation is
+/// built; [`ExperimentError::Hung`] and [`ExperimentError::IncompleteRound`]
+/// are runtime failures of the barrier protocol itself (a genuine bug, or a
+/// fault plan harsh enough to defeat GM's retransmission).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExperimentError {
+    /// `procs == 0`: an empty barrier group has no meaning.
+    ZeroProcs,
+    /// `rounds == 0`: nothing to measure.
+    ZeroRounds,
+    /// Warmup must leave at least one measured round.
+    WarmupNotBelowRounds {
+        /// Configured total rounds.
+        rounds: u64,
+        /// Configured warmup rounds (must be `< rounds`).
+        warmup: u64,
+    },
+    /// A tree algorithm (`Gb`, `Bcast`, `Reduce`, `Allreduce`) with arity 0.
+    ZeroDim,
+    /// A fault probability outside `[0, 1]` (or NaN).
+    InvalidProbability {
+        /// Which probability (`"drop"` or `"corrupt"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Packed placement with `procs_per_node` outside `1..=7` (GM exposes
+    /// 8 ports per NIC and port 0 is reserved).
+    InvalidPlacement {
+        /// The offending processes-per-node count.
+        procs_per_node: usize,
+    },
+    /// The simulation stopped without draining: the barrier hung.
+    Hung {
+        /// How the run loop stopped.
+        outcome: RunOutcome,
+    },
+    /// A round completed on fewer processes than participate.
+    IncompleteRound {
+        /// The deficient round.
+        round: u64,
+        /// Completions observed.
+        completed: u64,
+        /// Completions expected (`procs`).
+        expected: u64,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::ZeroProcs => write!(f, "experiment has zero processes"),
+            ExperimentError::ZeroRounds => write!(f, "experiment has zero rounds"),
+            ExperimentError::WarmupNotBelowRounds { rounds, warmup } => write!(
+                f,
+                "warmup ({warmup}) must be below rounds ({rounds}) to leave measured rounds"
+            ),
+            ExperimentError::ZeroDim => write!(f, "tree algorithm with arity 0"),
+            ExperimentError::InvalidProbability { what, value } => {
+                write!(f, "{what} probability {value} outside [0, 1]")
+            }
+            ExperimentError::InvalidPlacement { procs_per_node } => write!(
+                f,
+                "packed placement with {procs_per_node} procs/node (GM supports 1..=7)"
+            ),
+            ExperimentError::Hung { outcome } => {
+                write!(f, "simulation did not drain: {outcome:?}")
+            }
+            ExperimentError::IncompleteRound {
+                round,
+                completed,
+                expected,
+            } => write!(
+                f,
+                "round {round} completed on {completed}/{expected} processes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
 /// One barrier-latency experiment.
 ///
 /// ```
-/// use gmsim_testbed::{Algorithm, BarrierExperiment, Descriptor};
+/// use gmsim_testbed::prelude::*;
 ///
 /// // The paper's headline cell: 16 nodes, NIC-based PE, LANai 4.3.
-/// let m = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe)).rounds(60, 10).run();
+/// let m = BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe))
+///     .rounds(60, 10)
+///     .run()
+///     .unwrap();
 /// assert!((m.mean_us - 102.14).abs() / 102.14 < 0.05);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,7 +185,7 @@ pub struct BarrierExperiment {
     pub layer_factor: f64,
     /// Random start skew bound in µs (0 = synchronized start).
     pub max_skew_us: u64,
-    /// RNG seed for skew.
+    /// RNG seed for skew (and fault injection, when enabled).
     pub seed: u64,
     /// How barrier packets travel (reliable stream vs the paper's
     /// unreliable prototype — the reliability-overhead ablation).
@@ -102,6 +194,10 @@ pub struct BarrierExperiment {
     pub same_nic_opt: bool,
     /// Firmware extension cost table (ablation knob).
     pub costs: BarrierCosts,
+    /// Wire fault injection ([`FaultPlan::NONE`] = perfect links).
+    pub fault_plan: FaultPlan,
+    /// Structured-trace ring capacity (`None` = tracing disabled).
+    pub trace_capacity: Option<usize>,
 }
 
 impl BarrierExperiment {
@@ -120,58 +216,124 @@ impl BarrierExperiment {
             wire: CollectiveWireMode::Reliable,
             same_nic_opt: true,
             costs: BarrierCosts::GM_1_2_3,
+            fault_plan: FaultPlan::NONE,
+            trace_capacity: None,
         }
     }
 
     /// Override the collective wire mode.
+    #[must_use]
     pub fn wire(mut self, wire: CollectiveWireMode) -> Self {
         self.wire = wire;
         self
     }
 
     /// Enable/disable the §3.4 same-NIC optimization.
+    #[must_use]
     pub fn same_nic_opt(mut self, on: bool) -> Self {
         self.same_nic_opt = on;
         self
     }
 
     /// Override the firmware extension cost table.
+    #[must_use]
     pub fn costs(mut self, costs: BarrierCosts) -> Self {
         self.costs = costs;
         self
     }
 
     /// Override the NIC model.
+    #[must_use]
     pub fn nic(mut self, nic: NicModel) -> Self {
         self.nic = nic;
         self
     }
 
     /// Override rounds/warmup.
+    #[must_use]
     pub fn rounds(mut self, rounds: u64, warmup: u64) -> Self {
-        assert!(warmup < rounds);
         self.rounds = rounds;
         self.warmup = warmup;
         self
     }
 
     /// Override the placement.
+    #[must_use]
     pub fn placement(mut self, placement: Placement) -> Self {
         self.placement = placement;
         self
     }
 
     /// Model an additional host software layer.
+    #[must_use]
     pub fn layer(mut self, factor: f64) -> Self {
         self.layer_factor = factor;
         self
     }
 
     /// Add random start skew.
+    #[must_use]
     pub fn skew(mut self, max_us: u64, seed: u64) -> Self {
         self.max_skew_us = max_us;
         self.seed = seed;
         self
+    }
+
+    /// Inject wire faults. GM's go-back-N reliability layer must absorb
+    /// them; the seeded fault stream keeps runs reproducible.
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Record a structured event trace, keeping the most recent `capacity`
+    /// records. The trace rides back on [`Measurement::trace`].
+    #[must_use]
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Check the configuration without running anything.
+    pub fn validate(&self) -> Result<(), ExperimentError> {
+        if self.procs == 0 {
+            return Err(ExperimentError::ZeroProcs);
+        }
+        if self.rounds == 0 {
+            return Err(ExperimentError::ZeroRounds);
+        }
+        if self.warmup + 1 >= self.rounds {
+            return Err(ExperimentError::WarmupNotBelowRounds {
+                rounds: self.rounds,
+                warmup: self.warmup,
+            });
+        }
+        match self.algorithm.descriptor() {
+            Descriptor::Gb { dim }
+            | Descriptor::Bcast { dim }
+            | Descriptor::Reduce { dim, .. }
+            | Descriptor::Allreduce { dim, .. }
+                if dim == 0 =>
+            {
+                return Err(ExperimentError::ZeroDim);
+            }
+            _ => {}
+        }
+        for (what, value) in [
+            ("drop", self.fault_plan.drop_probability),
+            ("corrupt", self.fault_plan.corrupt_probability),
+        ] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ExperimentError::InvalidProbability { what, value });
+            }
+        }
+        if let Placement::Packed { procs_per_node } = self.placement {
+            if !(1..=7).contains(&procs_per_node) {
+                return Err(ExperimentError::InvalidPlacement { procs_per_node });
+            }
+        }
+        Ok(())
     }
 
     /// The endpoint group this experiment synchronizes.
@@ -206,10 +368,13 @@ impl BarrierExperiment {
 
     /// Run the experiment to completion and aggregate the measurement.
     ///
-    /// # Panics
-    /// Panics if the simulation fails to drain (a hung barrier) or any
-    /// round is missing completions.
-    pub fn run(&self) -> Measurement {
+    /// # Errors
+    /// Configuration errors ([`BarrierExperiment::validate`]) are returned
+    /// before anything runs; [`ExperimentError::Hung`] and
+    /// [`ExperimentError::IncompleteRound`] report a simulation that
+    /// failed to synchronize.
+    pub fn run(&self) -> Result<Measurement, ExperimentError> {
+        self.validate()?;
         let group = self.group();
         let mut config = GmConfig::paper_host(self.nic).with_layer_overhead(self.layer_factor);
         config.collective_wire = self.wire;
@@ -228,6 +393,12 @@ impl BarrierExperiment {
             .config(config)
             .topology(topology)
             .extension(BarrierExtension::factory_with_costs(self.costs));
+        if !self.fault_plan.is_none() {
+            builder = builder.faults(self.fault_plan, self.seed);
+        }
+        if let Some(capacity) = self.trace_capacity {
+            builder = builder.tracer(Tracer::bounded(capacity));
+        }
         let mut rng = SimRng::new(self.seed);
         for rank in 0..self.procs {
             let start = if self.max_skew_us == 0 {
@@ -239,11 +410,9 @@ impl BarrierExperiment {
         }
         let mut sim = builder.build();
         let outcome = sim.run();
-        assert_eq!(
-            outcome,
-            RunOutcome::Quiescent,
-            "experiment did not drain: {self:?}"
-        );
+        if outcome != RunOutcome::Quiescent {
+            return Err(ExperimentError::Hung { outcome });
+        }
         let events = sim.events_fired();
         let cluster = sim.into_world();
 
@@ -259,11 +428,13 @@ impl BarrierExperiment {
             }
         }
         for (r, &c) in counts.iter().enumerate() {
-            assert_eq!(
-                c, self.procs as u64,
-                "round {r} completed on {c}/{} processes",
-                self.procs
-            );
+            if c != self.procs as u64 {
+                return Err(ExperimentError::IncompleteRound {
+                    round: r as u64,
+                    completed: c,
+                    expected: self.procs as u64,
+                });
+            }
         }
         let mut per_round = Summary::new();
         for r in (self.warmup as usize + 1)..self.rounds as usize {
@@ -271,13 +442,55 @@ impl BarrierExperiment {
         }
         let span = round_done[self.rounds as usize - 1] - round_done[self.warmup as usize];
         let measured_rounds = self.rounds - self.warmup - 1;
-        Measurement {
+        let (metrics, nic_turnaround) = collect_metrics(&cluster);
+        Ok(Measurement {
             mean_us: span.as_us_f64() / measured_rounds as f64,
             first_round_us: round_done[0].as_us_f64(),
             per_round,
             events,
+            metrics,
+            nic_turnaround,
+            trace: cluster.tracer.snapshot(),
+        })
+    }
+}
+
+/// Aggregate the cluster's per-component statistics into one [`MetricSet`]
+/// plus the merged per-packet NIC-turnaround histogram. Purely post-run:
+/// nothing here touches the simulation hot path.
+pub(crate) fn collect_metrics(cluster: &Cluster) -> (MetricSet, Histogram) {
+    let mut m = MetricSet::new();
+    let fabric = cluster.fabric.stats();
+    m.add(Counter::PacketsSent, fabric.sends);
+    m.add(Counter::PacketsDropped, fabric.drops);
+    m.add(Counter::PacketsCorrupted, fabric.corruptions);
+    let mut turnaround = Histogram::new(TURNAROUND_BIN_US, TURNAROUND_BINS);
+    for node in &cluster.nodes {
+        let stats = &node.mcp.core.stats;
+        m.add(Counter::PacketsRetransmitted, stats.retx);
+        m.add(Counter::AcksSent, stats.ack_tx);
+        m.add(Counter::NacksSent, stats.nack_tx);
+        m.add(Counter::CrcDrops, stats.crc_drops);
+        m.add(Counter::DupDrops, stats.dup_drops);
+        m.add(Counter::CompletionDmas, stats.host_events);
+        m.add(
+            Counter::FirmwareCycles,
+            node.mcp.core.hw.cpu.executed_cycles(),
+        );
+        m.add(Counter::SdmaBytes, node.mcp.core.hw.sdma.bytes());
+        m.add(Counter::RdmaBytes, node.mcp.core.hw.rdma.bytes());
+        m.add(Counter::HostSends, node.host.stats.sends);
+        m.add(Counter::HostEvents, node.host.stats.events);
+        if let Some(ext) = node.mcp.ext().as_any().downcast_ref::<BarrierExtension>() {
+            let b = &ext.stats;
+            m.add(Counter::LocalFlags, b.local_flags);
+            m.add(Counter::BarrierCompletions, b.completions);
+            m.add(Counter::RejectsSent, b.rejects_sent);
+            m.add(Counter::BarrierResends, b.resends);
+            turnaround.merge(ext.turnaround());
         }
     }
+    (m, turnaround)
 }
 
 /// The result of one experiment.
@@ -292,6 +505,14 @@ pub struct Measurement {
     pub per_round: Summary,
     /// Simulation events fired while the experiment ran.
     pub events: u64,
+    /// Aggregated counters across the fabric, every NIC and every host.
+    pub metrics: MetricSet,
+    /// Per-packet NIC turnaround (wire arrival → firmware idle), µs,
+    /// merged across all NICs. Empty for host-interpreted runs.
+    pub nic_turnaround: Histogram,
+    /// Structured event trace (empty unless
+    /// [`BarrierExperiment::trace`] enabled it).
+    pub trace: Vec<TraceRecord>,
 }
 
 #[cfg(test)]
@@ -304,14 +525,14 @@ mod tests {
 
     #[test]
     fn nic_pe_two_nodes_runs() {
-        let m = quick(2, Algorithm::Nic(Descriptor::Pe)).run();
+        let m = quick(2, Algorithm::Nic(Descriptor::Pe)).run().unwrap();
         assert!(m.mean_us > 10.0 && m.mean_us < 200.0, "{}", m.mean_us);
     }
 
     #[test]
     fn nic_pe_beats_host_pe_at_16() {
-        let nic = quick(16, Algorithm::Nic(Descriptor::Pe)).run();
-        let host = quick(16, Algorithm::Host(Descriptor::Pe)).run();
+        let nic = quick(16, Algorithm::Nic(Descriptor::Pe)).run().unwrap();
+        let host = quick(16, Algorithm::Host(Descriptor::Pe)).run().unwrap();
         assert!(
             nic.mean_us < host.mean_us,
             "nic={} host={}",
@@ -324,17 +545,19 @@ mod tests {
     fn round_count_insensitive() {
         let short = quick(4, Algorithm::Nic(Descriptor::Pe))
             .rounds(60, 10)
-            .run();
+            .run()
+            .unwrap();
         let long = quick(4, Algorithm::Nic(Descriptor::Pe))
             .rounds(400, 10)
-            .run();
+            .run()
+            .unwrap();
         let rel = (short.mean_us - long.mean_us).abs() / long.mean_us;
         assert!(rel < 0.02, "short={} long={}", short.mean_us, long.mean_us);
     }
 
     #[test]
     fn steady_state_is_stable() {
-        let m = quick(8, Algorithm::Nic(Descriptor::Pe)).run();
+        let m = quick(8, Algorithm::Nic(Descriptor::Pe)).run().unwrap();
         // After warmup the gaps should be nearly constant.
         assert!(
             m.per_round.stddev() < 0.05 * m.per_round.mean(),
@@ -346,8 +569,11 @@ mod tests {
 
     #[test]
     fn skewed_start_reaches_same_steady_state() {
-        let sync = quick(4, Algorithm::Nic(Descriptor::Pe)).run();
-        let skew = quick(4, Algorithm::Nic(Descriptor::Pe)).skew(500, 7).run();
+        let sync = quick(4, Algorithm::Nic(Descriptor::Pe)).run().unwrap();
+        let skew = quick(4, Algorithm::Nic(Descriptor::Pe))
+            .skew(500, 7)
+            .run()
+            .unwrap();
         let rel = (sync.mean_us - skew.mean_us).abs() / sync.mean_us;
         assert!(rel < 0.05, "sync={} skew={}", sync.mean_us, skew.mean_us);
     }
@@ -358,7 +584,7 @@ mod tests {
             Algorithm::Nic(Descriptor::Gb { dim: 2 }),
             Algorithm::Host(Descriptor::Gb { dim: 2 }),
         ] {
-            let m = quick(5, alg).run();
+            let m = quick(5, alg).run().unwrap();
             assert!(m.mean_us > 10.0, "{alg:?}: {}", m.mean_us);
         }
     }
@@ -367,16 +593,21 @@ mod tests {
     fn packed_placement_synchronizes_across_ports() {
         let m = quick(8, Algorithm::Nic(Descriptor::Pe))
             .placement(Placement::Packed { procs_per_node: 2 })
-            .run();
+            .run()
+            .unwrap();
         assert!(m.mean_us > 5.0);
     }
 
     #[test]
     fn dissemination_equals_pe_at_powers_of_two() {
         for n in [4usize, 8] {
-            let pe = quick(n, Algorithm::Nic(Descriptor::Pe)).run().mean_us;
+            let pe = quick(n, Algorithm::Nic(Descriptor::Pe))
+                .run()
+                .unwrap()
+                .mean_us;
             let di = quick(n, Algorithm::Nic(Descriptor::Dissemination))
                 .run()
+                .unwrap()
                 .mean_us;
             assert!((pe - di).abs() < 0.5, "n={n}: pe={pe:.2} dissem={di:.2}");
         }
@@ -385,9 +616,13 @@ mod tests {
     #[test]
     fn dissemination_beats_pe_off_powers_of_two() {
         for n in [3usize, 6, 12] {
-            let pe = quick(n, Algorithm::Nic(Descriptor::Pe)).run().mean_us;
+            let pe = quick(n, Algorithm::Nic(Descriptor::Pe))
+                .run()
+                .unwrap()
+                .mean_us;
             let di = quick(n, Algorithm::Nic(Descriptor::Dissemination))
                 .run()
+                .unwrap()
                 .mean_us;
             assert!(di < pe, "n={n}: pe={pe:.2} dissem={di:.2}");
         }
@@ -395,15 +630,90 @@ mod tests {
 
     #[test]
     fn layer_factor_slows_host_more_than_nic() {
-        let host = quick(8, Algorithm::Host(Descriptor::Pe)).run();
-        let host_mpi = quick(8, Algorithm::Host(Descriptor::Pe)).layer(2.0).run();
-        let nic = quick(8, Algorithm::Nic(Descriptor::Pe)).run();
-        let nic_mpi = quick(8, Algorithm::Nic(Descriptor::Pe)).layer(2.0).run();
+        let host = quick(8, Algorithm::Host(Descriptor::Pe)).run().unwrap();
+        let host_mpi = quick(8, Algorithm::Host(Descriptor::Pe))
+            .layer(2.0)
+            .run()
+            .unwrap();
+        let nic = quick(8, Algorithm::Nic(Descriptor::Pe)).run().unwrap();
+        let nic_mpi = quick(8, Algorithm::Nic(Descriptor::Pe))
+            .layer(2.0)
+            .run()
+            .unwrap();
         let host_slowdown = host_mpi.mean_us / host.mean_us;
         let nic_slowdown = nic_mpi.mean_us / nic.mean_us;
         assert!(
             host_slowdown > nic_slowdown,
             "host {host_slowdown} nic {nic_slowdown}"
         );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_before_running() {
+        use ExperimentError as E;
+        let base = |p| BarrierExperiment::new(p, Algorithm::Nic(Descriptor::Pe));
+        assert_eq!(base(0).run().unwrap_err(), E::ZeroProcs);
+        assert_eq!(base(4).rounds(0, 0).run().unwrap_err(), E::ZeroRounds);
+        assert!(matches!(
+            base(4).rounds(10, 10).run().unwrap_err(),
+            E::WarmupNotBelowRounds { .. }
+        ));
+        assert_eq!(
+            base(4)
+                .rounds(10, 2)
+                .placement(Placement::Packed { procs_per_node: 9 })
+                .run()
+                .unwrap_err(),
+            E::InvalidPlacement { procs_per_node: 9 }
+        );
+        assert_eq!(
+            BarrierExperiment::new(4, Algorithm::Nic(Descriptor::Gb { dim: 0 }))
+                .run()
+                .unwrap_err(),
+            E::ZeroDim
+        );
+        let bad = FaultPlan {
+            drop_probability: 1.5,
+            corrupt_probability: 0.0,
+        };
+        assert!(matches!(
+            base(4).faults(bad).run().unwrap_err(),
+            E::InvalidProbability { what: "drop", .. }
+        ));
+    }
+
+    #[test]
+    fn faulty_wire_still_synchronizes_and_counts_faults() {
+        let m = quick(4, Algorithm::Nic(Descriptor::Pe))
+            .faults(FaultPlan::drops(0.02))
+            .run()
+            .unwrap();
+        assert!(m.metrics.get(Counter::PacketsDropped) > 0);
+        assert!(m.metrics.get(Counter::PacketsRetransmitted) > 0);
+        assert!(m.mean_us > 10.0);
+    }
+
+    #[test]
+    fn metrics_and_turnaround_populated_for_nic_runs() {
+        let m = quick(4, Algorithm::Nic(Descriptor::Pe)).run().unwrap();
+        assert!(m.metrics.get(Counter::BarrierCompletions) >= 4 * 49);
+        assert!(m.metrics.get(Counter::FirmwareCycles) > 0);
+        assert!(m.metrics.get(Counter::PacketsSent) > 0);
+        assert!(m.nic_turnaround.total() > 0);
+        assert!(m.nic_turnaround.mean().unwrap() > 0.0);
+        // Tracing was not requested: no trace rides back.
+        assert!(m.trace.is_empty());
+    }
+
+    #[test]
+    fn trace_capacity_bounds_the_returned_trace() {
+        let m = quick(2, Algorithm::Nic(Descriptor::Pe))
+            .trace(64)
+            .run()
+            .unwrap();
+        assert!(!m.trace.is_empty());
+        assert!(m.trace.len() <= 64);
+        // Every record names a component inside the 2-node cluster.
+        assert!(m.trace.iter().all(|r| r.component.node < 2));
     }
 }

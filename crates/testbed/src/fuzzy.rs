@@ -10,7 +10,7 @@
 //! * **blocking** — compute, then synchronize; the period approaches
 //!   `compute + barrier`.
 
-use crate::experiment::Measurement;
+use crate::experiment::{collect_metrics, Measurement};
 use gmsim_des::{RunOutcome, SimTime, Summary};
 use gmsim_gm::cluster::ClusterBuilder;
 use gmsim_gm::GmConfig;
@@ -82,11 +82,15 @@ impl FuzzyExperiment {
             per_round.record((round_done[r] - round_done[r - 1]).as_us_f64());
         }
         let span = round_done[self.rounds as usize - 1] - round_done[self.warmup as usize];
+        let (metrics, nic_turnaround) = collect_metrics(&cluster);
         Measurement {
             mean_us: span.as_us_f64() / (self.rounds - self.warmup - 1) as f64,
             first_round_us: round_done[0].as_us_f64(),
             per_round,
             events: 0,
+            metrics,
+            nic_turnaround,
+            trace: cluster.tracer.snapshot(),
         }
     }
 }

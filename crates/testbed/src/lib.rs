@@ -8,7 +8,7 @@
 //!
 //! Simulated time is noise-free, so hundreds of rounds reach the same
 //! steady state the paper needed 100 000 wall-clock runs for — a dedicated
-//! test ([`experiment::tests::round_count_insensitive`]) verifies the
+//! test (`experiment::tests::round_count_insensitive`) verifies the
 //! insensitivity.
 //!
 //! [`sweep`] fans independent experiments out across OS threads with
@@ -24,8 +24,30 @@ pub mod sweep;
 pub mod table;
 
 pub use diagram::Diagram;
-pub use experiment::{Algorithm, BarrierExperiment, Measurement, Placement};
+pub use experiment::{Algorithm, BarrierExperiment, ExperimentError, Measurement, Placement};
 pub use fuzzy::FuzzyExperiment;
 pub use nic_barrier::Descriptor;
 pub use sweep::{best_gb_dim, run_all, run_all_with};
 pub use table::Table;
+
+/// Everything a typical experiment script needs, in one import.
+///
+/// ```
+/// use gmsim_testbed::prelude::*;
+///
+/// let m = BarrierExperiment::new(4, Algorithm::Nic(Descriptor::Pe))
+///     .rounds(30, 5)
+///     .run()
+///     .unwrap();
+/// assert!(m.mean_us > 0.0);
+/// ```
+pub mod prelude {
+    pub use crate::experiment::{
+        Algorithm, BarrierExperiment, ExperimentError, Measurement, Placement,
+    };
+    pub use crate::fuzzy::FuzzyExperiment;
+    pub use gmsim_des::{Counter, MetricSet, TraceRecord};
+    pub use gmsim_lanai::NicModel;
+    pub use gmsim_myrinet::FaultPlan;
+    pub use nic_barrier::{BarrierCosts, Descriptor};
+}

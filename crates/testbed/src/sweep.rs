@@ -14,7 +14,9 @@ use std::sync::OnceLock;
 /// Run every experiment, in parallel across available cores, preserving
 /// input order in the result.
 pub fn run_all(experiments: &[BarrierExperiment]) -> Vec<Measurement> {
-    run_all_with(experiments, |e| e.run())
+    run_all_with(experiments, |e| {
+        e.run().unwrap_or_else(|err| panic!("{err}: {e:?}"))
+    })
 }
 
 /// Generalized parallel map over experiments (lets benches substitute
@@ -102,7 +104,7 @@ mod tests {
             .map(|&n| BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)).rounds(40, 5))
             .collect();
         let parallel = run_all(&exps);
-        let serial: Vec<Measurement> = exps.iter().map(|e| e.run()).collect();
+        let serial: Vec<Measurement> = exps.iter().map(|e| e.run().unwrap()).collect();
         for (p, s) in parallel.iter().zip(&serial) {
             assert_eq!(p.mean_us, s.mean_us, "simulations are deterministic");
         }
@@ -123,7 +125,8 @@ mod tests {
         for d in 1..6 {
             let m = BarrierExperiment::new(6, Algorithm::Nic(Descriptor::Gb { dim: d }))
                 .rounds(40, 5)
-                .run();
+                .run()
+                .unwrap();
             assert!(best.mean_us <= m.mean_us + 1e-9, "dim {d} beat the best");
         }
     }

@@ -45,7 +45,7 @@ static COUNTER: Counting = Counting;
 fn run_counted(rounds: u64) -> (u64, u64) {
     let e = BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe)).rounds(rounds, 5);
     let before = ALLOCS.load(Ordering::Relaxed);
-    let m = e.run();
+    let m = e.run().unwrap();
     let after = ALLOCS.load(Ordering::Relaxed);
     assert!(m.mean_us > 0.0);
     (after - before, m.events)

@@ -1,0 +1,65 @@
+//! Determinism gate for the observability layer: the same seed must
+//! produce a bit-identical structured trace, identical counters, and an
+//! identical latency — for both interpreters, with and without wire
+//! faults. Tracing itself must not perturb the simulation either: a run
+//! with the tracer on reports the same latency as a run with it off.
+
+use gmsim_testbed::prelude::*;
+
+fn base(alg: Algorithm, faults: FaultPlan) -> BarrierExperiment {
+    BarrierExperiment::new(4, alg)
+        .rounds(30, 5)
+        .faults(faults)
+        .trace(1 << 16)
+}
+
+#[test]
+fn same_seed_is_bit_identical_across_interpreters_and_faults() {
+    for alg in [
+        Algorithm::Nic(Descriptor::Pe),
+        Algorithm::Host(Descriptor::Pe),
+    ] {
+        for faults in [FaultPlan::NONE, FaultPlan::drops(0.02)] {
+            let e = base(alg, faults);
+            let a = e.run().unwrap();
+            let b = e.run().unwrap();
+            assert!(!a.trace.is_empty(), "{alg:?}: trace must be populated");
+            assert_eq!(a.trace, b.trace, "{alg:?} faults={faults:?}: trace");
+            assert_eq!(a.metrics, b.metrics, "{alg:?} faults={faults:?}: counters");
+            assert_eq!(
+                a.mean_us.to_bits(),
+                b.mean_us.to_bits(),
+                "{alg:?} faults={faults:?}: latency"
+            );
+        }
+    }
+}
+
+#[test]
+fn faults_change_the_trace_but_not_reproducibility() {
+    let clean = base(Algorithm::Nic(Descriptor::Pe), FaultPlan::NONE)
+        .run()
+        .unwrap();
+    let faulty = base(Algorithm::Nic(Descriptor::Pe), FaultPlan::drops(0.05))
+        .run()
+        .unwrap();
+    assert_ne!(clean.trace, faulty.trace);
+    assert_eq!(clean.metrics.get(Counter::PacketsDropped), 0);
+    assert!(faulty.metrics.get(Counter::PacketsDropped) > 0);
+    assert!(faulty.metrics.get(Counter::PacketsRetransmitted) > 0);
+    assert!(faulty.mean_us > clean.mean_us);
+}
+
+#[test]
+fn tracing_does_not_perturb_timing() {
+    let traced = base(Algorithm::Nic(Descriptor::Pe), FaultPlan::NONE)
+        .run()
+        .unwrap();
+    let silent = BarrierExperiment::new(4, Algorithm::Nic(Descriptor::Pe))
+        .rounds(30, 5)
+        .run()
+        .unwrap();
+    assert_eq!(traced.mean_us.to_bits(), silent.mean_us.to_bits());
+    assert_eq!(traced.metrics, silent.metrics);
+    assert!(silent.trace.is_empty());
+}

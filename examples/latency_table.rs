@@ -11,8 +11,9 @@ use nic_barrier_suite::testbed::{best_gb_dim, Algorithm, BarrierExperiment, Desc
 fn main() {
     let l43 = NicModel::LANAI_4_3;
     let l72 = NicModel::LANAI_7_2;
-    let run =
-        |n: usize, a: Algorithm, nic: NicModel| BarrierExperiment::new(n, a).nic(nic).run().mean_us;
+    let run = |n: usize, a: Algorithm, nic: NicModel| {
+        BarrierExperiment::new(n, a).nic(nic).run().unwrap().mean_us
+    };
 
     let nic16 = run(16, Algorithm::Nic(Descriptor::Pe), l43);
     let host16 = run(16, Algorithm::Host(Descriptor::Pe), l43);

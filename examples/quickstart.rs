@@ -57,8 +57,12 @@ fn main() {
 
     // The same barrier, host-based, for comparison.
     use nic_barrier_suite::testbed::{Algorithm, BarrierExperiment};
-    let nic = BarrierExperiment::new(NODES, Algorithm::Nic(Descriptor::Pe)).run();
-    let host = BarrierExperiment::new(NODES, Algorithm::Host(Descriptor::Pe)).run();
+    let nic = BarrierExperiment::new(NODES, Algorithm::Nic(Descriptor::Pe))
+        .run()
+        .unwrap();
+    let host = BarrierExperiment::new(NODES, Algorithm::Host(Descriptor::Pe))
+        .run()
+        .unwrap();
     println!(
         "steady state: NIC-based {:.2}us vs host-based {:.2}us -> {:.2}x improvement",
         nic.mean_us,

@@ -148,7 +148,8 @@ fn multi_switch_topology_works() {
 fn multi_switch_is_slower_than_single_switch() {
     let single = BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe))
         .rounds(40, 5)
-        .run();
+        .run()
+        .unwrap();
     let n = 8;
     let group = BarrierGroup::one_per_node(n, 1);
     let mut b = ClusterBuilder::new(n)
@@ -240,6 +241,7 @@ fn deterministic_across_runs() {
             .rounds(50, 5)
             .skew(200, 99)
             .run()
+            .unwrap()
             .mean_us
     };
     let a = run();

@@ -17,6 +17,7 @@ fn run(n: usize, a: Algorithm, nic: NicModel) -> f64 {
         .nic(nic)
         .rounds(120, 20)
         .run()
+        .unwrap()
         .mean_us
 }
 

@@ -2,7 +2,7 @@
 //! completion callbacks, receive-token flow control, incast contention,
 //! loopback, and trace determinism.
 
-use nic_barrier_suite::des::{RunOutcome, SimTime, TraceSink};
+use nic_barrier_suite::des::{RunOutcome, SimTime};
 use nic_barrier_suite::gm::cluster::ClusterBuilder;
 use nic_barrier_suite::gm::{GlobalPort, GmConfig, GmEvent, HostCtx, HostProgram};
 use nic_barrier_suite::lanai::NicModel;
@@ -256,9 +256,8 @@ fn trace_fingerprints_are_reproducible() {
                 SimTime::ZERO,
             )
             .build();
-        sim.world_mut().trace = TraceSink::bounded(1 << 14);
         sim.run();
-        sim.world().trace.fingerprint()
+        sim.world().tracer.fingerprint()
     };
     assert_eq!(fingerprint(), fingerprint());
 }

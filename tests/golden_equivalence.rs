@@ -72,7 +72,7 @@ fn ir_interpreters_reproduce_pre_refactor_latencies_exactly() {
         .iter()
         .map(|r| BarrierExperiment::new(r.n, algorithm(r)).rounds(40, 5))
         .collect();
-    let measured = run_all_with(&experiments, |e| e.run().mean_us);
+    let measured = run_all_with(&experiments, |e| e.run().unwrap().mean_us);
     let mut mismatches = Vec::new();
     for (row, got) in rows.iter().zip(&measured) {
         // Exact bit-for-bit equality: the schedule IR must be a pure
