@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiment ids (see DESIGN.md §5): fig5a fig5b fig5c fig5d fig2 gbdim
-//! headline scale layer fuzzy ablate mpi util dissem scan breakdown.
+//! headline scale layer fuzzy ablate mpi util dissem scan breakdown faults.
 //!
 //! `--trace <path>` runs a 16-node NIC-based PE barrier with structured
 //! tracing on and writes a chrome://tracing (Perfetto-loadable) JSON file.
@@ -56,6 +56,7 @@ fn main() {
                 "dissem",
                 "scan",
                 "breakdown",
+                "faults",
             ]
         } else {
             args.iter().map(String::as_str).collect()
@@ -78,6 +79,7 @@ fn main() {
             "dissem" => dissemination_study(),
             "scan" => scan_study(),
             "breakdown" => breakdown(),
+            "faults" => faults_study(),
             "trace" => trace_one_barrier(),
             other => eprintln!("unknown experiment id: {other}"),
         }
@@ -593,6 +595,69 @@ fn scan_study() {
     }
     print!("{}", t.render());
     println!("(scan shares PE's exchange structure, so its latency tracks the barrier)");
+}
+
+/// Beyond the paper: barrier completion latency vs injected drop rate on
+/// the reliable stream — the cost of GM's go-back-N recovery with the
+/// adaptive RTO. Emits `BENCH_faults.json` alongside the table so CI can
+/// archive the curve.
+fn faults_study() {
+    use gmsim_des::Counter;
+    use gmsim_myrinet::FaultPlan;
+
+    println!("\n=== faults: NIC-PE barrier latency vs drop rate, 8n LANai 4.3 ===");
+    let mut t = Table::new(vec![
+        "drop rate",
+        "mean (us)",
+        "drops",
+        "retx",
+        "rto backoffs",
+        "timer cancels",
+    ]);
+    let rates = [0.0f64, 0.02, 0.05, 0.10, 0.20];
+    let mut json_rows = Vec::new();
+    for &rate in &rates {
+        let m = BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe))
+            .rounds(120, 10)
+            .faults(FaultPlan::drops(rate))
+            .run()
+            .expect("faults run");
+        let drops = m.metrics.get(Counter::PacketsDropped);
+        let retx = m.metrics.get(Counter::PacketsRetransmitted);
+        let backoffs = m.metrics.get(Counter::RtoBackoffs);
+        let cancels = m.metrics.get(Counter::TimerCancels);
+        t.row(vec![
+            format!("{:.0}%", rate * 100.0),
+            us(m.mean_us),
+            drops.to_string(),
+            retx.to_string(),
+            backoffs.to_string(),
+            cancels.to_string(),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"drop_rate\": {rate}, \"mean_us\": {mean:.3}, ",
+                "\"drops\": {drops}, \"retx\": {retx}, ",
+                "\"rto_backoffs\": {backoffs}, \"timer_cancels\": {cancels}}}"
+            ),
+            rate = rate,
+            mean = m.mean_us,
+            drops = drops,
+            retx = retx,
+            backoffs = backoffs,
+            cancels = cancels,
+        ));
+    }
+    print!("{}", t.render());
+    println!("(recovery is timeout-driven, so the mean climbs with the RTO, not the wire time)");
+    let json = format!(
+        "{{\n  \"schema\": \"gmsim-faults/v1\",\n  \"experiment\": \
+         \"nic_pe_8n_lanai43_drop_sweep\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    std::fs::write(out, &json).expect("write BENCH_faults.json");
+    println!("wrote {}", out);
 }
 
 /// Ablations of the §3 design choices.

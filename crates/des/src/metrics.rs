@@ -49,11 +49,21 @@ pub enum Counter {
     RejectsSent,
     /// Barrier messages resent after a reject.
     BarrierResends,
+    /// Genuine RTO expiries (each bumps a connection's backoff level).
+    RtoBackoffs,
+    /// RTO timer expiries cancelled for free (acked or deadline moved).
+    TimerCancels,
+    /// Connections that exhausted their retransmit budget and gave up.
+    GaveUp,
+    /// Worms the fabric delivered twice (fault injection).
+    DupRx,
+    /// Worms the fabric delayed past later traffic (fault injection).
+    ReorderRx,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 23] = [
         Counter::PacketsSent,
         Counter::PacketsDropped,
         Counter::PacketsCorrupted,
@@ -72,6 +82,11 @@ impl Counter {
         Counter::BarrierCompletions,
         Counter::RejectsSent,
         Counter::BarrierResends,
+        Counter::RtoBackoffs,
+        Counter::TimerCancels,
+        Counter::GaveUp,
+        Counter::DupRx,
+        Counter::ReorderRx,
     ];
 
     /// Number of counters (array size of a [`MetricSet`]).
@@ -98,6 +113,11 @@ impl Counter {
             Counter::BarrierCompletions => "barrier_completions",
             Counter::RejectsSent => "rejects_sent",
             Counter::BarrierResends => "barrier_resends",
+            Counter::RtoBackoffs => "rto_backoffs",
+            Counter::TimerCancels => "timer_cancels",
+            Counter::GaveUp => "gave_up",
+            Counter::DupRx => "dup_rx",
+            Counter::ReorderRx => "reorder_rx",
         }
     }
 }

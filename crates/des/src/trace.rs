@@ -146,6 +146,12 @@ pub enum TracePayload {
         /// Bytes DMA'd to host memory.
         bytes: u32,
     },
+    /// A reliable connection exhausted its retransmit budget and declared
+    /// its peer unreachable.
+    GaveUp {
+        /// Peer the connection was with.
+        peer: u32,
+    },
 }
 
 impl TracePayload {
@@ -162,6 +168,7 @@ impl TracePayload {
             TracePayload::Retransmit { .. } => "retransmit",
             TracePayload::Timeout { .. } => "timeout",
             TracePayload::CompletionDma { .. } => "completion_dma",
+            TracePayload::GaveUp { .. } => "gave_up",
         }
     }
 
@@ -212,6 +219,10 @@ impl TracePayload {
                 mix(&[9, port]);
                 mix(&bytes.to_le_bytes());
             }
+            TracePayload::GaveUp { peer } => {
+                mix(&[10]);
+                mix(&peer.to_le_bytes());
+            }
         }
     }
 }
@@ -253,7 +264,9 @@ impl fmt::Display for TraceRecord {
                 write!(f, " peer=n{peer} kind={kind} local={local}")
             }
             TracePayload::BarrierRecv { peer, kind } => write!(f, " peer=n{peer} kind={kind}"),
-            TracePayload::Retransmit { peer } | TracePayload::Timeout { peer } => {
+            TracePayload::Retransmit { peer }
+            | TracePayload::Timeout { peer }
+            | TracePayload::GaveUp { peer } => {
                 write!(f, " peer=n{peer}")
             }
             TracePayload::CompletionDma { port, bytes } => {

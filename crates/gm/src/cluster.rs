@@ -412,6 +412,17 @@ fn transmit_now(pkt: Packet, cl: &mut Cluster, s: &mut ClusterSched) {
             );
         }
     }
+    if let Some(at) = delivery.dup_arrival {
+        // Fault-injected duplicate: a second intact copy of the same worm.
+        // The receiver's sequence check discards it as a dup.
+        s.schedule(
+            at,
+            ClusterEvent::WireDeliver {
+                pkt,
+                corrupted: false,
+            },
+        );
+    }
 }
 
 /// A worm fully arrived at its destination NIC: run the RECV machine.

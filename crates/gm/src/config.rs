@@ -32,8 +32,18 @@ pub struct GmConfig {
     /// the modelled process after each receive, unless a workload says
     /// otherwise).
     pub recv_tokens_per_port: u32,
-    /// Retransmission timeout for unacknowledged reliable packets.
+    /// Base retransmission timeout for unacknowledged reliable packets
+    /// (backoff level 0).
     pub retransmit_timeout: SimTime,
+    /// Exponential backoff multiplier applied to the RTO per consecutive
+    /// genuine timeout (2 doubles it each time; 1 disables backoff).
+    pub rto_backoff: u32,
+    /// Upper bound on the backed-off RTO.
+    pub rto_max: SimTime,
+    /// Consecutive timeout-driven retransmission attempts (without forward
+    /// progress from the peer) before the connection gives up and reports
+    /// the peer unreachable.
+    pub retransmit_budget: u32,
     /// Collective wire mode (see [`CollectiveWireMode`]).
     pub collective_wire: CollectiveWireMode,
     /// §3.4 optimization: co-located barrier participants complete through
@@ -52,6 +62,9 @@ impl GmConfig {
             send_tokens_per_port: 16,
             recv_tokens_per_port: 64,
             retransmit_timeout: SimTime::from_ms(2),
+            rto_backoff: 2,
+            rto_max: SimTime::from_ms(50),
+            retransmit_budget: 10,
             collective_wire: CollectiveWireMode::Reliable,
             same_nic_optimization: true,
         }

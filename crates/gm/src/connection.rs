@@ -11,7 +11,7 @@
 //! is what makes the retransmission corner cases unit-testable.
 
 use crate::ids::NodeId;
-use crate::packet::{Packet, Seq};
+use crate::packet::{seq_before, Packet, Seq};
 use gmsim_des::SimTime;
 use std::collections::VecDeque;
 
@@ -47,17 +47,39 @@ pub struct Connection {
     sent: VecDeque<SentEntry>,
     /// Retransmissions performed (stats/ablation).
     retransmissions: u64,
+    /// Whether the firmware currently has an RTO timer event pending for
+    /// this connection (exactly one timer per connection, re-armed lazily).
+    timer_armed: bool,
+    /// Consecutive genuine timeouts since the last forward progress —
+    /// drives exponential RTO backoff.
+    backoff_level: u32,
+    /// Timeout-driven retransmission attempts since the last forward
+    /// progress — compared against the retransmit budget.
+    attempts: u32,
+    /// Set once the retransmit budget is exhausted; the connection stops
+    /// transmitting and the peer is reported unreachable.
+    dead: bool,
 }
 
 impl Connection {
     /// A fresh connection to `peer`.
     pub fn new(peer: NodeId) -> Self {
+        Connection::with_initial_seq(peer, 0)
+    }
+
+    /// A connection whose sequence space starts at `seq` on both sides
+    /// (lets tests exercise wrap-around without a trillion-packet soak).
+    pub fn with_initial_seq(peer: NodeId, seq: Seq) -> Self {
         Connection {
             peer,
-            next_tx: 0,
-            expect_rx: 0,
+            next_tx: seq,
+            expect_rx: seq,
             sent: VecDeque::new(),
             retransmissions: 0,
+            timer_armed: false,
+            backoff_level: 0,
+            attempts: 0,
+            dead: false,
         }
     }
 
@@ -66,13 +88,13 @@ impl Connection {
         self.peer
     }
 
-    /// Allocate the next transmit sequence number.
+    /// Allocate the next transmit sequence number. The space wraps; all
+    /// orderings go through [`seq_before`], so a wrap is harmless as long
+    /// as fewer than half the space is ever in flight (the send-token pool
+    /// keeps the window a few dozen packets wide).
     pub fn assign_seq(&mut self) -> Seq {
         let s = self.next_tx;
-        self.next_tx = self
-            .next_tx
-            .checked_add(1)
-            .expect("sequence space exhausted");
+        self.next_tx = self.next_tx.wrapping_add(1);
         s
     }
 
@@ -85,7 +107,7 @@ impl Connection {
         let seq = packet.seq().expect("recording an unsequenced packet");
         if let Some(back) = self.sent.back() {
             assert!(
-                back.packet.seq().unwrap() < seq,
+                seq_before(back.packet.seq().unwrap(), seq),
                 "sent list out of order: {seq}"
             );
         }
@@ -113,7 +135,7 @@ impl Connection {
     /// buffer so the ack hot path can reuse one scratch allocation.
     pub fn drain_acked_into(&mut self, ack: Seq, out: &mut Vec<SentEntry>) {
         while let Some(front) = self.sent.front() {
-            if front.packet.seq().unwrap() < ack {
+            if seq_before(front.packet.seq().unwrap(), ack) {
                 out.push(self.sent.pop_front().unwrap());
             } else {
                 break;
@@ -126,7 +148,7 @@ impl Connection {
     pub fn on_nack(&mut self, expected: Seq, now: SimTime) -> Vec<Packet> {
         let mut out = Vec::new();
         for entry in self.sent.iter_mut() {
-            if entry.packet.seq().unwrap() >= expected {
+            if !seq_before(entry.packet.seq().unwrap(), expected) {
                 entry.sent_at = now;
                 self.retransmissions += 1;
                 out.push(entry.packet);
@@ -168,10 +190,12 @@ impl Connection {
 
     /// Classify without advancing (used when delivery might be refused, e.g.
     /// receiver-not-ready, in which case the window must not move).
+    /// Wrap-safe: "already delivered" means strictly before `expect_rx` in
+    /// serial-number order.
     pub fn peek_rx(&self, seq: Seq) -> RxVerdict {
         if seq == self.expect_rx {
             RxVerdict::Accept
-        } else if seq < self.expect_rx {
+        } else if seq_before(seq, self.expect_rx) {
             RxVerdict::Duplicate
         } else {
             RxVerdict::OutOfOrder {
@@ -182,7 +206,7 @@ impl Connection {
 
     /// Advance the receive window after a peeked Accept was honoured.
     pub fn advance_rx(&mut self) {
-        self.expect_rx += 1;
+        self.expect_rx = self.expect_rx.wrapping_add(1);
     }
 
     /// Number of unacknowledged packets.
@@ -191,18 +215,14 @@ impl Connection {
     }
 
     /// Classify an arriving reliable packet and advance the receive window
-    /// on acceptance.
+    /// on acceptance. Same acceptance rule as [`Connection::peek_rx`] — this
+    /// is literally peek-then-advance, so the two paths cannot drift.
     pub fn classify_rx(&mut self, seq: Seq) -> RxVerdict {
-        if seq == self.expect_rx {
-            self.expect_rx += 1;
-            RxVerdict::Accept
-        } else if seq < self.expect_rx {
-            RxVerdict::Duplicate
-        } else {
-            RxVerdict::OutOfOrder {
-                expected: self.expect_rx,
-            }
+        let verdict = self.peek_rx(seq);
+        if verdict == RxVerdict::Accept {
+            self.advance_rx();
         }
+        verdict
     }
 
     /// Cumulative ack value to advertise (one past the last in-order seq).
@@ -213,6 +233,56 @@ impl Connection {
     /// Total retransmitted packets.
     pub fn retransmissions(&self) -> u64 {
         self.retransmissions
+    }
+
+    /// Whether an RTO timer event is currently pending for this connection.
+    pub fn timer_armed(&self) -> bool {
+        self.timer_armed
+    }
+
+    /// Record that a timer event was scheduled (or consumed).
+    pub fn set_timer_armed(&mut self, armed: bool) {
+        self.timer_armed = armed;
+    }
+
+    /// Current exponential-backoff level (0 after any forward progress).
+    pub fn backoff_level(&self) -> u32 {
+        self.backoff_level
+    }
+
+    /// Timeout-driven retransmission attempts since the last forward
+    /// progress.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Register one genuine RTO expiry: bumps the attempt count and the
+    /// backoff level (capped well below anything that could overflow the
+    /// RTO doubling loop).
+    pub fn note_timeout_attempt(&mut self) {
+        self.attempts += 1;
+        self.backoff_level = (self.backoff_level + 1).min(32);
+    }
+
+    /// The peer made forward progress (acked or nacked something): reset
+    /// the backoff and the retransmit-budget clock.
+    pub fn reset_liveness(&mut self) {
+        self.attempts = 0;
+        self.backoff_level = 0;
+    }
+
+    /// True once the retransmit budget was exhausted and the connection
+    /// declared its peer unreachable.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Give up on the peer: stop retransmitting and drop the unacked list
+    /// (the caller surfaces `PeerUnreachable` to the affected ports).
+    /// Returns the abandoned entries so tokens can be reclaimed.
+    pub fn mark_dead(&mut self) -> Vec<SentEntry> {
+        self.dead = true;
+        self.sent.drain(..).collect()
     }
 }
 
@@ -337,5 +407,76 @@ mod tests {
         let mut c = conn();
         c.record_sent(pkt(5), SimTime::ZERO);
         c.record_sent(pkt(3), SimTime::ZERO);
+    }
+
+    #[test]
+    fn seq_space_wraps_without_panicking() {
+        let mut c = Connection::with_initial_seq(NodeId(1), Seq::MAX - 1);
+        let a = c.assign_seq();
+        let b = c.assign_seq();
+        let d = c.assign_seq();
+        assert_eq!((a, b, d), (Seq::MAX - 1, Seq::MAX, 0));
+        c.record_sent(pkt(a), SimTime::ZERO);
+        c.record_sent(pkt(b), SimTime::ZERO);
+        c.record_sent(pkt(d), SimTime::ZERO);
+        // A cumulative ack from past the wrap clears the whole prefix.
+        assert_eq!(c.on_ack(1), 3);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn receive_window_wraps() {
+        let mut c = Connection::with_initial_seq(NodeId(1), Seq::MAX);
+        assert_eq!(c.classify_rx(Seq::MAX), RxVerdict::Accept);
+        assert_eq!(c.classify_rx(0), RxVerdict::Accept);
+        assert_eq!(c.ack_value(), 1);
+        // Pre-wrap seqs are duplicates, not "huge future" packets.
+        assert_eq!(c.classify_rx(Seq::MAX), RxVerdict::Duplicate);
+        assert_eq!(c.classify_rx(2), RxVerdict::OutOfOrder { expected: 1 });
+    }
+
+    #[test]
+    fn classify_matches_peek_then_advance() {
+        let mut a = conn();
+        let mut b = conn();
+        for seq in [0u64, 2, 0, 1, 1, 3, 2] {
+            let via_peek = {
+                let v = a.peek_rx(seq);
+                if v == RxVerdict::Accept {
+                    a.advance_rx();
+                }
+                v
+            };
+            assert_eq!(b.classify_rx(seq), via_peek, "seq {seq}");
+        }
+    }
+
+    #[test]
+    fn liveness_tracking() {
+        let mut c = conn();
+        assert_eq!((c.attempts(), c.backoff_level()), (0, 0));
+        c.note_timeout_attempt();
+        c.note_timeout_attempt();
+        assert_eq!((c.attempts(), c.backoff_level()), (2, 2));
+        c.reset_liveness();
+        assert_eq!((c.attempts(), c.backoff_level()), (0, 0));
+    }
+
+    #[test]
+    fn mark_dead_drains_unacked() {
+        let mut c = conn();
+        for _ in 0..3 {
+            let q = c.assign_seq();
+            c.record_sent(pkt(q), SimTime::ZERO);
+        }
+        assert!(!c.is_dead());
+        let abandoned = c.mark_dead();
+        assert!(c.is_dead());
+        assert_eq!(abandoned.len(), 3);
+        assert_eq!(c.in_flight(), 0);
+        // A stale timeout on a dead connection retransmits nothing.
+        assert!(c
+            .on_timeout(0, SimTime::ZERO, SimTime::from_us(1))
+            .is_empty());
     }
 }

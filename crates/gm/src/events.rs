@@ -46,6 +46,12 @@ pub enum GmEvent {
         /// This rank's prefix result.
         value: u64,
     },
+    /// The reliable connection to `peer` exhausted its retransmit budget
+    /// and gave up; in-flight sends to that peer will never complete.
+    PeerUnreachable {
+        /// The unreachable peer node.
+        peer: crate::ids::NodeId,
+    },
 }
 
 impl GmEvent {

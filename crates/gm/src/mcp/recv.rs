@@ -6,11 +6,11 @@
 //! packets and DMAs the data to the host buffer corresponding to an
 //! appropriate receive token" (§4.1).
 
-use super::{Mcp, McpOutput, TimerKind};
+use super::{Mcp, McpOutput};
 use crate::connection::RxVerdict;
 use crate::events::GmEvent;
 use crate::ids::{GlobalPort, NodeId, PortId};
-use crate::packet::{Packet, PacketKind};
+use crate::packet::{Packet, PacketKind, Seq};
 use gmsim_des::trace::{TracePayload, Unit};
 use gmsim_des::SimTime;
 
@@ -46,6 +46,9 @@ impl Mcp {
                     self.core.stats.crc_drops += 1;
                     return;
                 }
+                // Any intact ack proves the peer is alive: reset the
+                // backoff/budget clock.
+                self.core.conn_mut(pkt.src.node).reset_liveness();
                 let mut acked = std::mem::take(&mut self.core.acked_scratch);
                 self.core
                     .conn_mut(pkt.src.node)
@@ -70,6 +73,7 @@ impl Mcp {
                     self.core.stats.crc_drops += 1;
                     return;
                 }
+                self.core.conn_mut(pkt.src.node).reset_liveness();
                 let again = self.core.conn_mut(pkt.src.node).on_nack(expected, t);
                 self.core.stats.retx += again.len() as u64;
                 self.retransmit(pkt.src.node, again, t, out);
@@ -148,6 +152,10 @@ impl Mcp {
         }
     }
 
+    /// Go-back-N retransmission after a nack. Arms no timers: whenever a
+    /// connection has traffic in flight its single RTO timer is already
+    /// pending, and its lazy deadline check picks up the refreshed
+    /// `sent_at` values on expiry.
     fn retransmit(
         &mut self,
         peer: NodeId,
@@ -156,7 +164,6 @@ impl Mcp {
         out: &mut Vec<McpOutput>,
     ) {
         let costs = self.core.config().nic.costs;
-        let rto = self.core.config().retransmit_timeout;
         for pkt in pkts {
             let at = self.core.exec(costs.send_cycles, ready);
             let seq = pkt.seq().unwrap();
@@ -168,14 +175,6 @@ impl Mcp {
                     peer: peer.0 as u32,
                 },
             );
-            out.push(McpOutput::Timer {
-                at: at + rto,
-                kind: TimerKind::Rto {
-                    peer,
-                    seq,
-                    sent_at: at,
-                },
-            });
             out.push(McpOutput::Transmit { at, pkt });
         }
     }
@@ -199,7 +198,7 @@ impl Mcp {
         self.core.transmit_control(pkt, t, out);
     }
 
-    fn send_nack(&mut self, peer: NodeId, expected: u32, ready: SimTime, out: &mut Vec<McpOutput>) {
+    fn send_nack(&mut self, peer: NodeId, expected: Seq, ready: SimTime, out: &mut Vec<McpOutput>) {
         let costs = self.core.config().nic.costs;
         let t = self.core.exec(costs.ack_tx_cycles, ready);
         self.core.stats.nack_tx += 1;
@@ -235,7 +234,7 @@ mod tests {
         m
     }
 
-    fn data_pkt(seq: u32) -> Packet {
+    fn data_pkt(seq: Seq) -> Packet {
         Packet {
             src: GlobalPort::new(0, 1),
             dst: GlobalPort::new(1, 1),
@@ -372,7 +371,7 @@ mod tests {
             kind: PacketKind::Nack { expected: 1 },
         };
         let out = m.handle_wire_packet(nack, false, SimTime::from_us(200));
-        let resent: Vec<u32> = out
+        let resent: Vec<Seq> = out
             .iter()
             .filter_map(|o| match o {
                 McpOutput::Transmit { pkt, .. } => pkt.seq(),

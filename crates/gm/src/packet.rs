@@ -8,7 +8,18 @@
 use crate::ids::GlobalPort;
 
 /// Sequence number on a reliable connection.
-pub type Seq = u32;
+///
+/// 64 bits wide so soak runs never exhaust the space in practice, but all
+/// comparisons still go through [`seq_before`] so the protocol stays correct
+/// even across a wrap (connections may start anywhere in the space).
+pub type Seq = u64;
+
+/// Serial-number ("RFC 1982"-style) ordering: true when `a` precedes `b`
+/// in the circular sequence space, i.e. `b` is at most half the space ahead.
+/// Wrap-safe: `seq_before(Seq::MAX, 0)` holds.
+pub fn seq_before(a: Seq, b: Seq) -> bool {
+    (b.wrapping_sub(a) as i64) > 0
+}
 
 /// Body of an extension (collective) packet: a type opcode and two small
 /// operand words, enough for barrier round tags and reduce operands. These
@@ -85,6 +96,9 @@ impl Packet {
     pub fn payload_bytes(&self) -> usize {
         match &self.kind {
             PacketKind::Data { len, .. } => *len,
+            // Real GM puts a small (wrapping) sequence field on the wire;
+            // the in-memory `Seq` width is a simulator convenience and does
+            // not change the modelled byte count.
             PacketKind::Ack { .. } | PacketKind::Nack { .. } => 4,
             PacketKind::Ext { .. } => ExtPacket::WIRE_BYTES,
         }
@@ -157,6 +171,16 @@ mod tests {
             },
         };
         assert_eq!(ext.payload_bytes(), ExtPacket::WIRE_BYTES);
+    }
+
+    #[test]
+    fn seq_before_is_wrap_safe() {
+        assert!(seq_before(0, 1));
+        assert!(!seq_before(1, 0));
+        assert!(!seq_before(7, 7));
+        assert!(seq_before(Seq::MAX, 0));
+        assert!(seq_before(Seq::MAX - 2, Seq::MAX));
+        assert!(!seq_before(1, Seq::MAX));
     }
 
     #[test]

@@ -75,7 +75,7 @@ fn ext_of(m: &Mcp) -> &CountingExt {
     m.ext().as_any().downcast_ref::<CountingExt>().unwrap()
 }
 
-fn ext_pkt(seq: Option<u32>, ty: u8) -> Packet {
+fn ext_pkt(seq: Option<gmsim_gm::packet::Seq>, ty: u8) -> Packet {
     Packet {
         src: GlobalPort::new(1, 1),
         dst: GlobalPort::new(0, 1),
@@ -211,7 +211,7 @@ fn rto_timer_retransmits_unacked_packet() {
             _ => None,
         })
         .expect("no RTO armed");
-    assert!(matches!(kind, TimerKind::Rto { seq: 0, .. }));
+    assert!(matches!(kind, TimerKind::Rto { peer: NodeId(1) }));
     // Fire it: the packet must be retransmitted with a fresh timer.
     let outs = m.handle_timer(kind, at);
     let retx = outs

@@ -5,16 +5,17 @@
 use gmsim_des::check::forall;
 use gmsim_des::SimTime;
 use gmsim_gm::connection::RxVerdict;
+use gmsim_gm::packet::Seq;
 use gmsim_gm::{Connection, GlobalPort, NodeId, Packet, PacketKind};
 
-fn data(seq: u32) -> Packet {
+fn data(seq: Seq) -> Packet {
     Packet {
         src: GlobalPort::new(0, 1),
         dst: GlobalPort::new(1, 1),
         kind: PacketKind::Data {
             seq,
             len: 8,
-            tag: seq as u64,
+            tag: seq,
             notify: false,
         },
     }
@@ -25,10 +26,10 @@ fn data(seq: u32) -> Packet {
 #[test]
 fn sender_window_invariants() {
     forall(256, 0x6A_0001, |g| {
-        let ops = g.vec_of(1, 200, |g| (g.u8_in(0, 2), g.u32_in(0, 39)));
+        let ops = g.vec_of(1, 200, |g| (g.u8_in(0, 2), g.u64_in(0, 39)));
         let mut c = Connection::new(NodeId(1));
-        let mut highest_acked = 0u32;
-        let mut sent_count = 0u32;
+        let mut highest_acked = 0u64;
+        let mut sent_count = 0u64;
         let mut now = SimTime::ZERO;
         for (op, arg) in ops {
             now += SimTime::from_ns(10);
@@ -77,11 +78,11 @@ fn sender_window_invariants() {
 #[test]
 fn receiver_accepts_each_seq_once_in_order() {
     forall(256, 0x6A_0002, |g| {
-        let n = g.u32_in(1, 29);
-        let extra = g.vec_of(0, 60, |g| g.u32_in(0, 29));
+        let n = g.u64_in(1, 29);
+        let extra = g.vec_of(0, 60, |g| g.u64_in(0, 29));
         let seed = g.any_u64();
         // Build an arrival multiset: every seq at least once plus noise.
-        let mut arrivals: Vec<u32> = (0..n).collect();
+        let mut arrivals: Vec<Seq> = (0..n).collect();
         arrivals.extend(extra.into_iter().filter(|s| *s < n));
         // Deterministic shuffle.
         let mut rng = gmsim_des::SimRng::new(seed);
@@ -117,8 +118,8 @@ fn receiver_accepts_each_seq_once_in_order() {
 #[test]
 fn peek_is_pure() {
     forall(256, 0x6A_0003, |g| {
-        let accepts = g.u32_in(0, 19);
-        let probes = g.vec_of(0, 40, |g| g.u32_in(0, 39));
+        let accepts = g.u64_in(0, 19);
+        let probes = g.vec_of(0, 40, |g| g.u64_in(0, 39));
         let mut c = Connection::new(NodeId(0));
         for s in 0..accepts {
             assert_eq!(c.classify_rx(s), RxVerdict::Accept);
@@ -136,17 +137,17 @@ fn peek_is_pure() {
 #[test]
 fn timeouts_fire_iff_live() {
     forall(64, 0x6A_0004, |g| {
-        let ack_to = g.u32_in(0, 9);
+        let ack_to = g.u64_in(0, 9);
         let mut c = Connection::new(NodeId(1));
         let mut sent_ats = Vec::new();
-        for i in 0..10u32 {
+        for i in 0..10u64 {
             let seq = c.assign_seq();
-            let at = SimTime::from_ns(100 * (i as u64 + 1));
+            let at = SimTime::from_ns(100 * (i + 1));
             c.record_sent(data(seq), at);
             sent_ats.push(at);
         }
         c.on_ack(ack_to);
-        for (seq, &at) in (0u32..10).zip(&sent_ats) {
+        for (seq, &at) in (0u64..10).zip(&sent_ats) {
             let re = c.on_timeout(seq, at, SimTime::from_ms(1));
             if seq < ack_to {
                 assert!(re.is_empty(), "acked seq {seq} retransmitted");
@@ -157,5 +158,143 @@ fn timeouts_fire_iff_live() {
                 break; // sent_at values were refreshed; later probes stale by design
             }
         }
+    });
+}
+
+/// Reference model for one direction of a connection: the sender half is a
+/// set of outstanding sequences plus a cumulative-ack floor, the receiver
+/// half just counts accepted packets. Every operation on the real
+/// [`Connection`] is mirrored here, and the two must agree at every step.
+struct RefModel {
+    /// Next sequence the sender hands out.
+    next_tx: Seq,
+    /// Everything at or above this has *not* been cumulatively acked.
+    ack_floor: Seq,
+    /// Sequences recorded as sent and not yet acked, with their latest
+    /// `sent_at` stamp.
+    outstanding: Vec<(Seq, SimTime)>,
+}
+
+impl RefModel {
+    fn new(start: Seq) -> Self {
+        Self {
+            next_tx: start,
+            ack_floor: start,
+            outstanding: Vec::new(),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+/// Satellite: random interleavings of assign/record/ack/nack/timeout checked
+/// against the reference model. Each sequence completes (is drained by a
+/// cumulative ack) exactly once, acks are monotone, and a *stale* timeout —
+/// one whose `(seq, sent_at)` no longer matches a live transmission — never
+/// retransmits anything.
+#[test]
+fn interleavings_match_reference_model() {
+    forall(384, 0x6A_0005, |g| {
+        // Exercise the wrap boundary in a slice of cases: start close enough
+        // to Seq::MAX that ~200 assignments step across it.
+        let start = if g.chance(0.25) {
+            Seq::MAX - g.u64_in(0, 60)
+        } else {
+            g.u64_in(0, 1000)
+        };
+        let ops = g.vec_of(1, 120, |g| (g.u8_in(0, 3), g.u64_in(0, 50), g.any_u64()));
+        let mut c = Connection::with_initial_seq(NodeId(1), start);
+        let mut model = RefModel::new(start);
+        let mut completed = 0u64; // sequences drained by cumulative acks
+        let mut last_ack_len = 0usize; // monotone: acked count never shrinks
+        let mut now = SimTime::ZERO;
+        for (op, small, wide) in ops {
+            now += SimTime::from_ns(10);
+            match op {
+                0 => {
+                    // assign + record a fresh transmission
+                    let seq = c.assign_seq();
+                    assert_eq!(seq, model.next_tx, "sequence assignment diverged");
+                    c.record_sent(data(seq), now);
+                    model.outstanding.push((seq, now));
+                    model.next_tx = model.next_tx.wrapping_add(1);
+                }
+                1 => {
+                    // cumulative ack of the first `k` outstanding packets
+                    if model.outstanding.is_empty() {
+                        continue;
+                    }
+                    let k = (small as usize % model.outstanding.len()) + 1;
+                    let ack = model.outstanding[k - 1].0.wrapping_add(1);
+                    let drained = c.on_ack(ack);
+                    assert_eq!(drained, k, "ack drained a different count");
+                    model.outstanding.drain(..k);
+                    model.ack_floor = ack;
+                    completed += k as u64;
+                }
+                2 => {
+                    // nack for a random live packet: go-back-N retransmits
+                    // the tail from that point, refreshing sent_at stamps
+                    if model.outstanding.is_empty() {
+                        continue;
+                    }
+                    let i = small as usize % model.outstanding.len();
+                    let from = model.outstanding[i].0;
+                    let re = c.on_nack(from, now);
+                    assert_eq!(re.len(), model.outstanding.len() - i);
+                    for (p, (mseq, mat)) in re.iter().zip(&mut model.outstanding[i..]) {
+                        assert_eq!(p.seq().unwrap(), *mseq);
+                        *mat = now;
+                    }
+                }
+                _ => {
+                    // timeout probe: half the time aim at a live (seq,
+                    // sent_at) pair, half the time at a fabricated stale one
+                    let (seq, sent_at) = if !model.outstanding.is_empty() && wide % 2 == 0 {
+                        let i = small as usize % model.outstanding.len();
+                        model.outstanding[i]
+                    } else {
+                        (wide, SimTime::from_ns(wide % 7))
+                    };
+                    // A timeout fires iff that exact transmission is live.
+                    let live_at = model
+                        .outstanding
+                        .iter()
+                        .position(|&(s, t)| s == seq && t == sent_at);
+                    let re = c.on_timeout(seq, sent_at, now);
+                    if let Some(i) = live_at {
+                        // go-back-N: the tail from that packet, refreshed
+                        assert_eq!(re.len(), model.outstanding.len() - i);
+                        for (p, (mseq, mat)) in re.iter().zip(&mut model.outstanding[i..]) {
+                            assert_eq!(p.seq().unwrap(), *mseq);
+                            *mat = now;
+                        }
+                    } else {
+                        assert!(re.is_empty(), "stale timeout retransmitted {re:?}");
+                    }
+                }
+            }
+            // Shared invariants after every step.
+            assert_eq!(c.in_flight(), model.in_flight(), "window size diverged");
+            let acked_len = completed as usize;
+            assert!(acked_len >= last_ack_len, "cumulative ack went backwards");
+            last_ack_len = acked_len;
+            match (c.oldest_unacked(), model.outstanding.first()) {
+                (Some(e), Some(&(mseq, mat))) => {
+                    assert_eq!(e.packet.seq().unwrap(), mseq);
+                    assert_eq!(e.sent_at, mat);
+                }
+                (None, None) => {}
+                (a, b) => panic!("oldest mismatch: {:?} vs {:?}", a.map(|e| e.sent_at), b),
+            }
+        }
+        // Exactly-once completion: everything acked was assigned once, and
+        // nothing outstanding was ever drained.
+        assert_eq!(
+            completed + model.outstanding.len() as u64,
+            model.next_tx.wrapping_sub(start),
+        );
     });
 }

@@ -1,0 +1,219 @@
+//! Randomized protocol fuzz of the GM reliability layer.
+//!
+//! Each case builds a small cluster, wires a fault plan drawn from the full
+//! fault model (drops, corruption, duplication, reordering, bursts, scoped
+//! links), and drives point-to-point traffic through it. Whatever the fault
+//! mix, the run must terminate — either every message is delivered exactly
+//! once and in order, or a connection exhausted its retransmit budget and
+//! reported `PeerUnreachable`. Never a hang, never a panic, never a
+//! duplicated or reordered delivery to the application.
+
+use gmsim_des::check::forall;
+use gmsim_des::{RunOutcome, SimTime};
+use gmsim_gm::cluster::{Cluster, ClusterBuilder};
+use gmsim_gm::{GlobalPort, GmConfig, GmEvent, HostCtx, HostProgram};
+use gmsim_lanai::NicModel;
+use gmsim_myrinet::FaultPlan;
+
+/// Per-sender note namespace: the peer notes `TAG_BASE * (i + 1) + k` when
+/// it accepts sender `i`'s `k`-th message.
+const TAG_BASE: u64 = 10_000;
+
+/// Note recorded by a sender when its connection dies.
+const TAG_DEAD: u64 = 9_999;
+
+/// One ring endpoint: sends `count` messages to the next node — one at a
+/// time, each waiting for the previous `Sent` completion — while noting
+/// every message received from the previous node. Stops sending cleanly if
+/// the peer dies.
+struct RingPeer {
+    peer: GlobalPort,
+    base: u64,
+    next: u64,
+    count: u64,
+}
+
+impl HostProgram for RingPeer {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        if self.count > 0 {
+            ctx.send_notify(self.peer, 64, self.base);
+            self.next = 1;
+        }
+    }
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        match ev {
+            GmEvent::Sent { .. } if self.next < self.count => {
+                ctx.send_notify(self.peer, 64, self.base + self.next);
+                self.next += 1;
+            }
+            GmEvent::Recv { tag, .. } => {
+                ctx.note(*tag);
+                ctx.provide_recv(1);
+            }
+            GmEvent::PeerUnreachable { .. } => ctx.note(TAG_DEAD),
+            _ => {}
+        }
+    }
+}
+
+/// Build and run one fuzz scenario: `n` nodes in a ring, node `i` sending
+/// `msgs` messages to node `i + 1`, under `plan`. Returns the cluster for
+/// post-mortem assertions plus the final scheduler slab capacity.
+fn run_ring(n: usize, msgs: u64, plan: FaultPlan, seed: u64) -> (Cluster, usize) {
+    let mut b = ClusterBuilder::new(n).config(GmConfig::paper_host(NicModel::LANAI_4_3));
+    if !plan.is_none() {
+        b = b.faults(plan, seed);
+    }
+    for i in 0..n {
+        b = b.program(
+            GlobalPort::new(i, 1),
+            Box::new(RingPeer {
+                peer: GlobalPort::new((i + 1) % n, 1),
+                base: TAG_BASE * (i as u64 + 1),
+                next: 0,
+                count: msgs,
+            }),
+            SimTime::ZERO,
+        );
+    }
+    let mut sim = b.build();
+    // Generous horizon: worst-case give-up needs ~0.4 s of virtual time
+    // (10 doubling RTOs capped at 50 ms); anything still queued at 20 s is
+    // a stale-timer leak or a livelock.
+    let outcome = sim.run_until(SimTime::from_ms(20_000));
+    assert_eq!(outcome, RunOutcome::Quiescent, "protocol hung");
+    let slab = sim.scheduler_mut().slab_capacity();
+    (sim.into_world(), slab)
+}
+
+/// Shared post-mortem: every receiver saw, from each sender, a strict
+/// in-order prefix of that sender's tag sequence — the full sequence unless
+/// some connection died.
+fn check_exactly_once(cl: &Cluster, n: usize, msgs: u64) {
+    let any_dead = cl
+        .nodes
+        .iter()
+        .any(|node| node.mcp.core.connections().any(|c| c.is_dead()));
+    for i in 0..n {
+        let base = TAG_BASE * (i as u64 + 1);
+        let got: Vec<u64> = cl
+            .notes
+            .iter()
+            .filter(|r| r.tag >= base && r.tag < base + TAG_BASE)
+            .map(|r| r.tag - base)
+            .collect();
+        // Exactly once, in order: the received ks are 0, 1, 2, ... with no
+        // gaps, repeats or inversions.
+        for (expect, &k) in got.iter().enumerate() {
+            assert_eq!(k, expect as u64, "sender {i}: out-of-order or dup");
+        }
+        if !any_dead {
+            assert_eq!(got.len() as u64, msgs, "sender {i}: lost messages");
+        }
+    }
+    if !any_dead {
+        // Everything acked: no window left in flight anywhere.
+        for node in &cl.nodes {
+            for c in node.mcp.core.connections() {
+                assert_eq!(c.in_flight(), 0, "unacked window survived the run");
+            }
+        }
+    }
+}
+
+#[test]
+fn random_fault_mixes_never_hang_and_deliver_exactly_once() {
+    forall(640, 0xF0_2201, |g| {
+        let n = g.usize_in(2, 4);
+        let msgs = g.u64_in(2, 8);
+        let plan = FaultPlan {
+            drop_probability: g.f64_in(0.0, 0.4),
+            corrupt_probability: if g.chance(0.5) {
+                g.f64_in(0.0, 0.3)
+            } else {
+                0.0
+            },
+            duplicate_probability: if g.chance(0.5) {
+                g.f64_in(0.0, 0.3)
+            } else {
+                0.0
+            },
+            reorder_probability: if g.chance(0.5) {
+                g.f64_in(0.0, 0.3)
+            } else {
+                0.0
+            },
+            reorder_delay: SimTime::from_us(g.u64_in(1, 80)),
+            burst_len: g.u32_in(1, 3),
+            only_src: if g.chance(0.2) {
+                Some(g.u32_in(0, (n - 1) as u32))
+            } else {
+                None
+            },
+        };
+        let seed = g.any_u64();
+        let (cl, slab) = run_ring(n, msgs, plan, seed);
+        check_exactly_once(&cl, n, msgs);
+        // Stale-timer leak guard: a handful of nodes exchanging a handful
+        // of messages must never balloon the scheduler slab, no matter how
+        // many retransmission rounds the faults force.
+        assert!(slab <= 256, "scheduler slab grew to {slab}");
+    });
+}
+
+/// Satellite regression: sustained 60 % drops used to grow the scheduler
+/// heap by one stale RTO timer per retransmission (O(retx × window)); the
+/// per-connection timer keeps occupancy flat.
+#[test]
+fn sustained_drops_keep_scheduler_occupancy_bounded() {
+    let (cl, slab) = run_ring(2, 24, FaultPlan::drops(0.6), 0xBEEF);
+    // 24 messages × 2 directions at 60 % drop forces dozens of
+    // retransmission rounds; the slab must stay within a small constant of
+    // the fault-free footprint (one timer per connection, a few wire and
+    // host events).
+    assert!(slab <= 64, "stale timers accumulated: slab = {slab}");
+    let retx: u64 = cl.nodes.iter().map(|n| n.mcp.core.stats.retx).sum();
+    assert!(
+        retx > 10,
+        "the drop plan must actually bite (retx = {retx})"
+    );
+}
+
+/// A fully severed link terminates with a typed give-up, not a hang: the
+/// firmware reports `PeerUnreachable`, marks the connection dead, and the
+/// abandoned send token is returned to the port.
+#[test]
+fn total_loss_gives_up_cleanly() {
+    let (cl, _) = run_ring(2, 4, FaultPlan::drops(1.0), 7);
+    let gave_up: u64 = cl.nodes.iter().map(|n| n.mcp.core.stats.gave_up).sum();
+    assert!(gave_up >= 1, "no connection gave up under total loss");
+    assert!(cl
+        .nodes
+        .iter()
+        .any(|n| n.mcp.core.connections().any(|c| c.is_dead())));
+    // The failure surfaced to at least one program as PeerUnreachable.
+    assert!(
+        cl.notes.iter().any(|r| r.tag == TAG_DEAD),
+        "no program saw PeerUnreachable"
+    );
+    // Nothing was delivered, and nothing hung: zero Recv notes.
+    assert_eq!(cl.notes.iter().filter(|r| r.tag >= TAG_BASE).count(), 0);
+}
+
+/// Backoff is visible in the metrics: genuine timeouts bump `rto_backoffs`,
+/// and lossless runs never charge a retransmission or a backoff.
+#[test]
+fn backoff_counters_track_loss() {
+    let (lossless, _) = run_ring(2, 6, FaultPlan::NONE, 1);
+    for n in &lossless.nodes {
+        assert_eq!(n.mcp.core.stats.rto_backoffs, 0);
+        assert_eq!(n.mcp.core.stats.retx, 0);
+    }
+    let (lossy, _) = run_ring(2, 6, FaultPlan::drops(0.7), 3);
+    let backoffs: u64 = lossy
+        .nodes
+        .iter()
+        .map(|n| n.mcp.core.stats.rto_backoffs)
+        .sum();
+    assert!(backoffs > 0, "70% drops must trigger RTO backoff");
+}

@@ -389,6 +389,9 @@ impl HostProgram for MpiProcess {
                 }
             }
             GmEvent::Sent { .. } => {}
+            // A dead peer means this process can never unblock; the testbed
+            // surfaces it as a typed experiment error, not an MPI event.
+            GmEvent::PeerUnreachable { .. } => {}
         }
     }
 }

@@ -20,7 +20,7 @@
 //! upstream links' occupancy to the stall end, which reproduces wormhole
 //! tree saturation under contention.
 
-use crate::fault::{Fate, FaultPlan};
+use crate::fault::{Fate, FaultPlan, FaultState};
 use crate::packet::WireFormat;
 use crate::route::{LinkId, NicId, Vertex};
 use crate::topology::Topology;
@@ -36,6 +36,9 @@ pub struct Delivery {
     pub arrival: SimTime,
     /// Whether the worm survived fault judgement.
     pub fate: Fate,
+    /// When fault injection duplicates the worm, the arrival time of the
+    /// second (intact) copy; `None` for the overwhelmingly common case.
+    pub dup_arrival: Option<SimTime>,
 }
 
 impl Delivery {
@@ -54,6 +57,10 @@ pub struct FabricStats {
     pub drops: u64,
     /// Worms delivered with a corrupted CRC.
     pub corruptions: u64,
+    /// Worms delivered twice by fault injection.
+    pub duplicates: u64,
+    /// Worms delayed by fault injection (reordered past later traffic).
+    pub reorders: u64,
     /// Total payload bytes injected (excluding framing).
     pub payload_bytes: u64,
     /// Total head-stall time across all sends (contention measure).
@@ -77,6 +84,7 @@ pub struct Fabric {
     /// `busy_until` per directed link.
     busy: Vec<SimTime>,
     faults: FaultPlan,
+    fault_state: FaultState,
     rng: SimRng,
     stats: FabricStats,
     /// Reusable per-send scratch: links the head has entered, with entry
@@ -93,6 +101,7 @@ impl Fabric {
             format: WireFormat::GM,
             busy: vec![SimTime::ZERO; links],
             faults: FaultPlan::NONE,
+            fault_state: FaultState::default(),
             rng: SimRng::new(0),
             stats: FabricStats::default(),
             entered: Vec::new(),
@@ -172,19 +181,36 @@ impl Fabric {
 
         let first_entry = entered[0].1;
         let tx_done = first_entry + ser;
-        let arrival = head + ser;
+        let mut arrival = head + ser;
 
-        let fate = self.faults.judge(&mut self.rng);
-        match fate {
+        let verdict = self
+            .faults
+            .judge(src.0 as u32, &mut self.fault_state, &mut self.rng);
+        match verdict.fate {
             Fate::Dropped => self.stats.drops += 1,
             Fate::Corrupted => self.stats.corruptions += 1,
             Fate::Intact => {}
         }
+        if verdict.reorder {
+            // Delayed arrival: later worms on the same path overtake this
+            // one, which the receiver observes as out-of-order delivery.
+            arrival += self.faults.reorder_delay;
+            self.stats.reorders += 1;
+        }
+        let dup_arrival = if verdict.duplicate {
+            // The spurious copy trails the original by one serialization
+            // time, as if the sender's retransmit logic double-fired.
+            self.stats.duplicates += 1;
+            Some(arrival + ser)
+        } else {
+            None
+        };
 
         Delivery {
             tx_done,
             arrival,
-            fate,
+            fate: verdict.fate,
+            dup_arrival,
         }
     }
 
@@ -278,6 +304,41 @@ mod tests {
         let mut f = Fabric::new(t).with_faults(FaultPlan::drops(1.0), 7);
         let d = f.send(NicId(0), NicId(1), 8, SimTime::ZERO);
         assert_eq!(d.fate, Fate::Dropped);
+        assert_eq!(f.stats().drops, 1);
+    }
+
+    #[test]
+    fn duplicates_get_a_trailing_copy() {
+        let t = TopologyBuilder::single_switch(2);
+        let mut f = Fabric::new(t).with_faults(FaultPlan::duplicates(1.0), 7);
+        let d = f.send(NicId(0), NicId(1), 8, SimTime::ZERO);
+        assert!(d.is_delivered());
+        let dup = d.dup_arrival.expect("certain duplication");
+        assert!(dup > d.arrival);
+        assert_eq!(f.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn reorder_delays_arrival() {
+        let t = TopologyBuilder::single_switch(2);
+        let delay = SimTime::from_us(5);
+        let mut faulty = Fabric::new(t).with_faults(FaultPlan::reorders(1.0, delay), 7);
+        let mut clean = fabric(2);
+        let d = faulty.send(NicId(0), NicId(1), 8, SimTime::ZERO);
+        let c = clean.send(NicId(0), NicId(1), 8, SimTime::ZERO);
+        assert_eq!(d.arrival, c.arrival + delay);
+        assert_eq!(faulty.stats().reorders, 1);
+    }
+
+    #[test]
+    fn scoped_faults_spare_other_sources() {
+        let t = TopologyBuilder::single_switch(4);
+        let mut f = Fabric::new(t).with_faults(FaultPlan::drops(1.0).only_from(2), 7);
+        assert!(f.send(NicId(0), NicId(1), 8, SimTime::ZERO).is_delivered());
+        assert_eq!(
+            f.send(NicId(2), NicId(3), 8, SimTime::ZERO).fate,
+            Fate::Dropped
+        );
         assert_eq!(f.stats().drops, 1);
     }
 

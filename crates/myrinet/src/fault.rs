@@ -1,13 +1,25 @@
 //! Fault injection.
 //!
 //! GM provides reliable delivery over an unreliable wire; to exercise that
-//! machinery (acks, nacks, go-back-N) the fabric can drop or corrupt worms.
-//! Faults are driven by the fabric's own seeded RNG stream, so an experiment
-//! with faults is exactly as reproducible as one without.
+//! machinery (acks, nacks, go-back-N) the fabric can drop, corrupt,
+//! duplicate, or delay (reorder) worms. Faults are driven by the fabric's
+//! own seeded RNG stream, so an experiment with faults is exactly as
+//! reproducible as one without. A plan with all probabilities at zero
+//! consumes no entropy at all, keeping fault-free traces bit-identical
+//! regardless of how much fault machinery exists.
 
-use gmsim_des::SimRng;
+use gmsim_des::{SimRng, SimTime};
 
-/// Probabilistic fault configuration, uniform across links.
+/// Probabilistic fault configuration, uniform across links (optionally
+/// scoped to one source NIC via [`FaultPlan::only_from`]).
+///
+/// The four fault probabilities are sampled *independently* per worm, in a
+/// fixed order (drop, corrupt, duplicate, reorder), so each marginal rate
+/// matches its configured probability and the RNG stream advances by the
+/// same amount regardless of which faults fire. When both drop and corrupt
+/// fire for the same worm, drop wins (a vanished worm cannot also arrive
+/// with a bad CRC); duplicate/reorder likewise only take effect for worms
+/// that are not dropped.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     /// Probability an injected worm vanishes entirely.
@@ -15,6 +27,21 @@ pub struct FaultPlan {
     /// Probability a delivered worm arrives with a bad CRC (the receiving
     /// NIC discards it, which GM turns into a timeout/retransmission).
     pub corrupt_probability: f64,
+    /// Probability a delivered worm arrives twice (a second, intact copy
+    /// lands one serialization time after the first).
+    pub duplicate_probability: f64,
+    /// Probability a delivered worm is delayed by [`FaultPlan::reorder_delay`],
+    /// letting later worms overtake it (observed as out-of-order arrival).
+    pub reorder_probability: f64,
+    /// Extra latency applied to reordered worms.
+    pub reorder_delay: SimTime,
+    /// When a drop fires, also drop the next `burst_len - 1` judged worms
+    /// (models a link glitch taking out a run of back-to-back worms).
+    /// `0` and `1` both mean single-worm drops.
+    pub burst_len: u32,
+    /// When set, faults only apply to worms injected by this source NIC;
+    /// all other traffic passes intact (per-link fault scoping).
+    pub only_src: Option<u32>,
 }
 
 impl FaultPlan {
@@ -23,34 +50,106 @@ impl FaultPlan {
     pub const NONE: FaultPlan = FaultPlan {
         drop_probability: 0.0,
         corrupt_probability: 0.0,
+        duplicate_probability: 0.0,
+        reorder_probability: 0.0,
+        reorder_delay: SimTime::ZERO,
+        burst_len: 0,
+        only_src: None,
     };
 
-    /// Uniform drop probability, no corruption.
+    /// Uniform drop probability, no other faults.
     pub fn drops(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p));
         FaultPlan {
             drop_probability: p,
-            corrupt_probability: 0.0,
+            ..FaultPlan::NONE
         }
+    }
+
+    /// Uniform corruption probability, no other faults.
+    pub fn corrupts(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        FaultPlan {
+            corrupt_probability: p,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Uniform duplication probability, no other faults.
+    pub fn duplicates(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        FaultPlan {
+            duplicate_probability: p,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Uniform reorder probability with the given extra delay.
+    pub fn reorders(p: f64, delay: SimTime) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        FaultPlan {
+            reorder_probability: p,
+            reorder_delay: delay,
+            ..FaultPlan::NONE
+        }
+    }
+
+    /// Builder: drops come in bursts of `len` consecutive judged worms.
+    pub fn with_burst(mut self, len: u32) -> Self {
+        self.burst_len = len;
+        self
+    }
+
+    /// Builder: scope all faults to worms injected by source NIC `src`.
+    pub fn only_from(mut self, src: u32) -> Self {
+        self.only_src = Some(src);
+        self
     }
 
     /// True when no fault can ever fire (lets the fabric skip RNG draws,
     /// keeping fault-free traces identical regardless of fault code).
     pub fn is_none(&self) -> bool {
-        self.drop_probability == 0.0 && self.corrupt_probability == 0.0
+        self.drop_probability == 0.0
+            && self.corrupt_probability == 0.0
+            && self.duplicate_probability == 0.0
+            && self.reorder_probability == 0.0
     }
 
-    /// Decide the fate of one worm.
-    pub fn judge(&self, rng: &mut SimRng) -> Fate {
+    /// Decide the fate of one worm injected by source NIC `src`.
+    ///
+    /// Consumes zero entropy when the plan [`is_none`](Self::is_none), when
+    /// `src` is outside the plan's scope, or while a drop burst is in
+    /// progress; otherwise consumes exactly four draws, independent of
+    /// outcome.
+    pub fn judge(&self, src: u32, state: &mut FaultState, rng: &mut SimRng) -> Verdict {
         if self.is_none() {
-            return Fate::Intact;
+            return Verdict::INTACT;
         }
-        if rng.chance(self.drop_probability) {
-            Fate::Dropped
-        } else if rng.chance(self.corrupt_probability) {
-            Fate::Corrupted
-        } else {
-            Fate::Intact
+        if self.only_src.is_some_and(|s| s != src) {
+            return Verdict::INTACT;
+        }
+        if state.burst_left > 0 {
+            state.burst_left -= 1;
+            return Verdict::DROPPED;
+        }
+        // Fixed draw order keeps the RNG stream position independent of
+        // which faults fire.
+        let drop = rng.chance(self.drop_probability);
+        let corrupt = rng.chance(self.corrupt_probability);
+        let duplicate = rng.chance(self.duplicate_probability);
+        let reorder = rng.chance(self.reorder_probability);
+        if drop {
+            state.burst_left = self.burst_len.saturating_sub(1);
+            return Verdict::DROPPED;
+        }
+        Verdict {
+            fate: if corrupt {
+                Fate::Corrupted
+            } else {
+                Fate::Intact
+            },
+            duplicate,
+            reorder,
         }
     }
 }
@@ -66,15 +165,57 @@ pub enum Fate {
     Corrupted,
 }
 
+/// Full fault judgement for one worm: its fate plus orthogonal
+/// duplicate/reorder flags (only meaningful for worms that arrive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Drop / corrupt / intact outcome.
+    pub fate: Fate,
+    /// A second intact copy also arrives.
+    pub duplicate: bool,
+    /// Arrival is delayed by the plan's `reorder_delay`.
+    pub reorder: bool,
+}
+
+impl Verdict {
+    /// The no-fault verdict.
+    pub const INTACT: Verdict = Verdict {
+        fate: Fate::Intact,
+        duplicate: false,
+        reorder: false,
+    };
+
+    /// The dropped verdict.
+    pub const DROPPED: Verdict = Verdict {
+        fate: Fate::Dropped,
+        duplicate: false,
+        reorder: false,
+    };
+}
+
+/// Mutable fault-injection state carried by the fabric between worms
+/// (burst progress). Kept outside [`FaultPlan`] so the plan stays a plain
+/// `Copy` configuration value.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultState {
+    /// Remaining worms to drop in the current burst.
+    pub burst_left: u32,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn judge(plan: &FaultPlan, rng: &mut SimRng) -> Verdict {
+        let mut state = FaultState::default();
+        plan.judge(0, &mut state, rng)
+    }
 
     #[test]
     fn none_never_faults() {
         let mut rng = SimRng::new(1);
         for _ in 0..1000 {
-            assert_eq!(FaultPlan::NONE.judge(&mut rng), Fate::Intact);
+            assert_eq!(judge(&FaultPlan::NONE, &mut rng), Verdict::INTACT);
         }
     }
 
@@ -82,7 +223,7 @@ mod tests {
     fn none_consumes_no_entropy() {
         let mut a = SimRng::new(5);
         let mut b = SimRng::new(5);
-        let _ = FaultPlan::NONE.judge(&mut a);
+        let _ = judge(&FaultPlan::NONE, &mut a);
         assert_eq!(a.next(), b.next());
     }
 
@@ -91,7 +232,7 @@ mod tests {
         let mut rng = SimRng::new(2);
         let plan = FaultPlan::drops(1.0);
         for _ in 0..100 {
-            assert_eq!(plan.judge(&mut rng), Fate::Dropped);
+            assert_eq!(judge(&plan, &mut rng), Verdict::DROPPED);
         }
     }
 
@@ -100,7 +241,7 @@ mod tests {
         let mut rng = SimRng::new(3);
         let plan = FaultPlan::drops(0.25);
         let dropped = (0..10_000)
-            .filter(|_| plan.judge(&mut rng) == Fate::Dropped)
+            .filter(|_| judge(&plan, &mut rng).fate == Fate::Dropped)
             .count();
         assert!((2_000..3_000).contains(&dropped), "dropped={dropped}");
     }
@@ -108,10 +249,131 @@ mod tests {
     #[test]
     fn corruption_fires() {
         let mut rng = SimRng::new(4);
+        let plan = FaultPlan::corrupts(1.0);
+        assert_eq!(judge(&plan, &mut rng).fate, Fate::Corrupted);
+    }
+
+    #[test]
+    fn mixed_rates_are_independent() {
+        // Drop 0.25 and corrupt 0.2 sampled independently: among surviving
+        // (not-dropped) worms the corruption rate must match p_corrupt, not
+        // the old conditional (1-p_drop)*p_corrupt compounding.
+        let mut rng = SimRng::new(6);
         let plan = FaultPlan {
-            drop_probability: 0.0,
-            corrupt_probability: 1.0,
+            drop_probability: 0.25,
+            corrupt_probability: 0.2,
+            ..FaultPlan::NONE
         };
-        assert_eq!(plan.judge(&mut rng), Fate::Corrupted);
+        let mut dropped = 0u32;
+        let mut corrupted = 0u32;
+        let total = 20_000u32;
+        for _ in 0..total {
+            match judge(&plan, &mut rng).fate {
+                Fate::Dropped => dropped += 1,
+                Fate::Corrupted => corrupted += 1,
+                Fate::Intact => {}
+            }
+        }
+        let survivors = total - dropped;
+        let drop_rate = dropped as f64 / total as f64;
+        let corrupt_rate = corrupted as f64 / survivors as f64;
+        assert!((0.22..=0.28).contains(&drop_rate), "drop_rate={drop_rate}");
+        assert!(
+            (0.17..=0.23).contains(&corrupt_rate),
+            "corrupt_rate={corrupt_rate}"
+        );
+    }
+
+    #[test]
+    fn duplicate_and_reorder_fire() {
+        let mut rng = SimRng::new(7);
+        let plan = FaultPlan {
+            duplicate_probability: 1.0,
+            reorder_probability: 1.0,
+            reorder_delay: SimTime::from_us(5),
+            ..FaultPlan::NONE
+        };
+        let v = judge(&plan, &mut rng);
+        assert_eq!(v.fate, Fate::Intact);
+        assert!(v.duplicate);
+        assert!(v.reorder);
+    }
+
+    #[test]
+    fn drop_suppresses_duplicate_and_reorder() {
+        let mut rng = SimRng::new(8);
+        let plan = FaultPlan {
+            drop_probability: 1.0,
+            duplicate_probability: 1.0,
+            reorder_probability: 1.0,
+            reorder_delay: SimTime::from_us(5),
+            ..FaultPlan::NONE
+        };
+        assert_eq!(judge(&plan, &mut rng), Verdict::DROPPED);
+    }
+
+    #[test]
+    fn entropy_use_is_outcome_independent() {
+        // Whatever faults fire, one judgement advances the stream by the
+        // same four draws — so downstream draws stay aligned across plans
+        // with equal probabilities but different outcomes.
+        let plan = FaultPlan {
+            drop_probability: 0.5,
+            corrupt_probability: 0.5,
+            ..FaultPlan::NONE
+        };
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        let mut state = FaultState::default();
+        let _ = plan.judge(0, &mut state, &mut a);
+        for _ in 0..4 {
+            let _ = b.chance(0.5);
+        }
+        assert_eq!(a.next(), b.next());
+    }
+
+    #[test]
+    fn burst_drops_consecutive_worms() {
+        let mut rng = SimRng::new(10);
+        let plan = FaultPlan::drops(1.0).with_burst(3);
+        let mut state = FaultState::default();
+        // First judgement draws and drops, arming a burst of 2 more.
+        for i in 0..3 {
+            assert_eq!(
+                plan.judge(0, &mut state, &mut rng).fate,
+                Fate::Dropped,
+                "worm {i}"
+            );
+        }
+        assert_eq!(state.burst_left, 0);
+    }
+
+    #[test]
+    fn burst_continuation_skips_draws() {
+        let plan = FaultPlan::drops(1.0).with_burst(2);
+        let mut a = SimRng::new(11);
+        let mut b = SimRng::new(11);
+        let mut state = FaultState { burst_left: 1 };
+        assert_eq!(plan.judge(0, &mut state, &mut a), Verdict::DROPPED);
+        assert_eq!(a.next(), b.next(), "burst continuation must not draw");
+    }
+
+    #[test]
+    fn only_src_scopes_faults() {
+        let mut rng = SimRng::new(12);
+        let plan = FaultPlan::drops(1.0).only_from(3);
+        let mut state = FaultState::default();
+        assert_eq!(plan.judge(0, &mut state, &mut rng), Verdict::INTACT);
+        assert_eq!(plan.judge(3, &mut state, &mut rng), Verdict::DROPPED);
+    }
+
+    #[test]
+    fn out_of_scope_src_skips_draws() {
+        let plan = FaultPlan::drops(0.5).only_from(3);
+        let mut a = SimRng::new(13);
+        let mut b = SimRng::new(13);
+        let mut state = FaultState::default();
+        let _ = plan.judge(0, &mut state, &mut a);
+        assert_eq!(a.next(), b.next());
     }
 }

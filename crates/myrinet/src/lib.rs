@@ -32,7 +32,7 @@ pub mod route;
 pub mod topology;
 
 pub use fabric::{Delivery, Fabric, FabricStats};
-pub use fault::FaultPlan;
+pub use fault::{Fate, FaultPlan, FaultState, Verdict};
 pub use packet::{wire_size, WireFormat};
 pub use route::{LinkId, NicId, SwitchId};
 pub use topology::{LinkSpec, Topology, TopologyBuilder};

@@ -91,6 +91,7 @@ fn stats_conserved() {
             FaultPlan {
                 drop_probability: drop_p,
                 corrupt_probability: 0.1,
+                ..FaultPlan::NONE
             },
             seed,
         );

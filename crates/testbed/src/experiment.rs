@@ -109,6 +109,15 @@ pub enum ExperimentError {
         /// How the run loop stopped.
         outcome: RunOutcome,
     },
+    /// A NIC exhausted its retransmit budget against an unresponsive peer
+    /// and abandoned the connection (the fault plan severed the link for
+    /// longer than GM's backoff schedule tolerates).
+    PeerUnreachable {
+        /// Node whose firmware gave up.
+        node: u32,
+        /// The peer it could not reach.
+        peer: u32,
+    },
     /// A round completed on fewer processes than participate.
     IncompleteRound {
         /// The deficient round.
@@ -140,6 +149,10 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Hung { outcome } => {
                 write!(f, "simulation did not drain: {outcome:?}")
             }
+            ExperimentError::PeerUnreachable { node, peer } => write!(
+                f,
+                "node {node} exhausted its retransmit budget against node {peer}"
+            ),
             ExperimentError::IncompleteRound {
                 round,
                 completed,
@@ -323,6 +336,8 @@ impl BarrierExperiment {
         for (what, value) in [
             ("drop", self.fault_plan.drop_probability),
             ("corrupt", self.fault_plan.corrupt_probability),
+            ("duplicate", self.fault_plan.duplicate_probability),
+            ("reorder", self.fault_plan.reorder_probability),
         ] {
             if !(0.0..=1.0).contains(&value) {
                 return Err(ExperimentError::InvalidProbability { what, value });
@@ -416,6 +431,17 @@ impl BarrierExperiment {
         let events = sim.events_fired();
         let cluster = sim.into_world();
 
+        // A dead connection is a stronger diagnosis than an incomplete
+        // round: the firmware *reported* giving up, so surface that first.
+        for (node, n) in cluster.nodes.iter().enumerate() {
+            if let Some(conn) = n.mcp.core.connections().find(|c| c.is_dead()) {
+                return Err(ExperimentError::PeerUnreachable {
+                    node: node as u32,
+                    peer: conn.peer().0 as u32,
+                });
+            }
+        }
+
         // A round completes when its *last* participant's completion note
         // lands; consecutive-barrier latency is the gap between rounds.
         let mut round_done = vec![SimTime::ZERO; self.rounds as usize];
@@ -464,6 +490,8 @@ pub(crate) fn collect_metrics(cluster: &Cluster) -> (MetricSet, Histogram) {
     m.add(Counter::PacketsSent, fabric.sends);
     m.add(Counter::PacketsDropped, fabric.drops);
     m.add(Counter::PacketsCorrupted, fabric.corruptions);
+    m.add(Counter::DupRx, fabric.duplicates);
+    m.add(Counter::ReorderRx, fabric.reorders);
     let mut turnaround = Histogram::new(TURNAROUND_BIN_US, TURNAROUND_BINS);
     for node in &cluster.nodes {
         let stats = &node.mcp.core.stats;
@@ -472,6 +500,9 @@ pub(crate) fn collect_metrics(cluster: &Cluster) -> (MetricSet, Histogram) {
         m.add(Counter::NacksSent, stats.nack_tx);
         m.add(Counter::CrcDrops, stats.crc_drops);
         m.add(Counter::DupDrops, stats.dup_drops);
+        m.add(Counter::RtoBackoffs, stats.rto_backoffs);
+        m.add(Counter::TimerCancels, stats.timer_cancels);
+        m.add(Counter::GaveUp, stats.gave_up);
         m.add(Counter::CompletionDmas, stats.host_events);
         m.add(
             Counter::FirmwareCycles,
@@ -674,7 +705,7 @@ mod tests {
         );
         let bad = FaultPlan {
             drop_probability: 1.5,
-            corrupt_probability: 0.0,
+            ..FaultPlan::NONE
         };
         assert!(matches!(
             base(4).faults(bad).run().unwrap_err(),

@@ -20,6 +20,7 @@ fn lossy_barrier_run(drop_p: f64, corrupt_p: f64, seed: u64, n: usize, rounds: u
             FaultPlan {
                 drop_probability: drop_p,
                 corrupt_probability: corrupt_p,
+                ..FaultPlan::NONE
             },
             seed,
         )
