@@ -5,6 +5,7 @@
 //! cargo run --release -p gmsim-bench --bin repro -- fig5a fig5b headline
 //! cargo run --release -p gmsim-bench --bin repro -- breakdown
 //! cargo run --release -p gmsim-bench --bin repro -- --trace trace.json
+//! cargo run --release -p gmsim-bench --bin repro -- --smoke scale
 //! ```
 //!
 //! Experiment ids (see DESIGN.md §5): fig5a fig5b fig5c fig5d fig2 gbdim
@@ -25,6 +26,12 @@ use nic_barrier::{BarrierCosts, CostModel};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
     let mut trace_path = None;
     if let Some(i) = args.iter().position(|a| a == "--trace") {
         if i + 1 >= args.len() {
@@ -61,6 +68,7 @@ fn main() {
         } else {
             args.iter().map(String::as_str).collect()
         };
+    let mut ok = true;
     for id in ids {
         match id {
             "fig5a" => fig5_latency(NicModel::LANAI_4_3, &[2, 4, 8, 16], "fig5a"),
@@ -70,7 +78,7 @@ fn main() {
             "fig2" => fig2_timing_model(),
             "gbdim" => gb_dimension_sweep(),
             "headline" => headline(),
-            "scale" => scaling_study(),
+            "scale" => ok = scaling_study(smoke) && ok,
             "layer" => layer_study(),
             "fuzzy" => fuzzy_study(),
             "ablate" => ablations(),
@@ -83,6 +91,9 @@ fn main() {
             "trace" => trace_one_barrier(),
             other => eprintln!("unknown experiment id: {other}"),
         }
+    }
+    if !ok {
+        std::process::exit(1);
     }
 }
 
@@ -283,30 +294,142 @@ fn headline() {
     print!("{}", t.render());
 }
 
-/// §2.2's scaling prediction: the factor grows with system size and NIC
-/// speed.
-fn scaling_study() {
-    println!("\n=== scale: factor of improvement vs nodes and NIC generation ===");
-    let mut t = Table::new(vec!["nodes", "LANai 4.3", "LANai 7.2", "LANai 9"]);
-    for n in [4usize, 16, 64, 256] {
-        let mut cells = vec![n.to_string()];
-        for nic in NicModel::ALL {
-            let rounds = if n >= 64 { (60, 10) } else { (220, 20) };
-            let nic_pe = measure(
-                BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe))
-                    .nic(nic)
-                    .rounds(rounds.0, rounds.1),
-            );
-            let host_pe = measure(
-                BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe))
-                    .nic(nic)
-                    .rounds(rounds.0, rounds.1),
-            );
-            cells.push(factor(host_pe / nic_pe));
+/// §2.2's scaling prediction taken far beyond the paper's testbed: barrier
+/// latency vs cluster size for PE, GB (d = 8), and dissemination, NIC- and
+/// host-based, on both LANai generations, from 32 up to 1024 nodes on the
+/// two-level Clos fabric. Every point is cross-checked against the analytic
+/// scaling forms in `nic_barrier::analytic` within the stated tolerances
+/// ([`PE_MODEL_TOLERANCE`] / [`GB_MODEL_TOLERANCE`]). The grid runs through
+/// the parallel [`gmsim_testbed::SweepEngine`] with a deterministic
+/// per-cell seed, and the results land in `BENCH_scale.json` for CI.
+/// `--smoke` caps the sweep at 256 nodes (the CI scale-smoke job).
+///
+/// Returns `false` if any point violates its tolerance.
+fn scaling_study(smoke: bool) -> bool {
+    use gmsim_testbed::{cell_seed, SweepEngine};
+    use nic_barrier::{GB_MODEL_TOLERANCE, PE_MODEL_TOLERANCE};
+
+    /// Base seed for the per-cell seed stream; arbitrary but fixed so the
+    /// study is reproducible run-to-run and across worker counts.
+    const SCALE_SEED: u64 = 0x5ca1_ab1e_0000_0001;
+
+    println!(
+        "\n=== scale{}: barrier latency vs nodes, 32..{}, vs analytic model ===",
+        if smoke { " (smoke)" } else { "" },
+        if smoke { 256 } else { 1024 }
+    );
+    let sizes: &[usize] = if smoke {
+        &[32, 64, 128, 256]
+    } else {
+        &[32, 64, 128, 256, 512, 1024]
+    };
+    // (algorithm, json key, is_gb) — GB points get the looser tolerance.
+    let algs: [(Algorithm, &str, bool); 6] = [
+        (Algorithm::Nic(Descriptor::Pe), "nic_pe", false),
+        (Algorithm::Host(Descriptor::Pe), "host_pe", false),
+        (Algorithm::Nic(Descriptor::Gb { dim: 8 }), "nic_gb8", true),
+        (Algorithm::Host(Descriptor::Gb { dim: 8 }), "host_gb8", true),
+        (
+            Algorithm::Nic(Descriptor::Dissemination),
+            "nic_dissem",
+            false,
+        ),
+        (
+            Algorithm::Host(Descriptor::Dissemination),
+            "host_dissem",
+            false,
+        ),
+    ];
+    let mut cells = Vec::new();
+    for nic in [NicModel::LANAI_4_3, NicModel::LANAI_7_2] {
+        for &n in sizes {
+            for &(alg, key, is_gb) in &algs {
+                let mut e = BarrierExperiment::new(n, alg).nic(nic).rounds(30, 5);
+                e.seed = cell_seed(SCALE_SEED, cells.len() as u64);
+                cells.push((nic, n, key, is_gb, e));
+            }
         }
-        t.row(cells);
+    }
+    let measured = SweepEngine::new().run(&cells, |_, (_, _, key, _, e)| {
+        e.run()
+            .unwrap_or_else(|err| panic!("scale cell {key} n={}: {err}", e.procs))
+            .mean_us
+    });
+
+    let mut ok = true;
+    let mut json_rows = Vec::new();
+    let mut t = Table::new(vec![
+        "nic",
+        "nodes",
+        "algorithm",
+        "sim (us)",
+        "model (us)",
+        "err",
+        "tol",
+        "ok",
+    ]);
+    for ((nic, n, key, is_gb, _), meas) in cells.iter().zip(&measured) {
+        let m = CostModel::from_config(&GmConfig::paper_host(*nic));
+        let model = match *key {
+            "nic_pe" => m.nic_pe_us(*n),
+            "host_pe" => m.host_pe_us(*n),
+            "nic_gb8" => m.nic_gb_us(*n, 8),
+            "host_gb8" => m.host_gb_us(*n, 8),
+            "nic_dissem" => m.nic_dissemination_us(*n),
+            "host_dissem" => m.host_dissemination_us(*n),
+            other => unreachable!("unknown scale key {other}"),
+        };
+        let tol = if *is_gb {
+            GB_MODEL_TOLERANCE
+        } else {
+            PE_MODEL_TOLERANCE
+        };
+        let rel = (model - meas) / meas;
+        let pass = rel.abs() <= tol;
+        ok &= pass;
+        t.row(vec![
+            nic.name.to_string(),
+            n.to_string(),
+            key.to_string(),
+            us(*meas),
+            us(model),
+            format!("{:+.1}%", rel * 100.0),
+            format!("{:.0}%", tol * 100.0),
+            if pass { "yes" } else { "NO" }.to_string(),
+        ]);
+        json_rows.push(format!(
+            concat!(
+                "    {{\"nic\": \"{nic}\", \"clock_mhz\": {mhz}, \"nodes\": {n}, ",
+                "\"algorithm\": \"{key}\", \"measured_us\": {meas:.3}, ",
+                "\"model_us\": {model:.3}, \"rel_err\": {rel:.4}, ",
+                "\"tolerance\": {tol}, \"pass\": {pass}}}"
+            ),
+            nic = nic.name,
+            mhz = nic.clock.mhz(),
+            n = n,
+            key = key,
+            meas = meas,
+            model = model,
+            rel = rel,
+            tol = tol,
+            pass = pass,
+        ));
     }
     print!("{}", t.render());
+    println!("(NIC-PE's lead over host-PE keeps widening with log2 N, as §2.2 predicts)");
+    let json = format!(
+        "{{\n  \"schema\": \"gmsim-scale/v1\",\n  \"experiment\": \
+         \"latency_vs_nodes_vs_analytic_model\",\n  \"smoke\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        smoke,
+        json_rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(out, &json).expect("write BENCH_scale.json");
+    println!("wrote {}", out);
+    if !ok {
+        eprintln!("scale: at least one point violated its model tolerance");
+    }
+    ok
 }
 
 /// §2.2's layering prediction: "as the host send overhead increases, say

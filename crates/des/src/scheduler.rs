@@ -9,12 +9,29 @@
 //!
 //! The scheduler is generic over the event type `E`. With a typed event (an
 //! enum such as the GM stack's `ClusterEvent`), entries live in a slab with
-//! an internal freelist and the binary heap orders plain `(time, seq, slot)`
-//! index records — steady-state scheduling performs **zero heap
-//! allocations** once the slab and heap have grown to the high-water mark.
-//! The default event type [`Boxed`] wraps `Box<dyn FnOnce>` closures, which
-//! keeps `schedule_fn` ergonomics for cold paths and tests (one allocation
-//! per event, as before).
+//! an internal freelist and the ordering layer holds plain `(time, seq,
+//! slot)` index records — steady-state scheduling performs **zero heap
+//! allocations** once the slab and queues have grown to the high-water
+//! mark. The default event type [`Boxed`] wraps `Box<dyn FnOnce>` closures,
+//! which keeps `schedule_fn` ergonomics for cold paths and tests (one
+//! allocation per event, as before).
+//!
+//! # Ordering layer: timer wheel + far heap
+//!
+//! Almost every event a cluster simulation schedules lands within a few
+//! microseconds of `now` (firmware cycles, wire hops, host overheads); only
+//! retransmission timers and horizon sentinels sit further out. The
+//! ordering layer exploits that: a **bucketed timer wheel** of
+//! [`WHEEL_SLOTS`] buckets, each [`BUCKET_NS`] wide (a ~1 ms window sliding
+//! with `now`), absorbs the near-future band with O(1) insertion, while a
+//! binary heap holds the far-future remainder. Popping compares the wheel's
+//! earliest entry with the heap's top and takes the global `(time, seq)`
+//! minimum, so the fired order is **bit-identical** to the plain-heap
+//! scheduler — ties still fire FIFO by sequence number, which the golden
+//! 310-latency gate pins exactly. An occupancy bitmap (one bit per bucket)
+//! makes the scan to the next non-empty bucket a word-wise skip, and heap
+//! entries migrate into the wheel as `now` advances so the heap stays
+//! small.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -55,12 +72,36 @@ impl<W> Event<W> for Boxed<W> {
 /// Freelist sentinel: no next slot.
 const NIL: u32 = u32::MAX;
 
-/// What the heap orders: time and tie-break sequence, plus the slab slot
-/// holding the event payload.
+/// Width of one timer-wheel bucket, as a power-of-two shift of nanoseconds.
+/// 64 ns is comfortably below every modelled cost (the shortest firmware
+/// step is ~30 ns at 33 MHz, most are hundreds), so a bucket rarely holds
+/// more than a handful of events.
+const BUCKET_SHIFT: u32 = 6;
+
+/// Width of one timer-wheel bucket in nanoseconds.
+pub const BUCKET_NS: u64 = 1 << BUCKET_SHIFT;
+
+/// Number of wheel buckets (a power of two). With 64 ns buckets this spans
+/// a ~1.05 ms sliding window — orders of magnitude beyond any per-event
+/// delay in the barrier models, so in practice only retransmission timers
+/// and horizon sentinels fall through to the far heap.
+pub const WHEEL_SLOTS: usize = 1 << 14;
+
+const SLOT_MASK: u64 = WHEEL_SLOTS as u64 - 1;
+const BITMAP_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// What the far heap orders: time and tie-break sequence, plus the slab
+/// slot holding the event payload.
 struct HeapEntry {
     at: SimTime,
     seq: u64,
     slot: u32,
+}
+
+/// Where [`Scheduler::next_event`] found the earliest pending entry.
+enum Next {
+    Wheel { idx: usize },
+    Far,
 }
 
 impl PartialEq for HeapEntry {
@@ -82,16 +123,56 @@ impl Ord for HeapEntry {
     }
 }
 
+/// An occupied slab entry: the ordering key, the intrusive chain link for
+/// wheel buckets, and the event payload. Keeping the chain link *inside*
+/// the slab means wheel buckets are plain `u32` heads and steady-state
+/// insertion/removal never allocates.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    /// Next slot in the same wheel bucket's chain ([`NIL`] = end of chain,
+    /// or not wheel-resident).
+    next: u32,
+    event: E,
+}
+
 /// Slab storage for pending events: occupied slots hold the payload, vacant
 /// slots chain the freelist.
 enum Slot<E> {
     Vacant { next_free: u32 },
-    Occupied(E),
+    Occupied(Entry<E>),
 }
 
 /// Priority queue of pending events plus the current virtual time.
+///
+/// Ordering is split into a near-future timer wheel and a far-future binary
+/// heap (see the module docs); both are indexed by `(at, seq)` so the pop
+/// order is identical to a single global priority queue.
 pub struct Scheduler<W, E: Event<W> = Boxed<W>> {
-    heap: BinaryHeap<HeapEntry>,
+    /// Near-future band: bucket `b` of an event at time `t` is
+    /// `t >> BUCKET_SHIFT`; `wheel[b & SLOT_MASK]` is the head slab slot of
+    /// an intrusive chain (or [`NIL`]) kept **sorted ascending by
+    /// `(at, seq)`**, so the bucket minimum is always the head. Window
+    /// invariant: every resident entry has
+    /// `bucket(now) <= b < bucket(now) + WHEEL_SLOTS`, so absolute buckets
+    /// and wheel slots are in bijection and no epoch tag is needed.
+    wheel: Vec<u32>,
+    /// Tail slot of each bucket chain ([`NIL`] when empty). Barrier rounds
+    /// schedule bursts of same-timestamp events in ascending `seq` order;
+    /// comparing against the tail first makes those appends O(1) instead of
+    /// an O(k) insertion scan.
+    wheel_tail: Vec<u32>,
+    /// One bit per wheel slot: set iff the bucket is non-empty. Lets the
+    /// min-scan skip 64 empty buckets per word.
+    occupancy: Vec<u64>,
+    /// Number of entries resident in the wheel.
+    wheel_len: usize,
+    /// Lower bound on the smallest absolute bucket of any wheel entry; only
+    /// ever lowered by `schedule` and raised by `step`, so scans resume
+    /// where the last one left off instead of rescanning from `now`.
+    scan_bucket: u64,
+    /// Far-future band: everything at or beyond the wheel window.
+    far: BinaryHeap<HeapEntry>,
     slots: Vec<Slot<E>>,
     free_head: u32,
     now: SimTime,
@@ -110,7 +191,12 @@ impl<W, E: Event<W>> Scheduler<W, E> {
     /// An empty scheduler at time zero.
     pub fn new() -> Self {
         Scheduler {
-            heap: BinaryHeap::new(),
+            wheel: vec![NIL; WHEEL_SLOTS],
+            wheel_tail: vec![NIL; WHEEL_SLOTS],
+            occupancy: vec![0; BITMAP_WORDS],
+            wheel_len: 0,
+            scan_bucket: 0,
+            far: BinaryHeap::new(),
             slots: Vec::new(),
             free_head: NIL,
             now: SimTime::ZERO,
@@ -118,6 +204,12 @@ impl<W, E: Event<W>> Scheduler<W, E> {
             fired: 0,
             _world: PhantomData,
         }
+    }
+
+    /// Absolute bucket index of a timestamp.
+    #[inline]
+    fn bucket_of(at: SimTime) -> u64 {
+        at.as_ns() >> BUCKET_SHIFT
     }
 
     /// Current virtual time.
@@ -135,13 +227,170 @@ impl<W, E: Event<W>> Scheduler<W, E> {
     /// Number of events still pending.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.wheel_len + self.far.len()
     }
 
     /// Timestamp of the earliest pending event, if any.
     #[inline]
     pub fn peek_next_at(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.next_event().map(|(at, _, _)| at)
+    }
+
+    /// The occupied entry at `slot`; chains only ever link occupied slots.
+    #[inline]
+    fn entry(&self, slot: u32) -> &Entry<E> {
+        match &self.slots[slot as usize] {
+            Slot::Occupied(e) => e,
+            Slot::Vacant { .. } => unreachable!("chained slot is vacant"),
+        }
+    }
+
+    /// Earliest wheel entry at or after absolute bucket `start`, as
+    /// `(abs_bucket, at, seq)` — the head of the first occupied bucket,
+    /// since chains are sorted. Correctness of scanning in slot order:
+    /// `start >= bucket(now)` and every resident bucket lies in
+    /// `[start, start + WHEEL_SLOTS)` (window invariant plus the
+    /// `scan_bucket` lower bound), so slot order from `start` is absolute
+    /// bucket order.
+    fn wheel_min_from(&self, start: u64) -> Option<(u64, SimTime, u64)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let idx0 = (start & SLOT_MASK) as usize;
+        let mut word_i = idx0 / 64;
+        // Absolute bucket corresponding to bit 0 of the current word.
+        let mut word_base = start - (idx0 % 64) as u64;
+        let mut masked = self.occupancy[word_i] & (!0u64 << (idx0 % 64));
+        for _ in 0..=BITMAP_WORDS {
+            if masked != 0 {
+                let bucket = word_base + masked.trailing_zeros() as u64;
+                let idx = (bucket & SLOT_MASK) as usize;
+                let head = self.wheel[idx];
+                debug_assert!(head != NIL, "occupancy bit set on empty bucket");
+                let e = self.entry(head);
+                return Some((bucket, e.at, e.seq));
+            }
+            word_base += 64;
+            word_i = (word_i + 1) % BITMAP_WORDS;
+            masked = self.occupancy[word_i];
+        }
+        unreachable!("wheel_len > 0 but no occupied bucket within the window")
+    }
+
+    /// Global earliest pending entry by `(at, seq)` across wheel and far
+    /// heap — the same total order a single priority queue would give.
+    fn next_event(&self) -> Option<(SimTime, u64, Next)> {
+        let start = self.scan_bucket.max(Self::bucket_of(self.now));
+        let wheel = self.wheel_min_from(start).map(|(bucket, at, seq)| {
+            (
+                at,
+                seq,
+                Next::Wheel {
+                    idx: (bucket & SLOT_MASK) as usize,
+                },
+            )
+        });
+        let far = self.far.peek().map(|e| (e.at, e.seq, Next::Far));
+        match (wheel, far) {
+            (None, None) => None,
+            (Some(w), None) => Some(w),
+            (None, Some(f)) => Some(f),
+            (Some(w), Some(f)) => Some(if (w.0, w.1) <= (f.0, f.1) { w } else { f }),
+        }
+    }
+
+    /// Rewrite the chain link of an occupied slot.
+    #[inline]
+    fn set_next(&mut self, slot: u32, next: u32) {
+        match &mut self.slots[slot as usize] {
+            Slot::Occupied(e) => e.next = next,
+            Slot::Vacant { .. } => unreachable!("chained slot is vacant"),
+        }
+    }
+
+    /// Link an occupied slab slot into its wheel bucket, keeping the chain
+    /// sorted ascending by `(at, seq)` and maintaining the occupancy
+    /// bitmap, length, and `scan_bucket` bound. The tail comparison makes
+    /// the dominant pattern — a burst of same-timestamp events arriving in
+    /// ascending `seq` order — an O(1) append; only genuinely out-of-order
+    /// keys pay an insertion scan.
+    fn push_wheel(&mut self, slot: u32) {
+        let (at, seq) = {
+            let e = self.entry(slot);
+            (e.at, e.seq)
+        };
+        let bucket = Self::bucket_of(at);
+        let idx = (bucket & SLOT_MASK) as usize;
+        let head = self.wheel[idx];
+        if head == NIL {
+            self.set_next(slot, NIL);
+            self.wheel[idx] = slot;
+            self.wheel_tail[idx] = slot;
+            self.occupancy[idx / 64] |= 1 << (idx % 64);
+        } else {
+            let tail = self.wheel_tail[idx];
+            let te = self.entry(tail);
+            if (at, seq) > (te.at, te.seq) {
+                self.set_next(slot, NIL);
+                self.set_next(tail, slot);
+                self.wheel_tail[idx] = slot;
+            } else {
+                let he = self.entry(head);
+                if (at, seq) < (he.at, he.seq) {
+                    self.set_next(slot, head);
+                    self.wheel[idx] = slot;
+                } else {
+                    // Insert mid-chain: find the last node below the new
+                    // key. Terminates before the tail, whose key is above.
+                    let mut prev = head;
+                    loop {
+                        let next = self.entry(prev).next;
+                        debug_assert!(next != NIL, "insertion scan ran off the chain");
+                        let ne = self.entry(next);
+                        if (ne.at, ne.seq) > (at, seq) {
+                            self.set_next(slot, next);
+                            self.set_next(prev, slot);
+                            break;
+                        }
+                        prev = next;
+                    }
+                }
+            }
+        }
+        self.wheel_len += 1;
+        if bucket < self.scan_bucket {
+            self.scan_bucket = bucket;
+        }
+    }
+
+    /// Pop the head (minimum) of bucket `idx` and return its slab slot.
+    #[inline]
+    fn pop_wheel_head(&mut self, idx: usize) -> u32 {
+        let head = self.wheel[idx];
+        debug_assert!(head != NIL, "popping an empty bucket");
+        let next = self.entry(head).next;
+        self.wheel[idx] = next;
+        if next == NIL {
+            self.wheel_tail[idx] = NIL;
+            self.occupancy[idx / 64] &= !(1u64 << (idx % 64));
+        }
+        self.wheel_len -= 1;
+        head
+    }
+
+    /// Pull far-heap entries whose bucket has slid into the wheel window.
+    /// Purely an optimisation: `next_event` is correct wherever an entry
+    /// lives, this just keeps the heap small and pops O(1).
+    fn migrate_far(&mut self) {
+        let now_bucket = Self::bucket_of(self.now);
+        while let Some(top) = self.far.peek() {
+            if Self::bucket_of(top.at) - now_bucket < WHEEL_SLOTS as u64 {
+                let e = self.far.pop().expect("peeked entry vanished");
+                self.push_wheel(e.slot);
+            } else {
+                break;
+            }
+        }
     }
 
     /// Slab capacity (high-water mark of simultaneously pending events) —
@@ -163,19 +412,31 @@ impl<W, E: Event<W>> Scheduler<W, E> {
         );
         let seq = self.seq;
         self.seq += 1;
+        let occupied = Slot::Occupied(Entry {
+            at,
+            seq,
+            next: NIL,
+            event,
+        });
         let slot = if self.free_head == NIL {
             debug_assert!(self.slots.len() < NIL as usize, "slab full");
-            self.slots.push(Slot::Occupied(event));
+            self.slots.push(occupied);
             (self.slots.len() - 1) as u32
         } else {
             let slot = self.free_head;
-            match std::mem::replace(&mut self.slots[slot as usize], Slot::Occupied(event)) {
+            match std::mem::replace(&mut self.slots[slot as usize], occupied) {
                 Slot::Vacant { next_free } => self.free_head = next_free,
                 Slot::Occupied(_) => unreachable!("freelist head was occupied"),
             }
             slot
         };
-        self.heap.push(HeapEntry { at, seq, slot });
+        // `at >= now` (asserted above), so the bucket difference cannot
+        // underflow; within the window it goes to the wheel, else far.
+        if Self::bucket_of(at) - Self::bucket_of(self.now) < WHEEL_SLOTS as u64 {
+            self.push_wheel(slot);
+        } else {
+            self.far.push(HeapEntry { at, seq, slot });
+        }
     }
 
     /// Schedule a closure at absolute time `at`.
@@ -207,24 +468,40 @@ impl<W, E: Event<W>> Scheduler<W, E> {
     /// Pop and fire the earliest event against `world`. Returns `false` when
     /// the queue is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
-        match self.heap.pop() {
-            Some(HeapEntry { at, slot, .. }) => {
-                debug_assert!(at >= self.now, "time went backwards");
-                self.now = at;
-                self.fired += 1;
-                let freed = Slot::Vacant {
-                    next_free: self.free_head,
+        let (at, slot) = match self.next_event() {
+            None => return false,
+            Some((at, seq, src)) => {
+                let slot = match src {
+                    Next::Wheel { idx } => {
+                        let slot = self.pop_wheel_head(idx);
+                        debug_assert_eq!(self.entry(slot).seq, seq, "head is not the peeked min");
+                        slot
+                    }
+                    Next::Far => self.far.pop().expect("peeked entry vanished").slot,
                 };
-                let event = match std::mem::replace(&mut self.slots[slot as usize], freed) {
-                    Slot::Occupied(e) => e,
-                    Slot::Vacant { .. } => unreachable!("heap entry pointed at a vacant slot"),
-                };
-                self.free_head = slot;
-                event.fire(world, self);
-                true
+                (at, slot)
             }
-            None => false,
+        };
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        // Everything strictly before this event's bucket is empty now
+        // (it was the global minimum), so the scan hint may jump forward.
+        let bucket = Self::bucket_of(at);
+        if bucket > self.scan_bucket {
+            self.scan_bucket = bucket;
         }
+        self.fired += 1;
+        self.migrate_far();
+        let freed = Slot::Vacant {
+            next_free: self.free_head,
+        };
+        let event = match std::mem::replace(&mut self.slots[slot as usize], freed) {
+            Slot::Occupied(e) => e.event,
+            Slot::Vacant { .. } => unreachable!("queue entry pointed at a vacant slot"),
+        };
+        self.free_head = slot;
+        event.fire(world, self);
+        true
     }
 }
 
@@ -480,6 +757,81 @@ mod tests {
         // mark of simultaneously pending events, not the event count.
         assert_eq!(sim.scheduler_mut().slab_capacity(), 3);
         assert_eq!(sim.events_fired(), 6);
+    }
+
+    #[test]
+    fn far_future_events_fire_in_order() {
+        // Events beyond the wheel window land in the far heap; they must
+        // still interleave correctly with near-future events.
+        let window = SimTime::from_ns(BUCKET_NS * WHEEL_SLOTS as u64);
+        let mut sim: Simulation<Vec<u32>> = Simulation::new(Vec::new());
+        let s = sim.scheduler_mut();
+        s.schedule_fn(window * 3, |w: &mut Vec<u32>, _| w.push(4));
+        s.schedule_fn(SimTime::from_ns(50), |w: &mut Vec<u32>, _| w.push(1));
+        s.schedule_fn(window * 2, |w: &mut Vec<u32>, _| w.push(3));
+        s.schedule_fn(window - SimTime::from_ns(1), |w: &mut Vec<u32>, _| {
+            w.push(2)
+        });
+        assert_eq!(sim.run(), RunOutcome::Quiescent);
+        assert_eq!(*sim.world(), [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ties_fire_fifo_across_wheel_and_far() {
+        // First event scheduled while T is beyond the window (far heap),
+        // second scheduled for the same T after the clock has advanced
+        // enough that T is wheel-resident. FIFO by seq must still hold.
+        let window = SimTime::from_ns(BUCKET_NS * WHEEL_SLOTS as u64);
+        let t = window * 2;
+        let mut sim: Simulation<Vec<u32>> = Simulation::new(Vec::new());
+        let s = sim.scheduler_mut();
+        s.schedule_fn(t, |w: &mut Vec<u32>, _| w.push(1));
+        let t2 = t;
+        s.schedule_fn(
+            t + t / 2, // make sure draining continues past t
+            |w: &mut Vec<u32>, _| w.push(3),
+        );
+        s.schedule_fn(
+            window + window / 2,
+            move |_, s: &mut Scheduler<Vec<u32>>| {
+                // Now `t` is within the window: this lands in the wheel while
+                // its tie partner sits in the far heap.
+                s.schedule_fn(t2, |w: &mut Vec<u32>, _| w.push(2));
+            },
+        );
+        assert_eq!(sim.run(), RunOutcome::Quiescent);
+        assert_eq!(*sim.world(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn long_horizon_chain_wraps_the_wheel_many_times() {
+        // A self-rescheduling chain whose period forces thousands of bucket
+        // advances and several full wheel wraps.
+        let mut sim = Simulation::new(0u64);
+        fn tick(w: &mut u64, s: &mut Scheduler<u64>) {
+            *w += 1;
+            if *w < 5_000 {
+                // ~37 buckets per step, ~11 wraps over the whole run.
+                s.schedule_in(SimTime::from_ns(2_401), tick);
+            }
+        }
+        sim.scheduler_mut().schedule_fn(SimTime::ZERO, tick);
+        assert_eq!(sim.run(), RunOutcome::Quiescent);
+        assert_eq!(*sim.world(), 5_000);
+        assert_eq!(sim.now(), SimTime::from_ns(2_401 * 4_999));
+    }
+
+    #[test]
+    fn pending_counts_both_bands() {
+        let window = SimTime::from_ns(BUCKET_NS * WHEEL_SLOTS as u64);
+        let mut sim: Simulation<()> = Simulation::new(());
+        let s = sim.scheduler_mut();
+        s.schedule_fn(SimTime::from_ns(10), |_, _| {});
+        s.schedule_fn(window * 5, |_, _| {});
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.peek_next_at(), Some(SimTime::from_ns(10)));
+        sim.run();
+        assert_eq!(sim.scheduler_mut().pending(), 0);
     }
 
     #[test]

@@ -105,12 +105,20 @@ impl Summary {
     }
 }
 
-/// Fixed-width-bin histogram over `[0, bin_width * bins)` with an overflow
-/// bucket; used for latency distributions in the testbed.
+/// Fixed-width-bin histogram over `[0, bin_width * bins)` with separate
+/// underflow (`x < 0`) and overflow (`x >= bin_width * bins`) buckets; used
+/// for latency distributions in the testbed.
+///
+/// Underflow and overflow are tracked apart because they rank at opposite
+/// ends of the distribution: a below-range sample sits *before* every
+/// binned sample, an above-range sample *after*. Folding them together
+/// (as an earlier version did) silently shifted every quantile upward
+/// whenever a negative sample had been recorded.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     bin_width: f64,
     counts: Vec<u64>,
+    underflow: u64,
     overflow: u64,
     total: u64,
 }
@@ -118,20 +126,22 @@ pub struct Histogram {
 impl Histogram {
     /// `bins` buckets of width `bin_width`.
     pub fn new(bin_width: f64, bins: usize) -> Self {
-        assert!(bin_width > 0.0 && bins > 0);
+        assert!(bin_width > 0.0 && bin_width.is_finite() && bins > 0);
         Histogram {
             bin_width,
             counts: vec![0; bins],
+            underflow: 0,
             overflow: 0,
             total: 0,
         }
     }
 
-    /// Add a sample.
+    /// Add a sample. Negative samples land in the underflow bucket,
+    /// samples at or beyond `bin_width * bins` in the overflow bucket.
     pub fn record(&mut self, x: f64) {
         self.total += 1;
         if x < 0.0 {
-            self.overflow += 1;
+            self.underflow += 1;
             return;
         }
         let idx = (x / self.bin_width) as usize;
@@ -141,12 +151,17 @@ impl Histogram {
         }
     }
 
-    /// Total samples recorded.
+    /// Total samples recorded (in-range + underflow + overflow).
     pub fn total(&self) -> u64 {
         self.total
     }
 
-    /// Samples that fell outside the binned range.
+    /// Samples below the binned range (`x < 0`).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples above the binned range (`x >= bin_width * bins`).
     pub fn overflow(&self) -> u64 {
         self.overflow
     }
@@ -158,20 +173,33 @@ impl Histogram {
 
     /// Merge another histogram into this one (per-node aggregation). Both
     /// sides must have the same bin width and bin count.
+    ///
+    /// Widths are compared by exact bit pattern (`f64::to_bits`), not by
+    /// `==`: two histograms constructed from the same configuration carry
+    /// bit-identical widths, and the bit comparison can never be confused
+    /// by NaN or rounding-path differences the way a float `==` can.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert!(
+            self.bin_width.to_bits() == other.bin_width.to_bits(),
+            "bin width mismatch: {} vs {}",
+            self.bin_width,
+            other.bin_width
+        );
         assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
         for (into, from) in self.counts.iter_mut().zip(other.counts.iter()) {
             *into += from;
         }
+        self.underflow += other.underflow;
         self.overflow += other.overflow;
         self.total += other.total;
     }
 
     /// Approximate mean from bucket midpoints (`None` if no in-range
-    /// samples). Overflow samples are excluded.
+    /// samples). Underflow and overflow samples are excluded — out-of-range
+    /// samples have no usable midpoint, so the mean describes the binned
+    /// distribution only.
     pub fn mean(&self) -> Option<f64> {
-        let in_range = self.total - self.overflow;
+        let in_range = self.total - self.underflow - self.overflow;
         if in_range == 0 {
             return None;
         }
@@ -184,21 +212,29 @@ impl Histogram {
         Some(sum / in_range as f64)
     }
 
-    /// Approximate quantile (`q` in `[0,1]`) from bucket upper edges;
-    /// `None` if empty or the quantile lands in the overflow bucket.
+    /// Approximate quantile (`q` in `[0,1]`) from bucket upper edges.
+    ///
+    /// The rank is taken over *all* samples: underflow samples rank below
+    /// every bin (they count toward the rank but can't be the answer) and
+    /// overflow samples rank above. Returns `None` if the histogram is
+    /// empty or the requested quantile lands in the underflow or overflow
+    /// bucket — the histogram cannot bound an out-of-range sample's value.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.total == 0 {
             return None;
         }
         let target = (q * self.total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
+        if target <= self.underflow {
+            return None; // the quantile is a below-range sample
+        }
+        let mut seen = self.underflow;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
                 return Some((i as f64 + 1.0) * self.bin_width);
             }
         }
-        None
+        None // the quantile is an above-range sample
     }
 }
 
@@ -273,7 +309,8 @@ mod tests {
         assert_eq!(h.bucket(0), 2);
         assert_eq!(h.bucket(1), 1);
         assert_eq!(h.bucket(4), 1);
-        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.overflow(), 2, "50.0 and 1000.0 are above range");
+        assert_eq!(h.underflow(), 1, "-1.0 is below range");
     }
 
     #[test]
@@ -286,5 +323,92 @@ mod tests {
         assert!((49.0..=51.0).contains(&median), "median={median}");
         assert!(h.quantile(1.0).unwrap() >= 99.0);
         assert!(Histogram::new(1.0, 4).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn underflow_does_not_shift_quantiles_upward() {
+        // The regression this fix exists for: a below-range sample used to
+        // be filed with overflow, so it was invisible to the bin walk while
+        // still inflating the rank target — every quantile shifted up.
+        let mut with_under = Histogram::new(1.0, 100);
+        with_under.record(-5.0);
+        let mut without = Histogram::new(1.0, 100);
+        for i in 0..99 {
+            with_under.record(i as f64 + 0.5);
+            without.record(i as f64 + 0.5);
+        }
+        // Ranked over all 100 samples, the median of `with_under` is the
+        // 50th sample: the -5.0 underflow is rank 1, so the 50th is bin 48.
+        let m_with = with_under.quantile(0.5).unwrap();
+        let m_without = without.quantile(0.5).unwrap();
+        assert!(
+            (m_with - m_without).abs() <= 1.0,
+            "underflow shifted the median: {m_with} vs {m_without}"
+        );
+    }
+
+    #[test]
+    fn quantile_landing_out_of_range_is_none() {
+        let mut h = Histogram::new(1.0, 4);
+        h.record(-1.0);
+        h.record(-2.0);
+        h.record(1.5);
+        h.record(100.0);
+        // q=0.25 → rank 1 of 4 → an underflow sample: unanswerable.
+        assert_eq!(h.quantile(0.25), None);
+        // q=0.75 → rank 3 → the in-range 1.5 → bin 1's upper edge.
+        assert_eq!(h.quantile(0.75), Some(2.0));
+        // q=1.0 → rank 4 → the overflow sample: unanswerable.
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn mean_excludes_underflow_and_overflow() {
+        let mut h = Histogram::new(1.0, 10);
+        h.record(-3.0);
+        h.record(4.5);
+        h.record(99.0);
+        // Only 4.5 is in range; its bucket midpoint is 4.5.
+        assert!((h.mean().unwrap() - 4.5).abs() < 1e-12);
+        let mut empty_in_range = Histogram::new(1.0, 10);
+        empty_in_range.record(-1.0);
+        assert_eq!(empty_in_range.mean(), None);
+    }
+
+    #[test]
+    fn histogram_merge_sums_all_buckets() {
+        let mut a = Histogram::new(2.0, 4);
+        let mut b = Histogram::new(2.0, 4);
+        for x in [-1.0, 1.0, 3.0] {
+            a.record(x);
+        }
+        for x in [5.0, 100.0, -2.0] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 6);
+        assert_eq!(a.underflow(), 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.bucket(0), 1);
+        assert_eq!(a.bucket(1), 1);
+        assert_eq!(a.bucket(2), 1);
+    }
+
+    #[test]
+    fn same_config_histograms_always_merge() {
+        // Widths from the same configuration are bit-identical even when
+        // the value has no exact binary representation.
+        let width = 0.1f64 * 3.0; // 0.30000000000000004
+        let mut a = Histogram::new(width, 8);
+        let b = Histogram::new(width, 8);
+        a.merge(&b); // must not panic
+        assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width mismatch")]
+    fn different_widths_refuse_to_merge() {
+        let mut a = Histogram::new(0.1, 8);
+        a.merge(&Histogram::new(0.2, 8));
     }
 }

@@ -31,21 +31,39 @@ impl SimTime {
     }
 
     /// Construct from microseconds.
+    ///
+    /// Saturates at [`SimTime::MAX`] on overflow (debug builds assert): a
+    /// silently wrapped duration would schedule an event in the distant
+    /// *past*, whereas the saturated "infinitely late" sentinel is at worst
+    /// an event that never fires.
     #[inline]
     pub const fn from_us(us: u64) -> Self {
-        SimTime(us * 1_000)
+        debug_assert!(us.checked_mul(1_000).is_some(), "SimTime::from_us overflow");
+        SimTime(us.saturating_mul(1_000))
     }
 
     /// Construct from milliseconds.
+    ///
+    /// Saturates at [`SimTime::MAX`] on overflow (debug builds assert).
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+        debug_assert!(
+            ms.checked_mul(1_000_000).is_some(),
+            "SimTime::from_ms overflow"
+        );
+        SimTime(ms.saturating_mul(1_000_000))
     }
 
     /// Construct from seconds.
+    ///
+    /// Saturates at [`SimTime::MAX`] on overflow (debug builds assert).
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+        debug_assert!(
+            s.checked_mul(1_000_000_000).is_some(),
+            "SimTime::from_secs overflow"
+        );
+        SimTime(s.saturating_mul(1_000_000_000))
     }
 
     /// Construct from a (non-negative, finite) floating-point count of
@@ -109,16 +127,23 @@ impl SimTime {
 
 impl Add for SimTime {
     type Output = SimTime;
+    /// Saturates at [`SimTime::MAX`] on overflow (debug builds assert) —
+    /// same audit as the unit constructors: `MAX + anything` must stay the
+    /// "infinitely late" sentinel, never wrap into the past.
     #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        debug_assert!(
+            self.0.checked_add(rhs.0).is_some(),
+            "SimTime overflow in add"
+        );
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimTime {
     #[inline]
     fn add_assign(&mut self, rhs: SimTime) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -141,9 +166,11 @@ impl SubAssign for SimTime {
 
 impl Mul<u64> for SimTime {
     type Output = SimTime;
+    /// Saturates at [`SimTime::MAX`] on overflow (debug builds assert).
     #[inline]
     fn mul(self, rhs: u64) -> SimTime {
-        SimTime(self.0 * rhs)
+        debug_assert!(self.0.checked_mul(rhs).is_some(), "SimTime overflow in mul");
+        SimTime(self.0.saturating_mul(rhs))
     }
 }
 
@@ -250,5 +277,47 @@ mod tests {
     #[cfg(debug_assertions)]
     fn debug_sub_underflow_panics() {
         let _ = SimTime::from_ns(1) - SimTime::from_ns(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_us overflow")]
+    #[cfg(debug_assertions)]
+    fn debug_from_us_overflow_panics() {
+        let _ = SimTime::from_us(u64::MAX / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow in add")]
+    #[cfg(debug_assertions)]
+    fn debug_add_overflow_panics() {
+        let _ = SimTime::MAX + SimTime::from_ns(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow in mul")]
+    #[cfg(debug_assertions)]
+    fn debug_mul_overflow_panics() {
+        let _ = SimTime::from_secs(1_000) * u64::MAX;
+    }
+
+    // In release builds the constructors and arithmetic saturate to the
+    // "infinitely late" sentinel instead of silently wrapping into the past.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_conversions_saturate() {
+        assert_eq!(SimTime::from_us(u64::MAX / 2), SimTime::MAX);
+        assert_eq!(SimTime::from_ms(u64::MAX / 2), SimTime::MAX);
+        assert_eq!(SimTime::from_secs(u64::MAX / 2), SimTime::MAX);
+        assert_eq!(SimTime::MAX + SimTime::from_ns(1), SimTime::MAX);
+        assert_eq!(SimTime::from_secs(1_000) * u64::MAX, SimTime::MAX);
+    }
+
+    #[test]
+    fn in_range_conversions_are_exact() {
+        // The saturating forms must not perturb any in-range value.
+        assert_eq!(SimTime::from_us(u64::MAX / 1_000), {
+            SimTime::from_ns((u64::MAX / 1_000) * 1_000)
+        });
+        assert_eq!(SimTime::from_secs(584), SimTime::from_ns(584_000_000_000));
     }
 }

@@ -1,0 +1,130 @@
+//! Merge laws for the parallel-sweep accumulators: chopping a sample
+//! stream into arbitrary consecutive chunks, summarizing each chunk, and
+//! merging the partials must agree with summarizing the stream directly —
+//! no matter how the chunks are grouped. This is what lets the sweep
+//! engine combine per-worker partials in any order.
+
+use gmsim_des::check::{forall, Gen};
+use gmsim_des::{Histogram, Summary};
+
+/// Split `samples` into consecutive chunks at random boundaries (empty
+/// chunks allowed, to exercise the identity-element paths).
+fn random_chunks<'a>(g: &mut Gen, samples: &'a [f64]) -> Vec<&'a [f64]> {
+    let cuts = g.usize_in(0, 6);
+    let mut bounds: Vec<usize> = (0..cuts).map(|_| g.usize_in(0, samples.len())).collect();
+    bounds.push(0);
+    bounds.push(samples.len());
+    bounds.sort_unstable();
+    bounds.windows(2).map(|w| &samples[w[0]..w[1]]).collect()
+}
+
+fn summarize(chunk: &[f64]) -> Summary {
+    let mut s = Summary::new();
+    for &x in chunk {
+        s.record(x);
+    }
+    s
+}
+
+#[test]
+fn summary_merge_agrees_with_direct_recording_under_arbitrary_splits() {
+    forall(400, 0xace_0001, |g| {
+        let samples = g.vec_of(0, 80, |g| g.f64_in(-10.0, 500.0));
+        let direct = summarize(&samples);
+
+        // Left-fold over one random split, and a nested two-level merge
+        // over another: both must agree with the direct pass.
+        for _ in 0..2 {
+            let chunks = random_chunks(g, &samples);
+            let mut folded = Summary::new();
+            for c in &chunks {
+                folded.merge(&summarize(c));
+            }
+            assert_eq!(folded.count(), direct.count());
+            if direct.count() == 0 {
+                continue;
+            }
+            // min/max take no rounding, so they must match exactly.
+            assert_eq!(folded.min().to_bits(), direct.min().to_bits());
+            assert_eq!(folded.max().to_bits(), direct.max().to_bits());
+            // mean/stddev reassociate floating-point sums; agreement is up
+            // to rounding, not bit-exact.
+            assert!((folded.mean() - direct.mean()).abs() <= 1e-9 * direct.mean().abs().max(1.0));
+            assert!((folded.stddev() - direct.stddev()).abs() <= 1e-7);
+        }
+    });
+}
+
+#[test]
+fn summary_merge_grouping_does_not_change_the_result() {
+    forall(400, 0xace_0002, |g| {
+        let samples = g.vec_of(0, 60, |g| g.f64_in(0.0, 100.0));
+        let chunks = random_chunks(g, &samples);
+        let partials: Vec<Summary> = chunks.iter().map(|c| summarize(c)).collect();
+
+        // (a ⊕ b) ⊕ c ⊕ ... vs a ⊕ (b ⊕ (c ⊕ ...)).
+        let mut left = Summary::new();
+        for p in &partials {
+            left.merge(p);
+        }
+        let mut right = Summary::new();
+        for p in partials.iter().rev() {
+            let mut acc = p.clone();
+            acc.merge(&right);
+            right = acc;
+        }
+        assert_eq!(left.count(), right.count());
+        if left.count() > 0 {
+            assert_eq!(left.min().to_bits(), right.min().to_bits());
+            assert_eq!(left.max().to_bits(), right.max().to_bits());
+            assert!((left.mean() - right.mean()).abs() <= 1e-9 * left.mean().abs().max(1.0));
+            assert!((left.stddev() - right.stddev()).abs() <= 1e-7);
+        }
+    });
+}
+
+#[test]
+fn histogram_merge_is_exactly_associative_under_arbitrary_splits() {
+    forall(400, 0xace_0003, |g| {
+        let bin_width = g.f64_in(0.5, 4.0);
+        let bins = g.usize_in(1, 32);
+        // Range chosen to populate underflow, the bins, and overflow.
+        let span = bin_width * bins as f64;
+        let samples = g.vec_of(0, 120, |g| g.f64_in(-span, 2.0 * span));
+
+        let record_all = |chunk: &[f64]| {
+            let mut h = Histogram::new(bin_width, bins);
+            for &x in chunk {
+                h.record(x);
+            }
+            h
+        };
+        let direct = record_all(&samples);
+
+        for _ in 0..2 {
+            let chunks = random_chunks(g, &samples);
+            let mut merged = Histogram::new(bin_width, bins);
+            for c in &chunks {
+                merged.merge(&record_all(c));
+            }
+            // Histogram state is integer counts, so every observable must
+            // match exactly, not approximately.
+            assert_eq!(merged.total(), direct.total());
+            assert_eq!(merged.underflow(), direct.underflow());
+            assert_eq!(merged.overflow(), direct.overflow());
+            for i in 0..bins {
+                assert_eq!(merged.bucket(i), direct.bucket(i), "bucket {i}");
+            }
+            match (merged.mean(), direct.mean()) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (a, b) => assert_eq!(a, b),
+            }
+            for q in [0.0, 0.5, 0.95, 1.0] {
+                match (merged.quantile(q), direct.quantile(q)) {
+                    (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+    });
+}

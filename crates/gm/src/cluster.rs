@@ -303,9 +303,12 @@ impl ClusterBuilder {
 
     /// Assemble the simulation and schedule all program starts.
     pub fn build(self) -> ClusterSim {
+        // Default fabric follows the standard policy: one crossbar up to
+        // 16 nodes (every paper-sized cluster is unaffected), a two-level
+        // Clos beyond — a >16-port single crossbar never existed.
         let topology = self
             .topology
-            .unwrap_or_else(|| TopologyBuilder::single_switch(self.size));
+            .unwrap_or_else(|| TopologyBuilder::for_cluster(self.size));
         assert!(
             topology.nic_count() >= self.size,
             "topology has {} NICs for {} nodes",

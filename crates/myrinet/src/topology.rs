@@ -244,6 +244,33 @@ impl TopologyBuilder {
         }
     }
 
+    /// Largest cluster [`TopologyBuilder::for_cluster`] puts on a single
+    /// crossbar — the paper's 16-port switch.
+    pub const MAX_SINGLE_SWITCH_HOSTS: usize = 16;
+
+    /// Hosts per leaf switch in the [`TopologyBuilder::for_cluster`] Clos
+    /// policy: 8 hosts + 8 spine uplinks fill a 16-port crossbar and keep
+    /// the fabric non-blocking.
+    pub const CLOS_LEAF_HOSTS: usize = 8;
+
+    /// The standard fabric for an `n`-host cluster, shared by the testbed
+    /// and the analytic model: one crossbar up to
+    /// [`Self::MAX_SINGLE_SWITCH_HOSTS`] hosts (the paper's testbed), and a
+    /// non-blocking two-level Clos of 16-port crossbars
+    /// ([`Self::CLOS_LEAF_HOSTS`] hosts + as many uplinks per leaf) beyond
+    /// that — which is how real Myrinet installations scaled.
+    pub fn for_cluster(hosts: usize) -> Topology {
+        if hosts <= Self::MAX_SINGLE_SWITCH_HOSTS {
+            Self::single_switch(hosts)
+        } else {
+            Self::clos(
+                hosts.div_ceil(Self::CLOS_LEAF_HOSTS),
+                Self::CLOS_LEAF_HOSTS,
+                Self::CLOS_LEAF_HOSTS,
+            )
+        }
+    }
+
     /// The paper's testbed shape: `hosts` NICs on one crossbar switch
     /// (16-port for the LANai 4.3 cluster, 8-port for the 7.2 cluster).
     pub fn single_switch(hosts: usize) -> Topology {

@@ -395,15 +395,9 @@ impl BarrierExperiment {
         config.collective_wire = self.wire;
         config.same_nic_optimization = self.same_nic_opt;
         let nodes = self.node_count();
-        // The paper's largest switch is 16-port; bigger clusters get a
-        // non-blocking two-level Clos of 16-port crossbars (8 hosts + 8
-        // uplinks per leaf), which is how real Myrinet installations
-        // scaled.
-        let topology = if nodes <= 16 {
-            gmsim_myrinet::TopologyBuilder::single_switch(nodes)
-        } else {
-            gmsim_myrinet::TopologyBuilder::clos(nodes.div_ceil(8), 8, 8)
-        };
+        // One crossbar for paper-sized clusters, a two-level Clos beyond
+        // 16 hosts; shared with the analytic model's fabric assumptions.
+        let topology = gmsim_myrinet::TopologyBuilder::for_cluster(nodes);
         let mut builder = ClusterBuilder::new(nodes)
             .config(config)
             .topology(topology)

@@ -11,19 +11,23 @@
 //! test (`experiment::tests::round_count_insensitive`) verifies the
 //! insensitivity.
 //!
-//! [`sweep`] fans independent experiments out across OS threads with
-//! crossbeam scoped threads; every simulation is self-contained, so the
-//! parallelism is embarrassing and data-race-free by construction.
+//! [`sweep`] fans independent experiments out across OS threads through
+//! the work-stealing [`SweepEngine`]; every simulation is self-contained,
+//! so the parallelism is embarrassing and data-race-free by construction,
+//! and results are bit-identical to a serial run regardless of worker
+//! count.
 
 #![warn(missing_docs)]
 
 pub mod diagram;
+pub mod engine;
 pub mod experiment;
 pub mod fuzzy;
 pub mod sweep;
 pub mod table;
 
 pub use diagram::Diagram;
+pub use engine::{cell_seed, SweepEngine};
 pub use experiment::{Algorithm, BarrierExperiment, ExperimentError, Measurement, Placement};
 pub use fuzzy::FuzzyExperiment;
 pub use nic_barrier::Descriptor;
@@ -42,6 +46,7 @@ pub use table::Table;
 /// assert!(m.mean_us > 0.0);
 /// ```
 pub mod prelude {
+    pub use crate::engine::{cell_seed, SweepEngine};
     pub use crate::experiment::{
         Algorithm, BarrierExperiment, ExperimentError, Measurement, Placement,
     };

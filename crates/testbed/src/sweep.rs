@@ -1,15 +1,14 @@
 //! Parallel experiment sweeps.
 //!
 //! Simulations are independent worlds, so a parameter sweep is
-//! embarrassingly parallel: we fan experiments out over scoped OS threads
-//! pulling indices from a shared counter. Results land in input-order
-//! slots regardless of completion order, so sweeps are deterministic end
-//! to end.
+//! embarrassingly parallel. The heavy lifting — guided self-scheduling
+//! over scoped threads, input-order results, the determinism argument —
+//! lives in [`crate::engine::SweepEngine`]; this module keeps the
+//! experiment-shaped conveniences on top of it.
 
+use crate::engine::SweepEngine;
 use crate::experiment::{Algorithm, BarrierExperiment, Measurement};
 use nic_barrier::Descriptor;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 
 /// Run every experiment, in parallel across available cores, preserving
 /// input order in the result.
@@ -26,40 +25,7 @@ where
     R: Send + Sync,
     F: Fn(&BarrierExperiment) -> R + Sync,
 {
-    let n = experiments.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 {
-        return experiments.iter().map(&f).collect();
-    }
-    // Lock-free work distribution: a fetch-add counter hands out indices
-    // and each worker writes its result into that index's own cell, so
-    // threads never contend on a shared guard around the result vector.
-    let next = AtomicUsize::new(0);
-    let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&experiments[i]);
-                if slots[i].set(r).is_err() {
-                    unreachable!("index {i} handed out twice");
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("missing result"))
-        .collect()
+    SweepEngine::new().run(experiments, |_, e| f(e))
 }
 
 /// Find the best GB tree dimension for `base` (which must be a GB
