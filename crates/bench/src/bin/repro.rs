@@ -19,8 +19,8 @@ use gmsim_gm::GmConfig;
 use gmsim_lanai::NicModel;
 use gmsim_testbed::table::{factor, us};
 use gmsim_testbed::{
-    best_gb_dim, run_all, Algorithm, BarrierExperiment, Descriptor, FuzzyExperiment, Placement,
-    Table,
+    best_gb_dim, run_all, Algorithm, BarrierExperiment, Descriptor, FuzzyExperiment,
+    MultiTenantExperiment, Placement, Table,
 };
 use nic_barrier::{BarrierCosts, CostModel};
 
@@ -64,6 +64,7 @@ fn main() {
                 "scan",
                 "breakdown",
                 "faults",
+                "multitenant",
             ]
         } else {
             args.iter().map(String::as_str).collect()
@@ -88,6 +89,7 @@ fn main() {
             "scan" => scan_study(),
             "breakdown" => breakdown(),
             "faults" => faults_study(),
+            "multitenant" => ok = multitenant_study(smoke) && ok,
             "trace" => trace_one_barrier(),
             other => eprintln!("unknown experiment id: {other}"),
         }
@@ -299,7 +301,8 @@ fn headline() {
 /// host-based, on both LANai generations, from 32 up to 1024 nodes on the
 /// two-level Clos fabric. Every point is cross-checked against the analytic
 /// scaling forms in `nic_barrier::analytic` within the stated tolerances
-/// ([`PE_MODEL_TOLERANCE`] / [`GB_MODEL_TOLERANCE`]). The grid runs through
+/// ([`nic_barrier::PE_MODEL_TOLERANCE`] / [`nic_barrier::GB_MODEL_TOLERANCE`]).
+/// The grid runs through
 /// the parallel [`gmsim_testbed::SweepEngine`] with a deterministic
 /// per-cell seed, and the results land in `BENCH_scale.json` for CI.
 /// `--smoke` caps the sweep at 256 nodes (the CI scale-smoke job).
@@ -781,6 +784,148 @@ fn faults_study() {
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
     std::fs::write(out, &json).expect("write BENCH_faults.json");
     println!("wrote {}", out);
+}
+
+/// Beyond the paper: multi-tenant interference. Hundreds of mixed-size
+/// teams run their barriers concurrently on one cluster (with background
+/// point-to-point traffic), and the per-team mean/p99 latency is charted
+/// against the number of concurrent teams, at N ∈ {16, 64, 256}.
+///
+/// The isolated baseline anchors the chart *and* gates the refactor: one
+/// whole-cluster team driven through the multi-tenant path must reproduce
+/// the classic global-barrier latency to within float noise — if it
+/// regresses, the team plumbing broke the single-team path, and the study
+/// returns `false` (nonzero exit). Results land in
+/// `BENCH_multitenant.json`; `--smoke` shrinks the grid for CI.
+fn multitenant_study(smoke: bool) -> bool {
+    use gmsim_des::Counter;
+
+    /// The isolated whole-cluster team may differ from the global barrier
+    /// only by float summation order in the aggregation.
+    const BASELINE_TOLERANCE: f64 = 1e-6;
+
+    println!(
+        "\n=== multitenant{}: concurrent-team interference, LANai 4.3 ===",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let sizes: &[usize] = if smoke { &[16, 64] } else { &[16, 64, 256] };
+    let (rounds, warmup) = if smoke { (20, 4) } else { (40, 8) };
+
+    let mut ok = true;
+    let mut baseline_rows = Vec::new();
+    let mut point_rows = Vec::new();
+    let mut bt = Table::new(vec![
+        "nodes",
+        "global barrier (us)",
+        "isolated team (us)",
+        "rel err",
+        "ok",
+    ]);
+    let mut t = Table::new(vec![
+        "nodes",
+        "teams",
+        "mean (us)",
+        "p99 (us)",
+        "vs isolated",
+        "peak",
+        "xrejects",
+    ]);
+    for &n in sizes {
+        // Gate: one team spanning every node, driven through the
+        // multi-tenant machinery, vs today's global barrier.
+        let reference = BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe))
+            .rounds(rounds, warmup)
+            .run()
+            .expect("reference run")
+            .mean_us;
+        let isolated = MultiTenantExperiment::new(n, 1)
+            .team_sizes(n, n)
+            .rounds(rounds, warmup)
+            .run()
+            .expect("isolated baseline run");
+        let rel = (isolated.mean_us - reference) / reference;
+        let pass = rel.abs() <= BASELINE_TOLERANCE;
+        ok &= pass;
+        bt.row(vec![
+            n.to_string(),
+            us(reference),
+            us(isolated.mean_us),
+            format!("{:+.2e}", rel),
+            if pass { "yes" } else { "NO" }.to_string(),
+        ]);
+        baseline_rows.push(format!(
+            concat!(
+                "    {{\"nodes\": {n}, \"reference_us\": {reference:.4}, ",
+                "\"isolated_us\": {iso:.4}, \"rel_err\": {rel:.3e}, \"pass\": {pass}}}"
+            ),
+            n = n,
+            reference = reference,
+            iso = isolated.mean_us,
+            rel = rel,
+            pass = pass,
+        ));
+
+        // Interference curve: mixed-size teams under background traffic.
+        // At 256 nodes the full study packs hundreds of teams onto the
+        // cluster, several per node.
+        let team_counts: &[usize] = match (smoke, n) {
+            (true, _) => &[1, 2, 4],
+            (false, 256) => &[1, 4, 16, 64, 256],
+            (false, _) => &[1, 2, 4, 8, 16],
+        };
+        let mut isolated_small: Option<f64> = None;
+        for &teams in team_counts {
+            let m = MultiTenantExperiment::new(n, teams)
+                .team_sizes(4, 8.min(n))
+                .rounds(rounds, warmup)
+                .background(true)
+                .run()
+                .unwrap_or_else(|err| panic!("multitenant n={n} teams={teams}: {err}"));
+            let base = *isolated_small.get_or_insert(m.mean_us);
+            let peak = m.metrics.get(Counter::ConcurrentPeak);
+            let xrejects = m.metrics.get(Counter::CrossTeamRejects);
+            t.row(vec![
+                n.to_string(),
+                teams.to_string(),
+                us(m.mean_us),
+                us(m.p99_us),
+                factor(m.mean_us / base),
+                peak.to_string(),
+                xrejects.to_string(),
+            ]);
+            point_rows.push(format!(
+                concat!(
+                    "    {{\"nodes\": {n}, \"teams\": {teams}, \"mean_us\": {mean:.4}, ",
+                    "\"p99_us\": {p99:.4}, \"concurrent_peak\": {peak}, ",
+                    "\"cross_team_rejects\": {xr}}}"
+                ),
+                n = n,
+                teams = teams,
+                mean = m.mean_us,
+                p99 = m.p99_us,
+                peak = peak,
+                xr = xrejects,
+            ));
+        }
+    }
+    print!("{}", bt.render());
+    print!("{}", t.render());
+    println!("(one NIC multiplexes every co-resident team; contention shows up in p99 first)");
+    let json = format!(
+        "{{\n  \"schema\": \"gmsim-multitenant/v1\",\n  \"experiment\": \
+         \"concurrent_team_interference\",\n  \"smoke\": {},\n  \"baseline\": [\n{}\n  ],\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        smoke,
+        baseline_rows.join(",\n"),
+        point_rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_multitenant.json");
+    std::fs::write(out, &json).expect("write BENCH_multitenant.json");
+    println!("wrote {}", out);
+    if !ok {
+        eprintln!("multitenant: the isolated baseline regressed vs the global barrier");
+    }
+    ok
 }
 
 /// Ablations of the §3 design choices.

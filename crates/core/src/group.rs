@@ -8,7 +8,7 @@
 //! boundary, never the full member list (§5.1).
 
 use crate::schedule::{self, Descriptor};
-use gmsim_gm::{CollectiveSchedule, CollectiveToken, GlobalPort, ReduceOp};
+use gmsim_gm::{CollectiveSchedule, CollectiveToken, GlobalPort, ReduceOp, TeamId};
 
 /// An ordered set of endpoints participating in collectives together.
 ///
@@ -146,6 +146,96 @@ impl BarrierGroup {
     }
 }
 
+/// A first-class communicator: a [`TeamId`] bound to an ordered member
+/// list. Ranks are positions *within the team* — the rank-translation
+/// layer between a job's local numbering and global endpoints — and every
+/// token built here is stamped with the team id, so the NIC keeps this
+/// team's barrier state separate from every overlapping team's.
+///
+/// [`Team::global`] wraps a group under [`TeamId::GLOBAL`]; its tokens are
+/// bit-identical to the group's own, which is what keeps the single-team
+/// path exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Team {
+    id: TeamId,
+    group: BarrierGroup,
+}
+
+impl Team {
+    /// Bind `group` to communicator `id`.
+    pub fn new(id: TeamId, group: BarrierGroup) -> Self {
+        Team { id, group }
+    }
+
+    /// The implicit whole-cluster communicator over `group`.
+    pub fn global(group: BarrierGroup) -> Self {
+        Team::new(TeamId::GLOBAL, group)
+    }
+
+    /// Build a sub-team from `parent` by selecting parent ranks — the
+    /// rank-translation step of a `comm_split`: member `i` of the new team
+    /// is `parent_ranks[i]` of the parent group.
+    ///
+    /// # Panics
+    /// Panics if a selected rank is out of range or selected twice
+    /// (via [`BarrierGroup::new`]'s duplicate check).
+    pub fn subset(id: TeamId, parent: &BarrierGroup, parent_ranks: &[usize]) -> Self {
+        let members = parent_ranks.iter().map(|&r| parent.member(r)).collect();
+        Team::new(id, BarrierGroup::new(members))
+    }
+
+    /// The communicator id.
+    pub fn id(&self) -> TeamId {
+        self.id
+    }
+
+    /// The underlying endpoint list.
+    pub fn group(&self) -> &BarrierGroup {
+        &self.group
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.group.len()
+    }
+
+    /// True for a singleton team (never: teams are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.group.is_empty()
+    }
+
+    /// The endpoint at team rank `rank`.
+    pub fn member(&self, rank: usize) -> GlobalPort {
+        self.group.member(rank)
+    }
+
+    /// The team rank of `ep`, if a member.
+    pub fn rank_of(&self, ep: GlobalPort) -> Option<usize> {
+        self.group.rank_of(ep)
+    }
+
+    /// Compile `desc` into team rank `rank`'s schedule.
+    pub fn compile(&self, desc: Descriptor, rank: usize) -> CollectiveSchedule {
+        self.group.compile(desc, rank)
+    }
+
+    /// The collective send token for team rank `rank` running `desc`,
+    /// stamped with this team's id.
+    pub fn token(&self, desc: Descriptor, rank: usize) -> CollectiveToken {
+        self.group.token(desc, rank).with_team(self.id)
+    }
+
+    /// The PE barrier token for team rank `rank`.
+    pub fn pe_token(&self, rank: usize) -> CollectiveToken {
+        self.token(Descriptor::Pe, rank)
+    }
+
+    /// The GB barrier token for team rank `rank` with tree dimension `dim`.
+    pub fn gb_token(&self, rank: usize, dim: usize) -> CollectiveToken {
+        self.token(Descriptor::Gb { dim }, rank)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +360,39 @@ mod tests {
                 assert_eq!(peers, &vec![GlobalPort::new(1, 1)]);
             }
             other => panic!("expected RecvFrom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn team_tokens_are_stamped_and_rank_translated() {
+        let world = BarrierGroup::one_per_node(8, 1);
+        // Sub-team of the odd nodes: team rank i ↔ world rank 2i+1.
+        let team = Team::subset(TeamId(3), &world, &[1, 3, 5, 7]);
+        assert_eq!(team.len(), 4);
+        assert_eq!(team.member(2), GlobalPort::new(5, 1));
+        assert_eq!(team.rank_of(GlobalPort::new(7, 1)), Some(3));
+        assert_eq!(team.rank_of(GlobalPort::new(2, 1)), None);
+        let t = team.pe_token(0);
+        assert_eq!(t.team, TeamId(3));
+        // Rank 0's first PE exchange partner is team rank 1 = node 3.
+        let first_send = t
+            .schedule
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                ScheduleStep::SendTo { peers, .. } => Some(peers[0]),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_send, GlobalPort::new(3, 1));
+    }
+
+    #[test]
+    fn global_team_tokens_match_group_tokens() {
+        let group = BarrierGroup::one_per_node(4, 1);
+        let team = Team::global(group.clone());
+        for rank in 0..4 {
+            assert_eq!(team.pe_token(rank), group.pe_token(rank));
         }
     }
 

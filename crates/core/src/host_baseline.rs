@@ -15,27 +15,31 @@
 //! that has already raced ahead into the next barrier are parked in a
 //! host-side unexpected set — the same §3.1 problem, solved at host level.
 
-use crate::group::BarrierGroup;
-use crate::programs::note_tag;
+use crate::group::{BarrierGroup, Team};
+use crate::programs::note_team_tag;
 use crate::schedule::Descriptor;
 use gmsim_des::trace::TracePayload;
-use gmsim_gm::{CollectiveSchedule, GlobalPort, GmEvent, HostCtx, HostProgram, ScheduleStep};
+use gmsim_gm::{
+    CollectiveSchedule, GlobalPort, GmEvent, HostCtx, HostProgram, ScheduleStep, TeamId,
+};
 use std::collections::HashSet;
 
 /// Barrier payload size used by the host baselines (bytes).
 pub const HOST_BARRIER_MSG_BYTES: usize = 8;
 
-/// The point-to-point tag of a barrier message: round number and the
-/// schedule's packet kind, so cross-round and cross-phase messages never
-/// alias.
-fn step_tag(round: u64, kind: u8) -> u64 {
-    (round << 8) | u64::from(kind)
+/// The point-to-point tag of a barrier message: team id (bits 48+), round
+/// number and the schedule's packet kind, so cross-team, cross-round and
+/// cross-phase messages never alias. [`TeamId::GLOBAL`] tags are identical
+/// to the pre-team `(round << 8) | kind` encoding.
+fn step_tag(team: TeamId, round: u64, kind: u8) -> u64 {
+    ((team.0 as u64) << 48) | (round << 8) | u64::from(kind)
 }
 
 /// Host-based barrier loop: interprets a compiled collective schedule with
 /// ordinary sends, `rounds` consecutive times.
 pub struct HostBarrierLoop {
     schedule: CollectiveSchedule,
+    team: TeamId,
     rounds: u64,
     round: u64,
     pc: usize,
@@ -54,6 +58,14 @@ impl HostBarrierLoop {
         Self::with_schedule(group.compile(desc, rank), rounds)
     }
 
+    /// The program for team rank `rank` of `team`: tags and notes carry
+    /// the team id, so concurrent host-level teams never alias.
+    pub fn for_team(team: &Team, rank: usize, desc: Descriptor, rounds: u64) -> Self {
+        let mut this = Self::with_schedule(team.compile(desc, rank), rounds);
+        this.team = team.id();
+        this
+    }
+
     /// Run an arbitrary compiled schedule as a host-based barrier loop.
     pub fn with_schedule(schedule: CollectiveSchedule, rounds: u64) -> Self {
         let has_recv = schedule
@@ -70,6 +82,7 @@ impl HostBarrierLoop {
         };
         HostBarrierLoop {
             schedule,
+            team: TeamId::GLOBAL,
             rounds,
             round: 0,
             pc: 0,
@@ -92,7 +105,7 @@ impl HostBarrierLoop {
             }
             match &self.schedule.steps[self.pc] {
                 ScheduleStep::SendTo { peers, kind, .. } => {
-                    let tag = step_tag(self.round, *kind);
+                    let tag = step_tag(self.team, self.round, *kind);
                     let notify_last = self.pace_on_send_pc == Some(self.pc);
                     for (i, peer) in peers.iter().enumerate() {
                         ctx.trace(TracePayload::BarrierSend {
@@ -110,7 +123,7 @@ impl HostBarrierLoop {
                     self.pc += 1;
                 }
                 ScheduleStep::RecvFrom { peers, kind, .. } => {
-                    let tag = step_tag(self.round, *kind);
+                    let tag = step_tag(self.team, self.round, *kind);
                     let mut outstanding = self.outstanding.take().unwrap_or_else(|| peers.clone());
                     outstanding.retain(|p| !self.unexpected.remove(&(*p, tag)));
                     if outstanding.is_empty() {
@@ -124,7 +137,7 @@ impl HostBarrierLoop {
                     // The host-level analogue of the completion event. Any
                     // trailing forwarding steps (GB broadcast hand-down)
                     // run after, exactly like the NIC interpreter (§5.2).
-                    ctx.note(note_tag(self.round));
+                    ctx.note(note_team_tag(self.team, self.round));
                     self.pc += 1;
                 }
             }

@@ -44,10 +44,10 @@ pub mod schedule;
 pub mod unexpected;
 
 pub use analytic::{CostModel, GB_MODEL_TOLERANCE, PE_MODEL_TOLERANCE};
-pub use gmsim_gm::ReduceOp;
-pub use group::BarrierGroup;
+pub use gmsim_gm::{ReduceOp, TeamId};
+pub use group::{BarrierGroup, Team};
 pub use host_baseline::HostBarrierLoop;
 pub use nic::{BarrierCosts, BarrierExtension, BarrierStats};
-pub use programs::{FuzzyBarrierLoop, NicBarrierLoop, NOTE_BARRIER_DONE};
+pub use programs::{FuzzyBarrierLoop, MultiTeamBarrierLoop, NicBarrierLoop, NOTE_BARRIER_DONE};
 pub use schedule::{compile, Descriptor};
 pub use unexpected::UnexpectedRecord;

@@ -45,7 +45,7 @@ use gmsim_des::trace::{TracePayload, Unit};
 use gmsim_des::{Histogram, SimTime};
 use gmsim_gm::{
     Charge, CollectiveSchedule, CollectiveToken, CompletionKind, ExtPacket, GlobalPort, GmConfig,
-    GmEvent, McpCore, McpExtension, McpOutput, NodeId, PortId, ScheduleStep, TokenCharge,
+    GmEvent, McpCore, McpExtension, McpOutput, NodeId, PortId, ScheduleStep, TeamId, TokenCharge,
     GM_NUM_PORTS,
 };
 use std::any::Any;
@@ -153,15 +153,25 @@ pub struct BarrierStats {
     pub stale_rejects: u64,
     /// Collectives aborted by a port close.
     pub aborted: u64,
+    /// Packets whose team had no active run on an open port while *other*
+    /// teams' collectives were in flight there — each one is a
+    /// cross-delivery the per-team state machine refused to consume.
+    /// Always zero on single-team traffic.
+    pub cross_team_rejects: u64,
+    /// High-water mark of collectives simultaneously in flight on this
+    /// NIC across all (port, team) slots.
+    pub concurrent_peak: u64,
 }
 
-/// An in-flight interpreted collective on one port — the paper's "send
-/// token pointer". The schedule is the program (shared with the token that
-/// posted it — no copy); `pc` the current step; `outstanding` the peers of
-/// the current receive step still owing a packet (meaningful only while
-/// `parked`); `acc` the value accumulator (operand in, result out).
+/// An in-flight interpreted collective on one (port, team) — the paper's
+/// "send token pointer", generalized to one pointer per communicator. The
+/// schedule is the program (shared with the token that posted it — no
+/// copy); `pc` the current step; `outstanding` the peers of the current
+/// receive step still owing a packet (meaningful only while `parked`);
+/// `acc` the value accumulator (operand in, result out).
 #[derive(Debug, Clone)]
 struct Run {
+    team: TeamId,
     schedule: std::sync::Arc<CollectiveSchedule>,
     pc: usize,
     outstanding: Vec<GlobalPort>,
@@ -188,6 +198,7 @@ struct LocalDelivery {
     src: GlobalPort,
     dst: GlobalPort,
     ext_type: u8,
+    team: TeamId,
     epoch: u32,
     value: u64,
     at: SimTime,
@@ -197,18 +208,25 @@ struct LocalDelivery {
 /// compiled [`CollectiveSchedule`] programs.
 pub struct BarrierExtension {
     costs: BarrierCosts,
-    slots: Vec<Option<Run>>,
+    /// Per-port run lists: one [`Run`] per team concurrently active on the
+    /// port. Single-team traffic keeps each list at length ≤ 1, which is
+    /// exactly the paper's one-pointer-per-port layout.
+    slots: Vec<Vec<Run>>,
     /// The §3.1 unexpected-message record.
     pub record: UnexpectedRecord,
     /// Counters.
     pub stats: BarrierStats,
     local_queue: VecDeque<LocalDelivery>,
-    /// Last message sent per (port, peer, packet kind) — kind-keyed so a
-    /// lost BCAST and a lost PE to the same peer are both resendable.
-    sent_cache: std::collections::HashMap<(u8, GlobalPort, u8), SentRecord>,
-    /// Retired `Run::outstanding` buffer, recycled into the next collective
-    /// so steady-state rounds never allocate a fresh peer list.
-    spare_outstanding: Vec<GlobalPort>,
+    /// Last message sent per (port, team, peer, packet kind) — kind-keyed
+    /// so a lost BCAST and a lost PE to the same peer are both resendable,
+    /// team-keyed so overlapping teams never resend each other's flags.
+    sent_cache: std::collections::HashMap<(u8, TeamId, GlobalPort, u8), SentRecord>,
+    /// Every team that has posted a collective on this NIC, in first-seen
+    /// order.
+    teams_seen: Vec<TeamId>,
+    /// Retired `Run::outstanding` buffers, recycled into the next
+    /// collective so steady-state rounds never allocate fresh peer lists.
+    spare_outstanding: Vec<Vec<GlobalPort>>,
     /// Per-packet NIC turnaround: wire arrival of a collective packet to the
     /// firmware being done with it (the paper's per-round NIC cost). Fixed
     /// bins allocated at construction, so recording never allocates.
@@ -225,11 +243,12 @@ impl BarrierExtension {
     pub fn with_costs(nodes: usize, costs: BarrierCosts) -> Self {
         BarrierExtension {
             costs,
-            slots: (0..GM_NUM_PORTS).map(|_| None).collect(),
+            slots: (0..GM_NUM_PORTS).map(|_| Vec::new()).collect(),
             record: UnexpectedRecord::new(nodes),
             stats: BarrierStats::default(),
             local_queue: VecDeque::new(),
             sent_cache: std::collections::HashMap::new(),
+            teams_seen: Vec::new(),
             spare_outstanding: Vec::new(),
             turnaround: Histogram::new(TURNAROUND_BIN_US, TURNAROUND_BINS),
         }
@@ -252,19 +271,34 @@ impl BarrierExtension {
         move |_, size, _| Box::new(BarrierExtension::with_costs(size, costs))
     }
 
-    /// Is a collective currently active on `port`?
+    /// Is any collective currently active on `port`?
     pub fn is_active(&self, port: PortId) -> bool {
-        self.slots[port.idx()].is_some()
+        !self.slots[port.idx()].is_empty()
+    }
+
+    /// Is `team`'s collective currently active on `port`?
+    pub fn is_active_team(&self, port: PortId, team: TeamId) -> bool {
+        self.slots[port.idx()].iter().any(|r| r.team == team)
+    }
+
+    /// Every team that has posted a collective on this NIC, in first-seen
+    /// order.
+    pub fn teams_seen(&self) -> &[TeamId] {
+        &self.teams_seen
     }
 
     // ---- packet egress ---------------------------------------------------
 
-    /// Send (or locally flag) one collective packet from `port` to `dst`.
+    /// Send (or locally flag) one collective packet from `port` to `dst`
+    /// on behalf of `team`. On the wire the team id rides the high half of
+    /// the packet's `a` word, above the epoch — zero for [`TeamId::GLOBAL`],
+    /// so single-team traffic is bit-identical to the pre-team encoding.
     #[allow(clippy::too_many_arguments)] // firmware handler plumbing
     fn emit(
         &mut self,
         core: &mut McpCore,
         port: PortId,
+        team: TeamId,
         dst: GlobalPort,
         ext_type: u8,
         value: u64,
@@ -280,7 +314,7 @@ impl BarrierExtension {
         }
         let epoch = core.port(port).epoch();
         self.sent_cache.insert(
-            (port.0, dst, ext_type),
+            (port.0, team, dst, ext_type),
             SentRecord {
                 kind: ext_type,
                 epoch,
@@ -307,6 +341,7 @@ impl BarrierExtension {
                 },
                 dst,
                 ext_type,
+                team,
                 epoch,
                 value,
                 at: t,
@@ -326,7 +361,7 @@ impl BarrierExtension {
                 dst,
                 ExtPacket {
                     ext_type,
-                    a: epoch as u64,
+                    a: Self::pack_a(team, epoch),
                     b: value,
                 },
                 ready,
@@ -335,11 +370,19 @@ impl BarrierExtension {
         }
     }
 
+    /// Pack the wire `a` word: team id in the high 32 bits, port epoch in
+    /// the low 32. [`TeamId::GLOBAL`] packs to the bare epoch.
+    fn pack_a(team: TeamId, epoch: u32) -> u64 {
+        ((team.0 as u64) << 32) | epoch as u64
+    }
+
     /// Drain locally-flagged deliveries (run at the end of every entry
     /// point; items may enqueue further items).
     fn drain_local(&mut self, core: &mut McpCore, out: &mut Vec<McpOutput>) {
         while let Some(d) = self.local_queue.pop_front() {
-            self.accept(core, d.src, d.dst, d.ext_type, d.epoch, d.value, d.at, out);
+            self.accept(
+                core, d.src, d.dst, d.ext_type, d.team, d.epoch, d.value, d.at, out,
+            );
         }
     }
 
@@ -356,6 +399,7 @@ impl BarrierExtension {
         src: GlobalPort,
         dst: GlobalPort,
         ext_type: u8,
+        team: TeamId,
         epoch: u32,
         value: u64,
         now: SimTime,
@@ -363,7 +407,7 @@ impl BarrierExtension {
     ) {
         if ext_type == pkt::REJECT {
             // A REJECT's value word names the kind of the rejected message.
-            self.handle_reject(core, src, dst.port, epoch, value as u8, now, out);
+            self.handle_reject(core, src, dst.port, team, epoch, value as u8, now, out);
             return;
         }
         let t = core.exec(self.costs.record_cycles, now);
@@ -379,6 +423,7 @@ impl BarrierExtension {
             dst.port,
             src,
             RecordMeta {
+                team,
                 kind: ext_type,
                 epoch,
                 value,
@@ -386,15 +431,17 @@ impl BarrierExtension {
         );
         // A closed port keeps the record until it opens (§3.2).
         if core.port(dst.port).is_open() {
-            self.interpret(core, dst.port, t, out);
+            self.interpret(core, dst.port, team, t, out);
         }
     }
 
     // ---- the schedule interpreter ----------------------------------------
 
-    /// Advance the program on `port` as far as the unexpected record
+    /// Advance `team`'s program on `port` as far as the unexpected record
     /// allows: emit send steps, consume available receive records, deliver
-    /// completions, and park on a receive still owed packets.
+    /// completions, and park on a receive still owed packets. Other teams'
+    /// runs on the same port are untouched — a poke for a team with no run
+    /// while others are active is counted as a cross-team reject.
     ///
     /// The [`Run`] is taken out of the slot for the duration (nothing called
     /// from here re-reads the slot), so steps are matched by reference —
@@ -403,20 +450,28 @@ impl BarrierExtension {
         &mut self,
         core: &mut McpCore,
         port: PortId,
+        team: TeamId,
         now: SimTime,
         out: &mut Vec<McpOutput>,
     ) {
         let mut t = now;
-        let Some(mut run) = self.slots[port.idx()].take() else {
+        let Some(pos) = self.slots[port.idx()].iter().position(|r| r.team == team) else {
+            if !self.slots[port.idx()].is_empty() {
+                // The packet's flag stays recorded for its own team; the
+                // active teams on this port refused to consume it.
+                self.stats.cross_team_rejects += 1;
+            }
             return;
         };
+        let mut run = self.slots[port.idx()].swap_remove(pos);
         loop {
             if run.pc == run.schedule.steps.len() {
                 // Program exhausted: drop the token pointer (§4.2 "sets the
                 // send token pointer in the port data structure to zero"),
                 // keeping its outstanding buffer for the next collective.
                 run.outstanding.clear();
-                self.spare_outstanding = std::mem::take(&mut run.outstanding);
+                self.spare_outstanding
+                    .push(std::mem::take(&mut run.outstanding));
                 return;
             }
             match &run.schedule.steps[run.pc] {
@@ -432,7 +487,7 @@ impl BarrierExtension {
                         if cycles > 0 {
                             t = core.exec(cycles, t);
                         }
-                        self.emit(core, port, peer, kind, value, t, out);
+                        self.emit(core, port, team, peer, kind, value, t, out);
                     }
                     run.pc += 1;
                 }
@@ -458,7 +513,7 @@ impl BarrierExtension {
                         let costs = &self.costs;
                         let acc = &mut run.acc;
                         run.outstanding.retain(|peer| {
-                            match record.check_clear(port, *peer, kind) {
+                            match record.check_clear(port, team, *peer, kind) {
                                 Some(meta) => {
                                     let cycles = costs.step_cycles(charge);
                                     if cycles > 0 {
@@ -484,14 +539,14 @@ impl BarrierExtension {
                     } else {
                         // Park until more packets arrive and poke us.
                         run.parked = true;
-                        self.slots[port.idx()] = Some(run);
+                        self.slots[port.idx()].push(run);
                         return;
                     }
                 }
                 ScheduleStep::DeliverCompletion(kind) => {
                     let acc = run.acc;
                     let ev = match kind {
-                        CompletionKind::Barrier => GmEvent::BarrierComplete,
+                        CompletionKind::Barrier => GmEvent::BarrierComplete { team },
                         CompletionKind::Broadcast => GmEvent::BroadcastComplete { value: acc },
                         CompletionKind::Reduce => GmEvent::ReduceComplete { value: acc },
                         CompletionKind::Scan => GmEvent::ScanComplete { value: acc },
@@ -522,6 +577,7 @@ impl BarrierExtension {
         core: &mut McpCore,
         rejecter: GlobalPort,
         port: PortId,
+        team: TeamId,
         epoch: u32,
         kind: u8,
         now: SimTime,
@@ -536,10 +592,14 @@ impl BarrierExtension {
         // The sent cache remembers the last message of each kind this
         // (still-alive) process sent to the rejecter, whether or not the
         // collective that produced it is still in flight.
-        match self.sent_cache.get(&(port.0, rejecter, kind)).copied() {
+        match self
+            .sent_cache
+            .get(&(port.0, team, rejecter, kind))
+            .copied()
+        {
             Some(rec) if rec.epoch == epoch => {
                 self.stats.resends += 1;
-                self.emit(core, port, rejecter, rec.kind, rec.value, t, out);
+                self.emit(core, port, team, rejecter, rec.kind, rec.value, t, out);
             }
             _ => self.stats.stale_rejects += 1,
         }
@@ -555,19 +615,26 @@ impl McpExtension for BarrierExtension {
         now: SimTime,
         out: &mut Vec<McpOutput>,
     ) {
+        let team = token.team;
         assert!(
-            self.slots[port.idx()].is_none(),
-            "port {port:?} already has an active collective"
+            !self.is_active_team(port, team),
+            "port {port:?} already has an active collective for team {team:?}"
         );
         let t = core.exec(self.costs.token_cycles(token.schedule.token_charge), now);
-        self.slots[port.idx()] = Some(Run {
+        if !self.teams_seen.contains(&team) {
+            self.teams_seen.push(team);
+        }
+        self.slots[port.idx()].push(Run {
+            team,
             schedule: token.schedule,
             pc: 0,
-            outstanding: std::mem::take(&mut self.spare_outstanding),
+            outstanding: self.spare_outstanding.pop().unwrap_or_default(),
             parked: false,
             acc: token.value,
         });
-        self.interpret(core, port, t, out);
+        let active: usize = self.slots.iter().map(Vec::len).sum();
+        self.stats.concurrent_peak = self.stats.concurrent_peak.max(active as u64);
+        self.interpret(core, port, team, t, out);
         self.drain_local(core, out);
     }
 
@@ -585,6 +652,7 @@ impl McpExtension for BarrierExtension {
             src,
             dst,
             body.ext_type,
+            TeamId((body.a >> 32) as u32),
             body.a as u32,
             body.b,
             now,
@@ -616,7 +684,7 @@ impl McpExtension for BarrierExtension {
                 from,
                 ExtPacket {
                     ext_type: pkt::REJECT,
-                    a: meta.epoch as u64,
+                    a: Self::pack_a(meta.team, meta.epoch),
                     b: meta.kind as u64,
                 },
                 t,
@@ -633,10 +701,13 @@ impl McpExtension for BarrierExtension {
         _now: SimTime,
         _out: &mut Vec<McpOutput>,
     ) {
-        if self.slots[port.idx()].take().is_some() {
+        for mut run in self.slots[port.idx()].drain(..) {
             self.stats.aborted += 1;
+            run.outstanding.clear();
+            self.spare_outstanding
+                .push(std::mem::take(&mut run.outstanding));
         }
-        self.sent_cache.retain(|(p, _, _), _| *p != port.0);
+        self.sent_cache.retain(|(p, _, _, _), _| *p != port.0);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -729,7 +800,7 @@ mod tests {
                 matches!(
                     o,
                     McpOutput::HostEvent {
-                        ev: GmEvent::BarrierComplete,
+                        ev: GmEvent::BarrierComplete { .. },
                         ..
                     }
                 )
@@ -783,7 +854,7 @@ mod tests {
         assert!(outs.iter().any(|o| matches!(
             o,
             McpOutput::HostEvent {
-                ev: GmEvent::BarrierComplete,
+                ev: GmEvent::BarrierComplete { .. },
                 ..
             }
         )));
@@ -944,6 +1015,132 @@ mod tests {
         let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
         assert!(!ext.is_active(PortId(1)));
         assert_eq!(ext.stats.aborted, 1);
+    }
+
+    #[test]
+    fn two_teams_share_one_port_concurrently() {
+        use crate::group::Team;
+        use gmsim_gm::TeamId;
+        let cfg = GmConfig::default();
+        let world = BarrierGroup::one_per_node(2, 1);
+        let a = Team::new(TeamId(1), world.clone());
+        let b = Team::new(TeamId(2), world);
+        let mut m = Mcp::new(
+            McpCore::new(NodeId(0), 2, cfg),
+            Box::new(BarrierExtension::new(2)),
+        );
+        m.open_port(PortId(1), SimTime::ZERO);
+        for _ in 0..4 {
+            m.core.port_mut(PortId(1)).provide_barrier_buffer();
+        }
+        // Both teams post on the same port; neither can complete yet.
+        m.handle_send_token(
+            SendToken::Collective {
+                src_port: PortId(1),
+                token: a.pe_token(0),
+            },
+            SimTime::ZERO,
+        );
+        m.handle_send_token(
+            SendToken::Collective {
+                src_port: PortId(1),
+                token: b.pe_token(0),
+            },
+            SimTime::ZERO,
+        );
+        {
+            let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+            assert!(ext.is_active_team(PortId(1), TeamId(1)));
+            assert!(ext.is_active_team(PortId(1), TeamId(2)));
+            assert_eq!(ext.stats.concurrent_peak, 2);
+            assert_eq!(ext.teams_seen(), &[TeamId(1), TeamId(2)]);
+        }
+        // Team B's peer flag arrives first: only B may complete. (Seq
+        // numbers are per-connection, so the second packet needs seq 1.)
+        let pkt_for = |team: u32, seq: u64| gmsim_gm::Packet {
+            src: GlobalPort::new(1, 1),
+            dst: GlobalPort::new(0, 1),
+            kind: gmsim_gm::PacketKind::Ext {
+                seq: Some(seq),
+                body: ExtPacket {
+                    ext_type: pkt::PE,
+                    a: ((team as u64) << 32) | 1,
+                    b: 0,
+                },
+            },
+        };
+        let outs = m.handle_wire_packet(pkt_for(2, 0), false, SimTime::from_us(5));
+        let completions = |outs: &[McpOutput]| -> Vec<TeamId> {
+            outs.iter()
+                .filter_map(|o| match o {
+                    McpOutput::HostEvent {
+                        ev: GmEvent::BarrierComplete { team },
+                        ..
+                    } => Some(*team),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(completions(&outs), vec![TeamId(2)]);
+        {
+            let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+            assert!(ext.is_active_team(PortId(1), TeamId(1)), "A still parked");
+            assert!(!ext.is_active_team(PortId(1), TeamId(2)));
+        }
+        let outs = m.handle_wire_packet(pkt_for(1, 1), false, SimTime::from_us(9));
+        assert_eq!(completions(&outs), vec![TeamId(1)]);
+        let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+        assert!(!ext.is_active(PortId(1)));
+        assert_eq!(ext.stats.completions, 2);
+    }
+
+    #[test]
+    fn cross_team_packet_does_not_poke_other_teams_run() {
+        use crate::group::Team;
+        use gmsim_gm::TeamId;
+        let cfg = GmConfig::default();
+        let world = BarrierGroup::one_per_node(2, 1);
+        let a = Team::new(TeamId(1), world);
+        let mut m = Mcp::new(
+            McpCore::new(NodeId(0), 2, cfg),
+            Box::new(BarrierExtension::new(2)),
+        );
+        m.open_port(PortId(1), SimTime::ZERO);
+        for _ in 0..4 {
+            m.core.port_mut(PortId(1)).provide_barrier_buffer();
+        }
+        m.handle_send_token(
+            SendToken::Collective {
+                src_port: PortId(1),
+                token: a.pe_token(0),
+            },
+            SimTime::ZERO,
+        );
+        // A packet for team 9 (no run here) arrives while team 1 is parked:
+        // it must be recorded for team 9, not consumed by team 1.
+        let stray = gmsim_gm::Packet {
+            src: GlobalPort::new(1, 1),
+            dst: GlobalPort::new(0, 1),
+            kind: gmsim_gm::PacketKind::Ext {
+                seq: Some(0),
+                body: ExtPacket {
+                    ext_type: pkt::PE,
+                    a: (9u64 << 32) | 1,
+                    b: 0,
+                },
+            },
+        };
+        let outs = m.handle_wire_packet(stray, false, SimTime::from_us(5));
+        assert!(
+            !outs
+                .iter()
+                .any(|o| matches!(o, McpOutput::HostEvent { .. })),
+            "team 1 must not complete off team 9's flag"
+        );
+        let ext = m.ext().as_any().downcast_ref::<BarrierExtension>().unwrap();
+        assert!(ext.is_active_team(PortId(1), TeamId(1)));
+        assert_eq!(ext.stats.cross_team_rejects, 1);
+        assert_eq!(ext.record.outstanding(), 1, "team 9's flag stays recorded");
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! consecutively and took the average latency", §6), marking every
 //! completion with a timestamped note the testbed aggregates.
 
-use crate::group::BarrierGroup;
+use crate::group::{BarrierGroup, Team};
 use crate::schedule::Descriptor;
 use gmsim_des::SimTime;
-use gmsim_gm::{CollectiveToken, GmEvent, HostCtx, HostProgram};
+use gmsim_gm::{CollectiveToken, GmEvent, HostCtx, HostProgram, TeamId};
 
 /// Note-tag marker for a completed barrier round (high 32 bits).
 pub const NOTE_BARRIER_DONE: u64 = 0xBA51 << 32;
@@ -20,8 +20,23 @@ pub fn note_tag(round: u64) -> u64 {
 }
 
 /// Decode a note tag back to its round, if it is a barrier-done note.
+/// Team-stamped tags (bits 48+) decode the same way — the team bits sit
+/// above the marker and the round sits below it.
 pub fn decode_note(tag: u64) -> Option<u64> {
     (tag & NOTE_BARRIER_DONE == NOTE_BARRIER_DONE).then_some(tag & 0xFFFF_FFFF)
+}
+
+/// Encode a completed round of `team` as a note tag: team id in bits 48+,
+/// marker in bits 32–47, round below. [`TeamId::GLOBAL`] encodes exactly
+/// as [`note_tag`].
+pub fn note_team_tag(team: TeamId, round: u64) -> u64 {
+    debug_assert!(team.0 < 1 << 16, "team id too large for the note encoding");
+    ((team.0 as u64) << 48) | note_tag(round)
+}
+
+/// Decode a note tag to `(team, round)`, if it is a barrier-done note.
+pub fn decode_team_note(tag: u64) -> Option<(TeamId, u64)> {
+    decode_note(tag).map(|round| (TeamId((tag >> 48) as u32), round))
 }
 
 /// Runs `rounds` consecutive NIC-based collectives of any [`Descriptor`].
@@ -43,6 +58,16 @@ impl NicBarrierLoop {
         }
     }
 
+    /// The loop for team rank `rank` of `team`: the posted token is
+    /// team-stamped and completions are noted under the team id.
+    pub fn for_team(team: &Team, rank: usize, desc: Descriptor, rounds: u64) -> Self {
+        NicBarrierLoop {
+            token: team.token(desc, rank),
+            rounds,
+            round: 0,
+        }
+    }
+
     fn token(&self) -> CollectiveToken {
         self.token.clone()
     }
@@ -58,12 +83,12 @@ impl HostProgram for NicBarrierLoop {
     fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
         if matches!(
             ev,
-            GmEvent::BarrierComplete
+            GmEvent::BarrierComplete { .. }
                 | GmEvent::BroadcastComplete { .. }
                 | GmEvent::ReduceComplete { .. }
                 | GmEvent::ScanComplete { .. }
         ) {
-            ctx.note(note_tag(self.round));
+            ctx.note(note_team_tag(self.token.team, self.round));
             self.round += 1;
             if self.round < self.rounds {
                 ctx.start_collective(self.token());
@@ -128,7 +153,7 @@ impl HostProgram for FuzzyBarrierLoop {
     }
 
     fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
-        if matches!(ev, GmEvent::BarrierComplete) {
+        if matches!(ev, GmEvent::BarrierComplete { .. }) {
             ctx.note(note_tag(self.round));
             self.round += 1;
             if self.round < self.rounds {
@@ -168,7 +193,7 @@ impl HostProgram for OneShotCollective {
 
     fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
         let value = match ev {
-            GmEvent::BarrierComplete => 0,
+            GmEvent::BarrierComplete { .. } => 0,
             GmEvent::BroadcastComplete { value }
             | GmEvent::ReduceComplete { value }
             | GmEvent::ScanComplete { value } => *value,
@@ -177,6 +202,77 @@ impl HostProgram for OneShotCollective {
         self.result = Some(value);
         debug_assert!(value < (1 << 32), "note encoding truncates the value");
         ctx.note(NOTE_COLLECTIVE_VALUE | value);
+    }
+}
+
+/// Drives several teams' barrier loops concurrently on *one* port — the
+/// host side of a multi-tenant node. Each job posts its own team-stamped
+/// token; completions carry the team id, so each job restarts and notes
+/// independently of the others. Every note is tagged with
+/// [`note_team_tag`] so the driver can attribute rounds to jobs.
+#[derive(Default)]
+pub struct MultiTeamBarrierLoop {
+    jobs: Vec<TeamJob>,
+}
+
+struct TeamJob {
+    team: TeamId,
+    token: CollectiveToken,
+    rounds: u64,
+    round: u64,
+}
+
+impl MultiTeamBarrierLoop {
+    /// An empty driver; add jobs with [`Self::push`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `rounds` consecutive `desc` collectives for team rank `rank`
+    /// of `team`.
+    pub fn push(&mut self, team: &Team, rank: usize, desc: Descriptor, rounds: u64) {
+        self.jobs.push(TeamJob {
+            team: team.id(),
+            token: team.token(desc, rank),
+            rounds,
+            round: 0,
+        });
+    }
+
+    /// Number of jobs registered.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when no jobs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+impl HostProgram for MultiTeamBarrierLoop {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        for job in &self.jobs {
+            if job.rounds > 0 {
+                ctx.start_collective(job.token.clone());
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        let GmEvent::BarrierComplete { team } = ev else {
+            return;
+        };
+        let job = self
+            .jobs
+            .iter_mut()
+            .find(|j| j.team == *team)
+            .expect("completion for a team this port never posted");
+        ctx.note(note_team_tag(job.team, job.round));
+        job.round += 1;
+        if job.round < job.rounds {
+            ctx.start_collective(job.token.clone());
+        }
     }
 }
 
@@ -191,5 +287,16 @@ mod tests {
         }
         assert_eq!(decode_note(12345), None);
         assert_eq!(decode_note(NOTE_COLLECTIVE_VALUE | 7), None);
+    }
+
+    #[test]
+    fn team_note_roundtrip() {
+        assert_eq!(note_team_tag(TeamId::GLOBAL, 5), note_tag(5));
+        for (team, round) in [(TeamId(1), 0u64), (TeamId(513), 42), (TeamId(65535), 7)] {
+            let tag = note_team_tag(team, round);
+            assert_eq!(decode_team_note(tag), Some((team, round)));
+            assert_eq!(decode_note(tag), Some(round));
+        }
+        assert_eq!(decode_team_note(12345), None);
     }
 }

@@ -23,12 +23,16 @@
 //! record-then-reject-on-open protocol) and an operand *value* (for
 //! reductions/broadcasts).
 
-use gmsim_gm::{GlobalPort, PortId, GM_NUM_PORTS};
+use gmsim_gm::{GlobalPort, PortId, TeamId, GM_NUM_PORTS};
 use std::collections::{HashMap, VecDeque};
 
 /// Data stored with one recorded message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecordMeta {
+    /// The communicator the message belongs to — consumption is
+    /// team-keyed so an overlapping team's flag can never satisfy this
+    /// team's step (teams sharing a NIC stay isolated).
+    pub team: TeamId,
     /// Packet type (PE / gather / broadcast) — consumption is type-keyed
     /// so a gather for a future GB barrier can never satisfy a PE step.
     pub kind: u8,
@@ -62,7 +66,7 @@ pub struct UnexpectedRecord {
     /// `(remote_node, p)` awaits `local_port` (the paper's byte per
     /// connection).
     bits: Vec<Vec<u8>>,
-    queues: HashMap<(u8, GlobalPort, u8), VecDeque<RecordMeta>>,
+    queues: HashMap<(u8, TeamId, GlobalPort, u8), VecDeque<RecordMeta>>,
     /// Counters.
     pub stats: RecordStats,
 }
@@ -85,7 +89,7 @@ impl UnexpectedRecord {
     fn any_queued(&self, local: PortId, from: GlobalPort) -> bool {
         self.queues
             .iter()
-            .any(|((p, f, _), q)| *p == local.0 && *f == from && !q.is_empty())
+            .any(|((p, _, f, _), q)| *p == local.0 && *f == from && !q.is_empty())
     }
 
     /// Record an unexpected message from `from` addressed to `local`.
@@ -95,7 +99,10 @@ impl UnexpectedRecord {
     pub fn set(&mut self, local: PortId, from: GlobalPort, meta: RecordMeta) -> bool {
         debug_assert!(from.node.0 < self.nodes);
         let fresh = !self.any_queued(local, from);
-        let q = self.queues.entry((local.0, from, meta.kind)).or_default();
+        let q = self
+            .queues
+            .entry((local.0, meta.team, from, meta.kind))
+            .or_default();
         // Epoch change supersedes everything the dead process left behind.
         let before = q.len();
         q.retain(|m| m.epoch == meta.epoch);
@@ -115,10 +122,14 @@ impl UnexpectedRecord {
     }
 
     /// "After a bit is checked, the bit is cleared" (§4.3): consume the
-    /// oldest record of `expect_kind` from `from`, if any.
+    /// oldest record of `expect_kind` on `team` from `from`, if any. The
+    /// bit array is shared across teams (it means "something from this
+    /// endpoint"), so the queue lookup — keyed by team — is what keeps
+    /// overlapping teams from consuming each other's flags.
     pub fn check_clear(
         &mut self,
         local: PortId,
+        team: TeamId,
         from: GlobalPort,
         expect_kind: u8,
     ) -> Option<RecordMeta> {
@@ -127,7 +138,7 @@ impl UnexpectedRecord {
         }
         let meta = self
             .queues
-            .get_mut(&(local.0, from, expect_kind))
+            .get_mut(&(local.0, team, from, expect_kind))
             .and_then(|q| q.pop_front())?;
         self.stats.consumed += 1;
         if !self.any_queued(local, from) {
@@ -137,23 +148,23 @@ impl UnexpectedRecord {
     }
 
     /// Drain every record addressed to `local` (port-open rejection, §3.2),
-    /// oldest first per (endpoint, kind).
+    /// oldest first per (team, endpoint, kind).
     pub fn drain_port(&mut self, local: PortId) -> Vec<(GlobalPort, RecordMeta)> {
         let mut out = Vec::new();
-        let keys: Vec<(u8, GlobalPort, u8)> = self
+        let keys: Vec<(u8, TeamId, GlobalPort, u8)> = self
             .queues
             .keys()
-            .filter(|(p, _, _)| *p == local.0)
+            .filter(|(p, _, _, _)| *p == local.0)
             .copied()
             .collect();
         for key in keys {
             if let Some(q) = self.queues.remove(&key) {
                 for meta in q {
-                    out.push((key.1, meta));
+                    out.push((key.2, meta));
                 }
             }
         }
-        out.sort_by_key(|(g, m)| (g.node, g.port, m.kind));
+        out.sort_by_key(|(g, m)| (g.node, g.port, m.team, m.kind));
         for cell in self.bits[local.idx()].iter_mut() {
             *cell = 0;
         }
@@ -175,6 +186,7 @@ mod tests {
     }
 
     const META: RecordMeta = RecordMeta {
+        team: TeamId::GLOBAL,
         kind: 1,
         epoch: 1,
         value: 0,
@@ -184,15 +196,21 @@ mod tests {
     fn set_then_check_clear_roundtrip() {
         let mut r = UnexpectedRecord::new(4);
         let meta = RecordMeta {
+            team: TeamId::GLOBAL,
             kind: 2,
             epoch: 7,
             value: 99,
         };
         assert!(r.set(PortId(1), gp(2, 3), meta));
         assert!(r.peek(PortId(1), gp(2, 3)));
-        assert_eq!(r.check_clear(PortId(1), gp(2, 3), 2), Some(meta));
+        assert_eq!(
+            r.check_clear(PortId(1), TeamId::GLOBAL, gp(2, 3), 2),
+            Some(meta)
+        );
         assert!(!r.peek(PortId(1), gp(2, 3)));
-        assert!(r.check_clear(PortId(1), gp(2, 3), 2).is_none());
+        assert!(r
+            .check_clear(PortId(1), TeamId::GLOBAL, gp(2, 3), 2)
+            .is_none());
         assert_eq!(r.stats.consumed, 1);
     }
 
@@ -201,7 +219,9 @@ mod tests {
         let mut r = UnexpectedRecord::new(2);
         r.set(PortId(1), gp(1, 1), META);
         assert!(!r.peek(PortId(2), gp(1, 1)));
-        assert!(r.check_clear(PortId(2), gp(1, 1), 1).is_none());
+        assert!(r
+            .check_clear(PortId(2), TeamId::GLOBAL, gp(1, 1), 1)
+            .is_none());
         assert!(r.peek(PortId(1), gp(1, 1)));
     }
 
@@ -210,13 +230,17 @@ mod tests {
         let mut r = UnexpectedRecord::new(2);
         r.set(PortId(1), gp(1, 1), META);
         let meta2 = RecordMeta {
+            team: TeamId::GLOBAL,
             kind: 1,
             epoch: 2,
             value: 5,
         };
         r.set(PortId(1), gp(1, 2), meta2);
         assert_eq!(r.outstanding(), 2);
-        assert_eq!(r.check_clear(PortId(1), gp(1, 2), 1), Some(meta2));
+        assert_eq!(
+            r.check_clear(PortId(1), TeamId::GLOBAL, gp(1, 2), 1),
+            Some(meta2)
+        );
         assert!(r.peek(PortId(1), gp(1, 1)));
     }
 
@@ -224,7 +248,9 @@ mod tests {
     fn wrong_kind_is_not_consumed() {
         let mut r = UnexpectedRecord::new(2);
         r.set(PortId(1), gp(1, 1), META); // kind 1
-        assert!(r.check_clear(PortId(1), gp(1, 1), 3).is_none());
+        assert!(r
+            .check_clear(PortId(1), TeamId::GLOBAL, gp(1, 1), 3)
+            .is_none());
         assert!(r.peek(PortId(1), gp(1, 1)), "record stays in place");
     }
 
@@ -233,11 +259,13 @@ mod tests {
         // The broadcast-races-ahead case: BCAST then PE from one endpoint.
         let mut r = UnexpectedRecord::new(2);
         let bcast = RecordMeta {
+            team: TeamId::GLOBAL,
             kind: 3,
             epoch: 1,
             value: 42,
         };
         let pe = RecordMeta {
+            team: TeamId::GLOBAL,
             kind: 1,
             epoch: 1,
             value: 0,
@@ -245,9 +273,15 @@ mod tests {
         r.set(PortId(1), gp(1, 1), bcast);
         r.set(PortId(1), gp(1, 1), pe);
         assert_eq!(r.outstanding(), 2);
-        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 1), Some(pe));
+        assert_eq!(
+            r.check_clear(PortId(1), TeamId::GLOBAL, gp(1, 1), 1),
+            Some(pe)
+        );
         assert!(r.peek(PortId(1), gp(1, 1)), "bcast still recorded");
-        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 3), Some(bcast));
+        assert_eq!(
+            r.check_clear(PortId(1), TeamId::GLOBAL, gp(1, 1), 3),
+            Some(bcast)
+        );
         assert!(!r.peek(PortId(1), gp(1, 1)));
     }
 
@@ -255,11 +289,13 @@ mod tests {
     fn same_kind_queues_fifo() {
         let mut r = UnexpectedRecord::new(2);
         let v1 = RecordMeta {
+            team: TeamId::GLOBAL,
             kind: 3,
             epoch: 1,
             value: 1,
         };
         let v2 = RecordMeta {
+            team: TeamId::GLOBAL,
             kind: 3,
             epoch: 1,
             value: 2,
@@ -267,8 +303,14 @@ mod tests {
         r.set(PortId(1), gp(1, 1), v1);
         r.set(PortId(1), gp(1, 1), v2);
         assert_eq!(r.stats.queued_extra, 1);
-        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 3), Some(v1));
-        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 3), Some(v2));
+        assert_eq!(
+            r.check_clear(PortId(1), TeamId::GLOBAL, gp(1, 1), 3),
+            Some(v1)
+        );
+        assert_eq!(
+            r.check_clear(PortId(1), TeamId::GLOBAL, gp(1, 1), 3),
+            Some(v2)
+        );
     }
 
     #[test]
@@ -276,14 +318,20 @@ mod tests {
         let mut r = UnexpectedRecord::new(2);
         r.set(PortId(1), gp(1, 1), META); // epoch 1
         let newer = RecordMeta {
+            team: TeamId::GLOBAL,
             kind: 1,
             epoch: 2,
             value: 9,
         };
         r.set(PortId(1), gp(1, 1), newer);
         assert_eq!(r.stats.superseded, 1);
-        assert_eq!(r.check_clear(PortId(1), gp(1, 1), 1), Some(newer));
-        assert!(r.check_clear(PortId(1), gp(1, 1), 1).is_none());
+        assert_eq!(
+            r.check_clear(PortId(1), TeamId::GLOBAL, gp(1, 1), 1),
+            Some(newer)
+        );
+        assert!(r
+            .check_clear(PortId(1), TeamId::GLOBAL, gp(1, 1), 1)
+            .is_none());
     }
 
     #[test]
@@ -294,6 +342,7 @@ mod tests {
             PortId(1),
             gp(2, 5),
             RecordMeta {
+                team: TeamId::GLOBAL,
                 kind: 1,
                 epoch: 3,
                 value: 1,
@@ -313,6 +362,35 @@ mod tests {
     fn drain_empty_port_is_empty() {
         let mut r = UnexpectedRecord::new(2);
         assert!(r.drain_port(PortId(3)).is_empty());
+    }
+
+    #[test]
+    fn teams_do_not_cross_consume() {
+        // Two teams sharing one (local port, sender endpoint): team 2's
+        // recorded flag must not satisfy team 1's check, and vice versa.
+        let mut r = UnexpectedRecord::new(2);
+        let t1 = RecordMeta {
+            team: TeamId(1),
+            kind: 1,
+            epoch: 1,
+            value: 10,
+        };
+        let t2 = RecordMeta {
+            team: TeamId(2),
+            kind: 1,
+            epoch: 1,
+            value: 20,
+        };
+        r.set(PortId(1), gp(1, 1), t2);
+        assert!(
+            r.check_clear(PortId(1), TeamId(1), gp(1, 1), 1).is_none(),
+            "team 1 must not consume team 2's record"
+        );
+        r.set(PortId(1), gp(1, 1), t1);
+        assert_eq!(r.check_clear(PortId(1), TeamId(1), gp(1, 1), 1), Some(t1));
+        assert!(r.peek(PortId(1), gp(1, 1)), "team 2's record survives");
+        assert_eq!(r.check_clear(PortId(1), TeamId(2), gp(1, 1), 1), Some(t2));
+        assert!(!r.peek(PortId(1), gp(1, 1)));
     }
 
     #[test]

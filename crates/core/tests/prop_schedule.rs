@@ -3,7 +3,7 @@
 //! harness (deterministic seeded cases).
 
 use gmsim_des::check::forall;
-use gmsim_gm::{GlobalPort, PortId};
+use gmsim_gm::{GlobalPort, PortId, TeamId};
 use nic_barrier::schedule::gb;
 use nic_barrier::schedule::pe::{self, Step};
 use nic_barrier::unexpected::{RecordMeta, UnexpectedRecord};
@@ -209,6 +209,7 @@ fn record_matches_reference_model() {
                 } => {
                     let from = GlobalPort::new(node, sport);
                     let meta = RecordMeta {
+                        team: TeamId::GLOBAL,
                         kind,
                         epoch: 1,
                         value,
@@ -227,7 +228,10 @@ fn record_matches_reference_model() {
                         Some(q) if !q.is_empty() => Some(q.remove(0)),
                         _ => None,
                     };
-                    assert_eq!(real.check_clear(PortId(port), from, kind), expected);
+                    assert_eq!(
+                        real.check_clear(PortId(port), TeamId::GLOBAL, from, kind),
+                        expected
+                    );
                     // peek agrees with "anything from this endpoint left"
                     let any_left = model
                         .iter()
@@ -241,7 +245,7 @@ fn record_matches_reference_model() {
                         .filter(|((p, _, _), _)| *p == port)
                         .flat_map(|((_, g, _), q)| q.iter().map(move |m| (*g, *m)))
                         .collect();
-                    want.sort_by_key(|(g, m)| (g.node, g.port, m.kind));
+                    want.sort_by_key(|(g, m)| (g.node, g.port, m.team, m.kind));
                     model.retain(|(p, _, _), _| *p != port);
                     // drain is sorted by (endpoint, kind); same-key order
                     // is FIFO, matching the reference construction order.

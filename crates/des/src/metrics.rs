@@ -59,11 +59,20 @@ pub enum Counter {
     DupRx,
     /// Worms the fabric delayed past later traffic (fault injection).
     ReorderRx,
+    /// Distinct teams (communicators) that posted collectives this run.
+    TeamsCreated,
+    /// High-water mark of collectives concurrently in flight on one NIC
+    /// (max across nodes, recorded once per run — not summed per node).
+    ConcurrentPeak,
+    /// Cross-team pokes refused by the per-team NIC state machines:
+    /// packets whose team had no active run on an open port while other
+    /// teams' collectives were in flight there.
+    CrossTeamRejects,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 26] = [
         Counter::PacketsSent,
         Counter::PacketsDropped,
         Counter::PacketsCorrupted,
@@ -87,6 +96,9 @@ impl Counter {
         Counter::GaveUp,
         Counter::DupRx,
         Counter::ReorderRx,
+        Counter::TeamsCreated,
+        Counter::ConcurrentPeak,
+        Counter::CrossTeamRejects,
     ];
 
     /// Number of counters (array size of a [`MetricSet`]).
@@ -118,6 +130,9 @@ impl Counter {
             Counter::GaveUp => "gave_up",
             Counter::DupRx => "dup_rx",
             Counter::ReorderRx => "reorder_rx",
+            Counter::TeamsCreated => "teams_created",
+            Counter::ConcurrentPeak => "concurrent_peak",
+            Counter::CrossTeamRejects => "cross_team_rejects",
         }
     }
 }

@@ -5,7 +5,7 @@
 //! extensions add value-carrying completions for the future-work
 //! collectives (§8).
 
-use crate::ids::GlobalPort;
+use crate::ids::{GlobalPort, TeamId};
 
 /// An event returned by the (modelled) `gm_receive()` poll. `Copy`: all
 /// variants are scalar words, so events move by value through the host
@@ -27,8 +27,13 @@ pub enum GmEvent {
         tag: u64,
     },
     /// `GM_BARRIER_COMPLETED_EVENT`: the NIC finished the barrier this port
-    /// initiated.
-    BarrierComplete,
+    /// initiated on `team`.
+    BarrierComplete {
+        /// The communicator whose barrier completed — lets a process
+        /// driving several concurrent teams on one port tell completions
+        /// apart.
+        team: TeamId,
+    },
     /// A NIC-based broadcast delivered `value` to this port.
     BroadcastComplete {
         /// The broadcast payload word.
@@ -71,7 +76,10 @@ mod tests {
 
     #[test]
     fn rdma_cost_scales_with_payload() {
-        let small = GmEvent::BarrierComplete.rdma_bytes();
+        let small = GmEvent::BarrierComplete {
+            team: TeamId::GLOBAL,
+        }
+        .rdma_bytes();
         let data = GmEvent::Recv {
             src: GlobalPort::new(0, 1),
             len: 100,

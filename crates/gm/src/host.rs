@@ -286,6 +286,7 @@ pub trait HostProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::TeamId;
 
     fn host() -> Host {
         Host::new(NodeId(0), &GmConfig::default())
@@ -294,7 +295,13 @@ mod tests {
     #[test]
     fn enqueue_idle_schedules_processing() {
         let mut h = host();
-        let at = h.enqueue(PortId(1), GmEvent::BarrierComplete, SimTime::from_us(10));
+        let at = h.enqueue(
+            PortId(1),
+            GmEvent::BarrierComplete {
+                team: TeamId::GLOBAL,
+            },
+            SimTime::from_us(10),
+        );
         // HRecv = 6.8us
         assert_eq!(at, Some(SimTime::from_us_f64(16.8)));
         assert_eq!(h.queue_depth(), 1);
@@ -303,9 +310,21 @@ mod tests {
     #[test]
     fn enqueue_while_processing_chains() {
         let mut h = host();
-        let first = h.enqueue(PortId(1), GmEvent::BarrierComplete, SimTime::ZERO);
+        let first = h.enqueue(
+            PortId(1),
+            GmEvent::BarrierComplete {
+                team: TeamId::GLOBAL,
+            },
+            SimTime::ZERO,
+        );
         assert!(first.is_some());
-        let second = h.enqueue(PortId(1), GmEvent::BarrierComplete, SimTime::ZERO);
+        let second = h.enqueue(
+            PortId(1),
+            GmEvent::BarrierComplete {
+                team: TeamId::GLOBAL,
+            },
+            SimTime::ZERO,
+        );
         assert!(second.is_none(), "loop already running");
         let (_, _) = h.finish();
         let next = h.next(first.unwrap());
@@ -322,7 +341,13 @@ mod tests {
     fn busy_host_delays_event_processing() {
         let mut h = host();
         h.reserve_compute(SimTime::from_us(100), SimTime::ZERO);
-        let at = h.enqueue(PortId(1), GmEvent::BarrierComplete, SimTime::from_us(5));
+        let at = h.enqueue(
+            PortId(1),
+            GmEvent::BarrierComplete {
+                team: TeamId::GLOBAL,
+            },
+            SimTime::from_us(5),
+        );
         assert_eq!(at, Some(SimTime::from_us_f64(106.8)));
         assert_eq!(h.stats.compute, SimTime::from_us(100));
     }

@@ -30,6 +30,21 @@ pub struct GlobalPort {
     pub port: PortId,
 }
 
+/// A communicator identity: every collective belongs to a team, and the
+/// NIC keeps barrier state per `(port, team)` so overlapping teams that
+/// share a NIC progress independently. The id travels in the high half of
+/// the extension packet's `a` word, so two teams' flags can never be
+/// confused on the wire. [`TeamId::GLOBAL`] (id 0) is the implicit
+/// whole-cluster communicator every pre-team API uses; its wire encoding
+/// is all-zero high bits, which keeps the single-team path bit-exact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TeamId(pub u32);
+
+impl TeamId {
+    /// The default whole-cluster communicator (id 0).
+    pub const GLOBAL: TeamId = TeamId(0);
+}
+
 impl NodeId {
     /// The fabric NIC this node's messages travel through.
     pub fn nic(self) -> NicId {
@@ -74,6 +89,11 @@ impl fmt::Debug for GlobalPort {
         write!(f, "n{}p{}", self.node.0, self.port.0)
     }
 }
+impl fmt::Debug for TeamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -98,5 +118,12 @@ mod tests {
         assert_eq!(gp.node, NodeId(2));
         assert_eq!(gp.port, PortId(5));
         assert_eq!(format!("{gp:?}"), "n2p5");
+    }
+
+    #[test]
+    fn team_id_basics() {
+        assert_eq!(TeamId::GLOBAL, TeamId(0));
+        assert_eq!(format!("{:?}", TeamId(7)), "t7");
+        assert!(TeamId(1) < TeamId(2));
     }
 }

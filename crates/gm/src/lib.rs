@@ -50,7 +50,7 @@ pub use connection::Connection;
 pub use events::GmEvent;
 pub use ext::McpExtension;
 pub use host::{Host, HostAction, HostCtx, HostProgram};
-pub use ids::{GlobalPort, NodeId, PortId, GM_FIRST_USER_PORT, GM_NUM_PORTS};
+pub use ids::{GlobalPort, NodeId, PortId, TeamId, GM_FIRST_USER_PORT, GM_NUM_PORTS};
 pub use ir::{Charge, CollectiveSchedule, CompletionKind, ReduceOp, ScheduleStep, TokenCharge};
 pub use mcp::{Mcp, McpCore, McpOutput, TimerKind};
 pub use packet::{ExtPacket, Packet, PacketKind};

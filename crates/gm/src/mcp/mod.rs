@@ -510,6 +510,7 @@ impl Mcp {
 mod tests {
     use super::*;
     use crate::ext::NullExtension;
+    use crate::ids::TeamId;
 
     fn core() -> McpCore {
         McpCore::new(NodeId(0), 4, GmConfig::default())
@@ -527,13 +528,25 @@ mod tests {
     fn complete_to_host_emits_host_event() {
         let mut c = core();
         let mut out = Vec::new();
-        c.complete_to_host(PortId(1), GmEvent::BarrierComplete, SimTime::ZERO, &mut out);
+        c.complete_to_host(
+            PortId(1),
+            GmEvent::BarrierComplete {
+                team: TeamId::GLOBAL,
+            },
+            SimTime::ZERO,
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         match &out[0] {
             McpOutput::HostEvent { at, port, ev } => {
                 assert!(*at > SimTime::ZERO, "RDMA takes time");
                 assert_eq!(*port, PortId(1));
-                assert_eq!(*ev, GmEvent::BarrierComplete);
+                assert_eq!(
+                    *ev,
+                    GmEvent::BarrierComplete {
+                        team: TeamId::GLOBAL
+                    }
+                );
             }
             other => panic!("unexpected output {other:?}"),
         }

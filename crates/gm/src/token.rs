@@ -7,7 +7,7 @@
 //! stores "a list of the port ids and node ids with which barrier messages
 //! will be exchanged, as well as an index".
 
-use crate::ids::{GlobalPort, PortId};
+use crate::ids::{GlobalPort, PortId, TeamId};
 use crate::ir::CollectiveSchedule;
 use std::sync::Arc;
 
@@ -28,25 +28,41 @@ pub struct CollectiveToken {
     /// Operand for value-carrying collectives (reduce contribution,
     /// broadcast payload, scan contribution); barriers ignore it.
     pub value: u64,
+    /// The communicator this collective runs on. Defaults to
+    /// [`TeamId::GLOBAL`]; the NIC keys its per-port barrier state by this
+    /// id so concurrent teams on one port progress independently.
+    pub team: TeamId,
 }
 
 impl CollectiveToken {
-    /// A token carrying `schedule` with a zero operand.
+    /// A token carrying `schedule` with a zero operand on the global team.
     pub fn new(schedule: CollectiveSchedule) -> Self {
         CollectiveToken {
             schedule: Arc::new(schedule),
             value: 0,
+            team: TeamId::GLOBAL,
         }
     }
 
     /// A token sharing an already-compiled schedule.
     pub fn shared(schedule: Arc<CollectiveSchedule>) -> Self {
-        CollectiveToken { schedule, value: 0 }
+        CollectiveToken {
+            schedule,
+            value: 0,
+            team: TeamId::GLOBAL,
+        }
     }
 
     /// Attach an operand value (builder style).
     pub fn with_value(mut self, value: u64) -> Self {
         self.value = value;
+        self
+    }
+
+    /// Run this collective on `team` instead of the global communicator
+    /// (builder style).
+    pub fn with_team(mut self, team: TeamId) -> Self {
+        self.team = team;
         self
     }
 
@@ -136,6 +152,14 @@ mod tests {
         let t = CollectiveToken::new(exchange_program(&[])).with_value(42);
         assert_eq!(t.value, 42);
         assert_eq!(CollectiveToken::new(exchange_program(&[])).value, 0);
+    }
+
+    #[test]
+    fn team_builder_defaults_to_global() {
+        let t = CollectiveToken::new(exchange_program(&[]));
+        assert_eq!(t.team, TeamId::GLOBAL);
+        let t = t.with_team(TeamId(9));
+        assert_eq!(t.team, TeamId(9));
     }
 
     #[test]

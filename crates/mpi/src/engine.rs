@@ -11,8 +11,11 @@
 use crate::config::{BarrierBinding, MpiConfig};
 use crate::ops::MpiOp;
 use gmsim_des::SimTime;
-use gmsim_gm::{CollectiveSchedule, GlobalPort, GmEvent, HostCtx, HostProgram, ScheduleStep};
-use nic_barrier::{BarrierGroup, Descriptor, ReduceOp};
+use gmsim_gm::{
+    CollectiveSchedule, CollectiveToken, GlobalPort, GmEvent, HostCtx, HostProgram, ScheduleStep,
+    TeamId,
+};
+use nic_barrier::{BarrierGroup, Descriptor, ReduceOp, Team};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -29,11 +32,19 @@ fn user_tag(tag: u32) -> u64 {
     USER_TAG | tag as u64
 }
 
-/// Internal host-barrier tag: round number and the schedule step's packet
-/// kind in the low 32 bits, so cross-round and cross-phase messages never
-/// alias.
-fn hbar_tag(round: u64, kind: u8) -> u64 {
-    HBAR_TAG | (round << 8) | u64::from(kind)
+/// Internal host-barrier tag: team id in bits 48+, round number and the
+/// schedule step's packet kind below, so cross-communicator, cross-round
+/// and cross-phase messages never alias. World barriers ([`TeamId::GLOBAL`])
+/// produce exactly the pre-team tags.
+fn hbar_tag(team: TeamId, round: u64, kind: u8) -> u64 {
+    debug_assert!(team.0 < 1 << 16, "team id too large for the tag encoding");
+    HBAR_TAG | (u64::from(team.0) << 48) | (round << 8) | u64::from(kind)
+}
+
+/// The inbox key of a host-barrier tag: everything but the namespace bit —
+/// team, round and kind all participate in matching.
+fn hbar_key(tag: u64) -> u64 {
+    tag & !HBAR_TAG
 }
 
 /// Host barrier payload size (matches the host baseline).
@@ -62,6 +73,17 @@ struct HostBarrier {
     pc: usize,
     outstanding: Option<Vec<GlobalPort>>,
     round: u64,
+    /// The communicator the barrier runs on; tags carry it so overlapping
+    /// communicators' messages never satisfy each other.
+    team: TeamId,
+}
+
+/// The active sub-communicator: a team handle plus this process's rank
+/// within it. `None` means the world communicator.
+#[derive(Debug)]
+struct Comm {
+    team: Team,
+    rank: usize,
 }
 
 /// Layer statistics for one process.
@@ -75,6 +97,8 @@ pub struct MpiStats {
     pub recvs: u64,
     /// Value collectives completed.
     pub collectives: u64,
+    /// Sub-communicators entered via `CommSplit`.
+    pub comms_created: u64,
     /// The last collective's result value.
     pub last_value: u64,
     /// When the script finished (host-work end), if it has.
@@ -88,12 +112,16 @@ pub struct MpiProcess {
     config: MpiConfig,
     frames: Vec<Frame>,
     blocked: Blocked,
-    /// Unexpected user messages: (src rank, tag) → arrival count.
+    /// Unexpected user messages: (src world rank, tag) → arrival count.
     inbox: HashMap<(usize, u32), u32>,
-    /// Unexpected host-barrier messages: (src rank, round) → seen.
+    /// Unexpected host-barrier messages: (src world rank, tag key) → seen.
     hbar_inbox: HashMap<(usize, u64), u32>,
     hbar: Option<HostBarrier>,
-    barrier_round: u64,
+    /// Host-barrier round counters, one per communicator so rounds stay
+    /// consecutive within each team.
+    barrier_rounds: HashMap<TeamId, u64>,
+    /// The active sub-communicator (`None` = world).
+    comm: Option<Comm>,
     /// Counters.
     pub stats: MpiStats,
 }
@@ -115,13 +143,50 @@ impl MpiProcess {
             inbox: HashMap::new(),
             hbar_inbox: HashMap::new(),
             hbar: None,
-            barrier_round: 0,
+            barrier_rounds: HashMap::new(),
+            comm: None,
             stats: MpiStats::default(),
         }
     }
 
+    /// The communicator ops currently run on: the active split, or world.
+    fn active_group(&self) -> &BarrierGroup {
+        self.comm.as_ref().map_or(&self.group, |c| c.team.group())
+    }
+
+    /// This process's rank within the active communicator.
+    fn active_rank(&self) -> usize {
+        self.comm.as_ref().map_or(self.rank, |c| c.rank)
+    }
+
+    /// The team id the active communicator's collectives run under.
+    fn active_team(&self) -> TeamId {
+        self.comm.as_ref().map_or(TeamId::GLOBAL, |c| c.team.id())
+    }
+
+    /// Stamp a token with the active team (identity on the world, so the
+    /// single-communicator path is byte-for-byte the pre-team one).
+    fn stamp(&self, token: CollectiveToken) -> CollectiveToken {
+        match &self.comm {
+            Some(c) => token.with_team(c.team.id()),
+            None => token,
+        }
+    }
+
+    /// Map a rank in the active communicator to its world rank (the inbox
+    /// key space — events arrive labelled by endpoint, i.e. world member).
+    fn world_rank(&self, rank: usize) -> usize {
+        match &self.comm {
+            Some(c) => self
+                .group
+                .rank_of(c.team.member(rank))
+                .expect("communicator member outside the world group"),
+            None => rank,
+        }
+    }
+
     fn endpoint(&self, rank: usize) -> gmsim_gm::GlobalPort {
-        self.group.member(rank)
+        self.active_group().member(rank)
     }
 
     fn take_inbox(&mut self, src: usize, tag: u32) -> bool {
@@ -168,16 +233,17 @@ impl MpiProcess {
                 return true;
             }
             let round = hb.round;
+            let team = hb.team;
             match hb.schedule.steps[hb.pc].clone() {
                 ScheduleStep::SendTo { peers, kind, .. } => {
                     for peer in peers {
                         ctx.compute(self.config.call_overhead);
-                        ctx.send(peer, HBAR_BYTES, hbar_tag(round, kind));
+                        ctx.send(peer, HBAR_BYTES, hbar_tag(team, round, kind));
                     }
                     self.hbar.as_mut().unwrap().pc += 1;
                 }
                 ScheduleStep::RecvFrom { peers, kind, .. } => {
-                    let key = hbar_tag(round, kind) & 0xFFFF_FFFF;
+                    let key = hbar_key(hbar_tag(team, round, kind));
                     let pending = self
                         .hbar
                         .as_mut()
@@ -187,8 +253,10 @@ impl MpiProcess {
                         .unwrap_or(peers);
                     let mut still_waiting = Vec::new();
                     for peer in pending {
-                        let peer_rank =
-                            self.group.rank_of(peer).expect("barrier peer not in group");
+                        let peer_rank = self
+                            .group
+                            .rank_of(peer)
+                            .expect("barrier peer not in the world group");
                         if self.take_hbar(peer_rank, key) {
                             ctx.compute(self.config.recv_overhead);
                         } else {
@@ -213,16 +281,15 @@ impl MpiProcess {
     /// A `Bcast` tree rooted at an arbitrary rank: rotate ranks so the
     /// root is virtual rank 0, compute the dimension-2 heap tree there,
     /// and map back.
-    fn rotated_broadcast_token(&self, root: usize, value: u64) -> gmsim_gm::CollectiveToken {
-        let n = self.group.len();
-        let virt = (self.rank + n - root) % n;
-        let rotated: Vec<GlobalPort> = (0..n).map(|v| self.group.member((v + root) % n)).collect();
+    fn rotated_broadcast_token(&self, root: usize, value: u64) -> CollectiveToken {
+        let group = self.active_group();
+        let rank = self.active_rank();
+        let n = group.len();
+        let virt = (rank + n - root) % n;
+        let rotated: Vec<GlobalPort> = (0..n).map(|v| group.member((v + root) % n)).collect();
         let schedule = nic_barrier::compile(Descriptor::Bcast { dim: 2 }, virt, &rotated);
-        gmsim_gm::CollectiveToken::new(schedule).with_value(if self.rank == root {
-            value
-        } else {
-            0
-        })
+        let token = CollectiveToken::new(schedule).with_value(if rank == root { value } else { 0 });
+        self.stamp(token)
     }
 
     /// Execute ops until the script blocks or finishes.
@@ -267,6 +334,10 @@ impl MpiProcess {
                 }
                 MpiOp::Recv { src, tag } => {
                     ctx.compute(self.config.call_overhead);
+                    // Receives match on world ranks: events arrive labelled
+                    // by endpoint, so a communicator-relative source is
+                    // translated once here.
+                    let src = self.world_rank(src);
                     if self.take_inbox(src, tag) {
                         ctx.compute(self.config.recv_overhead);
                         self.stats.recvs += 1;
@@ -279,23 +350,32 @@ impl MpiProcess {
                     ctx.compute(self.config.call_overhead);
                     match self.config.barrier {
                         BarrierBinding::NicPe => {
-                            ctx.start_collective(self.group.pe_token(self.rank));
+                            let token =
+                                self.stamp(self.active_group().pe_token(self.active_rank()));
+                            ctx.start_collective(token);
                             self.blocked = Blocked::NicCollective;
                             return;
                         }
                         BarrierBinding::NicGb { dim } => {
-                            ctx.start_collective(self.group.gb_token(self.rank, dim));
+                            let token =
+                                self.stamp(self.active_group().gb_token(self.active_rank(), dim));
+                            ctx.start_collective(token);
                             self.blocked = Blocked::NicCollective;
                             return;
                         }
                         BarrierBinding::HostPe => {
-                            let round = self.barrier_round;
-                            self.barrier_round += 1;
+                            let team = self.active_team();
+                            let counter = self.barrier_rounds.entry(team).or_default();
+                            let round = *counter;
+                            *counter += 1;
                             self.hbar = Some(HostBarrier {
-                                schedule: self.group.compile(Descriptor::Pe, self.rank),
+                                schedule: self
+                                    .active_group()
+                                    .compile(Descriptor::Pe, self.active_rank()),
                                 pc: 0,
                                 outstanding: None,
                                 round,
+                                team,
                             });
                             if self.drive_hbar(ctx) {
                                 self.stats.barriers += 1;
@@ -320,16 +400,54 @@ impl MpiProcess {
                 }
                 MpiOp::Scan { op, value } => {
                     ctx.compute(self.config.call_overhead);
-                    ctx.start_collective(self.group.scan_token(op, self.rank, value));
+                    let token = self.stamp(self.active_group().scan_token(
+                        op,
+                        self.active_rank(),
+                        value,
+                    ));
+                    ctx.start_collective(token);
                     self.blocked = Blocked::NicCollective;
                     return;
+                }
+                MpiOp::CommSplit { base, colors } => {
+                    // Comm_split is collective, but with every rank handed
+                    // the same color array the membership exchange is a
+                    // no-op; only the call overhead is charged.
+                    ctx.compute(self.config.call_overhead);
+                    assert!(
+                        base >= 1,
+                        "team base 0 collides with the world communicator"
+                    );
+                    assert_eq!(
+                        colors.len(),
+                        self.group.len(),
+                        "comm_split needs one color per world rank"
+                    );
+                    let color = colors[self.rank];
+                    let members: Vec<usize> = (0..self.group.len())
+                        .filter(|&r| colors[r] == color)
+                        .collect();
+                    let rank = members
+                        .iter()
+                        .position(|&r| r == self.rank)
+                        .expect("own rank always shares its own color");
+                    let team = Team::subset(TeamId(base + color), &self.group, &members);
+                    self.stats.comms_created += 1;
+                    self.comm = Some(Comm { team, rank });
+                }
+                MpiOp::CommWorld => {
+                    ctx.compute(self.config.call_overhead);
+                    self.comm = None;
                 }
             }
         }
     }
 
-    fn allreduce_token(&self, op: ReduceOp, value: u64) -> gmsim_gm::CollectiveToken {
-        self.group.allreduce_token(op, self.rank, 2, value)
+    fn allreduce_token(&self, op: ReduceOp, value: u64) -> CollectiveToken {
+        self.stamp(
+            self.active_group()
+                .allreduce_token(op, self.active_rank(), 2, value),
+        )
     }
 }
 
@@ -347,7 +465,7 @@ impl HostProgram for MpiProcess {
                     .rank_of(*src)
                     .expect("message from outside the group");
                 if tag & HBAR_TAG != 0 {
-                    let key = tag & 0xFFFF_FFFF;
+                    let key = hbar_key(*tag);
                     *self.hbar_inbox.entry((src_rank, key)).or_default() += 1;
                     if self.blocked == Blocked::HostBarrier && self.drive_hbar(ctx) {
                         self.stats.barriers += 1;
@@ -371,7 +489,7 @@ impl HostProgram for MpiProcess {
                     }
                 }
             }
-            GmEvent::BarrierComplete => {
+            GmEvent::BarrierComplete { .. } => {
                 if self.blocked == Blocked::NicCollective {
                     self.stats.barriers += 1;
                     self.blocked = Blocked::No;
@@ -471,9 +589,147 @@ mod tests {
     #[test]
     fn tag_namespaces_do_not_collide() {
         assert_ne!(user_tag(0) & HBAR_TAG, HBAR_TAG);
-        assert_ne!(hbar_tag(0, 1) & USER_TAG, USER_TAG);
+        assert_ne!(hbar_tag(TeamId::GLOBAL, 0, 1) & USER_TAG, USER_TAG);
         assert_eq!(user_tag(7) & 0xFFFF_FFFF, 7);
         // round 3, packet kind 1 → (3 << 8) | 1
-        assert_eq!(hbar_tag(3, 1) & 0xFFFF_FFFF, 0x301);
+        assert_eq!(hbar_tag(TeamId::GLOBAL, 3, 1) & 0xFFFF_FFFF, 0x301);
+        // the world key is exactly the pre-team key; team bits separate
+        // overlapping communicators' otherwise-identical rounds
+        assert_eq!(hbar_key(hbar_tag(TeamId::GLOBAL, 3, 1)), 0x301);
+        assert_ne!(
+            hbar_key(hbar_tag(TeamId(1), 3, 1)),
+            hbar_key(hbar_tag(TeamId(2), 3, 1))
+        );
+    }
+
+    #[test]
+    fn comm_split_routes_collectives_through_team_handles() {
+        // world of 4, split into odds and evens; world rank 3 is rank 1 of
+        // the odd communicator (team 1 + color 1 = TeamId(2)).
+        let program = script().comm_split(1, vec![0, 1, 0, 1]).barrier().build();
+        let group = BarrierGroup::one_per_node(4, 1);
+        let mut p = MpiProcess::new(group.clone(), 3, MpiConfig::nic_based(), program);
+        let mut ctx = HostCtx::new(SimTime::ZERO, gmsim_gm::NodeId(3), gmsim_gm::PortId(1));
+        p.step(&mut ctx);
+        assert_eq!(p.stats.comms_created, 1);
+        assert_eq!(p.blocked, Blocked::NicCollective);
+        let token = ctx
+            .into_actions()
+            .into_iter()
+            .find_map(|a| match a {
+                gmsim_gm::HostAction::Collective(t) => Some(t),
+                _ => None,
+            })
+            .expect("barrier posts a collective token");
+        assert_eq!(token.team, TeamId(2));
+        // the schedule is compiled for rank 1 of the 2-member odd group:
+        // a pairwise exchange with world rank 1, not with any even rank.
+        let peers: Vec<GlobalPort> = token
+            .schedule
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                ScheduleStep::SendTo { peers, .. } => Some(peers.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        assert_eq!(peers, vec![group.member(1)]);
+    }
+
+    #[test]
+    fn comm_split_translates_p2p_ranks_and_comm_world_restores() {
+        // odd communicator rank 0 = world rank 1; a recv from comm rank 1
+        // must match a message from world rank 3's endpoint.
+        let program = script()
+            .comm_split(1, vec![0, 1, 0, 1])
+            .recv(1, 7)
+            .comm_world()
+            .recv(0, 8)
+            .build();
+        let group = BarrierGroup::one_per_node(4, 1);
+        let mut p = MpiProcess::new(group.clone(), 1, MpiConfig::nic_based(), program);
+        let mut ctx = HostCtx::new(SimTime::ZERO, gmsim_gm::NodeId(1), gmsim_gm::PortId(1));
+        p.step(&mut ctx);
+        assert_eq!(p.blocked, Blocked::Recv { src: 3, tag: 7 });
+        let mut ctx = HostCtx::new(
+            SimTime::from_us(5),
+            gmsim_gm::NodeId(1),
+            gmsim_gm::PortId(1),
+        );
+        p.on_event(
+            &GmEvent::Recv {
+                src: group.member(3),
+                len: 8,
+                tag: user_tag(7),
+            },
+            &mut ctx,
+        );
+        // past comm_world, ranks are world ranks again
+        assert_eq!(p.blocked, Blocked::Recv { src: 0, tag: 8 });
+        let mut ctx = HostCtx::new(
+            SimTime::from_us(9),
+            gmsim_gm::NodeId(1),
+            gmsim_gm::PortId(1),
+        );
+        p.on_event(
+            &GmEvent::Recv {
+                src: group.member(0),
+                len: 8,
+                tag: user_tag(8),
+            },
+            &mut ctx,
+        );
+        assert!(p.stats.finished_at.is_some());
+        assert_eq!(p.stats.recvs, 2);
+    }
+
+    #[test]
+    fn host_barriers_on_overlapping_comms_do_not_cross_satisfy() {
+        // world rank 0 splits into the even communicator and runs a
+        // host-level barrier with world rank 2. A team-0 (world) barrier
+        // message for the same round/kind must NOT unblock it; the
+        // team-stamped one must.
+        let program = script().comm_split(1, vec![0, 1, 0, 1]).barrier().build();
+        let group = BarrierGroup::one_per_node(4, 1);
+        let mut p = MpiProcess::new(group.clone(), 0, MpiConfig::host_based(), program);
+        let mut ctx = HostCtx::new(SimTime::ZERO, gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
+        p.step(&mut ctx);
+        assert_eq!(p.blocked, Blocked::HostBarrier);
+        let hb = p.hbar.as_ref().expect("host barrier in flight");
+        assert_eq!(hb.team, TeamId(1));
+        let (round, kind) = (hb.round, 1);
+        // a stale world-communicator message: same round and kind, team 0
+        let mut ctx = HostCtx::new(
+            SimTime::from_us(3),
+            gmsim_gm::NodeId(0),
+            gmsim_gm::PortId(1),
+        );
+        p.on_event(
+            &GmEvent::Recv {
+                src: group.member(2),
+                len: HBAR_BYTES,
+                tag: hbar_tag(TeamId::GLOBAL, round, kind),
+            },
+            &mut ctx,
+        );
+        assert_eq!(p.blocked, Blocked::HostBarrier, "world tag must not match");
+        // the real team-stamped message completes the barrier
+        let mut ctx = HostCtx::new(
+            SimTime::from_us(4),
+            gmsim_gm::NodeId(0),
+            gmsim_gm::PortId(1),
+        );
+        p.on_event(
+            &GmEvent::Recv {
+                src: group.member(2),
+                len: HBAR_BYTES,
+                tag: hbar_tag(TeamId(1), round, kind),
+            },
+            &mut ctx,
+        );
+        assert_eq!(p.blocked, Blocked::No);
+        assert_eq!(p.stats.barriers, 1);
+        assert!(p.stats.finished_at.is_some());
     }
 }

@@ -56,6 +56,22 @@ pub enum MpiOp {
         /// Loop body (shared so clones of the script are cheap).
         body: Arc<Vec<MpiOp>>,
     },
+    /// `MPI_Comm_split`: partition the world by color and switch this
+    /// process onto its sub-communicator. Ranks in subsequent ops are
+    /// positions within the sub-communicator (world-rank order); the
+    /// engine routes collectives through the resulting team handle, so
+    /// overlapping communicators synchronize independently on the NIC.
+    CommSplit {
+        /// Base team id; color `c`'s communicator gets id `base + c`, so
+        /// every color lands on a cluster-unique team. Must be ≥ 1 (0 is
+        /// the world).
+        base: u32,
+        /// One color per world rank (every rank passes the same array —
+        /// the deterministic stand-in for the MPI-internal exchange).
+        colors: Arc<Vec<u32>>,
+    },
+    /// Return to the world communicator (`MPI_Comm_free` + world ops).
+    CommWorld,
 }
 
 /// Fluent script construction.
@@ -109,6 +125,23 @@ impl ScriptBuilder {
     /// Append local computation in microseconds.
     pub fn compute_us(mut self, us: u64) -> Self {
         self.ops.push(MpiOp::Compute(SimTime::from_us(us)));
+        self
+    }
+
+    /// Append `MPI_Comm_split` with one color per world rank; subsequent
+    /// ops run on the sub-communicator (ranks are sub-communicator
+    /// positions) until [`Self::comm_world`].
+    pub fn comm_split(mut self, base: u32, colors: Vec<u32>) -> Self {
+        self.ops.push(MpiOp::CommSplit {
+            base,
+            colors: Arc::new(colors),
+        });
+        self
+    }
+
+    /// Append a switch back to the world communicator.
+    pub fn comm_world(mut self) -> Self {
+        self.ops.push(MpiOp::CommWorld);
         self
     }
 

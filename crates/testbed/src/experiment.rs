@@ -3,12 +3,14 @@
 use gmsim_des::{Histogram, MetricSet, RunOutcome, SimRng, SimTime, Summary, TraceRecord, Tracer};
 use gmsim_gm::cluster::{Cluster, ClusterBuilder};
 use gmsim_gm::config::CollectiveWireMode;
-use gmsim_gm::{GlobalPort, GmConfig, HostProgram};
+use gmsim_gm::{GlobalPort, GmConfig, GmEvent, HostCtx, HostProgram};
 use gmsim_lanai::NicModel;
 use gmsim_myrinet::FaultPlan;
 use nic_barrier::nic::{TURNAROUND_BINS, TURNAROUND_BIN_US};
-use nic_barrier::programs::{decode_note, NicBarrierLoop};
-use nic_barrier::{BarrierCosts, BarrierExtension, BarrierGroup, Descriptor, HostBarrierLoop};
+use nic_barrier::programs::{decode_note, decode_team_note, MultiTeamBarrierLoop, NicBarrierLoop};
+use nic_barrier::{
+    BarrierCosts, BarrierExtension, BarrierGroup, Descriptor, HostBarrierLoop, Team, TeamId,
+};
 use std::fmt;
 
 use gmsim_des::Counter;
@@ -118,6 +120,25 @@ pub enum ExperimentError {
         /// The peer it could not reach.
         peer: u32,
     },
+    /// The team-attributed form of [`ExperimentError::PeerUnreachable`]: in
+    /// a multi-tenant run the failed node is reported as a member of the
+    /// first team it belongs to, so the caller knows which communicator's
+    /// barrier can never complete.
+    TeamPeerUnreachable {
+        /// The affected team.
+        team: TeamId,
+        /// The failed member's rank within that team.
+        rank: u32,
+    },
+    /// A multi-tenant run placed no teams, or sizes outside `2..=nodes`.
+    InvalidTeamSizes {
+        /// Requested minimum team size.
+        min: usize,
+        /// Requested maximum team size.
+        max: usize,
+        /// Available nodes.
+        nodes: usize,
+    },
     /// A round completed on fewer processes than participate.
     IncompleteRound {
         /// The deficient round.
@@ -152,6 +173,14 @@ impl fmt::Display for ExperimentError {
             ExperimentError::PeerUnreachable { node, peer } => write!(
                 f,
                 "node {node} exhausted its retransmit budget against node {peer}"
+            ),
+            ExperimentError::TeamPeerUnreachable { team, rank } => write!(
+                f,
+                "rank {rank} of team {team:?} became unreachable (retransmit budget exhausted)"
+            ),
+            ExperimentError::InvalidTeamSizes { min, max, nodes } => write!(
+                f,
+                "team sizes {min}..={max} invalid for {nodes} nodes (need 2 <= min <= max <= nodes)"
             ),
             ExperimentError::IncompleteRound {
                 round,
@@ -211,6 +240,11 @@ pub struct BarrierExperiment {
     pub fault_plan: FaultPlan,
     /// Structured-trace ring capacity (`None` = tracing disabled).
     pub trace_capacity: Option<usize>,
+    /// The team label the barrier runs under. [`TeamId::GLOBAL`] (the
+    /// default) is the classic whole-cluster barrier; any other id runs the
+    /// identical schedule as that team — in an otherwise idle cluster the
+    /// latencies must be bit-identical (the refactor's safety property).
+    pub team: TeamId,
 }
 
 impl BarrierExperiment {
@@ -231,7 +265,15 @@ impl BarrierExperiment {
             costs: BarrierCosts::GM_1_2_3,
             fault_plan: FaultPlan::NONE,
             trace_capacity: None,
+            team: TeamId::GLOBAL,
         }
+    }
+
+    /// Run the barrier under a team label other than the global one.
+    #[must_use]
+    pub fn team(mut self, team: TeamId) -> Self {
+        self.team = team;
+        self
     }
 
     /// Override the collective wire mode.
@@ -373,11 +415,14 @@ impl BarrierExperiment {
     }
 
     fn make_program(&self, group: &BarrierGroup, rank: usize) -> Box<dyn HostProgram> {
+        let team = Team::new(self.team, group.clone());
         match self.algorithm {
             Algorithm::Nic(desc) => {
-                Box::new(NicBarrierLoop::new(group.clone(), rank, desc, self.rounds))
+                Box::new(NicBarrierLoop::for_team(&team, rank, desc, self.rounds))
             }
-            Algorithm::Host(desc) => Box::new(HostBarrierLoop::new(group, rank, desc, self.rounds)),
+            Algorithm::Host(desc) => {
+                Box::new(HostBarrierLoop::for_team(&team, rank, desc, self.rounds))
+            }
         }
     }
 
@@ -487,6 +532,10 @@ pub(crate) fn collect_metrics(cluster: &Cluster) -> (MetricSet, Histogram) {
     m.add(Counter::DupRx, fabric.duplicates);
     m.add(Counter::ReorderRx, fabric.reorders);
     let mut turnaround = Histogram::new(TURNAROUND_BIN_US, TURNAROUND_BINS);
+    // Team counters aggregate differently from plain sums: the peak is a
+    // max across NICs and the team count is the number of *distinct* ids.
+    let mut concurrent_peak = 0u64;
+    let mut teams: Vec<TeamId> = Vec::new();
     for node in &cluster.nodes {
         let stats = &node.mcp.core.stats;
         m.add(Counter::PacketsRetransmitted, stats.retx);
@@ -512,9 +561,16 @@ pub(crate) fn collect_metrics(cluster: &Cluster) -> (MetricSet, Histogram) {
             m.add(Counter::BarrierCompletions, b.completions);
             m.add(Counter::RejectsSent, b.rejects_sent);
             m.add(Counter::BarrierResends, b.resends);
+            m.add(Counter::CrossTeamRejects, b.cross_team_rejects);
+            concurrent_peak = concurrent_peak.max(b.concurrent_peak);
+            teams.extend_from_slice(ext.teams_seen());
             turnaround.merge(ext.turnaround());
         }
     }
+    teams.sort_unstable();
+    teams.dedup();
+    m.add(Counter::TeamsCreated, teams.len() as u64);
+    m.add(Counter::ConcurrentPeak, concurrent_peak);
     (m, turnaround)
 }
 
@@ -538,6 +594,338 @@ pub struct Measurement {
     /// Structured event trace (empty unless
     /// [`BarrierExperiment::trace`] enabled it).
     pub trace: Vec<TraceRecord>,
+}
+
+/// Where one team landed: its id and the nodes hosting its members, in
+/// team-rank order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TeamPlacement {
+    /// The team's cluster-unique id.
+    pub id: TeamId,
+    /// Member nodes in rank order (one process per node, port 1).
+    pub members: Vec<usize>,
+}
+
+/// Background point-to-point load: a fixed budget of messages to one peer,
+/// paced by `Sent` completions so the NIC always has exactly one background
+/// send in flight. Runs on its own port next to the barrier jobs.
+struct BackgroundTraffic {
+    peer: GlobalPort,
+    remaining: u64,
+    expected: u32,
+    len: usize,
+}
+
+/// Tag background messages so they never collide with anything meaningful.
+const BACKGROUND_TAG: u64 = 0xB0 << 32;
+
+impl HostProgram for BackgroundTraffic {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        ctx.provide_recv(self.expected);
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_notify(self.peer, self.len, BACKGROUND_TAG);
+        }
+    }
+
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        if matches!(ev, GmEvent::Sent { .. }) && self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_notify(self.peer, self.len, BACKGROUND_TAG);
+        }
+    }
+}
+
+/// A multi-job driver: places `teams` teams of mixed sizes across the
+/// cluster and runs their barriers *concurrently*, optionally under
+/// background point-to-point traffic — the multi-tenant workload the
+/// per-team NIC state exists for. Teams overlap freely: one node typically
+/// hosts several teams' members on the same port, so their runs interleave
+/// inside one firmware extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiTenantExperiment {
+    /// Cluster size in nodes.
+    pub nodes: usize,
+    /// Number of concurrent teams.
+    pub teams: usize,
+    /// Smallest team size (inclusive).
+    pub min_team: usize,
+    /// Largest team size (inclusive).
+    pub max_team: usize,
+    /// Barrier rounds per team.
+    pub rounds: u64,
+    /// Leading rounds excluded from the statistics.
+    pub warmup: u64,
+    /// Seed for placement (and the skewless deterministic schedule).
+    pub seed: u64,
+    /// Run background point-to-point traffic on a second port per node.
+    pub background: bool,
+    /// Background messages each node sends to its ring neighbor.
+    pub background_messages: u64,
+    /// NIC hardware model.
+    pub nic: NicModel,
+    /// Firmware extension cost table.
+    pub costs: BarrierCosts,
+}
+
+impl MultiTenantExperiment {
+    /// `teams` teams of 2..=4 members over `nodes` nodes, LANai 4.3.
+    pub fn new(nodes: usize, teams: usize) -> Self {
+        MultiTenantExperiment {
+            nodes,
+            teams,
+            min_team: 2,
+            max_team: 4.min(nodes),
+            rounds: 60,
+            warmup: 10,
+            seed: 42,
+            background: false,
+            background_messages: 200,
+            nic: NicModel::LANAI_4_3,
+            costs: BarrierCosts::GM_1_2_3,
+        }
+    }
+
+    /// Override the team-size range (inclusive).
+    #[must_use]
+    pub fn team_sizes(mut self, min: usize, max: usize) -> Self {
+        self.min_team = min;
+        self.max_team = max;
+        self
+    }
+
+    /// Override rounds/warmup.
+    #[must_use]
+    pub fn rounds(mut self, rounds: u64, warmup: u64) -> Self {
+        self.rounds = rounds;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Override the placement seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable/disable background point-to-point traffic.
+    #[must_use]
+    pub fn background(mut self, on: bool) -> Self {
+        self.background = on;
+        self
+    }
+
+    /// Override the NIC model.
+    #[must_use]
+    pub fn nic(mut self, nic: NicModel) -> Self {
+        self.nic = nic;
+        self
+    }
+
+    /// Check the configuration without running anything.
+    pub fn validate(&self) -> Result<(), ExperimentError> {
+        if self.nodes == 0 || self.teams == 0 {
+            return Err(ExperimentError::ZeroProcs);
+        }
+        if self.rounds == 0 {
+            return Err(ExperimentError::ZeroRounds);
+        }
+        if self.warmup + 1 >= self.rounds {
+            return Err(ExperimentError::WarmupNotBelowRounds {
+                rounds: self.rounds,
+                warmup: self.warmup,
+            });
+        }
+        if self.min_team < 2 || self.min_team > self.max_team || self.max_team > self.nodes {
+            return Err(ExperimentError::InvalidTeamSizes {
+                min: self.min_team,
+                max: self.max_team,
+                nodes: self.nodes,
+            });
+        }
+        Ok(())
+    }
+
+    /// The deterministic placement this experiment runs: team `i` gets id
+    /// `TeamId(1 + i)` and a seeded random subset of nodes.
+    pub fn placement(&self) -> Vec<TeamPlacement> {
+        let mut rng = SimRng::new(self.seed ^ 0x7EA5);
+        let mut scratch: Vec<usize> = (0..self.nodes).collect();
+        let span = (self.max_team - self.min_team + 1) as u64;
+        (0..self.teams)
+            .map(|i| {
+                let size = self.min_team + rng.below(span) as usize;
+                // Partial Fisher–Yates: the first `size` entries become a
+                // uniform random `size`-subset of the nodes.
+                for k in 0..size {
+                    let j = k + rng.below((self.nodes - k) as u64) as usize;
+                    scratch.swap(k, j);
+                }
+                let mut members = scratch[..size].to_vec();
+                members.sort_unstable();
+                TeamPlacement {
+                    id: TeamId(1 + i as u32),
+                    members,
+                }
+            })
+            .collect()
+    }
+
+    /// Run every team's barrier loop concurrently and aggregate per-team
+    /// latencies.
+    ///
+    /// # Errors
+    /// Configuration errors are returned before anything runs;
+    /// [`ExperimentError::Hung`], [`ExperimentError::TeamPeerUnreachable`]
+    /// and [`ExperimentError::IncompleteRound`] report runtime failures.
+    pub fn run(&self) -> Result<MultiTenantMeasurement, ExperimentError> {
+        self.validate()?;
+        let placements = self.placement();
+        let config = GmConfig::paper_host(self.nic);
+        let topology = gmsim_myrinet::TopologyBuilder::for_cluster(self.nodes);
+        let mut builder = ClusterBuilder::new(self.nodes)
+            .config(config)
+            .topology(topology)
+            .extension(BarrierExtension::factory_with_costs(self.costs));
+
+        // One MultiTeamBarrierLoop per node drives all of that node's team
+        // memberships on port 1 — overlapping teams share the extension.
+        let mut loops: Vec<MultiTeamBarrierLoop> = (0..self.nodes)
+            .map(|_| MultiTeamBarrierLoop::new())
+            .collect();
+        for placement in &placements {
+            let group = BarrierGroup::new(
+                placement
+                    .members
+                    .iter()
+                    .map(|&n| GlobalPort::new(n, 1))
+                    .collect(),
+            );
+            let team = Team::new(placement.id, group);
+            for (rank, &node) in placement.members.iter().enumerate() {
+                loops[node].push(&team, rank, Descriptor::Pe, self.rounds);
+            }
+        }
+        for (node, barrier_loop) in loops.into_iter().enumerate() {
+            if !barrier_loop.is_empty() {
+                builder = builder.program(
+                    GlobalPort::new(node, 1),
+                    Box::new(barrier_loop),
+                    SimTime::ZERO,
+                );
+            }
+        }
+        if self.background && self.nodes > 1 {
+            for node in 0..self.nodes {
+                let traffic = BackgroundTraffic {
+                    peer: GlobalPort::new((node + 1) % self.nodes, 2),
+                    remaining: self.background_messages,
+                    expected: self.background_messages as u32,
+                    len: 512,
+                };
+                builder =
+                    builder.program(GlobalPort::new(node, 2), Box::new(traffic), SimTime::ZERO);
+            }
+        }
+
+        let mut sim = builder.build();
+        let outcome = sim.run();
+        if outcome != RunOutcome::Quiescent {
+            return Err(ExperimentError::Hung { outcome });
+        }
+        let events = sim.events_fired();
+        let cluster = sim.into_world();
+
+        for (node, n) in cluster.nodes.iter().enumerate() {
+            if let Some(conn) = n.mcp.core.connections().find(|c| c.is_dead()) {
+                // Attribute the failure to the first team the node serves.
+                for placement in &placements {
+                    if let Some(rank) = placement.members.iter().position(|&m| m == node) {
+                        return Err(ExperimentError::TeamPeerUnreachable {
+                            team: placement.id,
+                            rank: rank as u32,
+                        });
+                    }
+                }
+                return Err(ExperimentError::PeerUnreachable {
+                    node: node as u32,
+                    peer: conn.peer().0 as u32,
+                });
+            }
+        }
+
+        // Per-team round completion: a team's round is done when its last
+        // member's note lands; the gap between rounds is that team's
+        // consecutive-barrier latency under contention.
+        let rounds = self.rounds as usize;
+        let mut round_done = vec![vec![SimTime::ZERO; rounds]; self.teams];
+        let mut counts = vec![vec![0u64; rounds]; self.teams];
+        for note in &cluster.notes {
+            if let Some((team, round)) = decode_team_note(note.tag) {
+                let t = (team.0 - 1) as usize;
+                let r = round as usize;
+                round_done[t][r] = round_done[t][r].max(note.at);
+                counts[t][r] += 1;
+            }
+        }
+        let mut per_team_mean_us = Vec::with_capacity(self.teams);
+        let mut gaps: Vec<f64> = Vec::new();
+        for (t, placement) in placements.iter().enumerate() {
+            let expected = placement.members.len() as u64;
+            for (r, &c) in counts[t].iter().enumerate() {
+                if c != expected {
+                    return Err(ExperimentError::IncompleteRound {
+                        round: r as u64,
+                        completed: c,
+                        expected,
+                    });
+                }
+            }
+            let mut team_sum = 0.0;
+            let mut team_rounds = 0u64;
+            for r in (self.warmup as usize + 1)..rounds {
+                let gap = (round_done[t][r] - round_done[t][r - 1]).as_us_f64();
+                gaps.push(gap);
+                team_sum += gap;
+                team_rounds += 1;
+            }
+            per_team_mean_us.push(team_sum / team_rounds as f64);
+        }
+        gaps.sort_unstable_by(|a, b| a.partial_cmp(b).expect("gap is never NaN"));
+        let mean_us = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let p99_us = gaps[((gaps.len() - 1) as f64 * 0.99).ceil() as usize];
+        let (metrics, _) = collect_metrics(&cluster);
+        Ok(MultiTenantMeasurement {
+            nodes: self.nodes,
+            teams: self.teams,
+            mean_us,
+            p99_us,
+            per_team_mean_us,
+            events,
+            metrics,
+        })
+    }
+}
+
+/// The result of one multi-tenant run.
+#[derive(Debug, Clone)]
+pub struct MultiTenantMeasurement {
+    /// Cluster size in nodes.
+    pub nodes: usize,
+    /// Concurrent teams measured.
+    pub teams: usize,
+    /// Mean steady-state barrier latency across every team's rounds, µs.
+    pub mean_us: f64,
+    /// 99th-percentile round latency across every team's rounds, µs.
+    pub p99_us: f64,
+    /// Each team's own mean latency, µs (index = team id - 1).
+    pub per_team_mean_us: Vec<f64>,
+    /// Simulation events fired.
+    pub events: u64,
+    /// Aggregated cluster counters, including the team counters
+    /// (`TeamsCreated`, `ConcurrentPeak`, `CrossTeamRejects`).
+    pub metrics: MetricSet,
 }
 
 #[cfg(test)]
@@ -728,6 +1116,92 @@ mod tests {
         assert!(m.nic_turnaround.mean().unwrap() > 0.0);
         // Tracing was not requested: no trace rides back.
         assert!(m.trace.is_empty());
+    }
+
+    #[test]
+    fn team_error_variants_display_their_context() {
+        let e = ExperimentError::TeamPeerUnreachable {
+            team: TeamId(7),
+            rank: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("t7") && s.contains("rank 3"), "{s}");
+        let e = ExperimentError::InvalidTeamSizes {
+            min: 5,
+            max: 3,
+            nodes: 4,
+        };
+        assert!(e.to_string().contains("5..=3"), "{e}");
+    }
+
+    #[test]
+    fn team_label_is_latency_invisible_in_idle_cluster() {
+        // The refactor's safety property, in miniature: a team of size N in
+        // an otherwise idle cluster behaves bit-identically to the global
+        // barrier. (The exhaustive version lives in tests/team_equivalence.)
+        for alg in [
+            Algorithm::Nic(Descriptor::Pe),
+            Algorithm::Host(Descriptor::Pe),
+        ] {
+            let global = quick(4, alg).run().unwrap();
+            let team = quick(4, alg).team(TeamId(9)).run().unwrap();
+            assert_eq!(global.mean_us, team.mean_us, "{alg:?}");
+            assert_eq!(global.first_round_us, team.first_round_us, "{alg:?}");
+            assert_eq!(global.events, team.events, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn multitenant_placement_is_deterministic_and_in_bounds() {
+        let e = MultiTenantExperiment::new(16, 20).team_sizes(2, 5);
+        let a = e.placement();
+        let b = e.placement();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        for (i, p) in a.iter().enumerate() {
+            assert_eq!(p.id, TeamId(1 + i as u32));
+            assert!((2..=5).contains(&p.members.len()));
+            assert!(p.members.windows(2).all(|w| w[0] < w[1]), "{:?}", p.members);
+            assert!(p.members.iter().all(|&n| n < 16));
+        }
+        // mixed sizes actually occur
+        let sizes: Vec<usize> = a.iter().map(|p| p.members.len()).collect();
+        assert!(sizes.iter().any(|&s| s != sizes[0]), "{sizes:?}");
+    }
+
+    #[test]
+    fn multitenant_runs_overlapping_teams_concurrently() {
+        let m = MultiTenantExperiment::new(8, 6)
+            .team_sizes(2, 4)
+            .rounds(30, 5)
+            .background(true)
+            .run()
+            .unwrap();
+        assert_eq!(m.per_team_mean_us.len(), 6);
+        assert!(m.mean_us > 0.0 && m.p99_us >= m.mean_us, "{m:?}");
+        assert_eq!(m.metrics.get(Counter::TeamsCreated), 6);
+        // 6 teams of ≥2 members on 8 nodes must overlap somewhere.
+        assert!(m.metrics.get(Counter::ConcurrentPeak) >= 2);
+    }
+
+    #[test]
+    fn multitenant_invalid_configs_are_rejected() {
+        use ExperimentError as E;
+        assert_eq!(
+            MultiTenantExperiment::new(8, 0).run().unwrap_err(),
+            E::ZeroProcs
+        );
+        assert_eq!(
+            MultiTenantExperiment::new(4, 2)
+                .team_sizes(2, 9)
+                .run()
+                .unwrap_err(),
+            E::InvalidTeamSizes {
+                min: 2,
+                max: 9,
+                nodes: 4
+            }
+        );
     }
 
     #[test]

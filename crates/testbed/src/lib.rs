@@ -28,9 +28,12 @@ pub mod table;
 
 pub use diagram::Diagram;
 pub use engine::{cell_seed, SweepEngine};
-pub use experiment::{Algorithm, BarrierExperiment, ExperimentError, Measurement, Placement};
+pub use experiment::{
+    Algorithm, BarrierExperiment, ExperimentError, Measurement, MultiTenantExperiment,
+    MultiTenantMeasurement, Placement, TeamPlacement,
+};
 pub use fuzzy::FuzzyExperiment;
-pub use nic_barrier::Descriptor;
+pub use nic_barrier::{Descriptor, TeamId};
 pub use sweep::{best_gb_dim, run_all, run_all_with};
 pub use table::Table;
 
@@ -48,11 +51,12 @@ pub use table::Table;
 pub mod prelude {
     pub use crate::engine::{cell_seed, SweepEngine};
     pub use crate::experiment::{
-        Algorithm, BarrierExperiment, ExperimentError, Measurement, Placement,
+        Algorithm, BarrierExperiment, ExperimentError, Measurement, MultiTenantExperiment,
+        MultiTenantMeasurement, Placement, TeamPlacement,
     };
     pub use crate::fuzzy::FuzzyExperiment;
     pub use gmsim_des::{Counter, MetricSet, TraceRecord};
     pub use gmsim_lanai::NicModel;
     pub use gmsim_myrinet::FaultPlan;
-    pub use nic_barrier::{BarrierCosts, Descriptor};
+    pub use nic_barrier::{BarrierCosts, Descriptor, TeamId};
 }

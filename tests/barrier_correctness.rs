@@ -199,7 +199,7 @@ impl HostProgram for AlternatingLoop {
         ctx.start_collective(self.token());
     }
     fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
-        if matches!(ev, GmEvent::BarrierComplete) {
+        if matches!(ev, GmEvent::BarrierComplete { .. }) {
             ctx.note(nic_barrier_suite::barrier::programs::note_tag(self.round));
             self.round += 1;
             if self.round < self.rounds {

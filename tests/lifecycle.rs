@@ -45,7 +45,7 @@ impl HostProgram for Replacement {
         ctx.start_collective(self.group.pe_token(self.rank));
     }
     fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
-        if matches!(ev, GmEvent::BarrierComplete) && !self.done {
+        if matches!(ev, GmEvent::BarrierComplete { .. }) && !self.done {
             self.done = true;
             ctx.note(note_tag(0));
         }

@@ -140,7 +140,7 @@ impl HostProgram for SenderThenBarrier {
         ctx.start_collective(self.group.pe_token(0)); // then the barrier
     }
     fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
-        if matches!(ev, GmEvent::BarrierComplete) {
+        if matches!(ev, GmEvent::BarrierComplete { .. }) {
             ctx.note(note_tag(0));
         }
     }
@@ -161,7 +161,7 @@ impl HostProgram for ReceiverInBarrier {
                 ctx.provide_recv(1);
                 ctx.note(1000);
             }
-            GmEvent::BarrierComplete => {
+            GmEvent::BarrierComplete { .. } => {
                 self.barrier_at = Some(ctx.now);
                 ctx.note(note_tag(0));
             }
