@@ -72,7 +72,7 @@ type Payload = [u64; 4];
 /// event, exactly like the pre-refactor cluster glue that captured a
 /// `Packet` per hop.
 fn boxed_payload_events_per_sec(samples: usize) -> f64 {
-    fn tick(payload: Payload) -> impl FnOnce(&mut u64, &mut Scheduler<u64>) + 'static {
+    fn tick(payload: Payload) -> impl FnOnce(&mut u64, &mut Scheduler<u64>) + Send + 'static {
         move |w, s| {
             *w += 1;
             let mut next = std::hint::black_box(payload);

@@ -298,34 +298,55 @@ fn headline() {
 
 /// §2.2's scaling prediction taken far beyond the paper's testbed: barrier
 /// latency vs cluster size for PE, GB (d = 8), and dissemination, NIC- and
-/// host-based, on both LANai generations, from 32 up to 1024 nodes on the
-/// two-level Clos fabric. Every point is cross-checked against the analytic
-/// scaling forms in `nic_barrier::analytic` within the stated tolerances
-/// ([`nic_barrier::PE_MODEL_TOLERANCE`] / [`nic_barrier::GB_MODEL_TOLERANCE`]).
-/// The grid runs through
+/// host-based, on both LANai generations, from 32 up to 4096 nodes (the
+/// two-level Clos through 1024, the three-level Clos beyond). Every point
+/// is cross-checked against the analytic scaling forms in
+/// `nic_barrier::analytic` within the stated tolerances
+/// ([`nic_barrier::PE_MODEL_TOLERANCE`] / [`nic_barrier::GB_MODEL_TOLERANCE`]);
+/// any violation is reported inline with the offending configuration and
+/// the study exits nonzero. The grid runs through
 /// the parallel [`gmsim_testbed::SweepEngine`] with a deterministic
-/// per-cell seed, and the results land in `BENCH_scale.json` for CI.
-/// `--smoke` caps the sweep at 256 nodes (the CI scale-smoke job).
+/// per-cell seed; the 2048/4096-node rows ride the conservative parallel
+/// DES engine (DESIGN.md §15). A closing table times one N = 1024 cell
+/// serial vs 2/4/8 PDES workers and gates their bit-identity. Results —
+/// including host core count and the worker counts used — land in
+/// `BENCH_scale.json` for CI. `--smoke` caps the sweep at 256 nodes plus
+/// one tiny 2048-node PDES cell (the CI scale-smoke and pdes-smoke jobs).
 ///
-/// Returns `false` if any point violates its tolerance.
+/// Returns `false` if any point violates its tolerance or any parallel
+/// run diverges from serial.
 fn scaling_study(smoke: bool) -> bool {
     use gmsim_testbed::{cell_seed, SweepEngine};
     use nic_barrier::{GB_MODEL_TOLERANCE, PE_MODEL_TOLERANCE};
+    use std::time::Instant;
 
     /// Base seed for the per-cell seed stream; arbitrary but fixed so the
     /// study is reproducible run-to-run and across worker counts.
     const SCALE_SEED: u64 = 0x5ca1_ab1e_0000_0001;
 
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    // Workers for the in-simulation parallel engine. Capped at 8 (the
+    // widest configuration the speedup table measures); on a single-core
+    // host this is 1 and `build_parallel` falls back to the serial
+    // scheduler — the results are bit-identical either way.
+    let pdes_threads = host_cores.min(8);
+
     println!(
         "\n=== scale{}: barrier latency vs nodes, 32..{}, vs analytic model ===",
         if smoke { " (smoke)" } else { "" },
-        if smoke { 256 } else { 1024 }
+        if smoke { "256 (+2048 pdes)" } else { "4096" }
     );
-    let sizes: &[usize] = if smoke {
+    let grid: &[usize] = if smoke {
         &[32, 64, 128, 256]
     } else {
         &[32, 64, 128, 256, 512, 1024]
     };
+    // Beyond the sweep grid: cluster sizes that only the parallel engine
+    // makes practical. Fewer rounds (the steady state is reached within
+    // two), and in smoke mode a single tiny PE cell keeps the CI path hot.
+    let big: &[usize] = if smoke { &[2048] } else { &[2048, 4096] };
     // (algorithm, json key, is_gb) — GB points get the looser tolerance.
     let algs: [(Algorithm, &str, bool); 6] = [
         (Algorithm::Nic(Descriptor::Pe), "nic_pe", false),
@@ -345,7 +366,7 @@ fn scaling_study(smoke: bool) -> bool {
     ];
     let mut cells = Vec::new();
     for nic in [NicModel::LANAI_4_3, NicModel::LANAI_7_2] {
-        for &n in sizes {
+        for &n in grid {
             for &(alg, key, is_gb) in &algs {
                 let mut e = BarrierExperiment::new(n, alg).nic(nic).rounds(30, 5);
                 e.seed = cell_seed(SCALE_SEED, cells.len() as u64);
@@ -353,7 +374,25 @@ fn scaling_study(smoke: bool) -> bool {
             }
         }
     }
-    let measured = SweepEngine::new().run(&cells, |_, (_, _, key, _, e)| {
+    for nic in [NicModel::LANAI_4_3, NicModel::LANAI_7_2] {
+        for &n in big {
+            for &(alg, key, is_gb) in &algs {
+                if smoke && (nic != NicModel::LANAI_4_3 || key != "nic_pe") {
+                    continue;
+                }
+                let (rounds, warmup) = if smoke { (6, 1) } else { (12, 2) };
+                let mut e = BarrierExperiment::new(n, alg)
+                    .nic(nic)
+                    .rounds(rounds, warmup)
+                    .parallel(pdes_threads);
+                e.seed = cell_seed(SCALE_SEED, cells.len() as u64);
+                cells.push((nic, n, key, is_gb, e));
+            }
+        }
+    }
+    let sweep = SweepEngine::new();
+    let sweep_workers = sweep.effective_workers(cells.len());
+    let measured = sweep.run(&cells, |_, (_, _, key, _, e)| {
         e.run()
             .unwrap_or_else(|err| panic!("scale cell {key} n={}: {err}", e.procs))
             .mean_us
@@ -390,6 +429,19 @@ fn scaling_study(smoke: bool) -> bool {
         let rel = (model - meas) / meas;
         let pass = rel.abs() <= tol;
         ok &= pass;
+        if !pass {
+            eprintln!(
+                "scale: FAIL {} n={} {}: model {:.3} us vs sim {:.3} us \
+                 ({:+.1}% exceeds the ±{:.0}% tolerance)",
+                nic.name,
+                n,
+                key,
+                model,
+                meas,
+                rel * 100.0,
+                tol * 100.0
+            );
+        }
         t.row(vec![
             nic.name.to_string(),
             n.to_string(),
@@ -420,11 +472,81 @@ fn scaling_study(smoke: bool) -> bool {
     }
     print!("{}", t.render());
     println!("(NIC-PE's lead over host-PE keeps widening with log2 N, as §2.2 predicts)");
+
+    // Wall-clock speedup of the conservative parallel engine on one run:
+    // the same experiment, serial vs 2/4/8 workers. The virtual-time mean
+    // must be bit-identical at every worker count (the DESIGN.md §15
+    // contract); wall-clock speedup depends on the host — with
+    // `host_cores` = 1 every worker count shares the core and the table
+    // documents slowdown, not speedup.
+    let speed_n = if smoke { 64 } else { 1024 };
+    let (srounds, swarmup) = if smoke { (10, 2) } else { (20, 4) };
+    println!("\n--- pdes speedup: NIC-PE {speed_n} nodes, serial vs parallel workers ---");
+    let mut st = Table::new(vec![
+        "workers",
+        "wall (s)",
+        "speedup",
+        "mean (us)",
+        "bit-identical",
+    ]);
+    let mut speed_rows = Vec::new();
+    let base =
+        BarrierExperiment::new(speed_n, Algorithm::Nic(Descriptor::Pe)).rounds(srounds, swarmup);
+    let mut serial_wall = None;
+    let mut serial_mean: Option<f64> = None;
+    for &threads in &[1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let m = base
+            .parallel(threads)
+            .run()
+            .unwrap_or_else(|err| panic!("speedup cell t={threads}: {err}"));
+        let wall = start.elapsed().as_secs_f64();
+        let base_wall = *serial_wall.get_or_insert(wall);
+        let reference = *serial_mean.get_or_insert(m.mean_us);
+        let identical = m.mean_us.to_bits() == reference.to_bits();
+        if !identical {
+            eprintln!(
+                "scale: FAIL pdes t={threads} n={speed_n}: mean {:.17e} us \
+                 diverged from serial {:.17e} us",
+                m.mean_us, reference
+            );
+        }
+        ok &= identical;
+        let speedup = base_wall / wall;
+        st.row(vec![
+            threads.to_string(),
+            format!("{wall:.2}"),
+            factor(speedup),
+            us(m.mean_us),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+        speed_rows.push(format!(
+            concat!(
+                "    {{\"nodes\": {n}, \"threads\": {threads}, \"wall_s\": {wall:.3}, ",
+                "\"speedup\": {speedup:.3}, \"mean_us\": {mean:.4}, ",
+                "\"bit_identical\": {identical}}}"
+            ),
+            n = speed_n,
+            threads = threads,
+            wall = wall,
+            speedup = speedup,
+            mean = m.mean_us,
+            identical = identical,
+        ));
+    }
+    print!("{}", st.render());
+
     let json = format!(
-        "{{\n  \"schema\": \"gmsim-scale/v1\",\n  \"experiment\": \
-         \"latency_vs_nodes_vs_analytic_model\",\n  \"smoke\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"gmsim-scale/v2\",\n  \"experiment\": \
+         \"latency_vs_nodes_vs_analytic_model\",\n  \"smoke\": {},\n  \
+         \"host_cores\": {},\n  \"sweep_workers\": {},\n  \"pdes_threads\": {},\n  \
+         \"points\": [\n{}\n  ],\n  \"speedup\": [\n{}\n  ]\n}}\n",
         smoke,
-        json_rows.join(",\n")
+        host_cores,
+        sweep_workers,
+        pdes_threads,
+        json_rows.join(",\n"),
+        speed_rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
     std::fs::write(out, &json).expect("write BENCH_scale.json");

@@ -155,10 +155,17 @@ impl CostModel {
     /// Wire cost of one hop between endpoints `dist` ranks apart in an
     /// `n`-node cluster: the single-crossbar term, plus the cross-leaf
     /// surcharge once the cluster is a Clos and the partner cannot share a
-    /// leaf.
+    /// leaf, plus a second surcharge once the cluster is a three-level
+    /// Clos (`n > 1024`) and the partner lives in another 64-host pod —
+    /// the leaf→spine→core→spine→leaf route pays two more fall-throughs
+    /// and two more propagations than the in-pod leaf→spine→leaf route.
     fn hop_us(&self, n: usize, dist: usize) -> f64 {
+        let pod_hosts = TopologyBuilder::CLOS_LEAF_HOSTS * TopologyBuilder::CLOS_LEAF_HOSTS;
         let clos = n > TopologyBuilder::MAX_SINGLE_SWITCH_HOSTS;
-        if clos && dist >= TopologyBuilder::CLOS_LEAF_HOSTS {
+        let clos3 = n > TopologyBuilder::MAX_TWO_LEVEL_HOSTS;
+        if clos3 && dist >= pod_hosts {
+            self.network_us + 2.0 * self.cross_extra_us
+        } else if clos && dist >= TopologyBuilder::CLOS_LEAF_HOSTS {
             self.network_us + self.cross_extra_us
         } else {
             self.network_us
@@ -364,6 +371,27 @@ mod tests {
             (scaled - flat - 2.0 * m.cross_extra_us).abs() < 1e-9,
             "scaled={scaled} flat={flat} extra={}",
             m.cross_extra_us
+        );
+    }
+
+    #[test]
+    fn cross_pod_surcharge_kicks_in_past_one_thousand_twenty_four() {
+        let m = model_43();
+        // n=2048 has 11 PE rounds: distances 1..=4 intra-leaf, 8..=32
+        // cross-leaf (3 surcharges), 64..=1024 cross-pod (5 double
+        // surcharges).
+        let flat = m.nic_barrier_us(2048);
+        let scaled = m.nic_pe_us(2048);
+        let expect = 3.0 * m.cross_extra_us + 5.0 * 2.0 * m.cross_extra_us;
+        assert!(
+            (scaled - flat - expect).abs() < 1e-9,
+            "scaled={scaled} flat={flat} expect={expect}"
+        );
+        // At the two-level boundary the pod surcharge must NOT apply.
+        let b1024 = m.nic_pe_us(1024) - m.nic_barrier_us(1024);
+        assert!(
+            (b1024 - 7.0 * m.cross_extra_us).abs() < 1e-9,
+            "1024 nodes stay two-level: {b1024}"
         );
     }
 

@@ -36,6 +36,7 @@
 
 pub mod check;
 pub mod metrics;
+pub mod pdes;
 pub mod rng;
 pub mod scheduler;
 pub mod stats;

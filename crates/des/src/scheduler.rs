@@ -54,7 +54,7 @@ pub trait Event<W>: Sized {
 
 /// A boxed event closure: what [`Scheduler::schedule_fn`] wraps and
 /// [`Event::from_boxed`] absorbs.
-pub type BoxedFn<W, E> = Box<dyn FnOnce(&mut W, &mut Scheduler<W, E>)>;
+pub type BoxedFn<W, E> = Box<dyn FnOnce(&mut W, &mut Scheduler<W, E>) + Send>;
 
 /// The default event type: a boxed closure. One heap allocation per event —
 /// fine for tests and setup, replaced by typed enums on hot paths.
@@ -64,7 +64,7 @@ impl<W> Event<W> for Boxed<W> {
     fn fire(self, world: &mut W, sched: &mut Scheduler<W>) {
         (self.0)(world, sched)
     }
-    fn from_boxed(f: Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>) -> Self {
+    fn from_boxed(f: Box<dyn FnOnce(&mut W, &mut Scheduler<W>) + Send>) -> Self {
         Boxed(f)
     }
 }
@@ -443,7 +443,7 @@ impl<W, E: Event<W>> Scheduler<W, E> {
     #[inline]
     pub fn schedule_fn<F>(&mut self, at: SimTime, f: F)
     where
-        F: FnOnce(&mut W, &mut Scheduler<W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Scheduler<W, E>) + Send + 'static,
     {
         self.schedule(at, E::from_boxed(Box::new(f)));
     }
@@ -452,7 +452,7 @@ impl<W, E: Event<W>> Scheduler<W, E> {
     #[inline]
     pub fn schedule_in<F>(&mut self, delay: SimTime, f: F)
     where
-        F: FnOnce(&mut W, &mut Scheduler<W, E>) + 'static,
+        F: FnOnce(&mut W, &mut Scheduler<W, E>) + Send + 'static,
     {
         let at = self.now + delay;
         self.schedule_fn(at, f);
@@ -735,7 +735,9 @@ mod tests {
                 }
             }
         }
-        fn from_boxed(f: Box<dyn FnOnce(&mut Vec<u32>, &mut Scheduler<Vec<u32>, Typed>)>) -> Self {
+        fn from_boxed(
+            f: Box<dyn FnOnce(&mut Vec<u32>, &mut Scheduler<Vec<u32>, Typed>) + Send>,
+        ) -> Self {
             // Tests only need a marker; real typed events keep a closure
             // variant. Run it immediately-on-fire via Chain-free encoding is
             // impossible here, so panic loudly if exercised.

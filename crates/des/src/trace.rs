@@ -8,10 +8,9 @@
 //! costs one branch when disabled.
 
 use crate::time::SimTime;
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// The functional unit a trace record was emitted by. Mirrors the hardware
 /// decomposition of a GM node: the host CPU, the NIC's three DMA/send/recv
@@ -278,6 +277,7 @@ impl fmt::Display for TraceRecord {
 
 #[derive(Debug)]
 struct TraceBuffer {
+    /// `usize::MAX` for capture buffers (unbounded, drained at barriers).
     capacity: usize,
     records: VecDeque<TraceRecord>,
     dropped: u64,
@@ -300,9 +300,15 @@ impl TraceBuffer {
 /// ([`Tracer::disabled`], also `Default`) carries no buffer, so recording is
 /// a single `Option` branch — this is what keeps the zero-allocation gates
 /// honest with tracing compiled in.
+///
+/// The buffer lives behind an `Arc<Mutex<..>>` so the parallel DES engine can
+/// give each logical process its own capture tracer on its own thread. The
+/// lock is uncontended in both the serial path (one thread) and the parallel
+/// path (one capture buffer per LP), so the cost is a couple of atomic ops
+/// per record — and only when tracing is enabled at all.
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    buf: Option<Rc<RefCell<TraceBuffer>>>,
+    buf: Option<Arc<Mutex<TraceBuffer>>>,
 }
 
 impl Tracer {
@@ -315,9 +321,25 @@ impl Tracer {
     /// records are evicted (and counted) once the ring is full.
     pub fn bounded(capacity: usize) -> Self {
         Tracer {
-            buf: Some(Rc::new(RefCell::new(TraceBuffer {
+            buf: Some(Arc::new(Mutex::new(TraceBuffer {
                 capacity,
                 records: VecDeque::with_capacity(capacity.min(4096)),
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// An unbounded capture buffer: nothing is ever evicted, and
+    /// [`Tracer::take_records`] drains what accumulated. The parallel engine
+    /// points each logical process at one of these and replays the captured
+    /// records into the final bounded ring in global event order, so
+    /// eviction (and therefore the fingerprint) matches the serial run
+    /// bit-for-bit.
+    pub fn capture() -> Self {
+        Tracer {
+            buf: Some(Arc::new(Mutex::new(TraceBuffer {
+                capacity: usize::MAX,
+                records: VecDeque::new(),
                 dropped: 0,
             }))),
         }
@@ -333,7 +355,7 @@ impl Tracer {
     #[inline]
     pub fn record(&self, at: SimTime, component: ComponentId, payload: TracePayload) {
         if let Some(buf) = &self.buf {
-            buf.borrow_mut().push(TraceRecord {
+            buf.lock().unwrap().push(TraceRecord {
                 at,
                 component,
                 payload,
@@ -341,18 +363,41 @@ impl Tracer {
         }
     }
 
+    /// Push an already-built record through the ring (same eviction rules as
+    /// [`Tracer::record`]). Used to replay captured records.
+    #[inline]
+    pub fn push(&self, rec: TraceRecord) {
+        if let Some(buf) = &self.buf {
+            buf.lock().unwrap().push(rec);
+        }
+    }
+
+    /// Drain and return everything currently held (oldest first), leaving
+    /// the buffer empty. Empty when disabled.
+    pub fn take_records(&self) -> Vec<TraceRecord> {
+        match &self.buf {
+            Some(buf) => {
+                let mut b = buf.lock().unwrap();
+                b.records.drain(..).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
     /// Copy out the records currently held (oldest first). Empty when
     /// disabled.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
         match &self.buf {
-            Some(buf) => buf.borrow().records.iter().copied().collect(),
+            Some(buf) => buf.lock().unwrap().records.iter().copied().collect(),
             None => Vec::new(),
         }
     }
 
     /// Number of records currently held.
     pub fn len(&self) -> usize {
-        self.buf.as_ref().map_or(0, |b| b.borrow().records.len())
+        self.buf
+            .as_ref()
+            .map_or(0, |b| b.lock().unwrap().records.len())
     }
 
     /// True when no records are held.
@@ -362,7 +407,7 @@ impl Tracer {
 
     /// Number of records evicted due to capacity.
     pub fn dropped(&self) -> u64 {
-        self.buf.as_ref().map_or(0, |b| b.borrow().dropped)
+        self.buf.as_ref().map_or(0, |b| b.lock().unwrap().dropped)
     }
 
     /// A stable fingerprint of the trace (held records plus eviction count),
@@ -377,7 +422,7 @@ impl Tracer {
             }
         };
         let Some(buf) = &self.buf else { return h };
-        let buf = buf.borrow();
+        let buf = buf.lock().unwrap();
         mix(&buf.dropped.to_le_bytes());
         for r in &buf.records {
             mix(&r.at.as_ns().to_le_bytes());
@@ -484,6 +529,38 @@ mod tests {
             },
         );
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn capture_then_replay_matches_direct_bounded_recording() {
+        // Replaying a capture through a bounded ring must reproduce the
+        // direct ring exactly, eviction count included.
+        let direct = Tracer::bounded(3);
+        let cap = Tracer::capture();
+        for i in 0..5u32 {
+            for t in [&direct, &cap] {
+                t.record(
+                    SimTime::from_ns(i as u64),
+                    comp(i, Unit::Wire),
+                    TracePayload::WireInject { dst: i, kind: 0 },
+                );
+            }
+        }
+        assert_eq!(cap.len(), 5);
+        assert_eq!(cap.dropped(), 0);
+        let replayed = Tracer::bounded(3);
+        for rec in cap.take_records() {
+            replayed.push(rec);
+        }
+        assert!(cap.is_empty());
+        assert_eq!(replayed.dropped(), 2);
+        assert_eq!(replayed.fingerprint(), direct.fingerprint());
+    }
+
+    #[test]
+    fn tracer_handles_are_send() {
+        fn assert_send<T: Send + Sync>() {}
+        assert_send::<Tracer>();
     }
 
     #[test]

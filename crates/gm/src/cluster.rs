@@ -84,14 +84,98 @@ impl Cluster {
     pub fn notes_tagged(&self, tag: u64) -> impl Iterator<Item = &NoteRecord> {
         self.notes.iter().filter(move |n| n.tag == tag)
     }
+}
+
+/// Where a firing event's effects go: the clock, future events, and wire
+/// injections. The glue handlers are generic over this seam so the same
+/// monomorphized code drives both execution engines:
+///
+/// * the serial [`Scheduler`] (a [`SerialSink`]), where `transmit` walks the
+///   fabric immediately and schedules the delivery, and
+/// * a parallel logical process (the `par` module), where `schedule` feeds
+///   the LP's own queue and `transmit` is *deferred* — recorded and replayed
+///   against the fabric in globally serial order at the next window barrier.
+pub trait EventSink {
+    /// Current virtual time (the firing event's timestamp).
+    fn now(&self) -> SimTime;
+    /// Schedule a follow-up event at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, ev: ClusterEvent);
+    /// Put a non-loopback packet on the wire at the current time.
+    fn transmit(&mut self, pkt: Packet);
+}
+
+/// The serial engine's sink: fabric walks happen inline, follow-ups go to
+/// the global scheduler. This reproduces the classic single-queue semantics
+/// bit for bit.
+struct SerialSink<'a, 'b> {
+    fabric: &'a mut Fabric,
+    sched: &'b mut ClusterSched,
+}
+
+impl EventSink for SerialSink<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: ClusterEvent) {
+        self.sched.schedule(at, ev);
+    }
+
+    fn transmit(&mut self, pkt: Packet) {
+        let (src, dst) = (pkt.src.node, pkt.dst.node);
+        let delivery =
+            self.fabric
+                .send(src.nic(), dst.nic(), pkt.payload_bytes(), self.sched.now());
+        match delivery.fate {
+            Fate::Dropped => {}
+            fate => {
+                let corrupted = fate == Fate::Corrupted;
+                self.sched.schedule(
+                    delivery.arrival,
+                    ClusterEvent::WireDeliver { pkt, corrupted },
+                );
+            }
+        }
+        if let Some(at) = delivery.dup_arrival {
+            // Fault-injected duplicate: a second intact copy of the same
+            // worm. The receiver's sequence check discards it as a dup.
+            self.sched.schedule(
+                at,
+                ClusterEvent::WireDeliver {
+                    pkt,
+                    corrupted: false,
+                },
+            );
+        }
+    }
+}
+
+/// The node-state side of a firing event: the slice of nodes the engine owns
+/// (all of them serially; one partition's worth in a parallel LP), plus the
+/// trace/note channels and reusable scratch buffers. `base` maps global
+/// [`NodeId`]s onto the slice.
+pub(crate) struct NodeCtx<'a> {
+    pub nodes: &'a mut [Node],
+    pub base: usize,
+    pub tracer: &'a Tracer,
+    pub notes: &'a mut Vec<NoteRecord>,
+    pub mcp_scratch: &'a mut Vec<McpOutput>,
+    pub action_scratch: &'a mut Vec<HostAction>,
+}
+
+impl NodeCtx<'_> {
+    #[inline]
+    fn node(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 - self.base]
+    }
 
     fn take_outs(&mut self) -> Vec<McpOutput> {
-        std::mem::take(&mut self.mcp_scratch)
+        std::mem::take(&mut *self.mcp_scratch)
     }
 
     fn put_outs(&mut self, outs: Vec<McpOutput>) {
         debug_assert!(outs.is_empty(), "scratch returned undrained");
-        self.mcp_scratch = outs;
+        *self.mcp_scratch = outs;
     }
 }
 
@@ -160,51 +244,49 @@ pub enum ClusterEvent {
         /// The port being closed.
         port: PortId,
     },
-    /// A boxed closure (cold path: program installation, tests).
+    /// A program's scheduled start time arrived: install it on its port
+    /// (an endpoint may be owned by successive processes — the §3.2 A/A′
+    /// case) and run `on_start`.
+    StartProgram {
+        /// The node the program runs on.
+        node: NodeId,
+        /// The port it owns.
+        port: PortId,
+        /// The program itself.
+        program: Box<dyn HostProgram>,
+    },
+    /// A boxed closure (cold path: tests). Unsupported in parallel runs.
     Call(BoxedFn<Cluster, ClusterEvent>),
 }
 
 impl Event<Cluster> for ClusterEvent {
     fn fire(self, cl: &mut Cluster, s: &mut ClusterSched) {
         match self {
-            ClusterEvent::Transmit(pkt) => transmit_now(pkt, cl, s),
-            ClusterEvent::WireDeliver { pkt, corrupted } => wire_deliver(pkt, corrupted, cl, s),
-            ClusterEvent::HostDeliver { node, port, ev } => host_deliver(node, port, ev, cl, s),
-            ClusterEvent::HostProcess { node } => host_process(node, cl, s),
-            ClusterEvent::McpTimer { node, kind } => {
-                let mut outs = cl.take_outs();
-                cl.nodes[node.0]
-                    .mcp
-                    .handle_timer_into(kind, s.now(), &mut outs);
-                pump(node, &mut outs, s);
-                cl.put_outs(outs);
-            }
-            ClusterEvent::SendTokenReady { node, token } => {
-                let mut outs = cl.take_outs();
-                cl.nodes[node.0]
-                    .mcp
-                    .handle_send_token_into(token, s.now(), &mut outs);
-                pump(node, &mut outs, s);
-                cl.put_outs(outs);
-            }
-            ClusterEvent::ProvideRecv { node, port, n } => {
-                for _ in 0..n {
-                    cl.nodes[node.0]
-                        .mcp
-                        .core
-                        .port_mut(port)
-                        .provide_recv_token();
-                }
-            }
-            ClusterEvent::ClosePort { node, port } => {
-                let mut outs = cl.take_outs();
-                cl.nodes[node.0]
-                    .mcp
-                    .close_port_into(port, s.now(), &mut outs);
-                pump(node, &mut outs, s);
-                cl.put_outs(outs);
-            }
+            // Closures see the whole world — they cannot run inside a
+            // partitioned engine, so they are dispatched here, outside the
+            // engine-generic path.
             ClusterEvent::Call(f) => f(cl, s),
+            ev => {
+                let Cluster {
+                    nodes,
+                    fabric,
+                    tracer,
+                    notes,
+                    mcp_scratch,
+                    action_scratch,
+                    ..
+                } = cl;
+                let mut ctx = NodeCtx {
+                    nodes,
+                    base: 0,
+                    tracer,
+                    notes,
+                    mcp_scratch,
+                    action_scratch,
+                };
+                let mut sink = SerialSink { fabric, sched: s };
+                fire_ev(ev, &mut ctx, &mut sink);
+            }
         }
     }
 
@@ -213,9 +295,73 @@ impl Event<Cluster> for ClusterEvent {
     }
 }
 
+/// Fire one typed event against the engine-agnostic world slice. This is
+/// the single dispatch point both execution engines monomorphize.
+///
+/// # Panics
+/// Panics on [`ClusterEvent::Call`] — closures need the whole [`Cluster`]
+/// and are handled by the serial engine before reaching here.
+pub(crate) fn fire_ev<S: EventSink>(ev: ClusterEvent, ctx: &mut NodeCtx, sink: &mut S) {
+    match ev {
+        ClusterEvent::Transmit(pkt) => transmit_now(pkt, ctx, sink),
+        ClusterEvent::WireDeliver { pkt, corrupted } => wire_deliver(pkt, corrupted, ctx, sink),
+        ClusterEvent::HostDeliver { node, port, ev } => host_deliver(node, port, ev, ctx, sink),
+        ClusterEvent::HostProcess { node } => host_process(node, ctx, sink),
+        ClusterEvent::McpTimer { node, kind } => {
+            let mut outs = ctx.take_outs();
+            let now = sink.now();
+            ctx.node(node).mcp.handle_timer_into(kind, now, &mut outs);
+            pump(node, &mut outs, sink);
+            ctx.put_outs(outs);
+        }
+        ClusterEvent::SendTokenReady { node, token } => {
+            let mut outs = ctx.take_outs();
+            let now = sink.now();
+            ctx.node(node)
+                .mcp
+                .handle_send_token_into(token, now, &mut outs);
+            pump(node, &mut outs, sink);
+            ctx.put_outs(outs);
+        }
+        ClusterEvent::ProvideRecv { node, port, n } => {
+            for _ in 0..n {
+                ctx.node(node).mcp.core.port_mut(port).provide_recv_token();
+            }
+        }
+        ClusterEvent::ClosePort { node, port } => {
+            let mut outs = ctx.take_outs();
+            let now = sink.now();
+            ctx.node(node).mcp.close_port_into(port, now, &mut outs);
+            pump(node, &mut outs, sink);
+            ctx.put_outs(outs);
+        }
+        ClusterEvent::StartProgram {
+            node,
+            port,
+            program,
+        } => {
+            let port_open = ctx.node(node).mcp.core.port(port).is_open();
+            let slot = &mut ctx.node(node).programs[port.idx()];
+            assert!(
+                slot.is_none() || !port_open,
+                "two live programs on {node:?}{port:?}"
+            );
+            *slot = Some(program);
+            start_program(node, port, ctx, sink);
+        }
+        ClusterEvent::Call(_) => {
+            panic!("boxed Call events cannot run inside a partitioned engine")
+        }
+    }
+}
+
 /// Factory producing the firmware extension for each node; receives the
 /// node id, the cluster size, and the configuration.
 pub type ExtFactory = Box<dyn Fn(NodeId, usize, &GmConfig) -> Box<dyn McpExtension>>;
+
+/// A program start request: which port runs it, the program itself, and
+/// the virtual time it begins.
+pub type ProgramStart = (GlobalPort, Box<dyn HostProgram>, SimTime);
 
 /// Builds a [`ClusterSim`] with programs scheduled to start.
 pub struct ClusterBuilder {
@@ -224,7 +370,7 @@ pub struct ClusterBuilder {
     topology: Option<Topology>,
     faults: Option<(FaultPlan, u64)>,
     ext_factory: ExtFactory,
-    programs: Vec<(GlobalPort, Box<dyn HostProgram>, SimTime)>,
+    programs: Vec<ProgramStart>,
     tracer: Option<Tracer>,
 }
 
@@ -301,11 +447,15 @@ impl ClusterBuilder {
         self
     }
 
-    /// Assemble the simulation and schedule all program starts.
-    pub fn build(self) -> ClusterSim {
+    /// Assemble the world plus the list of program-start events, without
+    /// committing to an execution engine. The starts are returned in
+    /// scheduling order — both engines must seed them in exactly this order
+    /// for same-timestamp ties to resolve identically.
+    pub fn build_parts(self) -> (Cluster, Vec<ProgramStart>) {
         // Default fabric follows the standard policy: one crossbar up to
         // 16 nodes (every paper-sized cluster is unaffected), a two-level
-        // Clos beyond — a >16-port single crossbar never existed.
+        // Clos to 1024 hosts, a three-level Clos beyond — a >16-port single
+        // crossbar never existed.
         let topology = self
             .topology
             .unwrap_or_else(|| TopologyBuilder::for_cluster(self.size));
@@ -342,17 +492,22 @@ impl ClusterBuilder {
             mcp_scratch: Vec::new(),
             action_scratch: Vec::new(),
         };
+        (cluster, self.programs)
+    }
+
+    /// Assemble the (serial) simulation and schedule all program starts.
+    pub fn build(self) -> ClusterSim {
+        let (cluster, starts) = self.build_parts();
         let mut sim: ClusterSim = Simulation::new(cluster);
-        for (at, program, start) in self.programs {
-            // The program is installed at its start time, so one endpoint
-            // can be owned by successive processes (the §3.2 A/A′ case).
-            sim.scheduler_mut().schedule_fn(start, move |cl, s| {
-                let port_open = cl.nodes[at.node.0].mcp.core.port(at.port).is_open();
-                let slot = &mut cl.nodes[at.node.0].programs[at.port.idx()];
-                assert!(slot.is_none() || !port_open, "two live programs on {at:?}");
-                *slot = Some(program);
-                start_program(at.node, at.port, cl, s);
-            });
+        for (at, program, start) in starts {
+            sim.scheduler_mut().schedule(
+                start,
+                ClusterEvent::StartProgram {
+                    node: at.node,
+                    port: at.port,
+                    program,
+                },
+            );
         }
         sim
     }
@@ -360,17 +515,17 @@ impl ClusterBuilder {
 
 /// Schedule the effects of MCP outputs produced by `node`'s firmware,
 /// draining the buffer so it can be reused.
-pub fn pump(node: NodeId, outs: &mut Vec<McpOutput>, s: &mut ClusterSched) {
+pub fn pump<S: EventSink>(node: NodeId, outs: &mut Vec<McpOutput>, sink: &mut S) {
     for o in outs.drain(..) {
         match o {
             McpOutput::Transmit { at, pkt } => {
-                s.schedule(at, ClusterEvent::Transmit(pkt));
+                sink.schedule(at, ClusterEvent::Transmit(pkt));
             }
             McpOutput::HostEvent { at, port, ev } => {
-                s.schedule(at, ClusterEvent::HostDeliver { node, port, ev });
+                sink.schedule(at, ClusterEvent::HostDeliver { node, port, ev });
             }
             McpOutput::Timer { at, kind } => {
-                s.schedule(at, ClusterEvent::McpTimer { node, kind });
+                sink.schedule(at, ClusterEvent::McpTimer { node, kind });
             }
         }
     }
@@ -378,11 +533,12 @@ pub fn pump(node: NodeId, outs: &mut Vec<McpOutput>, s: &mut ClusterSched) {
 
 /// The SEND machine's wire injection instant arrived: put the worm on the
 /// fabric (or loop it back NIC-internally).
-fn transmit_now(pkt: Packet, cl: &mut Cluster, s: &mut ClusterSched) {
+fn transmit_now<S: EventSink>(pkt: Packet, ctx: &mut NodeCtx, sink: &mut S) {
     let src = pkt.src.node;
     let dst = pkt.dst.node;
-    cl.tracer.record(
-        s.now(),
+    let now = sink.now();
+    ctx.tracer.record(
+        now,
         ComponentId {
             node: src.0 as u32,
             unit: Unit::Wire,
@@ -393,46 +549,25 @@ fn transmit_now(pkt: Packet, cl: &mut Cluster, s: &mut ClusterSched) {
         },
     );
     if src == dst {
-        // NIC-internal loopback: the packet never touches the wire.
-        let mut outs = cl.take_outs();
-        cl.nodes[dst.0]
+        // NIC-internal loopback: the packet never touches the wire (and
+        // never leaves the partition, so both engines handle it inline).
+        let mut outs = ctx.take_outs();
+        ctx.node(dst)
             .mcp
-            .handle_wire_packet_into(pkt, false, s.now(), &mut outs);
-        pump(dst, &mut outs, s);
-        cl.put_outs(outs);
+            .handle_wire_packet_into(pkt, false, now, &mut outs);
+        pump(dst, &mut outs, sink);
+        ctx.put_outs(outs);
         return;
     }
-    let delivery = cl
-        .fabric
-        .send(src.nic(), dst.nic(), pkt.payload_bytes(), s.now());
-    match delivery.fate {
-        Fate::Dropped => {}
-        fate => {
-            let corrupted = fate == Fate::Corrupted;
-            s.schedule(
-                delivery.arrival,
-                ClusterEvent::WireDeliver { pkt, corrupted },
-            );
-        }
-    }
-    if let Some(at) = delivery.dup_arrival {
-        // Fault-injected duplicate: a second intact copy of the same worm.
-        // The receiver's sequence check discards it as a dup.
-        s.schedule(
-            at,
-            ClusterEvent::WireDeliver {
-                pkt,
-                corrupted: false,
-            },
-        );
-    }
+    sink.transmit(pkt);
 }
 
 /// A worm fully arrived at its destination NIC: run the RECV machine.
-fn wire_deliver(pkt: Packet, corrupted: bool, cl: &mut Cluster, s: &mut ClusterSched) {
+fn wire_deliver<S: EventSink>(pkt: Packet, corrupted: bool, ctx: &mut NodeCtx, sink: &mut S) {
     let dst = pkt.dst.node;
-    cl.tracer.record(
-        s.now(),
+    let now = sink.now();
+    ctx.tracer.record(
+        now,
         ComponentId {
             node: dst.0 as u32,
             unit: Unit::Wire,
@@ -443,69 +578,77 @@ fn wire_deliver(pkt: Packet, corrupted: bool, cl: &mut Cluster, s: &mut ClusterS
             corrupted,
         },
     );
-    let mut outs = cl.take_outs();
-    cl.nodes[dst.0]
+    let mut outs = ctx.take_outs();
+    ctx.node(dst)
         .mcp
-        .handle_wire_packet_into(pkt, corrupted, s.now(), &mut outs);
-    pump(dst, &mut outs, s);
-    cl.put_outs(outs);
+        .handle_wire_packet_into(pkt, corrupted, now, &mut outs);
+    pump(dst, &mut outs, sink);
+    ctx.put_outs(outs);
 }
 
 /// An RDMA to a host buffer completed: enter the host poll loop.
-fn host_deliver(node: NodeId, port: PortId, ev: GmEvent, cl: &mut Cluster, s: &mut ClusterSched) {
-    if let Some(at) = cl.nodes[node.0].host.enqueue(port, ev, s.now()) {
-        s.schedule(at, ClusterEvent::HostProcess { node });
+fn host_deliver<S: EventSink>(
+    node: NodeId,
+    port: PortId,
+    ev: GmEvent,
+    ctx: &mut NodeCtx,
+    sink: &mut S,
+) {
+    let now = sink.now();
+    if let Some(at) = ctx.node(node).host.enqueue(port, ev, now) {
+        sink.schedule(at, ClusterEvent::HostProcess { node });
     }
 }
 
 /// One HRecv completed: run the owning program's callback.
-fn host_process(node: NodeId, cl: &mut Cluster, s: &mut ClusterSched) {
-    let (port, ev) = cl.nodes[node.0].host.finish();
-    let mut program = cl.nodes[node.0].programs[port.idx()]
+fn host_process<S: EventSink>(node: NodeId, ctx: &mut NodeCtx, sink: &mut S) {
+    let now = sink.now();
+    let (port, ev) = ctx.node(node).host.finish();
+    let mut program = ctx.node(node).programs[port.idx()]
         .take()
         .unwrap_or_else(|| panic!("event {ev:?} for {node:?}{port:?} with no program"));
-    let buf = std::mem::take(&mut cl.action_scratch);
-    let mut ctx = HostCtx::with_buffer(s.now(), node, port, buf, cl.tracer.clone());
-    program.on_event(&ev, &mut ctx);
-    cl.nodes[node.0].programs[port.idx()] = Some(program);
-    let mut actions = ctx.into_actions();
-    apply_actions(node, port, &mut actions, cl, s);
-    cl.action_scratch = actions;
-    if let Some(at) = cl.nodes[node.0].host.next(s.now()) {
-        s.schedule(at, ClusterEvent::HostProcess { node });
+    let buf = std::mem::take(&mut *ctx.action_scratch);
+    let mut hctx = HostCtx::with_buffer(now, node, port, buf, ctx.tracer.clone());
+    program.on_event(&ev, &mut hctx);
+    ctx.node(node).programs[port.idx()] = Some(program);
+    let mut actions = hctx.into_actions();
+    apply_actions(node, port, &mut actions, ctx, sink);
+    *ctx.action_scratch = actions;
+    if let Some(at) = ctx.node(node).host.next(now) {
+        sink.schedule(at, ClusterEvent::HostProcess { node });
     }
 }
 
 /// A program's scheduled start time arrived: open its port and run
 /// `on_start`.
-fn start_program(node: NodeId, port: PortId, cl: &mut Cluster, s: &mut ClusterSched) {
-    let mut outs = cl.take_outs();
-    cl.nodes[node.0]
-        .mcp
-        .open_port_into(port, s.now(), &mut outs);
-    pump(node, &mut outs, s);
-    cl.put_outs(outs);
-    let mut program = cl.nodes[node.0].programs[port.idx()]
+fn start_program<S: EventSink>(node: NodeId, port: PortId, ctx: &mut NodeCtx, sink: &mut S) {
+    let now = sink.now();
+    let mut outs = ctx.take_outs();
+    ctx.node(node).mcp.open_port_into(port, now, &mut outs);
+    pump(node, &mut outs, sink);
+    ctx.put_outs(outs);
+    let mut program = ctx.node(node).programs[port.idx()]
         .take()
         .expect("start for unregistered program");
-    let buf = std::mem::take(&mut cl.action_scratch);
-    let mut ctx = HostCtx::with_buffer(s.now(), node, port, buf, cl.tracer.clone());
-    program.on_start(&mut ctx);
-    cl.nodes[node.0].programs[port.idx()] = Some(program);
-    let mut actions = ctx.into_actions();
-    apply_actions(node, port, &mut actions, cl, s);
-    cl.action_scratch = actions;
+    let buf = std::mem::take(&mut *ctx.action_scratch);
+    let mut hctx = HostCtx::with_buffer(now, node, port, buf, ctx.tracer.clone());
+    program.on_start(&mut hctx);
+    ctx.node(node).programs[port.idx()] = Some(program);
+    let mut actions = hctx.into_actions();
+    apply_actions(node, port, &mut actions, ctx, sink);
+    *ctx.action_scratch = actions;
 }
 
 /// Interpret the actions a program emitted during one callback, draining
 /// the buffer so it can be reused.
-fn apply_actions(
+fn apply_actions<S: EventSink>(
     node: NodeId,
     port: PortId,
     actions: &mut Vec<HostAction>,
-    cl: &mut Cluster,
-    s: &mut ClusterSched,
+    ctx: &mut NodeCtx,
+    sink: &mut S,
 ) {
+    let now = sink.now();
     for action in actions.drain(..) {
         match action {
             HostAction::Send {
@@ -514,9 +657,9 @@ fn apply_actions(
                 tag,
                 notify,
             } => {
-                let ok = cl.nodes[node.0].mcp.core.port_mut(port).take_send_token();
+                let ok = ctx.node(node).mcp.core.port_mut(port).take_send_token();
                 assert!(ok, "send tokens exhausted on {node:?}{port:?}");
-                let at = cl.nodes[node.0].host.reserve_send(s.now());
+                let at = ctx.node(node).host.reserve_send(now);
                 let token = SendToken::Data {
                     src_port: port,
                     dst,
@@ -524,46 +667,47 @@ fn apply_actions(
                     tag,
                     notify,
                 };
-                s.schedule(at, ClusterEvent::SendTokenReady { node, token });
+                sink.schedule(at, ClusterEvent::SendTokenReady { node, token });
             }
             HostAction::Collective(token) => {
                 // Models the paper's two-call sequence (§5.2): the process
                 // first calls gm_provide_barrier_buffer(), then
                 // gm_barrier_send_with_callback() consumes a send token.
-                cl.nodes[node.0]
+                ctx.node(node)
                     .mcp
                     .core
                     .port_mut(port)
                     .provide_barrier_buffer();
-                let ok = cl.nodes[node.0].mcp.core.port_mut(port).take_send_token();
+                let ok = ctx.node(node).mcp.core.port_mut(port).take_send_token();
                 assert!(ok, "send tokens exhausted on {node:?}{port:?}");
-                let at = cl.nodes[node.0].host.reserve_send(s.now());
+                let at = ctx.node(node).host.reserve_send(now);
                 let stok = SendToken::Collective {
                     src_port: port,
                     token,
                 };
-                s.schedule(at, ClusterEvent::SendTokenReady { node, token: stok });
+                sink.schedule(at, ClusterEvent::SendTokenReady { node, token: stok });
             }
             HostAction::ProvideRecv(n) => {
                 // Takes effect in program order (after any compute/send the
                 // program queued before it in this callback).
-                let at = cl.nodes[node.0].host.reserve(SimTime::ZERO, s.now());
-                s.schedule(at, ClusterEvent::ProvideRecv { node, port, n });
+                let at = ctx.node(node).host.reserve(SimTime::ZERO, now);
+                sink.schedule(at, ClusterEvent::ProvideRecv { node, port, n });
             }
             HostAction::Compute(dur) => {
-                cl.nodes[node.0].host.reserve_compute(dur, s.now());
+                ctx.node(node).host.reserve_compute(dur, now);
             }
             HostAction::Note(tag) => {
-                cl.notes.push(NoteRecord {
-                    at: s.now(),
+                ctx.notes.push(NoteRecord {
+                    at: now,
                     node,
                     port,
                     tag,
                 });
             }
             HostAction::NoteAtBusy(tag) => {
-                cl.notes.push(NoteRecord {
-                    at: cl.nodes[node.0].host.busy_until().max(s.now()),
+                let at = ctx.node(node).host.busy_until().max(now);
+                ctx.notes.push(NoteRecord {
+                    at,
                     node,
                     port,
                     tag,
@@ -572,8 +716,8 @@ fn apply_actions(
             HostAction::ClosePort => {
                 // Takes effect in program order: after the host work the
                 // program queued before it (sends, compute) has elapsed.
-                let at = cl.nodes[node.0].host.reserve(SimTime::ZERO, s.now());
-                s.schedule(at, ClusterEvent::ClosePort { node, port });
+                let at = ctx.node(node).host.reserve(SimTime::ZERO, now);
+                sink.schedule(at, ClusterEvent::ClosePort { node, port });
             }
         }
     }

@@ -24,7 +24,9 @@ use std::any::Any;
 /// firmware; implementations charge their processing cost via
 /// `core.hw.cpu` and use `core` helpers to transmit packets or complete
 /// events to the host, pushing results into `out`.
-pub trait McpExtension {
+/// `Send` because the parallel engine moves each partition's NICs — and
+/// their installed extensions — onto worker threads.
+pub trait McpExtension: Send {
     /// The SDMA state machine picked up a collective send token queued by
     /// the host on `port` (the paper's `gm_barrier_send_with_callback`).
     fn on_collective_token(

@@ -275,7 +275,10 @@ impl HostCtx {
 }
 
 /// A modelled GM process.
-pub trait HostProgram {
+///
+/// `Send` because the parallel engine moves each partition's nodes — and
+/// the programs installed on them — onto worker threads.
+pub trait HostProgram: Send {
     /// The process started and its port is open.
     fn on_start(&mut self, ctx: &mut HostCtx);
 

@@ -41,6 +41,7 @@ pub mod ids;
 pub mod ir;
 pub mod mcp;
 pub mod packet;
+pub mod par;
 pub mod port;
 pub mod token;
 
@@ -54,4 +55,5 @@ pub use ids::{GlobalPort, NodeId, PortId, TeamId, GM_FIRST_USER_PORT, GM_NUM_POR
 pub use ir::{Charge, CollectiveSchedule, CompletionKind, ReduceOp, ScheduleStep, TokenCharge};
 pub use mcp::{Mcp, McpCore, McpOutput, TimerKind};
 pub use packet::{ExtPacket, Packet, PacketKind};
+pub use par::ParSim;
 pub use token::{CollectiveToken, SendToken};

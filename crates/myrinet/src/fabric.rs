@@ -90,6 +90,9 @@ pub struct Fabric {
     /// Reusable per-send scratch: links the head has entered, with entry
     /// times (kept across sends so the hot path never allocates).
     entered: Vec<(LinkId, SimTime)>,
+    /// Reusable per-send scratch for the route's links (computed route
+    /// tables derive them on the fly; dense tables copy a handful of ids).
+    route_scratch: Vec<LinkId>,
 }
 
 impl Fabric {
@@ -105,6 +108,7 @@ impl Fabric {
             rng: SimRng::new(0),
             stats: FabricStats::default(),
             entered: Vec::new(),
+            route_scratch: Vec::new(),
         }
     }
 
@@ -140,19 +144,21 @@ impl Fabric {
             busy,
             stats,
             entered,
+            route_scratch,
             ..
         } = self;
-        let route = topology.route(src, dst);
+        topology.route_links_into(src, dst, route_scratch);
+        let route: &[LinkId] = route_scratch;
         assert!(!route.is_empty(), "no route {src:?} -> {dst:?}");
 
-        let bytes = format.on_wire(payload, route.switch_hops());
+        let bytes = format.on_wire(payload, route.len() - 1);
         stats.sends += 1;
         stats.payload_bytes += payload as u64;
 
         // Walk the head along the route.
         let mut head = now;
         entered.clear();
-        for &link_id in route.links() {
+        for &link_id in route {
             let link = *topology.link(link_id);
             // Fall-through delay of the switch the link leaves from.
             if let Vertex::Switch(s) = link.from {
@@ -173,7 +179,7 @@ impl Fabric {
 
         // Tail: with uniform bandwidth the tail trails the head by one
         // serialization time on every link.
-        let ser = topology.link(route.links()[0]).spec.serialize(bytes);
+        let ser = topology.link(route[0]).spec.serialize(bytes);
         for &(link_id, entry) in entered.iter() {
             let occupied_until = entry + ser;
             busy[link_id.0] = busy[link_id.0].max(occupied_until);
@@ -222,6 +228,12 @@ impl Fabric {
             return SimTime::ZERO;
         }
         self.busy[route.links()[0].0]
+    }
+
+    /// Split the fabric into (topology, everything mutable). Used by the
+    /// parallel engine, which commits deferred sends at window barriers.
+    pub fn topology_owned(self) -> Topology {
+        self.topology
     }
 }
 

@@ -7,6 +7,7 @@
 //! Routes (shortest paths, BFS with deterministic tie-breaking by vertex
 //! index) are computed once at `build()`.
 
+use crate::packet::wire_size;
 use crate::route::{LinkId, NicId, Route, SwitchId, Vertex};
 use gmsim_des::SimTime;
 use std::collections::VecDeque;
@@ -45,14 +46,119 @@ pub struct DirectedLink {
     pub spec: LinkSpec,
 }
 
-/// A finished topology: vertices, directed links, and all-pairs NIC routes.
+/// How NIC-to-NIC routes are stored or derived.
+///
+/// Up to two Clos levels (≤1024 hosts) the all-pairs table is materialised
+/// (`Dense`); a three-level Clos at 4096 hosts would need ~17M boxed routes
+/// (gigabytes), so its routes are *computed* from the regular link-id layout
+/// the [`TopologyBuilder::clos3`] builder lays down.
+#[derive(Debug, Clone)]
+enum RouteTable {
+    /// `routes[src * nics + dst]`; the self route is empty.
+    Dense(Vec<Route>),
+    /// Routes derived on demand from the three-level Clos layout.
+    Clos3(Clos3Spec),
+}
+
+/// Link-id layout of a [`TopologyBuilder::clos3`] fabric, from which any
+/// route can be computed without a stored table. See `clos3` for the
+/// construction order the formulas mirror.
+#[derive(Debug, Clone, Copy)]
+struct Clos3Spec {
+    pods: usize,
+    /// Leaf switches per pod (= aggregation switches per pod).
+    leaves: usize,
+    /// Hosts per leaf (= core switches per plane).
+    hosts: usize,
+    /// First link id of the agg↔core cables.
+    base_ac: usize,
+    /// First link id of the NIC↔leaf cables.
+    base_nic: usize,
+}
+
+impl Clos3Spec {
+    fn hosts_per_pod(&self) -> usize {
+        self.leaves * self.hosts
+    }
+
+    /// NIC→leaf link of `nic`.
+    fn nic_up(&self, nic: usize) -> LinkId {
+        LinkId(self.base_nic + 2 * nic)
+    }
+
+    /// Leaf→NIC link of `nic`.
+    fn nic_down(&self, nic: usize) -> LinkId {
+        LinkId(self.base_nic + 2 * nic + 1)
+    }
+
+    /// Leaf(p, l)→agg(p, a) link.
+    fn leaf_up(&self, p: usize, l: usize, a: usize) -> LinkId {
+        LinkId(2 * ((p * self.leaves + l) * self.leaves + a))
+    }
+
+    /// Agg(p, a)→leaf(p, l) link.
+    fn leaf_down(&self, p: usize, l: usize, a: usize) -> LinkId {
+        LinkId(2 * ((p * self.leaves + l) * self.leaves + a) + 1)
+    }
+
+    /// Agg(p, a)→core(a, c) link.
+    fn agg_up(&self, p: usize, a: usize, c: usize) -> LinkId {
+        LinkId(self.base_ac + 2 * ((p * self.leaves + a) * self.hosts + c))
+    }
+
+    /// Core(a, c)→agg(p, a) link.
+    fn agg_down(&self, p: usize, a: usize, c: usize) -> LinkId {
+        LinkId(self.base_ac + 2 * ((p * self.leaves + a) * self.hosts + c) + 1)
+    }
+
+    /// Append the dispersed source route for `src → dst` to `out`.
+    fn route_into(&self, src: usize, dst: usize, out: &mut Vec<LinkId>) {
+        debug_assert!(src.max(dst) < self.pods * self.hosts_per_pod());
+        if src == dst {
+            return;
+        }
+        out.push(self.nic_up(src));
+        let (ls, ld) = (src / self.hosts, dst / self.hosts);
+        if ls != ld {
+            let (ps, pd) = (src / self.hosts_per_pod(), dst / self.hosts_per_pod());
+            // Same dispersal rule as the two-level Clos: spread pairs over
+            // the aggregation/core stages by (src + dst).
+            let a = (src + dst) % self.leaves;
+            if ps == pd {
+                out.push(self.leaf_up(ps, ls % self.leaves, a));
+                out.push(self.leaf_down(pd, ld % self.leaves, a));
+            } else {
+                let c = ((src + dst) / self.leaves) % self.hosts;
+                out.push(self.leaf_up(ps, ls % self.leaves, a));
+                out.push(self.agg_up(ps, a, c));
+                out.push(self.agg_down(pd, a, c));
+                out.push(self.leaf_down(pd, ld % self.leaves, a));
+            }
+        }
+        out.push(self.nic_down(dst));
+    }
+}
+
+/// A finished topology: vertices, directed links, and NIC-to-NIC routes
+/// (stored or computed — see [`RouteTable`]).
 #[derive(Debug, Clone)]
 pub struct Topology {
     nics: usize,
     switch_latency: Vec<SimTime>,
     links: Vec<DirectedLink>,
-    /// routes[src * nics + dst]; the self route is empty.
-    routes: Vec<Route>,
+    table: RouteTable,
+}
+
+/// Which logical process each NIC belongs to, for the parallel DES engine.
+/// Partitions follow the physical fabric: one LP per leaf switch, except on
+/// a single crossbar where every NIC is its own LP (a lone partition would
+/// serialise the run).
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    /// `lp_of[nic]` = logical-process index.
+    pub lp_of: Vec<u32>,
+    /// Number of logical processes.
+    pub count: usize,
 }
 
 impl Topology {
@@ -81,13 +187,31 @@ impl Topology {
         self.switch_latency[s.0]
     }
 
-    /// The precomputed route from `src` to `dst`.
+    /// The route from `src` to `dst` (owned; computed topologies derive it
+    /// on the fly). Hot paths should use [`Topology::route_links_into`].
     ///
     /// # Panics
     /// Panics if either NIC is out of range.
-    pub fn route(&self, src: NicId, dst: NicId) -> &Route {
+    pub fn route(&self, src: NicId, dst: NicId) -> Route {
+        let mut links = Vec::new();
+        self.route_links_into(src, dst, &mut links);
+        Route::new(links)
+    }
+
+    /// Append the links of the `src → dst` route to `out` (cleared first).
+    /// Zero allocations once `out` has grown to the longest route.
+    ///
+    /// # Panics
+    /// Panics if either NIC is out of range.
+    pub fn route_links_into(&self, src: NicId, dst: NicId, out: &mut Vec<LinkId>) {
         assert!(src.0 < self.nics && dst.0 < self.nics, "NIC out of range");
-        &self.routes[src.0 * self.nics + dst.0]
+        out.clear();
+        match &self.table {
+            RouteTable::Dense(routes) => {
+                out.extend_from_slice(routes[src.0 * self.nics + dst.0].links());
+            }
+            RouteTable::Clos3(spec) => spec.route_into(src.0, dst.0, out),
+        }
     }
 
     /// Sum of switch fall-through latencies along a route.
@@ -103,14 +227,122 @@ impl Topology {
 
     /// True when every NIC can reach every other NIC.
     pub fn fully_connected(&self) -> bool {
-        for s in 0..self.nics {
-            for d in 0..self.nics {
-                if s != d && self.routes[s * self.nics + d].is_empty() {
-                    return false;
+        match &self.table {
+            RouteTable::Dense(routes) => {
+                for s in 0..self.nics {
+                    for d in 0..self.nics {
+                        if s != d && routes[s * self.nics + d].is_empty() {
+                            return false;
+                        }
+                    }
                 }
+                true
+            }
+            // Every pair has a formula route by construction.
+            RouteTable::Clos3(_) => true,
+        }
+    }
+
+    /// The switch a NIC's first outgoing cable lands on, or `None` for an
+    /// unconnected NIC.
+    pub fn attached_switch(&self, nic: NicId) -> Option<SwitchId> {
+        self.links.iter().find_map(|l| match (l.from, l.to) {
+            (Vertex::Nic(n), Vertex::Switch(s)) if n == nic => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Partition the NICs into logical processes for parallel simulation:
+    /// one LP per attached (leaf) switch, unless all NICs share one switch,
+    /// in which case each NIC becomes its own LP. LP indices follow the
+    /// order switches first appear in NIC order, so fabrics that attach
+    /// NICs leaf-by-leaf (all the standard builders) yield contiguous
+    /// NIC ranges per LP.
+    pub fn partition_map(&self) -> PartitionMap {
+        let mut switch_of: Vec<Option<SwitchId>> = Vec::with_capacity(self.nics);
+        for n in 0..self.nics {
+            switch_of.push(self.attached_switch(NicId(n)));
+        }
+        let mut distinct: Vec<Option<SwitchId>> = Vec::new();
+        for &s in &switch_of {
+            if !distinct.contains(&s) {
+                distinct.push(s);
             }
         }
-        true
+        if distinct.len() <= 1 {
+            // Single crossbar (or degenerate): per-NIC partitions.
+            return PartitionMap {
+                lp_of: (0..self.nics as u32).collect(),
+                count: self.nics,
+            };
+        }
+        let lp_of = switch_of
+            .iter()
+            .map(|s| distinct.iter().position(|d| d == s).unwrap() as u32)
+            .collect();
+        PartitionMap {
+            lp_of,
+            count: distinct.len(),
+        }
+    }
+
+    /// Unstalled wire latency from injection to delivery along `links`, for
+    /// a `payload`-byte packet: the same walk [`Fabric::send`]
+    /// (crate::Fabric) performs, minus busy-link stalls (which only ever
+    /// push arrival later).
+    pub fn delivery_latency(&self, links: &[LinkId], payload: usize) -> SimTime {
+        let mut head = SimTime::ZERO;
+        for (i, l) in links.iter().enumerate() {
+            let link = &self.links[l.0];
+            if i > 0 {
+                if let Vertex::Switch(s) = link.from {
+                    head += self.switch_latency[s.0];
+                }
+            }
+            head += link.spec.propagation;
+        }
+        let hops = links.len().saturating_sub(1);
+        let ser = self.links[links[0].0]
+            .spec
+            .serialize(wire_size(payload, hops));
+        head + ser
+    }
+
+    /// The conservative lookahead for parallel simulation: the minimum
+    /// unstalled delivery latency over all ordered NIC pairs, for the
+    /// smallest (zero-payload) packet. Any packet injected at `t` arrives
+    /// no earlier than `t + min_delivery_latency()`; stalls, faults and
+    /// real payloads only push arrival later. `None` when some pair is
+    /// unreachable, [`SimTime::ZERO`] when a zero-latency link makes
+    /// conservative windows impossible (callers must fall back to a merged
+    /// LP).
+    pub fn min_delivery_latency(&self) -> Option<SimTime> {
+        match &self.table {
+            RouteTable::Dense(routes) => {
+                let mut min: Option<SimTime> = None;
+                for s in 0..self.nics {
+                    for d in 0..self.nics {
+                        if s == d {
+                            continue;
+                        }
+                        let links = routes[s * self.nics + d].links();
+                        if links.is_empty() {
+                            return None;
+                        }
+                        let lat = self.delivery_latency(links, 0);
+                        min = Some(min.map_or(lat, |m: SimTime| m.min(lat)));
+                    }
+                }
+                min
+            }
+            RouteTable::Clos3(spec) => {
+                // Same-leaf is minimal: longer routes add the same NIC links
+                // plus extra (uniform-spec) hops and fall-throughs.
+                let mut links = Vec::new();
+                spec.route_into(0, 1, &mut links);
+                Some(self.delivery_latency(&links, 0))
+            }
+        }
     }
 }
 
@@ -240,7 +472,7 @@ impl TopologyBuilder {
             nics,
             switch_latency: self.switch_latency,
             links: self.links,
-            routes,
+            table: RouteTable::Dense(routes),
         }
     }
 
@@ -253,21 +485,30 @@ impl TopologyBuilder {
     /// the fabric non-blocking.
     pub const CLOS_LEAF_HOSTS: usize = 8;
 
+    /// Largest cluster [`TopologyBuilder::for_cluster`] serves with a
+    /// two-level Clos; beyond this it grows a third (core) level.
+    pub const MAX_TWO_LEVEL_HOSTS: usize = 1024;
+
     /// The standard fabric for an `n`-host cluster, shared by the testbed
     /// and the analytic model: one crossbar up to
-    /// [`Self::MAX_SINGLE_SWITCH_HOSTS`] hosts (the paper's testbed), and a
+    /// [`Self::MAX_SINGLE_SWITCH_HOSTS`] hosts (the paper's testbed), a
     /// non-blocking two-level Clos of 16-port crossbars
-    /// ([`Self::CLOS_LEAF_HOSTS`] hosts + as many uplinks per leaf) beyond
-    /// that — which is how real Myrinet installations scaled.
+    /// ([`Self::CLOS_LEAF_HOSTS`] hosts + as many uplinks per leaf) up to
+    /// [`Self::MAX_TWO_LEVEL_HOSTS`] hosts — which is how real Myrinet
+    /// installations scaled — and a three-level (pod + core) Clos beyond
+    /// that, up to 4096 hosts and further.
     pub fn for_cluster(hosts: usize) -> Topology {
         if hosts <= Self::MAX_SINGLE_SWITCH_HOSTS {
             Self::single_switch(hosts)
-        } else {
+        } else if hosts <= Self::MAX_TWO_LEVEL_HOSTS {
             Self::clos(
                 hosts.div_ceil(Self::CLOS_LEAF_HOSTS),
                 Self::CLOS_LEAF_HOSTS,
                 Self::CLOS_LEAF_HOSTS,
             )
+        } else {
+            let pod_hosts = Self::CLOS_LEAF_HOSTS * Self::CLOS_LEAF_HOSTS;
+            Self::clos3(hosts.div_ceil(pod_hosts))
         }
     }
 
@@ -342,8 +583,89 @@ impl TopologyBuilder {
                 }
             }
         }
-        topo.routes = routes;
+        topo.table = RouteTable::Dense(routes);
         topo
+    }
+
+    /// A three-level Clos: `pods` pods of 8 leaf switches × 8 hosts (64
+    /// hosts per pod), every leaf cabled to all 8 aggregation switches of
+    /// its pod, and aggregation switch `a` of every pod cabled to the 8
+    /// core switches of *plane* `a`. Same-pod routes disperse over the
+    /// aggregation stage by `(src + dst) % 8`; cross-pod routes
+    /// additionally disperse over the plane's cores. 64 pods = 4096 hosts.
+    ///
+    /// Routes are computed from the link-id layout rather than stored: the
+    /// all-pairs table at 4096 hosts would be ~17M routes. The layout is
+    /// pinned by the construction order below and mirrored by
+    /// [`Clos3Spec`]'s formulas; `clos3_routes_chain_and_disperse` in the
+    /// test suite cross-checks computed routes against the actual link
+    /// table.
+    pub fn clos3(pods: usize) -> Topology {
+        assert!(pods >= 1);
+        const K: usize = TopologyBuilder::CLOS_LEAF_HOSTS; // 8
+        let mut b = TopologyBuilder::new();
+        // Switches: leaves, then aggs, then cores (plane-major).
+        let leaf: Vec<SwitchId> = (0..pods * K)
+            .map(|_| b.add_switch(Self::DEFAULT_SWITCH_LATENCY))
+            .collect();
+        let agg: Vec<SwitchId> = (0..pods * K)
+            .map(|_| b.add_switch(Self::DEFAULT_SWITCH_LATENCY))
+            .collect();
+        let core: Vec<SwitchId> = (0..K * K)
+            .map(|_| b.add_switch(Self::DEFAULT_SWITCH_LATENCY))
+            .collect();
+        // Cables: leaf↔agg (pod-, then leaf-, then agg-major) ...
+        for p in 0..pods {
+            for l in 0..K {
+                for a in 0..K {
+                    b.connect(
+                        Vertex::Switch(leaf[p * K + l]),
+                        Vertex::Switch(agg[p * K + a]),
+                        LinkSpec::MYRINET_1280,
+                    );
+                }
+            }
+        }
+        let base_ac = b.links.len();
+        // ... then agg↔core (pod-, agg-, core-major; agg a only reaches
+        // plane a) ...
+        for p in 0..pods {
+            for a in 0..K {
+                for c in 0..K {
+                    b.connect(
+                        Vertex::Switch(agg[p * K + a]),
+                        Vertex::Switch(core[a * K + c]),
+                        LinkSpec::MYRINET_1280,
+                    );
+                }
+            }
+        }
+        let base_nic = b.links.len();
+        // ... then NIC↔leaf, leaf by leaf.
+        for p in 0..pods {
+            for l in 0..K {
+                for _ in 0..K {
+                    let n = b.add_nic();
+                    b.connect(
+                        Vertex::Nic(n),
+                        Vertex::Switch(leaf[p * K + l]),
+                        LinkSpec::MYRINET_1280,
+                    );
+                }
+            }
+        }
+        Topology {
+            nics: b.nics,
+            switch_latency: b.switch_latency,
+            links: b.links,
+            table: RouteTable::Clos3(Clos3Spec {
+                pods,
+                leaves: K,
+                hosts: K,
+                base_ac,
+                base_nic,
+            }),
+        }
     }
 
     /// A chain of switches with `hosts_per_switch` NICs each — used by the
@@ -525,6 +847,136 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn clos3_routes_chain_and_disperse() {
+        // Small three-level Clos: 4 pods = 256 hosts. Computed routes must
+        // be real paths through the link table (endpoints match, links
+        // chain) with the expected lengths.
+        let t = TopologyBuilder::clos3(4);
+        assert_eq!(t.nic_count(), 256);
+        assert!(t.fully_connected());
+        let pairs = [
+            (0usize, 1usize, 2usize), // same leaf: nic-leaf-nic
+            (0, 9, 4),                // same pod, different leaf
+            (0, 63, 4),               // same pod boundary
+            (0, 64, 6),               // adjacent pods
+            (7, 200, 6),              // far cross-pod
+            (255, 0, 6),              // reverse direction
+            (64, 65, 2),              // same leaf in pod 1
+        ];
+        for (s, d, len) in pairs {
+            let r = t.route(NicId(s), NicId(d));
+            assert_eq!(r.len(), len, "{s}->{d}");
+            let first = t.link(r.links()[0]);
+            let last = t.link(*r.links().last().unwrap());
+            assert_eq!(first.from, Vertex::Nic(NicId(s)));
+            assert_eq!(last.to, Vertex::Nic(NicId(d)));
+            for w in r.links().windows(2) {
+                assert_eq!(t.link(w[0]).to, t.link(w[1]).from, "{s}->{d}");
+            }
+        }
+        // Cross-pod routes from one source should spread over several
+        // distinct uplinks (aggregation dispersal).
+        let mut uplinks = std::collections::HashSet::new();
+        for d in 64..128 {
+            uplinks.insert(t.route(NicId(0), NicId(d)).links()[1]);
+        }
+        assert!(uplinks.len() >= 4, "only {} uplinks", uplinks.len());
+    }
+
+    #[test]
+    fn clos3_routes_exhaustive_validity_sample() {
+        // Denser sweep on a 2-pod fabric: every pair is a valid chained
+        // path and is symmetric in length.
+        let t = TopologyBuilder::clos3(2);
+        let n = t.nic_count();
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let r = t.route(NicId(s), NicId(d));
+                assert_eq!(t.link(r.links()[0]).from, Vertex::Nic(NicId(s)));
+                assert_eq!(t.link(*r.links().last().unwrap()).to, Vertex::Nic(NicId(d)));
+                for w in r.links().windows(2) {
+                    assert_eq!(t.link(w[0]).to, t.link(w[1]).from);
+                }
+                assert_eq!(r.len(), t.route(NicId(d), NicId(s)).len());
+            }
+        }
+    }
+
+    #[test]
+    fn for_cluster_policy_tiers() {
+        assert_eq!(TopologyBuilder::for_cluster(16).switch_count(), 1);
+        // 1024 = 128 leaves + 8 spines, two levels (unchanged from the
+        // two-level policy — the golden scale study depends on it).
+        assert_eq!(TopologyBuilder::for_cluster(1024).switch_count(), 136);
+        // 4096 = 64 pods: 512 leaves + 512 aggs + 64 cores.
+        let t = TopologyBuilder::for_cluster(4096);
+        assert_eq!(t.nic_count(), 4096);
+        assert_eq!(t.switch_count(), 512 + 512 + 64);
+    }
+
+    #[test]
+    fn partition_map_single_switch_is_per_node() {
+        let p = TopologyBuilder::single_switch(8).partition_map();
+        assert_eq!(p.count, 8);
+        assert_eq!(p.lp_of, (0..8u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_map_clos_groups_by_leaf() {
+        let p = TopologyBuilder::clos(4, 8, 8).partition_map();
+        assert_eq!(p.count, 4);
+        for nic in 0..32usize {
+            assert_eq!(p.lp_of[nic], (nic / 8) as u32);
+        }
+        let p3 = TopologyBuilder::clos3(2).partition_map();
+        assert_eq!(p3.count, 16);
+        assert_eq!(p3.lp_of[0], 0);
+        assert_eq!(p3.lp_of[127], 15);
+    }
+
+    #[test]
+    fn min_delivery_latency_matches_wire_math() {
+        // Single switch, default params: 2×25ns propagation + 300ns
+        // fall-through + ser(wire_size(0, 1) = 18B at 0.16 B/ns → 113ns).
+        let expect = SimTime::from_ns(25 + 300 + 25 + 113);
+        for t in [
+            TopologyBuilder::single_switch(4),
+            TopologyBuilder::clos(4, 8, 8),
+            TopologyBuilder::clos3(2),
+        ] {
+            assert_eq!(t.min_delivery_latency(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn min_delivery_latency_none_when_disconnected() {
+        let mut b = TopologyBuilder::new();
+        let _ = b.add_nic();
+        let _ = b.add_nic();
+        assert_eq!(b.build().min_delivery_latency(), None);
+    }
+
+    #[test]
+    fn zero_latency_fabric_reports_zero_lookahead() {
+        // Infinite bandwidth + zero propagation + zero fall-through is the
+        // degenerate case the parallel engine must refuse to window.
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch(SimTime::ZERO);
+        let spec = LinkSpec {
+            bytes_per_ns: f64::INFINITY,
+            propagation: SimTime::ZERO,
+        };
+        for _ in 0..2 {
+            let n = b.add_nic();
+            b.connect(Vertex::Nic(n), Vertex::Switch(sw), spec);
+        }
+        assert_eq!(b.build().min_delivery_latency(), Some(SimTime::ZERO));
     }
 
     #[test]

@@ -55,25 +55,42 @@ impl Default for SweepEngine {
 }
 
 impl SweepEngine {
-    /// An engine sized to the machine (one worker per available core).
+    /// An engine sized to the machine: the `GMSIM_SWEEP_THREADS`
+    /// environment variable if set to a positive integer, else one worker
+    /// per available core.
     pub fn new() -> Self {
         SweepEngine { workers: None }
     }
 
     /// Pin the worker count (tests use this to force multi-threaded
     /// execution on single-core machines, or serial execution anywhere).
+    /// Takes precedence over `GMSIM_SWEEP_THREADS`.
     #[must_use]
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = Some(n.max(1));
         self
     }
 
-    /// The number of workers `run` will actually use for `n` cells.
+    /// The worker count requested via `GMSIM_SWEEP_THREADS`, if the
+    /// variable is set to a positive integer.
+    pub fn env_workers() -> Option<usize> {
+        Self::parse_workers(std::env::var("GMSIM_SWEEP_THREADS").ok())
+    }
+
+    fn parse_workers(raw: Option<String>) -> Option<usize> {
+        raw?.trim().parse::<usize>().ok().filter(|&n| n > 0)
+    }
+
+    /// The number of workers `run` will actually use for `n` cells:
+    /// explicit [`SweepEngine::workers`], else `GMSIM_SWEEP_THREADS`, else
+    /// one per available core — clamped to the cell count.
     pub fn effective_workers(&self, n: usize) -> usize {
         let hw = || {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
+            Self::env_workers().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
         };
         self.workers.unwrap_or_else(hw).min(n.max(1))
     }
@@ -175,6 +192,17 @@ mod tests {
         assert_eq!(SweepEngine::new().workers(8).effective_workers(3), 3);
         assert_eq!(SweepEngine::new().workers(8).effective_workers(100), 8);
         assert_eq!(SweepEngine::new().workers(0).effective_workers(5), 1);
+    }
+
+    #[test]
+    fn sweep_threads_env_parsing() {
+        let p = |s: &str| SweepEngine::parse_workers(Some(s.to_string()));
+        assert_eq!(p("4"), Some(4));
+        assert_eq!(p(" 16 "), Some(16));
+        assert_eq!(p("0"), None, "zero workers is meaningless");
+        assert_eq!(p("lots"), None);
+        assert_eq!(p(""), None);
+        assert_eq!(SweepEngine::parse_workers(None), None);
     }
 
     #[test]

@@ -245,6 +245,11 @@ pub struct BarrierExperiment {
     /// identical schedule as that team — in an otherwise idle cluster the
     /// latencies must be bit-identical (the refactor's safety property).
     pub team: TeamId,
+    /// Worker threads for the conservative parallel engine; `<= 1` runs the
+    /// classic serial scheduler. Any value produces bit-identical
+    /// measurements (DESIGN.md §15) — this knob only trades wall-clock
+    /// time, which is what makes 2048- and 4096-node runs practical.
+    pub parallel: usize,
 }
 
 impl BarrierExperiment {
@@ -266,7 +271,17 @@ impl BarrierExperiment {
             fault_plan: FaultPlan::NONE,
             trace_capacity: None,
             team: TeamId::GLOBAL,
+            parallel: 1,
         }
+    }
+
+    /// Run the simulation on `threads` worker threads (the conservative
+    /// parallel engine); `<= 1` keeps the serial scheduler. Results are
+    /// bit-identical either way.
+    #[must_use]
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.parallel = threads;
+        self
     }
 
     /// Run the barrier under a team label other than the global one.
@@ -462,13 +477,10 @@ impl BarrierExperiment {
             };
             builder = builder.program(group.member(rank), self.make_program(&group, rank), start);
         }
-        let mut sim = builder.build();
-        let outcome = sim.run();
+        let (outcome, events, cluster) = run_cluster(builder, self.parallel);
         if outcome != RunOutcome::Quiescent {
             return Err(ExperimentError::Hung { outcome });
         }
-        let events = sim.events_fired();
-        let cluster = sim.into_world();
 
         // A dead connection is a stronger diagnosis than an incomplete
         // round: the firmware *reported* giving up, so surface that first.
@@ -517,6 +529,21 @@ impl BarrierExperiment {
             nic_turnaround,
             trace: cluster.tracer.snapshot(),
         })
+    }
+}
+
+/// Build and run the assembled cluster on the requested engine: the serial
+/// scheduler for `threads <= 1`, the conservative parallel engine
+/// otherwise. Both return identical worlds — the choice is wall-clock only.
+pub(crate) fn run_cluster(builder: ClusterBuilder, threads: usize) -> (RunOutcome, u64, Cluster) {
+    if threads > 1 {
+        let mut sim = builder.build_parallel(threads);
+        let outcome = sim.run();
+        (outcome, sim.events_fired(), sim.into_world())
+    } else {
+        let mut sim = builder.build();
+        let outcome = sim.run();
+        (outcome, sim.events_fired(), sim.into_world())
     }
 }
 
@@ -666,6 +693,8 @@ pub struct MultiTenantExperiment {
     pub nic: NicModel,
     /// Firmware extension cost table.
     pub costs: BarrierCosts,
+    /// Worker threads for the parallel engine (`<= 1` = serial).
+    pub parallel: usize,
 }
 
 impl MultiTenantExperiment {
@@ -683,7 +712,16 @@ impl MultiTenantExperiment {
             background_messages: 200,
             nic: NicModel::LANAI_4_3,
             costs: BarrierCosts::GM_1_2_3,
+            parallel: 1,
         }
+    }
+
+    /// Run on `threads` worker threads (bit-identical results; wall-clock
+    /// only).
+    #[must_use]
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.parallel = threads;
+        self
     }
 
     /// Override the team-size range (inclusive).
@@ -829,13 +867,10 @@ impl MultiTenantExperiment {
             }
         }
 
-        let mut sim = builder.build();
-        let outcome = sim.run();
+        let (outcome, events, cluster) = run_cluster(builder, self.parallel);
         if outcome != RunOutcome::Quiescent {
             return Err(ExperimentError::Hung { outcome });
         }
-        let events = sim.events_fired();
-        let cluster = sim.into_world();
 
         for (node, n) in cluster.nodes.iter().enumerate() {
             if let Some(conn) = n.mcp.core.connections().find(|c| c.is_dead()) {

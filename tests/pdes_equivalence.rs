@@ -1,0 +1,293 @@
+//! Bit-exactness gate for the conservative parallel DES core.
+//!
+//! The parallel engine (DESIGN.md §15) promises that `.parallel(t)` only
+//! trades wall-clock time: every virtual-time observable — latencies,
+//! event counts, counters, histograms, traces — must be **bit-identical**
+//! to the serial scheduler for any thread count. This suite pins that
+//! promise three ways:
+//!
+//! 1. The full 310-configuration golden fixture (the pre-IR capture that
+//!    `tests/golden_equivalence.rs` guards serially) re-run through the
+//!    parallel path with 2 workers, demanding exact f64 equality.
+//! 2. A property matrix over algorithms × faults × teams × placement ×
+//!    tracing, comparing every `Measurement` component between serial and
+//!    t ∈ {2, 4, 8}.
+//! 3. The degenerate partitionings: a zero-lookahead fabric and a
+//!    one-node cluster must fall back to the serial engine rather than
+//!    deadlock or window incorrectly.
+
+use nic_barrier_suite::des::{RunOutcome, SimTime};
+use nic_barrier_suite::gm::cluster::ClusterBuilder;
+use nic_barrier_suite::gm::events::GmEvent;
+use nic_barrier_suite::gm::host::{HostCtx, HostProgram};
+use nic_barrier_suite::gm::ids::GlobalPort;
+use nic_barrier_suite::myrinet::route::Vertex;
+use nic_barrier_suite::myrinet::topology::{LinkSpec, TopologyBuilder};
+use nic_barrier_suite::testbed::prelude::*;
+use nic_barrier_suite::testbed::run_all_with;
+
+const GOLDEN: &str = include_str!("data/golden_barriers.txt");
+
+fn parse_fixture() -> Vec<(Algorithm, usize, f64)> {
+    GOLDEN
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut f = l.split_whitespace();
+            let family = f.next().expect("family");
+            let n: usize = f.next().expect("n").parse().expect("n parses");
+            let dim: usize = f.next().expect("dim").parse().expect("dim parses");
+            let mean_us: f64 = f.next().expect("mean").parse().expect("mean parses");
+            let algorithm = match family {
+                "nic-pe" => Algorithm::Nic(Descriptor::Pe),
+                "host-pe" => Algorithm::Host(Descriptor::Pe),
+                "nic-gb" => Algorithm::Nic(Descriptor::Gb { dim }),
+                "host-gb" => Algorithm::Host(Descriptor::Gb { dim }),
+                other => panic!("unknown family {other}"),
+            };
+            (algorithm, n, mean_us)
+        })
+        .collect()
+}
+
+/// The whole pre-refactor capture, replayed through the parallel engine.
+///
+/// Every golden configuration lives on a single crossbar, where the
+/// partition map degrades to one LP per NIC — so 2 workers genuinely
+/// exercises cross-LP windowing, not a serial fallback.
+#[test]
+fn golden_fixture_reproduced_bit_exactly_through_pdes() {
+    let rows = parse_fixture();
+    assert_eq!(rows.len(), 310, "fixture shape changed");
+    let experiments: Vec<BarrierExperiment> = rows
+        .iter()
+        .map(|&(algorithm, n, _)| {
+            BarrierExperiment::new(n, algorithm)
+                .rounds(40, 5)
+                .parallel(2)
+        })
+        .collect();
+    let measured = run_all_with(&experiments, |e| e.run().unwrap().mean_us);
+    let mut mismatches = Vec::new();
+    for ((&(_, n, golden), got), e) in rows.iter().zip(&measured).zip(&experiments) {
+        if golden != *got {
+            mismatches.push(format!(
+                "{} n={}: golden {:.17e} vs parallel {:.17e}",
+                e.algorithm.name(),
+                n,
+                golden,
+                got
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {} configurations drifted under the parallel engine:\n{}",
+        mismatches.len(),
+        rows.len(),
+        mismatches.join("\n")
+    );
+}
+
+/// Compare every observable of two measurements, bit-for-bit where the
+/// field is floating point. `Summary` and `Histogram` expose no
+/// `PartialEq`, so their statistics are compared through accessors.
+fn assert_identical(serial: &Measurement, par: &Measurement, label: &str) {
+    let bits = |x: f64| x.to_bits();
+    assert_eq!(
+        bits(serial.mean_us),
+        bits(par.mean_us),
+        "{label}: mean_us {} vs {}",
+        serial.mean_us,
+        par.mean_us
+    );
+    assert_eq!(
+        bits(serial.first_round_us),
+        bits(par.first_round_us),
+        "{label}: first_round_us"
+    );
+    assert_eq!(serial.events, par.events, "{label}: events fired");
+    assert_eq!(serial.metrics, par.metrics, "{label}: metric counters");
+    assert_eq!(
+        serial.per_round.count(),
+        par.per_round.count(),
+        "{label}: per-round count"
+    );
+    assert_eq!(
+        bits(serial.per_round.mean()),
+        bits(par.per_round.mean()),
+        "{label}: per-round mean"
+    );
+    assert_eq!(
+        bits(serial.per_round.stddev()),
+        bits(par.per_round.stddev()),
+        "{label}: per-round stddev"
+    );
+    assert_eq!(
+        bits(serial.per_round.min()),
+        bits(par.per_round.min()),
+        "{label}: per-round min"
+    );
+    assert_eq!(
+        bits(serial.per_round.max()),
+        bits(par.per_round.max()),
+        "{label}: per-round max"
+    );
+    assert_eq!(
+        serial.nic_turnaround.total(),
+        par.nic_turnaround.total(),
+        "{label}: turnaround samples"
+    );
+    assert_eq!(
+        serial.nic_turnaround.mean().map(bits),
+        par.nic_turnaround.mean().map(bits),
+        "{label}: turnaround mean"
+    );
+    assert_eq!(
+        serial.nic_turnaround.underflow(),
+        par.nic_turnaround.underflow(),
+        "{label}: turnaround underflow"
+    );
+    assert_eq!(
+        serial.nic_turnaround.overflow(),
+        par.nic_turnaround.overflow(),
+        "{label}: turnaround overflow"
+    );
+    assert_eq!(serial.trace, par.trace, "{label}: structured trace");
+}
+
+/// Serial ≡ parallel(t) for t ∈ {2, 4, 8} across a configuration matrix
+/// that exercises every mechanism the windowed engine must replay
+/// deterministically: lossy links (fault RNG draw order), teams, packed
+/// placement (same-NIC loopback stays in-LP), skewed starts, and bounded
+/// trace rings (eviction order).
+#[test]
+fn parallel_measurements_match_serial_across_configs() {
+    let configs: Vec<(&str, BarrierExperiment)> = vec![
+        (
+            "nic-pe n=16 lossy",
+            BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Pe))
+                .rounds(30, 4)
+                .faults(FaultPlan::drops(0.02))
+                .skew(3, 11),
+        ),
+        (
+            "host-gb n=24 team",
+            BarrierExperiment::new(24, Algorithm::Host(Descriptor::Gb { dim: 2 }))
+                .rounds(20, 3)
+                .team(TeamId(9)),
+        ),
+        (
+            "nic-gb n=32 packed traced",
+            BarrierExperiment::new(32, Algorithm::Nic(Descriptor::Gb { dim: 4 }))
+                .rounds(20, 3)
+                .placement(Placement::Packed { procs_per_node: 2 })
+                .trace(512),
+        ),
+        (
+            "nic-pe n=8 lossy traced",
+            BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe))
+                .rounds(25, 4)
+                .faults(FaultPlan::drops(0.05))
+                .trace(256),
+        ),
+    ];
+    for (label, base) in &configs {
+        let serial = base.run().unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = base.parallel(threads).run().unwrap();
+            assert_identical(&serial, &par, &format!("{label} t={threads}"));
+        }
+    }
+}
+
+/// Sends a short tagged ping-pong with a fixed peer; used to drive the
+/// degenerate-topology clusters below with real traffic.
+struct PingPong {
+    peer: GlobalPort,
+    initiator: bool,
+}
+
+impl HostProgram for PingPong {
+    fn on_start(&mut self, ctx: &mut HostCtx) {
+        if self.initiator {
+            ctx.send(self.peer, 64, 1);
+        }
+    }
+    fn on_event(&mut self, ev: &GmEvent, ctx: &mut HostCtx) {
+        if let GmEvent::Recv { tag, .. } = ev {
+            ctx.note(*tag);
+            ctx.provide_recv(1);
+            if *tag < 4 {
+                ctx.send(self.peer, 64, tag + 1);
+            }
+        }
+    }
+}
+
+fn ping_pong_cluster(n: usize) -> ClusterBuilder {
+    let mut b = ClusterBuilder::new(n);
+    for i in 0..n {
+        let peer = GlobalPort::new((i + 1) % n, 1);
+        b = b.program(
+            GlobalPort::new(i, 1),
+            Box::new(PingPong {
+                peer,
+                initiator: i % 2 == 0,
+            }),
+            SimTime::from_us(i as u64),
+        );
+    }
+    b
+}
+
+/// A fabric whose minimum delivery latency is zero admits no conservative
+/// window: the engine must refuse to partition and run serially — same
+/// results, no deadlock.
+#[test]
+fn zero_lookahead_fabric_falls_back_to_serial() {
+    let topology = || {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch(SimTime::ZERO);
+        let spec = LinkSpec {
+            bytes_per_ns: f64::INFINITY,
+            propagation: SimTime::ZERO,
+        };
+        for _ in 0..2 {
+            let n = b.add_nic();
+            b.connect(Vertex::Nic(n), Vertex::Switch(sw), spec);
+        }
+        let t = b.build();
+        assert_eq!(t.min_delivery_latency(), Some(SimTime::ZERO));
+        t
+    };
+
+    let mut serial = ping_pong_cluster(2).topology(topology()).build();
+    assert_eq!(serial.run(), RunOutcome::Quiescent);
+    let serial_events = serial.events_fired();
+    let serial_world = serial.into_world();
+
+    let mut par = ping_pong_cluster(2).topology(topology()).build_parallel(4);
+    assert!(
+        !par.is_parallel(),
+        "zero lookahead must force the serial fallback"
+    );
+    assert_eq!(par.partitions(), 1);
+    assert_eq!(par.run(), RunOutcome::Quiescent);
+    assert_eq!(par.events_fired(), serial_events);
+    assert_eq!(par.into_world().notes, serial_world.notes);
+}
+
+/// One node is one partition: nothing to overlap, so the engine runs the
+/// proven serial scheduler instead of paying window synchronization.
+#[test]
+fn one_node_cluster_is_a_single_serial_partition() {
+    let mut par = ping_pong_cluster(1).build_parallel(8);
+    assert!(!par.is_parallel());
+    assert_eq!(par.partitions(), 1);
+    assert_eq!(par.run(), RunOutcome::Quiescent);
+
+    let mut serial = ping_pong_cluster(1).build();
+    assert_eq!(serial.run(), RunOutcome::Quiescent);
+    assert_eq!(par.events_fired(), serial.events_fired());
+}
