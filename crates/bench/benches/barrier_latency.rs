@@ -19,8 +19,8 @@ fn bench_fig5(c: &mut Criterion) {
             for alg in [
                 Algorithm::Nic(Descriptor::Pe),
                 Algorithm::Host(Descriptor::Pe),
-                Algorithm::Nic(Descriptor::Gb { dim: 2 }),
-                Algorithm::Host(Descriptor::Gb { dim: 2 }),
+                Algorithm::Nic(Descriptor::gb(2)),
+                Algorithm::Host(Descriptor::gb(2)),
             ] {
                 let e = BarrierExperiment::new(n, alg).nic(nic).rounds(60, 10);
                 let m = e.run().unwrap();

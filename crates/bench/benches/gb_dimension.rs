@@ -10,8 +10,7 @@ fn bench_gbdim(c: &mut Criterion) {
     let mut g = c.benchmark_group("gb_dimension_sweep");
     g.sample_size(10);
     for n in [4usize, 8, 16] {
-        let base =
-            BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: 1 })).rounds(40, 5);
+        let base = BarrierExperiment::new(n, Algorithm::Nic(Descriptor::gb(1))).rounds(40, 5);
         let (dim, m) = best_gb_dim(base);
         println!(
             "n={n}: best NIC-GB dimension d={dim} at {:.2} us",

@@ -84,7 +84,7 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_sweep");
     g.sample_size(10);
     let exps: Vec<BarrierExperiment> = (1..8)
-        .map(|d| BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Gb { dim: d })).rounds(30, 5))
+        .map(|d| BarrierExperiment::new(8, Algorithm::Nic(Descriptor::gb(d))).rounds(30, 5))
         .collect();
     g.bench_function("seven_gb_dims_parallel", |b| {
         b.iter(|| run_all(&exps).len())

@@ -27,8 +27,8 @@ fn main() {
         }
         for dim in 1usize..=4 {
             for (family, alg) in [
-                ("nic-gb", Algorithm::Nic(Descriptor::Gb { dim })),
-                ("host-gb", Algorithm::Host(Descriptor::Gb { dim })),
+                ("nic-gb", Algorithm::Nic(Descriptor::gb(dim))),
+                ("host-gb", Algorithm::Host(Descriptor::gb(dim))),
             ] {
                 let m = BarrierExperiment::new(n, alg).rounds(40, 5).run().unwrap();
                 println!("{family} {n} {dim} {:.17e}", m.mean_us);

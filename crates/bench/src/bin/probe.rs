@@ -50,10 +50,10 @@ fn main() {
     println!("== GB best-dimension, LANai 4.3 ==");
     for n in [2usize, 4, 8, 16] {
         let (nd, nm) = gmsim_testbed::best_gb_dim(
-            BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: 1 })).rounds(80, 10),
+            BarrierExperiment::new(n, Algorithm::Nic(Descriptor::gb(1))).rounds(80, 10),
         );
         let (hd, hm) = gmsim_testbed::best_gb_dim(
-            BarrierExperiment::new(n, Algorithm::Host(Descriptor::Gb { dim: 1 })).rounds(80, 10),
+            BarrierExperiment::new(n, Algorithm::Host(Descriptor::gb(1))).rounds(80, 10),
         );
         println!(
             "n={n:2}  NIC-GB d={nd} {:8.2}us   host-GB d={hd} {:8.2}us   factor {:.2}",

@@ -9,7 +9,8 @@
 //! ```
 //!
 //! Experiment ids (see DESIGN.md §5): fig5a fig5b fig5c fig5d fig2 gbdim
-//! headline scale layer fuzzy ablate mpi util dissem scan breakdown faults.
+//! headline scale layer fuzzy ablate mpi util dissem scan breakdown faults
+//! payload.
 //!
 //! `--trace <path>` runs a 16-node NIC-based PE barrier with structured
 //! tracing on and writes a chrome://tracing (Perfetto-loadable) JSON file.
@@ -65,6 +66,7 @@ fn main() {
                 "breakdown",
                 "faults",
                 "multitenant",
+                "payload",
             ]
         } else {
             args.iter().map(String::as_str).collect()
@@ -90,6 +92,7 @@ fn main() {
             "breakdown" => breakdown(),
             "faults" => faults_study(),
             "multitenant" => ok = multitenant_study(smoke) && ok,
+            "payload" => ok = payload_study(smoke) && ok,
             "trace" => trace_one_barrier(),
             other => eprintln!("unknown experiment id: {other}"),
         }
@@ -116,12 +119,10 @@ fn fig5_latency(nic: NicModel, sizes: &[usize], id: &str) {
     for &n in sizes {
         let nic_pe = measure(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)).nic(nic));
         let host_pe = measure(BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe)).nic(nic));
-        let (nd, ngb) = best_gb_dim(
-            BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: 1 })).nic(nic),
-        );
-        let (hd, hgb) = best_gb_dim(
-            BarrierExperiment::new(n, Algorithm::Host(Descriptor::Gb { dim: 1 })).nic(nic),
-        );
+        let (nd, ngb) =
+            best_gb_dim(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::gb(1))).nic(nic));
+        let (hd, hgb) =
+            best_gb_dim(BarrierExperiment::new(n, Algorithm::Host(Descriptor::gb(1))).nic(nic));
         t.row(vec![
             n.to_string(),
             us(nic_pe),
@@ -143,12 +144,10 @@ fn fig5_improvement(nic: NicModel, sizes: &[usize], id: &str) {
     for &n in sizes {
         let nic_pe = measure(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)).nic(nic));
         let host_pe = measure(BarrierExperiment::new(n, Algorithm::Host(Descriptor::Pe)).nic(nic));
-        let (_, ngb) = best_gb_dim(
-            BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: 1 })).nic(nic),
-        );
-        let (_, hgb) = best_gb_dim(
-            BarrierExperiment::new(n, Algorithm::Host(Descriptor::Gb { dim: 1 })).nic(nic),
-        );
+        let (_, ngb) =
+            best_gb_dim(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::gb(1))).nic(nic));
+        let (_, hgb) =
+            best_gb_dim(BarrierExperiment::new(n, Algorithm::Host(Descriptor::gb(1))).nic(nic));
         t.row(vec![
             n.to_string(),
             factor(host_pe / nic_pe),
@@ -220,10 +219,10 @@ fn gb_dimension_sweep() {
     for n in [4usize, 8, 16] {
         let mut t = Table::new(vec!["dim", "NIC-GB (us)", "host-GB (us)"]);
         let nic_exps: Vec<_> = (1..n)
-            .map(|d| BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Gb { dim: d })))
+            .map(|d| BarrierExperiment::new(n, Algorithm::Nic(Descriptor::gb(d))))
             .collect();
         let host_exps: Vec<_> = (1..n)
-            .map(|d| BarrierExperiment::new(n, Algorithm::Host(Descriptor::Gb { dim: d })))
+            .map(|d| BarrierExperiment::new(n, Algorithm::Host(Descriptor::gb(d))))
             .collect();
         let nic_res = run_all(&nic_exps);
         let host_res = run_all(&host_exps);
@@ -249,10 +248,9 @@ fn headline() {
     let nic_pe_8_43 = measure(BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe)).nic(l43));
     let host_pe_8_43 = measure(BarrierExperiment::new(8, Algorithm::Host(Descriptor::Pe)).nic(l43));
     let (_, nic_gb_16) =
-        best_gb_dim(BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Gb { dim: 1 })).nic(l43));
-    let (_, host_gb_16) = best_gb_dim(
-        BarrierExperiment::new(16, Algorithm::Host(Descriptor::Gb { dim: 1 })).nic(l43),
-    );
+        best_gb_dim(BarrierExperiment::new(16, Algorithm::Nic(Descriptor::gb(1))).nic(l43));
+    let (_, host_gb_16) =
+        best_gb_dim(BarrierExperiment::new(16, Algorithm::Host(Descriptor::gb(1))).nic(l43));
     let nic_pe_8_72 = measure(BarrierExperiment::new(8, Algorithm::Nic(Descriptor::Pe)).nic(l72));
     let host_pe_8_72 = measure(BarrierExperiment::new(8, Algorithm::Host(Descriptor::Pe)).nic(l72));
     let mut t = Table::new(vec!["metric", "paper", "measured", "error"]);
@@ -351,8 +349,8 @@ fn scaling_study(smoke: bool) -> bool {
     let algs: [(Algorithm, &str, bool); 6] = [
         (Algorithm::Nic(Descriptor::Pe), "nic_pe", false),
         (Algorithm::Host(Descriptor::Pe), "host_pe", false),
-        (Algorithm::Nic(Descriptor::Gb { dim: 8 }), "nic_gb8", true),
-        (Algorithm::Host(Descriptor::Gb { dim: 8 }), "host_gb8", true),
+        (Algorithm::Nic(Descriptor::gb(8)), "nic_gb8", true),
+        (Algorithm::Host(Descriptor::gb(8)), "host_gb8", true),
         (
             Algorithm::Nic(Descriptor::Dissemination),
             "nic_dissem",
@@ -826,11 +824,11 @@ fn scan_study() {
     for n in [2usize, 3, 4, 6, 8, 12, 16] {
         let nic = measure(BarrierExperiment::new(
             n,
-            Algorithm::Nic(Descriptor::Scan { op }),
+            Algorithm::Nic(Descriptor::scan(op)),
         ));
         let host = measure(BarrierExperiment::new(
             n,
-            Algorithm::Host(Descriptor::Scan { op }),
+            Algorithm::Host(Descriptor::scan(op)),
         ));
         let pe = measure(BarrierExperiment::new(n, Algorithm::Nic(Descriptor::Pe)));
         t.row(vec![
@@ -1046,6 +1044,200 @@ fn multitenant_study(smoke: bool) -> bool {
     println!("wrote {}", out);
     if !ok {
         eprintln!("multitenant: the isolated baseline regressed vs the global barrier");
+    }
+    ok
+}
+
+/// Tentpole study of the data-carrying collective redesign: latency vs
+/// message size (1 B – 1 MiB) for broadcast, reduce, allreduce and scan at
+/// N ∈ {16, 64, 256, 1024}, each size measured twice — forced *eager*
+/// (one worm, `Payload::eager`) and forced *pipelined* (4 KiB segments,
+/// `Payload::pipelined`) — so the eager→pipelined crossover is visible in
+/// the curves rather than asserted. Every simulated point is gated
+/// against the payload forms in `nic_barrier::analytic` within
+/// [`nic_barrier::PAYLOAD_MODEL_TOLERANCE`]; results (including the
+/// per-curve crossover size) land in `BENCH_payload.json` for CI.
+/// `--smoke` caps the grid at 64 nodes / 64 KiB (the CI payload-smoke
+/// job). Returns `false` if any point violates the tolerance.
+fn payload_study(smoke: bool) -> bool {
+    use gmsim_gm::Payload;
+    use gmsim_testbed::{cell_seed, SweepEngine};
+    use nic_barrier::{ReduceOp, PAYLOAD_MODEL_TOLERANCE};
+
+    const PAYLOAD_SEED: u64 = 0x5ca1_ab1e_0000_0002;
+    /// Segment size of the pipelined arm (also `Payload::for_size`'s
+    /// default granularity and eager threshold).
+    const SEG: u64 = 4096;
+
+    println!(
+        "\n=== payload{}: collective latency vs message size, eager vs pipelined ===",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let sizes: &[usize] = if smoke {
+        &[16, 64]
+    } else {
+        &[16, 64, 256, 1024]
+    };
+    let bytes: &[u64] = if smoke {
+        &[1, 1024, 4096, 16384, 65536]
+    } else {
+        &[1, 64, 1024, 4096, 16384, 65536, 262144, 1048576]
+    };
+    // (descriptor, json key). All trees run at dim = 2, the MPI layer's
+    // binding.
+    let colls: [(Descriptor, &str); 4] = [
+        (Descriptor::bcast(2), "bcast"),
+        (Descriptor::reduce(ReduceOp::Sum, 2), "reduce"),
+        (Descriptor::allreduce(ReduceOp::Sum, 2), "allreduce"),
+        (Descriptor::scan(ReduceOp::Sum), "scan"),
+    ];
+
+    let mut cells = Vec::new();
+    for &n in sizes {
+        for &(desc, key) in &colls {
+            for &b in bytes {
+                for eager in [true, false] {
+                    let payload = if eager {
+                        Payload::eager(b)
+                    } else {
+                        Payload::pipelined(b, SEG)
+                    };
+                    // Segment counts grow with the message; fewer timing
+                    // rounds keep the big cells tractable without moving
+                    // the steady-state mean.
+                    let (rounds, warmup) = if n >= 1024 || b >= 262144 {
+                        (4, 1)
+                    } else {
+                        (8, 2)
+                    };
+                    let mut e =
+                        BarrierExperiment::new(n, Algorithm::Nic(desc.with_payload(payload)))
+                            .rounds(rounds, warmup);
+                    e.seed = cell_seed(PAYLOAD_SEED, cells.len() as u64);
+                    cells.push((n, key, b, eager, payload, e));
+                }
+            }
+        }
+    }
+    let sweep = SweepEngine::new();
+    let measured = sweep.run(&cells, |_, (n, key, b, _, _, e)| {
+        e.run()
+            .unwrap_or_else(|err| panic!("payload cell {key} n={n} bytes={b}: {err}"))
+            .mean_us
+    });
+
+    let m = CostModel::from_config(&GmConfig::paper_host(NicModel::LANAI_4_3));
+    let mut ok = true;
+    let mut json_rows = Vec::new();
+    let mut t = Table::new(vec![
+        "nodes",
+        "collective",
+        "bytes",
+        "mode",
+        "sim (us)",
+        "model (us)",
+        "err",
+        "ok",
+    ]);
+    // (n, key, bytes) -> (eager_us, pipelined_us) for crossover detection.
+    let mut pairs = std::collections::BTreeMap::new();
+    for ((n, key, b, eager, payload, _), meas) in cells.iter().zip(&measured) {
+        let model = match *key {
+            "bcast" => m.nic_bcast_us(*n, 2, *payload),
+            "reduce" => m.nic_reduce_us(*n, 2, *payload),
+            "allreduce" => m.nic_allreduce_us(*n, 2, *payload),
+            "scan" => m.nic_scan_us(*n, *payload),
+            other => unreachable!("unknown payload key {other}"),
+        };
+        let rel = (model - meas) / meas;
+        let pass = rel.abs() <= PAYLOAD_MODEL_TOLERANCE;
+        ok &= pass;
+        if !pass {
+            eprintln!(
+                "payload: FAIL {key} n={n} bytes={b} {}: model {model:.3} us vs \
+                 sim {meas:.3} us ({:+.1}% exceeds the ±{:.0}% tolerance)",
+                if *eager { "eager" } else { "pipelined" },
+                rel * 100.0,
+                PAYLOAD_MODEL_TOLERANCE * 100.0
+            );
+        }
+        t.row(vec![
+            n.to_string(),
+            key.to_string(),
+            b.to_string(),
+            if *eager { "eager" } else { "pipelined" }.to_string(),
+            us(*meas),
+            us(model),
+            format!("{:+.1}%", rel * 100.0),
+            if pass { "yes" } else { "NO" }.to_string(),
+        ]);
+        let entry = pairs.entry((*n, *key, *b)).or_insert((f64::NAN, f64::NAN));
+        if *eager {
+            entry.0 = *meas;
+        } else {
+            entry.1 = *meas;
+        }
+        json_rows.push(format!(
+            concat!(
+                "    {{\"nodes\": {n}, \"collective\": \"{key}\", \"bytes\": {b}, ",
+                "\"mode\": \"{mode}\", \"segments\": {segs}, \"measured_us\": {meas:.3}, ",
+                "\"model_us\": {model:.3}, \"rel_err\": {rel:.4}, ",
+                "\"tolerance\": {tol}, \"pass\": {pass}}}"
+            ),
+            n = n,
+            key = key,
+            b = b,
+            mode = if *eager { "eager" } else { "pipelined" },
+            segs = payload.segments().get(),
+            meas = meas,
+            model = model,
+            rel = rel,
+            tol = PAYLOAD_MODEL_TOLERANCE,
+            pass = pass,
+        ));
+    }
+    print!("{}", t.render());
+
+    // The crossover: the smallest size at which segmenting beats the
+    // single worm. Below it the per-segment overhead dominates (eager
+    // wins); above it the pipeline hides the per-byte terms behind the
+    // tree depth.
+    let mut ct = Table::new(vec!["nodes", "collective", "crossover (bytes)"]);
+    let mut cross_rows = Vec::new();
+    for &n in sizes {
+        for &(_, key) in &colls {
+            let cross = bytes
+                .iter()
+                .find(|&&b| {
+                    let (e, p) = pairs[&(n, key, b)];
+                    p < e
+                })
+                .copied();
+            let label = cross.map_or("none (eager wins)".to_string(), |b| b.to_string());
+            ct.row(vec![n.to_string(), key.to_string(), label]);
+            cross_rows.push(format!(
+                "    {{\"nodes\": {n}, \"collective\": \"{key}\", \"crossover_bytes\": {}}}",
+                cross.map_or("null".to_string(), |b| b.to_string()),
+            ));
+        }
+    }
+    print!("{}", ct.render());
+    println!("(eager wins small messages; segment pipelining wins once per-byte time dominates)");
+
+    let json = format!(
+        "{{\n  \"schema\": \"gmsim-payload/v1\",\n  \"experiment\": \
+         \"collective_latency_vs_size_vs_analytic_model\",\n  \"smoke\": {},\n  \
+         \"seg_bytes\": {},\n  \"points\": [\n{}\n  ],\n  \"crossover\": [\n{}\n  ]\n}}\n",
+        smoke,
+        SEG,
+        json_rows.join(",\n"),
+        cross_rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_payload.json");
+    std::fs::write(out, &json).expect("write BENCH_payload.json");
+    println!("wrote {}", out);
+    if !ok {
+        eprintln!("payload: at least one point violated the model tolerance");
     }
     ok
 }
@@ -1310,9 +1502,9 @@ fn breakdown() {
         }
         for nic_side in [false, true] {
             let alg = if nic_side {
-                Algorithm::Nic(Descriptor::Gb { dim: 1 })
+                Algorithm::Nic(Descriptor::gb(1))
             } else {
-                Algorithm::Host(Descriptor::Gb { dim: 1 })
+                Algorithm::Host(Descriptor::gb(1))
             };
             let (dim, meas) = best_gb_dim(BarrierExperiment::new(n, alg));
             t.row(vec![

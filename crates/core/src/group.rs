@@ -26,7 +26,7 @@ use gmsim_gm::{CollectiveSchedule, CollectiveToken, GlobalPort, ReduceOp, TeamId
 ///
 /// // Its GB program in a binary tree talks to parent rank 1 and child
 /// // rank 7 only.
-/// let gb = group.compile(Descriptor::Gb { dim: 2 }, 3);
+/// let gb = group.compile(Descriptor::gb(2), 3);
 /// let first_gather = gb.steps.iter().find_map(|s| match s {
 ///     ScheduleStep::RecvFrom { peers, .. } => Some(peers.clone()),
 ///     _ => None,
@@ -105,13 +105,12 @@ impl BarrierGroup {
 
     /// The GB barrier token for `rank` with tree dimension `dim`.
     pub fn gb_token(&self, rank: usize, dim: usize) -> CollectiveToken {
-        self.token(Descriptor::Gb { dim }, rank)
+        self.token(Descriptor::gb(dim), rank)
     }
 
     /// A NIC-broadcast token; `value` matters only at the root (rank 0).
     pub fn broadcast_token(&self, rank: usize, dim: usize, value: u64) -> CollectiveToken {
-        self.token(Descriptor::Bcast { dim }, rank)
-            .with_value(value)
+        self.token(Descriptor::bcast(dim), rank).with_value(value)
     }
 
     /// A NIC-reduce token contributing `value`; the result lands at rank 0.
@@ -122,7 +121,7 @@ impl BarrierGroup {
         dim: usize,
         value: u64,
     ) -> CollectiveToken {
-        self.token(Descriptor::Reduce { op, dim }, rank)
+        self.token(Descriptor::reduce(op, dim), rank)
             .with_value(value)
     }
 
@@ -135,14 +134,14 @@ impl BarrierGroup {
         dim: usize,
         value: u64,
     ) -> CollectiveToken {
-        self.token(Descriptor::Allreduce { op, dim }, rank)
+        self.token(Descriptor::allreduce(op, dim), rank)
             .with_value(value)
     }
 
     /// A NIC-scan token contributing `value`; each member receives its
     /// inclusive prefix under `op`.
     pub fn scan_token(&self, op: ReduceOp, rank: usize, value: u64) -> CollectiveToken {
-        self.token(Descriptor::Scan { op }, rank).with_value(value)
+        self.token(Descriptor::scan(op), rank).with_value(value)
     }
 }
 
@@ -232,7 +231,7 @@ impl Team {
 
     /// The GB barrier token for team rank `rank` with tree dimension `dim`.
     pub fn gb_token(&self, rank: usize, dim: usize) -> CollectiveToken {
-        self.token(Descriptor::Gb { dim }, rank)
+        self.token(Descriptor::gb(dim), rank)
     }
 }
 

@@ -28,11 +28,13 @@ use std::collections::HashSet;
 pub const HOST_BARRIER_MSG_BYTES: usize = 8;
 
 /// The point-to-point tag of a barrier message: team id (bits 48+), round
-/// number and the schedule's packet kind, so cross-team, cross-round and
-/// cross-phase messages never alias. [`TeamId::GLOBAL`] tags are identical
-/// to the pre-team `(round << 8) | kind` encoding.
-fn step_tag(team: TeamId, round: u64, kind: u8) -> u64 {
-    ((team.0 as u64) << 48) | (round << 8) | u64::from(kind)
+/// number (bits 24–47), pipeline segment (bits 8–23) and the schedule's
+/// packet kind (low byte), so cross-team, cross-round, cross-segment and
+/// cross-phase messages never alias. Zero-payload schedules always tag
+/// segment 0 and put exactly [`HOST_BARRIER_MSG_BYTES`] on the wire, as
+/// before the payload redesign.
+fn step_tag(team: TeamId, round: u64, seg: u32, kind: u8) -> u64 {
+    ((team.0 as u64) << 48) | (round << 24) | (u64::from(seg) << 8) | u64::from(kind)
 }
 
 /// Host-based barrier loop: interprets a compiled collective schedule with
@@ -43,7 +45,7 @@ pub struct HostBarrierLoop {
     rounds: u64,
     round: u64,
     pc: usize,
-    outstanding: Option<Vec<GlobalPort>>,
+    outstanding: Option<Vec<(GlobalPort, u64)>>,
     unexpected: HashSet<(GlobalPort, u64)>,
     /// For recv-free schedules (a scan's rank 0 only ever sends): the pc of
     /// the last send step, which is issued with a completion notify so the
@@ -105,27 +107,45 @@ impl HostBarrierLoop {
             }
             match &self.schedule.steps[self.pc] {
                 ScheduleStep::SendTo { peers, kind, .. } => {
-                    let tag = step_tag(self.team, self.round, *kind);
-                    let notify_last = self.pace_on_send_pc == Some(self.pc);
-                    for (i, peer) in peers.iter().enumerate() {
-                        ctx.trace(TracePayload::BarrierSend {
-                            peer: peer.node.0 as u32,
-                            kind: *kind,
-                            local: false,
-                        });
-                        if notify_last && i + 1 == peers.len() {
-                            ctx.send_notify(*peer, HOST_BARRIER_MSG_BYTES, tag);
-                            self.await_sent = true;
-                        } else {
-                            ctx.send(*peer, HOST_BARRIER_MSG_BYTES, tag);
+                    // Data-carrying collectives send one ordinary GM message
+                    // per pipeline segment (header + segment bytes); the
+                    // host/NIC send path charges every hop per message, which
+                    // is exactly what the NIC offload amortizes. Barriers
+                    // take this loop with one zero-payload segment.
+                    let payload = self.schedule.payload;
+                    let segs = payload.segments().get();
+                    let notify_here = self.pace_on_send_pc == Some(self.pc);
+                    for seg in 0..segs {
+                        let tag = step_tag(self.team, self.round, seg, *kind);
+                        let len = HOST_BARRIER_MSG_BYTES + payload.seg_len(seg).as_usize();
+                        for (i, peer) in peers.iter().enumerate() {
+                            ctx.trace(TracePayload::BarrierSend {
+                                peer: peer.node.0 as u32,
+                                kind: *kind,
+                                local: false,
+                            });
+                            if notify_here && seg + 1 == segs && i + 1 == peers.len() {
+                                ctx.send_notify(*peer, len, tag);
+                                self.await_sent = true;
+                            } else {
+                                ctx.send(*peer, len, tag);
+                            }
                         }
                     }
                     self.pc += 1;
                 }
                 ScheduleStep::RecvFrom { peers, kind, .. } => {
-                    let tag = step_tag(self.team, self.round, *kind);
-                    let mut outstanding = self.outstanding.take().unwrap_or_else(|| peers.clone());
-                    outstanding.retain(|p| !self.unexpected.remove(&(*p, tag)));
+                    let payload = self.schedule.payload;
+                    let segs = payload.segments().get();
+                    let mut outstanding = self.outstanding.take().unwrap_or_else(|| {
+                        let mut waits = Vec::with_capacity(peers.len() * segs as usize);
+                        for seg in 0..segs {
+                            let tag = step_tag(self.team, self.round, seg, *kind);
+                            waits.extend(peers.iter().map(|p| (*p, tag)));
+                        }
+                        waits
+                    });
+                    outstanding.retain(|(p, tag)| !self.unexpected.remove(&(*p, *tag)));
                     if outstanding.is_empty() {
                         self.pc += 1;
                     } else {
@@ -265,12 +285,7 @@ mod tests {
             for rank in 0..n {
                 b = b.program(
                     group.member(rank),
-                    Box::new(HostBarrierLoop::new(
-                        &group,
-                        rank,
-                        Descriptor::Gb { dim },
-                        2,
-                    )),
+                    Box::new(HostBarrierLoop::new(&group, rank, Descriptor::gb(dim), 2)),
                     SimTime::ZERO,
                 );
             }

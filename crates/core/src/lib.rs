@@ -43,7 +43,7 @@ pub mod programs;
 pub mod schedule;
 pub mod unexpected;
 
-pub use analytic::{CostModel, GB_MODEL_TOLERANCE, PE_MODEL_TOLERANCE};
+pub use analytic::{CostModel, GB_MODEL_TOLERANCE, PAYLOAD_MODEL_TOLERANCE, PE_MODEL_TOLERANCE};
 pub use gmsim_gm::{ReduceOp, TeamId};
 pub use group::{BarrierGroup, Team};
 pub use host_baseline::HostBarrierLoop;

@@ -177,6 +177,17 @@ struct Run {
     outstanding: Vec<GlobalPort>,
     parked: bool,
     acc: u64,
+    /// Per-segment accumulators for pipelined payloads (empty when the
+    /// schedule has at most one segment — the barrier/eager fast path,
+    /// which stays allocation-free). Each segment is an independent
+    /// combine lane, so segmented reductions are combine-order-identical
+    /// to the unsegmented oracle lane by lane.
+    seg_accs: Vec<u64>,
+    /// True once this rank's payload is staged in NIC SRAM — either
+    /// fetched over SDMA for a first send, or landed from the wire — so
+    /// tree forwarding and later scan rounds never re-fetch from host
+    /// memory (the NIC-offload win: interior nodes forward from SRAM).
+    payload_staged: bool,
 }
 
 /// The last collective message sent to a peer from a port. Kept (bounded:
@@ -191,6 +202,8 @@ struct SentRecord {
     kind: u8,
     epoch: u32,
     value: u64,
+    seg: u32,
+    len: u32,
 }
 
 /// A locally-delivered packet awaiting processing (same-NIC optimization).
@@ -201,6 +214,7 @@ struct LocalDelivery {
     team: TeamId,
     epoch: u32,
     value: u64,
+    seg: u32,
     at: SimTime,
 }
 
@@ -217,16 +231,24 @@ pub struct BarrierExtension {
     /// Counters.
     pub stats: BarrierStats,
     local_queue: VecDeque<LocalDelivery>,
-    /// Last message sent per (port, team, peer, packet kind) — kind-keyed
-    /// so a lost BCAST and a lost PE to the same peer are both resendable,
-    /// team-keyed so overlapping teams never resend each other's flags.
-    sent_cache: std::collections::HashMap<(u8, TeamId, GlobalPort, u8), SentRecord>,
+    /// Last message sent per (port, team, peer, packet kind, segment) —
+    /// kind-keyed so a lost BCAST and a lost PE to the same peer are both
+    /// resendable, team-keyed so overlapping teams never resend each
+    /// other's flags, and segment-keyed so a rejected pipelined stream
+    /// re-sends every rejected segment rather than `segs` copies of the
+    /// last one (which would starve the other combine lanes of that
+    /// peer's contribution).
+    sent_cache: std::collections::HashMap<(u8, TeamId, GlobalPort, u8, u32), SentRecord>,
     /// Every team that has posted a collective on this NIC, in first-seen
     /// order.
     teams_seen: Vec<TeamId>,
     /// Retired `Run::outstanding` buffers, recycled into the next
     /// collective so steady-state rounds never allocate fresh peer lists.
     spare_outstanding: Vec<Vec<GlobalPort>>,
+    /// Retired `Run::seg_accs` buffers, recycled so steady-state pipelined
+    /// collectives never allocate fresh lane vectors. Barriers and eager
+    /// payloads never touch this (their `seg_accs` stays empty).
+    spare_seg_accs: Vec<Vec<u64>>,
     /// Per-packet NIC turnaround: wire arrival of a collective packet to the
     /// firmware being done with it (the paper's per-round NIC cost). Fixed
     /// bins allocated at construction, so recording never allocates.
@@ -250,6 +272,7 @@ impl BarrierExtension {
             sent_cache: std::collections::HashMap::new(),
             teams_seen: Vec::new(),
             spare_outstanding: Vec::new(),
+            spare_seg_accs: Vec::new(),
             turnaround: Histogram::new(TURNAROUND_BIN_US, TURNAROUND_BINS),
         }
     }
@@ -293,6 +316,9 @@ impl BarrierExtension {
     /// on behalf of `team`. On the wire the team id rides the high half of
     /// the packet's `a` word, above the epoch — zero for [`TeamId::GLOBAL`],
     /// so single-team traffic is bit-identical to the pre-team encoding.
+    /// Data-carrying collectives pass the segment index and its byte count;
+    /// barriers pass `(0, 0)` and put exactly the classic 17 bytes on the
+    /// wire.
     #[allow(clippy::too_many_arguments)] // firmware handler plumbing
     fn emit(
         &mut self,
@@ -302,6 +328,8 @@ impl BarrierExtension {
         dst: GlobalPort,
         ext_type: u8,
         value: u64,
+        seg: u32,
+        seg_len: u32,
         ready: SimTime,
         out: &mut Vec<McpOutput>,
     ) {
@@ -314,11 +342,13 @@ impl BarrierExtension {
         }
         let epoch = core.port(port).epoch();
         self.sent_cache.insert(
-            (port.0, team, dst, ext_type),
+            (port.0, team, dst, ext_type, seg),
             SentRecord {
                 kind: ext_type,
                 epoch,
                 value,
+                seg,
+                len: seg_len,
             },
         );
         if dst.node == core.node() && core.config().same_nic_optimization {
@@ -344,6 +374,7 @@ impl BarrierExtension {
                 team,
                 epoch,
                 value,
+                seg,
                 at: t,
             });
         } else {
@@ -359,11 +390,8 @@ impl BarrierExtension {
             core.send_ext(
                 port,
                 dst,
-                ExtPacket {
-                    ext_type,
-                    a: Self::pack_a(team, epoch),
-                    b: value,
-                },
+                ExtPacket::new(ext_type, Self::pack_a(team, epoch), value)
+                    .with_segment(seg, seg_len),
                 ready,
                 out,
             );
@@ -381,7 +409,7 @@ impl BarrierExtension {
     fn drain_local(&mut self, core: &mut McpCore, out: &mut Vec<McpOutput>) {
         while let Some(d) = self.local_queue.pop_front() {
             self.accept(
-                core, d.src, d.dst, d.ext_type, d.team, d.epoch, d.value, d.at, out,
+                core, d.src, d.dst, d.ext_type, d.team, d.epoch, d.value, d.seg, d.at, out,
             );
         }
     }
@@ -402,12 +430,14 @@ impl BarrierExtension {
         team: TeamId,
         epoch: u32,
         value: u64,
+        seg: u32,
         now: SimTime,
         out: &mut Vec<McpOutput>,
     ) {
         if ext_type == pkt::REJECT {
-            // A REJECT's value word names the kind of the rejected message.
-            self.handle_reject(core, src, dst.port, team, epoch, value as u8, now, out);
+            // A REJECT's value word names the kind of the rejected message;
+            // its segment word names the rejected segment.
+            self.handle_reject(core, src, dst.port, team, epoch, value as u8, seg, now, out);
             return;
         }
         let t = core.exec(self.costs.record_cycles, now);
@@ -427,6 +457,7 @@ impl BarrierExtension {
                 kind: ext_type,
                 epoch,
                 value,
+                seg,
             },
         );
         // A closed port keeps the record until it opens (§3.2).
@@ -472,6 +503,10 @@ impl BarrierExtension {
                 run.outstanding.clear();
                 self.spare_outstanding
                     .push(std::mem::take(&mut run.outstanding));
+                if !run.seg_accs.is_empty() {
+                    run.seg_accs.clear();
+                    self.spare_seg_accs.push(std::mem::take(&mut run.seg_accs));
+                }
                 return;
             }
             match &run.schedule.steps[run.pc] {
@@ -481,13 +516,38 @@ impl BarrierExtension {
                     charge,
                 } => {
                     let (kind, charge) = (*kind, *charge);
-                    let value = run.acc;
-                    for &peer in peers.iter() {
-                        let cycles = self.costs.step_cycles(charge);
-                        if cycles > 0 {
-                            t = core.exec(cycles, t);
+                    let payload = run.schedule.payload;
+                    let segs = payload.segments().get();
+                    // Segment-major pipelining: segment 0 goes to every peer
+                    // before segment 1 is touched, so a downstream node can
+                    // start forwarding segment 0 while we still fetch later
+                    // segments — the eager/pipelined crossover the payload
+                    // study measures. Barriers and eager payloads take this
+                    // loop with `segs == 1` and are step-identical to the
+                    // classic path.
+                    for seg in 0..segs {
+                        let seg_len = payload.seg_len(seg).get() as u32;
+                        if seg_len > 0 && !run.payload_staged {
+                            // Payload not yet in NIC SRAM: fetch this
+                            // segment from host memory over the SDMA engine
+                            // before anything can go on the wire.
+                            t = core.hw.sdma.begin(seg_len as usize, t);
                         }
-                        self.emit(core, port, team, peer, kind, value, t, out);
+                        let value = if run.seg_accs.is_empty() {
+                            run.acc
+                        } else {
+                            run.seg_accs[seg as usize]
+                        };
+                        for &peer in peers.iter() {
+                            let cycles = self.costs.step_cycles(charge);
+                            if cycles > 0 {
+                                t = core.exec(cycles, t);
+                            }
+                            self.emit(core, port, team, peer, kind, value, seg, seg_len, t, out);
+                        }
+                    }
+                    if !payload.is_empty() {
+                        run.payload_staged = true;
                     }
                     run.pc += 1;
                 }
@@ -498,20 +558,29 @@ impl BarrierExtension {
                     charge,
                 } => {
                     let (kind, combine, charge) = (*kind, *combine, *charge);
+                    let payload = run.schedule.payload;
+                    let segs = payload.segments().get();
                     // The peer list is copied into the run's reusable
                     // buffer on the step's first visit; parked state keeps
-                    // whatever is still outstanding in place.
+                    // whatever is still outstanding in place. A pipelined
+                    // payload arrives as `segs` packets per peer, each
+                    // consuming one entry — the wire is reliable and
+                    // ordered, so per-peer segments drain FIFO.
                     if !run.parked {
                         run.outstanding.clear();
-                        run.outstanding.extend_from_slice(peers);
+                        for _ in 0..segs {
+                            run.outstanding.extend_from_slice(peers);
+                        }
                     }
                     // Consume every peer whose packet is already recorded;
                     // re-scan until a full pass makes no progress.
+                    let mut staged = false;
                     loop {
                         let mut consumed_any = false;
                         let record = &mut self.record;
                         let costs = &self.costs;
                         let acc = &mut run.acc;
+                        let seg_accs = &mut run.seg_accs;
                         run.outstanding.retain(|peer| {
                             match record.check_clear(port, team, *peer, kind) {
                                 Some(meta) => {
@@ -519,10 +588,30 @@ impl BarrierExtension {
                                     if cycles > 0 {
                                         t = core.exec(cycles, t);
                                     }
-                                    *acc = match combine {
-                                        Some(op) => op.combine(*acc, meta.value),
+                                    // Each segment is an independent combine
+                                    // lane, so segmented reductions apply
+                                    // operands in the same per-lane order as
+                                    // the unsegmented oracle.
+                                    let lane = if seg_accs.is_empty() {
+                                        &mut *acc
+                                    } else {
+                                        &mut seg_accs[meta.seg as usize]
+                                    };
+                                    *lane = match combine {
+                                        Some(op) => op.combine(*lane, meta.value),
                                         None => meta.value,
                                     };
+                                    let seg_len = payload.seg_len(meta.seg).as_usize();
+                                    if seg_len > 0 {
+                                        // The landed segment crosses to host
+                                        // memory over RDMA. The engine's busy
+                                        // window serializes the completion DMA
+                                        // behind the data, but forwarding runs
+                                        // from NIC SRAM and need not wait — so
+                                        // `t` does not advance here.
+                                        let _ = core.hw.rdma.begin(seg_len, t);
+                                        staged = true;
+                                    }
                                     consumed_any = true;
                                     false
                                 }
@@ -532,6 +621,12 @@ impl BarrierExtension {
                         if run.outstanding.is_empty() || !consumed_any {
                             break;
                         }
+                    }
+                    if staged {
+                        // Wire data is now resident in NIC SRAM: later
+                        // SendTo steps (tree forwarding, scan rounds)
+                        // re-send it without another host fetch.
+                        run.payload_staged = true;
                     }
                     if run.outstanding.is_empty() {
                         run.parked = false;
@@ -544,7 +639,14 @@ impl BarrierExtension {
                     }
                 }
                 ScheduleStep::DeliverCompletion(kind) => {
-                    let acc = run.acc;
+                    // Segmented runs report lane 0 — the oracle's value for
+                    // the first segment, which the property tests check
+                    // against the unsegmented run.
+                    let acc = if run.seg_accs.is_empty() {
+                        run.acc
+                    } else {
+                        run.seg_accs[0]
+                    };
                     let ev = match kind {
                         CompletionKind::Barrier => GmEvent::BarrierComplete { team },
                         CompletionKind::Broadcast => GmEvent::BroadcastComplete { value: acc },
@@ -580,6 +682,7 @@ impl BarrierExtension {
         team: TeamId,
         epoch: u32,
         kind: u8,
+        seg: u32,
         now: SimTime,
         out: &mut Vec<McpOutput>,
     ) {
@@ -589,17 +692,19 @@ impl BarrierExtension {
             self.stats.stale_rejects += 1;
             return;
         }
-        // The sent cache remembers the last message of each kind this
-        // (still-alive) process sent to the rejecter, whether or not the
-        // collective that produced it is still in flight.
+        // The sent cache remembers the last message of each (kind, segment)
+        // this (still-alive) process sent to the rejecter, whether or not
+        // the collective that produced it is still in flight.
         match self
             .sent_cache
-            .get(&(port.0, team, rejecter, kind))
+            .get(&(port.0, team, rejecter, kind, seg))
             .copied()
         {
             Some(rec) if rec.epoch == epoch => {
                 self.stats.resends += 1;
-                self.emit(core, port, team, rejecter, rec.kind, rec.value, t, out);
+                self.emit(
+                    core, port, team, rejecter, rec.kind, rec.value, rec.seg, rec.len, t, out,
+                );
             }
             _ => self.stats.stale_rejects += 1,
         }
@@ -624,6 +729,17 @@ impl McpExtension for BarrierExtension {
         if !self.teams_seen.contains(&team) {
             self.teams_seen.push(team);
         }
+        let segs = token.schedule.payload.segments().get();
+        let seg_accs = if segs > 1 {
+            // One combine lane per segment, each seeded with this rank's
+            // operand — exactly what `acc` holds for the unsegmented case.
+            let mut lanes = self.spare_seg_accs.pop().unwrap_or_default();
+            lanes.clear();
+            lanes.resize(segs as usize, token.value);
+            lanes
+        } else {
+            Vec::new()
+        };
         self.slots[port.idx()].push(Run {
             team,
             schedule: token.schedule,
@@ -631,6 +747,8 @@ impl McpExtension for BarrierExtension {
             outstanding: self.spare_outstanding.pop().unwrap_or_default(),
             parked: false,
             acc: token.value,
+            seg_accs,
+            payload_staged: false,
         });
         let active: usize = self.slots.iter().map(Vec::len).sum();
         self.stats.concurrent_peak = self.stats.concurrent_peak.max(active as u64);
@@ -655,6 +773,7 @@ impl McpExtension for BarrierExtension {
             TeamId((body.a >> 32) as u32),
             body.a as u32,
             body.b,
+            body.seg,
             now,
             out,
         );
@@ -682,11 +801,12 @@ impl McpExtension for BarrierExtension {
             core.send_ext(
                 port,
                 from,
-                ExtPacket {
-                    ext_type: pkt::REJECT,
-                    a: Self::pack_a(meta.team, meta.epoch),
-                    b: meta.kind as u64,
-                },
+                ExtPacket::new(
+                    pkt::REJECT,
+                    Self::pack_a(meta.team, meta.epoch),
+                    meta.kind as u64,
+                )
+                .with_segment(meta.seg, 0),
                 t,
                 out,
             );
@@ -706,8 +826,12 @@ impl McpExtension for BarrierExtension {
             run.outstanding.clear();
             self.spare_outstanding
                 .push(std::mem::take(&mut run.outstanding));
+            if !run.seg_accs.is_empty() {
+                run.seg_accs.clear();
+                self.spare_seg_accs.push(std::mem::take(&mut run.seg_accs));
+            }
         }
-        self.sent_cache.retain(|(p, _, _, _), _| *p != port.0);
+        self.sent_cache.retain(|(p, _, _, _, _), _| *p != port.0);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -828,11 +952,7 @@ mod tests {
             dst: GlobalPort::new(0, 1),
             kind: gmsim_gm::PacketKind::Ext {
                 seq: Some(0),
-                body: ExtPacket {
-                    ext_type: pkt::PE,
-                    a: 1,
-                    b: 0,
-                },
+                body: ExtPacket::new(pkt::PE, 1, 0),
             },
         };
         let outs = m.handle_wire_packet(early, false, SimTime::ZERO);
@@ -876,11 +996,7 @@ mod tests {
             dst: GlobalPort::new(0, 1),
             kind: gmsim_gm::PacketKind::Ext {
                 seq: Some(0),
-                body: ExtPacket {
-                    ext_type: pkt::PE,
-                    a: 3, // sender epoch
-                    b: 0,
-                },
+                body: ExtPacket::new(pkt::PE, 3, 0), // a = sender epoch
             },
         };
         m.handle_wire_packet(early, false, SimTime::ZERO);
@@ -936,11 +1052,7 @@ mod tests {
             dst: GlobalPort::new(0, 1),
             kind: gmsim_gm::PacketKind::Ext {
                 seq: Some(0),
-                body: ExtPacket {
-                    ext_type: pkt::REJECT,
-                    a: 1,
-                    b: pkt::PE as u64,
-                },
+                body: ExtPacket::new(pkt::REJECT, 1, pkt::PE as u64),
             },
         };
         let outs = m.handle_wire_packet(reject, false, SimTime::from_us(100));
@@ -969,11 +1081,7 @@ mod tests {
             dst: GlobalPort::new(0, 1),
             kind: gmsim_gm::PacketKind::Ext {
                 seq: Some(0),
-                body: ExtPacket {
-                    ext_type: pkt::REJECT,
-                    a: 99, // some long-gone process
-                    b: pkt::PE as u64,
-                },
+                body: ExtPacket::new(pkt::REJECT, 99, pkt::PE as u64), // a = long-gone epoch
             },
         };
         let outs = m.handle_wire_packet(reject, false, SimTime::from_us(1));
@@ -1062,11 +1170,7 @@ mod tests {
             dst: GlobalPort::new(0, 1),
             kind: gmsim_gm::PacketKind::Ext {
                 seq: Some(seq),
-                body: ExtPacket {
-                    ext_type: pkt::PE,
-                    a: ((team as u64) << 32) | 1,
-                    b: 0,
-                },
+                body: ExtPacket::new(pkt::PE, ((team as u64) << 32) | 1, 0),
             },
         };
         let outs = m.handle_wire_packet(pkt_for(2, 0), false, SimTime::from_us(5));
@@ -1123,11 +1227,7 @@ mod tests {
             dst: GlobalPort::new(0, 1),
             kind: gmsim_gm::PacketKind::Ext {
                 seq: Some(0),
-                body: ExtPacket {
-                    ext_type: pkt::PE,
-                    a: (9u64 << 32) | 1,
-                    b: 0,
-                },
+                body: ExtPacket::new(pkt::PE, (9u64 << 32) | 1, 0),
             },
         };
         let outs = m.handle_wire_packet(stray, false, SimTime::from_us(5));

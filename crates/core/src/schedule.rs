@@ -12,7 +12,8 @@
 //! in the paper's evaluation.
 
 use gmsim_gm::{
-    Charge, CollectiveSchedule, CompletionKind, GlobalPort, ReduceOp, ScheduleStep, TokenCharge,
+    Charge, CollectiveSchedule, CompletionKind, GlobalPort, Payload, ReduceOp, ScheduleStep,
+    TokenCharge,
 };
 
 pub mod gb {
@@ -184,12 +185,20 @@ pub mod scan {
 /// Which collective algorithm a rank participates in. A descriptor plus a
 /// rank and a member list is everything [`compile`] needs to produce the
 /// rank's [`CollectiveSchedule`].
+///
+/// Construct descriptors through the named constructors ([`Descriptor::pe`],
+/// [`Descriptor::bcast`], ...) and attach message data with
+/// [`Descriptor::with_payload`]; the enum and its data-carrying variants are
+/// `#[non_exhaustive]`, so bare-field construction does not compile outside
+/// this crate and there is exactly one way to issue each collective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Descriptor {
     /// Pairwise-exchange barrier (§5, PE; MPICH-style fold for
     /// non-power-of-two groups).
     Pe,
     /// Gather-and-broadcast barrier over a `dim`-ary tree (§5, GB).
+    #[non_exhaustive]
     Gb {
         /// Tree arity.
         dim: usize,
@@ -198,30 +207,124 @@ pub enum Descriptor {
     /// firmware path as PE).
     Dissemination,
     /// Binomial-tree broadcast of the root's value (§8 future work).
+    #[non_exhaustive]
     Bcast {
         /// Tree arity.
         dim: usize,
+        /// Message data each tree edge carries.
+        payload: Payload,
     },
     /// Reduction to rank 0 (§8 future work); only the root sees the
     /// global value.
+    #[non_exhaustive]
     Reduce {
         /// Combining operator.
         op: ReduceOp,
         /// Tree arity.
         dim: usize,
+        /// Message data each contribution carries.
+        payload: Payload,
     },
     /// Allreduce: reduce up the tree, broadcast the result back down.
+    #[non_exhaustive]
     Allreduce {
         /// Combining operator.
         op: ReduceOp,
         /// Tree arity.
         dim: usize,
+        /// Message data each contribution (and the hand-down) carries.
+        payload: Payload,
     },
     /// Inclusive prefix scan (Hillis–Steele; extension beyond the paper).
+    #[non_exhaustive]
     Scan {
         /// Combining operator.
         op: ReduceOp,
+        /// Message data each running prefix carries.
+        payload: Payload,
     },
+}
+
+impl Descriptor {
+    /// Pairwise-exchange barrier.
+    pub fn pe() -> Self {
+        Descriptor::Pe
+    }
+
+    /// Gather-and-broadcast barrier over a `dim`-ary tree.
+    pub fn gb(dim: usize) -> Self {
+        Descriptor::Gb { dim }
+    }
+
+    /// Dissemination barrier.
+    pub fn dissemination() -> Self {
+        Descriptor::Dissemination
+    }
+
+    /// Tree broadcast (zero payload until [`Descriptor::with_payload`]).
+    pub fn bcast(dim: usize) -> Self {
+        Descriptor::Bcast {
+            dim,
+            payload: Payload::EMPTY,
+        }
+    }
+
+    /// Tree reduction to rank 0.
+    pub fn reduce(op: ReduceOp, dim: usize) -> Self {
+        Descriptor::Reduce {
+            op,
+            dim,
+            payload: Payload::EMPTY,
+        }
+    }
+
+    /// Allreduce over a `dim`-ary tree.
+    pub fn allreduce(op: ReduceOp, dim: usize) -> Self {
+        Descriptor::Allreduce {
+            op,
+            dim,
+            payload: Payload::EMPTY,
+        }
+    }
+
+    /// Inclusive prefix scan.
+    pub fn scan(op: ReduceOp) -> Self {
+        Descriptor::Scan {
+            op,
+            payload: Payload::EMPTY,
+        }
+    }
+
+    /// Attach message data (builder style).
+    ///
+    /// # Panics
+    /// On the barrier descriptors (`Pe`, `Gb`, `Dissemination`), which by
+    /// definition carry no data.
+    #[must_use]
+    pub fn with_payload(mut self, p: Payload) -> Self {
+        match &mut self {
+            Descriptor::Bcast { payload, .. }
+            | Descriptor::Reduce { payload, .. }
+            | Descriptor::Allreduce { payload, .. }
+            | Descriptor::Scan { payload, .. } => *payload = p,
+            Descriptor::Pe | Descriptor::Gb { .. } | Descriptor::Dissemination => {
+                panic!("barriers carry no payload")
+            }
+        }
+        self
+    }
+
+    /// The message data this collective carries ([`Payload::EMPTY`] for
+    /// barriers).
+    pub fn payload(&self) -> Payload {
+        match self {
+            Descriptor::Bcast { payload, .. }
+            | Descriptor::Reduce { payload, .. }
+            | Descriptor::Allreduce { payload, .. }
+            | Descriptor::Scan { payload, .. } => *payload,
+            Descriptor::Pe | Descriptor::Gb { .. } | Descriptor::Dissemination => Payload::EMPTY,
+        }
+    }
 }
 
 /// Wire packet kinds for the compiled programs (§5.2: "There is a separate
@@ -307,7 +410,7 @@ pub fn compile(desc: Descriptor, rank: usize, members: &[GlobalPort]) -> Collect
             steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Barrier));
             TokenCharge::Light
         }
-        Descriptor::Scan { op } => {
+        Descriptor::Scan { op, .. } => {
             steps = lower_steps(members, scan::schedule(rank, n), pkt::SCAN, Some(op));
             steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Scan));
             TokenCharge::Light
@@ -353,7 +456,7 @@ pub fn compile(desc: Descriptor, rank: usize, members: &[GlobalPort]) -> Collect
             }
             TokenCharge::Tree
         }
-        Descriptor::Reduce { op, dim } => {
+        Descriptor::Reduce { op, dim, .. } => {
             let (parent, children) = tree(dim);
             if !children.is_empty() {
                 steps.push(ScheduleStep::RecvFrom {
@@ -375,7 +478,7 @@ pub fn compile(desc: Descriptor, rank: usize, members: &[GlobalPort]) -> Collect
             steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Reduce));
             TokenCharge::Tree
         }
-        Descriptor::Bcast { dim } => {
+        Descriptor::Bcast { dim, .. } => {
             let (parent, children) = tree(dim);
             if let Some(parent) = parent {
                 steps.push(ScheduleStep::RecvFrom {
@@ -396,10 +499,7 @@ pub fn compile(desc: Descriptor, rank: usize, members: &[GlobalPort]) -> Collect
             TokenCharge::Tree
         }
     };
-    CollectiveSchedule {
-        steps,
-        token_charge,
-    }
+    CollectiveSchedule::new(steps, token_charge).with_payload(desc.payload())
 }
 
 #[cfg(test)]
@@ -783,14 +883,7 @@ mod tests {
     fn compile_reduce_has_no_broadcast_phase() {
         let m = gp(5);
         for rank in 0..5 {
-            let prog = compile(
-                Descriptor::Reduce {
-                    op: ReduceOp::Sum,
-                    dim: 2,
-                },
-                rank,
-                &m,
-            );
+            let prog = compile(Descriptor::reduce(ReduceOp::Sum, 2), rank, &m);
             assert!(
                 prog.steps.iter().all(|s| !matches!(
                     s,
@@ -812,14 +905,7 @@ mod tests {
     #[test]
     fn compile_allreduce_combines_on_gather_only() {
         let m = gp(4);
-        let prog = compile(
-            Descriptor::Allreduce {
-                op: ReduceOp::Max,
-                dim: 2,
-            },
-            1,
-            &m,
-        );
+        let prog = compile(Descriptor::allreduce(ReduceOp::Max, 2), 1, &m);
         for s in &prog.steps {
             if let ScheduleStep::RecvFrom { kind, combine, .. } = s {
                 match *kind {
@@ -834,7 +920,7 @@ mod tests {
     #[test]
     fn compile_scan_rank0_has_no_receives() {
         let m = gp(8);
-        let prog = compile(Descriptor::Scan { op: ReduceOp::Sum }, 0, &m);
+        let prog = compile(Descriptor::scan(ReduceOp::Sum), 0, &m);
         assert!(prog
             .steps
             .iter()

@@ -40,6 +40,9 @@ pub struct RecordMeta {
     pub epoch: u32,
     /// Operand carried by the packet (reduce partials, broadcast values).
     pub value: u64,
+    /// Pipeline segment index for data-carrying collectives (0 for
+    /// barriers and eager payloads).
+    pub seg: u32,
 }
 
 /// Counters for the record (exposed for the ablation benches).
@@ -190,6 +193,7 @@ mod tests {
         kind: 1,
         epoch: 1,
         value: 0,
+        seg: 0,
     };
 
     #[test]
@@ -200,6 +204,7 @@ mod tests {
             kind: 2,
             epoch: 7,
             value: 99,
+            seg: 0,
         };
         assert!(r.set(PortId(1), gp(2, 3), meta));
         assert!(r.peek(PortId(1), gp(2, 3)));
@@ -234,6 +239,7 @@ mod tests {
             kind: 1,
             epoch: 2,
             value: 5,
+            seg: 0,
         };
         r.set(PortId(1), gp(1, 2), meta2);
         assert_eq!(r.outstanding(), 2);
@@ -263,12 +269,14 @@ mod tests {
             kind: 3,
             epoch: 1,
             value: 42,
+            seg: 0,
         };
         let pe = RecordMeta {
             team: TeamId::GLOBAL,
             kind: 1,
             epoch: 1,
             value: 0,
+            seg: 0,
         };
         r.set(PortId(1), gp(1, 1), bcast);
         r.set(PortId(1), gp(1, 1), pe);
@@ -293,12 +301,14 @@ mod tests {
             kind: 3,
             epoch: 1,
             value: 1,
+            seg: 0,
         };
         let v2 = RecordMeta {
             team: TeamId::GLOBAL,
             kind: 3,
             epoch: 1,
             value: 2,
+            seg: 0,
         };
         r.set(PortId(1), gp(1, 1), v1);
         r.set(PortId(1), gp(1, 1), v2);
@@ -322,6 +332,7 @@ mod tests {
             kind: 1,
             epoch: 2,
             value: 9,
+            seg: 0,
         };
         r.set(PortId(1), gp(1, 1), newer);
         assert_eq!(r.stats.superseded, 1);
@@ -346,6 +357,7 @@ mod tests {
                 kind: 1,
                 epoch: 3,
                 value: 1,
+                seg: 0,
             },
         );
         r.set(PortId(4), gp(2, 5), META);
@@ -374,12 +386,14 @@ mod tests {
             kind: 1,
             epoch: 1,
             value: 10,
+            seg: 0,
         };
         let t2 = RecordMeta {
             team: TeamId(2),
             kind: 1,
             epoch: 1,
             value: 20,
+            seg: 0,
         };
         r.set(PortId(1), gp(1, 1), t2);
         assert!(

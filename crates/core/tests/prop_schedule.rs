@@ -213,6 +213,7 @@ fn record_matches_reference_model() {
                         kind,
                         epoch: 1,
                         value,
+                        seg: 0,
                     };
                     real.set(PortId(port), from, meta);
                     model.entry((port, from, kind)).or_default().push(meta);

@@ -90,7 +90,7 @@ impl Cluster {
 /// injections. The glue handlers are generic over this seam so the same
 /// monomorphized code drives both execution engines:
 ///
-/// * the serial [`Scheduler`] (a [`SerialSink`]), where `transmit` walks the
+/// * the serial [`Scheduler`] (a `SerialSink`), where `transmit` walks the
 ///   fabric immediately and schedules the delivery, and
 /// * a parallel logical process (the `par` module), where `schedule` feeds
 ///   the LP's own queue and `transmit` is *deferred* — recorded and replayed

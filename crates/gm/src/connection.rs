@@ -59,6 +59,11 @@ pub struct Connection {
     /// Set once the retransmit budget is exhausted; the connection stops
     /// transmitting and the peer is reported unreachable.
     dead: bool,
+    /// When the peer last gave evidence of life (ack or nack arrival).
+    /// Anchors the RTO deadline: congestion slows acks but does not stop
+    /// them, so the timeout clock restarts on every arrival (RFC 6298
+    /// style); a genuine loss stalls the ack stream and still expires.
+    last_peer_activity: SimTime,
 }
 
 impl Connection {
@@ -80,6 +85,7 @@ impl Connection {
             backoff_level: 0,
             attempts: 0,
             dead: false,
+            last_peer_activity: SimTime::ZERO,
         }
     }
 
@@ -176,6 +182,15 @@ impl Connection {
         self.sent.front()
     }
 
+    /// Total modelled payload bytes awaiting acknowledgment (drives the
+    /// size-aware component of the RTO deadline).
+    pub fn unacked_payload_bytes(&self) -> u64 {
+        self.sent
+            .iter()
+            .map(|e| e.packet.payload_bytes() as u64)
+            .sum()
+    }
+
     /// Update the recorded transmission instant of `seq` (after the SEND
     /// machine fixes the actual wire time of a retransmission).
     pub fn refresh_sent_at(&mut self, seq: Seq, at: SimTime) {
@@ -269,6 +284,19 @@ impl Connection {
     pub fn reset_liveness(&mut self) {
         self.attempts = 0;
         self.backoff_level = 0;
+    }
+
+    /// Record evidence of peer life at `at` (ack/nack arrival).
+    pub fn note_peer_activity(&mut self, at: SimTime) {
+        if at > self.last_peer_activity {
+            self.last_peer_activity = at;
+        }
+    }
+
+    /// When the peer last acked or nacked anything ([`SimTime::ZERO`] if
+    /// never).
+    pub fn last_peer_activity(&self) -> SimTime {
+        self.last_peer_activity
     }
 
     /// True once the retransmit budget was exhausted and the connection

@@ -15,6 +15,136 @@
 
 use crate::ids::GlobalPort;
 
+/// A payload size in bytes. Newtyped so byte counts and segment counts
+/// cannot be confused anywhere charges are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// The raw byte count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The byte count as a `usize` (for DMA/wire interfaces).
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A count of pipeline segments. Newtyped counterpart of [`Bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Segments(pub u32);
+
+impl Segments {
+    /// A single segment (the eager / zero-payload case).
+    pub const ONE: Segments = Segments(1);
+
+    /// The raw segment count.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+/// The data a collective carries and how the NIC pipelines it.
+///
+/// `bytes` is the full application message size; `seg_bytes` is the
+/// pipelining granularity. A payload whose size is at most one segment
+/// moves as a single worm (*eager*); anything larger is cut into
+/// `ceil(bytes / seg_bytes)` segments that stream through the SDMA →
+/// wire → RDMA pipeline (*pipelined*), overlapping the per-segment DMA
+/// and wire times. A zero-byte payload is the plain barrier and is
+/// guaranteed to add no charges anywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Payload {
+    /// Total message size.
+    pub bytes: Bytes,
+    /// Segment granularity (must be nonzero when `bytes` is nonzero).
+    pub seg_bytes: Bytes,
+}
+
+impl Payload {
+    /// The zero-byte payload: a pure synchronization collective.
+    pub const EMPTY: Payload = Payload {
+        bytes: Bytes::ZERO,
+        seg_bytes: Bytes::ZERO,
+    };
+
+    /// Messages at or below this size move as one eager worm when sized
+    /// by [`Payload::for_size`]; larger ones pipeline in segments of this
+    /// granularity (GM's ~4 KB MTU).
+    pub const DEFAULT_SEG_BYTES: u64 = 4096;
+
+    /// An eager payload: the whole message as one segment.
+    pub fn eager(bytes: u64) -> Payload {
+        Payload {
+            bytes: Bytes(bytes),
+            seg_bytes: Bytes(bytes.max(1)),
+        }
+    }
+
+    /// A pipelined payload cut into `seg_bytes`-sized segments.
+    ///
+    /// # Panics
+    /// If `seg_bytes` is zero while `bytes` is nonzero.
+    pub fn pipelined(bytes: u64, seg_bytes: u64) -> Payload {
+        assert!(
+            bytes == 0 || seg_bytes > 0,
+            "pipelined payload needs a nonzero segment size"
+        );
+        Payload {
+            bytes: Bytes(bytes),
+            seg_bytes: Bytes(seg_bytes),
+        }
+    }
+
+    /// The default policy: eager at or below [`Payload::DEFAULT_SEG_BYTES`],
+    /// pipelined above it.
+    pub fn for_size(bytes: u64) -> Payload {
+        if bytes <= Self::DEFAULT_SEG_BYTES {
+            Payload::eager(bytes)
+        } else {
+            Payload::pipelined(bytes, Self::DEFAULT_SEG_BYTES)
+        }
+    }
+
+    /// True when no data rides the collective (the plain barrier).
+    pub fn is_empty(self) -> bool {
+        self.bytes.0 == 0
+    }
+
+    /// True when the payload moves as a single worm.
+    pub fn is_eager(self) -> bool {
+        self.segments() == Segments::ONE
+    }
+
+    /// Number of pipeline segments. Zero-byte payloads count as one
+    /// (the single zero-length barrier packet).
+    pub fn segments(self) -> Segments {
+        if self.bytes.0 == 0 {
+            Segments::ONE
+        } else {
+            Segments(self.bytes.0.div_ceil(self.seg_bytes.0) as u32)
+        }
+    }
+
+    /// Size of segment `i` (zero-based); the last segment may be short.
+    pub fn seg_len(self, i: u32) -> Bytes {
+        let segs = self.segments().0;
+        debug_assert!(i < segs);
+        if self.bytes.0 == 0 {
+            Bytes::ZERO
+        } else if i + 1 == segs {
+            Bytes(self.bytes.0 - u64::from(i) * self.seg_bytes.0)
+        } else {
+            self.seg_bytes
+        }
+    }
+}
+
 /// Combining operator for value-carrying collectives (u64 operands).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
@@ -131,9 +261,28 @@ pub struct CollectiveSchedule {
     pub steps: Vec<ScheduleStep>,
     /// Cost class of picking up this token.
     pub token_charge: TokenCharge,
+    /// The data this collective carries. [`Payload::EMPTY`] for barriers;
+    /// every `SendTo`/`RecvFrom` moves one packet *per segment* per peer
+    /// when nonempty.
+    pub payload: Payload,
 }
 
 impl CollectiveSchedule {
+    /// A program with no payload (pure synchronization).
+    pub fn new(steps: Vec<ScheduleStep>, token_charge: TokenCharge) -> Self {
+        CollectiveSchedule {
+            steps,
+            token_charge,
+            payload: Payload::EMPTY,
+        }
+    }
+
+    /// Attach a payload (builder style).
+    pub fn with_payload(mut self, payload: Payload) -> Self {
+        self.payload = payload;
+        self
+    }
+
     /// Number of endpoint references in the program (descriptor-size
     /// proxy: each peer is one record in the posted token).
     pub fn peer_refs(&self) -> usize {
@@ -169,8 +318,8 @@ mod tests {
     #[test]
     fn peer_refs_counts_every_endpoint() {
         let gp = |n: usize| GlobalPort::new(n, 1);
-        let s = CollectiveSchedule {
-            steps: vec![
+        let s = CollectiveSchedule::new(
+            vec![
                 ScheduleStep::RecvFrom {
                     peers: vec![gp(1), gp(2)],
                     kind: 2,
@@ -184,8 +333,54 @@ mod tests {
                     charge: Charge::ChildSend,
                 },
             ],
-            token_charge: TokenCharge::Tree,
-        };
+            TokenCharge::Tree,
+        );
         assert_eq!(s.peer_refs(), 3);
+        assert_eq!(s.payload, Payload::EMPTY);
+    }
+
+    #[test]
+    fn empty_payload_is_one_zero_length_segment() {
+        let p = Payload::EMPTY;
+        assert!(p.is_empty());
+        assert!(p.is_eager());
+        assert_eq!(p.segments(), Segments::ONE);
+        assert_eq!(p.seg_len(0), Bytes::ZERO);
+    }
+
+    #[test]
+    fn eager_payload_is_one_segment() {
+        let p = Payload::eager(100_000);
+        assert!(!p.is_empty());
+        assert!(p.is_eager());
+        assert_eq!(p.segments(), Segments::ONE);
+        assert_eq!(p.seg_len(0), Bytes(100_000));
+    }
+
+    #[test]
+    fn pipelined_payload_segments_and_short_tail() {
+        let p = Payload::pipelined(10_000, 4096);
+        assert_eq!(p.segments(), Segments(3));
+        assert_eq!(p.seg_len(0), Bytes(4096));
+        assert_eq!(p.seg_len(1), Bytes(4096));
+        assert_eq!(p.seg_len(2), Bytes(10_000 - 2 * 4096));
+        let exact = Payload::pipelined(8192, 4096);
+        assert_eq!(exact.segments(), Segments(2));
+        assert_eq!(exact.seg_len(1), Bytes(4096));
+    }
+
+    #[test]
+    fn for_size_crosses_at_default_seg_bytes() {
+        assert!(Payload::for_size(0).is_empty());
+        assert!(Payload::for_size(Payload::DEFAULT_SEG_BYTES).is_eager());
+        let big = Payload::for_size(Payload::DEFAULT_SEG_BYTES + 1);
+        assert!(!big.is_eager());
+        assert_eq!(big.segments(), Segments(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero segment size")]
+    fn pipelined_rejects_zero_segment_size() {
+        let _ = Payload::pipelined(10, 0);
     }
 }

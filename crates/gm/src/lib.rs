@@ -52,7 +52,10 @@ pub use events::GmEvent;
 pub use ext::McpExtension;
 pub use host::{Host, HostAction, HostCtx, HostProgram};
 pub use ids::{GlobalPort, NodeId, PortId, TeamId, GM_FIRST_USER_PORT, GM_NUM_PORTS};
-pub use ir::{Charge, CollectiveSchedule, CompletionKind, ReduceOp, ScheduleStep, TokenCharge};
+pub use ir::{
+    Bytes, Charge, CollectiveSchedule, CompletionKind, Payload, ReduceOp, ScheduleStep, Segments,
+    TokenCharge,
+};
 pub use mcp::{Mcp, McpCore, McpOutput, TimerKind};
 pub use packet::{ExtPacket, Packet, PacketKind};
 pub use par::ParSim;

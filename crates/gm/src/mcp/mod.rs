@@ -223,6 +223,55 @@ impl McpCore {
         SimTime::from_ns(rto.min(cap))
     }
 
+    /// Congestion multiplier for the payload-aware RTO grace. Under a
+    /// data-carrying collective every node injects a worm per round, and
+    /// in the worst round (a doubling schedule's last step sends rank
+    /// distance `cluster/2`) each worm crosses the bisection — so a single
+    /// link, and therefore the ack we are waiting on, can legitimately sit
+    /// behind up to `cluster/2` worm serializations of traffic that is
+    /// *not* ours. The factor is `2 * cluster/2 = cluster`: the bisection
+    /// bound, doubled for the round trip. Sub-worst-case traffic just
+    /// means the timer re-arms early for free; a genuine loss still stalls
+    /// the ack stream and expires.
+    fn grace_per_byte_ns(&self) -> f64 {
+        let bisection = (self.conns.len() as f64 / 2.0).max(1.0);
+        let wire = gmsim_myrinet::LinkSpec::MYRINET_1280;
+        2.0 * bisection / wire.bytes_per_ns
+    }
+
+    /// Size-aware grace added to every RTO deadline: wire time (scaled by
+    /// the fan-in factor, see `McpCore::grace_per_byte_ns`) for the
+    /// payload bytes still awaiting acknowledgment on this connection.
+    /// Segmented collective payloads legitimately occupy links for
+    /// hundreds of microseconds per round; a deadline blind to that
+    /// backlog would misread wormhole occupancy as loss, and the
+    /// go-back-N recovery would re-inject the very worms that caused the
+    /// stall (a retransmission storm). Zero-payload barrier traffic adds
+    /// zero grace, leaving the calibrated base RTO in charge.
+    pub fn ack_grace(&self, peer: NodeId) -> SimTime {
+        let bytes = self.conn(peer).unacked_payload_bytes();
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_ns((bytes as f64 * self.grace_per_byte_ns()).ceil() as u64)
+    }
+
+    /// The whole-NIC variant of [`McpCore::ack_grace`]: wire time for every
+    /// unacked byte across *all* connections. Worms to different peers
+    /// share this NIC's egress link, so a burst of sends (e.g. the tail
+    /// rounds of a scan, which receive nothing between sends) delays the
+    /// oldest ACK by the full backlog, not just this connection's share.
+    /// Only the lazy timer-expiry path pays the O(connections) scan; timer
+    /// arming uses the cheap per-connection grace, and an early fire
+    /// re-arms at the live deadline for free.
+    pub fn ack_grace_total(&self) -> SimTime {
+        let bytes: u64 = self.conns.iter().map(|c| c.unacked_payload_bytes()).sum();
+        if bytes == 0 {
+            return SimTime::ZERO;
+        }
+        SimTime::from_ns((bytes as f64 * self.grace_per_byte_ns()).ceil() as u64)
+    }
+
     /// Arm the connection's single RTO timer if it is not already pending
     /// (and the connection has not given up). The deadline tracks the
     /// oldest unacknowledged packet.
@@ -234,7 +283,7 @@ impl McpCore {
         let Some(oldest) = conn.oldest_unacked() else {
             return;
         };
-        let deadline = oldest.sent_at + self.rto_for(peer);
+        let deadline = oldest.sent_at + self.rto_for(peer) + self.ack_grace(peer);
         self.conn_mut(peer).set_timer_armed(true);
         out.push(McpOutput::Timer {
             at: deadline,
@@ -425,7 +474,15 @@ impl Mcp {
                     self.core.stats.timer_cancels += 1;
                     return;
                 };
-                let deadline = oldest.sent_at + self.core.rto_for(peer);
+                // The deadline anchors on the later of the oldest unacked
+                // transmission and the peer's last sign of life: congestion
+                // slows the ack stream without stopping it, so each arrival
+                // restarts the clock (RFC 6298 style). A real loss stalls
+                // acks entirely and still expires one RTO later.
+                let anchor = oldest
+                    .sent_at
+                    .max(self.core.conn(peer).last_peer_activity());
+                let deadline = anchor + self.core.rto_for(peer) + self.core.ack_grace_total();
                 if now < deadline {
                     // Progress since arming: re-arm at the real deadline.
                     self.core.stats.timer_cancels += 1;
@@ -557,11 +614,7 @@ mod tests {
     fn send_ext_reliable_arms_timer() {
         let mut c = core();
         let mut out = Vec::new();
-        let body = ExtPacket {
-            ext_type: 1,
-            a: 0,
-            b: 0,
-        };
+        let body = ExtPacket::new(1, 0, 0);
         c.send_ext(
             PortId(1),
             GlobalPort::new(2, 1),
@@ -582,11 +635,7 @@ mod tests {
         };
         let mut c = McpCore::new(NodeId(0), 4, cfg);
         let mut out = Vec::new();
-        let body = ExtPacket {
-            ext_type: 1,
-            a: 0,
-            b: 0,
-        };
+        let body = ExtPacket::new(1, 0, 0);
         c.send_ext(
             PortId(1),
             GlobalPort::new(2, 1),
@@ -620,11 +669,7 @@ mod tests {
     #[test]
     fn second_reliable_send_arms_no_extra_timer() {
         let mut c = core();
-        let body = ExtPacket {
-            ext_type: 1,
-            a: 0,
-            b: 0,
-        };
+        let body = ExtPacket::new(1, 0, 0);
         let mut out = Vec::new();
         c.send_ext(
             PortId(1),
@@ -670,11 +715,7 @@ mod tests {
     fn early_fire_rearms_without_charging_cpu() {
         let mut m = Mcp::new(core(), Box::new(NullExtension));
         m.open_port(PortId(1), SimTime::ZERO);
-        let body = ExtPacket {
-            ext_type: 1,
-            a: 0,
-            b: 0,
-        };
+        let body = ExtPacket::new(1, 0, 0);
         let mut out = Vec::new();
         m.core.send_ext(
             PortId(1),
@@ -708,11 +749,7 @@ mod tests {
     fn budget_exhaustion_reports_peer_unreachable() {
         let mut m = Mcp::new(core(), Box::new(NullExtension));
         m.open_port(PortId(1), SimTime::ZERO);
-        let body = ExtPacket {
-            ext_type: 1,
-            a: 0,
-            b: 0,
-        };
+        let body = ExtPacket::new(1, 0, 0);
         let mut out = Vec::new();
         m.core.send_ext(
             PortId(1),

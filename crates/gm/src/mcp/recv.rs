@@ -47,8 +47,9 @@ impl Mcp {
                     return;
                 }
                 // Any intact ack proves the peer is alive: reset the
-                // backoff/budget clock.
+                // backoff/budget clock and restart the RTO anchor.
                 self.core.conn_mut(pkt.src.node).reset_liveness();
+                self.core.conn_mut(pkt.src.node).note_peer_activity(t);
                 let mut acked = std::mem::take(&mut self.core.acked_scratch);
                 self.core
                     .conn_mut(pkt.src.node)
@@ -74,6 +75,7 @@ impl Mcp {
                     return;
                 }
                 self.core.conn_mut(pkt.src.node).reset_liveness();
+                self.core.conn_mut(pkt.src.node).note_peer_activity(t);
                 let again = self.core.conn_mut(pkt.src.node).on_nack(expected, t);
                 self.core.stats.retx += again.len() as u64;
                 self.retransmit(pkt.src.node, again, t, out);

@@ -189,10 +189,10 @@ mod tests {
     #[should_panic(expected = "no firmware extension")]
     fn collective_without_extension_panics() {
         let mut m = mcp();
-        let token = crate::token::CollectiveToken::new(crate::ir::CollectiveSchedule {
-            steps: vec![],
-            token_charge: crate::ir::TokenCharge::Light,
-        });
+        let token = crate::token::CollectiveToken::new(crate::ir::CollectiveSchedule::new(
+            vec![],
+            crate::ir::TokenCharge::Light,
+        ));
         m.handle_send_token(
             SendToken::Collective {
                 src_port: PortId(1),

@@ -32,11 +32,36 @@ pub struct ExtPacket {
     pub a: u64,
     /// Second operand word (reduction value, broadcast payload, ...).
     pub b: u64,
+    /// Pipeline segment index this packet carries (0 for barriers and
+    /// eager payloads).
+    pub seg: u32,
+    /// Modelled payload bytes riding behind the header (0 for barriers).
+    pub len: u32,
 }
 
 impl ExtPacket {
-    /// On-wire payload size: opcode + two u64 operands.
+    /// On-wire *header* size: opcode + two u64 operands. Data segments add
+    /// [`ExtPacket::len`] on top; the zero-payload barrier packet is exactly
+    /// this many bytes, as it has been since the original prototype.
     pub const WIRE_BYTES: usize = 17;
+
+    /// A zero-payload extension packet (barrier rounds, control).
+    pub fn new(ext_type: u8, a: u64, b: u64) -> Self {
+        ExtPacket {
+            ext_type,
+            a,
+            b,
+            seg: 0,
+            len: 0,
+        }
+    }
+
+    /// Attach a data segment (builder style).
+    pub fn with_segment(mut self, seg: u32, len: u32) -> Self {
+        self.seg = seg;
+        self.len = len;
+        self
+    }
 }
 
 /// What a packet is.
@@ -100,7 +125,7 @@ impl Packet {
             // the in-memory `Seq` width is a simulator convenience and does
             // not change the modelled byte count.
             PacketKind::Ack { .. } | PacketKind::Nack { .. } => 4,
-            PacketKind::Ext { .. } => ExtPacket::WIRE_BYTES,
+            PacketKind::Ext { body, .. } => ExtPacket::WIRE_BYTES + body.len as usize,
         }
     }
 
@@ -163,14 +188,19 @@ mod tests {
             dst: gp(1, 1),
             kind: PacketKind::Ext {
                 seq: None,
-                body: ExtPacket {
-                    ext_type: 1,
-                    a: 0,
-                    b: 0,
-                },
+                body: ExtPacket::new(1, 0, 0),
             },
         };
         assert_eq!(ext.payload_bytes(), ExtPacket::WIRE_BYTES);
+        let seg = Packet {
+            src: gp(0, 1),
+            dst: gp(1, 1),
+            kind: PacketKind::Ext {
+                seq: None,
+                body: ExtPacket::new(3, 0, 0).with_segment(2, 4096),
+            },
+        };
+        assert_eq!(seg.payload_bytes(), ExtPacket::WIRE_BYTES + 4096);
     }
 
     #[test]
@@ -199,11 +229,7 @@ mod tests {
         .is_reliable());
         assert!(!mk(PacketKind::Ack { ack: 1 }).is_reliable());
         assert!(!mk(PacketKind::Nack { expected: 1 }).is_reliable());
-        let body = ExtPacket {
-            ext_type: 2,
-            a: 1,
-            b: 2,
-        };
+        let body = ExtPacket::new(2, 1, 2);
         assert!(mk(PacketKind::Ext { seq: Some(9), body }).is_reliable());
         assert!(!mk(PacketKind::Ext { seq: None, body }).is_reliable());
         assert_eq!(mk(PacketKind::Ext { seq: Some(9), body }).seq(), Some(9));

@@ -67,9 +67,16 @@ impl CollectiveToken {
     }
 
     /// Host→NIC descriptor size: fixed header plus one endpoint record per
-    /// referenced peer. Determines the PIO/DMA cost of posting the token.
+    /// referenced peer, plus a buffer record (address + length) when the
+    /// collective carries data. Determines the PIO/DMA cost of posting the
+    /// token.
     pub fn descriptor_bytes(&self) -> usize {
-        16 + 4 * self.schedule.peer_refs()
+        let buffer_record = if self.schedule.payload.is_empty() {
+            0
+        } else {
+            16
+        };
+        16 + 4 * self.schedule.peer_refs() + buffer_record
     }
 }
 
@@ -132,10 +139,7 @@ mod tests {
             });
         }
         steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Barrier));
-        CollectiveSchedule {
-            steps,
-            token_charge: TokenCharge::Light,
-        }
+        CollectiveSchedule::new(steps, TokenCharge::Light)
     }
 
     #[test]
@@ -145,6 +149,16 @@ mod tests {
         assert_eq!(t.descriptor_bytes(), 16 + 16);
         let empty = CollectiveToken::new(exchange_program(&[]));
         assert_eq!(empty.descriptor_bytes(), 16);
+    }
+
+    #[test]
+    fn descriptor_bytes_add_buffer_record_for_payloads() {
+        use crate::ir::Payload;
+        let plain = CollectiveToken::new(exchange_program(&[gp(1, 1)]));
+        let carrying = CollectiveToken::new(
+            exchange_program(&[gp(1, 1)]).with_payload(Payload::for_size(1 << 20)),
+        );
+        assert_eq!(carrying.descriptor_bytes(), plain.descriptor_bytes() + 16);
     }
 
     #[test]

@@ -81,11 +81,7 @@ fn ext_pkt(seq: Option<gmsim_gm::packet::Seq>, ty: u8) -> Packet {
         dst: GlobalPort::new(0, 1),
         kind: PacketKind::Ext {
             seq,
-            body: ExtPacket {
-                ext_type: ty,
-                a: 1,
-                b: 0,
-            },
+            body: ExtPacket::new(ty, 1, 0),
         },
     }
 }
@@ -151,10 +147,10 @@ fn collective_token_routed_to_extension() {
     m.handle_send_token(
         SendToken::Collective {
             src_port: PortId(1),
-            token: CollectiveToken::new(gmsim_gm::CollectiveSchedule {
-                steps: vec![],
-                token_charge: gmsim_gm::TokenCharge::Light,
-            }),
+            token: CollectiveToken::new(gmsim_gm::CollectiveSchedule::new(
+                vec![],
+                gmsim_gm::TokenCharge::Light,
+            )),
         },
         SimTime::ZERO,
     );

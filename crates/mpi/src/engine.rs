@@ -9,11 +9,11 @@
 //! layer's per-call overhead.
 
 use crate::config::{BarrierBinding, MpiConfig};
-use crate::ops::MpiOp;
+use crate::ops::{Buf, MpiOp};
 use gmsim_des::SimTime;
 use gmsim_gm::{
-    CollectiveSchedule, CollectiveToken, GlobalPort, GmEvent, HostCtx, HostProgram, ScheduleStep,
-    TeamId,
+    CollectiveSchedule, CollectiveToken, GlobalPort, GmEvent, HostCtx, HostProgram, Payload,
+    ScheduleStep, TeamId,
 };
 use nic_barrier::{BarrierGroup, Descriptor, ReduceOp, Team};
 use std::collections::HashMap;
@@ -280,15 +280,18 @@ impl MpiProcess {
 
     /// A `Bcast` tree rooted at an arbitrary rank: rotate ranks so the
     /// root is virtual rank 0, compute the dimension-2 heap tree there,
-    /// and map back.
-    fn rotated_broadcast_token(&self, root: usize, value: u64) -> CollectiveToken {
+    /// and map back. The buffer's byte size picks eager vs pipelined
+    /// segmentation.
+    fn rotated_broadcast_token(&self, root: usize, buf: Buf) -> CollectiveToken {
         let group = self.active_group();
         let rank = self.active_rank();
         let n = group.len();
         let virt = (rank + n - root) % n;
         let rotated: Vec<GlobalPort> = (0..n).map(|v| group.member((v + root) % n)).collect();
-        let schedule = nic_barrier::compile(Descriptor::Bcast { dim: 2 }, virt, &rotated);
-        let token = CollectiveToken::new(schedule).with_value(if rank == root { value } else { 0 });
+        let desc = Descriptor::bcast(2).with_payload(Payload::for_size(buf.len_bytes()));
+        let schedule = nic_barrier::compile(desc, virt, &rotated);
+        let token =
+            CollectiveToken::new(schedule).with_value(if rank == root { buf.fill } else { 0 });
         self.stamp(token)
     }
 
@@ -386,25 +389,24 @@ impl MpiProcess {
                         }
                     }
                 }
-                MpiOp::Bcast { root, value } => {
+                MpiOp::Bcast { root, buf } => {
                     ctx.compute(self.config.call_overhead);
-                    ctx.start_collective(self.rotated_broadcast_token(root, value));
+                    ctx.start_collective(self.rotated_broadcast_token(root, buf));
                     self.blocked = Blocked::NicCollective;
                     return;
                 }
-                MpiOp::AllReduce { op, value } => {
+                MpiOp::AllReduce { op, buf } => {
                     ctx.compute(self.config.call_overhead);
-                    ctx.start_collective(self.allreduce_token(op, value));
+                    ctx.start_collective(self.allreduce_token(op, buf));
                     self.blocked = Blocked::NicCollective;
                     return;
                 }
-                MpiOp::Scan { op, value } => {
+                MpiOp::Scan { op, buf } => {
                     ctx.compute(self.config.call_overhead);
-                    let token = self.stamp(self.active_group().scan_token(
-                        op,
-                        self.active_rank(),
-                        value,
-                    ));
+                    let desc =
+                        Descriptor::scan(op).with_payload(Payload::for_size(buf.len_bytes()));
+                    let schedule = self.active_group().compile(desc, self.active_rank());
+                    let token = self.stamp(CollectiveToken::new(schedule).with_value(buf.fill));
                     ctx.start_collective(token);
                     self.blocked = Blocked::NicCollective;
                     return;
@@ -443,11 +445,10 @@ impl MpiProcess {
         }
     }
 
-    fn allreduce_token(&self, op: ReduceOp, value: u64) -> CollectiveToken {
-        self.stamp(
-            self.active_group()
-                .allreduce_token(op, self.active_rank(), 2, value),
-        )
+    fn allreduce_token(&self, op: ReduceOp, buf: Buf) -> CollectiveToken {
+        let desc = Descriptor::allreduce(op, 2).with_payload(Payload::for_size(buf.len_bytes()));
+        let schedule = self.active_group().compile(desc, self.active_rank());
+        self.stamp(CollectiveToken::new(schedule).with_value(buf.fill))
     }
 }
 

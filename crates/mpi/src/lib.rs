@@ -43,4 +43,4 @@ pub mod ops;
 
 pub use config::{BarrierBinding, MpiConfig};
 pub use engine::{MpiProcess, NOTE_MPI_DONE};
-pub use ops::{script, MpiOp, ScriptBuilder};
+pub use ops::{script, Buf, Datatype, MpiOp, ScriptBuilder};

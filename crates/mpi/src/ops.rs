@@ -4,6 +4,78 @@ use gmsim_des::SimTime;
 use nic_barrier::ReduceOp;
 use std::sync::Arc;
 
+/// An MPI element datatype: fixes the byte width of a [`Buf`] element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Datatype {
+    /// 1-byte elements (`MPI_BYTE`).
+    U8,
+    /// 4-byte elements (`MPI_UINT32_T`).
+    U32,
+    /// 8-byte elements (`MPI_UINT64_T`).
+    U64,
+}
+
+impl Datatype {
+    /// Bytes per element.
+    pub fn bytes(self) -> usize {
+        match self {
+            Datatype::U8 => 1,
+            Datatype::U32 => 4,
+            Datatype::U64 => 8,
+        }
+    }
+}
+
+/// A typed message-buffer handle — the `(buf, count, datatype)` triple of
+/// an MPI collective call. The simulator models data *movement*, not data:
+/// `fill` is the representative operand word the NIC combines and the
+/// completion event reports, standing in for the buffer contents.
+///
+/// This is the only way to issue a data-carrying collective; the byte size
+/// (`count * datatype`) drives the eager/pipelined segmentation the
+/// compiler picks via [`gmsim_gm::Payload::for_size`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Buf {
+    /// Element count.
+    pub count: usize,
+    /// Element datatype.
+    pub datatype: Datatype,
+    /// Representative operand word (reduce contribution, broadcast value).
+    pub fill: u64,
+}
+
+impl Buf {
+    /// A buffer of `count` elements of `datatype`, zero-filled.
+    pub fn new(count: usize, datatype: Datatype) -> Self {
+        Buf {
+            count,
+            datatype,
+            fill: 0,
+        }
+    }
+
+    /// A buffer of `count` bytes.
+    pub fn bytes_buf(count: usize) -> Self {
+        Buf::new(count, Datatype::U8)
+    }
+
+    /// A buffer of `count` u64 elements.
+    pub fn u64s(count: usize) -> Self {
+        Buf::new(count, Datatype::U64)
+    }
+
+    /// Attach the representative operand word (builder style).
+    pub fn with_fill(mut self, fill: u64) -> Self {
+        self.fill = fill;
+        self
+    }
+
+    /// Total buffer size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        (self.count * self.datatype.bytes()) as u64
+    }
+}
+
 /// One blocking-style MPI operation. Peers are *ranks* within the process
 /// group (the engine maps ranks to endpoints).
 #[derive(Debug, Clone)]
@@ -26,26 +98,27 @@ pub enum MpiOp {
     },
     /// `MPI_Barrier`, bound per [`crate::MpiConfig::barrier`].
     Barrier,
-    /// `MPI_Bcast` of a u64 from `root` (NIC-based, tree dimension 2).
+    /// `MPI_Bcast` of `buf` from `root` (NIC-based, tree dimension 2).
+    /// The buffer's byte size drives eager vs pipelined segmentation.
     Bcast {
         /// Root rank.
         root: usize,
-        /// The value contributed at the root (ignored elsewhere).
-        value: u64,
+        /// The broadcast buffer (`fill` is the root's value).
+        buf: Buf,
     },
-    /// `MPI_Allreduce` of each rank's `value` (NIC-based).
+    /// `MPI_Allreduce` over each rank's `buf` (NIC-based).
     AllReduce {
         /// Combining operator.
         op: ReduceOp,
-        /// This rank's contribution.
-        value: u64,
+        /// This rank's contribution buffer.
+        buf: Buf,
     },
-    /// `MPI_Scan`: inclusive prefix of each rank's `value` (NIC-based).
+    /// `MPI_Scan`: inclusive prefix over each rank's `buf` (NIC-based).
     Scan {
         /// Combining operator (must be commutative).
         op: ReduceOp,
-        /// This rank's contribution.
-        value: u64,
+        /// This rank's contribution buffer.
+        buf: Buf,
     },
     /// Local computation.
     Compute(SimTime),
@@ -104,21 +177,21 @@ impl ScriptBuilder {
         self
     }
 
-    /// Append `MPI_Bcast`.
-    pub fn bcast(mut self, root: usize, value: u64) -> Self {
-        self.ops.push(MpiOp::Bcast { root, value });
+    /// Append `MPI_Bcast` of `buf` rooted at `root`.
+    pub fn bcast(mut self, root: usize, buf: Buf) -> Self {
+        self.ops.push(MpiOp::Bcast { root, buf });
         self
     }
 
-    /// Append `MPI_Allreduce`.
-    pub fn allreduce(mut self, op: ReduceOp, value: u64) -> Self {
-        self.ops.push(MpiOp::AllReduce { op, value });
+    /// Append `MPI_Allreduce` over `buf`.
+    pub fn allreduce(mut self, op: ReduceOp, buf: Buf) -> Self {
+        self.ops.push(MpiOp::AllReduce { op, buf });
         self
     }
 
-    /// Append `MPI_Scan`.
-    pub fn scan(mut self, op: ReduceOp, value: u64) -> Self {
-        self.ops.push(MpiOp::Scan { op, value });
+    /// Append `MPI_Scan` over `buf`.
+    pub fn scan(mut self, op: ReduceOp, buf: Buf) -> Self {
+        self.ops.push(MpiOp::Scan { op, buf });
         self
     }
 

@@ -9,7 +9,7 @@ use gmsim_gm::cluster::ClusterBuilder;
 use gmsim_gm::GmConfig;
 use gmsim_lanai::NicModel;
 use gmsim_mpi::{
-    script, BarrierBinding, MpiConfig, MpiOp, MpiProcess, ScriptBuilder, NOTE_MPI_DONE,
+    script, BarrierBinding, Buf, MpiConfig, MpiOp, MpiProcess, ScriptBuilder, NOTE_MPI_DONE,
 };
 use nic_barrier::{BarrierExtension, BarrierGroup, ReduceOp};
 
@@ -56,8 +56,8 @@ fn build_script(stmts: &[Stmt], rank: usize, n: usize) -> Vec<MpiOp> {
             }
             Stmt::Compute { us } => b.compute_us(*us),
             Stmt::Barrier => b.barrier(),
-            Stmt::Bcast { root_sel } => b.bcast(root_sel % n, 42),
-            Stmt::AllReduce => b.allreduce(ReduceOp::Max, rank as u64),
+            Stmt::Bcast { root_sel } => b.bcast(root_sel % n, Buf::u64s(1).with_fill(42)),
+            Stmt::AllReduce => b.allreduce(ReduceOp::Max, Buf::u64s(1).with_fill(rank as u64)),
         };
     }
     b.build()

@@ -140,7 +140,7 @@ impl Clos3Spec {
 }
 
 /// A finished topology: vertices, directed links, and NIC-to-NIC routes
-/// (stored or computed — see [`RouteTable`]).
+/// (stored or computed — see `RouteTable`).
 #[derive(Debug, Clone)]
 pub struct Topology {
     nics: usize,
@@ -287,7 +287,7 @@ impl Topology {
     }
 
     /// Unstalled wire latency from injection to delivery along `links`, for
-    /// a `payload`-byte packet: the same walk [`Fabric::send`]
+    /// a `payload`-byte packet: the same walk `Fabric::send`
     /// (crate::Fabric) performs, minus busy-link stalls (which only ever
     /// push arrival later).
     pub fn delivery_latency(&self, links: &[LinkId], payload: usize) -> SimTime {
@@ -597,7 +597,7 @@ impl TopologyBuilder {
     /// Routes are computed from the link-id layout rather than stored: the
     /// all-pairs table at 4096 hosts would be ~17M routes. The layout is
     /// pinned by the construction order below and mirrored by
-    /// [`Clos3Spec`]'s formulas; `clos3_routes_chain_and_disperse` in the
+    /// `Clos3Spec`'s formulas; `clos3_routes_chain_and_disperse` in the
     /// test suite cross-checks computed routes against the actual link
     /// table.
     pub fn clos3(pods: usize) -> Topology {

@@ -35,14 +35,21 @@ impl Algorithm {
             Algorithm::Nic(d) => ("NIC", d),
             Algorithm::Host(d) => ("host", d),
         };
-        match desc {
+        let base = match desc {
             Descriptor::Pe => format!("{side}-PE"),
-            Descriptor::Gb { dim } => format!("{side}-GB(d={dim})"),
+            Descriptor::Gb { dim, .. } => format!("{side}-GB(d={dim})"),
             Descriptor::Dissemination => format!("{side}-dissem"),
-            Descriptor::Bcast { dim } => format!("{side}-bcast(d={dim})"),
+            Descriptor::Bcast { dim, .. } => format!("{side}-bcast(d={dim})"),
             Descriptor::Reduce { dim, .. } => format!("{side}-reduce(d={dim})"),
             Descriptor::Allreduce { dim, .. } => format!("{side}-allreduce(d={dim})"),
             Descriptor::Scan { .. } => format!("{side}-scan"),
+            _ => format!("{side}-collective"),
+        };
+        let payload = desc.payload();
+        if payload.is_empty() {
+            base
+        } else {
+            format!("{base}+{}B", payload.bytes.get())
         }
     }
 
@@ -380,8 +387,8 @@ impl BarrierExperiment {
             });
         }
         match self.algorithm.descriptor() {
-            Descriptor::Gb { dim }
-            | Descriptor::Bcast { dim }
+            Descriptor::Gb { dim, .. }
+            | Descriptor::Bcast { dim, .. }
             | Descriptor::Reduce { dim, .. }
             | Descriptor::Allreduce { dim, .. }
                 if dim == 0 =>
@@ -1029,8 +1036,8 @@ mod tests {
     #[test]
     fn gb_runs_for_all_algorithms() {
         for alg in [
-            Algorithm::Nic(Descriptor::Gb { dim: 2 }),
-            Algorithm::Host(Descriptor::Gb { dim: 2 }),
+            Algorithm::Nic(Descriptor::gb(2)),
+            Algorithm::Host(Descriptor::gb(2)),
         ] {
             let m = quick(5, alg).run().unwrap();
             assert!(m.mean_us > 10.0, "{alg:?}: {}", m.mean_us);
@@ -1115,7 +1122,7 @@ mod tests {
             E::InvalidPlacement { procs_per_node: 9 }
         );
         assert_eq!(
-            BarrierExperiment::new(4, Algorithm::Nic(Descriptor::Gb { dim: 0 }))
+            BarrierExperiment::new(4, Algorithm::Nic(Descriptor::gb(0)))
                 .run()
                 .unwrap_err(),
             E::ZeroDim

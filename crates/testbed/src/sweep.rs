@@ -43,9 +43,9 @@ pub fn best_gb_dim(base: BarrierExperiment) -> (usize, Measurement) {
         .map(|dim| {
             let mut e = base;
             e.algorithm = if nic_side {
-                Algorithm::Nic(Descriptor::Gb { dim })
+                Algorithm::Nic(Descriptor::gb(dim))
             } else {
-                Algorithm::Host(Descriptor::Gb { dim })
+                Algorithm::Host(Descriptor::gb(dim))
             };
             e
         })
@@ -83,13 +83,12 @@ mod tests {
 
     #[test]
     fn best_dim_is_found() {
-        let base =
-            BarrierExperiment::new(6, Algorithm::Nic(Descriptor::Gb { dim: 1 })).rounds(40, 5);
+        let base = BarrierExperiment::new(6, Algorithm::Nic(Descriptor::gb(1))).rounds(40, 5);
         let (dim, best) = best_gb_dim(base);
         assert!((1..6).contains(&dim));
         // The best must not lose to any individual dimension.
         for d in 1..6 {
-            let m = BarrierExperiment::new(6, Algorithm::Nic(Descriptor::Gb { dim: d }))
+            let m = BarrierExperiment::new(6, Algorithm::Nic(Descriptor::gb(d)))
                 .rounds(40, 5)
                 .run()
                 .unwrap();

@@ -30,7 +30,7 @@ fn parallel_sweep_is_bit_identical_to_serial_for_every_seed() {
         let grid: Vec<BarrierExperiment> = [
             Algorithm::Nic(Descriptor::Pe),
             Algorithm::Host(Descriptor::Pe),
-            Algorithm::Nic(Descriptor::Gb { dim: 2 }),
+            Algorithm::Nic(Descriptor::gb(2)),
             Algorithm::Nic(Descriptor::Dissemination),
         ]
         .iter()

@@ -12,7 +12,7 @@ use gmsim_testbed::prelude::*;
 fn algorithms() -> [Algorithm; 3] {
     [
         Algorithm::Nic(Descriptor::Pe),
-        Algorithm::Nic(Descriptor::Gb { dim: 2 }),
+        Algorithm::Nic(Descriptor::gb(2)),
         Algorithm::Nic(Descriptor::Dissemination),
     ]
 }

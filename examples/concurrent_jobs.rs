@@ -55,7 +55,7 @@ fn main() {
             Box::new(NicBarrierLoop::new(
                 job_b.clone(),
                 rank,
-                Descriptor::Gb { dim: 2 },
+                Descriptor::gb(2),
                 ROUNDS,
             )),
             // Job B starts later, mid-flight of job A's stream.

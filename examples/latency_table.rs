@@ -21,7 +21,7 @@ fn main() {
     let host8 = run(8, Algorithm::Host(Descriptor::Pe), l43);
     let (gbd, gb16) = best_gb_dim(BarrierExperiment::new(
         16,
-        Algorithm::Nic(Descriptor::Gb { dim: 1 }),
+        Algorithm::Nic(Descriptor::gb(1)),
     ));
     let nic8f = run(8, Algorithm::Nic(Descriptor::Pe), l72);
     let host8f = run(8, Algorithm::Host(Descriptor::Pe), l72);

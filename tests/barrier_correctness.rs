@@ -86,7 +86,7 @@ fn nic_gb_invariant_all_dims() {
     let n = 9;
     for dim in 1..n {
         let group = BarrierGroup::one_per_node(n, 1);
-        let mut sim = build_nic_barrier_sim(&group, n, Descriptor::Gb { dim }, 4, &[]);
+        let mut sim = build_nic_barrier_sim(&group, n, Descriptor::gb(dim), 4, &[]);
         assert_eq!(sim.run(), RunOutcome::Quiescent, "dim={dim}");
         assert_barrier_invariant(&sim, n, 4);
     }

@@ -68,9 +68,8 @@ fn pe_factor_8_nodes_lanai72_is_1_83() {
 
 #[test]
 fn nic_gb_16_nodes_lanai43_is_152us() {
-    let (_, m) = best_gb_dim(
-        BarrierExperiment::new(16, Algorithm::Nic(Descriptor::Gb { dim: 1 })).rounds(80, 10),
-    );
+    let (_, m) =
+        best_gb_dim(BarrierExperiment::new(16, Algorithm::Nic(Descriptor::gb(1))).rounds(80, 10));
     assert!(
         within(m.mean_us, 152.27, 5.0),
         "measured {:.2} vs paper 152.27",
@@ -83,16 +82,8 @@ fn nic_gb_loses_to_host_gb_at_two_nodes() {
     // §6: "The NIC-based GB barrier performed worse for the two node
     // barrier than the host-based GB barrier because of the overhead of
     // processing the barrier algorithm at the NIC."
-    let nic = run(
-        2,
-        Algorithm::Nic(Descriptor::Gb { dim: 1 }),
-        NicModel::LANAI_4_3,
-    );
-    let host = run(
-        2,
-        Algorithm::Host(Descriptor::Gb { dim: 1 }),
-        NicModel::LANAI_4_3,
-    );
+    let nic = run(2, Algorithm::Nic(Descriptor::gb(1)), NicModel::LANAI_4_3);
+    let host = run(2, Algorithm::Host(Descriptor::gb(1)), NicModel::LANAI_4_3);
     assert!(
         nic > host,
         "NIC-GB(2)={nic:.2} must exceed host-GB(2)={host:.2}"
@@ -107,8 +98,8 @@ fn nic_pe_is_best_everywhere() {
         let nic_pe = run(n, Algorithm::Nic(Descriptor::Pe), NicModel::LANAI_4_3);
         for other in [
             Algorithm::Host(Descriptor::Pe),
-            Algorithm::Nic(Descriptor::Gb { dim: 2 }),
-            Algorithm::Host(Descriptor::Gb { dim: 2 }),
+            Algorithm::Nic(Descriptor::gb(2)),
+            Algorithm::Host(Descriptor::gb(2)),
         ] {
             let o = run(n, other, NicModel::LANAI_4_3);
             assert!(
@@ -127,7 +118,7 @@ fn host_pe_beats_host_gb() {
     for n in [4usize, 8, 16] {
         let pe = run(n, Algorithm::Host(Descriptor::Pe), NicModel::LANAI_4_3);
         let (_, gb) = best_gb_dim(
-            BarrierExperiment::new(n, Algorithm::Host(Descriptor::Gb { dim: 1 })).rounds(80, 10),
+            BarrierExperiment::new(n, Algorithm::Host(Descriptor::gb(1))).rounds(80, 10),
         );
         assert!(
             pe < gb.mean_us,

@@ -58,8 +58,8 @@ fn algorithm(row: &Row) -> Algorithm {
     match row.family {
         "nic-pe" => Algorithm::Nic(Descriptor::Pe),
         "host-pe" => Algorithm::Host(Descriptor::Pe),
-        "nic-gb" => Algorithm::Nic(Descriptor::Gb { dim: row.dim }),
-        "host-gb" => Algorithm::Host(Descriptor::Gb { dim: row.dim }),
+        "nic-gb" => Algorithm::Nic(Descriptor::gb(row.dim)),
+        "host-gb" => Algorithm::Host(Descriptor::gb(row.dim)),
         _ => unreachable!(),
     }
 }

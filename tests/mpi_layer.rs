@@ -8,7 +8,9 @@ use nic_barrier_suite::des::{RunOutcome, SimTime};
 use nic_barrier_suite::gm::cluster::{ClusterBuilder, ClusterSim};
 use nic_barrier_suite::gm::GmConfig;
 use nic_barrier_suite::lanai::NicModel;
-use nic_barrier_suite::mpi::{script, BarrierBinding, MpiConfig, MpiOp, MpiProcess, NOTE_MPI_DONE};
+use nic_barrier_suite::mpi::{
+    script, BarrierBinding, Buf, MpiConfig, MpiOp, MpiProcess, NOTE_MPI_DONE,
+};
 
 fn run_mpi(
     n: usize,
@@ -122,7 +124,7 @@ fn bsp_superstep_app_runs_with_mixed_ops() {
 fn bcast_from_nonzero_root_delivers_value() {
     let n = 7;
     let (sim, finishes) = run_mpi(n, MpiConfig::nic_based(), |_| {
-        script().bcast(3, 909).build()
+        script().bcast(3, Buf::u64s(1).with_fill(909)).build()
     });
     assert_eq!(finishes.len(), n);
     let cl = sim.world();
@@ -153,7 +155,9 @@ fn allreduce_value_is_visible_in_stats() {
                 group.clone(),
                 rank,
                 MpiConfig::nic_based(),
-                script().allreduce(ReduceOp::Sum, (rank + 1) as u64).build(),
+                script()
+                    .allreduce(ReduceOp::Sum, Buf::u64s(1).with_fill((rank + 1) as u64))
+                    .build(),
             )),
             SimTime::ZERO,
         );
@@ -185,7 +189,9 @@ fn scan_is_nic_offloaded_and_completes_everywhere() {
     // Hillis–Steele program. Works at non-powers of two too.
     for n in [3usize, 4, 7, 8] {
         let (sim, finishes) = run_mpi(n, MpiConfig::nic_based(), |rank| {
-            script().scan(ReduceOp::Sum, (rank + 1) as u64).build()
+            script()
+                .scan(ReduceOp::Sum, Buf::u64s(1).with_fill((rank + 1) as u64))
+                .build()
         });
         assert_eq!(finishes.len(), n, "n={n}");
         // Proof of NIC offload: SCAN packets flowed through the firmware

@@ -41,8 +41,8 @@ fn parse_fixture() -> Vec<(Algorithm, usize, f64)> {
             let algorithm = match family {
                 "nic-pe" => Algorithm::Nic(Descriptor::Pe),
                 "host-pe" => Algorithm::Host(Descriptor::Pe),
-                "nic-gb" => Algorithm::Nic(Descriptor::Gb { dim }),
-                "host-gb" => Algorithm::Host(Descriptor::Gb { dim }),
+                "nic-gb" => Algorithm::Nic(Descriptor::gb(dim)),
+                "host-gb" => Algorithm::Host(Descriptor::gb(dim)),
                 other => panic!("unknown family {other}"),
             };
             (algorithm, n, mean_us)
@@ -173,13 +173,13 @@ fn parallel_measurements_match_serial_across_configs() {
         ),
         (
             "host-gb n=24 team",
-            BarrierExperiment::new(24, Algorithm::Host(Descriptor::Gb { dim: 2 }))
+            BarrierExperiment::new(24, Algorithm::Host(Descriptor::gb(2)))
                 .rounds(20, 3)
                 .team(TeamId(9)),
         ),
         (
             "nic-gb n=32 packed traced",
-            BarrierExperiment::new(32, Algorithm::Nic(Descriptor::Gb { dim: 4 }))
+            BarrierExperiment::new(32, Algorithm::Nic(Descriptor::gb(4)))
                 .rounds(20, 3)
                 .placement(Placement::Packed { procs_per_node: 2 })
                 .trace(512),
@@ -198,6 +198,67 @@ fn parallel_measurements_match_serial_across_configs() {
             let par = base.parallel(threads).run().unwrap();
             assert_identical(&serial, &par, &format!("{label} t={threads}"));
         }
+    }
+}
+
+/// Segment streams are the newest source of event-count pressure on the
+/// windowed engine: a pipelined collective multiplies every wire packet,
+/// per-lane combine, and DMA completion by the segment count, and the
+/// per-segment REJECT/resend protocol interleaves with port-open skew.
+/// All of it must still replay bit-identically under `build_parallel(2)`.
+#[test]
+fn segmented_payload_streams_replay_bit_identically() {
+    use nic_barrier_suite::barrier::ReduceOp;
+    use nic_barrier_suite::gm::Payload;
+    let configs: Vec<(&str, BarrierExperiment)> = vec![
+        (
+            "nic-bcast n=16 pipelined 64K skewed",
+            BarrierExperiment::new(
+                16,
+                Algorithm::Nic(Descriptor::bcast(2).with_payload(Payload::pipelined(65536, 4096))),
+            )
+            .rounds(12, 2)
+            .skew(5, 97),
+        ),
+        (
+            "nic-allreduce n=24 pipelined 20000/4096 lossy",
+            BarrierExperiment::new(
+                24,
+                Algorithm::Nic(
+                    Descriptor::allreduce(ReduceOp::Sum, 3)
+                        .with_payload(Payload::pipelined(20000, 4096)),
+                ),
+            )
+            .rounds(10, 2)
+            .faults(FaultPlan::drops(0.02)),
+        ),
+        (
+            "nic-scan n=12 pipelined odd-size packed",
+            BarrierExperiment::new(
+                12,
+                Algorithm::Nic(
+                    Descriptor::scan(ReduceOp::Max).with_payload(Payload::pipelined(9001, 2048)),
+                ),
+            )
+            .rounds(10, 2)
+            .placement(Placement::Packed { procs_per_node: 2 }),
+        ),
+        (
+            "nic-reduce n=16 eager 16K traced",
+            BarrierExperiment::new(
+                16,
+                Algorithm::Nic(
+                    Descriptor::reduce(ReduceOp::Min, 2).with_payload(Payload::eager(16384)),
+                ),
+            )
+            .rounds(10, 2)
+            .trace(512),
+        ),
+    ];
+    for (label, base) in &configs {
+        let serial = base.run().unwrap();
+        let par = base.parallel(2).run().unwrap();
+        assert_identical(&serial, &par, label);
     }
 }
 

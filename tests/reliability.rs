@@ -84,7 +84,7 @@ fn gb_barriers_survive_drops_too() {
             Box::new(NicBarrierLoop::new(
                 group.clone(),
                 rank,
-                Descriptor::Gb { dim: 2 },
+                Descriptor::gb(2),
                 6,
             )),
             SimTime::ZERO,

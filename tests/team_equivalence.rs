@@ -54,7 +54,7 @@ fn team_of_size_n_is_bit_identical_to_global_barrier() {
     let algorithms = [
         Algorithm::Nic(Descriptor::Pe),
         Algorithm::Host(Descriptor::Pe),
-        Algorithm::Nic(Descriptor::Gb { dim: 2 }),
+        Algorithm::Nic(Descriptor::gb(2)),
         Algorithm::Nic(Descriptor::Dissemination),
     ];
     let sizes = [2usize, 3, 5, 8, 16];
