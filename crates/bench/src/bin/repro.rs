@@ -10,7 +10,7 @@
 //!
 //! Experiment ids (see DESIGN.md §5): fig5a fig5b fig5c fig5d fig2 gbdim
 //! headline scale layer fuzzy ablate mpi util dissem scan breakdown faults
-//! payload.
+//! payload advisor.
 //!
 //! `--trace <path>` runs a 16-node NIC-based PE barrier with structured
 //! tracing on and writes a chrome://tracing (Perfetto-loadable) JSON file.
@@ -67,6 +67,7 @@ fn main() {
                 "faults",
                 "multitenant",
                 "payload",
+                "advisor",
             ]
         } else {
             args.iter().map(String::as_str).collect()
@@ -93,6 +94,7 @@ fn main() {
             "faults" => faults_study(),
             "multitenant" => ok = multitenant_study(smoke) && ok,
             "payload" => ok = payload_study(smoke) && ok,
+            "advisor" => ok = advisor_study(smoke) && ok,
             "trace" => trace_one_barrier(),
             other => eprintln!("unknown experiment id: {other}"),
         }
@@ -352,12 +354,12 @@ fn scaling_study(smoke: bool) -> bool {
         (Algorithm::Nic(Descriptor::gb(8)), "nic_gb8", true),
         (Algorithm::Host(Descriptor::gb(8)), "host_gb8", true),
         (
-            Algorithm::Nic(Descriptor::Dissemination),
+            Algorithm::Nic(Descriptor::dissemination()),
             "nic_dissem",
             false,
         ),
         (
-            Algorithm::Host(Descriptor::Dissemination),
+            Algorithm::Host(Descriptor::dissemination()),
             "host_dissem",
             false,
         ),
@@ -789,7 +791,7 @@ fn dissemination_study() {
             ))),
             us(measure(BarrierExperiment::new(
                 n,
-                Algorithm::Nic(Descriptor::Dissemination),
+                Algorithm::Nic(Descriptor::dissemination()),
             ))),
             us(measure(BarrierExperiment::new(
                 n,
@@ -797,7 +799,7 @@ fn dissemination_study() {
             ))),
             us(measure(BarrierExperiment::new(
                 n,
-                Algorithm::Host(Descriptor::Dissemination),
+                Algorithm::Host(Descriptor::dissemination()),
             ))),
         ];
         t.row(cells);
@@ -1238,6 +1240,203 @@ fn payload_study(smoke: bool) -> bool {
     println!("wrote {}", out);
     if !ok {
         eprintln!("payload: at least one point violated the model tolerance");
+    }
+    ok
+}
+
+/// The advisor validation study: replay the advisor's scenario space
+/// (group size × payload × drop rate) in simulation, measure every
+/// candidate the advisor ranks, and gate the pick's measured *regret* —
+/// how much slower the recommended candidate is than the measured-best
+/// one — against `ADVISOR_REGRET_TOLERANCE`. Writes `BENCH_advisor.json`
+/// for CI. `--smoke` trims the grid to 64 nodes (the CI advisor-smoke
+/// job). Returns `false` if any cell's regret exceeds the tolerance.
+fn advisor_study(smoke: bool) -> bool {
+    use gmsim_gm::Payload;
+    use gmsim_myrinet::FaultPlan;
+    use gmsim_testbed::{cell_seed, SweepEngine};
+    use nic_barrier::{advisor, ADVISOR_REGRET_TOLERANCE};
+
+    const ADVISOR_SEED: u64 = 0x5ca1_ab1e_0000_0003;
+
+    println!(
+        "\n=== advisor{}: recommended algorithm vs measured best ===",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let sizes: &[usize] = if smoke {
+        &[8, 64]
+    } else {
+        &[8, 64, 256, 1024, 4096]
+    };
+    let faults: &[f64] = if smoke {
+        &[0.0, 0.001]
+    } else {
+        &[0.0, 0.001, 0.01]
+    };
+    let payloads: &[u64] = &[0, 4096];
+
+    let m = CostModel::from_config(&GmConfig::paper_host(NicModel::LANAI_4_3));
+    // One scenario per grid point; one sweep cell per ranked candidate.
+    let mut scenarios = Vec::new();
+    let mut cells = Vec::new();
+    for &n in sizes {
+        for &bytes in payloads {
+            for &fault in faults {
+                let mut sc = advisor::Scenario::barrier(n).with_faults(fault);
+                if bytes > 0 {
+                    sc = sc.with_payload(Payload::for_size(bytes));
+                }
+                let rec = advisor::recommend(&m, &sc);
+                let scenario_idx = scenarios.len();
+                for c in &rec.ranked {
+                    let alg = match c.placement {
+                        advisor::Placement::Nic => Algorithm::Nic(c.descriptor),
+                        advisor::Placement::Host => Algorithm::Host(c.descriptor),
+                    };
+                    // The biggest clusters keep fewer timed rounds to stay
+                    // tractable; payload cells get enough rounds that one
+                    // lucky/unlucky drop placement cannot dominate a mean
+                    // (a single RTO is ~20× a fault-free payload round).
+                    let (rounds, warmup) = if n >= 2048 {
+                        (12, 2)
+                    } else if bytes > 0 {
+                        (24, 4)
+                    } else {
+                        (40, 5)
+                    };
+                    let mut e = BarrierExperiment::new(n, alg).rounds(rounds, warmup);
+                    if fault > 0.0 {
+                        // Deep host schedules at 4096 nodes post more
+                        // sends per barrier than GM's default 16-token
+                        // pool, and under drops a stuck send holds its
+                        // token for a full RTO while the stream advances;
+                        // open the ports with a deeper pool, as a real
+                        // application running that schedule would.
+                        e = e.faults(FaultPlan::drops(fault)).send_token_pool(64);
+                    }
+                    // Paired seeding: every candidate in a scenario sees
+                    // the same drop pattern, so algorithmically identical
+                    // schedules (PE vs radix-2 dissemination at powers of
+                    // two) measure identically instead of differing by
+                    // drop-placement luck.
+                    e.seed = cell_seed(ADVISOR_SEED, scenario_idx as u64);
+                    cells.push((scenario_idx, c.name(), c.predicted_us, e));
+                }
+                scenarios.push((n, bytes, fault, rec));
+            }
+        }
+    }
+    let sweep = SweepEngine::new();
+    let measured = sweep.run(&cells, |_, (_, name, _, e)| {
+        e.run()
+            .unwrap_or_else(|err| panic!("advisor cell {name}: {err}"))
+            .mean_us
+    });
+
+    let mut ok = true;
+    let mut cell_rows = Vec::new();
+    let mut cand_rows = Vec::new();
+    let mut t = Table::new(vec![
+        "nodes",
+        "payload",
+        "fault",
+        "advisor pick",
+        "pick (us)",
+        "measured best",
+        "best (us)",
+        "regret",
+        "ok",
+    ]);
+    for (si, (n, bytes, fault, _)) in scenarios.iter().enumerate() {
+        // This scenario's candidates, still in the advisor's rank order.
+        let results: Vec<(&str, f64, f64)> = cells
+            .iter()
+            .zip(&measured)
+            .filter(|((idx, ..), _)| *idx == si)
+            .map(|((_, name, pred, _), meas)| (name.as_str(), *pred, *meas))
+            .collect();
+        let (pick_name, pick_pred, pick_meas) = results[0];
+        let &(best_name, _, best_meas) = results
+            .iter()
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .expect("scenario with no candidates");
+        let regret = (pick_meas - best_meas) / best_meas;
+        let pass = regret <= ADVISOR_REGRET_TOLERANCE;
+        ok &= pass;
+        if !pass {
+            eprintln!(
+                "advisor: FAIL n={n} payload={bytes} fault={fault}: pick {pick_name} measured \
+                 {pick_meas:.3} us vs best {best_name} {best_meas:.3} us \
+                 ({:+.1}% exceeds the {:.0}% regret tolerance)",
+                regret * 100.0,
+                ADVISOR_REGRET_TOLERANCE * 100.0
+            );
+        }
+        t.row(vec![
+            n.to_string(),
+            bytes.to_string(),
+            format!("{fault}"),
+            pick_name.to_string(),
+            us(pick_meas),
+            best_name.to_string(),
+            us(best_meas),
+            format!("{:+.1}%", regret * 100.0),
+            if pass { "yes" } else { "NO" }.to_string(),
+        ]);
+        cell_rows.push(format!(
+            concat!(
+                "    {{\"nodes\": {n}, \"payload_bytes\": {bytes}, \"fault_rate\": {fault}, ",
+                "\"pick\": \"{pick}\", \"pick_predicted_us\": {pred:.3}, ",
+                "\"pick_measured_us\": {meas:.3}, \"best\": \"{best}\", ",
+                "\"best_measured_us\": {best_meas:.3}, \"regret\": {regret:.4}, ",
+                "\"tolerance\": {tol}, \"pass\": {pass}}}"
+            ),
+            n = n,
+            bytes = bytes,
+            fault = fault,
+            pick = pick_name,
+            pred = pick_pred,
+            meas = pick_meas,
+            best = best_name,
+            best_meas = best_meas,
+            regret = regret,
+            tol = ADVISOR_REGRET_TOLERANCE,
+            pass = pass,
+        ));
+        for (name, pred, meas) in &results {
+            cand_rows.push(format!(
+                concat!(
+                    "    {{\"nodes\": {n}, \"payload_bytes\": {bytes}, ",
+                    "\"fault_rate\": {fault}, \"candidate\": \"{name}\", ",
+                    "\"predicted_us\": {pred:.3}, \"measured_us\": {meas:.3}}}"
+                ),
+                n = n,
+                bytes = bytes,
+                fault = fault,
+                name = name,
+                pred = pred,
+                meas = meas,
+            ));
+        }
+    }
+    print!("{}", t.render());
+    println!("(regret = advisor pick's measured latency over the measured-best candidate's)");
+
+    let json = format!(
+        "{{\n  \"schema\": \"gmsim-advisor/v1\",\n  \"experiment\": \
+         \"advisor_pick_vs_measured_best\",\n  \"smoke\": {},\n  \
+         \"regret_tolerance\": {},\n  \"cells\": [\n{}\n  ],\n  \
+         \"candidates\": [\n{}\n  ]\n}}\n",
+        smoke,
+        ADVISOR_REGRET_TOLERANCE,
+        cell_rows.join(",\n"),
+        cand_rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_advisor.json");
+    std::fs::write(out, &json).expect("write BENCH_advisor.json");
+    println!("wrote {}", out);
+    if !ok {
+        eprintln!("advisor: at least one cell exceeded the regret tolerance");
     }
     ok
 }

@@ -98,9 +98,19 @@ impl BarrierGroup {
         self.token(Descriptor::Pe, rank)
     }
 
-    /// The dissemination barrier token for `rank`.
+    /// The classic radix-2 dissemination barrier token for `rank`.
     pub fn dissemination_token(&self, rank: usize) -> CollectiveToken {
-        self.token(Descriptor::Dissemination, rank)
+        self.token(Descriptor::dissemination(), rank)
+    }
+
+    /// The radix-`radix` dissemination barrier token for `rank`.
+    ///
+    /// # Panics
+    /// If `radix < 2` (via [`Descriptor::dissemination_radix`]); validate
+    /// with [`Descriptor::try_dissemination`] first when the radix is
+    /// user-supplied.
+    pub fn dissemination_radix_token(&self, rank: usize, radix: usize) -> CollectiveToken {
+        self.token(Descriptor::dissemination_radix(radix), rank)
     }
 
     /// The GB barrier token for `rank` with tree dimension `dim`.
@@ -233,6 +243,14 @@ impl Team {
     pub fn gb_token(&self, rank: usize, dim: usize) -> CollectiveToken {
         self.token(Descriptor::gb(dim), rank)
     }
+
+    /// The radix-`radix` dissemination barrier token for team rank `rank`.
+    ///
+    /// # Panics
+    /// If `radix < 2` (via [`Descriptor::dissemination_radix`]).
+    pub fn dissemination_token(&self, rank: usize, radix: usize) -> CollectiveToken {
+        self.token(Descriptor::dissemination_radix(radix), rank)
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +378,35 @@ mod tests {
             }
             other => panic!("expected RecvFrom, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn kary_dissemination_token_shrinks_rounds() {
+        let g = BarrierGroup::one_per_node(9, 1);
+        // radix 3 over 9 ranks: 2 rounds × 2 offsets × (send+recv) + done.
+        let t = g.dissemination_radix_token(0, 3);
+        assert_eq!(t.schedule.token_charge, TokenCharge::Light);
+        assert_eq!(t.schedule.steps.len(), 9);
+        // The radix-2 form of the same group needs 4 rounds (16 wire steps
+        // minus skipped distances ≥ 9: dists 1,2,4,8 all < 9 → 8 + done).
+        let t2 = g.dissemination_token(0);
+        assert_eq!(t2.schedule.steps.len(), 9);
+        // Same total here, but the radix-3 schedule has 2 dependent rounds
+        // vs 4: check first-round fan-out instead.
+        let first_sends: Vec<GlobalPort> = t
+            .schedule
+            .steps
+            .iter()
+            .take(4)
+            .filter_map(|s| match s {
+                ScheduleStep::SendTo { peers, .. } => Some(peers[0]),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            first_sends,
+            vec![GlobalPort::new(1, 1), GlobalPort::new(2, 1)]
+        );
     }
 
     #[test]

@@ -43,11 +43,14 @@ pub mod programs;
 pub mod schedule;
 pub mod unexpected;
 
-pub use analytic::{CostModel, GB_MODEL_TOLERANCE, PAYLOAD_MODEL_TOLERANCE, PE_MODEL_TOLERANCE};
+pub use analytic::{
+    advisor, CostModel, ADVISOR_REGRET_TOLERANCE, GB_MODEL_TOLERANCE, PAYLOAD_MODEL_TOLERANCE,
+    PE_MODEL_TOLERANCE,
+};
 pub use gmsim_gm::{ReduceOp, TeamId};
 pub use group::{BarrierGroup, Team};
 pub use host_baseline::HostBarrierLoop;
 pub use nic::{BarrierCosts, BarrierExtension, BarrierStats};
 pub use programs::{FuzzyBarrierLoop, MultiTeamBarrierLoop, NicBarrierLoop, NOTE_BARRIER_DONE};
-pub use schedule::{compile, Descriptor};
+pub use schedule::{compile, Descriptor, DescriptorError};
 pub use unexpected::UnexpectedRecord;

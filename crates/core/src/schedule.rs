@@ -119,33 +119,63 @@ pub mod pe {
 }
 
 pub mod dissemination {
-    //! Dissemination barrier (Hensgen/Finkel/Manber) — **an extension
-    //! beyond the paper**, included because it expresses naturally in the
-    //! same step machinery: at round `k`, rank `i` *sends* to
-    //! `(i + 2^k) mod n` and *waits for* `(i − 2^k) mod n`, for
-    //! `ceil(log2 n)` rounds. Unlike PE it needs no power-of-two fold and
-    //! the send/receive of a round involve different peers.
+    //! Dissemination barrier (Hensgen/Finkel/Manber), generalized to radix
+    //! `r` ≥ 2 — **an extension beyond the paper**, included because it
+    //! expresses naturally in the same step machinery: at round `k`, rank
+    //! `i` *sends* to `(i + j·r^k) mod n` and *waits for*
+    //! `(i − j·r^k) mod n` for each `j ∈ 1..r`, over `ceil(log_r n)`
+    //! rounds. Radix 2 is the classic dissemination barrier; higher radixes
+    //! trade more messages per round for fewer rounds, which pays off when
+    //! per-round latency (hops, NIC turnaround) dominates per-message cost.
+    //! Unlike PE it needs no power-of-two fold and the send/receive of a
+    //! round involve different peers.
 
     use super::pe::Step;
 
-    /// The dissemination schedule for `rank` of `n`, as the same step kind
-    /// the PE machinery executes (send-only then receive-only per round).
-    pub fn schedule(rank: usize, n: usize) -> Vec<Step> {
+    /// The radix-`radix` dissemination schedule for `rank` of `n`, as the
+    /// same step kind the PE machinery executes (send-only then
+    /// receive-only per (round, offset) pair). Distances `j·radix^k ≥ n`
+    /// are skipped: every distance `d < n` has a unique base-`radix`
+    /// expansion with a single nonzero digit among the `(k, j)` pairs, so
+    /// information from all `n` ranks still reaches every rank.
+    ///
+    /// At `radix == 2` this emits exactly one `SendTo`/`RecvFrom` pair per
+    /// round with distances 1, 2, 4, …, byte-identical to the historical
+    /// fixed-radix schedule.
+    pub fn schedule(rank: usize, n: usize, radix: usize) -> Vec<Step> {
         assert!(n >= 1 && rank < n, "rank {rank} out of range for n={n}");
+        assert!(radix >= 2, "dissemination radix must be at least 2");
         let mut steps = Vec::new();
-        let mut dist = 1;
-        while dist < n {
-            steps.push(Step::SendTo((rank + dist) % n));
-            steps.push(Step::RecvFrom((rank + n - dist) % n));
-            dist <<= 1;
+        let mut stride = 1usize; // radix^k for the current round
+        while stride < n {
+            for j in 1..radix {
+                let dist = match j.checked_mul(stride) {
+                    Some(d) if d < n => d,
+                    _ => break, // larger j only grows the distance
+                };
+                steps.push(Step::SendTo((rank + dist) % n));
+                steps.push(Step::RecvFrom((rank + n - dist) % n));
+            }
+            stride = match stride.checked_mul(radix) {
+                Some(s) => s,
+                None => break, // next stride exceeds usize::MAX ≥ n
+            };
         }
         steps
     }
 
-    /// Number of rounds: `ceil(log2 n)`.
-    pub fn rounds(n: usize) -> usize {
+    /// Number of rounds: `ceil(log_radix n)`, computed by integer
+    /// arithmetic (no floating-point log).
+    pub fn rounds(n: usize, radix: usize) -> usize {
         assert!(n >= 1);
-        (usize::BITS - (n - 1).leading_zeros()) as usize
+        assert!(radix >= 2, "dissemination radix must be at least 2");
+        let mut r = 0;
+        let mut span = 1usize;
+        while span < n {
+            span = span.saturating_mul(radix);
+            r += 1;
+        }
+        r
     }
 }
 
@@ -182,6 +212,37 @@ pub mod scan {
     }
 }
 
+/// A rejected [`Descriptor`] parameterization, reported at construction
+/// time by the `try_*` constructors (and re-checkable via
+/// [`Descriptor::validate`]) so that no misparameterized collective can
+/// reach a mid-compile `assert!`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DescriptorError {
+    /// A tree collective was given dimension 0; `dim`-ary trees need
+    /// `dim` ≥ 1.
+    ZeroDim,
+    /// A dissemination barrier was given a radix below 2; at each round
+    /// every rank sends to `radix − 1` peers, so radix 0 and 1 make no
+    /// progress.
+    InvalidRadix {
+        /// The rejected radix.
+        radix: usize,
+    },
+}
+
+impl std::fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DescriptorError::ZeroDim => write!(f, "tree dimension must be at least 1"),
+            DescriptorError::InvalidRadix { radix } => {
+                write!(f, "dissemination radix must be at least 2, got {radix}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
 /// Which collective algorithm a rank participates in. A descriptor plus a
 /// rank and a member list is everything [`compile`] needs to produce the
 /// rank's [`CollectiveSchedule`].
@@ -203,9 +264,13 @@ pub enum Descriptor {
         /// Tree arity.
         dim: usize,
     },
-    /// Dissemination barrier (extension beyond the paper; runs on the same
-    /// firmware path as PE).
-    Dissemination,
+    /// Dissemination barrier of radix `radix` ≥ 2 (extension beyond the
+    /// paper; runs on the same firmware path as PE).
+    #[non_exhaustive]
+    Dissemination {
+        /// Send fan-out per round (classic dissemination is radix 2).
+        radix: usize,
+    },
     /// Binomial-tree broadcast of the root's value (§8 future work).
     #[non_exhaustive]
     Bcast {
@@ -252,39 +317,106 @@ impl Descriptor {
     }
 
     /// Gather-and-broadcast barrier over a `dim`-ary tree.
+    ///
+    /// # Panics
+    /// If `dim == 0`; use [`Descriptor::try_gb`] to handle that as a value.
     pub fn gb(dim: usize) -> Self {
-        Descriptor::Gb { dim }
+        Self::try_gb(dim).unwrap()
     }
 
-    /// Dissemination barrier.
+    /// Gather-and-broadcast barrier over a `dim`-ary tree, rejecting
+    /// `dim == 0` at construction.
+    pub fn try_gb(dim: usize) -> Result<Self, DescriptorError> {
+        if dim == 0 {
+            return Err(DescriptorError::ZeroDim);
+        }
+        Ok(Descriptor::Gb { dim })
+    }
+
+    /// Classic radix-2 dissemination barrier.
     pub fn dissemination() -> Self {
-        Descriptor::Dissemination
+        Descriptor::Dissemination { radix: 2 }
+    }
+
+    /// Radix-`radix` dissemination barrier.
+    ///
+    /// # Panics
+    /// If `radix < 2`; use [`Descriptor::try_dissemination`] to handle
+    /// that as a value.
+    pub fn dissemination_radix(radix: usize) -> Self {
+        Self::try_dissemination(radix).unwrap()
+    }
+
+    /// Radix-`radix` dissemination barrier, rejecting `radix < 2` at
+    /// construction.
+    pub fn try_dissemination(radix: usize) -> Result<Self, DescriptorError> {
+        if radix < 2 {
+            return Err(DescriptorError::InvalidRadix { radix });
+        }
+        Ok(Descriptor::Dissemination { radix })
     }
 
     /// Tree broadcast (zero payload until [`Descriptor::with_payload`]).
+    ///
+    /// # Panics
+    /// If `dim == 0`; use [`Descriptor::try_bcast`] to handle that as a
+    /// value.
     pub fn bcast(dim: usize) -> Self {
-        Descriptor::Bcast {
+        Self::try_bcast(dim).unwrap()
+    }
+
+    /// Tree broadcast, rejecting `dim == 0` at construction.
+    pub fn try_bcast(dim: usize) -> Result<Self, DescriptorError> {
+        if dim == 0 {
+            return Err(DescriptorError::ZeroDim);
+        }
+        Ok(Descriptor::Bcast {
             dim,
             payload: Payload::EMPTY,
-        }
+        })
     }
 
     /// Tree reduction to rank 0.
+    ///
+    /// # Panics
+    /// If `dim == 0`; use [`Descriptor::try_reduce`] to handle that as a
+    /// value.
     pub fn reduce(op: ReduceOp, dim: usize) -> Self {
-        Descriptor::Reduce {
+        Self::try_reduce(op, dim).unwrap()
+    }
+
+    /// Tree reduction to rank 0, rejecting `dim == 0` at construction.
+    pub fn try_reduce(op: ReduceOp, dim: usize) -> Result<Self, DescriptorError> {
+        if dim == 0 {
+            return Err(DescriptorError::ZeroDim);
+        }
+        Ok(Descriptor::Reduce {
             op,
             dim,
             payload: Payload::EMPTY,
-        }
+        })
     }
 
     /// Allreduce over a `dim`-ary tree.
+    ///
+    /// # Panics
+    /// If `dim == 0`; use [`Descriptor::try_allreduce`] to handle that as
+    /// a value.
     pub fn allreduce(op: ReduceOp, dim: usize) -> Self {
-        Descriptor::Allreduce {
+        Self::try_allreduce(op, dim).unwrap()
+    }
+
+    /// Allreduce over a `dim`-ary tree, rejecting `dim == 0` at
+    /// construction.
+    pub fn try_allreduce(op: ReduceOp, dim: usize) -> Result<Self, DescriptorError> {
+        if dim == 0 {
+            return Err(DescriptorError::ZeroDim);
+        }
+        Ok(Descriptor::Allreduce {
             op,
             dim,
             payload: Payload::EMPTY,
-        }
+        })
     }
 
     /// Inclusive prefix scan.
@@ -292,6 +424,35 @@ impl Descriptor {
         Descriptor::Scan {
             op,
             payload: Payload::EMPTY,
+        }
+    }
+
+    /// Re-check this descriptor's parameterization. Descriptors built
+    /// through the named constructors are always valid (the enum is
+    /// `#[non_exhaustive]`, so those constructors are the only way to get
+    /// one outside this crate); experiment and configuration layers call
+    /// this to surface their own typed errors instead of trusting the
+    /// caller.
+    pub fn validate(&self) -> Result<(), DescriptorError> {
+        match *self {
+            Descriptor::Pe | Descriptor::Scan { .. } => Ok(()),
+            Descriptor::Dissemination { radix } => {
+                if radix < 2 {
+                    Err(DescriptorError::InvalidRadix { radix })
+                } else {
+                    Ok(())
+                }
+            }
+            Descriptor::Gb { dim }
+            | Descriptor::Bcast { dim, .. }
+            | Descriptor::Reduce { dim, .. }
+            | Descriptor::Allreduce { dim, .. } => {
+                if dim == 0 {
+                    Err(DescriptorError::ZeroDim)
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 
@@ -307,7 +468,7 @@ impl Descriptor {
             | Descriptor::Reduce { payload, .. }
             | Descriptor::Allreduce { payload, .. }
             | Descriptor::Scan { payload, .. } => *payload = p,
-            Descriptor::Pe | Descriptor::Gb { .. } | Descriptor::Dissemination => {
+            Descriptor::Pe | Descriptor::Gb { .. } | Descriptor::Dissemination { .. } => {
                 panic!("barriers carry no payload")
             }
         }
@@ -322,7 +483,9 @@ impl Descriptor {
             | Descriptor::Reduce { payload, .. }
             | Descriptor::Allreduce { payload, .. }
             | Descriptor::Scan { payload, .. } => *payload,
-            Descriptor::Pe | Descriptor::Gb { .. } | Descriptor::Dissemination => Payload::EMPTY,
+            Descriptor::Pe | Descriptor::Gb { .. } | Descriptor::Dissemination { .. } => {
+                Payload::EMPTY
+            }
         }
     }
 }
@@ -405,8 +568,13 @@ pub fn compile(desc: Descriptor, rank: usize, members: &[GlobalPort]) -> Collect
             steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Barrier));
             TokenCharge::Light
         }
-        Descriptor::Dissemination => {
-            steps = lower_steps(members, dissemination::schedule(rank, n), pkt::PE, None);
+        Descriptor::Dissemination { radix } => {
+            steps = lower_steps(
+                members,
+                dissemination::schedule(rank, n, radix),
+                pkt::PE,
+                None,
+            );
             steps.push(ScheduleStep::DeliverCompletion(CompletionKind::Barrier));
             TokenCharge::Light
         }
@@ -507,7 +675,7 @@ mod tests {
     use super::dissemination;
     use super::gb;
     use super::pe::{self, Step};
-    use super::{compile, pkt, scan, Descriptor};
+    use super::{compile, pkt, scan, Descriptor, DescriptorError};
     use gmsim_gm::{Charge, CompletionKind, GlobalPort, ReduceOp, ScheduleStep, TokenCharge};
 
     #[test]
@@ -660,57 +828,68 @@ mod tests {
 
     #[test]
     fn dissemination_rounds_count() {
-        assert_eq!(dissemination::rounds(1), 0);
-        assert_eq!(dissemination::rounds(2), 1);
-        assert_eq!(dissemination::rounds(5), 3);
-        assert_eq!(dissemination::rounds(8), 3);
-        assert_eq!(dissemination::rounds(9), 4);
+        assert_eq!(dissemination::rounds(1, 2), 0);
+        assert_eq!(dissemination::rounds(2, 2), 1);
+        assert_eq!(dissemination::rounds(5, 2), 3);
+        assert_eq!(dissemination::rounds(8, 2), 3);
+        assert_eq!(dissemination::rounds(9, 2), 4);
+        // k-ary: ceil(log_3 9) = 2, ceil(log_3 10) = 3, ceil(log_4 64) = 3
+        assert_eq!(dissemination::rounds(9, 3), 2);
+        assert_eq!(dissemination::rounds(10, 3), 3);
+        assert_eq!(dissemination::rounds(64, 4), 3);
+        assert_eq!(dissemination::rounds(1, 7), 0);
     }
 
     #[test]
     fn dissemination_sends_match_recvs() {
-        for n in 1..=20usize {
-            let mut sends = Vec::new();
-            let mut recvs = Vec::new();
-            for rank in 0..n {
-                for s in dissemination::schedule(rank, n) {
-                    match s {
-                        Step::SendTo(p) => sends.push((rank, p)),
-                        Step::RecvFrom(p) => recvs.push((p, rank)),
-                        Step::Exchange(_) => panic!("dissemination has no exchanges"),
+        for radix in 2..=5usize {
+            for n in 1..=20usize {
+                let mut sends = Vec::new();
+                let mut recvs = Vec::new();
+                for rank in 0..n {
+                    for s in dissemination::schedule(rank, n, radix) {
+                        match s {
+                            Step::SendTo(p) => sends.push((rank, p)),
+                            Step::RecvFrom(p) => recvs.push((p, rank)),
+                            Step::Exchange(_) => panic!("dissemination has no exchanges"),
+                        }
                     }
                 }
+                sends.sort_unstable();
+                recvs.sort_unstable();
+                assert_eq!(sends, recvs, "n={n} radix={radix}");
             }
-            sends.sort_unstable();
-            recvs.sort_unstable();
-            assert_eq!(sends, recvs, "n={n}");
         }
     }
 
     #[test]
     fn dissemination_peers_distinct_per_rank() {
         // Within one barrier, a rank never receives twice from the same
-        // endpoint (the record would have to queue otherwise).
-        for n in 2..=33usize {
-            for rank in 0..n {
-                let mut recv_peers: Vec<usize> = dissemination::schedule(rank, n)
-                    .into_iter()
-                    .filter_map(|s| match s {
-                        Step::RecvFrom(p) => Some(p),
-                        _ => None,
-                    })
-                    .collect();
-                let before = recv_peers.len();
-                recv_peers.sort_unstable();
-                recv_peers.dedup();
-                assert_eq!(recv_peers.len(), before, "n={n} rank={rank}");
+        // endpoint (the record would have to queue otherwise). Holds for
+        // every radix: each distance j·radix^k < n has a single nonzero
+        // base-radix digit, so all distances — hence all peers — differ.
+        for radix in 2..=5usize {
+            for n in 2..=33usize {
+                for rank in 0..n {
+                    let mut recv_peers: Vec<usize> = dissemination::schedule(rank, n, radix)
+                        .into_iter()
+                        .filter_map(|s| match s {
+                            Step::RecvFrom(p) => Some(p),
+                            _ => None,
+                        })
+                        .collect();
+                    let before = recv_peers.len();
+                    recv_peers.sort_unstable();
+                    recv_peers.dedup();
+                    assert_eq!(recv_peers.len(), before, "n={n} rank={rank} radix={radix}");
+                }
             }
         }
     }
 
     #[test]
     fn dissemination_schedule_alternates_send_recv() {
-        let steps = dissemination::schedule(0, 8);
+        let steps = dissemination::schedule(0, 8, 2);
         assert_eq!(steps.len(), 6);
         for (i, s) in steps.iter().enumerate() {
             if i % 2 == 0 {
@@ -724,6 +903,74 @@ mod tests {
         assert_eq!(steps[1], Step::RecvFrom(7));
         assert_eq!(steps[4], Step::SendTo(4));
         assert_eq!(steps[5], Step::RecvFrom(4));
+    }
+
+    /// Reference replica of the pre-generalization fixed-radix loop, kept
+    /// verbatim so the radix-2 path of the k-ary generator is pinned
+    /// byte-identical to the historical schedules.
+    fn legacy_radix2_schedule(rank: usize, n: usize) -> Vec<Step> {
+        let mut steps = Vec::new();
+        let mut dist = 1;
+        while dist < n {
+            steps.push(Step::SendTo((rank + dist) % n));
+            steps.push(Step::RecvFrom((rank + n - dist) % n));
+            dist <<= 1;
+        }
+        steps
+    }
+
+    #[test]
+    fn dissemination_radix2_is_byte_identical_to_legacy() {
+        for n in 1..=33usize {
+            for rank in 0..n {
+                assert_eq!(
+                    dissemination::schedule(rank, n, 2),
+                    legacy_radix2_schedule(rank, n),
+                    "n={n} rank={rank}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_kary_distances_cover_every_rank() {
+        // The union of received distances must let information from all
+        // n−1 other ranks reach each rank: the distances per rank are
+        // exactly the single-digit base-radix values below n, whose
+        // partial sums (greedy base-radix decomposition) reach every
+        // 1..n offset transitively. Spot-check the direct guarantee:
+        // distance multiset = all j·radix^k < n, each exactly once.
+        for radix in 2..=4usize {
+            for n in 2..=40usize {
+                let mut dists: Vec<usize> = dissemination::schedule(0, n, radix)
+                    .into_iter()
+                    .filter_map(|s| match s {
+                        Step::SendTo(p) => Some(p),
+                        _ => None,
+                    })
+                    .collect();
+                dists.sort_unstable();
+                let mut expect = Vec::new();
+                let mut stride = 1usize;
+                while stride < n {
+                    for j in 1..radix {
+                        if j * stride < n {
+                            expect.push(j * stride);
+                        }
+                    }
+                    stride *= radix;
+                }
+                expect.sort_unstable();
+                assert_eq!(dists, expect, "n={n} radix={radix}");
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_single_rank_is_empty() {
+        for radix in 2..=5usize {
+            assert!(dissemination::schedule(0, 1, radix).is_empty());
+        }
     }
 
     #[test]
@@ -957,5 +1204,100 @@ mod tests {
             })
             .collect();
         assert_eq!(peers, vec![&m[2], &m[1], &m[1], &m[2]]);
+    }
+
+    #[test]
+    fn compile_kary_dissemination_runs_on_pe_path() {
+        let m = gp(9);
+        let prog = compile(Descriptor::dissemination_radix(3), 0, &m);
+        assert_eq!(prog.token_charge, TokenCharge::Light);
+        // ceil(log_3 9) = 2 rounds × 2 offsets × (send + recv) + completion
+        assert_eq!(prog.steps.len(), 9);
+        match &prog.steps[0] {
+            ScheduleStep::SendTo { peers, kind, .. } => {
+                assert_eq!(peers, &vec![m[1]]);
+                assert_eq!(*kind, pkt::PE);
+            }
+            other => panic!("unexpected first step {other:?}"),
+        }
+        assert_eq!(
+            prog.steps.last(),
+            Some(&ScheduleStep::DeliverCompletion(CompletionKind::Barrier))
+        );
+    }
+
+    // ---- construction-boundary validation (regression: gb(0) used to
+    // panic deep inside gb::parent mid-compile) ----
+
+    #[test]
+    fn try_constructors_reject_bad_parameters_as_values() {
+        assert_eq!(Descriptor::try_gb(0), Err(DescriptorError::ZeroDim));
+        assert_eq!(Descriptor::try_bcast(0), Err(DescriptorError::ZeroDim));
+        assert_eq!(
+            Descriptor::try_reduce(ReduceOp::Sum, 0),
+            Err(DescriptorError::ZeroDim)
+        );
+        assert_eq!(
+            Descriptor::try_allreduce(ReduceOp::Max, 0),
+            Err(DescriptorError::ZeroDim)
+        );
+        assert_eq!(
+            Descriptor::try_dissemination(0),
+            Err(DescriptorError::InvalidRadix { radix: 0 })
+        );
+        assert_eq!(
+            Descriptor::try_dissemination(1),
+            Err(DescriptorError::InvalidRadix { radix: 1 })
+        );
+    }
+
+    #[test]
+    fn try_constructors_accept_minimal_valid_parameters() {
+        // dim=1 (chain tree) and radix=2 are the smallest valid settings.
+        assert!(Descriptor::try_gb(1).is_ok());
+        assert!(Descriptor::try_bcast(1).is_ok());
+        assert!(Descriptor::try_reduce(ReduceOp::Sum, 1).is_ok());
+        assert!(Descriptor::try_allreduce(ReduceOp::Min, 1).is_ok());
+        assert!(Descriptor::try_dissemination(2).is_ok());
+        for d in [
+            Descriptor::gb(1),
+            Descriptor::dissemination(),
+            Descriptor::dissemination_radix(4),
+            Descriptor::pe(),
+            Descriptor::scan(ReduceOp::Sum),
+        ] {
+            assert_eq!(d.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ZeroDim")]
+    fn gb_zero_dim_panics_at_construction_not_in_compile() {
+        let _ = Descriptor::gb(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "InvalidRadix")]
+    fn dissemination_radix_one_panics_at_construction() {
+        let _ = Descriptor::dissemination_radix(1);
+    }
+
+    #[test]
+    fn degenerate_single_rank_groups_compile_to_bare_completion() {
+        let m = gp(1);
+        for d in [
+            Descriptor::pe(),
+            Descriptor::gb(1),
+            Descriptor::gb(3),
+            Descriptor::dissemination(),
+            Descriptor::dissemination_radix(4),
+        ] {
+            let prog = compile(d, 0, &m);
+            assert_eq!(
+                prog.steps,
+                vec![ScheduleStep::DeliverCompletion(CompletionKind::Barrier)],
+                "{d:?}"
+            );
+        }
     }
 }

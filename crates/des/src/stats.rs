@@ -363,6 +363,60 @@ mod tests {
     }
 
     #[test]
+    fn quantile_boundary_ranks() {
+        // q = 0 clamps to rank 1 (the minimum), never rank 0.
+        let mut h = Histogram::new(1.0, 4);
+        h.record(0.5);
+        h.record(2.5);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        // q = 1.0 of an all-in-range histogram is the maximum's bin edge.
+        assert_eq!(h.quantile(1.0), Some(3.0));
+
+        // Rank landing exactly on the last underflow sample: unanswerable;
+        // one rank past it: the first in-range bin.
+        let mut u = Histogram::new(1.0, 4);
+        u.record(-1.0);
+        u.record(-1.0);
+        u.record(0.5);
+        u.record(1.5);
+        // q = 0.5 → rank 2 of 4 → exactly the last underflow sample.
+        assert_eq!(u.quantile(0.5), None);
+        // q = 0.75 → rank 3 → the first in-range sample.
+        assert_eq!(u.quantile(0.75), Some(1.0));
+
+        // Rank landing exactly on the last in-range sample answers; the
+        // next rank (the first overflow sample) does not.
+        let mut o = Histogram::new(1.0, 4);
+        o.record(0.5);
+        o.record(1.5);
+        o.record(99.0);
+        o.record(99.0);
+        // q = 0.5 → rank 2 of 4 → the last in-range sample.
+        assert_eq!(o.quantile(0.5), Some(2.0));
+        // q = 0.75 → rank 3 → the first overflow sample.
+        assert_eq!(o.quantile(0.75), None);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_histograms() {
+        // Every quantile of a one-sample histogram is that sample's bin.
+        let mut h = Histogram::new(2.0, 8);
+        h.record(5.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(6.0), "q={q}");
+        }
+        // A lone underflow or overflow sample is unanswerable at any q.
+        let mut u = Histogram::new(2.0, 8);
+        u.record(-1.0);
+        let mut o = Histogram::new(2.0, 8);
+        o.record(1e9);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(u.quantile(q), None, "underflow q={q}");
+            assert_eq!(o.quantile(q), None, "overflow q={q}");
+        }
+    }
+
+    #[test]
     fn mean_excludes_underflow_and_overflow() {
         let mut h = Histogram::new(1.0, 10);
         h.record(-3.0);

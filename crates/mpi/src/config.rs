@@ -1,6 +1,7 @@
 //! MPI layer configuration.
 
 use gmsim_des::SimTime;
+use nic_barrier::DescriptorError;
 
 /// Which implementation `MpiOp::Barrier` binds to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,9 +14,31 @@ pub enum BarrierBinding {
         /// Tree arity.
         dim: usize,
     },
+    /// NIC-based k-ary dissemination with the given radix (radix 2 is the
+    /// classic dissemination barrier).
+    NicDissemination {
+        /// Dissemination radix (≥ 2).
+        radix: usize,
+    },
     /// MPICH-over-GM style: host-based pairwise exchange, every message a
     /// full host→NIC→wire→NIC→host trip plus MPI overhead.
     HostPe,
+}
+
+impl BarrierBinding {
+    /// Config-time validation: the fields are freely settable, so the
+    /// parameterized bindings are checked against the same rules as the
+    /// [`nic_barrier::Descriptor`] constructors before any schedule is
+    /// compiled.
+    pub fn validate(&self) -> Result<(), DescriptorError> {
+        match *self {
+            BarrierBinding::NicPe | BarrierBinding::HostPe => Ok(()),
+            BarrierBinding::NicGb { dim } => nic_barrier::Descriptor::try_gb(dim).map(|_| ()),
+            BarrierBinding::NicDissemination { radix } => {
+                nic_barrier::Descriptor::try_dissemination(radix).map(|_| ())
+            }
+        }
+    }
 }
 
 /// Per-call costs of the MPI layer.
@@ -53,6 +76,20 @@ impl MpiConfig {
             barrier: BarrierBinding::NicPe,
             ..Self::host_based()
         }
+    }
+
+    /// The NIC-based layer with `MPI_Barrier` bound to k-ary
+    /// dissemination at `radix`.
+    ///
+    /// # Errors
+    /// [`DescriptorError::InvalidRadix`] if `radix < 2`.
+    pub fn try_nic_dissemination(radix: usize) -> Result<Self, DescriptorError> {
+        let binding = BarrierBinding::NicDissemination { radix };
+        binding.validate()?;
+        Ok(MpiConfig {
+            barrier: binding,
+            ..Self::host_based()
+        })
     }
 
     /// Scale the layer overheads (heavier MPI implementations).
@@ -94,5 +131,35 @@ mod tests {
     fn zero_scale_removes_the_layer() {
         let c = MpiConfig::nic_based().scaled(0.0);
         assert_eq!(c.call_overhead, SimTime::ZERO);
+    }
+
+    #[test]
+    fn binding_validation_mirrors_descriptor_rules() {
+        assert!(BarrierBinding::NicPe.validate().is_ok());
+        assert!(BarrierBinding::HostPe.validate().is_ok());
+        assert!(BarrierBinding::NicGb { dim: 1 }.validate().is_ok());
+        assert_eq!(
+            BarrierBinding::NicGb { dim: 0 }.validate(),
+            Err(DescriptorError::ZeroDim)
+        );
+        assert!(BarrierBinding::NicDissemination { radix: 2 }
+            .validate()
+            .is_ok());
+        for radix in [0, 1] {
+            assert_eq!(
+                BarrierBinding::NicDissemination { radix }.validate(),
+                Err(DescriptorError::InvalidRadix { radix })
+            );
+        }
+    }
+
+    #[test]
+    fn dissemination_preset_is_validated_at_config_time() {
+        let c = MpiConfig::try_nic_dissemination(3).unwrap();
+        assert_eq!(c.barrier, BarrierBinding::NicDissemination { radix: 3 });
+        assert_eq!(
+            MpiConfig::try_nic_dissemination(1),
+            Err(DescriptorError::InvalidRadix { radix: 1 })
+        );
     }
 }

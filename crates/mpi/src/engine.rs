@@ -128,8 +128,17 @@ pub struct MpiProcess {
 
 impl MpiProcess {
     /// A process executing `program` as `rank` of `group`.
+    ///
+    /// # Panics
+    /// If `rank` is out of range for the group, or if the config's barrier
+    /// binding is invalid ([`BarrierBinding::validate`]) — the check runs
+    /// here, at the construction boundary, so a misconfigured binding can
+    /// never reach schedule compilation mid-run.
     pub fn new(group: BarrierGroup, rank: usize, config: MpiConfig, program: Vec<MpiOp>) -> Self {
         assert!(rank < group.len());
+        if let Err(e) = config.barrier.validate() {
+            panic!("invalid MPI barrier binding: {e}");
+        }
         MpiProcess {
             group,
             rank,
@@ -362,6 +371,15 @@ impl MpiProcess {
                         BarrierBinding::NicGb { dim } => {
                             let token =
                                 self.stamp(self.active_group().gb_token(self.active_rank(), dim));
+                            ctx.start_collective(token);
+                            self.blocked = Blocked::NicCollective;
+                            return;
+                        }
+                        BarrierBinding::NicDissemination { radix } => {
+                            let token = self.stamp(
+                                self.active_group()
+                                    .dissemination_radix_token(self.active_rank(), radix),
+                            );
                             ctx.start_collective(token);
                             self.blocked = Blocked::NicCollective;
                             return;
@@ -600,6 +618,53 @@ mod tests {
         assert_ne!(
             hbar_key(hbar_tag(TeamId(1), 3, 1)),
             hbar_key(hbar_tag(TeamId(2), 3, 1))
+        );
+    }
+
+    #[test]
+    fn dissemination_binding_posts_kary_token() {
+        // 9 ranks at radix 3: rank 0's first round sends to ranks 1 and 2.
+        let program = script().barrier().build();
+        let group = BarrierGroup::one_per_node(9, 1);
+        let config = MpiConfig::try_nic_dissemination(3).unwrap();
+        let mut p = MpiProcess::new(group.clone(), 0, config, program);
+        let mut ctx = HostCtx::new(SimTime::ZERO, gmsim_gm::NodeId(0), gmsim_gm::PortId(1));
+        p.step(&mut ctx);
+        assert_eq!(p.blocked, Blocked::NicCollective);
+        let token = ctx
+            .into_actions()
+            .into_iter()
+            .find_map(|a| match a {
+                gmsim_gm::HostAction::Collective(t) => Some(t),
+                _ => None,
+            })
+            .expect("barrier posts a collective token");
+        let first_sends: Vec<GlobalPort> = token
+            .schedule
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                ScheduleStep::SendTo { peers, .. } => Some(peers.clone()),
+                _ => None,
+            })
+            .flatten()
+            .take(2)
+            .collect();
+        assert_eq!(first_sends, vec![group.member(1), group.member(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MPI barrier binding")]
+    fn invalid_binding_panics_at_process_construction() {
+        let config = MpiConfig {
+            barrier: BarrierBinding::NicDissemination { radix: 1 },
+            ..MpiConfig::nic_based()
+        };
+        let _ = MpiProcess::new(
+            BarrierGroup::one_per_node(2, 1),
+            0,
+            config,
+            script().barrier().build(),
         );
     }
 

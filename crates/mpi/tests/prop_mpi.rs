@@ -100,9 +100,11 @@ fn random_spmd_programs_complete() {
     forall(32, 0x3321_0001, |g| {
         let n = g.usize_in(2, 8);
         let stmts = g.vec_of(1, 11, stmt);
-        let binding = match g.usize_in(0, 2) {
+        let binding = match g.usize_in(0, 4) {
             0 => BarrierBinding::NicPe,
             1 => BarrierBinding::NicGb { dim: 2 },
+            2 => BarrierBinding::NicDissemination { radix: 2 },
+            3 => BarrierBinding::NicDissemination { radix: 3 },
             _ => BarrierBinding::HostPe,
         };
         let skews: Vec<u64> = (0..8).map(|_| g.u64_in(0, 299)).collect();

@@ -9,7 +9,8 @@ use gmsim_myrinet::FaultPlan;
 use nic_barrier::nic::{TURNAROUND_BINS, TURNAROUND_BIN_US};
 use nic_barrier::programs::{decode_note, decode_team_note, MultiTeamBarrierLoop, NicBarrierLoop};
 use nic_barrier::{
-    BarrierCosts, BarrierExtension, BarrierGroup, Descriptor, HostBarrierLoop, Team, TeamId,
+    BarrierCosts, BarrierExtension, BarrierGroup, Descriptor, DescriptorError, HostBarrierLoop,
+    Team, TeamId,
 };
 use std::fmt;
 
@@ -38,7 +39,8 @@ impl Algorithm {
         let base = match desc {
             Descriptor::Pe => format!("{side}-PE"),
             Descriptor::Gb { dim, .. } => format!("{side}-GB(d={dim})"),
-            Descriptor::Dissemination => format!("{side}-dissem"),
+            Descriptor::Dissemination { radix: 2, .. } => format!("{side}-dissem"),
+            Descriptor::Dissemination { radix, .. } => format!("{side}-dissem(r={radix})"),
             Descriptor::Bcast { dim, .. } => format!("{side}-bcast(d={dim})"),
             Descriptor::Reduce { dim, .. } => format!("{side}-reduce(d={dim})"),
             Descriptor::Allreduce { dim, .. } => format!("{side}-allreduce(d={dim})"),
@@ -100,6 +102,12 @@ pub enum ExperimentError {
     },
     /// A tree algorithm (`Gb`, `Bcast`, `Reduce`, `Allreduce`) with arity 0.
     ZeroDim,
+    /// A dissemination barrier with radix below 2 (radix 0 and 1 schedules
+    /// send nothing and can never synchronize).
+    InvalidRadix {
+        /// The offending radix.
+        radix: usize,
+    },
     /// A fault probability outside `[0, 1]` (or NaN).
     InvalidProbability {
         /// Which probability (`"drop"` or `"corrupt"`).
@@ -107,6 +115,9 @@ pub enum ExperimentError {
         /// The offending value.
         value: f64,
     },
+    /// A send-token pool override of zero: a port with no send tokens can
+    /// never post a message, so the run would hang by construction.
+    ZeroSendTokens,
     /// Packed placement with `procs_per_node` outside `1..=7` (GM exposes
     /// 8 ports per NIC and port 0 is reserved).
     InvalidPlacement {
@@ -167,8 +178,14 @@ impl fmt::Display for ExperimentError {
                 "warmup ({warmup}) must be below rounds ({rounds}) to leave measured rounds"
             ),
             ExperimentError::ZeroDim => write!(f, "tree algorithm with arity 0"),
+            ExperimentError::InvalidRadix { radix } => {
+                write!(f, "dissemination barrier with radix {radix} (need >= 2)")
+            }
             ExperimentError::InvalidProbability { what, value } => {
                 write!(f, "{what} probability {value} outside [0, 1]")
+            }
+            ExperimentError::ZeroSendTokens => {
+                write!(f, "send-token pool override of 0 (a port could never send)")
             }
             ExperimentError::InvalidPlacement { procs_per_node } => write!(
                 f,
@@ -245,6 +262,13 @@ pub struct BarrierExperiment {
     pub costs: BarrierCosts,
     /// Wire fault injection ([`FaultPlan::NONE`] = perfect links).
     pub fault_plan: FaultPlan,
+    /// Send-token pool each port opens with (`None` = GM's default of 16).
+    /// Tokens only return when the data packet is ACKed, so a deep host
+    /// schedule under drop faults can legitimately hold more than 16
+    /// unacked sends while a stuck packet waits out its retransmit
+    /// timeout; a real application facing that opens its port with a
+    /// deeper pool, which is what this knob models.
+    pub send_tokens: Option<u32>,
     /// Structured-trace ring capacity (`None` = tracing disabled).
     pub trace_capacity: Option<usize>,
     /// The team label the barrier runs under. [`TeamId::GLOBAL`] (the
@@ -276,6 +300,7 @@ impl BarrierExperiment {
             same_nic_opt: true,
             costs: BarrierCosts::GM_1_2_3,
             fault_plan: FaultPlan::NONE,
+            send_tokens: None,
             trace_capacity: None,
             team: TeamId::GLOBAL,
             parallel: 1,
@@ -364,6 +389,15 @@ impl BarrierExperiment {
         self
     }
 
+    /// Open every port with `tokens` send tokens instead of GM's default.
+    /// See the [`BarrierExperiment::send_tokens`] field for when a deeper
+    /// pool is needed.
+    #[must_use]
+    pub fn send_token_pool(mut self, tokens: u32) -> Self {
+        self.send_tokens = Some(tokens);
+        self
+    }
+
     /// Record a structured event trace, keeping the most recent `capacity`
     /// records. The trace rides back on [`Measurement::trace`].
     #[must_use]
@@ -386,16 +420,15 @@ impl BarrierExperiment {
                 warmup: self.warmup,
             });
         }
-        match self.algorithm.descriptor() {
-            Descriptor::Gb { dim, .. }
-            | Descriptor::Bcast { dim, .. }
-            | Descriptor::Reduce { dim, .. }
-            | Descriptor::Allreduce { dim, .. }
-                if dim == 0 =>
-            {
-                return Err(ExperimentError::ZeroDim);
+        // Descriptors built through the named constructors are always
+        // valid; re-checking here is defense in depth for descriptors
+        // deserialized or constructed inside the core crate.
+        match self.algorithm.descriptor().validate() {
+            Ok(()) => {}
+            Err(DescriptorError::ZeroDim) => return Err(ExperimentError::ZeroDim),
+            Err(DescriptorError::InvalidRadix { radix }) => {
+                return Err(ExperimentError::InvalidRadix { radix })
             }
-            _ => {}
         }
         for (what, value) in [
             ("drop", self.fault_plan.drop_probability),
@@ -411,6 +444,9 @@ impl BarrierExperiment {
             if !(1..=7).contains(&procs_per_node) {
                 return Err(ExperimentError::InvalidPlacement { procs_per_node });
             }
+        }
+        if self.send_tokens == Some(0) {
+            return Err(ExperimentError::ZeroSendTokens);
         }
         Ok(())
     }
@@ -461,6 +497,9 @@ impl BarrierExperiment {
         let mut config = GmConfig::paper_host(self.nic).with_layer_overhead(self.layer_factor);
         config.collective_wire = self.wire;
         config.same_nic_optimization = self.same_nic_opt;
+        if let Some(tokens) = self.send_tokens {
+            config.send_tokens_per_port = tokens;
+        }
         let nodes = self.node_count();
         // One crossbar for paper-sized clusters, a two-level Clos beyond
         // 16 hosts; shared with the analytic model's fabric assumptions.
@@ -985,6 +1024,24 @@ mod tests {
     }
 
     #[test]
+    fn send_token_pool_override_is_validated_and_benign() {
+        assert_eq!(
+            quick(4, Algorithm::Host(Descriptor::Pe))
+                .send_token_pool(0)
+                .validate(),
+            Err(ExperimentError::ZeroSendTokens)
+        );
+        // A deeper pool must not change a fault-free measurement: tokens
+        // only bound *outstanding* sends, and a clean run never backs up.
+        let base = quick(8, Algorithm::Host(Descriptor::Pe)).run().unwrap();
+        let deep = quick(8, Algorithm::Host(Descriptor::Pe))
+            .send_token_pool(64)
+            .run()
+            .unwrap();
+        assert_eq!(base.mean_us.to_bits(), deep.mean_us.to_bits());
+    }
+
+    #[test]
     fn nic_pe_beats_host_pe_at_16() {
         let nic = quick(16, Algorithm::Nic(Descriptor::Pe)).run().unwrap();
         let host = quick(16, Algorithm::Host(Descriptor::Pe)).run().unwrap();
@@ -1060,7 +1117,7 @@ mod tests {
                 .run()
                 .unwrap()
                 .mean_us;
-            let di = quick(n, Algorithm::Nic(Descriptor::Dissemination))
+            let di = quick(n, Algorithm::Nic(Descriptor::dissemination()))
                 .run()
                 .unwrap()
                 .mean_us;
@@ -1075,7 +1132,7 @@ mod tests {
                 .run()
                 .unwrap()
                 .mean_us;
-            let di = quick(n, Algorithm::Nic(Descriptor::Dissemination))
+            let di = quick(n, Algorithm::Nic(Descriptor::dissemination()))
                 .run()
                 .unwrap()
                 .mean_us;
@@ -1121,12 +1178,21 @@ mod tests {
                 .unwrap_err(),
             E::InvalidPlacement { procs_per_node: 9 }
         );
+        // gb(0) and dissemination radix < 2 can no longer reach run() at
+        // all: the variants are #[non_exhaustive], so the named
+        // constructors are the only way to build a descriptor here, and
+        // they reject bad parameters at construction.
+        assert_eq!(Descriptor::try_gb(0).unwrap_err(), DescriptorError::ZeroDim);
         assert_eq!(
-            BarrierExperiment::new(4, Algorithm::Nic(Descriptor::gb(0)))
-                .run()
-                .unwrap_err(),
-            E::ZeroDim
+            Descriptor::try_dissemination(0).unwrap_err(),
+            DescriptorError::InvalidRadix { radix: 0 }
         );
+        assert_eq!(
+            Descriptor::try_dissemination(1).unwrap_err(),
+            DescriptorError::InvalidRadix { radix: 1 }
+        );
+        assert!(std::panic::catch_unwind(|| Descriptor::gb(0)).is_err());
+        assert!(std::panic::catch_unwind(|| Descriptor::dissemination_radix(1)).is_err());
         let bad = FaultPlan {
             drop_probability: 1.5,
             ..FaultPlan::NONE
@@ -1135,6 +1201,31 @@ mod tests {
             base(4).faults(bad).run().unwrap_err(),
             E::InvalidProbability { what: "drop", .. }
         ));
+    }
+
+    #[test]
+    fn degenerate_and_minimal_parameterizations_run() {
+        // n = 1: every barrier degenerates to an immediate completion.
+        // The NIC path still pays the token post + completion DMA each
+        // round; the host path sends nothing and waits on nothing, so
+        // its round-to-round gap is legitimately zero.
+        for alg in [
+            Algorithm::Nic(Descriptor::pe()),
+            Algorithm::Nic(Descriptor::gb(1)),
+            Algorithm::Nic(Descriptor::dissemination()),
+            Algorithm::Nic(Descriptor::dissemination_radix(4)),
+        ] {
+            let m = quick(1, alg).run().unwrap();
+            assert!(m.mean_us > 0.0, "{}", alg.name());
+        }
+        let m = quick(1, Algorithm::Host(Descriptor::pe())).run().unwrap();
+        assert!(m.mean_us >= 0.0 && m.mean_us.is_finite());
+        // dim = 1 (chain tree) is the smallest valid GB parameterization.
+        quick(5, Algorithm::Nic(Descriptor::gb(1))).run().unwrap();
+        // A k-ary radix runs on the same firmware path as radix 2.
+        quick(9, Algorithm::Nic(Descriptor::dissemination_radix(3)))
+            .run()
+            .unwrap();
     }
 
     #[test]

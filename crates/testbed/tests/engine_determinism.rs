@@ -31,7 +31,7 @@ fn parallel_sweep_is_bit_identical_to_serial_for_every_seed() {
             Algorithm::Nic(Descriptor::Pe),
             Algorithm::Host(Descriptor::Pe),
             Algorithm::Nic(Descriptor::gb(2)),
-            Algorithm::Nic(Descriptor::Dissemination),
+            Algorithm::Nic(Descriptor::dissemination()),
         ]
         .iter()
         .flat_map(|&alg| [3usize, 4, 6].map(|n| (n, alg)))

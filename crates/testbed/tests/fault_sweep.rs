@@ -13,7 +13,7 @@ fn algorithms() -> [Algorithm; 3] {
     [
         Algorithm::Nic(Descriptor::Pe),
         Algorithm::Nic(Descriptor::gb(2)),
-        Algorithm::Nic(Descriptor::Dissemination),
+        Algorithm::Nic(Descriptor::dissemination()),
     ]
 }
 

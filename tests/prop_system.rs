@@ -26,10 +26,11 @@ struct Scenario {
 }
 
 fn scenario(g: &mut Gen) -> Scenario {
-    // 0 = PE, 1..=4 = GB with that dim, 5 = dissemination
-    let algo = match g.usize_in(0, 5) {
+    // 0 = PE, 1..=4 = GB with that dim, 5..=7 = dissemination radix 2..4
+    let algo = match g.usize_in(0, 7) {
         0 => Descriptor::Pe,
-        5 => Descriptor::Dissemination,
+        5 => Descriptor::dissemination(),
+        r @ (6 | 7) => Descriptor::dissemination_radix(r - 4),
         dim => Descriptor::gb(dim),
     };
     Scenario {

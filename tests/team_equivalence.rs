@@ -55,7 +55,7 @@ fn team_of_size_n_is_bit_identical_to_global_barrier() {
         Algorithm::Nic(Descriptor::Pe),
         Algorithm::Host(Descriptor::Pe),
         Algorithm::Nic(Descriptor::gb(2)),
-        Algorithm::Nic(Descriptor::Dissemination),
+        Algorithm::Nic(Descriptor::dissemination()),
     ];
     let sizes = [2usize, 3, 5, 8, 16];
     let ids = team_ids(0xDEC0DE, algorithms.len() * sizes.len());
