@@ -10,7 +10,7 @@
 //!
 //! Experiment ids (see DESIGN.md §5): fig5a fig5b fig5c fig5d fig2 gbdim
 //! headline scale layer fuzzy ablate mpi util dissem scan breakdown faults
-//! payload advisor.
+//! payload advisor fabric.
 //!
 //! `--trace <path>` runs a 16-node NIC-based PE barrier with structured
 //! tracing on and writes a chrome://tracing (Perfetto-loadable) JSON file.
@@ -68,6 +68,7 @@ fn main() {
                 "multitenant",
                 "payload",
                 "advisor",
+                "fabric",
             ]
         } else {
             args.iter().map(String::as_str).collect()
@@ -95,6 +96,7 @@ fn main() {
             "multitenant" => ok = multitenant_study(smoke) && ok,
             "payload" => ok = payload_study(smoke) && ok,
             "advisor" => ok = advisor_study(smoke) && ok,
+            "fabric" => ok = fabric_study(smoke) && ok,
             "trace" => trace_one_barrier(),
             other => eprintln!("unknown experiment id: {other}"),
         }
@@ -1437,6 +1439,195 @@ fn advisor_study(smoke: bool) -> bool {
     println!("wrote {}", out);
     if !ok {
         eprintln!("advisor: at least one cell exceeded the regret tolerance");
+    }
+    ok
+}
+
+/// Fabric study: algorithm × fabric × oversubscription × routing policy,
+/// measured against the per-fabric analytic forms (DESIGN.md §18). The
+/// grid sweeps the non-blocking, 2:1 and 4:1 Clos plus a k=8 fat tree
+/// under static-BFS, dispersed and adaptive routing, and gates every
+/// cell's model error against `FABRIC_MODEL_TOLERANCE`.
+fn fabric_study(smoke: bool) -> bool {
+    use gmsim_testbed::{cell_seed, FabricSpec, RoutePolicy, SweepEngine};
+    use nic_barrier::{advisor, FABRIC_MODEL_TOLERANCE};
+
+    const FABRIC_SEED: u64 = 0x5ca1_ab1e_0000_0004;
+
+    println!(
+        "\n=== fabric{}: algorithm x fabric x routing vs per-fabric model ===",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let fabrics: &[(&str, FabricSpec, usize)] = if smoke {
+        &[
+            (
+                "clos-1to1",
+                FabricSpec::Clos {
+                    leaves: 8,
+                    hosts_per_leaf: 8,
+                    spines: 8,
+                },
+                64,
+            ),
+            (
+                "clos-4to1",
+                FabricSpec::Clos {
+                    leaves: 8,
+                    hosts_per_leaf: 8,
+                    spines: 2,
+                },
+                64,
+            ),
+        ]
+    } else {
+        &[
+            (
+                "clos-1to1",
+                FabricSpec::Clos {
+                    leaves: 8,
+                    hosts_per_leaf: 8,
+                    spines: 8,
+                },
+                64,
+            ),
+            (
+                "clos-2to1",
+                FabricSpec::Clos {
+                    leaves: 8,
+                    hosts_per_leaf: 8,
+                    spines: 4,
+                },
+                64,
+            ),
+            (
+                "clos-4to1",
+                FabricSpec::Clos {
+                    leaves: 8,
+                    hosts_per_leaf: 8,
+                    spines: 2,
+                },
+                64,
+            ),
+            ("fat-tree-k8", FabricSpec::FatTree { k: 8 }, 128),
+        ]
+    };
+    let policies: &[(&str, RoutePolicy)] = if smoke {
+        &[
+            ("dispersed", RoutePolicy::Dispersed),
+            ("adaptive", RoutePolicy::Adaptive),
+        ]
+    } else {
+        &[
+            ("static", RoutePolicy::StaticBfs),
+            ("dispersed", RoutePolicy::Dispersed),
+            ("adaptive", RoutePolicy::Adaptive),
+        ]
+    };
+    let algorithms: Vec<(&str, Descriptor)> = if smoke {
+        vec![("nic-pe", Descriptor::pe()), ("nic-gb8", Descriptor::gb(8))]
+    } else {
+        vec![
+            ("nic-pe", Descriptor::pe()),
+            ("nic-gb8", Descriptor::gb(8)),
+            ("nic-dissem2", Descriptor::dissemination_radix(2)),
+        ]
+    };
+
+    let m = CostModel::from_config(&GmConfig::paper_host(NicModel::LANAI_4_3));
+    let mut cells = Vec::new();
+    for &(fname, spec, n) in fabrics {
+        for &(pname, policy) in policies {
+            for &(aname, desc) in &algorithms {
+                let sc = advisor::Scenario::barrier(n).with_fabric(spec, policy);
+                let predicted = advisor::predict(&m, &sc, advisor::Placement::Nic, &desc);
+                let mut e = BarrierExperiment::new(n, Algorithm::Nic(desc)).rounds(40, 5);
+                e = e.fabric(spec, policy);
+                // Paired seeding per (fabric, policy): all algorithms on
+                // one cabling see identical conditions.
+                e.seed = cell_seed(FABRIC_SEED, cells.len() as u64);
+                cells.push((fname, n, spec, pname, aname, predicted, e));
+            }
+        }
+    }
+    let sweep = SweepEngine::new();
+    let measured = sweep.run(&cells, |_, (fname, _, _, pname, aname, _, e)| {
+        e.run()
+            .unwrap_or_else(|err| panic!("fabric cell {fname}/{pname}/{aname}: {err}"))
+            .mean_us
+    });
+
+    let mut ok = true;
+    let mut rows = Vec::new();
+    let mut t = Table::new(vec![
+        "fabric",
+        "nodes",
+        "oversub",
+        "routing",
+        "algorithm",
+        "model (us)",
+        "measured (us)",
+        "err",
+        "ok",
+    ]);
+    for ((fname, n, spec, pname, aname, predicted, _), meas) in cells.iter().zip(&measured) {
+        let err = (predicted - meas) / meas;
+        let pass = err.abs() <= FABRIC_MODEL_TOLERANCE;
+        ok &= pass;
+        if !pass {
+            eprintln!(
+                "fabric: FAIL {fname}/{pname}/{aname}: model {predicted:.3} us vs measured \
+                 {meas:.3} us ({:+.1}% exceeds the {:.0}% tolerance)",
+                err * 100.0,
+                FABRIC_MODEL_TOLERANCE * 100.0
+            );
+        }
+        let oversub = spec.oversub_ratio(*n);
+        t.row(vec![
+            fname.to_string(),
+            n.to_string(),
+            format!("{oversub:.1}"),
+            pname.to_string(),
+            aname.to_string(),
+            us(*predicted),
+            us(*meas),
+            format!("{:+.1}%", err * 100.0),
+            if pass { "yes" } else { "NO" }.to_string(),
+        ]);
+        rows.push(format!(
+            concat!(
+                "    {{\"fabric\": \"{fabric}\", \"nodes\": {n}, \"oversub\": {oversub}, ",
+                "\"routing\": \"{routing}\", \"algorithm\": \"{alg}\", ",
+                "\"model_us\": {pred:.3}, \"measured_us\": {meas:.3}, ",
+                "\"err\": {err:.4}, \"tolerance\": {tol}, \"pass\": {pass}}}"
+            ),
+            fabric = fname,
+            n = n,
+            oversub = oversub,
+            routing = pname,
+            alg = aname,
+            pred = predicted,
+            meas = meas,
+            err = err,
+            tol = FABRIC_MODEL_TOLERANCE,
+            pass = pass,
+        ));
+    }
+    print!("{}", t.render());
+    println!("(err = per-fabric analytic prediction against the measured mean)");
+
+    let json = format!(
+        "{{\n  \"schema\": \"gmsim-fabric/v1\",\n  \"experiment\": \
+         \"fabric_model_vs_measured\",\n  \"smoke\": {},\n  \
+         \"model_tolerance\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        smoke,
+        FABRIC_MODEL_TOLERANCE,
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fabric.json");
+    std::fs::write(out, &json).expect("write BENCH_fabric.json");
+    println!("wrote {}", out);
+    if !ok {
+        eprintln!("fabric: at least one cell exceeded the model tolerance");
     }
     ok
 }

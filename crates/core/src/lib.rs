@@ -44,8 +44,8 @@ pub mod schedule;
 pub mod unexpected;
 
 pub use analytic::{
-    advisor, CostModel, ADVISOR_REGRET_TOLERANCE, GB_MODEL_TOLERANCE, PAYLOAD_MODEL_TOLERANCE,
-    PE_MODEL_TOLERANCE,
+    advisor, CostModel, FabricModel, ADVISOR_REGRET_TOLERANCE, FABRIC_MODEL_TOLERANCE,
+    GB_MODEL_TOLERANCE, PAYLOAD_MODEL_TOLERANCE, PE_MODEL_TOLERANCE,
 };
 pub use gmsim_gm::{ReduceOp, TeamId};
 pub use group::{BarrierGroup, Team};

@@ -35,4 +35,4 @@ pub use fabric::{Delivery, Fabric, FabricStats};
 pub use fault::{Fate, FaultPlan, FaultState, Verdict};
 pub use packet::{wire_size, WireFormat};
 pub use route::{LinkId, NicId, SwitchId};
-pub use topology::{LinkSpec, Topology, TopologyBuilder};
+pub use topology::{FabricSpec, LinkSpec, RoutePolicy, Topology, TopologyBuilder, UnreachablePair};

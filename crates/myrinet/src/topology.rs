@@ -3,9 +3,16 @@
 //! A topology is a graph of NICs and switches joined by full-duplex cables.
 //! Builders cover the paper's two physical testbeds — a single 16-port
 //! switch for the LANai 4.3 cluster and a single 8-port switch for the
-//! LANai 7.2 cluster — plus multi-switch chains used by the scaling study.
+//! LANai 7.2 cluster — plus multi-switch chains used by the scaling study,
+//! two- and three-level Clos fabrics with configurable oversubscription
+//! ([`TopologyBuilder::clos_oversub`]), and k-ary fat trees
+//! ([`TopologyBuilder::fat_tree`]).
+//!
 //! Routes (shortest paths, BFS with deterministic tie-breaking by vertex
-//! index) are computed once at `build()`.
+//! index) are computed once at `build()`. Fabrics with multiple equal-cost
+//! paths additionally carry a [`RoutePolicy`]: static BFS routes, Myrinet
+//! style `(src + dst)` dispersal, or adaptive least-loaded uplink selection
+//! driven by the contention model's per-link busy horizons.
 
 use crate::packet::wire_size;
 use crate::route::{LinkId, NicId, Route, SwitchId, Vertex};
@@ -137,6 +144,267 @@ impl Clos3Spec {
         }
         out.push(self.nic_down(dst));
     }
+
+    /// Append the adaptive source route for `src → dst` to `out`, picking
+    /// the aggregation switch (and, cross-pod, the core) with the smallest
+    /// busy horizon on its uplink. Ties break toward the lowest index, so
+    /// selection is a pure function of `busy` and the pair.
+    fn adaptive_route_into(&self, src: usize, dst: usize, busy: &[SimTime], out: &mut Vec<LinkId>) {
+        debug_assert!(src.max(dst) < self.pods * self.hosts_per_pod());
+        if src == dst {
+            return;
+        }
+        out.push(self.nic_up(src));
+        let (ls, ld) = (src / self.hosts, dst / self.hosts);
+        if ls != ld {
+            let (ps, pd) = (src / self.hosts_per_pod(), dst / self.hosts_per_pod());
+            let lsrc = ls % self.leaves;
+            let mut a = 0;
+            for cand in 1..self.leaves {
+                if busy[self.leaf_up(ps, lsrc, cand).0] < busy[self.leaf_up(ps, lsrc, a).0] {
+                    a = cand;
+                }
+            }
+            if ps == pd {
+                out.push(self.leaf_up(ps, lsrc, a));
+                out.push(self.leaf_down(pd, ld % self.leaves, a));
+            } else {
+                let mut c = 0;
+                for cand in 1..self.hosts {
+                    if busy[self.agg_up(ps, a, cand).0] < busy[self.agg_up(ps, a, c).0] {
+                        c = cand;
+                    }
+                }
+                out.push(self.leaf_up(ps, lsrc, a));
+                out.push(self.agg_up(ps, a, c));
+                out.push(self.agg_down(pd, a, c));
+                out.push(self.leaf_down(pd, ld % self.leaves, a));
+            }
+        }
+        out.push(self.nic_down(dst));
+    }
+}
+
+/// How source routes are chosen on fabrics that offer several equal-cost
+/// paths (two- and three-level Clos, fat trees). On fabrics with a single
+/// path per pair (one crossbar, switch chains) the policy is irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutePolicy {
+    /// The raw BFS shortest paths with deterministic tie-breaking: every
+    /// pair sharing a (source leaf, destination leaf) funnels through the
+    /// same first-listed spine — the worst-case hotspot baseline.
+    StaticBfs,
+    /// `(src + dst) % spines` dispersal, the way Myrinet's route dispersal
+    /// spread pairwise traffic across the bisection. The default.
+    #[default]
+    Dispersed,
+    /// Pick the uplink with the smallest busy horizon at send time, using
+    /// the per-link in-flight counters the contention model already tracks.
+    /// Deterministic — and therefore bit-identical between the serial and
+    /// parallel engines — because both engines invoke `Fabric::send` in the
+    /// same committed global order, and the choice is a pure function of
+    /// the busy horizons at that point (ties break to the lowest index).
+    Adaptive,
+}
+
+/// Link-id layout of a two-level [`TopologyBuilder::clos`] fabric, used by
+/// [`RoutePolicy::Adaptive`] to enumerate the candidate spine uplinks of a
+/// pair without consulting the stored route table.
+#[derive(Debug, Clone, Copy)]
+struct Clos2Spec {
+    hosts_per_leaf: usize,
+    spines: usize,
+    /// First link id of the NIC↔leaf cables (the leaf↔spine cables come
+    /// first in construction order).
+    base_nic: usize,
+}
+
+impl Clos2Spec {
+    fn nic_up(&self, nic: usize) -> LinkId {
+        LinkId(self.base_nic + 2 * nic)
+    }
+
+    fn nic_down(&self, nic: usize) -> LinkId {
+        LinkId(self.base_nic + 2 * nic + 1)
+    }
+
+    fn leaf_to_spine(&self, leaf: usize, spine: usize) -> LinkId {
+        LinkId(2 * (leaf * self.spines + spine))
+    }
+
+    fn spine_to_leaf(&self, leaf: usize, spine: usize) -> LinkId {
+        LinkId(2 * (leaf * self.spines + spine) + 1)
+    }
+
+    /// Append the adaptive route for `src → dst`: the spine whose
+    /// `leaf → spine` uplink has the smallest busy horizon, ties to the
+    /// lowest spine index.
+    fn adaptive_route_into(&self, src: usize, dst: usize, busy: &[SimTime], out: &mut Vec<LinkId>) {
+        if src == dst {
+            return;
+        }
+        let (ls, ld) = (src / self.hosts_per_leaf, dst / self.hosts_per_leaf);
+        out.push(self.nic_up(src));
+        if ls != ld {
+            let mut best = 0;
+            for s in 1..self.spines {
+                if busy[self.leaf_to_spine(ls, s).0] < busy[self.leaf_to_spine(ls, best).0] {
+                    best = s;
+                }
+            }
+            out.push(self.leaf_to_spine(ls, best));
+            out.push(self.spine_to_leaf(ld, best));
+        }
+        out.push(self.nic_down(dst));
+    }
+}
+
+/// The regular-layout spec backing adaptive route selection, when the
+/// fabric has one.
+#[derive(Debug, Clone, Copy)]
+enum AdaptiveSpec {
+    Clos2(Clos2Spec),
+    Clos3(Clos3Spec),
+}
+
+/// Typed error from [`TopologyBuilder::try_build`]: some ordered NIC pair
+/// has no path. Previously `build` silently stored an *empty* route for
+/// such pairs — indistinguishable from the self-route, so the breakage
+/// surfaced only as a send-time panic deep in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnreachablePair {
+    /// Source NIC of the first unreachable pair found.
+    pub src: NicId,
+    /// Destination NIC it cannot reach.
+    pub dst: NicId,
+}
+
+impl std::fmt::Display for UnreachablePair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "topology has no route from NIC {} to NIC {}",
+            self.src.0, self.dst.0
+        )
+    }
+}
+
+impl std::error::Error for UnreachablePair {}
+
+/// A compact, `Copy` description of a fabric family, resolved to a concrete
+/// [`Topology`] (for a host count and [`RoutePolicy`]) by
+/// [`FabricSpec::build`]. This is the knob experiments and studies sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricSpec {
+    /// The tiered [`TopologyBuilder::for_cluster`] policy (crossbar ≤ 16
+    /// hosts, non-blocking two-level Clos ≤ 1024, three-level beyond).
+    Auto,
+    /// A two-level Clos with an explicit spine count; oversubscribed when
+    /// `spines < hosts_per_leaf` (oversubscription ratio
+    /// `hosts_per_leaf / spines`).
+    Clos {
+        /// Leaf switches.
+        leaves: usize,
+        /// Hosts per leaf switch.
+        hosts_per_leaf: usize,
+        /// Spine switches every leaf is cabled to.
+        spines: usize,
+    },
+    /// A k-ary fat tree (`k` even): `k` pods of `k/2` edge and `k/2`
+    /// aggregation switches, `(k/2)²` cores, `k³/4` hosts, non-blocking.
+    FatTree {
+        /// Switch radix; must be even and ≥ 2.
+        k: usize,
+    },
+}
+
+impl FabricSpec {
+    /// Number of hosts this fabric can attach. `Auto` scales with the
+    /// request, so it reports `requested` back.
+    pub fn host_capacity(&self, requested: usize) -> usize {
+        match *self {
+            FabricSpec::Auto => requested,
+            FabricSpec::Clos {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+            FabricSpec::FatTree { k } => k * k * k / 4,
+        }
+    }
+
+    /// Hosts sharing a leaf (edge) switch with any given host, for `n`
+    /// attached hosts — the first distance tier of the analytic model.
+    pub fn leaf_hosts(&self, n: usize) -> usize {
+        match *self {
+            FabricSpec::Auto => {
+                if n <= TopologyBuilder::MAX_SINGLE_SWITCH_HOSTS {
+                    n.max(1)
+                } else {
+                    TopologyBuilder::CLOS_LEAF_HOSTS
+                }
+            }
+            FabricSpec::Clos { hosts_per_leaf, .. } => hosts_per_leaf,
+            FabricSpec::FatTree { k } => k / 2,
+        }
+    }
+
+    /// Hosts per pod when the fabric has a third (core) level, else `None`.
+    pub fn pod_hosts(&self, n: usize) -> Option<usize> {
+        match *self {
+            FabricSpec::Auto => (n > TopologyBuilder::MAX_TWO_LEVEL_HOSTS)
+                .then_some(TopologyBuilder::CLOS_LEAF_HOSTS * TopologyBuilder::CLOS_LEAF_HOSTS),
+            FabricSpec::Clos { .. } => None,
+            FabricSpec::FatTree { k } => Some(k * k / 4),
+        }
+    }
+
+    /// Uplinks available to a leaf for cross-leaf traffic.
+    pub fn spine_count(&self, n: usize) -> usize {
+        match *self {
+            FabricSpec::Auto => {
+                if n <= TopologyBuilder::MAX_SINGLE_SWITCH_HOSTS {
+                    1
+                } else {
+                    TopologyBuilder::CLOS_LEAF_HOSTS
+                }
+            }
+            FabricSpec::Clos { spines, .. } => spines,
+            FabricSpec::FatTree { k } => k / 2,
+        }
+    }
+
+    /// Oversubscription ratio: worst-case hosts per leaf divided by its
+    /// uplinks. 1.0 for every non-blocking fabric; 2.0 for a 2:1 Clos.
+    pub fn oversub_ratio(&self, n: usize) -> f64 {
+        if n <= TopologyBuilder::MAX_SINGLE_SWITCH_HOSTS && matches!(self, FabricSpec::Auto) {
+            return 1.0;
+        }
+        self.leaf_hosts(n) as f64 / self.spine_count(n) as f64
+    }
+
+    /// Resolve to a concrete topology for `hosts` attached hosts under
+    /// `policy`.
+    ///
+    /// # Panics
+    /// Panics if the fabric cannot attach `hosts` hosts (see
+    /// [`FabricSpec::host_capacity`]) or if a `FatTree` radix is odd.
+    pub fn build(&self, hosts: usize, policy: RoutePolicy) -> Topology {
+        assert!(
+            self.host_capacity(hosts) >= hosts,
+            "fabric {self:?} holds {} hosts, {hosts} requested",
+            self.host_capacity(hosts),
+        );
+        match *self {
+            FabricSpec::Auto => TopologyBuilder::for_cluster_policy(hosts, policy),
+            FabricSpec::Clos {
+                leaves,
+                hosts_per_leaf,
+                spines,
+            } => TopologyBuilder::clos_policy(leaves, hosts_per_leaf, spines, policy),
+            FabricSpec::FatTree { k } => TopologyBuilder::fat_tree_policy(k, policy),
+        }
+    }
 }
 
 /// A finished topology: vertices, directed links, and NIC-to-NIC routes
@@ -147,6 +415,8 @@ pub struct Topology {
     switch_latency: Vec<SimTime>,
     links: Vec<DirectedLink>,
     table: RouteTable,
+    policy: RoutePolicy,
+    adaptive: Option<AdaptiveSpec>,
 }
 
 /// Which logical process each NIC belongs to, for the parallel DES engine.
@@ -211,6 +481,46 @@ impl Topology {
                 out.extend_from_slice(routes[src.0 * self.nics + dst.0].links());
             }
             RouteTable::Clos3(spec) => spec.route_into(src.0, dst.0, out),
+        }
+    }
+
+    /// The route policy this topology was built with.
+    pub fn route_policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// The route `Fabric::send` will inject for `src → dst` given the
+    /// current per-link busy horizons: under [`RoutePolicy::Adaptive`] the
+    /// least-loaded uplink, otherwise exactly
+    /// [`Topology::route_links_into`]. Adaptive selection is a pure
+    /// function of `(src, dst, busy)`, so two engines that invoke sends in
+    /// the same committed order pick the same routes — the determinism
+    /// argument the parallel engine's bit-identity rests on (DESIGN.md
+    /// §18). Adaptive routes always have the same link count as their
+    /// dispersed counterparts, so the conservative lookahead from
+    /// [`Topology::min_delivery_latency`] is unaffected.
+    ///
+    /// # Panics
+    /// Panics if either NIC is out of range.
+    pub fn route_for_send_into(
+        &self,
+        src: NicId,
+        dst: NicId,
+        busy: &[SimTime],
+        out: &mut Vec<LinkId>,
+    ) {
+        match &self.adaptive {
+            Some(AdaptiveSpec::Clos2(spec)) => {
+                assert!(src.0 < self.nics && dst.0 < self.nics, "NIC out of range");
+                out.clear();
+                spec.adaptive_route_into(src.0, dst.0, busy, out);
+            }
+            Some(AdaptiveSpec::Clos3(spec)) => {
+                assert!(src.0 < self.nics && dst.0 < self.nics, "NIC out of range");
+                out.clear();
+                spec.adaptive_route_into(src.0, dst.0, busy, out);
+            }
+            None => self.route_links_into(src, dst, out),
         }
     }
 
@@ -400,7 +710,22 @@ impl TopologyBuilder {
     }
 
     /// Finish: computes all-pairs NIC-to-NIC shortest routes.
+    ///
+    /// # Panics
+    /// Panics when some ordered NIC pair has no path — use
+    /// [`TopologyBuilder::try_build`] for a typed error instead.
+    /// (Historically this case silently stored an empty route,
+    /// indistinguishable from the self-route.)
     pub fn build(self) -> Topology {
+        match self.try_build() {
+            Ok(t) => t,
+            Err(e) => panic!("TopologyBuilder::build: {e}"),
+        }
+    }
+
+    /// Finish, reporting the first unreachable ordered NIC pair as a typed
+    /// error instead of panicking.
+    pub fn try_build(self) -> Result<Topology, UnreachablePair> {
         let nics = self.nics;
         let n_vertices = nics + self.switch_latency.len();
         let vidx = |v: Vertex| -> usize {
@@ -464,16 +789,21 @@ impl TopologyBuilder {
                     rev.reverse();
                     routes.push(Route::new(rev));
                 } else {
-                    routes.push(Route::new(vec![])); // unreachable ⇒ empty
+                    return Err(UnreachablePair {
+                        src: NicId(src),
+                        dst: NicId(dst),
+                    });
                 }
             }
         }
-        Topology {
+        Ok(Topology {
             nics,
             switch_latency: self.switch_latency,
             links: self.links,
             table: RouteTable::Dense(routes),
-        }
+            policy: RoutePolicy::StaticBfs,
+            adaptive: None,
+        })
     }
 
     /// Largest cluster [`TopologyBuilder::for_cluster`] puts on a single
@@ -498,17 +828,25 @@ impl TopologyBuilder {
     /// installations scaled — and a three-level (pod + core) Clos beyond
     /// that, up to 4096 hosts and further.
     pub fn for_cluster(hosts: usize) -> Topology {
+        Self::for_cluster_policy(hosts, RoutePolicy::Dispersed)
+    }
+
+    /// [`TopologyBuilder::for_cluster`] with an explicit [`RoutePolicy`].
+    /// On a single crossbar (≤ 16 hosts) every pair has exactly one path,
+    /// so the policy is accepted but has no effect.
+    pub fn for_cluster_policy(hosts: usize, policy: RoutePolicy) -> Topology {
         if hosts <= Self::MAX_SINGLE_SWITCH_HOSTS {
             Self::single_switch(hosts)
         } else if hosts <= Self::MAX_TWO_LEVEL_HOSTS {
-            Self::clos(
+            Self::clos_policy(
                 hosts.div_ceil(Self::CLOS_LEAF_HOSTS),
                 Self::CLOS_LEAF_HOSTS,
                 Self::CLOS_LEAF_HOSTS,
+                policy,
             )
         } else {
             let pod_hosts = Self::CLOS_LEAF_HOSTS * Self::CLOS_LEAF_HOSTS;
-            Self::clos3(hosts.div_ceil(pod_hosts))
+            Self::clos3_policy(hosts.div_ceil(pod_hosts), policy)
         }
     }
 
@@ -533,6 +871,31 @@ impl TopologyBuilder {
     /// simultaneous pairwise-exchange traffic across the bisection the way
     /// Myrinet's route-dispersal did.
     pub fn clos(leaves: usize, hosts_per_leaf: usize, spines: usize) -> Topology {
+        Self::clos_policy(leaves, hosts_per_leaf, spines, RoutePolicy::Dispersed)
+    }
+
+    /// An *oversubscribed* two-level Clos: `spines < hosts_per_leaf` means
+    /// a leaf's hosts contend for fewer uplinks than ports
+    /// (oversubscription ratio `hosts_per_leaf / spines` — e.g. 8 hosts
+    /// over 4 spines is a 2:1 fabric). Identical to
+    /// [`TopologyBuilder::clos`] otherwise; routes disperse by
+    /// `(src + dst) % spines`.
+    pub fn clos_oversub(leaves: usize, hosts_per_leaf: usize, spines: usize) -> Topology {
+        assert!(
+            spines <= hosts_per_leaf,
+            "clos_oversub wants spines ({spines}) <= hosts_per_leaf ({hosts_per_leaf}); \
+             use clos() for over-provisioned fabrics"
+        );
+        Self::clos_policy(leaves, hosts_per_leaf, spines, RoutePolicy::Dispersed)
+    }
+
+    /// [`TopologyBuilder::clos`] with an explicit [`RoutePolicy`].
+    pub fn clos_policy(
+        leaves: usize,
+        hosts_per_leaf: usize,
+        spines: usize,
+        policy: RoutePolicy,
+    ) -> Topology {
         assert!(leaves >= 1 && hosts_per_leaf >= 1 && spines >= 1);
         let mut b = TopologyBuilder::new();
         let leaf_sw: Vec<SwitchId> = (0..leaves)
@@ -552,9 +915,21 @@ impl TopologyBuilder {
                 b.connect(Vertex::Nic(n), Vertex::Switch(l), LinkSpec::MYRINET_1280);
             }
         }
-        // Build once for the link table, then replace the BFS routes with
-        // dispersed ones.
+        // Build once for the link table (BFS routes), then — unless the
+        // policy is StaticBfs — replace the routes with dispersed ones.
         let mut topo = b.build();
+        let spec = Clos2Spec {
+            hosts_per_leaf,
+            spines,
+            base_nic: 2 * leaves * spines,
+        };
+        topo.policy = policy;
+        if policy == RoutePolicy::Adaptive {
+            topo.adaptive = Some(AdaptiveSpec::Clos2(spec));
+        }
+        if policy == RoutePolicy::StaticBfs {
+            return topo;
+        }
         use std::collections::HashMap;
         let mut link_of: HashMap<(Vertex, Vertex), LinkId> = HashMap::new();
         for i in 0..topo.link_count() {
@@ -601,8 +976,46 @@ impl TopologyBuilder {
     /// test suite cross-checks computed routes against the actual link
     /// table.
     pub fn clos3(pods: usize) -> Topology {
-        assert!(pods >= 1);
-        const K: usize = TopologyBuilder::CLOS_LEAF_HOSTS; // 8
+        Self::clos3_policy(pods, RoutePolicy::Dispersed)
+    }
+
+    /// [`TopologyBuilder::clos3`] with an explicit [`RoutePolicy`].
+    ///
+    /// `StaticBfs` needs the all-pairs table materialised, which is only
+    /// feasible up to [`Self::MAX_TWO_LEVEL_HOSTS`] hosts; larger fabrics
+    /// fall back to dispersed routes.
+    pub fn clos3_policy(pods: usize, policy: RoutePolicy) -> Topology {
+        Self::three_level(pods, Self::CLOS_LEAF_HOSTS, policy)
+    }
+
+    /// A k-ary fat tree (`k` even, ≥ 2): `k` pods of `k/2` edge switches
+    /// (`k/2` hosts each) and `k/2` aggregation switches, with `(k/2)²`
+    /// core switches — `k³/4` hosts on `k`-port switches, non-blocking at
+    /// every level. Structurally this is the three-level Clos with
+    /// pod width `k/2` instead of 8; routes disperse (or adapt) over the
+    /// aggregation and core stages exactly as [`TopologyBuilder::clos3`]'s
+    /// do.
+    pub fn fat_tree(k: usize) -> Topology {
+        Self::fat_tree_policy(k, RoutePolicy::Dispersed)
+    }
+
+    /// [`TopologyBuilder::fat_tree`] with an explicit [`RoutePolicy`].
+    pub fn fat_tree_policy(k: usize, policy: RoutePolicy) -> Topology {
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat tree radix must be even, got {k}"
+        );
+        Self::three_level(k, k / 2, policy)
+    }
+
+    /// Shared construction for three-level fabrics: `pods` pods of `k`
+    /// leaf (edge) switches × `k` hosts, `k` aggregation switches per pod,
+    /// and `k²` cores (plane-major). `clos3` uses `k = 8` with a free pod
+    /// count; a fat tree uses `k = radix/2` with `pods = radix`.
+    fn three_level(pods: usize, k: usize, policy: RoutePolicy) -> Topology {
+        assert!(pods >= 1 && k >= 1);
+        #[allow(non_snake_case)]
+        let K = k;
         let mut b = TopologyBuilder::new();
         // Switches: leaves, then aggs, then cores (plane-major).
         let leaf: Vec<SwitchId> = (0..pods * K)
@@ -654,17 +1067,30 @@ impl TopologyBuilder {
                 }
             }
         }
+        let spec = Clos3Spec {
+            pods,
+            leaves: K,
+            hosts: K,
+            base_ac,
+            base_nic,
+        };
+        if policy == RoutePolicy::StaticBfs && b.nics <= Self::MAX_TWO_LEVEL_HOSTS {
+            let mut t = b.build();
+            t.policy = RoutePolicy::StaticBfs;
+            return t;
+        }
         Topology {
             nics: b.nics,
             switch_latency: b.switch_latency,
             links: b.links,
-            table: RouteTable::Clos3(Clos3Spec {
-                pods,
-                leaves: K,
-                hosts: K,
-                base_ac,
-                base_nic,
-            }),
+            table: RouteTable::Clos3(spec),
+            policy: if policy == RoutePolicy::StaticBfs {
+                // Too large to materialise the all-pairs BFS table.
+                RoutePolicy::Dispersed
+            } else {
+                policy
+            },
+            adaptive: (policy == RoutePolicy::Adaptive).then_some(AdaptiveSpec::Clos3(spec)),
         }
     }
 
@@ -956,10 +1382,47 @@ mod tests {
 
     #[test]
     fn min_delivery_latency_none_when_disconnected() {
+        // `try_build` refuses disconnected fabrics, so a Dense table with
+        // empty cross-routes can only arise from a bug; pin the defensive
+        // `None` (the parallel engine falls back to a merged LP on it) by
+        // constructing the degenerate table directly.
+        let t = Topology {
+            nics: 2,
+            switch_latency: vec![],
+            links: vec![],
+            table: RouteTable::Dense(vec![Route::new(vec![]); 4]),
+            policy: RoutePolicy::StaticBfs,
+            adaptive: None,
+        };
+        assert_eq!(t.min_delivery_latency(), None);
+        assert!(!t.fully_connected());
+    }
+
+    #[test]
+    fn try_build_reports_unreachable_pair() {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch(TopologyBuilder::DEFAULT_SWITCH_LATENCY);
+        let a = b.add_nic();
+        b.connect(Vertex::Nic(a), Vertex::Switch(sw), LinkSpec::MYRINET_1280);
+        let _orphan = b.add_nic(); // never cabled
+        let err = b.try_build().unwrap_err();
+        assert_eq!(
+            err,
+            UnreachablePair {
+                src: NicId(0),
+                dst: NicId(1)
+            }
+        );
+        assert!(err.to_string().contains("no route"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no route from NIC 0 to NIC 1")]
+    fn build_panics_on_unreachable_pair() {
         let mut b = TopologyBuilder::new();
         let _ = b.add_nic();
         let _ = b.add_nic();
-        assert_eq!(b.build().min_delivery_latency(), None);
+        let _ = b.build();
     }
 
     #[test]
@@ -980,11 +1443,168 @@ mod tests {
     }
 
     #[test]
-    fn disconnected_pairs_detected() {
-        let mut b = TopologyBuilder::new();
-        let _a = b.add_nic();
-        let _c = b.add_nic();
-        let t = b.build();
-        assert!(!t.fully_connected());
+    fn static_bfs_clos_funnels_through_one_spine() {
+        let t = TopologyBuilder::clos_policy(2, 8, 8, RoutePolicy::StaticBfs);
+        assert_eq!(t.route_policy(), RoutePolicy::StaticBfs);
+        let mut uplinks = std::collections::HashSet::new();
+        for d in 8..16 {
+            let r = t.route(NicId(0), NicId(d));
+            assert_eq!(r.len(), 4);
+            uplinks.insert(r.links()[1]);
+        }
+        assert_eq!(uplinks.len(), 1, "BFS ties all break to the same spine");
+    }
+
+    #[test]
+    fn clos_oversub_restricts_spines() {
+        let t = TopologyBuilder::clos_oversub(4, 8, 2);
+        assert_eq!(t.nic_count(), 32);
+        assert_eq!(t.switch_count(), 6);
+        let mut uplinks = std::collections::HashSet::new();
+        for d in 8..16 {
+            uplinks.insert(t.route(NicId(0), NicId(d)).links()[1]);
+        }
+        assert_eq!(uplinks.len(), 2, "4:1 fabric disperses over its 2 spines");
+    }
+
+    #[test]
+    fn adaptive_clos_picks_least_loaded_spine() {
+        let t = TopologyBuilder::clos_policy(2, 4, 4, RoutePolicy::Adaptive);
+        assert_eq!(t.route_policy(), RoutePolicy::Adaptive);
+        let mut busy = vec![SimTime::ZERO; t.link_count()];
+        let mut out = Vec::new();
+        t.route_for_send_into(NicId(0), NicId(4), &busy, &mut out);
+        assert_eq!(out.len(), 4);
+        let first_choice = out[1];
+        // Load the chosen uplink; the next send must move to another spine.
+        busy[first_choice.0] = SimTime::from_ns(10_000);
+        let mut out2 = Vec::new();
+        t.route_for_send_into(NicId(0), NicId(4), &busy, &mut out2);
+        assert_ne!(out2[1], first_choice);
+        for o in [&out, &out2] {
+            assert_eq!(t.link(o[0]).from, Vertex::Nic(NicId(0)));
+            assert_eq!(t.link(*o.last().unwrap()).to, Vertex::Nic(NicId(4)));
+            for w in o.windows(2) {
+                assert_eq!(t.link(w[0]).to, t.link(w[1]).from);
+            }
+        }
+        // Same-leaf pairs never touch a spine.
+        t.route_for_send_into(NicId(0), NicId(1), &busy, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn fat_tree_shapes_and_routes_chain() {
+        let t = TopologyBuilder::fat_tree(4);
+        // k = 4: 4 pods × 2 edges × 2 hosts = 16 hosts; 8 edge + 8 agg +
+        // 4 core switches.
+        assert_eq!(t.nic_count(), 16);
+        assert_eq!(t.switch_count(), 20);
+        assert!(t.fully_connected());
+        for (s, d, len) in [(0usize, 1usize, 2usize), (0, 2, 4), (0, 15, 6), (5, 4, 2)] {
+            let r = t.route(NicId(s), NicId(d));
+            assert_eq!(r.len(), len, "{s}->{d}");
+            assert_eq!(t.link(r.links()[0]).from, Vertex::Nic(NicId(s)));
+            assert_eq!(t.link(*r.links().last().unwrap()).to, Vertex::Nic(NicId(d)));
+            for w in r.links().windows(2) {
+                assert_eq!(t.link(w[0]).to, t.link(w[1]).from, "{s}->{d}");
+            }
+        }
+        // One LP per edge switch, two hosts each.
+        let p = t.partition_map();
+        assert_eq!(p.count, 8);
+        assert_eq!(p.lp_of[3], 1);
+        assert_eq!(
+            t.min_delivery_latency(),
+            Some(SimTime::from_ns(25 + 300 + 25 + 113))
+        );
+    }
+
+    #[test]
+    fn adaptive_fat_tree_moves_off_loaded_links() {
+        let t = TopologyBuilder::fat_tree_policy(4, RoutePolicy::Adaptive);
+        let mut busy = vec![SimTime::ZERO; t.link_count()];
+        let mut out = Vec::new();
+        t.route_for_send_into(NicId(0), NicId(15), &busy, &mut out);
+        assert_eq!(out.len(), 6);
+        let up = out[1];
+        busy[up.0] = SimTime::from_ns(5_000);
+        let mut out2 = Vec::new();
+        t.route_for_send_into(NicId(0), NicId(15), &busy, &mut out2);
+        assert_ne!(out2[1], up);
+        for o in [&out, &out2] {
+            assert_eq!(t.link(o[0]).from, Vertex::Nic(NicId(0)));
+            assert_eq!(t.link(*o.last().unwrap()).to, Vertex::Nic(NicId(15)));
+            for w in o.windows(2) {
+                assert_eq!(t.link(w[0]).to, t.link(w[1]).from);
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_spec_capacity_and_shape_helpers() {
+        let clos = FabricSpec::Clos {
+            leaves: 8,
+            hosts_per_leaf: 8,
+            spines: 4,
+        };
+        assert_eq!(clos.host_capacity(64), 64);
+        assert_eq!(clos.leaf_hosts(64), 8);
+        assert_eq!(clos.spine_count(64), 4);
+        assert!((clos.oversub_ratio(64) - 2.0).abs() < 1e-12);
+        assert_eq!(clos.pod_hosts(64), None);
+        let ft = FabricSpec::FatTree { k: 8 };
+        assert_eq!(ft.host_capacity(0), 128);
+        assert_eq!(ft.leaf_hosts(128), 4);
+        assert_eq!(ft.pod_hosts(128), Some(16));
+        assert!((ft.oversub_ratio(128) - 1.0).abs() < 1e-12);
+        assert_eq!(FabricSpec::Auto.leaf_hosts(8), 8);
+        assert_eq!(FabricSpec::Auto.leaf_hosts(100), 8);
+        assert_eq!(FabricSpec::Auto.pod_hosts(4096), Some(64));
+        assert!((FabricSpec::Auto.oversub_ratio(8) - 1.0).abs() < 1e-12);
+        let t = clos.build(64, RoutePolicy::Adaptive);
+        assert_eq!(t.nic_count(), 64);
+        assert_eq!(t.route_policy(), RoutePolicy::Adaptive);
+    }
+
+    #[test]
+    fn for_cluster_partial_leaves_agree_with_partition_map() {
+        // Non-multiple-of-8 host counts build whole leaves; NIC count,
+        // partition map and route shapes must stay mutually consistent
+        // (the analytic tier forms and the parallel engine both assume
+        // aligned 8-host leaf blocks).
+        for n in [17usize, 23, 100, 250, 777, 1000, 1023] {
+            let t = TopologyBuilder::for_cluster(n);
+            let leaves = n.div_ceil(TopologyBuilder::CLOS_LEAF_HOSTS);
+            assert_eq!(
+                t.nic_count(),
+                leaves * TopologyBuilder::CLOS_LEAF_HOSTS,
+                "n={n}"
+            );
+            assert!(t.nic_count() >= n);
+            assert!(t.nic_count() < n + TopologyBuilder::CLOS_LEAF_HOSTS);
+            let p = t.partition_map();
+            assert_eq!(p.count, leaves, "n={n}");
+            for nic in 0..t.nic_count() {
+                assert_eq!(
+                    p.lp_of[nic] as usize,
+                    nic / TopologyBuilder::CLOS_LEAF_HOSTS,
+                    "n={n} nic={nic}"
+                );
+            }
+            // Rank distance ≥ 8 always crosses a leaf (4-link route);
+            // same-leaf pairs stay 2 links — the premise of the analytic
+            // cross-leaf surcharge tier.
+            assert_eq!(
+                t.route(NicId(0), NicId(TopologyBuilder::CLOS_LEAF_HOSTS))
+                    .len(),
+                4
+            );
+            assert_eq!(t.route(NicId(0), NicId(1)).len(), 2);
+        }
+        // Three-level tier builds whole 64-host pods.
+        let t = TopologyBuilder::for_cluster(2500);
+        assert_eq!(t.nic_count(), 2500usize.div_ceil(64) * 64);
+        assert!(t.nic_count() >= 2500 && t.nic_count() < 2500 + 64);
     }
 }

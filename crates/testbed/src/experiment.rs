@@ -5,7 +5,7 @@ use gmsim_gm::cluster::{Cluster, ClusterBuilder};
 use gmsim_gm::config::CollectiveWireMode;
 use gmsim_gm::{GlobalPort, GmConfig, GmEvent, HostCtx, HostProgram};
 use gmsim_lanai::NicModel;
-use gmsim_myrinet::FaultPlan;
+use gmsim_myrinet::{FabricSpec, FaultPlan, RoutePolicy};
 use nic_barrier::nic::{TURNAROUND_BINS, TURNAROUND_BIN_US};
 use nic_barrier::programs::{decode_note, decode_team_note, MultiTeamBarrierLoop, NicBarrierLoop};
 use nic_barrier::{
@@ -157,6 +157,14 @@ pub enum ExperimentError {
         /// Available nodes.
         nodes: usize,
     },
+    /// An explicit fabric too small for the cluster: the spec attaches
+    /// fewer hosts than the experiment needs nodes.
+    FabricTooSmall {
+        /// Hosts the fabric can attach.
+        capacity: usize,
+        /// Nodes the experiment needs.
+        nodes: usize,
+    },
     /// A round completed on fewer processes than participate.
     IncompleteRound {
         /// The deficient round.
@@ -205,6 +213,10 @@ impl fmt::Display for ExperimentError {
             ExperimentError::InvalidTeamSizes { min, max, nodes } => write!(
                 f,
                 "team sizes {min}..={max} invalid for {nodes} nodes (need 2 <= min <= max <= nodes)"
+            ),
+            ExperimentError::FabricTooSmall { capacity, nodes } => write!(
+                f,
+                "fabric attaches {capacity} hosts but the cluster needs {nodes}"
             ),
             ExperimentError::IncompleteRound {
                 round,
@@ -281,6 +293,12 @@ pub struct BarrierExperiment {
     /// measurements (DESIGN.md §15) — this knob only trades wall-clock
     /// time, which is what makes 2048- and 4096-node runs practical.
     pub parallel: usize,
+    /// The fabric the cluster is cabled into. [`FabricSpec::Auto`] (the
+    /// default) scales with the node count exactly as before this knob
+    /// existed: one crossbar ≤ 16 hosts, then a non-blocking Clos.
+    pub fabric: FabricSpec,
+    /// How worms are routed across the fabric's spines (DESIGN.md §18).
+    pub routing: RoutePolicy,
 }
 
 impl BarrierExperiment {
@@ -304,7 +322,18 @@ impl BarrierExperiment {
             trace_capacity: None,
             team: TeamId::GLOBAL,
             parallel: 1,
+            fabric: FabricSpec::Auto,
+            routing: RoutePolicy::Dispersed,
         }
+    }
+
+    /// Cable the cluster into an explicit fabric with a routing policy
+    /// (the default is the auto-scaled fabric with dispersed routes).
+    #[must_use]
+    pub fn fabric(mut self, fabric: FabricSpec, routing: RoutePolicy) -> Self {
+        self.fabric = fabric;
+        self.routing = routing;
+        self
     }
 
     /// Run the simulation on `threads` worker threads (the conservative
@@ -448,6 +477,13 @@ impl BarrierExperiment {
         if self.send_tokens == Some(0) {
             return Err(ExperimentError::ZeroSendTokens);
         }
+        let nodes = self.node_count();
+        if self.fabric.host_capacity(nodes) < nodes {
+            return Err(ExperimentError::FabricTooSmall {
+                capacity: self.fabric.host_capacity(nodes),
+                nodes,
+            });
+        }
         Ok(())
     }
 
@@ -501,9 +537,10 @@ impl BarrierExperiment {
             config.send_tokens_per_port = tokens;
         }
         let nodes = self.node_count();
-        // One crossbar for paper-sized clusters, a two-level Clos beyond
-        // 16 hosts; shared with the analytic model's fabric assumptions.
-        let topology = gmsim_myrinet::TopologyBuilder::for_cluster(nodes);
+        // Auto: one crossbar for paper-sized clusters, a two-level Clos
+        // beyond 16 hosts — shared with the analytic model's fabric
+        // assumptions. Explicit specs cable exactly what they say.
+        let topology = self.fabric.build(nodes, self.routing);
         let mut builder = ClusterBuilder::new(nodes)
             .config(config)
             .topology(topology)

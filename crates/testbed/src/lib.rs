@@ -33,6 +33,7 @@ pub use experiment::{
     MultiTenantMeasurement, Placement, TeamPlacement,
 };
 pub use fuzzy::FuzzyExperiment;
+pub use gmsim_myrinet::{FabricSpec, RoutePolicy};
 pub use nic_barrier::{Descriptor, TeamId};
 pub use sweep::{best_gb_dim, run_all, run_all_with};
 pub use table::Table;
@@ -57,6 +58,6 @@ pub mod prelude {
     pub use crate::fuzzy::FuzzyExperiment;
     pub use gmsim_des::{Counter, MetricSet, TraceRecord};
     pub use gmsim_lanai::NicModel;
-    pub use gmsim_myrinet::FaultPlan;
+    pub use gmsim_myrinet::{FabricSpec, FaultPlan, RoutePolicy};
     pub use nic_barrier::{BarrierCosts, Descriptor, TeamId};
 }
